@@ -1,0 +1,193 @@
+// Experiment: §2.3 scalability claims — "computing the Shapley value is
+// exponential time in the number of DCs/table cells ... with DCs the
+// naïve approach is feasible as the number of DCs is usually small ...
+// the number of cells in a table can be very large, so T-REx uses a
+// sampling algorithm".
+//
+// google-benchmark sweeps:
+//   * ExactConstraintShapley/k     — 2^k growth in black-box calls;
+//   * SamplingCellShapley/rows    — sampling cost grows ~linearly with
+//                                    the player count (fixed m);
+//   * Repair<alg>/rows            — cost of one black-box call, the
+//                                    unit all explanation budgets are
+//                                    denominated in.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/explainer.h"
+#include "core/repair_game.h"
+#include "core/shapley_exact.h"
+#include "data/errors.h"
+#include "data/generator.h"
+#include "data/soccer.h"
+#include "dc/parser.h"
+#include "repair/fd_repair.h"
+#include "repair/holistic.h"
+#include "repair/holoclean.h"
+
+namespace {
+
+using namespace trex;  // NOLINT
+
+/// A DC set with k constraints over the soccer schema: the four paper
+/// DCs plus synthetic FD variants (distinct but harmless) to grow k.
+dc::DcSet GrowDcSet(std::size_t k) {
+  dc::DcSet dcs = data::SoccerConstraints();
+  const Schema schema = data::SoccerSchema();
+  const char* extras[] = {
+      "!(t1.Team == t2.Team & t1.Country != t2.Country)",
+      "!(t1.Team == t2.Team & t1.League != t2.League)",
+      "!(t1.City == t2.City & t1.League != t2.League)",
+      "!(t1.League == t2.League & t1.City == t2.City & t1.Team != t2.Team "
+      "& t1.Year == t2.Year)",
+      "!(t1.Team == t2.Team & t1.Year == t2.Year & t1.Place != t2.Place)",
+      "!(t1.League == t2.League & t1.Year == t2.Year & t1.Place == "
+      "t2.Place & t1.City != t2.City)",
+      "!(t1.Country == t2.Country & t1.League != t2.League & t1.City == "
+      "t2.City)",
+      "!(t1.Team == t2.Team & t1.Place == t2.Place & t1.Year != t2.Year)",
+      "!(t1.City == t2.City & t1.Year == t2.Year & t1.Team != t2.Team & "
+      "t1.Place == t2.Place)",
+      "!(t1.League == t2.League & t1.Team == t2.Team & t1.City != "
+      "t2.City)",
+      "!(t1.Country == t2.Country & t1.Year == t2.Year & t1.League != "
+      "t2.League & t1.Place == t2.Place)",
+      "!(t1.Team == t2.Team & t1.City == t2.City & t1.Year != t2.Year & "
+      "t1.Place == t2.Place)",
+  };
+  std::size_t i = 0;
+  while (dcs.size() < k) {
+    auto dc = dc::ParseDc(extras[i % std::size(extras)], schema,
+                          "X" + std::to_string(i + 1));
+    if (!dc.ok()) std::abort();
+    dcs.Add(std::move(dc).value());
+    ++i;
+  }
+  return dcs.Subset((std::uint64_t{1} << k) - 1);
+}
+
+void ExactConstraintShapley(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  auto alg = data::MakeAlgorithm1();
+  const dc::DcSet dcs = GrowDcSet(k);
+  const Table dirty = data::SoccerDirtyTable();
+
+  std::size_t calls = 0;
+  for (auto _ : state) {
+    auto box = BlackBoxRepair::Make(alg.get(), dcs, dirty,
+                                    data::SoccerTargetCell());
+    if (!box.ok()) state.SkipWithError("box failed");
+    ConstraintGame game(&*box);
+    shap::ExactShapleyOptions options;
+    options.max_players = 22;
+    auto values = shap::ComputeExactShapley(game, options);
+    if (!values.ok()) state.SkipWithError("shapley failed");
+    benchmark::DoNotOptimize(values);
+    calls = box->num_algorithm_calls();
+  }
+  state.counters["blackbox_calls"] = static_cast<double>(calls);
+}
+BENCHMARK(ExactConstraintShapley)->DenseRange(4, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void SamplingCellShapley(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  auto generated = data::GenerateSoccer({.num_rows = rows, .seed = 5});
+  const Schema schema = generated.clean.schema();
+  data::ErrorInjectorOptions inject;
+  inject.error_rate = 0.10;
+  inject.weight_swap = 1.0;  // swaps only: detectable & repairable
+  inject.weight_typo = 0.0;
+  inject.weight_missing = 0.0;
+  inject.columns = {*schema.IndexOf("Country")};
+  inject.seed = 6;
+  auto injected = data::InjectErrors(generated.clean, inject);
+  auto alg = data::MakeAlgorithm1();
+
+  CellExplainerOptions options;
+  options.num_samples = 3;  // fixed tiny m: measure per-sweep cost
+  options.policy = AbsentCellPolicy::kNull;
+  options.method = CellMethod::kSampling;
+  options.seed = 7;
+  CellExplainer explainer(options);
+
+  // Find an injected error the algorithm actually repairs back.
+  CellRef target{};
+  bool found = false;
+  for (const RepairedCell& error : injected.injected) {
+    auto ex =
+        explainer.Explain(*alg, generated.dcs, injected.dirty, error.cell);
+    if (ex.ok()) {
+      target = error.cell;
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    state.SkipWithError("no repaired error cell to explain");
+    return;
+  }
+
+  std::size_t players = 0;
+  for (auto _ : state) {
+    auto ex = explainer.Explain(*alg, generated.dcs, injected.dirty,
+                                target);
+    if (!ex.ok()) {
+      state.SkipWithError(ex.status().ToString().c_str());
+      return;
+    }
+    players = ex->ranked.size();
+    benchmark::DoNotOptimize(ex);
+  }
+  state.counters["players"] = static_cast<double>(players);
+}
+BENCHMARK(SamplingCellShapley)->RangeMultiplier(2)->Range(16, 64)
+    ->Unit(benchmark::kMillisecond);
+
+template <typename Alg>
+void RepairCost(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  auto generated = data::GenerateSoccer({.num_rows = rows, .seed = 11});
+  data::ErrorInjectorOptions inject;
+  inject.error_rate = 0.03;
+  inject.seed = 12;
+  auto injected = data::InjectErrors(generated.clean, inject);
+  Alg alg;
+  for (auto _ : state) {
+    auto repaired = alg.Repair(generated.dcs, injected.dirty);
+    if (!repaired.ok()) state.SkipWithError("repair failed");
+    benchmark::DoNotOptimize(repaired);
+  }
+}
+BENCHMARK(RepairCost<repair::HoloCleanRepair>)
+    ->RangeMultiplier(2)->Range(32, 256)->Unit(benchmark::kMillisecond)
+    ->Name("RepairHoloClean");
+BENCHMARK(RepairCost<repair::HolisticRepair>)
+    ->RangeMultiplier(2)->Range(32, 256)->Unit(benchmark::kMillisecond)
+    ->Name("RepairHolistic");
+BENCHMARK(RepairCost<repair::FdRepair>)
+    ->RangeMultiplier(2)->Range(32, 256)->Unit(benchmark::kMillisecond)
+    ->Name("RepairFd");
+
+void RuleRepairCost(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  auto generated = data::GenerateSoccer({.num_rows = rows, .seed = 11});
+  data::ErrorInjectorOptions inject;
+  inject.error_rate = 0.03;
+  inject.seed = 12;
+  auto injected = data::InjectErrors(generated.clean, inject);
+  auto alg = data::MakeAlgorithm1();
+  for (auto _ : state) {
+    auto repaired = alg->Repair(generated.dcs, injected.dirty);
+    if (!repaired.ok()) state.SkipWithError("repair failed");
+    benchmark::DoNotOptimize(repaired);
+  }
+}
+BENCHMARK(RuleRepairCost)->RangeMultiplier(2)->Range(32, 256)
+    ->Unit(benchmark::kMillisecond)->Name("RepairAlgorithm1");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+// DC workbench: load any CSV table and a text file of denial
+// constraints, list violations, repair with a chosen algorithm, and
+// explain a chosen cell — a minimal CLI rendition of the T-REx input
+// screen (paper Figure 3a).
+//
+// Usage:
+//   dc_workbench                          # runs on the bundled demo data
+//   dc_workbench table.csv dcs.txt [tN[Attr]]
+//
+// The DC file holds one constraint per line, e.g.
+//   C1: !(t1.Team == t2.Team & t1.City != t2.City)
+// (# comments allowed; ∀/¬/∧/≠ spellings accepted.)
+
+#include <cstdio>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/report.h"
+#include "core/session.h"
+#include "data/soccer.h"
+#include "dc/parser.h"
+#include "dc/violation.h"
+#include "table/csv.h"
+
+namespace {
+
+using namespace trex;  // NOLINT
+
+/// Parses "t5[Country]" into a CellRef (1-based row, named attribute).
+Result<CellRef> ParseCellName(const std::string& name,
+                              const Schema& schema) {
+  const std::size_t bracket = name.find('[');
+  if (name.size() < 4 || name[0] != 't' || bracket == std::string::npos ||
+      name.back() != ']') {
+    return Status::InvalidArgument("expected tN[Attr], got '" + name +
+                                   "'");
+  }
+  TREX_ASSIGN_OR_RETURN(std::int64_t row,
+                        ParseInt64(name.substr(1, bracket - 1)));
+  if (row < 1) return Status::InvalidArgument("rows are 1-based");
+  const std::string attr =
+      name.substr(bracket + 1, name.size() - bracket - 2);
+  TREX_ASSIGN_OR_RETURN(std::size_t col, schema.IndexOf(attr));
+  return CellRef{static_cast<std::size_t>(row - 1), col};
+}
+
+int Run(const Table& table, const dc::DcSet& dcs,
+        const std::string& cell_name) {
+  TablePrinter printer;
+  std::printf("input table (%zu rows x %zu columns):\n%s\n",
+              table.num_rows(), table.num_columns(),
+              printer.Render(table).c_str());
+
+  std::printf("constraints:\n");
+  for (const auto& dc : dcs.constraints()) {
+    std::printf("  %s: %s\n", dc.name().c_str(),
+                dc.ToPrettyString(table.schema()).c_str());
+  }
+
+  const auto violations = dc::FindViolations(table, dcs);
+  std::printf("\n%zu violation(s):\n", violations.size());
+  for (const auto& v : violations) {
+    std::printf("  %s\n", v.ToString(dcs).c_str());
+  }
+  if (violations.empty()) {
+    std::printf("table is consistent — nothing to repair.\n");
+    return 0;
+  }
+
+  TRexSession session(data::MakeAlgorithm1(), dcs, table);
+  if (auto status = session.Repair(); !status.ok()) {
+    std::fprintf(stderr, "repair failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\n%s\n", RenderRepairScreen(session).c_str());
+
+  // Explain the requested cell (or the first repaired one).
+  CellRef target{};
+  if (!cell_name.empty()) {
+    auto parsed = ParseCellName(cell_name, table.schema());
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    target = *parsed;
+  } else if (!session.repaired_cells().empty()) {
+    target = session.repaired_cells().front().cell;
+  } else {
+    std::printf("no repaired cells to explain.\n");
+    return 0;
+  }
+
+  auto ex = session.ExplainConstraints(target);
+  if (!ex.ok()) {
+    std::fprintf(stderr, "explain failed: %s\n",
+                 ex.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", RenderRanking(*ex).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 1) {
+    std::printf("(no arguments: running on the bundled La Liga demo "
+                "data; pass <table.csv> <dcs.txt> [tN[Attr]])\n\n");
+    return Run(data::SoccerDirtyTable(), data::SoccerConstraints(),
+               "t5[Country]");
+  }
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s [table.csv dcs.txt [tN[Attr]]]\n", argv[0]);
+    return 2;
+  }
+  auto table = ReadCsvFile(argv[1]);
+  if (!table.ok()) {
+    std::fprintf(stderr, "%s\n", table.status().ToString().c_str());
+    return 1;
+  }
+  std::FILE* dc_file = std::fopen(argv[2], "rb");
+  if (dc_file == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::string dc_text;
+  char buffer[4096];
+  std::size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), dc_file)) > 0) {
+    dc_text.append(buffer, read);
+  }
+  std::fclose(dc_file);
+  auto dcs = dc::ParseDcSet(dc_text, table->schema());
+  if (!dcs.ok()) {
+    std::fprintf(stderr, "%s\n", dcs.status().ToString().c_str());
+    return 1;
+  }
+  return Run(*table, *dcs, argc > 3 ? argv[3] : "");
+}

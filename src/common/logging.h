@@ -1,0 +1,99 @@
+// Minimal stream-based logging and assertion macros.
+//
+// `TREX_LOG(INFO) << ...` writes a timestamped line to stderr when the
+// global log level admits it. `TREX_CHECK(cond)` aborts with a diagnostic
+// when `cond` is false; `TREX_DCHECK` compiles out in NDEBUG builds. These
+// are for programmer errors only — recoverable conditions use Status.
+
+#ifndef TREX_COMMON_LOGGING_H_
+#define TREX_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace trex {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the minimum level that is actually emitted (default: kWarning, so
+/// library internals stay quiet in tests and benchmarks).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it on destruction. When
+/// `fatal` is true the destructor aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the log level filters it out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define TREX_LOG_DEBUG ::trex::LogLevel::kDebug
+#define TREX_LOG_INFO ::trex::LogLevel::kInfo
+#define TREX_LOG_WARNING ::trex::LogLevel::kWarning
+#define TREX_LOG_ERROR ::trex::LogLevel::kError
+
+/// Usage: TREX_LOG(INFO) << "message" << value;
+#define TREX_LOG(severity)                                      \
+  if (TREX_LOG_##severity < ::trex::GetLogLevel()) {            \
+  } else                                                        \
+    ::trex::internal::LogMessage(TREX_LOG_##severity, __FILE__, \
+                                 __LINE__)                      \
+        .stream()
+
+/// Aborts the process with a diagnostic when `condition` is false.
+#define TREX_CHECK(condition)                                             \
+  if (condition) {                                                        \
+  } else                                                                  \
+    ::trex::internal::LogMessage(::trex::LogLevel::kFatal, __FILE__,      \
+                                 __LINE__, /*fatal=*/true)                \
+            .stream()                                                     \
+        << "Check failed: " #condition " "
+
+#define TREX_CHECK_EQ(a, b) TREX_CHECK((a) == (b))
+#define TREX_CHECK_NE(a, b) TREX_CHECK((a) != (b))
+#define TREX_CHECK_LT(a, b) TREX_CHECK((a) < (b))
+#define TREX_CHECK_LE(a, b) TREX_CHECK((a) <= (b))
+#define TREX_CHECK_GT(a, b) TREX_CHECK((a) > (b))
+#define TREX_CHECK_GE(a, b) TREX_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define TREX_DCHECK(condition) \
+  while (false) TREX_CHECK(condition)
+#else
+#define TREX_DCHECK(condition) TREX_CHECK(condition)
+#endif
+
+}  // namespace trex
+
+#endif  // TREX_COMMON_LOGGING_H_

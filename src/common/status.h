@@ -1,0 +1,194 @@
+// Status / Result error-handling primitives for the T-REx library.
+//
+// The library does not throw exceptions across its public API; fallible
+// operations return `Status` (no payload) or `Result<T>` (payload or error),
+// in the style of Apache Arrow's `arrow::Status`/`arrow::Result` and
+// RocksDB's `rocksdb::Status`.
+
+#ifndef TREX_COMMON_STATUS_H_
+#define TREX_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace trex {
+
+/// Machine-readable category of an error.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kNotImplemented,
+  kParseError,
+  kIOError,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code (e.g. "Invalid
+/// argument").
+const char* StatusCodeToString(StatusCode code);
+
+/// An operation outcome: either OK, or an error code plus message.
+///
+/// `Status` is cheap to copy in the OK case (no allocation) and carries a
+/// heap-allocated message otherwise. It is totally ordered on (code,
+/// message) so it can live in containers in tests.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `kOk` unless `message` is empty.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status category.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders e.g. "Invalid argument: bad column name" or "OK".
+  std::string ToString() const;
+
+  /// Returns a copy of this status with `prefix + ": "` prepended to the
+  /// message. OK statuses are returned unchanged.
+  Status WithPrefix(const std::string& prefix) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value of type `T`, or the `Status` explaining why it is absent.
+///
+/// Typical use:
+/// ```
+///   Result<Table> table = CsvReader::ReadFile(path);
+///   if (!table.ok()) return table.status();
+///   Use(*table);
+/// ```
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so `return value;` works).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status. `status.ok()` must be false; storing
+  /// an OK status without a value is a programming error reported as
+  /// kInternal.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK if a value is present.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(repr_);
+  }
+
+  /// Value access. Must only be called when `ok()`.
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or aborts with the error message. Intended for
+  /// tests and examples where failure is not recoverable.
+  T ValueOrDie() &&;
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T ValueOr(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+T Result<T>::ValueOrDie() && {
+  if (!ok()) internal::DieOnBadResult(status());
+  return std::get<T>(std::move(repr_));
+}
+
+/// Propagates an error status from a `Status`-returning expression.
+#define TREX_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::trex::Status _trex_status = (expr);         \
+    if (!_trex_status.ok()) return _trex_status;  \
+  } while (false)
+
+#define TREX_CONCAT_IMPL(x, y) x##y
+#define TREX_CONCAT(x, y) TREX_CONCAT_IMPL(x, y)
+
+/// Evaluates a `Result<T>`-returning expression; on success binds the value
+/// to `lhs`, on failure returns the error status from the enclosing
+/// function.
+#define TREX_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  TREX_ASSIGN_OR_RETURN_IMPL(TREX_CONCAT(_trex_result_, __LINE__), \
+                             lhs, rexpr)
+
+#define TREX_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                               \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = std::move(result_name).value()
+
+}  // namespace trex
+
+#endif  // TREX_COMMON_STATUS_H_

@@ -1,0 +1,135 @@
+#include "core/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace trex {
+namespace {
+
+/// Ranks (0-based positions) of each label in an explanation's order.
+std::map<std::string, std::size_t> RankOf(const Explanation& ex) {
+  std::map<std::string, std::size_t> ranks;
+  for (std::size_t i = 0; i < ex.ranked.size(); ++i) {
+    ranks.emplace(ex.ranked[i].label, i);
+  }
+  return ranks;
+}
+
+}  // namespace
+
+Result<ExplanationComparison> CompareExplanations(const Explanation& before,
+                                                  const Explanation& after,
+                                                  std::size_t top_k) {
+  const auto rank_before = RankOf(before);
+  const auto rank_after = RankOf(after);
+  std::map<std::string, double> value_before;
+  for (const PlayerScore& p : before.ranked) {
+    value_before[p.label] = p.shapley;
+  }
+  std::map<std::string, double> value_after;
+  for (const PlayerScore& p : after.ranked) value_after[p.label] = p.shapley;
+
+  std::vector<std::string> common;
+  for (const auto& [label, rank] : rank_before) {
+    (void)rank;
+    if (rank_after.count(label) > 0) common.push_back(label);
+  }
+  if (common.size() < 2) {
+    return Status::InvalidArgument(
+        "explanations share fewer than two players");
+  }
+
+  ExplanationComparison out;
+  out.common_players = common.size();
+
+  // Kendall tau-b over the common players' (before, after) rank pairs.
+  std::size_t concordant = 0;
+  std::size_t discordant = 0;
+  std::size_t ties_before = 0;
+  std::size_t ties_after = 0;
+  for (std::size_t i = 0; i < common.size(); ++i) {
+    for (std::size_t j = i + 1; j < common.size(); ++j) {
+      const double db = value_before.at(common[i]) -
+                        value_before.at(common[j]);
+      const double da = value_after.at(common[i]) -
+                        value_after.at(common[j]);
+      if (db == 0 && da == 0) continue;
+      if (db == 0) {
+        ++ties_before;
+      } else if (da == 0) {
+        ++ties_after;
+      } else if ((db > 0) == (da > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(concordant + discordant +
+                                        ties_before + ties_after);
+  const double denom =
+      std::sqrt((n0 - ties_before) * (n0 - ties_after));
+  out.kendall_tau =
+      denom == 0 ? 0.0
+                 : (static_cast<double>(concordant) -
+                    static_cast<double>(discordant)) /
+                       denom;
+
+  // Spearman rho over rank positions (within the common subset,
+  // re-ranked by value to handle subset extraction consistently).
+  auto rerank = [&common](const std::map<std::string, double>& values) {
+    std::vector<std::string> order = common;
+    std::stable_sort(order.begin(), order.end(),
+                     [&values](const std::string& a, const std::string& b) {
+                       return values.at(a) > values.at(b);
+                     });
+    std::map<std::string, double> ranks;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      ranks[order[i]] = static_cast<double>(i);
+    }
+    return ranks;
+  };
+  const auto r1 = rerank(value_before);
+  const auto r2 = rerank(value_after);
+  double d2_sum = 0;
+  for (const std::string& label : common) {
+    const double d = r1.at(label) - r2.at(label);
+    d2_sum += d * d;
+  }
+  const double n = static_cast<double>(common.size());
+  out.spearman_rho = 1.0 - 6.0 * d2_sum / (n * (n * n - 1.0));
+
+  // Top-k Jaccard.
+  const std::size_t k = std::max<std::size_t>(1, top_k);
+  std::set<std::string> top_before;
+  for (const PlayerScore& p : before.ranked) {
+    if (top_before.size() >= k) break;
+    top_before.insert(p.label);
+  }
+  std::set<std::string> top_after;
+  for (const PlayerScore& p : after.ranked) {
+    if (top_after.size() >= k) break;
+    top_after.insert(p.label);
+  }
+  std::size_t inter = 0;
+  for (const std::string& label : top_before) {
+    if (top_after.count(label) > 0) ++inter;
+  }
+  const std::size_t uni = top_before.size() + top_after.size() - inter;
+  out.topk_jaccard =
+      uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+
+  // Mean absolute Shapley shift.
+  double shift = 0;
+  for (const std::string& label : common) {
+    shift += std::fabs(value_before.at(label) - value_after.at(label));
+  }
+  out.mean_abs_shift = shift / n;
+  return out;
+}
+
+}  // namespace trex

@@ -1,0 +1,77 @@
+#include "core/counterfactual.h"
+
+#include <algorithm>
+
+namespace trex::shap {
+namespace {
+
+/// True iff `small` ⊆ `large` (both sorted ascending).
+bool IsSubset(const std::vector<std::size_t>& small,
+              const std::vector<std::size_t>& large) {
+  return std::includes(large.begin(), large.end(), small.begin(),
+                       small.end());
+}
+
+/// Emits all size-k subsets of {0..n-1} in lexicographic order.
+template <typename Fn>
+void ForEachSubset(std::size_t n, std::size_t k, Fn&& fn) {
+  std::vector<std::size_t> indices(k);
+  for (std::size_t i = 0; i < k; ++i) indices[i] = i;
+  for (;;) {
+    fn(indices);
+    // Advance to the next combination.
+    std::size_t i = k;
+    while (i > 0) {
+      --i;
+      if (indices[i] != i + n - k) {
+        ++indices[i];
+        for (std::size_t j = i + 1; j < k; ++j) {
+          indices[j] = indices[j - 1] + 1;
+        }
+        break;
+      }
+      if (i == 0) return;
+    }
+    if (k == 0) return;
+  }
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<std::size_t>>> MinimalRemovalSets(
+    const Game& game, const CounterfactualOptions& options) {
+  const std::size_t n = game.num_players();
+  if (n == 0) {
+    return Status::InvalidArgument("game has no players");
+  }
+  if (n > options.max_players) {
+    return Status::InvalidArgument(
+        "removal-set search over " + std::to_string(n) +
+        " players exceeds the configured cap of " +
+        std::to_string(options.max_players));
+  }
+  Coalition everyone(n, true);
+  if (game.Value(everyone) == 0.0) {
+    return Status::InvalidArgument(
+        "v(N) is already 0 — nothing to counterfactually remove");
+  }
+
+  std::vector<std::vector<std::size_t>> minimal;
+  const std::size_t max_size = std::min(options.max_set_size, n);
+  for (std::size_t size = 1; size <= max_size; ++size) {
+    ForEachSubset(n, size, [&](const std::vector<std::size_t>& removal) {
+      // Minimality: skip supersets of already-found sets.
+      for (const auto& found : minimal) {
+        if (IsSubset(found, removal)) return;
+      }
+      Coalition coalition(n, true);
+      for (std::size_t player : removal) coalition[player] = false;
+      if (game.Value(coalition) == 0.0) {
+        minimal.push_back(removal);
+      }
+    });
+  }
+  return minimal;
+}
+
+}  // namespace trex::shap

@@ -1,0 +1,38 @@
+// Counterfactual constraint explanations: the *minimal removal sets*.
+//
+// Shapley values rank constraints by average marginal contribution; the
+// complementary actionable question in the demo loop is "what is the
+// least I must remove so this repair stops happening?". A removal set R
+// is a constraint subset with Alg|t[A](C \ R, T^d) = 0; we enumerate the
+// inclusion-minimal ones. For the paper's running example they are
+// {C1, C3} and {C2, C3}: C3 must go, together with either half of the
+// C1-C2 pipeline — exactly the structure Examples 2.3/1.1 describe in
+// prose.
+
+#ifndef TREX_CORE_COUNTERFACTUAL_H_
+#define TREX_CORE_COUNTERFACTUAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/game.h"
+
+namespace trex::shap {
+
+/// Options for removal-set enumeration.
+struct CounterfactualOptions {
+  /// Largest removal-set size searched (cost grows as C(n, size)).
+  std::size_t max_set_size = 3;
+  /// Player cap (each candidate costs one characteristic evaluation).
+  std::size_t max_players = 20;
+};
+
+/// Enumerates inclusion-minimal player sets R with v(N \ R) = 0, in
+/// increasing size then lexicographic order. Requires v(N) != 0 (there
+/// must be something to counterfactually destroy); fails otherwise.
+Result<std::vector<std::vector<std::size_t>>> MinimalRemovalSets(
+    const Game& game, const CounterfactualOptions& options = {});
+
+}  // namespace trex::shap
+
+#endif  // TREX_CORE_COUNTERFACTUAL_H_

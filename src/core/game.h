@@ -1,0 +1,42 @@
+// The cooperative-game abstraction the Shapley machinery runs on.
+//
+// A game is a set of `n` players plus a characteristic function
+// `v : 2^N -> R` with `v(∅) = 0` (paper §2.2). T-REx instantiates it twice
+// — players = denial constraints, and players = table cells — but the
+// solvers in shapley_exact.h / shapley_sampling.h work for any game, and
+// the tests exercise them on classic game-theory examples (glove games,
+// weighted majority, airport games).
+
+#ifndef TREX_CORE_GAME_H_
+#define TREX_CORE_GAME_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace trex::shap {
+
+/// A coalition: membership flags indexed by player.
+using Coalition = std::vector<bool>;
+
+/// Abstract cooperative game with a real-valued characteristic function.
+///
+/// Implementations must be deterministic: equal coalitions must get equal
+/// values, or Shapley values are ill-defined. `Value` may be expensive
+/// (T-REx's games run a full table repair per call) — solvers treat calls
+/// as the unit of cost and memoize where possible.
+class Game {
+ public:
+  virtual ~Game() = default;
+
+  /// Number of players `n`.
+  virtual std::size_t num_players() const = 0;
+
+  /// Characteristic function. `coalition.size() == num_players()`;
+  /// `Value` of the empty coalition must be 0 for the Shapley efficiency
+  /// axiom to read as usual.
+  virtual double Value(const Coalition& coalition) const = 0;
+};
+
+}  // namespace trex::shap
+
+#endif  // TREX_CORE_GAME_H_

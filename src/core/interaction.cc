@@ -1,0 +1,95 @@
+#include "core/interaction.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace trex::shap {
+namespace {
+
+/// Materializes v over all coalitions (shared with the exact-Shapley
+/// path; duplicated here to keep the modules independent).
+Result<std::vector<double>> MaterializeValues(const Game& game,
+                                              std::size_t max_players) {
+  const std::size_t n = game.num_players();
+  if (n > max_players) {
+    return Status::InvalidArgument(
+        "interaction indices over " + std::to_string(n) +
+        " players exceed the configured cap of " +
+        std::to_string(max_players));
+  }
+  const std::size_t num_masks = std::size_t{1} << n;
+  std::vector<double> v(num_masks);
+  Coalition coalition(n, false);
+  for (std::size_t mask = 0; mask < num_masks; ++mask) {
+    for (std::size_t i = 0; i < n; ++i) coalition[i] = (mask >> i) & 1;
+    v[mask] = game.Value(coalition);
+  }
+  return v;
+}
+
+/// Positional weights |S|!(n-|S|-2)!/(n-1)! = 1 / ((n-1) · C(n-2, s)).
+std::vector<double> PairWeights(std::size_t n) {
+  TREX_CHECK_GE(n, 2u);
+  std::vector<double> binom(n - 1, 1.0);  // C(n-2, s) for s = 0..n-2
+  for (std::size_t s = 1; s <= n - 2; ++s) {
+    binom[s] = binom[s - 1] * static_cast<double>(n - 1 - s) /
+               static_cast<double>(s);
+  }
+  std::vector<double> weight(n - 1);
+  for (std::size_t s = 0; s <= n - 2; ++s) {
+    weight[s] = 1.0 / (static_cast<double>(n - 1) * binom[s]);
+  }
+  return weight;
+}
+
+double PairInteraction(const std::vector<double>& v,
+                       const std::vector<double>& weight, std::size_t a,
+                       std::size_t b) {
+  const std::size_t bit_a = std::size_t{1} << a;
+  const std::size_t bit_b = std::size_t{1} << b;
+  const std::size_t num_masks = v.size();
+  double total = 0.0;
+  for (std::size_t mask = 0; mask < num_masks; ++mask) {
+    if (mask & (bit_a | bit_b)) continue;  // S must exclude both
+    const std::size_t s = static_cast<std::size_t>(std::popcount(mask));
+    const double delta = v[mask | bit_a | bit_b] - v[mask | bit_a] -
+                         v[mask | bit_b] + v[mask];
+    total += weight[s] * delta;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<std::vector<Interaction>> ComputeShapleyInteractions(
+    const Game& game, const InteractionOptions& options) {
+  const std::size_t n = game.num_players();
+  if (n < 2) return std::vector<Interaction>{};
+  TREX_ASSIGN_OR_RETURN(std::vector<double> v,
+                        MaterializeValues(game, options.max_players));
+  const std::vector<double> weight = PairWeights(n);
+  std::vector<Interaction> out;
+  out.reserve(n * (n - 1) / 2);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      out.push_back(Interaction{a, b, PairInteraction(v, weight, a, b)});
+    }
+  }
+  return out;
+}
+
+Result<double> ComputeShapleyInteraction(const Game& game,
+                                         std::size_t player_a,
+                                         std::size_t player_b,
+                                         const InteractionOptions& options) {
+  const std::size_t n = game.num_players();
+  if (player_a >= n || player_b >= n || player_a == player_b) {
+    return Status::InvalidArgument("invalid player pair");
+  }
+  TREX_ASSIGN_OR_RETURN(std::vector<double> v,
+                        MaterializeValues(game, options.max_players));
+  return PairInteraction(v, PairWeights(n), player_a, player_b);
+}
+
+}  // namespace trex::shap

@@ -1,0 +1,55 @@
+// Shapley interaction indices: how much two players contribute *as a
+// pair*, beyond their individual contributions.
+//
+// The paper's Example 2.3 reasons exactly in these terms: "the
+// contribution of C1 and C2, as a pair, is half that of C3" — C1 and C2
+// are individually useless for the t5[Country] repair but jointly carry
+// it. The (pairwise) Shapley interaction index of Grabisch & Roubens
+// formalizes this:
+//
+//   I(i,j) = Σ_{S ⊆ N\{i,j}}  |S|!(n-|S|-2)! / (n-1)!
+//            · ( v(S∪{i,j}) − v(S∪{i}) − v(S∪{j}) + v(S) )
+//
+// Positive I(i,j): complements (like C1 & C2); negative: substitutes
+// (like C3 vs the C1C2 pipeline — each makes the other redundant);
+// zero: independent (anything involving C4).
+
+#ifndef TREX_CORE_INTERACTION_H_
+#define TREX_CORE_INTERACTION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/game.h"
+
+namespace trex::shap {
+
+/// One pair's interaction value.
+struct Interaction {
+  std::size_t player_a = 0;
+  std::size_t player_b = 0;
+  double value = 0.0;
+};
+
+/// Options for exact interaction computation (2^n coalition values are
+/// materialized, as for exact Shapley).
+struct InteractionOptions {
+  std::size_t max_players = 20;
+};
+
+/// Exact pairwise Shapley interaction indices for all player pairs
+/// (a < b), via subset enumeration. Fails when the game exceeds
+/// `options.max_players`.
+Result<std::vector<Interaction>> ComputeShapleyInteractions(
+    const Game& game, const InteractionOptions& options = {});
+
+/// Exact interaction index for one pair.
+Result<double> ComputeShapleyInteraction(const Game& game,
+                                         std::size_t player_a,
+                                         std::size_t player_b,
+                                         const InteractionOptions& options = {});
+
+}  // namespace trex::shap
+
+#endif  // TREX_CORE_INTERACTION_H_

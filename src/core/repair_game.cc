@@ -1,0 +1,99 @@
+#include "core/repair_game.h"
+
+#include "common/logging.h"
+#include "table/diff.h"
+
+namespace trex {
+
+Result<BlackBoxRepair> BlackBoxRepair::Make(
+    const repair::RepairAlgorithm* algorithm, dc::DcSet dcs, Table dirty,
+    CellRef target) {
+  if (algorithm == nullptr) {
+    return Status::InvalidArgument("algorithm must not be null");
+  }
+  if (target.row >= dirty.num_rows() || target.col >= dirty.num_columns()) {
+    return Status::OutOfRange("target cell " + target.ToString() +
+                              " outside the table");
+  }
+  BlackBoxRepair box;
+  box.algorithm_ = algorithm;
+  box.dcs_ = std::move(dcs);
+  box.dirty_ = std::move(dirty);
+  box.target_ = target;
+  TREX_ASSIGN_OR_RETURN(box.clean_,
+                        algorithm->Repair(box.dcs_, box.dirty_));
+  box.calls_ = 1;
+  box.clean_target_value_ = box.clean_.at(target);
+  const Value& dirty_value = box.dirty_.at(target);
+  const bool both_null =
+      dirty_value.is_null() && box.clean_target_value_.is_null();
+  box.target_was_repaired_ =
+      !both_null && (dirty_value.is_null() ||
+                     box.clean_target_value_.is_null() ||
+                     dirty_value != box.clean_target_value_);
+  return box;
+}
+
+bool BlackBoxRepair::Outcome(const Table& repaired) const {
+  const Value& got = repaired.at(target_);
+  if (got.is_null() || clean_target_value_.is_null()) {
+    return got.is_null() && clean_target_value_.is_null();
+  }
+  return got == clean_target_value_;
+}
+
+bool BlackBoxRepair::EvalConstraintSubset(std::uint64_t mask) const {
+  if (cache_enabled_) {
+    auto it = mask_cache_.find(mask);
+    if (it != mask_cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  const dc::DcSet subset = dcs_.Subset(mask);
+  auto repaired = algorithm_->Repair(subset, dirty_);
+  TREX_CHECK(repaired.ok()) << "repair failed on constraint subset: "
+                            << repaired.status().ToString();
+  ++calls_;
+  const bool outcome = Outcome(*repaired);
+  if (cache_enabled_) mask_cache_.emplace(mask, outcome);
+  return outcome;
+}
+
+bool BlackBoxRepair::EvalTable(const Table& perturbed) const {
+  const std::uint64_t fingerprint = perturbed.Fingerprint();
+  if (cache_enabled_) {
+    auto it = table_cache_.find(fingerprint);
+    if (it != table_cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  auto repaired = algorithm_->Repair(dcs_, perturbed);
+  TREX_CHECK(repaired.ok()) << "repair failed on perturbed table: "
+                            << repaired.status().ToString();
+  ++calls_;
+  const bool outcome = Outcome(*repaired);
+  if (cache_enabled_) table_cache_.emplace(fingerprint, outcome);
+  return outcome;
+}
+
+double ConstraintGame::Value(const shap::Coalition& coalition) const {
+  TREX_CHECK_EQ(coalition.size(), num_players());
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < coalition.size(); ++i) {
+    if (coalition[i]) mask |= std::uint64_t{1} << i;
+  }
+  return box_->EvalConstraintSubset(mask) ? 1.0 : 0.0;
+}
+
+double CellGame::Value(const shap::Coalition& coalition) const {
+  TREX_CHECK_EQ(coalition.size(), players_.size());
+  Table perturbed = box_->dirty();
+  for (std::size_t i = 0; i < players_.size(); ++i) {
+    if (!coalition[i]) perturbed.Set(players_[i], Value::Null());
+  }
+  return box_->EvalTable(perturbed) ? 1.0 : 0.0;
+}
+
+}  // namespace trex

@@ -1,0 +1,128 @@
+// The black-box repair games: T-REx's bridge between a `RepairAlgorithm`
+// and the generic Shapley solvers.
+//
+// `BlackBoxRepair` wraps one explanation instance — (Alg, C, T^d, target
+// cell t^d[A]) — and exposes the paper's binary characteristic function
+//
+//     Alg|t[A](C', T') = 1  iff  Alg(C', T') writes the *reference* clean
+//                              value T^c[t[A]] into the target cell,
+//
+// where T^c = Alg(C, T^d) is computed once up front. Calls are memoized
+// (constraint subsets by bitmask, perturbed tables by content
+// fingerprint) and counted, since each evaluation is a full repair run —
+// the unit of cost in the paper's §2.3 and in bench_ablation.
+//
+// `ConstraintGame` (players = DCs, table fixed) and `CellGame` (players =
+// cells nulled in/out, DCs fixed) adapt it to `shap::Game`.
+
+#ifndef TREX_CORE_REPAIR_GAME_H_
+#define TREX_CORE_REPAIR_GAME_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/game.h"
+#include "dc/constraint.h"
+#include "repair/algorithm.h"
+#include "table/table.h"
+
+namespace trex {
+
+/// Memoized evaluator of the binary repair outcome (see file comment).
+class BlackBoxRepair {
+ public:
+  /// Runs the reference repair `Alg(dcs, dirty)` and captures the clean
+  /// value of `target`. Fails when the algorithm fails. Note: the target
+  /// need not have changed — `target_was_repaired()` reports that, and
+  /// explainers reject unrepaired targets.
+  static Result<BlackBoxRepair> Make(
+      const repair::RepairAlgorithm* algorithm, dc::DcSet dcs, Table dirty,
+      CellRef target);
+
+  const Table& dirty() const { return dirty_; }
+  const Table& reference_clean() const { return clean_; }
+  const dc::DcSet& dcs() const { return dcs_; }
+  const repair::RepairAlgorithm& algorithm() const { return *algorithm_; }
+  CellRef target() const { return target_; }
+
+  /// True iff the reference repair changed the target cell.
+  bool target_was_repaired() const { return target_was_repaired_; }
+
+  /// Alg|t[A] with the constraint subset selected by `mask` (bit i keeps
+  /// constraint i) and the unperturbed dirty table.
+  bool EvalConstraintSubset(std::uint64_t mask) const;
+
+  /// Alg|t[A] with the full constraint set and a perturbed table.
+  bool EvalTable(const Table& perturbed) const;
+
+  /// Total underlying algorithm invocations (cache misses), including the
+  /// reference run.
+  std::size_t num_algorithm_calls() const { return calls_; }
+  /// Evaluations answered from the memo tables.
+  std::size_t num_cache_hits() const { return hits_; }
+
+  /// Disables memoization (ablation experiments).
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+
+ private:
+  BlackBoxRepair() = default;
+
+  bool Outcome(const Table& repaired) const;
+
+  const repair::RepairAlgorithm* algorithm_ = nullptr;
+  dc::DcSet dcs_;
+  Table dirty_;
+  Table clean_;
+  CellRef target_;
+  Value clean_target_value_;
+  bool target_was_repaired_ = false;
+  bool cache_enabled_ = true;
+
+  mutable std::unordered_map<std::uint64_t, bool> mask_cache_;
+  mutable std::unordered_map<std::uint64_t, bool> table_cache_;
+  mutable std::size_t calls_ = 0;
+  mutable std::size_t hits_ = 0;
+};
+
+/// Cooperative game whose players are the denial constraints (paper
+/// §2.2, first adaptation). The table stays fixed at T^d.
+class ConstraintGame : public shap::Game {
+ public:
+  explicit ConstraintGame(const BlackBoxRepair* box) : box_(box) {}
+
+  std::size_t num_players() const override { return box_->dcs().size(); }
+  double Value(const shap::Coalition& coalition) const override;
+
+ private:
+  const BlackBoxRepair* box_;
+};
+
+/// Cooperative game whose players are table cells (paper §2.2, second
+/// adaptation): cells absent from a coalition are nulled out, the
+/// constraint set stays fixed.
+///
+/// `players` may be a subset of all cells (relevant-cell pruning); cells
+/// outside the player list keep their original values — sound when the
+/// excluded cells are dummy players under the algorithm's influence
+/// graph.
+class CellGame : public shap::Game {
+ public:
+  CellGame(const BlackBoxRepair* box, std::vector<CellRef> players)
+      : box_(box), players_(std::move(players)) {}
+
+  std::size_t num_players() const override { return players_.size(); }
+  double Value(const shap::Coalition& coalition) const override;
+
+  const std::vector<CellRef>& players() const { return players_; }
+
+ private:
+  const BlackBoxRepair* box_;
+  std::vector<CellRef> players_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_CORE_REPAIR_GAME_H_

@@ -1,0 +1,200 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace trex {
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderRanking(const Explanation& explanation,
+                          const ReportOptions& options) {
+  const std::size_t count =
+      options.top_k == 0
+          ? explanation.ranked.size()
+          : std::min(options.top_k, explanation.ranked.size());
+
+  double max_abs = 0;
+  for (const PlayerScore& p : explanation.ranked) {
+    max_abs = std::max(max_abs, std::fabs(p.shapley));
+  }
+
+  std::size_t label_width = 6;  // "player"
+  for (std::size_t i = 0; i < count; ++i) {
+    label_width = std::max(label_width, explanation.ranked[i].label.size());
+  }
+
+  std::string out;
+  out += StrFormat("explaining %s: %s -> %s   [%s]\n",
+                   explanation.target_label.c_str(),
+                   explanation.old_value.ToString().c_str(),
+                   explanation.new_value.ToString().c_str(),
+                   explanation.method.c_str());
+  out += StrFormat("%-4s  %-*s  %9s  %8s  %s\n", "rank",
+                   static_cast<int>(label_width), "player", "shapley",
+                   "stderr", "bar");
+  for (std::size_t i = 0; i < count; ++i) {
+    const PlayerScore& p = explanation.ranked[i];
+    const std::size_t bar_len =
+        max_abs <= 0 ? 0
+                     : static_cast<std::size_t>(std::lround(
+                           std::fabs(p.shapley) / max_abs *
+                           static_cast<double>(options.bar_width)));
+    const std::string stderr_text =
+        p.num_samples == 0 ? "-" : StrFormat("%.4f", p.std_error);
+    out += StrFormat("%-4zu  %-*s  %9.4f  %8s  %s\n", i + 1,
+                     static_cast<int>(label_width), p.label.c_str(),
+                     p.shapley, stderr_text.c_str(),
+                     std::string(bar_len, '#').c_str());
+  }
+  out += StrFormat("total attribution: %.4f   algorithm calls: %zu   "
+                   "cache hits: %zu\n",
+                   explanation.TotalAttribution(),
+                   explanation.algorithm_calls, explanation.cache_hits);
+  return out;
+}
+
+std::string RenderRepairScreen(const TRexSession& session,
+                               const ReportOptions& options) {
+  std::string out;
+  TablePrinter dirty_printer(options.printer);
+  for (const RepairedCell& repaired : session.repaired_cells()) {
+    dirty_printer.Highlight(repaired.cell, CellStyle::kDirty);
+  }
+  out += "dirty table (marked cells will be repaired):\n";
+  out += dirty_printer.Render(session.dirty());
+  out += "\nclean table (marked cells were repaired):\n";
+  TablePrinter clean_printer(options.printer);
+  for (const RepairedCell& repaired : session.repaired_cells()) {
+    clean_printer.Highlight(repaired.cell, CellStyle::kRepaired);
+  }
+  out += clean_printer.Render(session.clean());
+  out += "\nrepairs:\n";
+  for (const RepairedCell& repaired : session.repaired_cells()) {
+    out += "  " + repaired.ToString(session.dirty().schema()) + "\n";
+  }
+  return out;
+}
+
+std::string RenderCellHeatmap(const Table& dirty,
+                              const Explanation& explanation,
+                              const ReportOptions& options) {
+  double max_abs = 0;
+  for (const PlayerScore& p : explanation.ranked) {
+    max_abs = std::max(max_abs, std::fabs(p.shapley));
+  }
+  TablePrinter printer(options.printer);
+  for (const PlayerScore& p : explanation.ranked) {
+    if (!p.cell.has_value() || max_abs <= 0) continue;
+    const double intensity = std::fabs(p.shapley) / max_abs;
+    if (intensity >= 2.0 / 3.0) {
+      printer.Highlight(*p.cell, CellStyle::kHeatHigh);
+    } else if (intensity >= 1.0 / 3.0) {
+      printer.Highlight(*p.cell, CellStyle::kHeatMid);
+    } else if (intensity > 0.05) {
+      printer.Highlight(*p.cell, CellStyle::kHeatLow);
+    }
+  }
+  std::string out = "cell influence heatmap for " +
+                    explanation.target_label + ":\n";
+  out += printer.Render(dirty);
+  return out;
+}
+
+std::string RenderInteractions(
+    const std::vector<InteractionScore>& interactions, std::size_t top_k) {
+  const std::size_t count =
+      top_k == 0 ? interactions.size()
+                 : std::min(top_k, interactions.size());
+  std::string out = "constraint-pair interactions:\n";
+  for (std::size_t i = 0; i < count; ++i) {
+    const InteractionScore& score = interactions[i];
+    const char* kind = score.interaction > 1e-12
+                           ? "complements"
+                           : (score.interaction < -1e-12 ? "substitutes"
+                                                         : "independent");
+    out += StrFormat("  I(%s, %s) = %+.4f  (%s)\n",
+                     score.label_a.c_str(), score.label_b.c_str(),
+                     score.interaction, kind);
+  }
+  return out;
+}
+
+std::string RenderRemovalSets(
+    const std::vector<std::vector<std::string>>& removal_sets) {
+  if (removal_sets.empty()) {
+    return "no removal set within the searched size stops the repair\n";
+  }
+  std::string out;
+  for (const auto& removal : removal_sets) {
+    out += "  remove {";
+    for (std::size_t i = 0; i < removal.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += removal[i];
+    }
+    out += "} -> repair does not happen\n";
+  }
+  return out;
+}
+
+std::string ExplanationToJson(const Explanation& explanation) {
+  std::string out = "{";
+  out += "\"target\":\"" + JsonEscape(explanation.target_label) + "\",";
+  out += "\"old_value\":\"" +
+         JsonEscape(explanation.old_value.ToString()) + "\",";
+  out += "\"new_value\":\"" +
+         JsonEscape(explanation.new_value.ToString()) + "\",";
+  out += "\"method\":\"" + JsonEscape(explanation.method) + "\",";
+  out += StrFormat("\"algorithm_calls\":%zu,\"cache_hits\":%zu,",
+                   explanation.algorithm_calls, explanation.cache_hits);
+  out += "\"ranking\":[";
+  for (std::size_t i = 0; i < explanation.ranked.size(); ++i) {
+    const PlayerScore& p = explanation.ranked[i];
+    if (i > 0) out += ",";
+    out += "{\"label\":\"" + JsonEscape(p.label) + "\",";
+    out += StrFormat("\"shapley\":%.10g", p.shapley);
+    if (p.num_samples > 0) {
+      out += StrFormat(",\"std_error\":%.10g,\"num_samples\":%zu",
+                       p.std_error, p.num_samples);
+    }
+    if (p.cell.has_value()) {
+      out += StrFormat(",\"row\":%zu,\"col\":%zu", p.cell->row,
+                       p.cell->col);
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace trex

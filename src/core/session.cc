@@ -1,0 +1,126 @@
+#include "core/session.h"
+
+#include "common/logging.h"
+
+namespace trex {
+
+TRexSession::TRexSession(
+    std::shared_ptr<const repair::RepairAlgorithm> algorithm, dc::DcSet dcs,
+    Table dirty)
+    : algorithm_(std::move(algorithm)),
+      dcs_(std::move(dcs)),
+      dirty_(std::move(dirty)) {
+  TREX_CHECK(algorithm_ != nullptr);
+}
+
+Status TRexSession::Repair() {
+  TREX_ASSIGN_OR_RETURN(Table clean, algorithm_->Repair(dcs_, dirty_));
+  TREX_ASSIGN_OR_RETURN(repaired_cells_, DiffTables(dirty_, clean));
+  clean_ = std::move(clean);
+  return Status::Ok();
+}
+
+const Table& TRexSession::clean() const {
+  TREX_CHECK(clean_.has_value()) << "call Repair() first";
+  return *clean_;
+}
+
+const std::vector<RepairedCell>& TRexSession::repaired_cells() const {
+  TREX_CHECK(clean_.has_value()) << "call Repair() first";
+  return repaired_cells_;
+}
+
+Result<CellRef> TRexSession::CellAt(std::size_t row,
+                                    const std::string& attribute) const {
+  if (row >= dirty_.num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " outside the table");
+  }
+  TREX_ASSIGN_OR_RETURN(std::size_t col, dirty_.ColumnIndex(attribute));
+  return CellRef{row, col};
+}
+
+Status TRexSession::RequireRepair() const {
+  if (!clean_.has_value()) {
+    return Status::InvalidArgument(
+        "no repair available: call Repair() after constructing or "
+        "editing the session");
+  }
+  return Status::Ok();
+}
+
+Result<Explanation> TRexSession::ExplainConstraints(
+    CellRef target, const ConstraintExplainerOptions& options) const {
+  TREX_RETURN_NOT_OK(RequireRepair());
+  ConstraintExplainer explainer(options);
+  return explainer.Explain(*algorithm_, dcs_, dirty_, target);
+}
+
+Result<std::vector<InteractionScore>>
+TRexSession::ExplainConstraintInteractions(
+    CellRef target, const ConstraintExplainerOptions& options) const {
+  TREX_RETURN_NOT_OK(RequireRepair());
+  ConstraintExplainer explainer(options);
+  return explainer.ExplainInteractions(*algorithm_, dcs_, dirty_, target);
+}
+
+Result<Explanation> TRexSession::ExplainCells(
+    CellRef target, const CellExplainerOptions& options) const {
+  TREX_RETURN_NOT_OK(RequireRepair());
+  CellExplainer explainer(options);
+  return explainer.Explain(*algorithm_, dcs_, dirty_, target);
+}
+
+Result<PlayerScore> TRexSession::ExplainSingleCell(
+    CellRef target, CellRef player_cell,
+    const CellExplainerOptions& options) const {
+  TREX_RETURN_NOT_OK(RequireRepair());
+  CellExplainer explainer(options);
+  return explainer.ExplainSingleCell(*algorithm_, dcs_, dirty_, target,
+                                     player_cell);
+}
+
+Status TRexSession::SetDirtyCell(CellRef cell, Value value) {
+  if (cell.row >= dirty_.num_rows() || cell.col >= dirty_.num_columns()) {
+    return Status::OutOfRange("cell " + cell.ToString() +
+                              " outside the table");
+  }
+  dirty_.Set(cell, std::move(value));
+  clean_.reset();
+  repaired_cells_.clear();
+  return Status::Ok();
+}
+
+Status TRexSession::RemoveConstraint(const std::string& name) {
+  TREX_ASSIGN_OR_RETURN(std::size_t index, dcs_.IndexOf(name));
+  dcs_ = dcs_.Without(index);
+  clean_.reset();
+  repaired_cells_.clear();
+  return Status::Ok();
+}
+
+Status TRexSession::AddConstraint(dc::DenialConstraint constraint) {
+  if (dcs_.IndexOf(constraint.name()).ok()) {
+    return Status::AlreadyExists("constraint '" + constraint.name() +
+                                 "' already present");
+  }
+  dcs_.Add(std::move(constraint));
+  clean_.reset();
+  repaired_cells_.clear();
+  return Status::Ok();
+}
+
+Status TRexSession::ReplaceConstraint(dc::DenialConstraint constraint) {
+  TREX_ASSIGN_OR_RETURN(std::size_t index,
+                        dcs_.IndexOf(constraint.name()));
+  dc::DcSet updated;
+  for (std::size_t i = 0; i < dcs_.size(); ++i) {
+    updated.Add(i == index ? constraint : dcs_.at(i));
+  }
+  dcs_ = std::move(updated);
+  clean_.reset();
+  repaired_cells_.clear();
+  return Status::Ok();
+}
+
+}  // namespace trex

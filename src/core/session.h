@@ -1,0 +1,106 @@
+// `TRexSession`: the end-to-end T-REx workflow as a library object.
+//
+// The paper's system (§3, Figures 3–4) walks users through three screens:
+// input (table + DCs into the repairer), repair (highlighted diff), and
+// explanation (DCs / cells ranked by Shapley value), then lets them edit
+// the DCs or the data and iterate. This class is that loop without the
+// browser:
+//
+//   TRexSession session(algorithm, dcs, dirty_table);
+//   session.Repair();                         // screen 2
+//   auto ex = session.ExplainConstraints(cell);  // screen 3
+//   session.RemoveConstraint("C3");           // act on the explanation
+//   session.Repair();                         // iterate
+//
+// Edits invalidate the cached repair; explanation calls require a fresh
+// `Repair()`.
+
+#ifndef TREX_CORE_SESSION_H_
+#define TREX_CORE_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/explainer.h"
+#include "dc/constraint.h"
+#include "repair/algorithm.h"
+#include "table/diff.h"
+#include "table/table.h"
+
+namespace trex {
+
+/// Interactive repair-and-explain session (see file comment).
+class TRexSession {
+ public:
+  /// The algorithm is shared (not copied); it must outlive the session.
+  TRexSession(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+              dc::DcSet dcs, Table dirty);
+
+  const Table& dirty() const { return dirty_; }
+  const dc::DcSet& dcs() const { return dcs_; }
+  const repair::RepairAlgorithm& algorithm() const { return *algorithm_; }
+
+  /// Runs the repair algorithm; afterwards `clean()` and
+  /// `repaired_cells()` are available.
+  Status Repair();
+
+  /// True once `Repair()` has run (and no edit invalidated it).
+  bool has_repair() const { return clean_.has_value(); }
+
+  /// The repaired table; requires `has_repair()`.
+  const Table& clean() const;
+
+  /// The diff dirty -> clean; requires `has_repair()`.
+  const std::vector<RepairedCell>& repaired_cells() const;
+
+  /// Resolves "tk[Attr]"-style coordinates, e.g. `CellAt(4, "Country")`
+  /// (row is 0-based).
+  Result<CellRef> CellAt(std::size_t row, const std::string& attribute) const;
+
+  /// Ranks the DCs by contribution to the repair of `target`.
+  Result<Explanation> ExplainConstraints(
+      CellRef target, const ConstraintExplainerOptions& options = {}) const;
+
+  /// Pairwise constraint interactions for the repair of `target`
+  /// (complements / substitutes; see core/interaction.h).
+  Result<std::vector<InteractionScore>> ExplainConstraintInteractions(
+      CellRef target, const ConstraintExplainerOptions& options = {}) const;
+
+  /// Ranks the cells of T^d by contribution to the repair of `target`.
+  Result<Explanation> ExplainCells(
+      CellRef target, const CellExplainerOptions& options = {}) const;
+
+  /// Estimates a single cell's contribution (Example 2.5).
+  Result<PlayerScore> ExplainSingleCell(
+      CellRef target, CellRef player_cell,
+      const CellExplainerOptions& options = {}) const;
+
+  // ---- Iteration: edits invalidate the cached repair. ----
+
+  /// Overwrites a cell of the dirty table.
+  Status SetDirtyCell(CellRef cell, Value value);
+
+  /// Removes the constraint with the given name.
+  Status RemoveConstraint(const std::string& name);
+
+  /// Adds a constraint (name must be unused).
+  Status AddConstraint(dc::DenialConstraint constraint);
+
+  /// Replaces the same-named constraint.
+  Status ReplaceConstraint(dc::DenialConstraint constraint);
+
+ private:
+  Status RequireRepair() const;
+
+  std::shared_ptr<const repair::RepairAlgorithm> algorithm_;
+  dc::DcSet dcs_;
+  Table dirty_;
+  std::optional<Table> clean_;
+  std::vector<RepairedCell> repaired_cells_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_CORE_SESSION_H_

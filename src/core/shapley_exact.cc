@@ -1,0 +1,117 @@
+#include "core/shapley_exact.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace trex::shap {
+
+Result<std::vector<double>> ComputeExactShapley(
+    const Game& game, const ExactShapleyOptions& options) {
+  const std::size_t n = game.num_players();
+  if (n == 0) return std::vector<double>{};
+  if (n > options.max_players) {
+    return Status::InvalidArgument(
+        "exact Shapley over " + std::to_string(n) +
+        " players exceeds the configured cap of " +
+        std::to_string(options.max_players) +
+        " (use the sampling estimator instead)");
+  }
+
+  // Materialize v over all coalitions.
+  const std::size_t num_masks = std::size_t{1} << n;
+  std::vector<double> v(num_masks);
+  Coalition coalition(n, false);
+  for (std::size_t mask = 0; mask < num_masks; ++mask) {
+    for (std::size_t i = 0; i < n; ++i) {
+      coalition[i] = (mask >> i) & 1;
+    }
+    v[mask] = game.Value(coalition);
+  }
+
+  // Positional weights w[s] = s! (n-s-1)! / n! = 1 / (n * C(n-1, s)).
+  std::vector<double> binom(n, 1.0);  // C(n-1, s)
+  for (std::size_t s = 1; s < n; ++s) {
+    binom[s] = binom[s - 1] * static_cast<double>(n - s) /
+               static_cast<double>(s);
+  }
+  std::vector<double> weight(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    weight[s] = 1.0 / (static_cast<double>(n) * binom[s]);
+  }
+
+  std::vector<double> shapley(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t bit = std::size_t{1} << i;
+    for (std::size_t mask = 0; mask < num_masks; ++mask) {
+      if (mask & bit) continue;
+      const std::size_t s = static_cast<std::size_t>(std::popcount(mask));
+      shapley[i] += weight[s] * (v[mask | bit] - v[mask]);
+    }
+  }
+  return shapley;
+}
+
+Result<std::vector<double>> ComputeExactBanzhaf(
+    const Game& game, const ExactShapleyOptions& options) {
+  const std::size_t n = game.num_players();
+  if (n == 0) return std::vector<double>{};
+  if (n > options.max_players) {
+    return Status::InvalidArgument(
+        "exact Banzhaf over " + std::to_string(n) +
+        " players exceeds the configured cap of " +
+        std::to_string(options.max_players));
+  }
+  const std::size_t num_masks = std::size_t{1} << n;
+  std::vector<double> v(num_masks);
+  Coalition coalition(n, false);
+  for (std::size_t mask = 0; mask < num_masks; ++mask) {
+    for (std::size_t i = 0; i < n; ++i) coalition[i] = (mask >> i) & 1;
+    v[mask] = game.Value(coalition);
+  }
+  const double weight = 1.0 / static_cast<double>(num_masks / 2);
+  std::vector<double> banzhaf(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t bit = std::size_t{1} << i;
+    for (std::size_t mask = 0; mask < num_masks; ++mask) {
+      if (mask & bit) continue;
+      banzhaf[i] += weight * (v[mask | bit] - v[mask]);
+    }
+  }
+  return banzhaf;
+}
+
+Result<std::vector<double>> ComputeExactShapleyByPermutations(
+    const Game& game) {
+  const std::size_t n = game.num_players();
+  if (n == 0) return std::vector<double>{};
+  if (n > 10) {
+    return Status::InvalidArgument(
+        "permutation enumeration over " + std::to_string(n) +
+        " players is infeasible (n! evaluations); use "
+        "ComputeExactShapley");
+  }
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+
+  std::vector<double> shapley(n, 0.0);
+  std::size_t num_perms = 0;
+  do {
+    Coalition coalition(n, false);
+    double prev = game.Value(coalition);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      coalition[perm[pos]] = true;
+      const double curr = game.Value(coalition);
+      shapley[perm[pos]] += curr - prev;
+      prev = curr;
+    }
+    ++num_perms;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  for (double& phi : shapley) phi /= static_cast<double>(num_perms);
+  return shapley;
+}
+
+}  // namespace trex::shap

@@ -1,0 +1,53 @@
+// Exact Shapley-value computation.
+//
+// Two algorithms:
+//  * `ComputeExactShapley` — subset enumeration, O(2^n) characteristic-
+//    function evaluations and O(2^n · n) arithmetic. This is what T-REx
+//    uses for *constraints* ("with DCs, the naïve approach is feasible as
+//    the number of DCs is usually small", paper §2.3).
+//  * `ComputeExactShapleyByPermutations` — O(n!) marginal-contribution
+//    enumeration; only sensible for tiny n, kept as an independent test
+//    oracle for the subset formula.
+
+#ifndef TREX_CORE_SHAPLEY_EXACT_H_
+#define TREX_CORE_SHAPLEY_EXACT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/game.h"
+
+namespace trex::shap {
+
+/// Options for exact computation.
+struct ExactShapleyOptions {
+  /// Hard cap on player count: 2^n coalition values are materialized, so
+  /// memory and evaluation cost are exponential. 22 players ≈ 4M
+  /// evaluations / 32 MB of cached values.
+  std::size_t max_players = 22;
+};
+
+/// Exact Shapley values for every player via subset enumeration (see
+/// file comment). Fails with InvalidArgument when the game exceeds
+/// `options.max_players`.
+Result<std::vector<double>> ComputeExactShapley(
+    const Game& game, const ExactShapleyOptions& options = {});
+
+/// Exact Shapley values via full permutation enumeration; requires
+/// `num_players() <= 10`. Slow — test oracle only.
+Result<std::vector<double>> ComputeExactShapleyByPermutations(
+    const Game& game);
+
+/// Exact (non-normalized) Banzhaf values via subset enumeration:
+///   β_i = (1 / 2^(n-1)) Σ_{S ⊆ N\{i}} ( v(S∪{i}) − v(S) )
+/// — every coalition weighted equally instead of by position. Banzhaf
+/// trades the efficiency axiom for simpler semantics ("probability that
+/// i is pivotal under a uniform random coalition") and is the common
+/// comparison point for Shapley-based explanations. Same exponential
+/// cost model and player cap as `ComputeExactShapley`.
+Result<std::vector<double>> ComputeExactBanzhaf(
+    const Game& game, const ExactShapleyOptions& options = {});
+
+}  // namespace trex::shap
+
+#endif  // TREX_CORE_SHAPLEY_EXACT_H_

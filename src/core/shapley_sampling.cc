@@ -1,0 +1,262 @@
+#include "core/shapley_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace trex::shap {
+
+void RunningStat::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::std_error() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(variance() / static_cast<double>(count_));
+}
+
+Estimate RunningStat::ToEstimate() const {
+  Estimate e;
+  e.value = mean_;
+  e.std_error = std_error();
+  e.num_samples = count_;
+  return e;
+}
+
+namespace {
+
+/// One marginal-contribution sample of `player` for a given permutation:
+/// v(before ∪ {player}) − v(before), where `before` is the set of players
+/// preceding `player` in `perm`.
+double MarginalForPlayer(const Game& game,
+                         const std::vector<std::size_t>& perm,
+                         std::size_t player) {
+  const std::size_t n = game.num_players();
+  Coalition coalition(n, false);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    if (perm[pos] == player) break;
+    coalition[perm[pos]] = true;
+  }
+  const double without = game.Value(coalition);
+  coalition[player] = true;
+  const double with = game.Value(coalition);
+  return with - without;
+}
+
+bool Converged(const std::vector<RunningStat>& stats, double target) {
+  for (const RunningStat& s : stats) {
+    if (s.count() < 16) return false;
+    if (s.std_error() > target) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Estimate> EstimateShapleyForPlayer(const Game& game,
+                                          std::size_t player,
+                                          const SamplingOptions& options) {
+  const std::size_t n = game.num_players();
+  if (player >= n) {
+    return Status::OutOfRange("player " + std::to_string(player) +
+                              " out of range for " + std::to_string(n) +
+                              "-player game");
+  }
+  if (options.num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  Rng rng(options.seed);
+  RunningStat stat;
+  std::vector<RunningStat> stats_view(1);
+  for (std::size_t i = 0; i < options.num_samples; ++i) {
+    std::vector<std::size_t> perm = rng.Permutation(n);
+    stat.Add(MarginalForPlayer(game, perm, player));
+    if (options.antithetic) {
+      std::reverse(perm.begin(), perm.end());
+      stat.Add(MarginalForPlayer(game, perm, player));
+    }
+    if (options.target_std_error.has_value() &&
+        (i + 1) % options.check_interval == 0) {
+      stats_view[0] = stat;
+      if (Converged(stats_view, *options.target_std_error)) break;
+    }
+  }
+  return stat.ToEstimate();
+}
+
+Result<Estimate> EstimateShapleyStratified(const Game& game,
+                                           std::size_t player,
+                                           const SamplingOptions& options) {
+  const std::size_t n = game.num_players();
+  if (player >= n) {
+    return Status::OutOfRange("player " + std::to_string(player) +
+                              " out of range for " + std::to_string(n) +
+                              "-player game");
+  }
+  if (options.num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  Rng rng(options.seed);
+  const std::size_t per_stratum =
+      std::max<std::size_t>(1, options.num_samples / n);
+
+  // Others = all players but `player`; a stratum-s coalition is a
+  // uniform size-s subset of them (partial Fisher-Yates prefix).
+  std::vector<std::size_t> others;
+  others.reserve(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != player) others.push_back(i);
+  }
+
+  std::vector<RunningStat> strata(n);
+  Coalition coalition(n, false);
+  for (std::size_t s = 0; s < n; ++s) {  // coalition sizes 0..n-1
+    for (std::size_t sample = 0; sample < per_stratum; ++sample) {
+      // Uniform size-s subset of `others`.
+      for (std::size_t i = 0; i < s; ++i) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng.UniformUint64(
+                    others.size() - i));
+        std::swap(others[i], others[j]);
+      }
+      std::fill(coalition.begin(), coalition.end(), false);
+      for (std::size_t i = 0; i < s; ++i) coalition[others[i]] = true;
+      const double without = game.Value(coalition);
+      coalition[player] = true;
+      const double with = game.Value(coalition);
+      coalition[player] = false;
+      strata[s].Add(with - without);
+    }
+  }
+
+  // Stratified mean = (1/n) Σ_s mean_s; variance adds per stratum.
+  Estimate e;
+  double variance = 0;
+  std::size_t total = 0;
+  for (const RunningStat& stat : strata) {
+    e.value += stat.mean() / static_cast<double>(n);
+    if (stat.count() > 1) {
+      variance += stat.variance() /
+                  (static_cast<double>(stat.count()) *
+                   static_cast<double>(n) * static_cast<double>(n));
+    }
+    total += stat.count();
+  }
+  e.std_error = std::sqrt(variance);
+  e.num_samples = total;
+  return e;
+}
+
+Result<TopKResult> EstimateTopKPlayers(const Game& game,
+                                       const TopKOptions& options) {
+  const std::size_t n = game.num_players();
+  if (n == 0) return TopKResult{};
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (options.batch == 0 || options.max_samples == 0) {
+    return Status::InvalidArgument("batch and max_samples must be positive");
+  }
+
+  Rng rng(options.seed);
+  std::vector<RunningStat> stats(n);
+  TopKResult result;
+
+  auto current_ranking = [&] {
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&stats](std::size_t a, std::size_t b) {
+                       return stats[a].mean() > stats[b].mean();
+                     });
+    return order;
+  };
+
+  while (result.sweeps < options.max_samples) {
+    for (std::size_t i = 0; i < options.batch; ++i) {
+      const std::vector<std::size_t> perm = rng.Permutation(n);
+      Coalition coalition(n, false);
+      double prev = game.Value(coalition);
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        coalition[perm[pos]] = true;
+        const double curr = game.Value(coalition);
+        stats[perm[pos]].Add(curr - prev);
+        prev = curr;
+      }
+      ++result.sweeps;
+    }
+    if (options.k >= n) {
+      result.separated = true;  // nothing to separate from
+      break;
+    }
+    const std::vector<std::size_t> order = current_ranking();
+    const RunningStat& kth = stats[order[options.k - 1]];
+    const RunningStat& next = stats[order[options.k]];
+    const double lower = kth.mean() - options.z * kth.std_error();
+    const double upper = next.mean() + options.z * next.std_error();
+    if (kth.count() >= 8 && lower > upper) {
+      result.separated = true;
+      break;
+    }
+  }
+
+  result.estimates.reserve(n);
+  for (const RunningStat& stat : stats) {
+    result.estimates.push_back(stat.ToEstimate());
+  }
+  result.ranking = current_ranking();
+  return result;
+}
+
+Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
+    const Game& game, const SamplingOptions& options) {
+  const std::size_t n = game.num_players();
+  if (n == 0) return std::vector<Estimate>{};
+  if (options.num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  Rng rng(options.seed);
+  std::vector<RunningStat> stats(n);
+
+  auto sweep = [&](const std::vector<std::size_t>& perm) {
+    Coalition coalition(n, false);
+    double prev = game.Value(coalition);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      coalition[perm[pos]] = true;
+      const double curr = game.Value(coalition);
+      stats[perm[pos]].Add(curr - prev);
+      prev = curr;
+    }
+  };
+
+  for (std::size_t i = 0; i < options.num_samples; ++i) {
+    std::vector<std::size_t> perm = rng.Permutation(n);
+    sweep(perm);
+    if (options.antithetic) {
+      std::reverse(perm.begin(), perm.end());
+      sweep(perm);
+    }
+    if (options.target_std_error.has_value() &&
+        (i + 1) % options.check_interval == 0 &&
+        Converged(stats, *options.target_std_error)) {
+      break;
+    }
+  }
+
+  std::vector<Estimate> estimates;
+  estimates.reserve(n);
+  for (const RunningStat& s : stats) estimates.push_back(s.ToEstimate());
+  return estimates;
+}
+
+}  // namespace trex::shap

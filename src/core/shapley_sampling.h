@@ -1,0 +1,137 @@
+// Monte-Carlo Shapley estimation (Strumbelj & Kononenko, KAIS 2014 — the
+// paper's reference [7]).
+//
+// The estimator draws random player permutations; the marginal
+// contribution of a player against the coalition of players preceding it
+// is an unbiased sample of its Shapley value. Two drivers:
+//
+//  * `EstimateShapleyForPlayer` — the paper's Example 2.5 loop for a
+//    single player of interest: per sample, one permutation and two
+//    characteristic-function evaluations (with and without the player).
+//  * `EstimateShapleyAllPlayers` — one sweep per permutation yields a
+//    marginal sample for *every* player with n+1 evaluations, the right
+//    tool when ranking all cells.
+//
+// Estimates carry running mean/variance (Welford) and normal-theory
+// confidence intervals; `target_std_error` enables early stopping.
+
+#ifndef TREX_CORE_SHAPLEY_SAMPLING_H_
+#define TREX_CORE_SHAPLEY_SAMPLING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/game.h"
+
+namespace trex::shap {
+
+/// Options for the sampling estimators.
+struct SamplingOptions {
+  /// Number of samples (permutations). For `EstimateShapleyForPlayer`
+  /// this is the number of (with, without) evaluation pairs; for
+  /// `EstimateShapleyAllPlayers` the number of full sweeps.
+  std::size_t num_samples = 500;
+  /// RNG seed; equal seeds give identical estimates.
+  std::uint64_t seed = Rng::kDefaultSeed;
+  /// Variance reduction: also evaluate each permutation reversed
+  /// (negatively correlated coalition sizes). Doubles the samples drawn
+  /// per iteration.
+  bool antithetic = false;
+  /// Early stop once every requested player's standard error drops to
+  /// this level (checked every `check_interval` samples; at least 16
+  /// samples are always taken).
+  std::optional<double> target_std_error;
+  std::size_t check_interval = 32;
+};
+
+/// One player's Monte-Carlo estimate.
+struct Estimate {
+  double value = 0.0;
+  /// Standard error of the mean (0 until 2+ samples).
+  double std_error = 0.0;
+  /// Samples actually taken (= num_samples unless early-stopped).
+  std::size_t num_samples = 0;
+
+  /// Normal-theory confidence bounds, e.g. `value ± 1.96·std_error`.
+  double ci_low(double z = 1.96) const { return value - z * std_error; }
+  double ci_high(double z = 1.96) const { return value + z * std_error; }
+};
+
+/// Welford running-moment accumulator (exposed for reuse by the cell
+/// estimator in explainer.cc and by tests).
+class RunningStat {
+ public:
+  void Add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 until two samples.
+  double variance() const;
+  /// Standard error of the mean.
+  double std_error() const;
+  Estimate ToEstimate() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Estimates the Shapley value of `player` (see file comment).
+Result<Estimate> EstimateShapleyForPlayer(const Game& game,
+                                          std::size_t player,
+                                          const SamplingOptions& options = {});
+
+/// Estimates all players' Shapley values with permutation sweeps.
+Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
+    const Game& game, const SamplingOptions& options = {});
+
+/// Stratified single-player estimator (Maleki et al. style): the Shapley
+/// value is the average over coalition sizes s of E[marginal | |S| = s];
+/// sampling each size stratum separately removes the variance *between*
+/// strata that plain permutation sampling pays for. `options.num_samples`
+/// is the total budget, split evenly across the n strata (at least one
+/// sample each). Useful when marginals differ sharply by coalition size
+/// (binary repair games often do).
+Result<Estimate> EstimateShapleyStratified(const Game& game,
+                                           std::size_t player,
+                                           const SamplingOptions& options = {});
+
+/// Options for the adaptive top-k driver.
+struct TopKOptions {
+  std::size_t k = 3;
+  /// Confidence width multiplier for the separation test.
+  double z = 2.0;
+  /// Sweeps per refinement round.
+  std::size_t batch = 16;
+  /// Total sweep budget.
+  std::size_t max_samples = 4096;
+  std::uint64_t seed = Rng::kDefaultSeed;
+};
+
+/// Result of the adaptive top-k estimation.
+struct TopKResult {
+  /// Per-player estimates (indexed by player).
+  std::vector<Estimate> estimates;
+  /// Players sorted by estimated value, descending.
+  std::vector<std::size_t> ranking;
+  /// True when the k-th and (k+1)-th players' confidence intervals
+  /// separated before the budget ran out.
+  bool separated = false;
+  /// Permutation sweeps consumed.
+  std::size_t sweeps = 0;
+};
+
+/// Samples permutation sweeps in batches until the top-k set is
+/// CI-separated from the rest (lower bound of the k-th estimate above
+/// the upper bound of the (k+1)-th) or the budget is exhausted. This is
+/// the right driver for the T-REx GUI flow, where the user only reads
+/// the first few rows of the ranking.
+Result<TopKResult> EstimateTopKPlayers(const Game& game,
+                                       const TopKOptions& options = {});
+
+}  // namespace trex::shap
+
+#endif  // TREX_CORE_SHAPLEY_SAMPLING_H_

@@ -1,0 +1,76 @@
+#include "data/errors.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "table/stats.h"
+
+namespace trex::data {
+namespace {
+
+ErrorKind PickKind(Rng* rng, const ErrorInjectorOptions& options) {
+  const double total =
+      options.weight_swap + options.weight_typo + options.weight_missing;
+  TREX_CHECK_GT(total, 0.0);
+  const double u = rng->UniformDouble() * total;
+  if (u < options.weight_swap) return ErrorKind::kSwapWithinColumn;
+  if (u < options.weight_swap + options.weight_typo) return ErrorKind::kTypo;
+  return ErrorKind::kMissing;
+}
+
+}  // namespace
+
+InjectionResult InjectErrors(const Table& clean,
+                             const ErrorInjectorOptions& options) {
+  Rng rng(options.seed);
+  InjectionResult result{clean, {}};
+
+  std::vector<CellRef> candidates;
+  for (const CellRef& cell : clean.AllCells()) {
+    if (!options.columns.empty() &&
+        std::find(options.columns.begin(), options.columns.end(),
+                  cell.col) == options.columns.end()) {
+      continue;
+    }
+    if (clean.at(cell).is_null()) continue;
+    candidates.push_back(cell);
+  }
+  rng.Shuffle(&candidates);
+  const std::size_t num_errors = static_cast<std::size_t>(
+      options.error_rate * static_cast<double>(candidates.size()) + 0.5);
+
+  for (std::size_t i = 0; i < num_errors && i < candidates.size(); ++i) {
+    const CellRef cell = candidates[i];
+    const Value truth = clean.at(cell);
+    Value corrupted;
+    switch (PickKind(&rng, options)) {
+      case ErrorKind::kSwapWithinColumn: {
+        const ColumnStats stats = ColumnStats::Build(result.dirty, cell.col);
+        const std::vector<Value> domain = stats.DistinctSorted();
+        // Pick a value different from the truth; fall back to a typo
+        // when the column has a single distinct value.
+        std::vector<Value> others;
+        for (const Value& v : domain) {
+          if (v != truth) others.push_back(v);
+        }
+        if (!others.empty()) {
+          corrupted = others[rng.Index(others.size())];
+          break;
+        }
+        [[fallthrough]];
+      }
+      case ErrorKind::kTypo: {
+        corrupted = Value(truth.ToString() + "~");
+        break;
+      }
+      case ErrorKind::kMissing:
+        corrupted = Value::Null();
+        break;
+    }
+    result.dirty.Set(cell, corrupted);
+    result.injected.push_back(RepairedCell{cell, truth, corrupted});
+  }
+  return result;
+}
+
+}  // namespace trex::data

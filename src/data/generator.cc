@@ -1,0 +1,88 @@
+#include "data/generator.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "data/soccer.h"
+
+namespace trex::data {
+
+GeneratedData GenerateSoccer(const SoccerGenOptions& options) {
+  TREX_CHECK_GT(options.num_countries, 0u);
+  TREX_CHECK_GT(options.leagues_per_country, 0u);
+  TREX_CHECK_GT(options.cities_per_country, 0u);
+  TREX_CHECK_GT(options.teams_per_league, 0u);
+  TREX_CHECK_LE(options.first_year, options.last_year);
+
+  Rng rng(options.seed);
+
+  struct TeamInfo {
+    std::string name;
+    std::string city;
+    std::string country;
+    std::string league;
+  };
+
+  // Build the consistent world: countries own cities and leagues; teams
+  // live in one city and play in one league of their country.
+  std::vector<TeamInfo> teams;
+  std::vector<std::string> leagues;
+  for (std::size_t c = 0; c < options.num_countries; ++c) {
+    const std::string country = "Country" + std::to_string(c);
+    std::vector<std::string> cities;
+    for (std::size_t k = 0; k < options.cities_per_country; ++k) {
+      cities.push_back("City" + std::to_string(c) + "_" +
+                       std::to_string(k));
+    }
+    for (std::size_t l = 0; l < options.leagues_per_country; ++l) {
+      const std::string league =
+          "League" + std::to_string(c) + "_" + std::to_string(l);
+      leagues.push_back(league);
+      for (std::size_t t = 0; t < options.teams_per_league; ++t) {
+        TeamInfo team;
+        team.name = league + "_Team" + std::to_string(t);
+        team.city = cities[t % cities.size()];
+        team.country = country;
+        team.league = league;
+        teams.push_back(std::move(team));
+      }
+    }
+  }
+
+  // Emit standings rows: pick a team (Zipf-skewed), a year, and a place
+  // unused for that (league, year) so C4 holds on clean data.
+  const std::vector<double> team_cdf =
+      ZipfTable(teams.size(), options.zipf_exponent);
+  std::set<std::tuple<std::string, int, int>> used_places;
+  std::set<std::pair<std::string, int>> used_team_years;
+
+  Table table(SoccerSchema());
+  std::size_t emitted = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = options.num_rows * 64 + 1024;
+  while (emitted < options.num_rows && attempts < max_attempts) {
+    ++attempts;
+    const TeamInfo& team = teams[rng.Zipf(team_cdf)];
+    const int year = static_cast<int>(
+        rng.UniformInt(options.first_year, options.last_year));
+    // One standings row per (team, year).
+    if (!used_team_years.emplace(team.name, year).second) continue;
+    // Find the smallest free place for this (league, year).
+    int place = 1;
+    while (used_places.count({team.league, year, place}) > 0) ++place;
+    used_places.emplace(team.league, year, place);
+    TREX_CHECK(table
+                   .AppendRow({Value(team.name), Value(team.city),
+                               Value(team.country), Value(team.league),
+                               Value(year), Value(place)})
+                   .ok());
+    ++emitted;
+  }
+
+  GeneratedData out{std::move(table), SoccerConstraints()};
+  return out;
+}
+
+}  // namespace trex::data

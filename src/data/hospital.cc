@@ -1,0 +1,106 @@
+#include "data/hospital.h"
+
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "dc/parser.h"
+
+namespace trex::data {
+
+Schema HospitalSchema() {
+  return Schema({
+      Attribute{"Provider", ValueType::kInt},
+      Attribute{"Hospital", ValueType::kString},
+      Attribute{"City", ValueType::kString},
+      Attribute{"State", ValueType::kString},
+      Attribute{"Zip", ValueType::kString},
+      Attribute{"Phone", ValueType::kString},
+      Attribute{"Measure", ValueType::kString},
+      Attribute{"Score", ValueType::kInt},
+  });
+}
+
+GeneratedData GenerateHospital(const HospitalGenOptions& options) {
+  TREX_CHECK_GT(options.num_states, 0u);
+  TREX_CHECK_GT(options.cities_per_state, 0u);
+  TREX_CHECK_GT(options.zips_per_city, 0u);
+  TREX_CHECK_GT(options.hospitals_per_city, 0u);
+  TREX_CHECK_GT(options.num_measures, 0u);
+
+  Rng rng(options.seed);
+
+  struct HospitalInfo {
+    std::int64_t provider;
+    std::string name;
+    std::string city;
+    std::string state;
+    std::string zip;
+    std::string phone;
+  };
+  std::vector<HospitalInfo> hospitals;
+  std::int64_t next_provider = 10001;
+  for (std::size_t s = 0; s < options.num_states; ++s) {
+    const std::string state = StrFormat("ST%zu", s);
+    for (std::size_t c = 0; c < options.cities_per_state; ++c) {
+      const std::string city = StrFormat("City_%zu_%zu", s, c);
+      for (std::size_t z = 0; z < options.zips_per_city; ++z) {
+        const std::string zip = StrFormat("%02zu%02zu%01zu", s, c, z);
+        for (std::size_t h = 0; h < options.hospitals_per_city; ++h) {
+          HospitalInfo info;
+          info.provider = next_provider++;
+          info.name = StrFormat("Hospital_%zu_%zu_%zu_%zu", s, c, z, h);
+          info.city = city;
+          info.state = state;
+          info.zip = zip;
+          info.phone = StrFormat("555-%04lld",
+                                 static_cast<long long>(info.provider));
+          hospitals.push_back(std::move(info));
+        }
+      }
+    }
+  }
+
+  Table table(HospitalSchema());
+  std::size_t emitted = 0;
+  // Round-robin hospitals × measures until num_rows, shuffled hospital
+  // order for variety.
+  std::vector<std::size_t> order(hospitals.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  for (std::size_t m = 0; emitted < options.num_rows; ++m) {
+    const std::string measure = StrFormat("MEAS-%zu", m % options.num_measures);
+    for (std::size_t idx : order) {
+      if (emitted >= options.num_rows) break;
+      if (m >= options.num_measures) break;
+      const HospitalInfo& h = hospitals[idx];
+      const int score = static_cast<int>(rng.UniformInt(60, 100));
+      TREX_CHECK(table
+                     .AppendRow({Value(h.provider), Value(h.name),
+                                 Value(h.city), Value(h.state),
+                                 Value(h.zip), Value(h.phone),
+                                 Value(measure), Value(score)})
+                     .ok());
+      ++emitted;
+    }
+    if (m >= options.num_measures && emitted < options.num_rows) {
+      // Table demand exceeds hospitals × measures: stop rather than
+      // violate the (Provider, Measure) key.
+      break;
+    }
+  }
+
+  const char* text = R"(
+H1: !(t1.Zip == t2.Zip & t1.City != t2.City)
+H2: !(t1.Zip == t2.Zip & t1.State != t2.State)
+H3: !(t1.Provider == t2.Provider & t1.Phone != t2.Phone)
+H4: !(t1.Provider == t2.Provider & t1.Hospital != t2.Hospital)
+H5: !(t1.Provider == t2.Provider & t1.Measure == t2.Measure & t1.Score != t2.Score)
+)";
+  auto dcs = dc::ParseDcSet(text, HospitalSchema());
+  TREX_CHECK(dcs.ok()) << dcs.status().ToString();
+  return GeneratedData{std::move(table), std::move(dcs).value()};
+}
+
+}  // namespace trex::data

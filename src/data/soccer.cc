@@ -1,0 +1,93 @@
+#include "data/soccer.h"
+
+#include "common/logging.h"
+#include "dc/parser.h"
+
+namespace trex::data {
+
+Schema SoccerSchema() {
+  return Schema({
+      Attribute{"Team", ValueType::kString},
+      Attribute{"City", ValueType::kString},
+      Attribute{"Country", ValueType::kString},
+      Attribute{"League", ValueType::kString},
+      Attribute{"Year", ValueType::kInt},
+      Attribute{"Place", ValueType::kInt},
+  });
+}
+
+namespace {
+
+Table MakeTable(bool dirty) {
+  Table table(SoccerSchema());
+  auto add = [&table](const char* team, const char* city,
+                      const char* country, const char* league, int year,
+                      int place) {
+    TREX_CHECK(table
+                   .AppendRow({Value(team), Value(city), Value(country),
+                               Value(league), Value(year), Value(place)})
+                   .ok());
+  };
+  add("Barcelona", "Barcelona", "Spain", "La Liga", 2017, 1);
+  add("Atletico Madrid", "Madrid", "Spain", "La Liga", 2017, 2);
+  add("Real Madrid", "Madrid", "Spain", "La Liga", 2017, 3);
+  add("Chelsea", "London", "England", "Premier League", 2017, 1);
+  if (dirty) {
+    add("Real Madrid", "Capital", "España", "La Liga", 2016, 1);
+  } else {
+    add("Real Madrid", "Madrid", "Spain", "La Liga", 2016, 1);
+  }
+  add("Real Madrid", "Madrid", "Spain", "La Liga", 2015, 1);
+  return table;
+}
+
+}  // namespace
+
+Table SoccerDirtyTable() { return MakeTable(/*dirty=*/true); }
+
+Table SoccerCleanTable() { return MakeTable(/*dirty=*/false); }
+
+dc::DcSet SoccerConstraints() {
+  const Schema schema = SoccerSchema();
+  // Figure 1 verbatim (C4's t1/t2 typos corrected per DESIGN.md §6).
+  const char* text = R"(
+C1: !(t1.Team == t2.Team & t1.City != t2.City)
+C2: !(t1.City == t2.City & t1.Country != t2.Country)
+C3: !(t1.League == t2.League & t1.Country != t2.Country)
+C4: !(t1.Team != t2.Team & t1.Year == t2.Year & t1.League == t2.League & t1.Place == t2.Place)
+)";
+  auto dcs = dc::ParseDcSet(text, schema);
+  TREX_CHECK(dcs.ok()) << dcs.status().ToString();
+  return std::move(dcs).value();
+}
+
+std::shared_ptr<repair::RuleRepair> MakeAlgorithm1() {
+  // Algorithm 1, step by step:
+  //  1. C1 contradiction  -> City := argmax P[City]
+  //  2. C2 contradiction  -> Country := argmax P[Country | City]
+  //  3. C3 contradiction  -> Country := argmax P[Country]
+  //  4. C4 contradiction  -> Place := argmax P[Place | Team]
+  std::vector<repair::RepairRule> rules;
+  rules.push_back(repair::RepairRule{
+      "C1", repair::RuleAction::kSetMostCommon, "City", ""});
+  rules.push_back(repair::RepairRule{
+      "C2", repair::RuleAction::kSetMostCommonGiven, "Country", "City"});
+  rules.push_back(repair::RepairRule{
+      "C3", repair::RuleAction::kSetMostCommon, "Country", ""});
+  rules.push_back(repair::RepairRule{
+      "C4", repair::RuleAction::kSetMostCommonGiven, "Place", "Team"});
+  return std::make_shared<repair::RuleRepair>("algorithm-1",
+                                              std::move(rules));
+}
+
+CellRef SoccerTargetCell() { return SoccerCell(5, "Country"); }
+
+CellRef SoccerCell(std::size_t row_1based, const char* attribute) {
+  TREX_CHECK_GE(row_1based, 1u);
+  const Schema schema = SoccerSchema();
+  auto col = schema.IndexOf(attribute);
+  TREX_CHECK(col.ok()) << col.status().ToString();
+  return CellRef{row_1based - 1, *col};
+}
+
+}  // namespace trex::data

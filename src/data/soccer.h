@@ -1,0 +1,50 @@
+// The paper's running example, reconstructed exactly.
+//
+// Figure 2a/2b (the "La Liga standings" table scraped from Wikipedia with
+// manually injected errors), Figure 1 (constraints C1–C4), and
+// Algorithm 1 (the didactic rule repairer). The table content is pinned
+// down by the paper's arithmetic — see DESIGN.md §5 — and the fixture is
+// verified against every numeric claim in tests/paper_claims_test.cc:
+// the characteristic function v(S) = 1 iff {C1,C2} ⊆ S or C3 ∈ S, the
+// Shapley values (1/6, 1/6, 2/3, 0), and the Example 2.4 coalition
+// counts.
+
+#ifndef TREX_DATA_SOCCER_H_
+#define TREX_DATA_SOCCER_H_
+
+#include <memory>
+
+#include "dc/constraint.h"
+#include "repair/rule_repair.h"
+#include "table/table.h"
+
+namespace trex::data {
+
+/// Schema (Team, City, Country, League, Year, Place) — 6 attributes, so
+/// the 6-tuple table has the paper's 36 cells.
+Schema SoccerSchema();
+
+/// Figure 2a: the dirty table. Dirty cells: t5[City] = "Capital",
+/// t5[Country] = "España".
+Table SoccerDirtyTable();
+
+/// Figure 2b: the expected clean table (t5[City] -> "Madrid",
+/// t5[Country] -> "Spain").
+Table SoccerCleanTable();
+
+/// Figure 1: C1 (Team -> City), C2 (City -> Country), C3 (League ->
+/// Country), C4 (no two teams share league/year/place).
+dc::DcSet SoccerConstraints();
+
+/// Algorithm 1: the four repair steps bound to C1..C4.
+std::shared_ptr<repair::RuleRepair> MakeAlgorithm1();
+
+/// The paper's cell of interest t5[Country] (0-based row 4).
+CellRef SoccerTargetCell();
+
+/// The cells named in the examples, for tests and benches.
+CellRef SoccerCell(std::size_t row_1based, const char* attribute);
+
+}  // namespace trex::data
+
+#endif  // TREX_DATA_SOCCER_H_

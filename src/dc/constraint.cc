@@ -1,0 +1,224 @@
+#include "dc/constraint.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace trex::dc {
+
+Result<DenialConstraint> DenialConstraint::Make(
+    std::string name, int arity, std::vector<Predicate> predicates) {
+  if (arity != 1 && arity != 2) {
+    return Status::InvalidArgument("DC arity must be 1 or 2, got " +
+                                   std::to_string(arity));
+  }
+  if (predicates.empty()) {
+    return Status::InvalidArgument("DC must have at least one predicate");
+  }
+  for (const Predicate& p : predicates) {
+    for (const Operand* operand : {&p.lhs, &p.rhs}) {
+      if (operand->is_cell() &&
+          (operand->tuple_index() < 0 || operand->tuple_index() >= arity)) {
+        return Status::InvalidArgument(
+            "predicate mentions tuple variable t" +
+            std::to_string(operand->tuple_index() + 1) +
+            " outside the DC arity " + std::to_string(arity));
+      }
+    }
+  }
+  DenialConstraint dc;
+  dc.name_ = std::move(name);
+  dc.arity_ = arity;
+  dc.predicates_ = std::move(predicates);
+  return dc;
+}
+
+DenialConstraint DenialConstraint::FunctionalDependency(std::string name,
+                                                        std::size_t lhs_col,
+                                                        std::size_t rhs_col) {
+  std::vector<Predicate> preds;
+  preds.push_back(Predicate{Operand::Cell(0, lhs_col), CompareOp::kEq,
+                            Operand::Cell(1, lhs_col)});
+  preds.push_back(Predicate{Operand::Cell(0, rhs_col), CompareOp::kNeq,
+                            Operand::Cell(1, rhs_col)});
+  auto dc = Make(std::move(name), 2, std::move(preds));
+  TREX_CHECK(dc.ok());
+  return std::move(dc).value();
+}
+
+bool DenialConstraint::IsViolatedBy(const Table& table, std::size_t row1,
+                                    std::size_t row2) const {
+  for (const Predicate& p : predicates_) {
+    if (!p.Eval(table, row1, row2)) return false;
+  }
+  return true;
+}
+
+std::set<std::size_t> DenialConstraint::ColumnsOfTuple(
+    int tuple_index) const {
+  std::set<std::size_t> cols;
+  for (const Predicate& p : predicates_) {
+    for (const Operand* operand : {&p.lhs, &p.rhs}) {
+      if (operand->is_cell() && operand->tuple_index() == tuple_index) {
+        cols.insert(operand->col());
+      }
+    }
+  }
+  return cols;
+}
+
+std::set<std::size_t> DenialConstraint::AllColumns() const {
+  std::set<std::size_t> cols = ColumnsOfTuple(0);
+  const std::set<std::size_t> t2 = ColumnsOfTuple(1);
+  cols.insert(t2.begin(), t2.end());
+  return cols;
+}
+
+namespace {
+
+/// Returns `p` with t1 and t2 swapped, normalized so that a t1-cell (if
+/// any) is on the left.
+Predicate SwapTuples(const Predicate& p) {
+  auto swap_operand = [](const Operand& op) {
+    if (!op.is_cell()) return op;
+    return Operand::Cell(1 - op.tuple_index(), op.col());
+  };
+  Predicate swapped{swap_operand(p.lhs), p.op, swap_operand(p.rhs)};
+  const bool lhs_is_t2 =
+      swapped.lhs.is_cell() && swapped.lhs.tuple_index() == 1;
+  const bool rhs_is_t1 =
+      swapped.rhs.is_cell() && swapped.rhs.tuple_index() == 0;
+  if (lhs_is_t2 && rhs_is_t1) {
+    swapped = Predicate{swapped.rhs, FlipOp(swapped.op), swapped.lhs};
+  }
+  return swapped;
+}
+
+/// Normalizes operand order for symmetry comparison: cross-tuple
+/// predicates put t1 first; the op is flipped accordingly.
+Predicate Normalize(const Predicate& p) {
+  const bool lhs_is_t2 = p.lhs.is_cell() && p.lhs.tuple_index() == 1;
+  const bool rhs_is_t1 = p.rhs.is_cell() && p.rhs.tuple_index() == 0;
+  if (lhs_is_t2 && rhs_is_t1) {
+    return Predicate{p.rhs, FlipOp(p.op), p.lhs};
+  }
+  return p;
+}
+
+bool SamePredicateSet(std::vector<Predicate> a, std::vector<Predicate> b) {
+  if (a.size() != b.size()) return false;
+  std::vector<bool> used(b.size(), false);
+  for (const Predicate& pa : a) {
+    bool found = false;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (!used[i] && pa == b[i]) {
+        used[i] = true;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DenialConstraint::IsSymmetric() const {
+  if (arity_ == 1) return true;
+  std::vector<Predicate> normalized;
+  std::vector<Predicate> swapped;
+  normalized.reserve(predicates_.size());
+  swapped.reserve(predicates_.size());
+  for (const Predicate& p : predicates_) {
+    normalized.push_back(Normalize(p));
+    swapped.push_back(Normalize(SwapTuples(p)));
+  }
+  return SamePredicateSet(normalized, swapped);
+}
+
+bool DenialConstraint::AsFunctionalDependency(std::size_t* lhs_col,
+                                              std::size_t* rhs_col) const {
+  if (arity_ != 2 || predicates_.size() != 2) return false;
+  const Predicate* eq = nullptr;
+  const Predicate* neq = nullptr;
+  for (const Predicate& p : predicates_) {
+    if (!p.lhs.is_cell() || !p.rhs.is_cell()) return false;
+    if (p.lhs.tuple_index() == p.rhs.tuple_index()) return false;
+    if (p.lhs.col() != p.rhs.col()) return false;
+    if (p.op == CompareOp::kEq) {
+      eq = &p;
+    } else if (p.op == CompareOp::kNeq) {
+      neq = &p;
+    } else {
+      return false;
+    }
+  }
+  if (eq == nullptr || neq == nullptr) return false;
+  if (lhs_col != nullptr) *lhs_col = eq->lhs.col();
+  if (rhs_col != nullptr) *rhs_col = neq->lhs.col();
+  return true;
+}
+
+std::string DenialConstraint::ToString(const Schema& schema) const {
+  std::string out = "!(";
+  for (std::size_t i = 0; i < predicates_.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += predicates_[i].ToString(schema);
+  }
+  out += ")";
+  return out;
+}
+
+std::string DenialConstraint::ToPrettyString(const Schema& schema) const {
+  std::string out = "∀t1";
+  if (arity_ == 2) out += ",t2";
+  out += ". ¬(";
+  for (std::size_t i = 0; i < predicates_.size(); ++i) {
+    if (i > 0) out += " ∧ ";
+    out += predicates_[i].ToPrettyString(schema);
+  }
+  out += ")";
+  return out;
+}
+
+const DenialConstraint& DcSet::at(std::size_t index) const {
+  TREX_CHECK_LT(index, constraints_.size());
+  return constraints_[index];
+}
+
+Result<std::size_t> DcSet::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (constraints_[i].name() == name) return i;
+  }
+  return Status::NotFound("no constraint named '" + name + "'");
+}
+
+DcSet DcSet::Subset(std::uint64_t mask) const {
+  TREX_CHECK_LE(constraints_.size(), 64u);
+  DcSet out;
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (mask & (std::uint64_t{1} << i)) out.Add(constraints_[i]);
+  }
+  return out;
+}
+
+DcSet DcSet::Without(std::size_t index) const {
+  TREX_CHECK_LT(index, constraints_.size());
+  DcSet out;
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (i != index) out.Add(constraints_[i]);
+  }
+  return out;
+}
+
+std::set<std::size_t> DcSet::AllColumns() const {
+  std::set<std::size_t> cols;
+  for (const DenialConstraint& dc : constraints_) {
+    const auto dc_cols = dc.AllColumns();
+    cols.insert(dc_cols.begin(), dc_cols.end());
+  }
+  return cols;
+}
+
+}  // namespace trex::dc

@@ -1,0 +1,128 @@
+// Denial constraints and constraint sets.
+//
+// A denial constraint (DC) has the form
+//     ∀ t1, t2 . ¬( p1 ∧ p2 ∧ ... ∧ pk )
+// over one or two tuple variables; it is *violated* by any (ordered) row
+// assignment that satisfies all predicates simultaneously. Functional
+// dependencies are the special case
+//     ∀ t1, t2 . ¬( t1.A = t2.A ∧ t1.B ≠ t2.B ).
+
+#ifndef TREX_DC_CONSTRAINT_H_
+#define TREX_DC_CONSTRAINT_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dc/predicate.h"
+#include "table/table.h"
+
+namespace trex::dc {
+
+/// One denial constraint: a named conjunction of predicates under
+/// negation, with one or two tuple variables.
+class DenialConstraint {
+ public:
+  DenialConstraint() = default;
+
+  /// Constructs a DC; `arity` is 1 or 2 (number of tuple variables).
+  /// Invalid shapes (predicates mentioning t2 in a unary DC, empty
+  /// predicate list) are rejected.
+  static Result<DenialConstraint> Make(std::string name, int arity,
+                                       std::vector<Predicate> predicates);
+
+  /// Convenience: builds the FD `lhs -> rhs` as a binary DC named `name`.
+  static DenialConstraint FunctionalDependency(std::string name,
+                                               std::size_t lhs_col,
+                                               std::size_t rhs_col);
+
+  /// Identifier used in reports ("C1", "C2", ...).
+  const std::string& name() const { return name_; }
+
+  /// 1 for single-tuple constraints, 2 for pairwise ones.
+  int arity() const { return arity_; }
+
+  /// The conjunct predicates.
+  const std::vector<Predicate>& predicates() const { return predicates_; }
+
+  /// True iff rows (row1, row2) jointly satisfy every predicate, i.e.
+  /// violate the constraint. For unary constraints row2 is ignored.
+  /// Callers must not pass row1 == row2 for binary constraints.
+  bool IsViolatedBy(const Table& table, std::size_t row1,
+                    std::size_t row2) const;
+
+  /// Columns referenced through tuple variable t1 / t2 / either.
+  std::set<std::size_t> ColumnsOfTuple(int tuple_index) const;
+  std::set<std::size_t> AllColumns() const;
+
+  /// True iff the DC is symmetric under swapping t1 and t2 (the common
+  /// FD-like case); used to deduplicate violation pairs.
+  bool IsSymmetric() const;
+
+  /// True iff this is an FD-shaped DC; when so, outputs the columns.
+  bool AsFunctionalDependency(std::size_t* lhs_col,
+                              std::size_t* rhs_col) const;
+
+  bool operator==(const DenialConstraint& other) const {
+    return arity_ == other.arity_ && predicates_ == other.predicates_;
+  }
+
+  /// Parseable ASCII form, e.g. "!(t1.Team == t2.Team & t1.City != t2.City)".
+  std::string ToString(const Schema& schema) const;
+
+  /// Paper-style form, e.g. "∀t1,t2. ¬(t1.Team = t2.Team ∧ t1.City ≠ t2.City)".
+  std::string ToPrettyString(const Schema& schema) const;
+
+ private:
+  std::string name_;
+  int arity_ = 2;
+  std::vector<Predicate> predicates_;
+};
+
+/// An ordered set of named denial constraints (the "players" of the
+/// constraint Shapley game).
+class DcSet {
+ public:
+  DcSet() = default;
+  explicit DcSet(std::vector<DenialConstraint> constraints)
+      : constraints_(std::move(constraints)) {}
+
+  std::size_t size() const { return constraints_.size(); }
+  bool empty() const { return constraints_.empty(); }
+
+  const DenialConstraint& at(std::size_t index) const;
+  const std::vector<DenialConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// Appends a constraint.
+  void Add(DenialConstraint constraint) {
+    constraints_.push_back(std::move(constraint));
+  }
+
+  /// Index of the constraint with the given name.
+  Result<std::size_t> IndexOf(const std::string& name) const;
+
+  /// The sub-set selected by `mask` (bit i keeps constraint i), preserving
+  /// order. Requires size() <= 64.
+  DcSet Subset(std::uint64_t mask) const;
+
+  /// Removes the constraint at `index`, preserving order of the rest.
+  DcSet Without(std::size_t index) const;
+
+  /// Union of all referenced columns.
+  std::set<std::size_t> AllColumns() const;
+
+  bool operator==(const DcSet& other) const {
+    return constraints_ == other.constraints_;
+  }
+
+ private:
+  std::vector<DenialConstraint> constraints_;
+};
+
+}  // namespace trex::dc
+
+#endif  // TREX_DC_CONSTRAINT_H_

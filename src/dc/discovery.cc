@@ -1,0 +1,192 @@
+#include "dc/discovery.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace trex::dc {
+namespace {
+
+/// Pairs-with-agreement statistics for one candidate X -> B.
+struct PairCounts {
+  std::size_t agreeing = 0;   // pairs agreeing on X (both sides non-null)
+  std::size_t violating = 0;  // of those, pairs disagreeing on B
+};
+
+std::size_t Choose2(std::size_t n) { return n * (n - 1) / 2; }
+
+/// Counts, per group of rows (already grouped by X), the violating and
+/// total pairs with respect to column `rhs`.
+void CountGroup(const Table& table, const std::vector<std::size_t>& rows,
+                std::size_t rhs, PairCounts* counts) {
+  if (rows.size() < 2) return;
+  std::unordered_map<Value, std::size_t, ValueHash> b_counts;
+  std::size_t non_null = 0;
+  for (std::size_t r : rows) {
+    const Value& b = table.at(r, rhs);
+    if (b.is_null()) continue;  // null B gives no pair evidence
+    ++b_counts[b];
+    ++non_null;
+  }
+  if (non_null < 2) return;
+  const std::size_t total = Choose2(non_null);
+  std::size_t agreeing_b = 0;
+  for (const auto& [value, count] : b_counts) {
+    (void)value;
+    agreeing_b += Choose2(count);
+  }
+  counts->agreeing += total;
+  counts->violating += total - agreeing_b;
+}
+
+/// Groups row indices by the (non-null) key extracted by `key_fn`.
+template <typename KeyFn>
+std::vector<std::vector<std::size_t>> GroupRows(const Table& table,
+                                                KeyFn&& key_fn) {
+  struct VecHash {
+    std::size_t operator()(const std::vector<Value>& key) const {
+      std::size_t h = 0x811c9dc5;
+      for (const Value& v : key) h = HashCombine(h, v.Hash());
+      return h;
+    }
+  };
+  struct VecEq {
+    bool operator()(const std::vector<Value>& a,
+                    const std::vector<Value>& b) const {
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) return false;
+      }
+      return true;
+    }
+  };
+  std::unordered_map<std::vector<Value>, std::vector<std::size_t>, VecHash,
+                     VecEq>
+      groups;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<Value> key = key_fn(r);
+    if (key.empty()) continue;  // null in key: no evidence
+    groups[std::move(key)].push_back(r);
+  }
+  std::vector<std::vector<std::size_t>> out;
+  out.reserve(groups.size());
+  for (auto& [key, rows] : groups) {
+    (void)key;
+    out.push_back(std::move(rows));
+  }
+  return out;
+}
+
+DenialConstraint MakeFdConstraint(const Table& table,
+                                  const std::vector<std::size_t>& lhs,
+                                  std::size_t rhs) {
+  std::vector<Predicate> predicates;
+  std::string name;
+  for (std::size_t col : lhs) {
+    predicates.push_back(Predicate{Operand::Cell(0, col), CompareOp::kEq,
+                                   Operand::Cell(1, col)});
+    if (!name.empty()) name += ",";
+    name += table.schema().attribute(col).name;
+  }
+  predicates.push_back(Predicate{Operand::Cell(0, rhs), CompareOp::kNeq,
+                                 Operand::Cell(1, rhs)});
+  name += "->" + table.schema().attribute(rhs).name;
+  auto dc = DenialConstraint::Make(std::move(name), 2,
+                                   std::move(predicates));
+  TREX_CHECK(dc.ok());
+  return std::move(dc).value();
+}
+
+}  // namespace
+
+Result<std::vector<DiscoveredFd>> DiscoverFds(
+    const Table& table, const FdDiscoveryOptions& options) {
+  if (options.max_violation_fraction < 0 ||
+      options.max_violation_fraction >= 1) {
+    return Status::InvalidArgument(
+        "max_violation_fraction must be in [0, 1)");
+  }
+  const std::size_t cols = table.num_columns();
+  std::vector<DiscoveredFd> found;
+  // found_single[lhs][rhs]: minimality pruning for 2-column LHS.
+  std::vector<std::vector<bool>> found_single(
+      cols, std::vector<bool>(cols, false));
+
+  // Single-column LHS.
+  for (std::size_t lhs = 0; lhs < cols; ++lhs) {
+    const auto groups = GroupRows(table, [&](std::size_t r) {
+      const Value& v = table.at(r, lhs);
+      return v.is_null() ? std::vector<Value>{}
+                         : std::vector<Value>{v};
+    });
+    for (std::size_t rhs = 0; rhs < cols; ++rhs) {
+      if (rhs == lhs) continue;
+      PairCounts counts;
+      for (const auto& rows : groups) {
+        CountGroup(table, rows, rhs, &counts);
+      }
+      if (counts.agreeing < options.min_support_pairs) continue;
+      const double fraction = static_cast<double>(counts.violating) /
+                              static_cast<double>(counts.agreeing);
+      if (fraction <= options.max_violation_fraction) {
+        DiscoveredFd fd;
+        fd.lhs = {lhs};
+        fd.rhs = rhs;
+        fd.violation_fraction = fraction;
+        fd.support_pairs = counts.agreeing;
+        fd.constraint = MakeFdConstraint(table, fd.lhs, rhs);
+        found.push_back(std::move(fd));
+        found_single[lhs][rhs] = true;
+      }
+    }
+  }
+
+  if (options.include_two_column_lhs) {
+    for (std::size_t a = 0; a < cols; ++a) {
+      for (std::size_t b = a + 1; b < cols; ++b) {
+        const auto groups = GroupRows(table, [&](std::size_t r) {
+          const Value& va = table.at(r, a);
+          const Value& vb = table.at(r, b);
+          if (va.is_null() || vb.is_null()) return std::vector<Value>{};
+          return std::vector<Value>{va, vb};
+        });
+        for (std::size_t rhs = 0; rhs < cols; ++rhs) {
+          if (rhs == a || rhs == b) continue;
+          // Minimality: skip when a single-column FD already covers it.
+          if (found_single[a][rhs] || found_single[b][rhs]) continue;
+          PairCounts counts;
+          for (const auto& rows : groups) {
+            CountGroup(table, rows, rhs, &counts);
+          }
+          if (counts.agreeing < options.min_support_pairs) continue;
+          const double fraction = static_cast<double>(counts.violating) /
+                                  static_cast<double>(counts.agreeing);
+          if (fraction <= options.max_violation_fraction) {
+            DiscoveredFd fd;
+            fd.lhs = {a, b};
+            fd.rhs = rhs;
+            fd.violation_fraction = fraction;
+            fd.support_pairs = counts.agreeing;
+            fd.constraint = MakeFdConstraint(table, fd.lhs, rhs);
+            found.push_back(std::move(fd));
+          }
+        }
+      }
+    }
+  }
+  return found;
+}
+
+Result<DcSet> DiscoverFdConstraints(const Table& table,
+                                    const FdDiscoveryOptions& options) {
+  TREX_ASSIGN_OR_RETURN(std::vector<DiscoveredFd> fds,
+                        DiscoverFds(table, options));
+  DcSet out;
+  for (DiscoveredFd& fd : fds) out.Add(std::move(fd.constraint));
+  return out;
+}
+
+}  // namespace trex::dc

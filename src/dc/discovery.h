@@ -1,0 +1,66 @@
+// Constraint discovery: mining denial constraints from data.
+//
+// The paper's pipeline assumes a DC set as input; in practice DCs are
+// *discovered* from (mostly-)clean data — the paper cites Chu, Ilyas &
+// Papotti, "Discovering denial constraints" (PVLDB 2013) as the source
+// of its constraint language. This module provides the FD-shaped core of
+// that problem: exact and approximate functional dependencies with one-
+// or two-attribute left-hand sides, emitted directly as
+// `DenialConstraint`s ready for the repairers and explainers.
+//
+// An FD X -> B is *approximate* at tolerance g1 when the fraction of
+// row pairs that agree on X but disagree on B is at most g1 over the
+// pairs that agree on X (the g1 error of Kivinen & Mannila). Exact
+// discovery is g1 = 0.
+
+#ifndef TREX_DC_DISCOVERY_H_
+#define TREX_DC_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dc/constraint.h"
+#include "table/table.h"
+
+namespace trex::dc {
+
+/// One discovered dependency with its measured quality.
+struct DiscoveredFd {
+  /// Left-hand-side columns (1 or 2) and the determined column.
+  std::vector<std::size_t> lhs;
+  std::size_t rhs = 0;
+  /// Fraction of X-agreeing row pairs that disagree on B (g1 error).
+  double violation_fraction = 0.0;
+  /// Row pairs agreeing on X (the evidence mass behind the FD).
+  std::size_t support_pairs = 0;
+  /// The dependency as a denial constraint, named "Attr1[,Attr2]->Attr".
+  DenialConstraint constraint;
+};
+
+/// Discovery parameters.
+struct FdDiscoveryOptions {
+  /// Maximum tolerated g1 error (0 = exact FDs only).
+  double max_violation_fraction = 0.0;
+  /// Minimum number of X-agreeing row pairs; prunes key-like LHS whose
+  /// groups are all singletons (such FDs hold vacuously and explain
+  /// nothing).
+  std::size_t min_support_pairs = 1;
+  /// Also search two-attribute LHS. Only minimal dependencies are
+  /// emitted: (A1,A2) -> B is suppressed when A1 -> B or A2 -> B was
+  /// already found.
+  bool include_two_column_lhs = false;
+};
+
+/// Mines FDs over `table` (see file comment). Results are ordered by
+/// (|lhs|, lhs columns, rhs column) so output is deterministic.
+Result<std::vector<DiscoveredFd>> DiscoverFds(
+    const Table& table, const FdDiscoveryOptions& options = {});
+
+/// Convenience: the discovered dependencies as a `DcSet`.
+Result<DcSet> DiscoverFdConstraints(const Table& table,
+                                    const FdDiscoveryOptions& options = {});
+
+}  // namespace trex::dc
+
+#endif  // TREX_DC_DISCOVERY_H_

@@ -1,0 +1,73 @@
+#include "dc/incremental.h"
+
+#include "common/logging.h"
+
+namespace trex::dc {
+
+ViolationIndex::ViolationIndex(const Table& table, const DcSet* dcs)
+    : table_(table), dcs_(dcs) {
+  TREX_CHECK(dcs_ != nullptr);
+  for (const Violation& v : FindViolations(table_, *dcs_)) {
+    violations_.insert(v);
+  }
+}
+
+void ViolationIndex::RefreshRow(std::size_t constraint_index,
+                                std::size_t row) {
+  const DenialConstraint& constraint = dcs_->at(constraint_index);
+
+  // Drop stale entries involving the row.
+  for (auto it = violations_.begin(); it != violations_.end();) {
+    if (it->constraint_index == constraint_index &&
+        (it->row1 == row || it->row2 == row)) {
+      it = violations_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Rescan the row.
+  if (constraint.arity() == 1) {
+    if (constraint.IsViolatedBy(table_, row, row)) {
+      violations_.insert(Violation{constraint_index, row, row});
+    }
+    return;
+  }
+  const bool dedup = constraint.IsSymmetric();
+  for (std::size_t other = 0; other < table_.num_rows(); ++other) {
+    if (other == row) continue;
+    if (constraint.IsViolatedBy(table_, row, other)) {
+      Violation v{constraint_index, row, other};
+      if (dedup && other < row) v = Violation{constraint_index, other, row};
+      violations_.insert(v);
+    }
+    if (constraint.IsViolatedBy(table_, other, row)) {
+      Violation v{constraint_index, other, row};
+      if (dedup && row < other) v = Violation{constraint_index, row, other};
+      violations_.insert(v);
+    }
+  }
+}
+
+void ViolationIndex::SetCell(CellRef cell, Value value) {
+  TREX_CHECK_LT(cell.row, table_.num_rows());
+  TREX_CHECK_LT(cell.col, table_.num_columns());
+  table_.Set(cell, std::move(value));
+  for (std::size_t c = 0; c < dcs_->size(); ++c) {
+    if (dcs_->at(c).AllColumns().count(cell.col) == 0) continue;
+    RefreshRow(c, cell.row);
+  }
+}
+
+std::size_t ViolationIndex::CountIfSet(CellRef cell, const Value& value) {
+  const Value saved = table_.at(cell);
+  const std::set<Violation> saved_violations = violations_;
+  SetCell(cell, value);
+  const std::size_t count = violations_.size();
+  // Roll back.
+  table_.Set(cell, saved);
+  violations_ = saved_violations;
+  return count;
+}
+
+}  // namespace trex::dc

@@ -1,0 +1,59 @@
+// Incremental violation maintenance.
+//
+// Repair inner loops ask "how many violations would remain if this cell
+// were set to v?" thousands of times; recomputing all violations is
+// O(n²) per probe. `ViolationIndex` maintains the violation set under
+// single-cell updates: changing a cell only affects violations whose
+// constraint reads that column and that involve that row, so each update
+// rescans one row against the table — O(n · |preds|) instead of O(n²).
+// `HolisticRepair` uses it for candidate evaluation (see
+// bench_ablation's incremental entry and the equivalence property test).
+
+#ifndef TREX_DC_INCREMENTAL_H_
+#define TREX_DC_INCREMENTAL_H_
+
+#include <set>
+#include <vector>
+
+#include "dc/constraint.h"
+#include "dc/violation.h"
+#include "table/table.h"
+
+namespace trex::dc {
+
+/// Maintains the violation set of a table under cell updates (see file
+/// comment). Owns a private copy of the table; `table()` exposes the
+/// current state. Violations are kept with symmetric dedup (row1 < row2
+/// for symmetric DCs), matching `FindViolations`' default.
+class ViolationIndex {
+ public:
+  /// Builds the index over a snapshot of `table`.
+  ViolationIndex(const Table& table, const DcSet* dcs);
+
+  /// Current table state (the snapshot plus applied updates).
+  const Table& table() const { return table_; }
+
+  /// Current violations, in deterministic (constraint, rows) order.
+  const std::set<Violation>& violations() const { return violations_; }
+  std::size_t count() const { return violations_.size(); }
+
+  /// Applies a cell update and incrementally maintains the set.
+  void SetCell(CellRef cell, Value value);
+
+  /// What-if probe: the violation count if `cell` were set to `value`.
+  /// The table and index are left unchanged.
+  std::size_t CountIfSet(CellRef cell, const Value& value);
+
+ private:
+  /// Recomputes violations of constraint `c` that involve `row` and
+  /// replaces the stale entries.
+  void RefreshRow(std::size_t constraint_index, std::size_t row);
+
+  Table table_;
+  const DcSet* dcs_;
+  std::set<Violation> violations_;
+};
+
+}  // namespace trex::dc
+
+#endif  // TREX_DC_INCREMENTAL_H_

@@ -1,0 +1,276 @@
+#include "dc/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace trex::dc {
+namespace {
+
+/// A minimal recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  Parser(std::string_view text, const Schema& schema)
+      : text_(text), schema_(schema) {}
+
+  Result<DenialConstraint> Parse(std::string default_name) {
+    name_ = std::move(default_name);
+    SkipSpace();
+    TREX_RETURN_NOT_OK(MaybeParseNamePrefix());
+    TREX_RETURN_NOT_OK(MaybeParseQuantifier());
+    TREX_RETURN_NOT_OK(ExpectNegation());
+    TREX_RETURN_NOT_OK(Expect("("));
+    std::vector<Predicate> predicates;
+    for (;;) {
+      TREX_ASSIGN_OR_RETURN(Predicate p, ParsePredicate());
+      predicates.push_back(std::move(p));
+      SkipSpace();
+      if (TryConsume("&&") || TryConsume("&") || TryConsumeWord("and") ||
+          TryConsume("∧")) {
+        continue;
+      }
+      break;
+    }
+    TREX_RETURN_NOT_OK(Expect(")"));
+    SkipSpace();
+    if (!AtEnd()) {
+      return Err("unexpected trailing input");
+    }
+    const int arity = max_tuple_ >= 1 ? 2 : 1;
+    return DenialConstraint::Make(name_, arity, std::move(predicates));
+  }
+
+ private:
+  Status Err(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(pos_) + " in DC '" +
+                              std::string(text_) + "'");
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+
+  void SkipSpace() {
+    while (!AtEnd() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool TryConsume(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_).starts_with(token)) {
+      pos_ += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes `word` only when followed by a non-identifier character
+  /// (case-insensitive), so "and" does not eat the prefix of "android".
+  bool TryConsumeWord(std::string_view word) {
+    SkipSpace();
+    if (pos_ + word.size() > text_.size()) return false;
+    for (std::size_t i = 0; i < word.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(text_[pos_ + i])) !=
+          std::tolower(static_cast<unsigned char>(word[i]))) {
+        return false;
+      }
+    }
+    const std::size_t after = pos_ + word.size();
+    if (after < text_.size()) {
+      const char c = text_[after];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        return false;
+      }
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  Status Expect(std::string_view token) {
+    if (!TryConsume(token)) {
+      return Err("expected '" + std::string(token) + "'");
+    }
+    return Status::Ok();
+  }
+
+  Status MaybeParseNamePrefix() {
+    // Lookahead: identifier followed by ':' (but not "::" or a tuple ref).
+    const std::size_t saved = pos_;
+    std::string ident = ConsumeIdentifier();
+    SkipSpace();
+    if (!ident.empty() && !AtEnd() && text_[pos_] == ':') {
+      ++pos_;
+      name_ = ident;
+      return Status::Ok();
+    }
+    pos_ = saved;
+    return Status::Ok();
+  }
+
+  Status MaybeParseQuantifier() {
+    SkipSpace();
+    if (TryConsumeWord("forall") || TryConsume("∀")) {
+      // Consume the variable list up to the dot.
+      for (;;) {
+        SkipSpace();
+        std::string var = ConsumeIdentifier();
+        if (var.empty()) return Err("expected tuple variable after ∀");
+        SkipSpace();
+        if (TryConsume(",")) continue;
+        break;
+      }
+      TREX_RETURN_NOT_OK(Expect("."));
+    }
+    return Status::Ok();
+  }
+
+  Status ExpectNegation() {
+    SkipSpace();
+    if (TryConsumeWord("not") || TryConsume("¬") || TryConsume("!")) {
+      return Status::Ok();
+    }
+    return Err("expected negation ('!', 'not', or '¬')");
+  }
+
+  std::string ConsumeIdentifier() {
+    SkipSpace();
+    std::string out;
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(c);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<Operand> ParseOperand() {
+    SkipSpace();
+    if (AtEnd()) return Err("expected operand");
+    const char c = text_[pos_];
+    // Quoted string constant.
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      ++pos_;
+      std::string value;
+      while (!AtEnd() && text_[pos_] != quote) {
+        value.push_back(text_[pos_]);
+        ++pos_;
+      }
+      if (AtEnd()) return Err("unterminated string constant");
+      ++pos_;  // closing quote
+      return Operand::Constant(Value(std::move(value)));
+    }
+    // Numeric constant.
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+') {
+      std::size_t end = pos_ + 1;
+      while (end < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+              text_[end] == '.' || text_[end] == 'e' || text_[end] == 'E' ||
+              ((text_[end] == '-' || text_[end] == '+') &&
+               (text_[end - 1] == 'e' || text_[end - 1] == 'E')))) {
+        ++end;
+      }
+      const std::string_view literal = text_.substr(pos_, end - pos_);
+      pos_ = end;
+      if (LooksLikeInt(literal)) {
+        TREX_ASSIGN_OR_RETURN(std::int64_t v, ParseInt64(literal));
+        return Operand::Constant(Value(v));
+      }
+      TREX_ASSIGN_OR_RETURN(double v, ParseDouble(literal));
+      return Operand::Constant(Value(v));
+    }
+    // Tuple reference: t<k>.Attr or t<k>[Attr].
+    std::string ident = ConsumeIdentifier();
+    if (ident.empty()) return Err("expected operand");
+    if (ident.size() >= 2 && (ident[0] == 't' || ident[0] == 'T')) {
+      const std::string index_part = ident.substr(1);
+      if (LooksLikeInt(index_part)) {
+        auto parsed = ParseInt64(index_part);
+        if (parsed.ok() && *parsed >= 1 && *parsed <= 2) {
+          const int tuple_index = static_cast<int>(*parsed) - 1;
+          max_tuple_ = std::max(max_tuple_, tuple_index);
+          std::string attr;
+          SkipSpace();
+          if (TryConsume(".")) {
+            attr = ConsumeIdentifier();
+          } else if (TryConsume("[")) {
+            attr = ConsumeIdentifier();
+            TREX_RETURN_NOT_OK(Expect("]"));
+          } else {
+            return Err("expected '.' or '[' after tuple variable");
+          }
+          if (attr.empty()) return Err("expected attribute name");
+          auto col = schema_.IndexOf(attr);
+          if (!col.ok()) {
+            return Err("unknown attribute '" + attr + "'");
+          }
+          return Operand::Cell(tuple_index, *col);
+        }
+      }
+    }
+    return Err("cannot parse operand starting with '" + ident + "'");
+  }
+
+  Result<CompareOp> ParseOp() {
+    SkipSpace();
+    // Longest-match first.
+    if (TryConsume("==")) return CompareOp::kEq;
+    if (TryConsume("!=")) return CompareOp::kNeq;
+    if (TryConsume("<>")) return CompareOp::kNeq;
+    if (TryConsume("≠")) return CompareOp::kNeq;
+    if (TryConsume("<=")) return CompareOp::kLe;
+    if (TryConsume("≤")) return CompareOp::kLe;
+    if (TryConsume(">=")) return CompareOp::kGe;
+    if (TryConsume("≥")) return CompareOp::kGe;
+    if (TryConsume("<")) return CompareOp::kLt;
+    if (TryConsume(">")) return CompareOp::kGt;
+    if (TryConsume("=")) return CompareOp::kEq;
+    return Err("expected comparison operator");
+  }
+
+  Result<Predicate> ParsePredicate() {
+    TREX_ASSIGN_OR_RETURN(Operand lhs, ParseOperand());
+    TREX_ASSIGN_OR_RETURN(CompareOp op, ParseOp());
+    TREX_ASSIGN_OR_RETURN(Operand rhs, ParseOperand());
+    return Predicate{std::move(lhs), op, std::move(rhs)};
+  }
+
+  std::string_view text_;
+  const Schema& schema_;
+  std::size_t pos_ = 0;
+  std::string name_;
+  int max_tuple_ = 0;
+};
+
+}  // namespace
+
+Result<DenialConstraint> ParseDc(std::string_view text, const Schema& schema,
+                                 std::string default_name) {
+  Parser parser(text, schema);
+  return parser.Parse(std::move(default_name));
+}
+
+Result<DcSet> ParseDcSet(std::string_view text, const Schema& schema) {
+  DcSet out;
+  std::size_t count = 0;
+  for (const std::string& line : Split(text, '\n')) {
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    ++count;
+    TREX_ASSIGN_OR_RETURN(
+        DenialConstraint dc,
+        ParseDc(trimmed, schema, "C" + std::to_string(count)));
+    out.Add(std::move(dc));
+  }
+  return out;
+}
+
+}  // namespace trex::dc

@@ -1,0 +1,48 @@
+// Text parser for denial constraints.
+//
+// Accepted grammar (ASCII and the paper's Unicode spellings):
+//
+//   dc       := [name ":"] [quantifier] negation
+//   quantifier := ("forall" | "∀") ident ("," ident)* "."
+//   negation := ("!" | "not" | "¬") "(" conjunction ")"
+//   conjunction := predicate (("&" | "&&" | "and" | "∧") predicate)*
+//   predicate := operand op operand
+//   operand  := tuple_ref | constant
+//   tuple_ref := ("t1" | "t2") ("." attr | "[" attr "]")
+//   constant := "'" text "'" | '"' text '"' | number
+//   op       := "==" | "=" | "!=" | "<>" | "≠" | "<=" | "≤"
+//             | ">=" | "≥" | "<" | ">"
+//
+// Examples (all equivalent):
+//   !(t1.Team == t2.Team & t1.City != t2.City)
+//   C1: forall t1,t2. not(t1[Team] = t2[Team] and t1[City] <> t2[City])
+//   ∀t1,t2. ¬(t1.Team = t2.Team ∧ t1.City ≠ t2.City)
+//
+// `DenialConstraint::ToString` emits the first form, so printing and
+// parsing round-trip.
+
+#ifndef TREX_DC_PARSER_H_
+#define TREX_DC_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "dc/constraint.h"
+#include "table/schema.h"
+
+namespace trex::dc {
+
+/// Parses a single DC. The name is taken from a leading "name:" prefix if
+/// present, else `default_name`. Attribute names are resolved against
+/// `schema`; unknown attributes are an error.
+Result<DenialConstraint> ParseDc(std::string_view text, const Schema& schema,
+                                 std::string default_name = "DC");
+
+/// Parses one DC per non-empty, non-comment (`#`) line. Unnamed lines get
+/// names "C1", "C2", ... by position.
+Result<DcSet> ParseDcSet(std::string_view text, const Schema& schema);
+
+}  // namespace trex::dc
+
+#endif  // TREX_DC_PARSER_H_

@@ -1,0 +1,117 @@
+// Predicates of denial constraints.
+//
+// A predicate compares two operands, each either a cell of a tuple
+// variable (`t1[City]`) or a constant (`'Spain'`). Nulls model *unknown*
+// values (the Shapley cell game nulls out cells absent from a coalition):
+// `null = x` and `null < x` are never satisfied, `null != x` is satisfied
+// for concrete `x` (required by the paper's Example 2.4 coalition
+// arithmetic), and `null != null` is not satisfied.
+
+#ifndef TREX_DC_PREDICATE_H_
+#define TREX_DC_PREDICATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace trex::dc {
+
+/// Comparison operators of the DC language.
+enum class CompareOp : std::uint8_t {
+  kEq = 0,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+};
+
+/// ASCII spelling used by the parser/printer ("==", "!=", "<", ...).
+const char* CompareOpToString(CompareOp op);
+
+/// Unicode spelling for pretty output ("=", "≠", ...).
+const char* CompareOpToPrettyString(CompareOp op);
+
+/// The operator with swapped operand order (e.g. `<` -> `>`).
+CompareOp FlipOp(CompareOp op);
+
+/// The logical negation (e.g. `=` -> `≠`, `<` -> `>=`).
+CompareOp NegateOp(CompareOp op);
+
+/// Applies `op` to concrete values; false when either side is null.
+bool EvalOp(const Value& lhs, CompareOp op, const Value& rhs);
+
+/// One side of a predicate: a tuple-variable attribute or a constant.
+class Operand {
+ public:
+  /// Attribute `col` of tuple variable `tuple_index` (0 for t1, 1 for t2).
+  static Operand Cell(int tuple_index, std::size_t col) {
+    Operand op;
+    op.is_cell_ = true;
+    op.tuple_index_ = tuple_index;
+    op.col_ = col;
+    return op;
+  }
+
+  /// A constant value.
+  static Operand Constant(Value value) {
+    Operand op;
+    op.is_cell_ = false;
+    op.constant_ = std::move(value);
+    return op;
+  }
+
+  bool is_cell() const { return is_cell_; }
+  bool is_constant() const { return !is_cell_; }
+
+  /// For cell operands: which tuple variable (0-based) / which column.
+  int tuple_index() const { return tuple_index_; }
+  std::size_t col() const { return col_; }
+
+  /// For constant operands: the value.
+  const Value& constant() const { return constant_; }
+
+  /// The operand's value for the concrete row pair.
+  const Value& Resolve(const Table& table, std::size_t row1,
+                       std::size_t row2) const;
+
+  bool operator==(const Operand& other) const;
+
+  /// Renders e.g. "t1.City" or "'Spain'" (needs the schema for names).
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  bool is_cell_ = false;
+  int tuple_index_ = 0;
+  std::size_t col_ = 0;
+  Value constant_;
+};
+
+/// An atomic comparison between two operands.
+struct Predicate {
+  Operand lhs;
+  CompareOp op = CompareOp::kEq;
+  Operand rhs;
+
+  /// Evaluates against a concrete row pair (row2 is ignored by operands
+  /// that only mention t1). Null on either side => false.
+  bool Eval(const Table& table, std::size_t row1, std::size_t row2) const;
+
+  /// True iff the predicate mentions tuple variable `tuple_index`.
+  bool MentionsTuple(int tuple_index) const;
+
+  /// True iff it is `t1.A == t2.B` for some columns A, B (the hash-join
+  /// fast path shape).
+  bool IsCrossTupleEquality() const;
+
+  bool operator==(const Predicate& other) const;
+
+  std::string ToString(const Schema& schema) const;
+  std::string ToPrettyString(const Schema& schema) const;
+};
+
+}  // namespace trex::dc
+
+#endif  // TREX_DC_PREDICATE_H_

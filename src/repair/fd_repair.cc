@@ -1,0 +1,84 @@
+#include "repair/fd_repair.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "table/stats.h"
+
+namespace trex::repair {
+
+FdRepair::FdRepair(FdRepairOptions options) : options_(options) {}
+
+Result<Table> FdRepair::Repair(const dc::DcSet& dcs,
+                               const Table& dirty) const {
+  // Collect the FD-shaped constraints (in order).
+  std::vector<std::pair<std::size_t, std::size_t>> fds;  // (X col, B col)
+  for (const dc::DenialConstraint& constraint : dcs.constraints()) {
+    std::size_t lhs = 0;
+    std::size_t rhs = 0;
+    if (constraint.AsFunctionalDependency(&lhs, &rhs)) {
+      fds.emplace_back(lhs, rhs);
+    }
+  }
+  Table working = dirty;
+  if (fds.empty()) return working;
+
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    bool changed = false;
+    for (const auto& [x_col, b_col] : fds) {
+      // Group rows by X value (nulls stay untouched — an unknown key
+      // gives no equivalence evidence).
+      std::unordered_map<Value, std::vector<std::size_t>, ValueHash> groups;
+      for (std::size_t r = 0; r < working.num_rows(); ++r) {
+        const Value& key = working.at(r, x_col);
+        if (key.is_null()) continue;
+        groups[key].push_back(r);
+      }
+      for (auto& [key, rows] : groups) {
+        (void)key;
+        if (rows.size() < 2) continue;
+        // Most frequent non-null B in the group, ties toward smaller.
+        std::map<Value, std::size_t> counts;
+        for (std::size_t r : rows) {
+          const Value& b = working.at(r, b_col);
+          if (!b.is_null()) ++counts[b];
+        }
+        if (counts.empty()) continue;
+        const Value* target = nullptr;
+        std::size_t target_count = 0;
+        for (const auto& [value, count] : counts) {  // ascending values
+          if (count > target_count) {
+            target_count = count;
+            target = &value;
+          }
+        }
+        for (std::size_t r : rows) {
+          const Value& b = working.at(r, b_col);
+          if (b.is_null() || b != *target) {
+            working.Set(r, b_col, *target);
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return working;
+}
+
+std::optional<dc::AttributeGraph> FdRepair::InfluenceGraph(
+    const dc::DcSet& dcs, const Schema& schema) const {
+  dc::AttributeGraph graph(schema.size());
+  for (const dc::DenialConstraint& constraint : dcs.constraints()) {
+    std::size_t lhs = 0;
+    std::size_t rhs = 0;
+    if (constraint.AsFunctionalDependency(&lhs, &rhs)) {
+      graph.AddInfluence(lhs, rhs);
+      graph.AddInfluence(rhs, rhs);
+    }
+  }
+  return graph;
+}
+
+}  // namespace trex::repair

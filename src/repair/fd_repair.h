@@ -1,0 +1,47 @@
+// `FdRepair`: equivalence-class repair for functional dependencies, after
+// Bohannon et al. (ICDE 2007) — the CFD-based cleaning line the paper's
+// introduction cites ([1]).
+//
+// Only FD-shaped DCs (`!(t1.X == t2.X & t1.B != t2.B)`) participate;
+// other constraints are ignored by this algorithm. For each FD X -> B,
+// rows are grouped by their X value and every group's B values are merged
+// to the group's most frequent B (ties toward the smaller value). FDs are
+// applied in order and the pipeline repeats until a fixpoint, since
+// repairing one FD can violate another.
+
+#ifndef TREX_REPAIR_FD_REPAIR_H_
+#define TREX_REPAIR_FD_REPAIR_H_
+
+#include <string>
+
+#include "repair/algorithm.h"
+
+namespace trex::repair {
+
+/// Options for `FdRepair`.
+struct FdRepairOptions {
+  /// Maximum passes over the FD list (fixpoint usually arrives earlier).
+  int max_passes = 8;
+};
+
+/// Equivalence-class FD repairer (see file comment).
+class FdRepair : public RepairAlgorithm {
+ public:
+  explicit FdRepair(FdRepairOptions options = {});
+
+  std::string name() const override { return "fd-repair"; }
+
+  Result<Table> Repair(const dc::DcSet& dcs,
+                       const Table& dirty) const override;
+
+  /// Precise influence graph: each FD X -> B contributes X, B -> B.
+  std::optional<dc::AttributeGraph> InfluenceGraph(
+      const dc::DcSet& dcs, const Schema& schema) const override;
+
+ private:
+  FdRepairOptions options_;
+};
+
+}  // namespace trex::repair
+
+#endif  // TREX_REPAIR_FD_REPAIR_H_

@@ -1,0 +1,114 @@
+#include "repair/holistic.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "dc/incremental.h"
+#include "dc/violation.h"
+#include "table/stats.h"
+
+namespace trex::repair {
+namespace {
+
+/// The cells participating in the most violations (all ties, in
+/// ascending CellRef order) — the greedy MVC frontier over the conflict
+/// hypergraph. Evaluating the whole frontier rather than one arbitrary
+/// tie-break lets the repair-context step pick the cell whose rewrite
+/// actually resolves the most conflicts (e.g. preferring the City cell
+/// of an FD violation over its key cell).
+std::vector<CellRef> PickCoverCells(const std::vector<dc::Violation>& violations,
+                                    const dc::DcSet& dcs) {
+  std::map<CellRef, std::size_t> degree;
+  for (const dc::Violation& v : violations) {
+    for (const CellRef& cell : dc::ImplicatedCells(v, dcs)) {
+      ++degree[cell];
+    }
+  }
+  std::size_t max_degree = 0;
+  for (const auto& [cell, d] : degree) {
+    (void)cell;
+    max_degree = std::max(max_degree, d);
+  }
+  std::vector<CellRef> frontier;
+  for (const auto& [cell, d] : degree) {  // std::map: ascending CellRef
+    if (d == max_degree) frontier.push_back(cell);
+  }
+  return frontier;
+}
+
+/// Candidate replacement values for `cell`, mined from its repair
+/// context: partner-cell values from the violations it participates in
+/// (to satisfy broken != predicates), plus frequent column values (to
+/// escape broken = predicates), plus the column mode.
+std::vector<Value> ContextCandidates(const Table& table,
+                                     const dc::DcSet& dcs,
+                                     const std::vector<dc::Violation>& violations,
+                                     CellRef cell, int max_candidates) {
+  std::set<Value> candidates;
+  for (const dc::Violation& v : violations) {
+    const auto cells = dc::ImplicatedCells(v, dcs);
+    if (std::find(cells.begin(), cells.end(), cell) == cells.end()) continue;
+    // Partner value in the same column from the other tuple.
+    const std::size_t partner_row = cell.row == v.row1 ? v.row2 : v.row1;
+    const Value& partner = table.at(partner_row, cell.col);
+    if (!partner.is_null()) candidates.insert(partner);
+  }
+  const ColumnStats stats = ColumnStats::Build(table, cell.col);
+  if (auto mode = stats.MostCommon(); mode.has_value()) {
+    candidates.insert(*mode);
+  }
+  for (const Value& v : stats.DistinctSorted()) {
+    if (static_cast<int>(candidates.size()) >= max_candidates) break;
+    candidates.insert(v);
+  }
+  const Value& current = table.at(cell);
+  if (!current.is_null()) candidates.erase(current);
+  return {candidates.begin(), candidates.end()};
+}
+
+}  // namespace
+
+HolisticRepair::HolisticRepair(HolisticOptions options) : options_(options) {}
+
+Result<Table> HolisticRepair::Repair(const dc::DcSet& dcs,
+                                     const Table& dirty) const {
+  // The index maintains the violation set under cell probes/updates, so
+  // candidate evaluation costs one row rescan instead of a full table
+  // scan (see dc/incremental.h).
+  dc::ViolationIndex index(dirty, &dcs);
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    if (index.violations().empty()) break;
+    const std::vector<dc::Violation> violations(index.violations().begin(),
+                                                index.violations().end());
+
+    // Evaluate each (frontier cell, context candidate) pair by the total
+    // violations after placement; the frontier and the candidate lists
+    // are value-ordered, so ties resolve deterministically.
+    const std::size_t before = violations.size();
+    std::size_t best_count = before;
+    CellRef best_cell{};
+    Value best_value;
+    bool found = false;
+    for (const CellRef& cell : PickCoverCells(violations, dcs)) {
+      const std::vector<Value> candidates = ContextCandidates(
+          index.table(), dcs, violations, cell, options_.max_candidates);
+      for (const Value& candidate : candidates) {
+        const std::size_t count = index.CountIfSet(cell, candidate);
+        if (count < best_count) {
+          best_count = count;
+          best_cell = cell;
+          best_value = candidate;
+          found = true;
+        }
+      }
+    }
+
+    if (!found) break;  // no rewrite strictly improves: stop
+    index.SetCell(best_cell, best_value);
+  }
+  return index.table();
+}
+
+}  // namespace trex::repair

@@ -1,0 +1,46 @@
+// `HolisticRepair`: the holistic data-cleaning baseline of Chu, Ilyas &
+// Papotti (ICDE 2013) — one of the DC-repair approaches the paper's
+// introduction cites ([3]).
+//
+// The algorithm builds the *conflict hypergraph* (nodes: cells; edges: the
+// cell sets implicated in each violation), greedily approximates a
+// minimum vertex cover to choose which cells to change, and assigns each
+// chosen cell the candidate value that minimizes the remaining violations
+// (its "repair context"). We iterate this until the table is clean, no
+// candidate improves things, or the round budget is exhausted.
+
+#ifndef TREX_REPAIR_HOLISTIC_H_
+#define TREX_REPAIR_HOLISTIC_H_
+
+#include <string>
+
+#include "repair/algorithm.h"
+
+namespace trex::repair {
+
+/// Options for `HolisticRepair`.
+struct HolisticOptions {
+  /// Upper bound on repair rounds (each round fixes one MVC batch);
+  /// guards termination on unsatisfiable constraint sets.
+  int max_rounds = 64;
+  /// Candidate values per cell considered from the repair context.
+  int max_candidates = 16;
+};
+
+/// Greedy conflict-hypergraph repairer (see file comment).
+class HolisticRepair : public RepairAlgorithm {
+ public:
+  explicit HolisticRepair(HolisticOptions options = {});
+
+  std::string name() const override { return "holistic"; }
+
+  Result<Table> Repair(const dc::DcSet& dcs,
+                       const Table& dirty) const override;
+
+ private:
+  HolisticOptions options_;
+};
+
+}  // namespace trex::repair
+
+#endif  // TREX_REPAIR_HOLISTIC_H_

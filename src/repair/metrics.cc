@@ -1,0 +1,68 @@
+#include "repair/metrics.h"
+
+#include "common/string_util.h"
+#include "dc/violation.h"
+
+namespace trex::repair {
+namespace {
+
+bool SameValue(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  return a == b;
+}
+
+}  // namespace
+
+std::string RepairQuality::ToString() const {
+  return StrFormat(
+      "precision=%.3f recall=%.3f f1=%.3f (changed=%zu correct=%zu "
+      "errors=%zu fixed=%zu residual_violations=%zu)",
+      precision, recall, f1, cells_changed, correct_changes, true_errors,
+      errors_fixed, residual_violations);
+}
+
+Result<RepairQuality> EvaluateRepair(const Table& dirty,
+                                     const Table& repaired,
+                                     const Table& truth,
+                                     const dc::DcSet& dcs) {
+  if (dirty.schema() != repaired.schema() ||
+      dirty.schema() != truth.schema() ||
+      dirty.num_rows() != repaired.num_rows() ||
+      dirty.num_rows() != truth.num_rows()) {
+    return Status::InvalidArgument(
+        "dirty/repaired/truth tables must share shape");
+  }
+  RepairQuality q;
+  for (std::size_t r = 0; r < dirty.num_rows(); ++r) {
+    for (std::size_t c = 0; c < dirty.num_columns(); ++c) {
+      const Value& d = dirty.at(r, c);
+      const Value& rep = repaired.at(r, c);
+      const Value& t = truth.at(r, c);
+      const bool changed = !SameValue(d, rep);
+      const bool was_error = !SameValue(d, t);
+      if (changed) {
+        ++q.cells_changed;
+        if (SameValue(rep, t)) ++q.correct_changes;
+      }
+      if (was_error) {
+        ++q.true_errors;
+        if (SameValue(rep, t)) ++q.errors_fixed;
+      }
+    }
+  }
+  q.residual_violations = dc::FindViolations(repaired, dcs).size();
+  q.precision = q.cells_changed == 0
+                    ? 1.0
+                    : static_cast<double>(q.correct_changes) /
+                          static_cast<double>(q.cells_changed);
+  q.recall = q.true_errors == 0
+                 ? 1.0
+                 : static_cast<double>(q.errors_fixed) /
+                       static_cast<double>(q.true_errors);
+  q.f1 = (q.precision + q.recall) == 0
+             ? 0.0
+             : 2 * q.precision * q.recall / (q.precision + q.recall);
+  return q;
+}
+
+}  // namespace trex::repair

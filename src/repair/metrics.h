@@ -1,0 +1,51 @@
+// Repair-quality metrics against a known ground truth.
+//
+// Used by the benchmark harness (repair-algorithm comparison, the §4
+// demo-scenario experiment) on synthetic data where the error injector
+// recorded the true clean table.
+
+#ifndef TREX_REPAIR_METRICS_H_
+#define TREX_REPAIR_METRICS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "dc/constraint.h"
+#include "table/table.h"
+
+namespace trex::repair {
+
+/// Cell-level repair quality.
+struct RepairQuality {
+  /// Cells the repairer changed (dirty -> repaired).
+  std::size_t cells_changed = 0;
+  /// Changed cells whose new value equals the ground truth.
+  std::size_t correct_changes = 0;
+  /// Cells that were actually erroneous (dirty != truth).
+  std::size_t true_errors = 0;
+  /// Erroneous cells restored to their true value.
+  std::size_t errors_fixed = 0;
+  /// Violations remaining in the repaired table.
+  std::size_t residual_violations = 0;
+
+  /// correct_changes / cells_changed (1 when nothing changed).
+  double precision = 1.0;
+  /// errors_fixed / true_errors (1 when nothing was broken).
+  double recall = 1.0;
+  /// Harmonic mean of precision and recall.
+  double f1 = 1.0;
+
+  std::string ToString() const;
+};
+
+/// Scores `repaired` against `truth`, given the original `dirty` table
+/// and the constraint set (for residual violations). All three tables
+/// must share shape.
+Result<RepairQuality> EvaluateRepair(const Table& dirty,
+                                     const Table& repaired,
+                                     const Table& truth,
+                                     const dc::DcSet& dcs);
+
+}  // namespace trex::repair
+
+#endif  // TREX_REPAIR_METRICS_H_

@@ -1,0 +1,97 @@
+#include "repair/rule_repair.h"
+
+#include <optional>
+
+#include "dc/violation.h"
+#include "table/stats.h"
+
+namespace trex::repair {
+
+RuleRepair::RuleRepair(std::string name, std::vector<RepairRule> rules,
+                       RuleRepairOptions options)
+    : name_(std::move(name)), rules_(std::move(rules)), options_(options) {}
+
+Result<Table> RuleRepair::Repair(const dc::DcSet& dcs,
+                                 const Table& dirty) const {
+  // Resolve rules against the supplied constraint set and schema. Rules
+  // bound to constraints not present in `dcs` are silently skipped (that
+  // is the semantics of running the algorithm "without" a constraint).
+  struct ResolvedRule {
+    std::size_t constraint_index;
+    RuleAction action;
+    std::size_t target_col;
+    std::size_t given_col;  // valid only for kSetMostCommonGiven
+  };
+  std::vector<ResolvedRule> resolved;
+  resolved.reserve(rules_.size());
+  for (const RepairRule& rule : rules_) {
+    auto constraint_index = dcs.IndexOf(rule.constraint_name);
+    if (!constraint_index.ok()) continue;  // constraint dropped from input
+    TREX_ASSIGN_OR_RETURN(std::size_t target_col,
+                          dirty.ColumnIndex(rule.target_attribute));
+    std::size_t given_col = 0;
+    if (rule.action == RuleAction::kSetMostCommonGiven) {
+      TREX_ASSIGN_OR_RETURN(given_col,
+                            dirty.ColumnIndex(rule.given_attribute));
+    }
+    resolved.push_back(ResolvedRule{*constraint_index, rule.action,
+                                    target_col, given_col});
+  }
+
+  Table table = dirty;
+  for (int pass = 0; pass < options_.max_passes; ++pass) {
+    bool changed = false;
+    for (const ResolvedRule& rule : resolved) {
+      const dc::DenialConstraint& constraint = dcs.at(rule.constraint_index);
+      for (std::size_t row = 0; row < table.num_rows(); ++row) {
+        if (!dc::RowViolates(table, constraint, row)) continue;
+        std::optional<Value> replacement;
+        if (rule.action == RuleAction::kSetMostCommon) {
+          replacement = ColumnStats::Build(table, rule.target_col)
+                            .MostCommon();
+        } else {
+          const Value& given = table.at(row, rule.given_col);
+          if (given.is_null()) continue;  // no conditioning evidence
+          replacement = JointStats::Build(table, rule.given_col,
+                                          rule.target_col)
+                            .MostCommonGiven(given);
+        }
+        if (!replacement.has_value()) continue;  // no evidence at all
+        const Value& current = table.at(row, rule.target_col);
+        const bool differs =
+            current.is_null() ? !replacement->is_null()
+                              : (replacement->is_null() ||
+                                 *replacement != current);
+        if (differs) {
+          table.Set(row, rule.target_col, *replacement);
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return table;
+}
+
+std::optional<dc::AttributeGraph> RuleRepair::InfluenceGraph(
+    const dc::DcSet& dcs, const Schema& schema) const {
+  dc::AttributeGraph graph(schema.size());
+  for (const RepairRule& rule : rules_) {
+    auto constraint_index = dcs.IndexOf(rule.constraint_name);
+    if (!constraint_index.ok()) continue;
+    auto target_col = schema.IndexOf(rule.target_attribute);
+    if (!target_col.ok()) continue;
+    for (std::size_t read_col : dcs.at(*constraint_index).AllColumns()) {
+      graph.AddInfluence(read_col, *target_col);
+    }
+    if (rule.action == RuleAction::kSetMostCommonGiven) {
+      auto given_col = schema.IndexOf(rule.given_attribute);
+      if (given_col.ok()) graph.AddInfluence(*given_col, *target_col);
+    }
+    // The statistics source is the target column itself.
+    graph.AddInfluence(*target_col, *target_col);
+  }
+  return graph;
+}
+
+}  // namespace trex::repair

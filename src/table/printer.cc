@@ -1,0 +1,147 @@
+#include "table/printer.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace trex {
+namespace {
+
+const char* AnsiPrefix(CellStyle style) {
+  switch (style) {
+    case CellStyle::kNone:
+      return "";
+    case CellStyle::kDirty:
+      return "\x1b[31m";  // red
+    case CellStyle::kRepaired:
+      return "\x1b[34m";  // blue
+    case CellStyle::kHeatLow:
+      return "\x1b[92m";  // bright green
+    case CellStyle::kHeatMid:
+      return "\x1b[32m";  // green
+    case CellStyle::kHeatHigh:
+      return "\x1b[42;30m";  // black on green
+  }
+  return "";
+}
+
+std::string MarkerDecorate(const std::string& text, CellStyle style) {
+  switch (style) {
+    case CellStyle::kNone:
+      return text;
+    case CellStyle::kDirty:
+      return "*" + text + "*";
+    case CellStyle::kRepaired:
+      return "[" + text + "]";
+    case CellStyle::kHeatLow:
+      return text + " (+)";
+    case CellStyle::kHeatMid:
+      return text + " (++)";
+    case CellStyle::kHeatHigh:
+      return text + " (+++)";
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string TablePrinter::DecorateCell(const std::string& text,
+                                       CellStyle style) const {
+  if (style == CellStyle::kNone) return text;
+  if (options_.ansi_colors) {
+    return std::string(AnsiPrefix(style)) + text + "\x1b[0m";
+  }
+  return MarkerDecorate(text, style);
+}
+
+std::string TablePrinter::Render(const Table& table) const {
+  const std::size_t cols = table.num_columns();
+  const std::size_t rows = table.num_rows();
+
+  // Assemble the decorated text grid (header + body), tracking display
+  // widths. ANSI escapes complicate width computation, so widths are
+  // computed on the undecorated text and padding is applied outside the
+  // escape sequence.
+  std::vector<std::string> header(cols);
+  std::vector<std::size_t> width(cols, 0);
+  for (std::size_t c = 0; c < cols; ++c) {
+    header[c] = table.schema().attribute(c).name;
+    width[c] = header[c].size();
+  }
+  std::vector<std::vector<std::string>> raw(rows,
+                                            std::vector<std::string>(cols));
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      raw[r][c] = table.at(r, c).ToString();
+      std::string display = raw[r][c];
+      auto it = styles_.find(CellRef{r, c});
+      if (it != styles_.end() && !options_.ansi_colors) {
+        display = MarkerDecorate(raw[r][c], it->second);
+      }
+      width[c] = std::max(width[c], display.size());
+    }
+  }
+
+  const std::string label_header = options_.row_labels ? "  " : "";
+  std::size_t label_width = 0;
+  if (options_.row_labels) {
+    label_width = ("t" + std::to_string(rows)).size();
+  }
+
+  auto pad = [](const std::string& s, std::size_t w) {
+    std::string out = s;
+    if (out.size() < w) out.append(w - out.size(), ' ');
+    return out;
+  };
+
+  std::string out;
+  const char* sep = options_.markdown ? " | " : "  ";
+  const char* edge = options_.markdown ? "| " : "";
+  const char* edge_end = options_.markdown ? " |" : "";
+
+  // Header line.
+  out += edge;
+  if (options_.row_labels) out += pad(label_header, label_width) + sep;
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (c > 0) out += sep;
+    out += pad(header[c], width[c]);
+  }
+  out += edge_end;
+  out += '\n';
+
+  // Markdown divider or dashes.
+  out += edge;
+  if (options_.row_labels) {
+    out += std::string(label_width, '-') + (options_.markdown ? " | " : "  ");
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    if (c > 0) out += options_.markdown ? " | " : "  ";
+    out += std::string(width[c], '-');
+  }
+  out += edge_end;
+  out += '\n';
+
+  // Body.
+  for (std::size_t r = 0; r < rows; ++r) {
+    out += edge;
+    if (options_.row_labels) {
+      out += pad("t" + std::to_string(r + 1), label_width) + sep;
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c > 0) out += sep;
+      auto it = styles_.find(CellRef{r, c});
+      const CellStyle style =
+          it == styles_.end() ? CellStyle::kNone : it->second;
+      if (options_.ansi_colors) {
+        // Pad the raw text, then color the padded field.
+        out += DecorateCell(pad(raw[r][c], width[c]), style);
+      } else {
+        out += pad(MarkerDecorate(raw[r][c], style), width[c]);
+      }
+    }
+    out += edge_end;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace trex

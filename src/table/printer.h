@@ -1,0 +1,62 @@
+// ASCII / Markdown rendering of tables with per-cell highlights.
+//
+// This stands in for the T-REx GUI's visual channel: dirty cells render
+// red, repaired cells blue, and explanation heat uses graded green — the
+// same palette as the paper's Figures 2 and 3 — via ANSI escapes, or
+// textual markers when colors are disabled (benchmark logs, files).
+
+#ifndef TREX_TABLE_PRINTER_H_
+#define TREX_TABLE_PRINTER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "table/table.h"
+
+namespace trex {
+
+/// Highlight classes for cells.
+enum class CellStyle {
+  kNone = 0,
+  kDirty,      // red in the GUI (Figure 2a)
+  kRepaired,   // blue in the GUI (Figure 2b)
+  kHeatLow,    // light green (low Shapley influence)
+  kHeatMid,    // medium green
+  kHeatHigh,   // dark green (top influence)
+};
+
+/// Rendering options.
+struct PrinterOptions {
+  /// Use ANSI colors; otherwise cells are wrapped in textual markers:
+  /// dirty `*v*`, repaired `[v]`, heat `v (+)`, `v (++)`, `v (+++)`.
+  bool ansi_colors = false;
+  /// Render GitHub-flavored markdown instead of a box-drawing grid.
+  bool markdown = false;
+  /// Prefix each row with its 1-based paper-style tuple label (t1, t2...).
+  bool row_labels = true;
+};
+
+/// Renders `table` as text with optional per-cell styles.
+class TablePrinter {
+ public:
+  explicit TablePrinter(PrinterOptions options = {}) : options_(options) {}
+
+  /// Sets the style of one cell.
+  void Highlight(CellRef cell, CellStyle style) { styles_[cell] = style; }
+
+  /// Clears all highlights.
+  void ClearHighlights() { styles_.clear(); }
+
+  /// Renders the table.
+  std::string Render(const Table& table) const;
+
+ private:
+  std::string DecorateCell(const std::string& text, CellStyle style) const;
+
+  PrinterOptions options_;
+  std::unordered_map<CellRef, CellStyle, CellRefHash> styles_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_TABLE_PRINTER_H_

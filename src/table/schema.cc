@@ -1,0 +1,69 @@
+#include "table/schema.h"
+
+#include "common/logging.h"
+
+namespace trex {
+
+Schema::Schema(std::vector<Attribute> attributes) {
+  auto result = Make(std::move(attributes));
+  TREX_CHECK(result.ok()) << result.status().ToString();
+  *this = std::move(result).value();
+}
+
+Schema Schema::AllStrings(std::initializer_list<const char*> names) {
+  std::vector<Attribute> attrs;
+  attrs.reserve(names.size());
+  for (const char* name : names) {
+    attrs.push_back(Attribute{name, ValueType::kString});
+  }
+  return Schema(std::move(attrs));
+}
+
+Result<Schema> Schema::Make(std::vector<Attribute> attributes) {
+  Schema schema;
+  for (std::size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].name.empty()) {
+      return Status::InvalidArgument("attribute " + std::to_string(i) +
+                                     " has an empty name");
+    }
+    auto [it, inserted] = schema.index_.emplace(attributes[i].name, i);
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate attribute name: " +
+                                   attributes[i].name);
+    }
+  }
+  schema.attributes_ = std::move(attributes);
+  return schema;
+}
+
+const Attribute& Schema::attribute(std::size_t index) const {
+  TREX_CHECK_LT(index, attributes_.size());
+  return attributes_[index];
+}
+
+Result<std::size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Schema::Contains(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += ValueTypeToString(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace trex

@@ -1,0 +1,74 @@
+// `Schema`: ordered, named, typed attributes of a table.
+
+#ifndef TREX_TABLE_SCHEMA_H_
+#define TREX_TABLE_SCHEMA_H_
+
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "table/value.h"
+
+namespace trex {
+
+/// One attribute (column) of a schema.
+struct Attribute {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const Attribute& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of uniquely-named attributes.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; duplicate names are a fatal programmer error (use
+  /// `Make` for a checked construction path).
+  explicit Schema(std::vector<Attribute> attributes);
+
+  /// Convenience: all-string schema from names, e.g.
+  /// `Schema::AllStrings({"Team", "City"})`.
+  static Schema AllStrings(std::initializer_list<const char*> names);
+
+  /// Checked construction: fails on duplicate or empty attribute names.
+  static Result<Schema> Make(std::vector<Attribute> attributes);
+
+  /// Number of attributes.
+  std::size_t size() const { return attributes_.size(); }
+  bool empty() const { return attributes_.empty(); }
+
+  /// The attribute at `index` (bounds-checked fatally).
+  const Attribute& attribute(std::size_t index) const;
+
+  /// All attributes in order.
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name`.
+  Result<std::size_t> IndexOf(const std::string& name) const;
+
+  /// True iff an attribute with this name exists.
+  bool Contains(const std::string& name) const;
+
+  /// Structural equality (names and types, in order).
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+  /// Renders e.g. "(Team:string, Year:int)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, std::size_t> index_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_TABLE_SCHEMA_H_

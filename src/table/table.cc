@@ -1,0 +1,107 @@
+#include "table/table.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace trex {
+
+std::string CellRef::ToString() const {
+  return "(" + std::to_string(row) + "," + std::to_string(col) + ")";
+}
+
+std::string CellRef::ToString(const Schema& schema) const {
+  if (col < schema.size()) {
+    return "t" + std::to_string(row + 1) + "[" + schema.attribute(col).name +
+           "]";
+  }
+  return ToString();
+}
+
+Status Table::AppendRow(std::vector<Value> row) {
+  if (row.size() != schema_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) +
+        " does not match schema arity " + std::to_string(schema_.size()));
+  }
+  for (auto& value : row) cells_.push_back(std::move(value));
+  return Status::Ok();
+}
+
+const Value& Table::at(std::size_t row, std::size_t col) const {
+  TREX_CHECK_LT(row, num_rows());
+  TREX_CHECK_LT(col, num_columns());
+  return cells_[row * num_columns() + col];
+}
+
+void Table::Set(std::size_t row, std::size_t col, Value value) {
+  TREX_CHECK_LT(row, num_rows());
+  TREX_CHECK_LT(col, num_columns());
+  cells_[row * num_columns() + col] = std::move(value);
+}
+
+CellRef Table::FromLinearIndex(std::size_t index) const {
+  TREX_CHECK_LT(index, cells_.size());
+  return CellRef{index / num_columns(), index % num_columns()};
+}
+
+std::vector<CellRef> Table::AllCells() const {
+  std::vector<CellRef> cells;
+  cells.reserve(num_cells());
+  for (std::size_t r = 0; r < num_rows(); ++r) {
+    for (std::size_t c = 0; c < num_columns(); ++c) {
+      cells.push_back(CellRef{r, c});
+    }
+  }
+  return cells;
+}
+
+const Value& Table::Cell(std::size_t row, const std::string& attribute) const {
+  auto col = schema_.IndexOf(attribute);
+  TREX_CHECK(col.ok()) << col.status().ToString();
+  return at(row, *col);
+}
+
+std::uint64_t Table::Fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = Fnv1a(schema_.ToString(), h);
+  for (const Value& v : cells_) {
+    const std::uint8_t tag = static_cast<std::uint8_t>(v.type());
+    h = Fnv1aBytes(&tag, 1, h);
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt: {
+        const std::int64_t x = v.as_int();
+        h = Fnv1aBytes(&x, sizeof(x), h);
+        break;
+      }
+      case ValueType::kDouble: {
+        const double x = v.as_double();
+        h = Fnv1aBytes(&x, sizeof(x), h);
+        break;
+      }
+      case ValueType::kString:
+        h = Fnv1a(v.as_string(), h);
+        break;
+    }
+  }
+  return h;
+}
+
+Table Table::WithNulls(const std::vector<CellRef>& cells) const {
+  Table out = *this;
+  for (const CellRef& cell : cells) {
+    out.Set(cell, Value::Null());
+  }
+  return out;
+}
+
+std::size_t Table::CountNulls() const {
+  std::size_t count = 0;
+  for (const Value& v : cells_) {
+    if (v.is_null()) ++count;
+  }
+  return count;
+}
+
+}  // namespace trex

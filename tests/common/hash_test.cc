@@ -1,0 +1,64 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace trex {
+namespace {
+
+TEST(HashCombineTest, OrderSensitive) {
+  const std::size_t a = HashCombine(HashCombine(0, 1), 2);
+  const std::size_t b = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashCombineTest, Deterministic) {
+  EXPECT_EQ(HashCombine(17, 42), HashCombine(17, 42));
+}
+
+TEST(HashMixTest, MixesStdHashables) {
+  const std::size_t h1 = HashMix(0, std::string("abc"));
+  const std::size_t h2 = HashMix(0, std::string("abd"));
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(h1, HashMix(0, std::string("abc")));
+}
+
+TEST(Fnv1aTest, KnownProperties) {
+  // Empty input returns the offset basis.
+  EXPECT_EQ(Fnv1a(std::string_view(""), 0xcbf29ce484222325ULL),
+            0xcbf29ce484222325ULL);
+  // Single-byte avalanche.
+  EXPECT_NE(Fnv1a("a"), Fnv1a("b"));
+  // Deterministic.
+  EXPECT_EQ(Fnv1a("hello world"), Fnv1a("hello world"));
+}
+
+TEST(Fnv1aTest, SeedChaining) {
+  // Hashing "ab" should equal hashing "a" then "b" with the chained seed.
+  const std::uint64_t chained =
+      Fnv1a(std::string_view("b"), Fnv1a("a"));
+  EXPECT_EQ(Fnv1a("ab"), chained);
+}
+
+TEST(Fnv1aTest, BytesAndStringViewAgree) {
+  const char data[] = {'a', 'b', 'c'};
+  EXPECT_EQ(Fnv1aBytes(data, 3), Fnv1a("abc"));
+}
+
+TEST(Fnv1aTest, FewCollisionsOnSmallStrings) {
+  std::set<std::uint64_t> hashes;
+  int count = 0;
+  for (char a = 'a'; a <= 'z'; ++a) {
+    for (char b = 'a'; b <= 'z'; ++b) {
+      std::string s{a, b};
+      hashes.insert(Fnv1a(s));
+      ++count;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(hashes.size()), count);
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace trex {
+namespace {
+
+TEST(LoggingTest, LogLevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, FilteredLogDoesNotEvaluateStream) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto side_effect = [&evaluations]() {
+    ++evaluations;
+    return 1;
+  };
+  TREX_LOG(DEBUG) << side_effect();
+  TREX_LOG(INFO) << side_effect();
+  EXPECT_EQ(evaluations, 0);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, PassingCheckDoesNotAbort) {
+  TREX_CHECK(1 + 1 == 2) << "never shown";
+  TREX_CHECK_EQ(2, 2);
+  TREX_CHECK_NE(2, 3);
+  TREX_CHECK_LT(1, 2);
+  TREX_CHECK_LE(2, 2);
+  TREX_CHECK_GT(3, 2);
+  TREX_CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ TREX_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FailingCheckEqAborts) {
+  EXPECT_DEATH({ TREX_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,138 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace trex {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, NamedConstructorsSetCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotImplemented("x").code(),
+            StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ErrorsAreNotOk) {
+  EXPECT_FALSE(Status::InvalidArgument("bad").ok());
+  EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  const Status s = Status::NotFound("row 7");
+  EXPECT_EQ(s.ToString(), "Not found: row 7");
+}
+
+TEST(StatusTest, WithPrefixPrepends) {
+  const Status s = Status::ParseError("bad token").WithPrefix("line 3");
+  EXPECT_EQ(s.message(), "line 3: bad token");
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(StatusTest, WithPrefixKeepsOkUntouched) {
+  EXPECT_TRUE(Status::Ok().WithPrefix("context").ok());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Internal("a"));
+  EXPECT_EQ(Status::Ok(), Status());
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "Invalid argument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "Parse error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r{Status::Ok()};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<std::string> bad{Status::NotFound("x")};
+  EXPECT_EQ(bad.ValueOr("fallback"), "fallback");
+  Result<std::string> good{std::string("value")};
+  EXPECT_EQ(good.ValueOr("fallback"), "value");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("hello"));
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> QuarterViaMacro(int x) {
+  TREX_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  TREX_ASSIGN_OR_RETURN(int quarter, HalveEven(half));
+  return quarter;
+}
+
+Status CheckDivisible(int x) {
+  TREX_RETURN_NOT_OK(HalveEven(x).status());
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesValues) {
+  Result<int> r = QuarterViaMacro(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesErrors) {
+  EXPECT_FALSE(QuarterViaMacro(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(QuarterViaMacro(7).ok());
+}
+
+TEST(ResultTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(CheckDivisible(4).ok());
+  EXPECT_EQ(CheckDivisible(3).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,95 @@
+#include "core/compare.h"
+
+#include <gtest/gtest.h>
+
+namespace trex {
+namespace {
+
+Explanation MakeExplanation(
+    std::initializer_list<std::pair<const char*, double>> scores) {
+  Explanation ex;
+  for (const auto& [label, value] : scores) {
+    PlayerScore p;
+    p.label = label;
+    p.shapley = value;
+    ex.ranked.push_back(std::move(p));
+  }
+  return ex;
+}
+
+TEST(CompareTest, IdenticalExplanations) {
+  const Explanation ex =
+      MakeExplanation({{"C3", 0.67}, {"C1", 0.17}, {"C2", 0.17},
+                       {"C4", 0.0}});
+  auto cmp = CompareExplanations(ex, ex);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_DOUBLE_EQ(cmp->kendall_tau, 1.0);
+  EXPECT_DOUBLE_EQ(cmp->spearman_rho, 1.0);
+  EXPECT_DOUBLE_EQ(cmp->topk_jaccard, 1.0);
+  EXPECT_DOUBLE_EQ(cmp->mean_abs_shift, 0.0);
+  EXPECT_EQ(cmp->common_players, 4u);
+}
+
+TEST(CompareTest, ReversedOrder) {
+  const Explanation a =
+      MakeExplanation({{"A", 3.0}, {"B", 2.0}, {"C", 1.0}});
+  const Explanation b =
+      MakeExplanation({{"C", 3.0}, {"B", 2.0}, {"A", 1.0}});
+  auto cmp = CompareExplanations(a, b, /*top_k=*/1);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_DOUBLE_EQ(cmp->kendall_tau, -1.0);
+  EXPECT_DOUBLE_EQ(cmp->spearman_rho, -1.0);
+  EXPECT_DOUBLE_EQ(cmp->topk_jaccard, 0.0);  // {A} vs {C}
+}
+
+TEST(CompareTest, ValueShiftWithoutReorder) {
+  const Explanation a = MakeExplanation({{"A", 0.8}, {"B", 0.2}});
+  const Explanation b = MakeExplanation({{"A", 0.6}, {"B", 0.4}});
+  auto cmp = CompareExplanations(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_DOUBLE_EQ(cmp->kendall_tau, 1.0);
+  EXPECT_NEAR(cmp->mean_abs_shift, 0.2, 1e-12);
+}
+
+TEST(CompareTest, PartialOverlapUsesCommonPlayers) {
+  const Explanation a =
+      MakeExplanation({{"A", 3.0}, {"B", 2.0}, {"X", 1.0}});
+  const Explanation b =
+      MakeExplanation({{"A", 3.0}, {"B", 2.0}, {"Y", 1.0}});
+  auto cmp = CompareExplanations(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_EQ(cmp->common_players, 2u);
+  EXPECT_DOUBLE_EQ(cmp->kendall_tau, 1.0);
+}
+
+TEST(CompareTest, TooFewCommonPlayersRejected) {
+  const Explanation a = MakeExplanation({{"A", 1.0}, {"B", 0.5}});
+  const Explanation b = MakeExplanation({{"C", 1.0}, {"D", 0.5}});
+  EXPECT_FALSE(CompareExplanations(a, b).ok());
+}
+
+TEST(CompareTest, TiesHandledInTau) {
+  const Explanation a = MakeExplanation({{"A", 1.0}, {"B", 1.0},
+                                         {"C", 0.0}});
+  const Explanation b = MakeExplanation({{"A", 1.0}, {"B", 0.5},
+                                         {"C", 0.0}});
+  auto cmp = CompareExplanations(a, b);
+  ASSERT_TRUE(cmp.ok());
+  // tau-b with one tie in `a`: still positive, not 1.
+  EXPECT_GT(cmp->kendall_tau, 0.5);
+  EXPECT_LT(cmp->kendall_tau, 1.0);
+}
+
+TEST(CompareTest, TopKJaccardPartial) {
+  const Explanation a =
+      MakeExplanation({{"A", 4.0}, {"B", 3.0}, {"C", 2.0}, {"D", 1.0}});
+  const Explanation b =
+      MakeExplanation({{"A", 4.0}, {"C", 3.0}, {"B", 2.0}, {"D", 1.0}});
+  auto cmp = CompareExplanations(a, b, /*top_k=*/2);
+  ASSERT_TRUE(cmp.ok());
+  // Top-2: {A,B} vs {A,C} -> 1/3.
+  EXPECT_NEAR(cmp->topk_jaccard, 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace trex

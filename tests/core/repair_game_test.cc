@@ -1,0 +1,211 @@
+#include "core/repair_game.h"
+
+#include <gtest/gtest.h>
+
+#include "data/soccer.h"
+
+namespace trex {
+namespace {
+
+// Keep the algorithm alive for all boxes (Make holds a raw pointer);
+// a static instance is simplest for tests.
+std::shared_ptr<repair::RuleRepair> Algorithm1Singleton() {
+  static std::shared_ptr<repair::RuleRepair> alg = data::MakeAlgorithm1();
+  return alg;
+}
+
+BlackBoxRepair MakeSoccerBox() {
+  auto box = BlackBoxRepair::Make(Algorithm1Singleton().get(),
+                                  data::SoccerConstraints(),
+                                  data::SoccerDirtyTable(),
+                                  data::SoccerTargetCell());
+  EXPECT_TRUE(box.ok()) << box.status();
+  return std::move(box).value();
+}
+
+Result<BlackBoxRepair> MakeBox(CellRef target) {
+  return BlackBoxRepair::Make(Algorithm1Singleton().get(),
+                              data::SoccerConstraints(),
+                              data::SoccerDirtyTable(), target);
+}
+
+TEST(BlackBoxRepairTest, ReferenceRunEstablishesCleanValue) {
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  EXPECT_TRUE(box->target_was_repaired());
+  EXPECT_EQ(box->reference_clean().at(data::SoccerTargetCell()),
+            Value("Spain"));
+  EXPECT_EQ(box->num_algorithm_calls(), 1u);  // the reference run
+}
+
+TEST(BlackBoxRepairTest, UnrepairedTargetDetected) {
+  auto box = MakeBox(data::SoccerCell(1, "Team"));
+  ASSERT_TRUE(box.ok());
+  EXPECT_FALSE(box->target_was_repaired());
+}
+
+TEST(BlackBoxRepairTest, NullAlgorithmRejected) {
+  auto box =
+      BlackBoxRepair::Make(nullptr, data::SoccerConstraints(),
+                           data::SoccerDirtyTable(), CellRef{0, 0});
+  EXPECT_FALSE(box.ok());
+}
+
+TEST(BlackBoxRepairTest, TargetOutOfRangeRejected) {
+  auto box = BlackBoxRepair::Make(
+      Algorithm1Singleton().get(), data::SoccerConstraints(),
+      data::SoccerDirtyTable(), CellRef{99, 0});
+  EXPECT_FALSE(box.ok());
+  EXPECT_EQ(box.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BlackBoxRepairTest, ConstraintSubsetOutcomes) {
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  // Example 2.3's characteristic function.
+  EXPECT_FALSE(box->EvalConstraintSubset(0b0000));
+  EXPECT_FALSE(box->EvalConstraintSubset(0b0001));  // C1 alone
+  EXPECT_FALSE(box->EvalConstraintSubset(0b0010));  // C2 alone
+  EXPECT_TRUE(box->EvalConstraintSubset(0b0011));   // C1+C2
+  EXPECT_TRUE(box->EvalConstraintSubset(0b0100));   // C3
+  EXPECT_TRUE(box->EvalConstraintSubset(0b1111));   // all
+  EXPECT_FALSE(box->EvalConstraintSubset(0b1000));  // C4 alone
+}
+
+TEST(BlackBoxRepairTest, MaskCacheAvoidsRepeatCalls) {
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  const std::size_t base = box->num_algorithm_calls();
+  box->EvalConstraintSubset(0b0011);
+  EXPECT_EQ(box->num_algorithm_calls(), base + 1);
+  box->EvalConstraintSubset(0b0011);
+  EXPECT_EQ(box->num_algorithm_calls(), base + 1);  // cached
+  EXPECT_EQ(box->num_cache_hits(), 1u);
+}
+
+TEST(BlackBoxRepairTest, TableCacheKeysOnContent) {
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  Table perturbed = data::SoccerDirtyTable();
+  perturbed.Set(data::SoccerCell(1, "Team"), Value::Null());
+  const std::size_t base = box->num_algorithm_calls();
+  box->EvalTable(perturbed);
+  EXPECT_EQ(box->num_algorithm_calls(), base + 1);
+  // Equal content, different object: still cached.
+  Table same = data::SoccerDirtyTable();
+  same.Set(data::SoccerCell(1, "Team"), Value::Null());
+  box->EvalTable(same);
+  EXPECT_EQ(box->num_algorithm_calls(), base + 1);
+  EXPECT_GE(box->num_cache_hits(), 1u);
+}
+
+TEST(BlackBoxRepairTest, CacheCanBeDisabled) {
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  box->set_cache_enabled(false);
+  const std::size_t base = box->num_algorithm_calls();
+  box->EvalConstraintSubset(0b0011);
+  box->EvalConstraintSubset(0b0011);
+  EXPECT_EQ(box->num_algorithm_calls(), base + 2);
+  EXPECT_EQ(box->num_cache_hits(), 0u);
+}
+
+TEST(BlackBoxRepairTest, EvalTableWithNulledTarget) {
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  // Nulling out every Country cell leaves no repair evidence: outcome 0.
+  Table perturbed = data::SoccerDirtyTable();
+  for (std::size_t r = 0; r < perturbed.num_rows(); ++r) {
+    perturbed.Set(data::SoccerCell(r + 1, "Country"), Value::Null());
+  }
+  EXPECT_FALSE(box->EvalTable(perturbed));
+}
+
+TEST(ConstraintGameTest, MatchesBoxOutcomes) {
+  const BlackBoxRepair box = MakeSoccerBox();
+  ConstraintGame game(&box);
+  EXPECT_EQ(game.num_players(), 4u);
+  shap::Coalition c1_c2{true, true, false, false};
+  EXPECT_DOUBLE_EQ(game.Value(c1_c2), 1.0);
+  shap::Coalition c1_only{true, false, false, false};
+  EXPECT_DOUBLE_EQ(game.Value(c1_only), 0.0);
+  shap::Coalition empty(4, false);
+  EXPECT_DOUBLE_EQ(game.Value(empty), 0.0);
+}
+
+TEST(CellGameTest, FullCoalitionRepairs) {
+  const BlackBoxRepair box = MakeSoccerBox();
+  CellGame game(&box, box.dirty().AllCells());
+  EXPECT_EQ(game.num_players(), 36u);
+  shap::Coalition all(36, true);
+  EXPECT_DOUBLE_EQ(game.Value(all), 1.0);
+}
+
+TEST(CellGameTest, EmptyCoalitionDoesNotRepair) {
+  const BlackBoxRepair box = MakeSoccerBox();
+  CellGame game(&box, box.dirty().AllCells());
+  shap::Coalition none(36, false);
+  EXPECT_DOUBLE_EQ(game.Value(none), 0.0);
+}
+
+TEST(CellGameTest, Example24CoalitionRepairsViaC1C2) {
+  // The paper's minimal C1+C2 coalition: {t3[Team], t3[City],
+  // t3[Country], t5[Team]} — all other cells null.
+  const BlackBoxRepair box = MakeSoccerBox();
+  const std::vector<CellRef> players = box.dirty().AllCells();
+  CellGame game(&box, players);
+  shap::Coalition coalition(players.size(), false);
+  auto include = [&](CellRef cell) {
+    coalition[box.dirty().LinearIndex(cell)] = true;
+  };
+  include(data::SoccerCell(3, "Team"));
+  include(data::SoccerCell(3, "City"));
+  include(data::SoccerCell(3, "Country"));
+  include(data::SoccerCell(5, "Team"));
+  EXPECT_DOUBLE_EQ(game.Value(coalition), 1.0);
+}
+
+TEST(CellGameTest, Example24CoalitionRepairsViaC3Pair) {
+  // One (League, Country) support pair plus t5[League] triggers C3.
+  const BlackBoxRepair box = MakeSoccerBox();
+  const std::vector<CellRef> players = box.dirty().AllCells();
+  CellGame game(&box, players);
+  shap::Coalition coalition(players.size(), false);
+  auto include = [&](CellRef cell) {
+    coalition[box.dirty().LinearIndex(cell)] = true;
+  };
+  include(data::SoccerCell(1, "League"));
+  include(data::SoccerCell(1, "Country"));
+  include(data::SoccerCell(5, "League"));
+  EXPECT_DOUBLE_EQ(game.Value(coalition), 1.0);
+}
+
+TEST(CellGameTest, PairWithoutTargetLeagueDoesNotRepair) {
+  // Without t5[League] in the coalition, C3 cannot bind t5.
+  const BlackBoxRepair box = MakeSoccerBox();
+  const std::vector<CellRef> players = box.dirty().AllCells();
+  CellGame game(&box, players);
+  shap::Coalition coalition(players.size(), false);
+  coalition[box.dirty().LinearIndex(data::SoccerCell(1, "League"))] = true;
+  coalition[box.dirty().LinearIndex(data::SoccerCell(1, "Country"))] = true;
+  EXPECT_DOUBLE_EQ(game.Value(coalition), 0.0);
+}
+
+TEST(CellGameTest, PrunedPlayerListKeepsBackgroundCells) {
+  // With players restricted to two cells, all other cells keep their
+  // original values: including both players repairs the target because
+  // the rest of the table is intact.
+  const BlackBoxRepair box = MakeSoccerBox();
+  CellGame game(&box, {data::SoccerCell(5, "League"),
+                       data::SoccerCell(5, "Country")});
+  EXPECT_EQ(game.num_players(), 2u);
+  shap::Coalition both{true, true};
+  EXPECT_DOUBLE_EQ(game.Value(both), 1.0);
+  // Removing t5[League] from the coalition nulls it; C3 cannot fire, but
+  // C1+C2 still repair through the intact background cells.
+  shap::Coalition country_only{false, true};
+  EXPECT_DOUBLE_EQ(game.Value(country_only), 1.0);
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,198 @@
+// Tests for the sampling extensions: stratified estimation and the
+// adaptive top-k driver.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+
+#include "core/shapley_exact.h"
+#include "core/shapley_sampling.h"
+
+namespace trex::shap {
+namespace {
+
+class LambdaGame : public Game {
+ public:
+  LambdaGame(std::size_t n, std::function<double(std::uint64_t)> v)
+      : n_(n), v_(std::move(v)) {}
+  std::size_t num_players() const override { return n_; }
+  double Value(const Coalition& coalition) const override {
+    std::uint64_t mask = 0;
+    for (std::size_t i = 0; i < coalition.size(); ++i) {
+      if (coalition[i]) mask |= std::uint64_t{1} << i;
+    }
+    return v_(mask);
+  }
+
+ private:
+  std::size_t n_;
+  std::function<double(std::uint64_t)> v_;
+};
+
+LambdaGame GloveGame() {
+  return LambdaGame(3, [](std::uint64_t mask) {
+    const bool left = mask & 0b001;
+    const bool right = mask & 0b110;
+    return left && right ? 1.0 : 0.0;
+  });
+}
+
+TEST(StratifiedTest, ConvergesToExactValue) {
+  const LambdaGame game = GloveGame();
+  SamplingOptions options;
+  options.num_samples = 6000;
+  options.seed = 11;
+  auto estimate = EstimateShapleyStratified(game, 0, options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_NEAR(estimate->value, 2.0 / 3.0, 0.03);
+  EXPECT_GT(estimate->num_samples, 0u);
+}
+
+TEST(StratifiedTest, ExactForSizeDeterminedGames) {
+  // v(S) = |S|: the marginal is exactly 1 in every stratum, so the
+  // stratified estimate is exact with zero variance even at a tiny
+  // budget — the case stratification is built for.
+  LambdaGame game(6, [](std::uint64_t mask) {
+    return static_cast<double>(std::popcount(mask));
+  });
+  SamplingOptions options;
+  options.num_samples = 12;  // 2 per stratum
+  auto estimate = EstimateShapleyStratified(game, 2, options);
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_DOUBLE_EQ(estimate->value, 1.0);
+  EXPECT_DOUBLE_EQ(estimate->std_error, 0.0);
+}
+
+TEST(StratifiedTest, BeatsPlainSamplingOnThresholdGames) {
+  // Threshold game: v = 1 iff |S| >= 4 of 8 — marginals depend on the
+  // coalition size only, so stratification removes all between-stratum
+  // variance. Compare stderr at equal budgets.
+  LambdaGame game(8, [](std::uint64_t mask) {
+    return std::popcount(mask) >= 4 ? 1.0 : 0.0;
+  });
+  SamplingOptions options;
+  options.num_samples = 800;
+  options.seed = 13;
+  auto stratified = EstimateShapleyStratified(game, 0, options);
+  auto plain = EstimateShapleyForPlayer(game, 0, options);
+  ASSERT_TRUE(stratified.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NEAR(stratified->value, 1.0 / 8.0, 0.02);
+  EXPECT_NEAR(plain->value, 1.0 / 8.0, 0.05);
+  EXPECT_LT(stratified->std_error, plain->std_error);
+}
+
+TEST(StratifiedTest, Validation) {
+  const LambdaGame game = GloveGame();
+  EXPECT_FALSE(EstimateShapleyStratified(game, 5, {}).ok());
+  SamplingOptions options;
+  options.num_samples = 0;
+  EXPECT_FALSE(EstimateShapleyStratified(game, 0, options).ok());
+}
+
+TEST(StratifiedTest, DeterministicForSeed) {
+  const LambdaGame game = GloveGame();
+  SamplingOptions options;
+  options.num_samples = 300;
+  options.seed = 17;
+  auto a = EstimateShapleyStratified(game, 1, options);
+  auto b = EstimateShapleyStratified(game, 1, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->value, b->value);
+}
+
+TEST(TopKTest, FindsTheTopPlayer) {
+  const LambdaGame game = GloveGame();
+  TopKOptions options;
+  options.k = 1;
+  options.seed = 19;
+  auto result = EstimateTopKPlayers(game, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->separated);
+  EXPECT_EQ(result->ranking[0], 0u);  // the left glove dominates
+  EXPECT_LT(result->sweeps, options.max_samples);
+}
+
+TEST(TopKTest, SeparationStopsEarlyOnEasyGames) {
+  // Additive game with well-separated weights: should separate fast.
+  LambdaGame game(6, [](std::uint64_t mask) {
+    double total = 0;
+    const double w[] = {32, 16, 8, 4, 2, 1};
+    for (int i = 0; i < 6; ++i) {
+      if (mask & (1u << i)) total += w[i];
+    }
+    return total;
+  });
+  TopKOptions options;
+  options.k = 2;
+  options.batch = 8;
+  auto result = EstimateTopKPlayers(game, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->separated);
+  EXPECT_EQ(result->ranking[0], 0u);
+  EXPECT_EQ(result->ranking[1], 1u);
+  EXPECT_LE(result->sweeps, 64u);
+}
+
+TEST(TopKTest, BudgetExhaustionOnTiedPlayers) {
+  // Symmetric game: players are exchangeable, the k/k+1 boundary can
+  // never separate; the driver must stop at the budget.
+  LambdaGame game(4, [](std::uint64_t mask) {
+    return std::popcount(mask) >= 2 ? 1.0 : 0.0;
+  });
+  TopKOptions options;
+  options.k = 2;
+  options.max_samples = 128;
+  options.batch = 16;
+  auto result = EstimateTopKPlayers(game, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->separated);
+  EXPECT_EQ(result->sweeps, 128u);
+}
+
+TEST(TopKTest, KCoveringAllPlayersIsTriviallySeparated) {
+  const LambdaGame game = GloveGame();
+  TopKOptions options;
+  options.k = 3;
+  auto result = EstimateTopKPlayers(game, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->separated);
+}
+
+TEST(TopKTest, EstimatesAgreeWithExact) {
+  const LambdaGame game = GloveGame();
+  TopKOptions options;
+  options.k = 1;
+  options.max_samples = 4096;
+  options.seed = 23;
+  auto result = EstimateTopKPlayers(game, options);
+  ASSERT_TRUE(result.ok());
+  auto exact = ComputeExactShapley(game);
+  ASSERT_TRUE(exact.ok());
+  // The top player's estimate must be near its exact value even when
+  // stopping early (unbiasedness doesn't depend on the stop rule's
+  // ordering statistics much at these counts).
+  EXPECT_NEAR(result->estimates[result->ranking[0]].value,
+              (*exact)[result->ranking[0]], 0.1);
+}
+
+TEST(TopKTest, Validation) {
+  const LambdaGame game = GloveGame();
+  TopKOptions options;
+  options.k = 0;
+  EXPECT_FALSE(EstimateTopKPlayers(game, options).ok());
+  options.k = 1;
+  options.batch = 0;
+  EXPECT_FALSE(EstimateTopKPlayers(game, options).ok());
+  LambdaGame empty(0, [](std::uint64_t) { return 0.0; });
+  auto result = EstimateTopKPlayers(empty, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->estimates.empty());
+}
+
+}  // namespace
+}  // namespace trex::shap

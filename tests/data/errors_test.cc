@@ -1,0 +1,174 @@
+#include "data/errors.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/generator.h"
+#include "data/soccer.h"
+#include "dc/violation.h"
+
+namespace trex::data {
+namespace {
+
+TEST(ErrorInjectorTest, InjectsRequestedFraction) {
+  auto generated = GenerateSoccer({.num_rows = 100, .seed = 1});
+  ErrorInjectorOptions options;
+  options.error_rate = 0.1;
+  options.seed = 2;
+  auto result = InjectErrors(generated.clean, options);
+  const std::size_t expected = static_cast<std::size_t>(
+      0.1 * static_cast<double>(generated.clean.num_cells()) + 0.5);
+  EXPECT_EQ(result.injected.size(), expected);
+}
+
+TEST(ErrorInjectorTest, GroundTruthRecordsMatchTables) {
+  auto generated = GenerateSoccer({.num_rows = 60, .seed = 3});
+  ErrorInjectorOptions options;
+  options.error_rate = 0.08;
+  options.seed = 4;
+  auto result = InjectErrors(generated.clean, options);
+  for (const RepairedCell& record : result.injected) {
+    EXPECT_EQ(generated.clean.at(record.cell), record.old_value);
+    const Value& dirty_value = result.dirty.at(record.cell);
+    if (record.new_value.is_null()) {
+      EXPECT_TRUE(dirty_value.is_null());
+    } else {
+      EXPECT_EQ(dirty_value, record.new_value);
+    }
+    // The injected value differs from the truth.
+    if (!record.new_value.is_null()) {
+      EXPECT_NE(record.new_value, record.old_value);
+    }
+  }
+}
+
+TEST(ErrorInjectorTest, UntouchedCellsUnchanged) {
+  auto generated = GenerateSoccer({.num_rows = 40, .seed = 5});
+  ErrorInjectorOptions options;
+  options.error_rate = 0.05;
+  options.seed = 6;
+  auto result = InjectErrors(generated.clean, options);
+  std::set<std::size_t> corrupted;
+  for (const RepairedCell& record : result.injected) {
+    corrupted.insert(generated.clean.LinearIndex(record.cell));
+  }
+  for (const CellRef& cell : generated.clean.AllCells()) {
+    if (corrupted.count(generated.clean.LinearIndex(cell)) > 0) continue;
+    const Value& a = generated.clean.at(cell);
+    const Value& b = result.dirty.at(cell);
+    if (a.is_null()) {
+      EXPECT_TRUE(b.is_null());
+    } else {
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST(ErrorInjectorTest, DeterministicForSeed) {
+  auto generated = GenerateSoccer({.num_rows = 40, .seed = 7});
+  ErrorInjectorOptions options;
+  options.error_rate = 0.1;
+  options.seed = 8;
+  auto a = InjectErrors(generated.clean, options);
+  auto b = InjectErrors(generated.clean, options);
+  EXPECT_EQ(a.dirty, b.dirty);
+  EXPECT_EQ(a.injected.size(), b.injected.size());
+}
+
+TEST(ErrorInjectorTest, ColumnRestrictionRespected) {
+  auto generated = GenerateSoccer({.num_rows = 60, .seed = 9});
+  const Schema schema = generated.clean.schema();
+  ErrorInjectorOptions options;
+  options.error_rate = 0.2;
+  options.columns = {*schema.IndexOf("City")};
+  options.seed = 10;
+  auto result = InjectErrors(generated.clean, options);
+  ASSERT_FALSE(result.injected.empty());
+  for (const RepairedCell& record : result.injected) {
+    EXPECT_EQ(record.cell.col, *schema.IndexOf("City"));
+  }
+}
+
+TEST(ErrorInjectorTest, MissingErrorsAreNulls) {
+  auto generated = GenerateSoccer({.num_rows = 60, .seed = 11});
+  ErrorInjectorOptions options;
+  options.error_rate = 0.15;
+  options.weight_swap = 0;
+  options.weight_typo = 0;
+  options.weight_missing = 1;
+  options.seed = 12;
+  auto result = InjectErrors(generated.clean, options);
+  ASSERT_FALSE(result.injected.empty());
+  for (const RepairedCell& record : result.injected) {
+    EXPECT_TRUE(record.new_value.is_null());
+  }
+}
+
+TEST(ErrorInjectorTest, TyposCreateFreshValues) {
+  auto generated = GenerateSoccer({.num_rows = 60, .seed = 13});
+  ErrorInjectorOptions options;
+  options.error_rate = 0.1;
+  options.weight_swap = 0;
+  options.weight_typo = 1;
+  options.weight_missing = 0;
+  options.seed = 14;
+  auto result = InjectErrors(generated.clean, options);
+  ASSERT_FALSE(result.injected.empty());
+  for (const RepairedCell& record : result.injected) {
+    ASSERT_TRUE(record.new_value.is_string());
+    EXPECT_NE(record.new_value.as_string().find('~'), std::string::npos);
+  }
+}
+
+TEST(ErrorInjectorTest, SwapsStayInColumnDomain) {
+  auto generated = GenerateSoccer({.num_rows = 80, .seed = 15});
+  ErrorInjectorOptions options;
+  options.error_rate = 0.1;
+  options.weight_swap = 1;
+  options.weight_typo = 0;
+  options.weight_missing = 0;
+  options.seed = 16;
+  auto result = InjectErrors(generated.clean, options);
+  ASSERT_FALSE(result.injected.empty());
+  for (const RepairedCell& record : result.injected) {
+    if (record.new_value.is_null()) continue;
+    // Swapped values come from the clean column's domain (modulo typo
+    // fallback for single-valued columns, marked with '~').
+    bool in_domain = false;
+    for (std::size_t r = 0; r < generated.clean.num_rows(); ++r) {
+      if (generated.clean.at(r, record.cell.col) == record.new_value) {
+        in_domain = true;
+        break;
+      }
+    }
+    const bool typo_fallback =
+        record.new_value.is_string() &&
+        record.new_value.as_string().find('~') != std::string::npos;
+    EXPECT_TRUE(in_domain || typo_fallback);
+  }
+}
+
+TEST(ErrorInjectorTest, ZeroRateInjectsNothing) {
+  const Table clean = SoccerCleanTable();
+  ErrorInjectorOptions options;
+  options.error_rate = 0.0;
+  auto result = InjectErrors(clean, options);
+  EXPECT_TRUE(result.injected.empty());
+  EXPECT_EQ(result.dirty, clean);
+}
+
+TEST(ErrorInjectorTest, InjectionMakesTablesDirty) {
+  // The demo setup: injected errors should create actual violations.
+  auto generated = GenerateSoccer({.num_rows = 80, .seed = 17});
+  const Schema schema = generated.clean.schema();
+  ErrorInjectorOptions options;
+  options.error_rate = 0.08;
+  options.columns = {*schema.IndexOf("City"), *schema.IndexOf("Country")};
+  options.seed = 18;
+  auto result = InjectErrors(generated.clean, options);
+  EXPECT_TRUE(dc::HasAnyViolation(result.dirty, generated.dcs));
+}
+
+}  // namespace
+}  // namespace trex::data

@@ -1,0 +1,106 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "dc/violation.h"
+
+namespace trex::data {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedRows) {
+  auto generated = GenerateSoccer({.num_rows = 50, .seed = 1});
+  EXPECT_EQ(generated.clean.num_rows(), 50u);
+  EXPECT_EQ(generated.clean.num_columns(), 6u);
+}
+
+TEST(GeneratorTest, CleanTableHasNoViolations) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    auto generated = GenerateSoccer({.num_rows = 120, .seed = seed});
+    EXPECT_FALSE(dc::HasAnyViolation(generated.clean, generated.dcs))
+        << "seed " << seed;
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  auto a = GenerateSoccer({.num_rows = 40, .seed = 5});
+  auto b = GenerateSoccer({.num_rows = 40, .seed = 5});
+  EXPECT_EQ(a.clean, b.clean);
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  auto a = GenerateSoccer({.num_rows = 40, .seed = 5});
+  auto b = GenerateSoccer({.num_rows = 40, .seed = 6});
+  EXPECT_NE(a.clean, b.clean);
+}
+
+TEST(GeneratorTest, FunctionalDependenciesHoldByConstruction) {
+  auto generated = GenerateSoccer({.num_rows = 100, .seed = 11});
+  const Table& t = generated.clean;
+  // Team -> City, City -> Country, League -> Country as value maps.
+  std::map<Value, Value> team_city;
+  std::map<Value, Value> league_country;
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    const Value team = t.Cell(r, "Team");
+    const Value city = t.Cell(r, "City");
+    auto [it, inserted] = team_city.emplace(team, city);
+    if (!inserted) EXPECT_EQ(it->second, city);
+    const Value league = t.Cell(r, "League");
+    const Value country = t.Cell(r, "Country");
+    auto [it2, inserted2] = league_country.emplace(league, country);
+    if (!inserted2) EXPECT_EQ(it2->second, country);
+  }
+}
+
+TEST(GeneratorTest, PlacesUniquePerLeagueYear) {
+  auto generated = GenerateSoccer({.num_rows = 100, .seed = 13});
+  const Table& t = generated.clean;
+  std::set<std::tuple<std::string, std::int64_t, std::int64_t>> seen;
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    const auto key = std::make_tuple(t.Cell(r, "League").as_string(),
+                                     t.Cell(r, "Year").as_int(),
+                                     t.Cell(r, "Place").as_int());
+    EXPECT_TRUE(seen.insert(key).second)
+        << "duplicate (league, year, place)";
+  }
+}
+
+TEST(GeneratorTest, ZipfSkewsTeamFrequencies) {
+  auto skewed = GenerateSoccer(
+      {.num_rows = 200, .teams_per_league = 16, .zipf_exponent = 1.5,
+       .seed = 17});
+  std::map<Value, std::size_t> counts;
+  for (std::size_t r = 0; r < skewed.clean.num_rows(); ++r) {
+    ++counts[skewed.clean.Cell(r, "Team")];
+  }
+  std::size_t max_count = 0;
+  for (const auto& [team, count] : counts) {
+    max_count = std::max(max_count, count);
+  }
+  // With heavy skew the most popular team must dominate the mean.
+  const double mean =
+      static_cast<double>(skewed.clean.num_rows()) / counts.size();
+  EXPECT_GT(static_cast<double>(max_count), 1.5 * mean);
+}
+
+TEST(GeneratorTest, MultipleCountries) {
+  auto generated = GenerateSoccer(
+      {.num_rows = 120, .num_countries = 6, .seed = 19});
+  std::set<Value> countries;
+  for (std::size_t r = 0; r < generated.clean.num_rows(); ++r) {
+    countries.insert(generated.clean.Cell(r, "Country"));
+  }
+  EXPECT_GT(countries.size(), 2u);
+}
+
+TEST(GeneratorTest, ConstraintSetIsFigure1) {
+  auto generated = GenerateSoccer({.num_rows = 10, .seed = 23});
+  EXPECT_EQ(generated.dcs.size(), 4u);
+  EXPECT_EQ(generated.dcs.at(2).name(), "C3");
+}
+
+}  // namespace
+}  // namespace trex::data

@@ -1,0 +1,94 @@
+#include "data/hospital.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/errors.h"
+#include "dc/violation.h"
+#include "repair/holoclean.h"
+
+namespace trex::data {
+namespace {
+
+TEST(HospitalTest, SchemaShape) {
+  const Schema schema = HospitalSchema();
+  EXPECT_EQ(schema.size(), 8u);
+  EXPECT_TRUE(schema.Contains("Provider"));
+  EXPECT_TRUE(schema.Contains("Zip"));
+  EXPECT_TRUE(schema.Contains("Score"));
+}
+
+TEST(HospitalTest, GeneratesCleanConsistentData) {
+  auto generated = GenerateHospital({.num_rows = 150, .seed = 1});
+  EXPECT_GT(generated.clean.num_rows(), 0u);
+  EXPECT_LE(generated.clean.num_rows(), 150u);
+  EXPECT_FALSE(dc::HasAnyViolation(generated.clean, generated.dcs));
+}
+
+TEST(HospitalTest, FiveConstraints) {
+  auto generated = GenerateHospital({.num_rows = 20, .seed = 2});
+  EXPECT_EQ(generated.dcs.size(), 5u);
+  EXPECT_EQ(generated.dcs.at(0).name(), "H1");
+  // H1 (Zip -> City) is FD-shaped.
+  std::size_t lhs = 0;
+  std::size_t rhs = 0;
+  EXPECT_TRUE(generated.dcs.at(0).AsFunctionalDependency(&lhs, &rhs));
+}
+
+TEST(HospitalTest, ZipDeterminesCityAndState) {
+  auto generated = GenerateHospital({.num_rows = 200, .seed = 3});
+  std::map<Value, std::pair<Value, Value>> zip_geo;
+  const Table& t = generated.clean;
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    const Value zip = t.Cell(r, "Zip");
+    const auto geo =
+        std::make_pair(t.Cell(r, "City"), t.Cell(r, "State"));
+    auto [it, inserted] = zip_geo.emplace(zip, geo);
+    if (!inserted) {
+      EXPECT_EQ(it->second.first, geo.first);
+      EXPECT_EQ(it->second.second, geo.second);
+    }
+  }
+  EXPECT_GT(zip_geo.size(), 1u);
+}
+
+TEST(HospitalTest, DeterministicForSeed) {
+  auto a = GenerateHospital({.num_rows = 80, .seed = 4});
+  auto b = GenerateHospital({.num_rows = 80, .seed = 4});
+  EXPECT_EQ(a.clean, b.clean);
+}
+
+TEST(HospitalTest, ProviderMeasurePairsUnique) {
+  auto generated = GenerateHospital({.num_rows = 180, .seed = 5});
+  const Table& t = generated.clean;
+  std::set<std::pair<std::int64_t, std::string>> seen;
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    const auto key = std::make_pair(t.Cell(r, "Provider").as_int(),
+                                    t.Cell(r, "Measure").as_string());
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+}
+
+TEST(HospitalTest, HoloCleanRepairsInjectedGeographyErrors) {
+  auto generated = GenerateHospital({.num_rows = 120, .seed = 6});
+  const Schema schema = generated.clean.schema();
+  ErrorInjectorOptions inject;
+  inject.error_rate = 0.03;
+  inject.columns = {*schema.IndexOf("City"), *schema.IndexOf("State")};
+  inject.seed = 7;
+  auto injected = InjectErrors(generated.clean, inject);
+  ASSERT_FALSE(injected.injected.empty());
+
+  const std::size_t before =
+      dc::FindViolations(injected.dirty, generated.dcs).size();
+  ASSERT_GT(before, 0u);
+  repair::HoloCleanRepair alg;
+  auto repaired = alg.Repair(generated.dcs, injected.dirty);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_LT(dc::FindViolations(*repaired, generated.dcs).size(), before);
+}
+
+}  // namespace
+}  // namespace trex::data

@@ -1,0 +1,133 @@
+#include "data/soccer.h"
+
+#include <gtest/gtest.h>
+
+#include "dc/violation.h"
+
+namespace trex::data {
+namespace {
+
+TEST(SoccerDataTest, SchemaMatchesPaper) {
+  const Schema schema = SoccerSchema();
+  EXPECT_EQ(schema.size(), 6u);
+  EXPECT_EQ(schema.attribute(0).name, "Team");
+  EXPECT_EQ(schema.attribute(1).name, "City");
+  EXPECT_EQ(schema.attribute(2).name, "Country");
+  EXPECT_EQ(schema.attribute(3).name, "League");
+  EXPECT_EQ(schema.attribute(4).name, "Year");
+  EXPECT_EQ(schema.attribute(5).name, "Place");
+}
+
+TEST(SoccerDataTest, TableHas36Cells) {
+  // Example 2.4: 36 cells total (6 tuples x 6 attributes).
+  EXPECT_EQ(SoccerDirtyTable().num_cells(), 36u);
+  EXPECT_EQ(SoccerCleanTable().num_cells(), 36u);
+}
+
+TEST(SoccerDataTest, DirtyCellsAreExactlyT5CityAndCountry) {
+  const Table dirty = SoccerDirtyTable();
+  const Table clean = SoccerCleanTable();
+  std::size_t diffs = 0;
+  for (const CellRef& cell : dirty.AllCells()) {
+    if (dirty.at(cell) != clean.at(cell)) ++diffs;
+  }
+  EXPECT_EQ(diffs, 2u);
+  EXPECT_EQ(dirty.at(SoccerCell(5, "City")), Value("Capital"));
+  EXPECT_EQ(dirty.at(SoccerCell(5, "Country")), Value("España"));
+  EXPECT_EQ(clean.at(SoccerCell(5, "City")), Value("Madrid"));
+  EXPECT_EQ(clean.at(SoccerCell(5, "Country")), Value("Spain"));
+}
+
+TEST(SoccerDataTest, FourLaLigaSupportPairs) {
+  // Example 2.4 requires (League='La Liga', Country='Spain') pairs in
+  // tuples t1, t2, t3, t6 of the dirty table.
+  const Table dirty = SoccerDirtyTable();
+  for (std::size_t row : {1u, 2u, 3u, 6u}) {
+    EXPECT_EQ(dirty.at(SoccerCell(row, "League")), Value("La Liga"))
+        << "t" << row;
+    EXPECT_EQ(dirty.at(SoccerCell(row, "Country")), Value("Spain"))
+        << "t" << row;
+  }
+  // t4 is from another league (so C3's support is exactly those four).
+  EXPECT_NE(dirty.at(SoccerCell(4, "League")), Value("La Liga"));
+}
+
+TEST(SoccerDataTest, RealMadridTriple) {
+  // t3, t5, t6 share Team 'Real Madrid'; t3/t6 have City Madrid.
+  const Table dirty = SoccerDirtyTable();
+  EXPECT_EQ(dirty.at(SoccerCell(3, "Team")), Value("Real Madrid"));
+  EXPECT_EQ(dirty.at(SoccerCell(5, "Team")), Value("Real Madrid"));
+  EXPECT_EQ(dirty.at(SoccerCell(6, "Team")), Value("Real Madrid"));
+  EXPECT_EQ(dirty.at(SoccerCell(3, "City")), Value("Madrid"));
+  EXPECT_EQ(dirty.at(SoccerCell(6, "City")), Value("Madrid"));
+}
+
+TEST(SoccerDataTest, ConstraintSetMatchesFigure1) {
+  const dc::DcSet dcs = SoccerConstraints();
+  ASSERT_EQ(dcs.size(), 4u);
+  EXPECT_EQ(dcs.at(0).name(), "C1");
+  EXPECT_EQ(dcs.at(3).name(), "C4");
+  // C1..C3 are FDs; C4 is not.
+  std::size_t lhs = 0;
+  std::size_t rhs = 0;
+  EXPECT_TRUE(dcs.at(0).AsFunctionalDependency(&lhs, &rhs));
+  EXPECT_EQ(lhs, 0u);  // Team
+  EXPECT_EQ(rhs, 1u);  // City
+  EXPECT_TRUE(dcs.at(1).AsFunctionalDependency(&lhs, &rhs));
+  EXPECT_EQ(lhs, 1u);  // City
+  EXPECT_EQ(rhs, 2u);  // Country
+  EXPECT_TRUE(dcs.at(2).AsFunctionalDependency(&lhs, &rhs));
+  EXPECT_EQ(lhs, 3u);  // League
+  EXPECT_EQ(rhs, 2u);  // Country
+  EXPECT_FALSE(dcs.at(3).AsFunctionalDependency(nullptr, nullptr));
+  EXPECT_EQ(dcs.at(3).predicates().size(), 4u);
+}
+
+TEST(SoccerDataTest, DirtyTableViolationsAreExpected) {
+  const auto violations =
+      dc::FindViolations(SoccerDirtyTable(), SoccerConstraints());
+  // C1: t5 vs t3 and t5 vs t6 (Team Real Madrid, City differs);
+  // C3: t5 vs each of t1, t2, t3, t6 (League La Liga, Country differs).
+  std::size_t c1 = 0;
+  std::size_t c2 = 0;
+  std::size_t c3 = 0;
+  std::size_t c4 = 0;
+  for (const auto& v : violations) {
+    if (v.constraint_index == 0) ++c1;
+    if (v.constraint_index == 1) ++c2;
+    if (v.constraint_index == 2) ++c3;
+    if (v.constraint_index == 3) ++c4;
+  }
+  EXPECT_EQ(c1, 2u);
+  EXPECT_EQ(c2, 0u);  // 'Capital' is a unique city
+  EXPECT_EQ(c3, 4u);
+  EXPECT_EQ(c4, 0u);
+}
+
+TEST(SoccerDataTest, CleanTableIsViolationFree) {
+  EXPECT_FALSE(
+      dc::HasAnyViolation(SoccerCleanTable(), SoccerConstraints()));
+}
+
+TEST(SoccerDataTest, TargetCellIsT5Country) {
+  EXPECT_EQ(SoccerTargetCell(), (CellRef{4, 2}));
+  EXPECT_EQ(SoccerTargetCell().ToString(SoccerSchema()), "t5[Country]");
+}
+
+TEST(SoccerDataTest, Algorithm1HasFourSteps) {
+  auto alg = MakeAlgorithm1();
+  ASSERT_EQ(alg->rules().size(), 4u);
+  EXPECT_EQ(alg->rules()[0].constraint_name, "C1");
+  EXPECT_EQ(alg->rules()[0].target_attribute, "City");
+  EXPECT_EQ(alg->rules()[1].action, repair::RuleAction::kSetMostCommonGiven);
+  EXPECT_EQ(alg->rules()[1].given_attribute, "City");
+  EXPECT_EQ(alg->rules()[3].target_attribute, "Place");
+}
+
+TEST(SoccerDataTest, SoccerCellHelper) {
+  EXPECT_EQ(SoccerCell(1, "Team"), (CellRef{0, 0}));
+  EXPECT_EQ(SoccerCell(6, "Place"), (CellRef{5, 5}));
+}
+
+}  // namespace
+}  // namespace trex::data

@@ -1,0 +1,180 @@
+#include "dc/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "dc/parser.h"
+
+namespace trex::dc {
+namespace {
+
+Schema TestSchema() {
+  return Schema::AllStrings({"Team", "City", "Country", "League"});
+}
+
+DenialConstraint Fd(const char* name, std::size_t lhs, std::size_t rhs) {
+  return DenialConstraint::FunctionalDependency(name, lhs, rhs);
+}
+
+TEST(DenialConstraintTest, MakeValidatesArity) {
+  EXPECT_FALSE(DenialConstraint::Make("X", 3, {}).ok());
+  EXPECT_FALSE(DenialConstraint::Make("X", 0, {}).ok());
+  EXPECT_FALSE(DenialConstraint::Make("X", 2, {}).ok());  // no predicates
+}
+
+TEST(DenialConstraintTest, MakeRejectsT2InUnary) {
+  std::vector<Predicate> preds{{Operand::Cell(0, 0), CompareOp::kEq,
+                                Operand::Cell(1, 0)}};
+  EXPECT_FALSE(DenialConstraint::Make("X", 1, std::move(preds)).ok());
+}
+
+TEST(DenialConstraintTest, FunctionalDependencyShape) {
+  const DenialConstraint fd = Fd("C1", 0, 1);
+  EXPECT_EQ(fd.name(), "C1");
+  EXPECT_EQ(fd.arity(), 2);
+  EXPECT_EQ(fd.predicates().size(), 2u);
+  std::size_t lhs = 99;
+  std::size_t rhs = 99;
+  EXPECT_TRUE(fd.AsFunctionalDependency(&lhs, &rhs));
+  EXPECT_EQ(lhs, 0u);
+  EXPECT_EQ(rhs, 1u);
+}
+
+TEST(DenialConstraintTest, ViolationDetection) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value("Real"), Value("Madrid"), Value("Spain"),
+                           Value("La Liga")})
+                  .ok());
+  ASSERT_TRUE(t.AppendRow({Value("Real"), Value("Capital"), Value("Spain"),
+                           Value("La Liga")})
+                  .ok());
+  const DenialConstraint fd = Fd("C1", 0, 1);  // Team -> City
+  EXPECT_TRUE(fd.IsViolatedBy(t, 0, 1));
+  EXPECT_TRUE(fd.IsViolatedBy(t, 1, 0));
+}
+
+TEST(DenialConstraintTest, NoViolationOnConsistentRows) {
+  Table t(TestSchema());
+  ASSERT_TRUE(t.AppendRow({Value("Real"), Value("Madrid"), Value("Spain"),
+                           Value("La Liga")})
+                  .ok());
+  ASSERT_TRUE(t.AppendRow({Value("Barca"), Value("Barcelona"),
+                           Value("Spain"), Value("La Liga")})
+                  .ok());
+  EXPECT_FALSE(Fd("C1", 0, 1).IsViolatedBy(t, 0, 1));
+}
+
+TEST(DenialConstraintTest, ColumnsOfTuple) {
+  const DenialConstraint fd = Fd("C1", 0, 1);
+  EXPECT_EQ(fd.ColumnsOfTuple(0), (std::set<std::size_t>{0, 1}));
+  EXPECT_EQ(fd.ColumnsOfTuple(1), (std::set<std::size_t>{0, 1}));
+  EXPECT_EQ(fd.AllColumns(), (std::set<std::size_t>{0, 1}));
+}
+
+TEST(DenialConstraintTest, FdIsSymmetric) {
+  EXPECT_TRUE(Fd("C1", 0, 1).IsSymmetric());
+}
+
+TEST(DenialConstraintTest, AsymmetricConstraintDetected) {
+  // !(t1.City == t2.City & t1.Team != t2.Country) is not symmetric.
+  std::vector<Predicate> preds{
+      {Operand::Cell(0, 1), CompareOp::kEq, Operand::Cell(1, 1)},
+      {Operand::Cell(0, 0), CompareOp::kNeq, Operand::Cell(1, 2)}};
+  auto dc = DenialConstraint::Make("X", 2, std::move(preds));
+  ASSERT_TRUE(dc.ok());
+  EXPECT_FALSE(dc->IsSymmetric());
+}
+
+TEST(DenialConstraintTest, OrderedPredicateSymmetric) {
+  // !(t1.City == t2.City & t1.Team < t2.Team): swapping t1,t2 gives
+  // t2.Team > t1.Team == t1.Team < t2.Team after normalization — wait,
+  // swap yields t1.Team > t2.Team, which differs. Not symmetric.
+  std::vector<Predicate> preds{
+      {Operand::Cell(0, 1), CompareOp::kEq, Operand::Cell(1, 1)},
+      {Operand::Cell(0, 0), CompareOp::kLt, Operand::Cell(1, 0)}};
+  auto dc = DenialConstraint::Make("X", 2, std::move(preds));
+  ASSERT_TRUE(dc.ok());
+  EXPECT_FALSE(dc->IsSymmetric());
+}
+
+TEST(DenialConstraintTest, UnaryConstraintsAlwaysSymmetric) {
+  std::vector<Predicate> preds{{Operand::Cell(0, 0), CompareOp::kEq,
+                                Operand::Constant(Value("x"))}};
+  auto dc = DenialConstraint::Make("U", 1, std::move(preds));
+  ASSERT_TRUE(dc.ok());
+  EXPECT_TRUE(dc->IsSymmetric());
+}
+
+TEST(DenialConstraintTest, NonFdShapesRejected) {
+  // Three predicates: not FD-shaped.
+  const Schema schema = TestSchema();
+  auto dc = ParseDc(
+      "!(t1.Team == t2.Team & t1.City != t2.City & t1.League == t2.League)",
+      schema);
+  ASSERT_TRUE(dc.ok());
+  EXPECT_FALSE(dc->AsFunctionalDependency(nullptr, nullptr));
+  // Constant predicate: not FD-shaped.
+  auto dc2 = ParseDc("!(t1.Team == 'Real' & t1.City != t2.City)", schema);
+  ASSERT_TRUE(dc2.ok());
+  EXPECT_FALSE(dc2->AsFunctionalDependency(nullptr, nullptr));
+}
+
+TEST(DenialConstraintTest, ToStringIsParseable) {
+  const Schema schema = TestSchema();
+  const DenialConstraint fd = Fd("C1", 0, 1);
+  auto reparsed = ParseDc(fd.ToString(schema), schema, "C1");
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(*reparsed, fd);
+}
+
+TEST(DenialConstraintTest, PrettyStringHasQuantifier) {
+  const Schema schema = TestSchema();
+  const std::string pretty = Fd("C1", 0, 1).ToPrettyString(schema);
+  EXPECT_NE(pretty.find("∀t1,t2"), std::string::npos);
+  EXPECT_NE(pretty.find("¬("), std::string::npos);
+  EXPECT_NE(pretty.find("≠"), std::string::npos);
+}
+
+TEST(DcSetTest, BasicAccessors) {
+  DcSet dcs({Fd("C1", 0, 1), Fd("C2", 1, 2)});
+  EXPECT_EQ(dcs.size(), 2u);
+  EXPECT_FALSE(dcs.empty());
+  EXPECT_EQ(dcs.at(0).name(), "C1");
+  EXPECT_EQ(*dcs.IndexOf("C2"), 1u);
+  EXPECT_FALSE(dcs.IndexOf("C9").ok());
+}
+
+TEST(DcSetTest, SubsetByMask) {
+  DcSet dcs({Fd("C1", 0, 1), Fd("C2", 1, 2), Fd("C3", 2, 3)});
+  const DcSet only_c2 = dcs.Subset(0b010);
+  ASSERT_EQ(only_c2.size(), 1u);
+  EXPECT_EQ(only_c2.at(0).name(), "C2");
+
+  const DcSet c1_c3 = dcs.Subset(0b101);
+  ASSERT_EQ(c1_c3.size(), 2u);
+  EXPECT_EQ(c1_c3.at(0).name(), "C1");
+  EXPECT_EQ(c1_c3.at(1).name(), "C3");
+
+  EXPECT_TRUE(dcs.Subset(0).empty());
+  EXPECT_EQ(dcs.Subset(0b111).size(), 3u);
+}
+
+TEST(DcSetTest, WithoutRemovesByIndex) {
+  DcSet dcs({Fd("C1", 0, 1), Fd("C2", 1, 2), Fd("C3", 2, 3)});
+  const DcSet without = dcs.Without(1);
+  ASSERT_EQ(without.size(), 2u);
+  EXPECT_EQ(without.at(0).name(), "C1");
+  EXPECT_EQ(without.at(1).name(), "C3");
+}
+
+TEST(DcSetTest, AllColumnsUnion) {
+  DcSet dcs({Fd("C1", 0, 1), Fd("C2", 2, 3)});
+  EXPECT_EQ(dcs.AllColumns(), (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(DcSetDeathTest, AtOutOfRange) {
+  DcSet dcs({Fd("C1", 0, 1)});
+  EXPECT_DEATH(dcs.at(1), "Check failed");
+}
+
+}  // namespace
+}  // namespace trex::dc

@@ -1,0 +1,170 @@
+#include "dc/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "data/generator.h"
+#include "data/soccer.h"
+#include "dc/violation.h"
+
+namespace trex::dc {
+namespace {
+
+std::set<std::string> Names(const std::vector<DiscoveredFd>& fds) {
+  std::set<std::string> names;
+  for (const DiscoveredFd& fd : fds) names.insert(fd.constraint.name());
+  return names;
+}
+
+TEST(DiscoveryTest, FindsPaperFdsOnCleanSoccerTable) {
+  auto fds = DiscoverFds(data::SoccerCleanTable());
+  ASSERT_TRUE(fds.ok());
+  const auto names = Names(*fds);
+  // The Figure 1 FDs hold on the clean table.
+  EXPECT_TRUE(names.count("Team->City") > 0);
+  EXPECT_TRUE(names.count("City->Country") > 0);
+  EXPECT_TRUE(names.count("League->Country") > 0);
+}
+
+TEST(DiscoveryTest, DirtyTableBreaksExactFds) {
+  auto fds = DiscoverFds(data::SoccerDirtyTable());
+  ASSERT_TRUE(fds.ok());
+  const auto names = Names(*fds);
+  // t5's Capital/España breaks Team->City and League->Country exactly.
+  EXPECT_EQ(names.count("Team->City"), 0u);
+  EXPECT_EQ(names.count("League->Country"), 0u);
+}
+
+TEST(DiscoveryTest, ApproximateToleranceRecoversDirtyFds) {
+  // On the dirty table: Team->City breaks on 2 of the 3 Real-Madrid
+  // pairs (g1 = 2/3); League->Country breaks on 4 of the 10 La-Liga
+  // pairs (g1 = 0.4). Tolerance 0.7 recovers both.
+  FdDiscoveryOptions options;
+  options.max_violation_fraction = 0.7;
+  auto fds = DiscoverFds(data::SoccerDirtyTable(), options);
+  ASSERT_TRUE(fds.ok());
+  const auto names = Names(*fds);
+  EXPECT_TRUE(names.count("Team->City") > 0);
+  EXPECT_TRUE(names.count("League->Country") > 0);
+  for (const DiscoveredFd& fd : *fds) {
+    if (fd.constraint.name() == "League->Country") {
+      EXPECT_EQ(fd.support_pairs, 10u);  // C(5,2) La-Liga pairs
+      EXPECT_NEAR(fd.violation_fraction, 0.4, 1e-12);
+    }
+    if (fd.constraint.name() == "Team->City") {
+      EXPECT_EQ(fd.support_pairs, 3u);  // C(3,2) Real-Madrid pairs
+      EXPECT_NEAR(fd.violation_fraction, 2.0 / 3.0, 1e-12);
+    }
+  }
+}
+
+TEST(DiscoveryTest, SupportPairsComputed) {
+  auto fds = DiscoverFds(data::SoccerCleanTable());
+  ASSERT_TRUE(fds.ok());
+  for (const DiscoveredFd& fd : *fds) {
+    EXPECT_GT(fd.support_pairs, 0u);
+    EXPECT_DOUBLE_EQ(fd.violation_fraction, 0.0);
+  }
+}
+
+TEST(DiscoveryTest, KeyLikeLhsPruned) {
+  // A table whose first column is a key: every FD Key -> X holds
+  // vacuously; min_support_pairs=1 prunes them (all groups singleton).
+  Table t(Schema::AllStrings({"Id", "X"}));
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value("1")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("b"), Value("1")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("c"), Value("2")}).ok());
+  auto fds = DiscoverFds(t);
+  ASSERT_TRUE(fds.ok());
+  for (const DiscoveredFd& fd : *fds) {
+    EXPECT_NE(fd.lhs[0], 0u) << "key-like LHS should be pruned";
+  }
+}
+
+TEST(DiscoveryTest, NullsGiveNoEvidence) {
+  Table t(Schema::AllStrings({"A", "B"}));
+  ASSERT_TRUE(t.AppendRow({Value("k"), Value("1")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("k"), Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("k"), Value("1")}).ok());
+  auto fds = DiscoverFds(t);
+  ASSERT_TRUE(fds.ok());
+  // A -> B holds: the null B row contributes no violating pair.
+  EXPECT_TRUE(Names(*fds).count("A->B") > 0);
+}
+
+TEST(DiscoveryTest, TwoColumnLhsMinimality) {
+  // Year alone does not determine Place; (League, Year)...: construct a
+  // table where only the composite FD holds.
+  Table t(Schema::AllStrings({"L", "Y", "P"}));
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value("1"), Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value("1"), Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("a"), Value("2"), Value("y")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("b"), Value("1"), Value("z")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("b"), Value("2"), Value("x")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("b"), Value("2"), Value("x")}).ok());
+  FdDiscoveryOptions options;
+  options.include_two_column_lhs = true;
+  auto fds = DiscoverFds(t, options);
+  ASSERT_TRUE(fds.ok());
+  const auto names = Names(*fds);
+  EXPECT_TRUE(names.count("L,Y->P") > 0);
+  EXPECT_EQ(names.count("L->P"), 0u);
+  EXPECT_EQ(names.count("Y->P"), 0u);
+}
+
+TEST(DiscoveryTest, TwoColumnLhsSuppressedWhenSingleSuffices) {
+  // City -> Country holds, so (City, X) -> Country must not be emitted.
+  FdDiscoveryOptions options;
+  options.include_two_column_lhs = true;
+  auto fds = DiscoverFds(data::SoccerCleanTable(), options);
+  ASSERT_TRUE(fds.ok());
+  for (const DiscoveredFd& fd : *fds) {
+    if (fd.lhs.size() == 2) {
+      const Schema schema = data::SoccerSchema();
+      const bool involves_city_country =
+          (fd.rhs == *schema.IndexOf("Country")) &&
+          (fd.lhs[0] == *schema.IndexOf("City") ||
+           fd.lhs[1] == *schema.IndexOf("City"));
+      EXPECT_FALSE(involves_city_country) << fd.constraint.name();
+    }
+  }
+}
+
+TEST(DiscoveryTest, DiscoveredConstraintsDetectInjectedErrors) {
+  // The full loop: discover on clean data, inject errors, detect.
+  auto generated = data::GenerateSoccer({.num_rows = 60, .seed = 77});
+  auto dcs = DiscoverFdConstraints(generated.clean);
+  ASSERT_TRUE(dcs.ok());
+  ASSERT_FALSE(dcs->empty());
+  EXPECT_FALSE(HasAnyViolation(generated.clean, *dcs));
+
+  Table dirty = generated.clean;
+  const Schema schema = dirty.schema();
+  dirty.Set(CellRef{0, *schema.IndexOf("Country")}, Value("Wrongland"));
+  EXPECT_TRUE(HasAnyViolation(dirty, *dcs));
+}
+
+TEST(DiscoveryTest, InvalidToleranceRejected) {
+  FdDiscoveryOptions options;
+  options.max_violation_fraction = 1.5;
+  EXPECT_FALSE(DiscoverFds(data::SoccerCleanTable(), options).ok());
+  options.max_violation_fraction = -0.1;
+  EXPECT_FALSE(DiscoverFds(data::SoccerCleanTable(), options).ok());
+}
+
+TEST(DiscoveryTest, Deterministic) {
+  auto a = DiscoverFds(data::SoccerCleanTable());
+  auto b = DiscoverFds(data::SoccerCleanTable());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].constraint.name(), (*b)[i].constraint.name());
+    EXPECT_EQ((*a)[i].support_pairs, (*b)[i].support_pairs);
+  }
+}
+
+}  // namespace
+}  // namespace trex::dc

@@ -1,0 +1,135 @@
+#include "dc/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "data/soccer.h"
+#include "dc/parser.h"
+
+namespace trex::dc {
+namespace {
+
+std::set<Violation> FullRecompute(const Table& table, const DcSet& dcs) {
+  std::set<Violation> out;
+  for (const Violation& v : FindViolations(table, dcs)) out.insert(v);
+  return out;
+}
+
+TEST(ViolationIndexTest, InitialBuildMatchesFindViolations) {
+  const Table dirty = data::SoccerDirtyTable();
+  const DcSet dcs = data::SoccerConstraints();
+  ViolationIndex index(dirty, &dcs);
+  EXPECT_EQ(index.violations(), FullRecompute(dirty, dcs));
+  EXPECT_EQ(index.count(), 6u);  // 2 C1 pairs + 4 C3 pairs
+}
+
+TEST(ViolationIndexTest, FixingCellsRemovesViolations) {
+  const DcSet dcs = data::SoccerConstraints();
+  ViolationIndex index(data::SoccerDirtyTable(), &dcs);
+  index.SetCell(data::SoccerCell(5, "Country"), Value("Spain"));
+  EXPECT_EQ(index.violations(),
+            FullRecompute(index.table(), dcs));
+  EXPECT_EQ(index.count(), 2u);  // C1 pairs remain
+  index.SetCell(data::SoccerCell(5, "City"), Value("Madrid"));
+  EXPECT_EQ(index.count(), 0u);
+}
+
+TEST(ViolationIndexTest, BreakingCellsAddsViolations) {
+  const DcSet dcs = data::SoccerConstraints();
+  ViolationIndex index(data::SoccerCleanTable(), &dcs);
+  EXPECT_EQ(index.count(), 0u);
+  index.SetCell(data::SoccerCell(1, "Country"), Value("France"));
+  EXPECT_EQ(index.violations(), FullRecompute(index.table(), dcs));
+  EXPECT_GT(index.count(), 0u);
+}
+
+TEST(ViolationIndexTest, CountIfSetDoesNotMutate) {
+  const DcSet dcs = data::SoccerConstraints();
+  ViolationIndex index(data::SoccerDirtyTable(), &dcs);
+  const std::set<Violation> before = index.violations();
+  const Table snapshot = index.table();
+
+  const std::size_t if_fixed =
+      index.CountIfSet(data::SoccerCell(5, "Country"), Value("Spain"));
+  EXPECT_LT(if_fixed, index.count());
+  EXPECT_EQ(index.violations(), before);
+  EXPECT_EQ(index.table(), snapshot);
+}
+
+TEST(ViolationIndexTest, CountIfSetMatchesFullRecompute) {
+  const DcSet dcs = data::SoccerConstraints();
+  ViolationIndex index(data::SoccerDirtyTable(), &dcs);
+  for (const char* value : {"Spain", "España", "France"}) {
+    Table probe = data::SoccerDirtyTable();
+    probe.Set(data::SoccerCell(5, "Country"), Value(value));
+    EXPECT_EQ(index.CountIfSet(data::SoccerCell(5, "Country"),
+                               Value(value)),
+              FullRecompute(probe, dcs).size())
+        << value;
+  }
+}
+
+TEST(ViolationIndexTest, NullUpdatesHandled) {
+  const DcSet dcs = data::SoccerConstraints();
+  ViolationIndex index(data::SoccerDirtyTable(), &dcs);
+  index.SetCell(data::SoccerCell(5, "Country"), Value::Null());
+  EXPECT_EQ(index.violations(), FullRecompute(index.table(), dcs));
+}
+
+TEST(ViolationIndexTest, UnaryConstraintsMaintained) {
+  const Schema schema = data::SoccerSchema();
+  auto dcs = ParseDcSet("!(t1.Year < 2016)", schema);
+  ASSERT_TRUE(dcs.ok());
+  ViolationIndex index(data::SoccerDirtyTable(), &*dcs);
+  EXPECT_EQ(index.count(), 1u);  // t6 (2015)
+  index.SetCell(data::SoccerCell(6, "Year"), Value(2018));
+  EXPECT_EQ(index.count(), 0u);
+  index.SetCell(data::SoccerCell(1, "Year"), Value(1999));
+  EXPECT_EQ(index.count(), 1u);
+  EXPECT_EQ(index.violations(), FullRecompute(index.table(), *dcs));
+}
+
+// Property: after arbitrary random edit sequences the index equals a
+// full recompute.
+class IncrementalPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IncrementalPropertyTest, RandomEditSequencesStayConsistent) {
+  Rng rng(GetParam());
+  auto generated = data::GenerateSoccer({.num_rows = 25,
+                                         .seed = GetParam() + 7});
+  const DcSet& dcs = generated.dcs;
+  ViolationIndex index(generated.clean, &dcs);
+
+  // A pool of values per column to draw edits from (plus null).
+  const Table& t = generated.clean;
+  for (int step = 0; step < 40; ++step) {
+    const CellRef cell{rng.Index(t.num_rows()), rng.Index(t.num_columns())};
+    Value value;
+    if (rng.Bernoulli(0.15)) {
+      value = Value::Null();
+    } else {
+      const std::size_t source_row = rng.Index(t.num_rows());
+      value = t.at(source_row, cell.col);
+    }
+    if (rng.Bernoulli(0.3)) {
+      // Probe only: must not change state.
+      const std::set<Violation> before = index.violations();
+      index.CountIfSet(cell, value);
+      ASSERT_EQ(index.violations(), before);
+    } else {
+      index.SetCell(cell, value);
+      ASSERT_EQ(index.violations(), FullRecompute(index.table(), dcs))
+          << "step " << step << " seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace trex::dc

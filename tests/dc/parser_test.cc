@@ -1,0 +1,245 @@
+#include "dc/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace trex::dc {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Attribute{"Team", ValueType::kString},
+                 Attribute{"City", ValueType::kString},
+                 Attribute{"Year", ValueType::kInt},
+                 Attribute{"Score", ValueType::kDouble}});
+}
+
+TEST(ParserTest, BasicAsciiForm) {
+  auto dc = ParseDc("!(t1.Team == t2.Team & t1.City != t2.City)",
+                    TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  EXPECT_EQ(dc->arity(), 2);
+  ASSERT_EQ(dc->predicates().size(), 2u);
+  EXPECT_EQ(dc->predicates()[0].op, CompareOp::kEq);
+  EXPECT_EQ(dc->predicates()[1].op, CompareOp::kNeq);
+  std::size_t lhs = 0;
+  std::size_t rhs = 0;
+  EXPECT_TRUE(dc->AsFunctionalDependency(&lhs, &rhs));
+  EXPECT_EQ(lhs, 0u);
+  EXPECT_EQ(rhs, 1u);
+}
+
+TEST(ParserTest, NamePrefix) {
+  auto dc = ParseDc("MyRule: !(t1.Team == t2.Team)", TestSchema());
+  ASSERT_TRUE(dc.ok());
+  EXPECT_EQ(dc->name(), "MyRule");
+}
+
+TEST(ParserTest, DefaultNameUsedWithoutPrefix) {
+  auto dc = ParseDc("!(t1.Team == t2.Team)", TestSchema(), "C7");
+  ASSERT_TRUE(dc.ok());
+  EXPECT_EQ(dc->name(), "C7");
+}
+
+TEST(ParserTest, ForallQuantifierForm) {
+  auto dc = ParseDc(
+      "forall t1,t2. not(t1[Team] = t2[Team] and t1[City] <> t2[City])",
+      TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  EXPECT_EQ(dc->arity(), 2);
+  EXPECT_EQ(dc->predicates()[1].op, CompareOp::kNeq);
+}
+
+TEST(ParserTest, UnicodeForm) {
+  auto dc = ParseDc("∀t1,t2. ¬(t1.Team = t2.Team ∧ t1.City ≠ t2.City)",
+                    TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  EXPECT_EQ(dc->predicates().size(), 2u);
+}
+
+TEST(ParserTest, UnicodeOrderOps) {
+  auto dc = ParseDc("!(t1.Year ≤ t2.Year & t1.Score ≥ t2.Score)",
+                    TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  EXPECT_EQ(dc->predicates()[0].op, CompareOp::kLe);
+  EXPECT_EQ(dc->predicates()[1].op, CompareOp::kGe);
+}
+
+TEST(ParserTest, BracketAttributeSyntax) {
+  auto dc = ParseDc("!(t1[City] == t2[City])", TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  EXPECT_EQ(dc->predicates()[0].lhs.col(), 1u);
+}
+
+TEST(ParserTest, UnaryConstraint) {
+  auto dc = ParseDc("!(t1.Year < 1900)", TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  EXPECT_EQ(dc->arity(), 1);
+  EXPECT_TRUE(dc->predicates()[0].rhs.is_constant());
+  EXPECT_EQ(dc->predicates()[0].rhs.constant(), Value(1900));
+}
+
+TEST(ParserTest, StringConstants) {
+  auto single = ParseDc("!(t1.Team == 'Real Madrid')", TestSchema());
+  ASSERT_TRUE(single.ok()) << single.status();
+  EXPECT_EQ(single->predicates()[0].rhs.constant(), Value("Real Madrid"));
+
+  auto dbl = ParseDc("!(t1.Team == \"Real Madrid\")", TestSchema());
+  ASSERT_TRUE(dbl.ok());
+  EXPECT_EQ(dbl->predicates()[0].rhs.constant(), Value("Real Madrid"));
+}
+
+TEST(ParserTest, NumericConstants) {
+  auto dc = ParseDc("!(t1.Score >= 4.5 & t1.Year == 2017)", TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  EXPECT_EQ(dc->predicates()[0].rhs.constant(), Value(4.5));
+  EXPECT_EQ(dc->predicates()[1].rhs.constant(), Value(2017));
+}
+
+TEST(ParserTest, NegativeConstant) {
+  auto dc = ParseDc("!(t1.Score < -1.5)", TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  EXPECT_EQ(dc->predicates()[0].rhs.constant(), Value(-1.5));
+}
+
+TEST(ParserTest, DoubleAmpersandConjunction) {
+  auto dc = ParseDc("!(t1.Team == t2.Team && t1.City != t2.City)",
+                    TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+  EXPECT_EQ(dc->predicates().size(), 2u);
+}
+
+TEST(ParserTest, WhitespaceInsensitive) {
+  auto dc = ParseDc("  ! (  t1 . Team==t2 . Team )  ", TestSchema());
+  ASSERT_TRUE(dc.ok()) << dc.status();
+}
+
+TEST(ParserTest, UnknownAttributeFails) {
+  auto dc = ParseDc("!(t1.Nope == t2.Nope)", TestSchema());
+  ASSERT_FALSE(dc.ok());
+  EXPECT_EQ(dc.status().code(), StatusCode::kParseError);
+  EXPECT_NE(dc.status().message().find("Nope"), std::string::npos);
+}
+
+TEST(ParserTest, MissingNegationFails) {
+  EXPECT_FALSE(ParseDc("(t1.Team == t2.Team)", TestSchema()).ok());
+}
+
+TEST(ParserTest, TrailingJunkFails) {
+  EXPECT_FALSE(
+      ParseDc("!(t1.Team == t2.Team) extra", TestSchema()).ok());
+}
+
+TEST(ParserTest, UnterminatedStringFails) {
+  EXPECT_FALSE(ParseDc("!(t1.Team == 'open)", TestSchema()).ok());
+}
+
+TEST(ParserTest, MissingOperatorFails) {
+  EXPECT_FALSE(ParseDc("!(t1.Team t2.Team)", TestSchema()).ok());
+}
+
+TEST(ParserTest, EmptyConjunctionFails) {
+  EXPECT_FALSE(ParseDc("!()", TestSchema()).ok());
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const Schema schema = TestSchema();
+  const char* inputs[] = {
+      "!(t1.Team == t2.Team & t1.City != t2.City)",
+      "!(t1.Year <= t2.Year & t1.Score > t2.Score)",
+      "!(t1.Team == 'Real' & t1.Year == 2017)",
+      "!(t1.Score >= 4.5)",
+  };
+  for (const char* input : inputs) {
+    auto dc = ParseDc(input, schema);
+    ASSERT_TRUE(dc.ok()) << input << ": " << dc.status();
+    auto again = ParseDc(dc->ToString(schema), schema);
+    ASSERT_TRUE(again.ok()) << dc->ToString(schema);
+    EXPECT_EQ(*again, *dc) << input;
+  }
+}
+
+TEST(ParseDcSetTest, MultilineWithCommentsAndNames) {
+  const char* text = R"(
+# leading comment
+C1: !(t1.Team == t2.Team & t1.City != t2.City)
+
+!(t1.Year < 1900)
+)";
+  auto dcs = ParseDcSet(text, TestSchema());
+  ASSERT_TRUE(dcs.ok()) << dcs.status();
+  ASSERT_EQ(dcs->size(), 2u);
+  EXPECT_EQ(dcs->at(0).name(), "C1");
+  EXPECT_EQ(dcs->at(1).name(), "C2");  // auto-named by position
+}
+
+TEST(ParseDcSetTest, ErrorPropagatesFromBadLine) {
+  auto dcs = ParseDcSet("!(t1.Team == t2.Team)\n!(bad)", TestSchema());
+  EXPECT_FALSE(dcs.ok());
+}
+
+TEST(ParseDcSetTest, EmptyInputGivesEmptySet) {
+  auto dcs = ParseDcSet("\n# only comments\n", TestSchema());
+  ASSERT_TRUE(dcs.ok());
+  EXPECT_TRUE(dcs->empty());
+}
+
+// Property: randomly generated constraints round-trip through
+// ToString -> ParseDc structurally unchanged.
+class ParserRoundTripTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ParserRoundTripTest, RandomDcsRoundTrip) {
+  Rng rng(GetParam());
+  const Schema schema = TestSchema();
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    const int arity = rng.Bernoulli(0.7) ? 2 : 1;
+    const std::size_t num_preds = 1 + rng.Index(4);
+    std::vector<Predicate> predicates;
+    for (std::size_t p = 0; p < num_preds; ++p) {
+      const CompareOp op = static_cast<CompareOp>(rng.Index(6));
+      const Operand lhs = Operand::Cell(
+          arity == 2 ? static_cast<int>(rng.Index(2)) : 0,
+          rng.Index(schema.size()));
+      Operand rhs = Operand::Constant(Value("x"));
+      const double pick = rng.UniformDouble();
+      if (pick < 0.5) {
+        rhs = Operand::Cell(
+            arity == 2 ? static_cast<int>(rng.Index(2)) : 0,
+            rng.Index(schema.size()));
+      } else if (pick < 0.7) {
+        rhs = Operand::Constant(
+            Value(static_cast<std::int64_t>(rng.UniformInt(-50, 50))));
+      } else if (pick < 0.85) {
+        // Quarter-steps have exact short decimal renderings, so the
+        // printed constant parses back to the identical double.
+        rhs = Operand::Constant(
+            Value(static_cast<double>(rng.UniformInt(-20, 20)) / 4.0));
+      } else {
+        const char* strings[] = {"Real Madrid", "a b c", "x",
+                                 "with.dots", "2017ish"};
+        rhs = Operand::Constant(Value(strings[rng.Index(5)]));
+      }
+      predicates.push_back(Predicate{lhs, op, rhs});
+    }
+    // The parser infers arity from the tuple variables actually
+    // mentioned, so construct with the effective arity.
+    int effective_arity = 1;
+    for (const Predicate& p : predicates) {
+      if (p.MentionsTuple(1)) effective_arity = 2;
+    }
+    auto dc = DenialConstraint::Make("R", effective_arity, predicates);
+    ASSERT_TRUE(dc.ok());
+    const std::string text = dc->ToString(schema);
+    auto reparsed = ParseDc(text, schema, "R");
+    ASSERT_TRUE(reparsed.ok())
+        << text << ": " << reparsed.status() << " seed " << GetParam();
+    EXPECT_EQ(*reparsed, *dc) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserRoundTripTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace trex::dc

@@ -1,0 +1,157 @@
+#include "dc/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace trex::dc {
+namespace {
+
+Table PairTable() {
+  Table t(Schema::AllStrings({"A", "B"}));
+  EXPECT_TRUE(t.AppendRow({Value("x"), Value("1")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("x"), Value("2")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value("3")}).ok());
+  return t;
+}
+
+TEST(CompareOpTest, StringsRoundTripConcepts) {
+  EXPECT_STREQ(CompareOpToString(CompareOp::kEq), "==");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kNeq), "!=");
+  EXPECT_STREQ(CompareOpToString(CompareOp::kLe), "<=");
+  EXPECT_STREQ(CompareOpToPrettyString(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpToPrettyString(CompareOp::kNeq), "≠");
+  EXPECT_STREQ(CompareOpToPrettyString(CompareOp::kGe), "≥");
+}
+
+TEST(CompareOpTest, FlipSwapsDirection) {
+  EXPECT_EQ(FlipOp(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(FlipOp(CompareOp::kLe), CompareOp::kGe);
+  EXPECT_EQ(FlipOp(CompareOp::kGt), CompareOp::kLt);
+  EXPECT_EQ(FlipOp(CompareOp::kEq), CompareOp::kEq);
+  EXPECT_EQ(FlipOp(CompareOp::kNeq), CompareOp::kNeq);
+}
+
+TEST(CompareOpTest, NegateIsComplement) {
+  EXPECT_EQ(NegateOp(CompareOp::kEq), CompareOp::kNeq);
+  EXPECT_EQ(NegateOp(CompareOp::kNeq), CompareOp::kEq);
+  EXPECT_EQ(NegateOp(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(NegateOp(CompareOp::kGe), CompareOp::kLt);
+}
+
+TEST(EvalOpTest, ConcreteComparisons) {
+  EXPECT_TRUE(EvalOp(Value(1), CompareOp::kEq, Value(1)));
+  EXPECT_FALSE(EvalOp(Value(1), CompareOp::kEq, Value(2)));
+  EXPECT_TRUE(EvalOp(Value(1), CompareOp::kNeq, Value(2)));
+  EXPECT_TRUE(EvalOp(Value(1), CompareOp::kLt, Value(2)));
+  EXPECT_TRUE(EvalOp(Value(2), CompareOp::kLe, Value(2)));
+  EXPECT_TRUE(EvalOp(Value("b"), CompareOp::kGt, Value("a")));
+  EXPECT_TRUE(EvalOp(Value("a"), CompareOp::kGe, Value("a")));
+}
+
+TEST(EvalOpTest, NullSemantics) {
+  // null = x: never satisfied (unknown cannot be asserted equal).
+  EXPECT_FALSE(EvalOp(Value::Null(), CompareOp::kEq, Value("x")));
+  EXPECT_FALSE(EvalOp(Value("x"), CompareOp::kEq, Value::Null()));
+  EXPECT_FALSE(EvalOp(Value::Null(), CompareOp::kEq, Value::Null()));
+  // null != concrete: satisfied (paper Example 2.4 arithmetic).
+  EXPECT_TRUE(EvalOp(Value::Null(), CompareOp::kNeq, Value("x")));
+  EXPECT_TRUE(EvalOp(Value("x"), CompareOp::kNeq, Value::Null()));
+  // null != null: two unknowns cannot be asserted different.
+  EXPECT_FALSE(EvalOp(Value::Null(), CompareOp::kNeq, Value::Null()));
+  // Order comparisons need both sides.
+  EXPECT_FALSE(EvalOp(Value::Null(), CompareOp::kLt, Value(1)));
+  EXPECT_FALSE(EvalOp(Value(1), CompareOp::kGe, Value::Null()));
+}
+
+TEST(OperandTest, CellResolution) {
+  const Table t = PairTable();
+  const Operand t1_a = Operand::Cell(0, 0);
+  const Operand t2_b = Operand::Cell(1, 1);
+  EXPECT_EQ(t1_a.Resolve(t, 0, 1), Value("x"));
+  EXPECT_EQ(t2_b.Resolve(t, 0, 1), Value("2"));
+  // Row order matters.
+  EXPECT_EQ(t2_b.Resolve(t, 1, 0), Value("1"));
+}
+
+TEST(OperandTest, ConstantResolution) {
+  const Table t = PairTable();
+  const Operand c = Operand::Constant(Value("Spain"));
+  EXPECT_EQ(c.Resolve(t, 0, 1), Value("Spain"));
+  EXPECT_TRUE(c.is_constant());
+  EXPECT_FALSE(c.is_cell());
+}
+
+TEST(OperandTest, ToStringForms) {
+  const Schema schema = Schema::AllStrings({"Team", "City"});
+  EXPECT_EQ(Operand::Cell(0, 1).ToString(schema), "t1.City");
+  EXPECT_EQ(Operand::Cell(1, 0).ToString(schema), "t2.Team");
+  EXPECT_EQ(Operand::Constant(Value("Spain")).ToString(schema), "'Spain'");
+  EXPECT_EQ(Operand::Constant(Value(7)).ToString(schema), "7");
+}
+
+TEST(OperandTest, Equality) {
+  EXPECT_EQ(Operand::Cell(0, 1), Operand::Cell(0, 1));
+  EXPECT_FALSE(Operand::Cell(0, 1) == Operand::Cell(1, 1));
+  EXPECT_FALSE(Operand::Cell(0, 1) == Operand::Cell(0, 2));
+  EXPECT_EQ(Operand::Constant(Value(1)), Operand::Constant(Value(1)));
+  EXPECT_FALSE(Operand::Constant(Value(1)) == Operand::Cell(0, 0));
+}
+
+TEST(PredicateTest, EvalAgainstRows) {
+  const Table t = PairTable();
+  // t1.A == t2.A
+  const Predicate same_a{Operand::Cell(0, 0), CompareOp::kEq,
+                         Operand::Cell(1, 0)};
+  EXPECT_TRUE(same_a.Eval(t, 0, 1));
+  EXPECT_FALSE(same_a.Eval(t, 0, 2));  // null never equal
+
+  // t1.B != t2.B
+  const Predicate diff_b{Operand::Cell(0, 1), CompareOp::kNeq,
+                         Operand::Cell(1, 1)};
+  EXPECT_TRUE(diff_b.Eval(t, 0, 1));
+  EXPECT_FALSE(diff_b.Eval(t, 0, 0));
+}
+
+TEST(PredicateTest, ConstantPredicate) {
+  const Table t = PairTable();
+  const Predicate is_x{Operand::Cell(0, 0), CompareOp::kEq,
+                       Operand::Constant(Value("x"))};
+  EXPECT_TRUE(is_x.Eval(t, 0, 0));
+  EXPECT_FALSE(is_x.Eval(t, 2, 0));  // null
+}
+
+TEST(PredicateTest, MentionsTuple) {
+  const Predicate cross{Operand::Cell(0, 0), CompareOp::kEq,
+                        Operand::Cell(1, 0)};
+  EXPECT_TRUE(cross.MentionsTuple(0));
+  EXPECT_TRUE(cross.MentionsTuple(1));
+  const Predicate unary{Operand::Cell(0, 0), CompareOp::kEq,
+                        Operand::Constant(Value(1))};
+  EXPECT_TRUE(unary.MentionsTuple(0));
+  EXPECT_FALSE(unary.MentionsTuple(1));
+}
+
+TEST(PredicateTest, IsCrossTupleEquality) {
+  EXPECT_TRUE((Predicate{Operand::Cell(0, 0), CompareOp::kEq,
+                         Operand::Cell(1, 2)})
+                  .IsCrossTupleEquality());
+  EXPECT_FALSE((Predicate{Operand::Cell(0, 0), CompareOp::kNeq,
+                          Operand::Cell(1, 0)})
+                   .IsCrossTupleEquality());
+  EXPECT_FALSE((Predicate{Operand::Cell(0, 0), CompareOp::kEq,
+                          Operand::Cell(0, 1)})
+                   .IsCrossTupleEquality());
+  EXPECT_FALSE((Predicate{Operand::Cell(0, 0), CompareOp::kEq,
+                          Operand::Constant(Value(1))})
+                   .IsCrossTupleEquality());
+}
+
+TEST(PredicateTest, ToStringRendering) {
+  const Schema schema = Schema::AllStrings({"Team", "City"});
+  const Predicate p{Operand::Cell(0, 0), CompareOp::kNeq,
+                    Operand::Cell(1, 0)};
+  EXPECT_EQ(p.ToString(schema), "t1.Team != t2.Team");
+  EXPECT_EQ(p.ToPrettyString(schema), "t1.Team ≠ t2.Team");
+}
+
+}  // namespace
+}  // namespace trex::dc

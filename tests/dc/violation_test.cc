@@ -1,0 +1,222 @@
+#include "dc/violation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+
+#include "common/random.h"
+#include "dc/parser.h"
+
+namespace trex::dc {
+namespace {
+
+Schema TestSchema() {
+  return Schema::AllStrings({"Team", "City", "Country"});
+}
+
+Table MakeTable(std::initializer_list<std::array<const char*, 3>> rows) {
+  Table t(TestSchema());
+  for (const auto& row : rows) {
+    EXPECT_TRUE(
+        t.AppendRow({Value(row[0]), Value(row[1]), Value(row[2])}).ok());
+  }
+  return t;
+}
+
+DcSet ParseSet(const char* text) {
+  auto dcs = ParseDcSet(text, TestSchema());
+  EXPECT_TRUE(dcs.ok()) << dcs.status();
+  return std::move(dcs).value();
+}
+
+TEST(ViolationTest, FindsFdViolationOnce) {
+  const Table t = MakeTable({{"Real", "Madrid", "Spain"},
+                             {"Real", "Capital", "Spain"},
+                             {"Barca", "Barcelona", "Spain"}});
+  const DcSet dcs = ParseSet("!(t1.Team == t2.Team & t1.City != t2.City)");
+  const auto violations = FindViolations(t, dcs);
+  ASSERT_EQ(violations.size(), 1u);  // symmetric dedup: (0,1) only
+  EXPECT_EQ(violations[0].row1, 0u);
+  EXPECT_EQ(violations[0].row2, 1u);
+  EXPECT_EQ(violations[0].constraint_index, 0u);
+}
+
+TEST(ViolationTest, SymmetricDedupeCanBeDisabled) {
+  const Table t = MakeTable({{"Real", "Madrid", "Spain"},
+                             {"Real", "Capital", "Spain"}});
+  const DcSet dcs = ParseSet("!(t1.Team == t2.Team & t1.City != t2.City)");
+  ViolationOptions options;
+  options.dedupe_symmetric = false;
+  const auto violations = FindViolations(t, dcs, options);
+  EXPECT_EQ(violations.size(), 2u);  // both orderings
+}
+
+TEST(ViolationTest, CleanTableHasNoViolations) {
+  const Table t = MakeTable({{"Real", "Madrid", "Spain"},
+                             {"Barca", "Barcelona", "Spain"}});
+  const DcSet dcs = ParseSet(R"(
+!(t1.Team == t2.Team & t1.City != t2.City)
+!(t1.City == t2.City & t1.Country != t2.Country)
+)");
+  EXPECT_TRUE(FindViolations(t, dcs).empty());
+  EXPECT_FALSE(HasAnyViolation(t, dcs));
+}
+
+TEST(ViolationTest, MultipleConstraintsTagged) {
+  const Table t = MakeTable({{"Real", "Madrid", "Spain"},
+                             {"Real", "Capital", "Spain"},
+                             {"Atleti", "Madrid", "España"}});
+  const DcSet dcs = ParseSet(R"(
+!(t1.Team == t2.Team & t1.City != t2.City)
+!(t1.City == t2.City & t1.Country != t2.Country)
+)");
+  const auto violations = FindViolations(t, dcs);
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].constraint_index, 0u);
+  EXPECT_EQ(violations[1].constraint_index, 1u);
+  EXPECT_EQ(violations[1].row1, 0u);
+  EXPECT_EQ(violations[1].row2, 2u);
+}
+
+TEST(ViolationTest, UnaryConstraints) {
+  const Table t = MakeTable({{"Real", "Madrid", "Spain"},
+                             {"", "Capital", "Nowhere"}});
+  auto dcs_result =
+      ParseDcSet("!(t1.Country == 'Nowhere')", TestSchema());
+  ASSERT_TRUE(dcs_result.ok());
+  const auto violations = FindViolations(t, *dcs_result);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].row1, 1u);
+  EXPECT_EQ(violations[0].row2, 1u);
+}
+
+TEST(ViolationTest, NullsNeverJoinOnEquality) {
+  Table t(TestSchema());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Null(), Value("Madrid"), Value("Spain")}).ok());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Null(), Value("Capital"), Value("Spain")}).ok());
+  const DcSet dcs = ParseSet("!(t1.Team == t2.Team & t1.City != t2.City)");
+  EXPECT_TRUE(FindViolations(t, dcs).empty());
+}
+
+TEST(ViolationTest, NullInequalityCountsAsDifferent) {
+  // Same team, one city null: null != 'Madrid' holds, so it violates.
+  Table t(TestSchema());
+  ASSERT_TRUE(
+      t.AppendRow({Value("Real"), Value("Madrid"), Value("Spain")}).ok());
+  ASSERT_TRUE(
+      t.AppendRow({Value("Real"), Value::Null(), Value("Spain")}).ok());
+  const DcSet dcs = ParseSet("!(t1.Team == t2.Team & t1.City != t2.City)");
+  EXPECT_EQ(FindViolations(t, dcs).size(), 1u);
+}
+
+TEST(ViolationTest, RowViolatesEitherRole) {
+  const Table t = MakeTable({{"Real", "Madrid", "Spain"},
+                             {"Real", "Capital", "Spain"},
+                             {"Barca", "Barcelona", "Spain"}});
+  auto dc = ParseDc("!(t1.Team == t2.Team & t1.City != t2.City)",
+                    TestSchema());
+  ASSERT_TRUE(dc.ok());
+  EXPECT_TRUE(RowViolates(t, *dc, 0));
+  EXPECT_TRUE(RowViolates(t, *dc, 1));
+  EXPECT_FALSE(RowViolates(t, *dc, 2));
+}
+
+TEST(ViolationTest, AsymmetricConstraintKeepsOrderedPairs) {
+  // "No two rows where t1 is lexicographically before t2 on Team but
+  // after on City" — artificial, order-sensitive.
+  const Table t = MakeTable({{"A", "z", "s"}, {"B", "a", "s"}});
+  const DcSet dcs = ParseSet("!(t1.Team < t2.Team & t1.City > t2.City)");
+  const auto violations = FindViolations(t, dcs);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].row1, 0u);
+  EXPECT_EQ(violations[0].row2, 1u);
+}
+
+TEST(ViolationTest, ImplicatedCellsCoverBothTuples) {
+  const Table t = MakeTable({{"Real", "Madrid", "Spain"},
+                             {"Real", "Capital", "Spain"}});
+  const DcSet dcs = ParseSet("!(t1.Team == t2.Team & t1.City != t2.City)");
+  const auto violations = FindViolations(t, dcs);
+  ASSERT_EQ(violations.size(), 1u);
+  const auto cells = ImplicatedCells(violations[0], dcs);
+  // Team and City of both rows.
+  EXPECT_EQ(cells.size(), 4u);
+  EXPECT_NE(std::find(cells.begin(), cells.end(), (CellRef{0, 0})),
+            cells.end());
+  EXPECT_NE(std::find(cells.begin(), cells.end(), (CellRef{1, 1})),
+            cells.end());
+}
+
+TEST(ViolationTest, ToStringNamesConstraint) {
+  const DcSet dcs = ParseSet("!(t1.Team == t2.Team & t1.City != t2.City)");
+  const Violation v{0, 2, 4};
+  EXPECT_EQ(v.ToString(dcs), "C1 violated by (t3, t5)");
+  const Violation unary{0, 1, 1};
+  EXPECT_EQ(unary.ToString(dcs), "C1 violated by t2");
+}
+
+// Property test: the hash-join fast path must agree with the brute-force
+// nested loop on random tables, across several DC shapes and seeds.
+class ViolationPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+std::vector<Violation> BruteForce(const Table& t, const DenialConstraint& dc,
+                                  bool dedupe) {
+  std::vector<Violation> out;
+  const bool symmetric = dedupe && dc.IsSymmetric();
+  for (std::size_t r1 = 0; r1 < t.num_rows(); ++r1) {
+    for (std::size_t r2 = 0; r2 < t.num_rows(); ++r2) {
+      if (r1 == r2) continue;
+      if (symmetric && r2 < r1) continue;
+      if (dc.IsViolatedBy(t, r1, r2)) out.push_back({0, r1, r2});
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST_P(ViolationPropertyTest, HashJoinMatchesBruteForce) {
+  Rng rng(GetParam());
+  // Random table over a small value domain (to force collisions).
+  Table t(TestSchema());
+  const std::size_t rows = 20 + rng.Index(30);
+  const char* teams[] = {"A", "B", "C", "D"};
+  const char* cities[] = {"x", "y", "z"};
+  const char* countries[] = {"p", "q"};
+  for (std::size_t r = 0; r < rows; ++r) {
+    auto pick = [&rng](auto& arr, std::size_t n, double null_p) -> Value {
+      if (rng.Bernoulli(null_p)) return Value::Null();
+      return Value(arr[rng.Index(n)]);
+    };
+    ASSERT_TRUE(t.AppendRow({pick(teams, 4, 0.1), pick(cities, 3, 0.1),
+                             pick(countries, 2, 0.1)})
+                    .ok());
+  }
+  const char* shapes[] = {
+      "!(t1.Team == t2.Team & t1.City != t2.City)",
+      "!(t1.Team == t2.Team & t1.City == t2.City & t1.Country != "
+      "t2.Country)",
+      "!(t1.City == t2.City & t1.Country != t2.Country)",
+  };
+  for (const char* shape : shapes) {
+    auto dc = ParseDc(shape, TestSchema());
+    ASSERT_TRUE(dc.ok());
+    for (bool dedupe : {true, false}) {
+      ViolationOptions options;
+      options.dedupe_symmetric = dedupe;
+      auto fast = FindViolationsOf(t, *dc, 0, options);
+      auto slow = BruteForce(t, *dc, dedupe);
+      EXPECT_EQ(fast, slow) << shape << " dedupe=" << dedupe
+                            << " seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViolationPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace trex::dc

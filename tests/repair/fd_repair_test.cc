@@ -1,0 +1,152 @@
+#include "repair/fd_repair.h"
+
+#include <gtest/gtest.h>
+
+#include "data/soccer.h"
+#include "dc/parser.h"
+#include "dc/violation.h"
+
+namespace trex::repair {
+namespace {
+
+Schema TestSchema() {
+  return Schema::AllStrings({"Team", "City", "Country"});
+}
+
+dc::DcSet TwoFds() {
+  auto dcs = dc::ParseDcSet(R"(
+C1: !(t1.Team == t2.Team & t1.City != t2.City)
+C2: !(t1.City == t2.City & t1.Country != t2.Country)
+)",
+                            TestSchema());
+  EXPECT_TRUE(dcs.ok());
+  return std::move(dcs).value();
+}
+
+TEST(FdRepairTest, MergesEquivalenceClassesToMajority) {
+  Table dirty(TestSchema());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Madrid"), Value("Spain")})
+          .ok());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Madrid"), Value("Spain")})
+          .ok());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Capital"), Value("Spain")})
+          .ok());
+  FdRepair alg;
+  auto clean = alg.Repair(TwoFds(), dirty);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->at(2, 1), Value("Madrid"));
+  EXPECT_TRUE(dc::FindViolations(*clean, TwoFds()).empty());
+}
+
+TEST(FdRepairTest, CascadingFdsReachFixpoint) {
+  // Fixing City by Team creates a new City group whose Country must then
+  // be merged — needs a second pass.
+  Table dirty(TestSchema());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Madrid"), Value("Spain")})
+          .ok());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Madrid"), Value("Spain")})
+          .ok());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Capital"), Value("España")})
+          .ok());
+  FdRepair alg;
+  auto clean = alg.Repair(TwoFds(), dirty);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->at(2, 1), Value("Madrid"));
+  EXPECT_EQ(clean->at(2, 2), Value("Spain"));
+  EXPECT_TRUE(dc::FindViolations(*clean, TwoFds()).empty());
+}
+
+TEST(FdRepairTest, TieBreaksTowardSmallerValue) {
+  Table dirty(TestSchema());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Zeta"), Value("Spain")}).ok());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Alpha"), Value("Spain")})
+          .ok());
+  FdRepair alg;
+  auto clean = alg.Repair(TwoFds(), dirty);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->at(0, 1), Value("Alpha"));
+  EXPECT_EQ(clean->at(1, 1), Value("Alpha"));
+}
+
+TEST(FdRepairTest, IgnoresNonFdConstraints) {
+  // C4-style multi-predicate constraint is not FD-shaped; FdRepair must
+  // leave its violations alone (and not crash).
+  const Schema schema = data::SoccerSchema();
+  auto dcs = dc::ParseDcSet(
+      "!(t1.Team != t2.Team & t1.Year == t2.Year & t1.League == t2.League "
+      "& t1.Place == t2.Place)",
+      schema);
+  ASSERT_TRUE(dcs.ok());
+  FdRepair alg;
+  auto repaired = alg.Repair(*dcs, data::SoccerDirtyTable());
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(*repaired, data::SoccerDirtyTable());
+}
+
+TEST(FdRepairTest, RepairsSoccerCityViaTeamFd) {
+  FdRepair alg;
+  auto clean =
+      alg.Repair(data::SoccerConstraints(), data::SoccerDirtyTable());
+  ASSERT_TRUE(clean.ok());
+  // C1 = Team -> City merges t5's Capital into Madrid (3-1 majority).
+  EXPECT_EQ(clean->at(data::SoccerCell(5, "City")), Value("Madrid"));
+  // C3 = League -> Country merges España into Spain.
+  EXPECT_EQ(clean->at(data::SoccerCell(5, "Country")), Value("Spain"));
+}
+
+TEST(FdRepairTest, NullKeysGiveNoEvidence) {
+  Table dirty(TestSchema());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value::Null(), Value("Madrid"), Value("Spain")})
+          .ok());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value::Null(), Value("Capital"), Value("Spain")})
+          .ok());
+  FdRepair alg;
+  auto clean = alg.Repair(TwoFds(), dirty);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(*clean, dirty);  // null keys group nothing
+}
+
+TEST(FdRepairTest, NullTargetGetsMajorityValue) {
+  Table dirty(TestSchema());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Madrid"), Value("Spain")})
+          .ok());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value::Null(), Value("Spain")}).ok());
+  FdRepair alg;
+  auto clean = alg.Repair(TwoFds(), dirty);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(clean->at(1, 1), Value("Madrid"));
+}
+
+TEST(FdRepairTest, Deterministic) {
+  FdRepair alg;
+  auto a = alg.Repair(data::SoccerConstraints(), data::SoccerDirtyTable());
+  auto b = alg.Repair(data::SoccerConstraints(), data::SoccerDirtyTable());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(FdRepairTest, InfluenceGraphCoversFdEdges) {
+  FdRepair alg;
+  const Schema schema = TestSchema();
+  auto graph = alg.InfluenceGraph(TwoFds(), schema);
+  ASSERT_TRUE(graph.has_value());
+  // Country is influenced by City (C2) and transitively by Team (C1).
+  const auto influencers = graph->InfluencingColumns(2);
+  EXPECT_EQ(influencers, (std::set<std::size_t>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace trex::repair

@@ -1,0 +1,131 @@
+#include "repair/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "data/soccer.h"
+#include "dc/parser.h"
+
+namespace trex::repair {
+namespace {
+
+Schema TestSchema() { return Schema::AllStrings({"A", "B"}); }
+
+Table MakeTable(std::initializer_list<std::pair<const char*, const char*>>
+                    rows) {
+  Table t(TestSchema());
+  for (const auto& [a, b] : rows) {
+    EXPECT_TRUE(t.AppendRow({Value(a), Value(b)}).ok());
+  }
+  return t;
+}
+
+TEST(MetricsTest, PerfectRepair) {
+  const Table truth = MakeTable({{"x", "y"}, {"p", "q"}});
+  Table dirty = truth;
+  dirty.Set(0, 0, Value("bad"));
+  auto quality = EvaluateRepair(dirty, truth, truth, dc::DcSet{});
+  ASSERT_TRUE(quality.ok());
+  EXPECT_EQ(quality->cells_changed, 1u);
+  EXPECT_EQ(quality->correct_changes, 1u);
+  EXPECT_EQ(quality->true_errors, 1u);
+  EXPECT_EQ(quality->errors_fixed, 1u);
+  EXPECT_DOUBLE_EQ(quality->precision, 1.0);
+  EXPECT_DOUBLE_EQ(quality->recall, 1.0);
+  EXPECT_DOUBLE_EQ(quality->f1, 1.0);
+}
+
+TEST(MetricsTest, NoRepairGivesZeroRecall) {
+  const Table truth = MakeTable({{"x", "y"}});
+  Table dirty = truth;
+  dirty.Set(0, 0, Value("bad"));
+  auto quality = EvaluateRepair(dirty, dirty, truth, dc::DcSet{});
+  ASSERT_TRUE(quality.ok());
+  EXPECT_EQ(quality->cells_changed, 0u);
+  EXPECT_DOUBLE_EQ(quality->precision, 1.0);  // vacuous
+  EXPECT_DOUBLE_EQ(quality->recall, 0.0);
+  EXPECT_DOUBLE_EQ(quality->f1, 0.0);
+}
+
+TEST(MetricsTest, WrongChangesHurtPrecision) {
+  const Table truth = MakeTable({{"x", "y"}, {"p", "q"}});
+  Table dirty = truth;
+  dirty.Set(0, 0, Value("bad"));
+  Table repaired = dirty;
+  repaired.Set(0, 0, Value("x"));      // correct fix
+  repaired.Set(1, 1, Value("wrong"));  // collateral damage
+  auto quality = EvaluateRepair(dirty, repaired, truth, dc::DcSet{});
+  ASSERT_TRUE(quality.ok());
+  EXPECT_EQ(quality->cells_changed, 2u);
+  EXPECT_EQ(quality->correct_changes, 1u);
+  EXPECT_DOUBLE_EQ(quality->precision, 0.5);
+  EXPECT_DOUBLE_EQ(quality->recall, 1.0);
+  EXPECT_NEAR(quality->f1, 2 * 0.5 / 1.5, 1e-12);
+}
+
+TEST(MetricsTest, WrongValueRepairNotCounted) {
+  const Table truth = MakeTable({{"x", "y"}});
+  Table dirty = truth;
+  dirty.Set(0, 0, Value("bad"));
+  Table repaired = dirty;
+  repaired.Set(0, 0, Value("still-bad"));  // changed but wrong
+  auto quality = EvaluateRepair(dirty, repaired, truth, dc::DcSet{});
+  ASSERT_TRUE(quality.ok());
+  EXPECT_EQ(quality->correct_changes, 0u);
+  EXPECT_EQ(quality->errors_fixed, 0u);
+  EXPECT_DOUBLE_EQ(quality->precision, 0.0);
+  EXPECT_DOUBLE_EQ(quality->recall, 0.0);
+  EXPECT_DOUBLE_EQ(quality->f1, 0.0);
+}
+
+TEST(MetricsTest, NullAwareComparison) {
+  const Table truth = MakeTable({{"x", "y"}});
+  Table dirty = truth;
+  dirty.Set(0, 0, Value::Null());  // missing-value error
+  Table repaired = dirty;
+  repaired.Set(0, 0, Value("x"));
+  auto quality = EvaluateRepair(dirty, repaired, truth, dc::DcSet{});
+  ASSERT_TRUE(quality.ok());
+  EXPECT_EQ(quality->true_errors, 1u);
+  EXPECT_EQ(quality->errors_fixed, 1u);
+  EXPECT_DOUBLE_EQ(quality->recall, 1.0);
+}
+
+TEST(MetricsTest, ResidualViolationsCounted) {
+  const Schema schema = data::SoccerSchema();
+  auto quality = EvaluateRepair(
+      data::SoccerDirtyTable(), data::SoccerDirtyTable(),
+      data::SoccerCleanTable(), data::SoccerConstraints());
+  ASSERT_TRUE(quality.ok());
+  EXPECT_GT(quality->residual_violations, 0u);
+
+  auto clean_quality = EvaluateRepair(
+      data::SoccerDirtyTable(), data::SoccerCleanTable(),
+      data::SoccerCleanTable(), data::SoccerConstraints());
+  ASSERT_TRUE(clean_quality.ok());
+  EXPECT_EQ(clean_quality->residual_violations, 0u);
+}
+
+TEST(MetricsTest, ShapeMismatchRejected) {
+  const Table truth = MakeTable({{"x", "y"}});
+  const Table two_rows = MakeTable({{"x", "y"}, {"p", "q"}});
+  EXPECT_FALSE(EvaluateRepair(truth, truth, two_rows, dc::DcSet{}).ok());
+  Table other_schema(Schema::AllStrings({"Z"}));
+  ASSERT_TRUE(other_schema.AppendRow({Value("v")}).ok());
+  EXPECT_FALSE(
+      EvaluateRepair(truth, other_schema, truth, dc::DcSet{}).ok());
+}
+
+TEST(MetricsTest, ToStringMentionsKeyNumbers) {
+  RepairQuality q;
+  q.precision = 0.5;
+  q.recall = 0.25;
+  q.f1 = 1.0 / 3.0;
+  q.cells_changed = 4;
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("precision=0.500"), std::string::npos);
+  EXPECT_NE(s.find("recall=0.250"), std::string::npos);
+  EXPECT_NE(s.find("changed=4"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trex::repair

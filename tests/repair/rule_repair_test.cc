@@ -1,0 +1,203 @@
+#include "repair/rule_repair.h"
+
+#include <gtest/gtest.h>
+
+#include "data/soccer.h"
+#include "dc/parser.h"
+#include "dc/violation.h"
+
+namespace trex::repair {
+namespace {
+
+using data::MakeAlgorithm1;
+using data::SoccerCleanTable;
+using data::SoccerConstraints;
+using data::SoccerDirtyTable;
+
+TEST(RuleRepairTest, Algorithm1ReproducesFigure2) {
+  auto alg = MakeAlgorithm1();
+  auto clean = alg->Repair(SoccerConstraints(), SoccerDirtyTable());
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  EXPECT_EQ(*clean, SoccerCleanTable());
+}
+
+TEST(RuleRepairTest, RepairOnlyTouchesDirtyCells) {
+  auto alg = MakeAlgorithm1();
+  auto clean = alg->Repair(SoccerConstraints(), SoccerDirtyTable());
+  ASSERT_TRUE(clean.ok());
+  const Table dirty = SoccerDirtyTable();
+  std::size_t changed = 0;
+  for (const CellRef& cell : dirty.AllCells()) {
+    if (dirty.at(cell) != clean->at(cell)) ++changed;
+  }
+  EXPECT_EQ(changed, 2u);  // t5[City] and t5[Country]
+}
+
+TEST(RuleRepairTest, CleanTableIsFixpoint) {
+  auto alg = MakeAlgorithm1();
+  auto again = alg->Repair(SoccerConstraints(), SoccerCleanTable());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, SoccerCleanTable());
+}
+
+TEST(RuleRepairTest, Deterministic) {
+  auto alg = MakeAlgorithm1();
+  auto a = alg->Repair(SoccerConstraints(), SoccerDirtyTable());
+  auto b = alg->Repair(SoccerConstraints(), SoccerDirtyTable());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(RuleRepairTest, DoesNotMutateInput) {
+  auto alg = MakeAlgorithm1();
+  const Table dirty = SoccerDirtyTable();
+  Table copy = dirty;
+  ASSERT_TRUE(alg->Repair(SoccerConstraints(), copy).ok());
+  EXPECT_EQ(copy, dirty);
+}
+
+// The subset semantics drive the paper's Example 2.3: the characteristic
+// function must be v(S) = 1 iff {C1,C2} ⊆ S or C3 ∈ S.
+TEST(RuleRepairTest, SubsetSemanticsMatchExample23) {
+  auto alg = MakeAlgorithm1();
+  const dc::DcSet all = SoccerConstraints();
+  const Table dirty = SoccerDirtyTable();
+  const CellRef target = data::SoccerTargetCell();
+  const Value want("Spain");
+
+  for (std::uint64_t mask = 0; mask < 16; ++mask) {
+    const dc::DcSet subset = all.Subset(mask);
+    auto repaired = alg->Repair(subset, dirty);
+    ASSERT_TRUE(repaired.ok());
+    const bool has_c1 = mask & 1;
+    const bool has_c2 = mask & 2;
+    const bool has_c3 = mask & 4;
+    const bool expect_repair = (has_c1 && has_c2) || has_c3;
+    EXPECT_EQ(repaired->at(target) == want, expect_repair)
+        << "mask=" << mask;
+  }
+}
+
+TEST(RuleRepairTest, CityRepairNeedsC1) {
+  // Example 2.2: t5[City] flips to Madrid iff C1 is present.
+  auto alg = MakeAlgorithm1();
+  const dc::DcSet all = SoccerConstraints();
+  const Table dirty = SoccerDirtyTable();
+  const CellRef city = data::SoccerCell(5, "City");
+
+  auto with_c1 = alg->Repair(all.Subset(0b0111), dirty);
+  ASSERT_TRUE(with_c1.ok());
+  EXPECT_EQ(with_c1->at(city), Value("Madrid"));
+
+  auto without_c1 = alg->Repair(all.Subset(0b0110), dirty);
+  ASSERT_TRUE(without_c1.ok());
+  EXPECT_EQ(without_c1->at(city), Value("Capital"));
+}
+
+TEST(RuleRepairTest, EmptyConstraintSetIsIdentity) {
+  auto alg = MakeAlgorithm1();
+  auto repaired = alg->Repair(dc::DcSet{}, SoccerDirtyTable());
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(*repaired, SoccerDirtyTable());
+}
+
+TEST(RuleRepairTest, RulesForMissingConstraintsSkipped) {
+  // An algorithm with a rule bound to "C9" (absent) must not fail.
+  std::vector<RepairRule> rules{
+      {"C9", RuleAction::kSetMostCommon, "City", ""}};
+  RuleRepair alg("test", std::move(rules));
+  auto repaired = alg.Repair(SoccerConstraints(), SoccerDirtyTable());
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(*repaired, SoccerDirtyTable());
+}
+
+TEST(RuleRepairTest, UnknownTargetAttributeFails) {
+  std::vector<RepairRule> rules{
+      {"C1", RuleAction::kSetMostCommon, "Nope", ""}};
+  RuleRepair alg("test", std::move(rules));
+  EXPECT_FALSE(alg.Repair(SoccerConstraints(), SoccerDirtyTable()).ok());
+}
+
+TEST(RuleRepairTest, HandlesNulledTables) {
+  // Coalition-style tables (many nulls) must repair without error.
+  auto alg = MakeAlgorithm1();
+  const Table dirty = SoccerDirtyTable();
+  const Table masked = dirty.WithNulls(
+      {data::SoccerCell(5, "City"), data::SoccerCell(1, "Team"),
+       data::SoccerCell(3, "Country")});
+  auto repaired = alg->Repair(SoccerConstraints(), masked);
+  ASSERT_TRUE(repaired.ok());
+}
+
+TEST(RuleRepairTest, NullCityTriggersC1RepairViaInequality) {
+  // t5[City] = null: null != 'Madrid' holds, so C1 fires and the most
+  // common city replaces the null.
+  auto alg = MakeAlgorithm1();
+  Table dirty = SoccerDirtyTable();
+  dirty.Set(data::SoccerCell(5, "City"), Value::Null());
+  auto repaired = alg->Repair(SoccerConstraints(), dirty);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_EQ(repaired->at(data::SoccerCell(5, "City")), Value("Madrid"));
+}
+
+TEST(RuleRepairTest, MultiPassReachesFixpoint) {
+  const Schema schema = Schema::AllStrings({"Team", "City", "Country"});
+  auto dcs = dc::ParseDcSet(R"(
+C1: !(t1.Team == t2.Team & t1.City != t2.City)
+C2: !(t1.City == t2.City & t1.Country != t2.Country)
+)",
+                            schema);
+  ASSERT_TRUE(dcs.ok());
+  Table dirty(schema);
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Madrid"), Value("Spain")})
+          .ok());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Madrid"), Value("Spain")})
+          .ok());
+  ASSERT_TRUE(
+      dirty.AppendRow({Value("Real"), Value("Capital"), Value("España")})
+          .ok());
+
+  // Rules in REVERSE dependency order: the Country rule runs before the
+  // City rule, so pass 1 fixes City only; pass 2 then fixes Country.
+  std::vector<RepairRule> rules{
+      {"C2", RuleAction::kSetMostCommonGiven, "Country", "City"},
+      {"C1", RuleAction::kSetMostCommon, "City", ""}};
+
+  RuleRepair one_pass("one", rules, RuleRepairOptions{1});
+  auto after_one = one_pass.Repair(*dcs, dirty);
+  ASSERT_TRUE(after_one.ok());
+  EXPECT_EQ(after_one->at(2, 1), Value("Madrid"));
+  EXPECT_EQ(after_one->at(2, 2), Value("España"));
+
+  RuleRepair two_pass("two", rules, RuleRepairOptions{2});
+  auto after_two = two_pass.Repair(*dcs, dirty);
+  ASSERT_TRUE(after_two.ok());
+  EXPECT_EQ(after_two->at(2, 2), Value("Spain"));
+}
+
+TEST(RuleRepairTest, InfluenceGraphIsPrecise) {
+  auto alg = MakeAlgorithm1();
+  const dc::DcSet dcs = SoccerConstraints();
+  const Schema schema = data::SoccerSchema();
+  auto graph = alg->InfluenceGraph(dcs, schema);
+  ASSERT_TRUE(graph.has_value());
+  // Influencers of Country: {Team, City, Country, League} — not Place,
+  // not Year (hence the paper's t1[Place] has Shapley 0).
+  const auto influencers =
+      graph->InfluencingColumns(*schema.IndexOf("Country"));
+  EXPECT_EQ(influencers,
+            (std::set<std::size_t>{*schema.IndexOf("Team"),
+                                   *schema.IndexOf("City"),
+                                   *schema.IndexOf("Country"),
+                                   *schema.IndexOf("League")}));
+}
+
+TEST(RuleRepairTest, NameIsReported) {
+  EXPECT_EQ(MakeAlgorithm1()->name(), "algorithm-1");
+}
+
+}  // namespace
+}  // namespace trex::repair

@@ -1,0 +1,101 @@
+#include "table/diff.h"
+
+#include <gtest/gtest.h>
+
+namespace trex {
+namespace {
+
+Table Base() {
+  Table t(Schema::AllStrings({"A", "B"}));
+  EXPECT_TRUE(t.AppendRow({Value("x"), Value("y")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("p"), Value("q")}).ok());
+  return t;
+}
+
+TEST(DiffTest, IdenticalTablesNoDiff) {
+  auto diffs = DiffTables(Base(), Base());
+  ASSERT_TRUE(diffs.ok());
+  EXPECT_TRUE(diffs->empty());
+}
+
+TEST(DiffTest, DetectsChangedCells) {
+  Table clean = Base();
+  clean.Set(0, 1, Value("changed"));
+  clean.Set(1, 0, Value("other"));
+  auto diffs = DiffTables(Base(), clean);
+  ASSERT_TRUE(diffs.ok());
+  ASSERT_EQ(diffs->size(), 2u);
+  EXPECT_EQ((*diffs)[0].cell, (CellRef{0, 1}));
+  EXPECT_EQ((*diffs)[0].old_value, Value("y"));
+  EXPECT_EQ((*diffs)[0].new_value, Value("changed"));
+  EXPECT_EQ((*diffs)[1].cell, (CellRef{1, 0}));
+}
+
+TEST(DiffTest, RowMajorOrder) {
+  Table clean = Base();
+  clean.Set(1, 1, Value("a"));
+  clean.Set(0, 0, Value("b"));
+  auto diffs = DiffTables(Base(), clean);
+  ASSERT_TRUE(diffs.ok());
+  ASSERT_EQ(diffs->size(), 2u);
+  EXPECT_LT((*diffs)[0].cell, (*diffs)[1].cell);
+}
+
+TEST(DiffTest, NullTransitionsAreDiffs) {
+  Table clean = Base();
+  clean.Set(0, 0, Value::Null());
+  auto one_way = DiffTables(Base(), clean);
+  ASSERT_TRUE(one_way.ok());
+  ASSERT_EQ(one_way->size(), 1u);
+  EXPECT_TRUE((*one_way)[0].new_value.is_null());
+
+  auto other_way = DiffTables(clean, Base());
+  ASSERT_TRUE(other_way.ok());
+  ASSERT_EQ(other_way->size(), 1u);
+  EXPECT_TRUE((*other_way)[0].old_value.is_null());
+}
+
+TEST(DiffTest, BothNullIsNoDiff) {
+  Table a = Base();
+  Table b = Base();
+  a.Set(0, 0, Value::Null());
+  b.Set(0, 0, Value::Null());
+  auto diffs = DiffTables(a, b);
+  ASSERT_TRUE(diffs.ok());
+  EXPECT_TRUE(diffs->empty());
+}
+
+TEST(DiffTest, ShapeMismatchErrors) {
+  Table other(Schema::AllStrings({"A"}));
+  EXPECT_FALSE(DiffTables(Base(), other).ok());
+
+  Table fewer_rows(Schema::AllStrings({"A", "B"}));
+  ASSERT_TRUE(fewer_rows.AppendRow({Value("x"), Value("y")}).ok());
+  EXPECT_FALSE(DiffTables(Base(), fewer_rows).ok());
+}
+
+TEST(DiffTest, RepairedCellToString) {
+  const Schema schema = Schema::AllStrings({"Team", "Country"});
+  const RepairedCell cell{CellRef{4, 1}, Value("España"), Value("Spain")};
+  EXPECT_EQ(cell.ToString(schema), "t5[Country]: España -> Spain");
+}
+
+TEST(CellRepairedToTest, ChecksAgainstCleanValue) {
+  const Table clean = Base();
+  Table candidate = Base();
+  EXPECT_TRUE(CellRepairedTo(candidate, clean, CellRef{0, 0}));
+  candidate.Set(0, 0, Value("wrong"));
+  EXPECT_FALSE(CellRepairedTo(candidate, clean, CellRef{0, 0}));
+}
+
+TEST(CellRepairedToTest, NullHandling) {
+  Table clean = Base();
+  Table candidate = Base();
+  candidate.Set(0, 0, Value::Null());
+  EXPECT_FALSE(CellRepairedTo(candidate, clean, CellRef{0, 0}));
+  clean.Set(0, 0, Value::Null());
+  EXPECT_TRUE(CellRepairedTo(candidate, clean, CellRef{0, 0}));
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,125 @@
+#include "table/printer.h"
+
+#include <gtest/gtest.h>
+
+namespace trex {
+namespace {
+
+Table Sample() {
+  Table t(Schema::AllStrings({"City", "Country"}));
+  EXPECT_TRUE(t.AppendRow({Value("Madrid"), Value("Spain")}).ok());
+  EXPECT_TRUE(t.AppendRow({Value("Capital"), Value("España")}).ok());
+  return t;
+}
+
+TEST(PrinterTest, ContainsHeaderAndValues) {
+  TablePrinter printer;
+  const std::string out = printer.Render(Sample());
+  EXPECT_NE(out.find("City"), std::string::npos);
+  EXPECT_NE(out.find("Country"), std::string::npos);
+  EXPECT_NE(out.find("Madrid"), std::string::npos);
+  EXPECT_NE(out.find("España"), std::string::npos);
+}
+
+TEST(PrinterTest, RowLabelsArePaperStyle) {
+  TablePrinter printer;
+  const std::string out = printer.Render(Sample());
+  EXPECT_NE(out.find("t1"), std::string::npos);
+  EXPECT_NE(out.find("t2"), std::string::npos);
+}
+
+TEST(PrinterTest, RowLabelsCanBeDisabled) {
+  PrinterOptions options;
+  options.row_labels = false;
+  TablePrinter printer(options);
+  const std::string out = printer.Render(Sample());
+  EXPECT_EQ(out.find("t1"), std::string::npos);
+}
+
+TEST(PrinterTest, DirtyMarkerWithoutAnsi) {
+  TablePrinter printer;
+  printer.Highlight(CellRef{1, 0}, CellStyle::kDirty);
+  const std::string out = printer.Render(Sample());
+  EXPECT_NE(out.find("*Capital*"), std::string::npos);
+}
+
+TEST(PrinterTest, RepairedMarkerWithoutAnsi) {
+  TablePrinter printer;
+  printer.Highlight(CellRef{0, 1}, CellStyle::kRepaired);
+  const std::string out = printer.Render(Sample());
+  EXPECT_NE(out.find("[Spain]"), std::string::npos);
+}
+
+TEST(PrinterTest, HeatMarkers) {
+  TablePrinter printer;
+  printer.Highlight(CellRef{0, 0}, CellStyle::kHeatLow);
+  printer.Highlight(CellRef{0, 1}, CellStyle::kHeatMid);
+  printer.Highlight(CellRef{1, 1}, CellStyle::kHeatHigh);
+  const std::string out = printer.Render(Sample());
+  EXPECT_NE(out.find("Madrid (+)"), std::string::npos);
+  EXPECT_NE(out.find("Spain (++)"), std::string::npos);
+  EXPECT_NE(out.find("España (+++)"), std::string::npos);
+}
+
+TEST(PrinterTest, AnsiModeEmitsEscapes) {
+  PrinterOptions options;
+  options.ansi_colors = true;
+  TablePrinter printer(options);
+  printer.Highlight(CellRef{1, 0}, CellStyle::kDirty);
+  const std::string out = printer.Render(Sample());
+  EXPECT_NE(out.find("\x1b[31m"), std::string::npos);
+  EXPECT_NE(out.find("\x1b[0m"), std::string::npos);
+}
+
+TEST(PrinterTest, NoAnsiWithoutHighlights) {
+  PrinterOptions options;
+  options.ansi_colors = true;
+  TablePrinter printer(options);
+  const std::string out = printer.Render(Sample());
+  EXPECT_EQ(out.find("\x1b["), std::string::npos);
+}
+
+TEST(PrinterTest, MarkdownModeHasPipes) {
+  PrinterOptions options;
+  options.markdown = true;
+  TablePrinter printer(options);
+  const std::string out = printer.Render(Sample());
+  EXPECT_NE(out.find("| "), std::string::npos);
+  EXPECT_NE(out.find(" |"), std::string::npos);
+}
+
+TEST(PrinterTest, ClearHighlightsResets) {
+  TablePrinter printer;
+  printer.Highlight(CellRef{1, 0}, CellStyle::kDirty);
+  printer.ClearHighlights();
+  const std::string out = printer.Render(Sample());
+  EXPECT_EQ(out.find("*Capital*"), std::string::npos);
+}
+
+TEST(PrinterTest, NullRendersAsSymbol) {
+  Table t(Schema::AllStrings({"A"}));
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  TablePrinter printer;
+  EXPECT_NE(printer.Render(t).find("∅"), std::string::npos);
+}
+
+TEST(PrinterTest, ColumnsAlignToWidestCell) {
+  Table t(Schema::AllStrings({"A"}));
+  ASSERT_TRUE(t.AppendRow({Value("short")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value("a-much-longer-value")}).ok());
+  TablePrinter printer;
+  const std::string out = printer.Render(t);
+  // Every line should have the same length (trailing padding).
+  std::size_t expected = std::string::npos;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    const std::size_t len = end - start;
+    if (expected == std::string::npos) expected = len;
+    EXPECT_EQ(len, expected);
+    start = end + 1;
+  }
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,85 @@
+#include "table/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace trex {
+namespace {
+
+Schema SoccerLike() {
+  return Schema({Attribute{"Team", ValueType::kString},
+                 Attribute{"Year", ValueType::kInt},
+                 Attribute{"Score", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, SizeAndAttributeAccess) {
+  const Schema s = SoccerLike();
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_FALSE(s.empty());
+  EXPECT_EQ(s.attribute(0).name, "Team");
+  EXPECT_EQ(s.attribute(1).type, ValueType::kInt);
+}
+
+TEST(SchemaTest, IndexOfFindsAttributes) {
+  const Schema s = SoccerLike();
+  EXPECT_EQ(*s.IndexOf("Team"), 0u);
+  EXPECT_EQ(*s.IndexOf("Score"), 2u);
+  EXPECT_FALSE(s.IndexOf("Nope").ok());
+  EXPECT_EQ(s.IndexOf("Nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, IndexOfIsCaseSensitive) {
+  const Schema s = SoccerLike();
+  EXPECT_FALSE(s.IndexOf("team").ok());
+}
+
+TEST(SchemaTest, Contains) {
+  const Schema s = SoccerLike();
+  EXPECT_TRUE(s.Contains("Year"));
+  EXPECT_FALSE(s.Contains("Month"));
+}
+
+TEST(SchemaTest, MakeRejectsDuplicates) {
+  auto result = Schema::Make({Attribute{"A", ValueType::kString},
+                              Attribute{"A", ValueType::kInt}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, MakeRejectsEmptyNames) {
+  auto result = Schema::Make({Attribute{"", ValueType::kString}});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, AllStringsConvenience) {
+  const Schema s = Schema::AllStrings({"A", "B"});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.attribute(0).type, ValueType::kString);
+  EXPECT_EQ(s.attribute(1).name, "B");
+}
+
+TEST(SchemaTest, EqualityStructural) {
+  EXPECT_EQ(SoccerLike(), SoccerLike());
+  EXPECT_NE(SoccerLike(), Schema::AllStrings({"Team", "Year", "Score"}));
+  EXPECT_EQ(Schema(), Schema());
+}
+
+TEST(SchemaTest, ToStringFormat) {
+  EXPECT_EQ(SoccerLike().ToString(),
+            "(Team:string, Year:int, Score:double)");
+  EXPECT_EQ(Schema().ToString(), "()");
+}
+
+TEST(SchemaDeathTest, AttributeOutOfRange) {
+  EXPECT_DEATH(SoccerLike().attribute(3), "Check failed");
+}
+
+TEST(SchemaTest, EmptySchema) {
+  const Schema s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.Contains("x"));
+}
+
+}  // namespace
+}  // namespace trex

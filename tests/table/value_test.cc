@@ -1,0 +1,146 @@
+#include "table/value.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace trex {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_TRUE(Value(42).is_int());
+  EXPECT_TRUE(Value(std::int64_t{42}).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("abc").is_string());
+  EXPECT_TRUE(Value(std::string("abc")).is_string());
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value("x").as_string(), "x");
+}
+
+TEST(ValueDeathTest, WrongAccessorAborts) {
+  EXPECT_DEATH(Value("x").as_int(), "Check failed");
+  EXPECT_DEATH(Value(1).as_string(), "Check failed");
+  EXPECT_DEATH(Value::Null().AsNumeric(), "Check failed");
+}
+
+TEST(ValueTest, NumericView) {
+  EXPECT_DOUBLE_EQ(Value(3).AsNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(3.5).AsNumeric(), 3.5);
+  EXPECT_TRUE(Value(3).is_numeric());
+  EXPECT_TRUE(Value(3.5).is_numeric());
+  EXPECT_FALSE(Value("3").is_numeric());
+  EXPECT_FALSE(Value::Null().is_numeric());
+}
+
+TEST(ValueTest, IntDoubleCrossEquality) {
+  EXPECT_EQ(Value(1), Value(1.0));
+  EXPECT_NE(Value(1), Value(1.5));
+  EXPECT_LT(Value(1), Value(1.5));
+  EXPECT_GT(Value(2), Value(1.9));
+}
+
+TEST(ValueTest, CrossEqualValuesHashAlike) {
+  EXPECT_EQ(Value(1).Hash(), Value(1.0).Hash());
+}
+
+TEST(ValueTest, NullEqualsNullStructurally) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, TotalOrderAcrossClasses) {
+  // null < numeric < string.
+  EXPECT_LT(Value::Null(), Value(-100));
+  EXPECT_LT(Value(1000000), Value(""));
+  EXPECT_LT(Value::Null(), Value("a"));
+}
+
+TEST(ValueTest, StringOrderIsBytewise) {
+  EXPECT_LT(Value("Madrid"), Value("Paris"));
+  EXPECT_LT(Value("A"), Value("a"));
+}
+
+TEST(ValueTest, SortingMixedVectorIsStablyOrdered) {
+  std::vector<Value> values{Value("b"), Value(2), Value::Null(),
+                            Value(1.5), Value("a"), Value(1)};
+  std::sort(values.begin(), values.end());
+  EXPECT_TRUE(values[0].is_null());
+  EXPECT_EQ(values[1], Value(1));
+  EXPECT_EQ(values[2], Value(1.5));
+  EXPECT_EQ(values[3], Value(2));
+  EXPECT_EQ(values[4], Value("a"));
+  EXPECT_EQ(values[5], Value("b"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("x").Hash(), Value("x").Hash());
+  EXPECT_NE(Value("x").Hash(), Value("y").Hash());
+  EXPECT_EQ(Value(5).Hash(), Value(5).Hash());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(-1).ToString(), "-1");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value("España").ToString(), "España");
+  EXPECT_EQ(Value::Null().ToString(), "∅");
+}
+
+TEST(ValueTest, ParseTyped) {
+  EXPECT_EQ(*Value::Parse("42", ValueType::kInt), Value(42));
+  EXPECT_EQ(*Value::Parse("2.5", ValueType::kDouble), Value(2.5));
+  EXPECT_EQ(*Value::Parse("abc", ValueType::kString), Value("abc"));
+  EXPECT_TRUE(Value::Parse("", ValueType::kInt)->is_null());
+  EXPECT_TRUE(Value::Parse("  ", ValueType::kString)->is_null());
+}
+
+TEST(ValueTest, ParseErrors) {
+  EXPECT_FALSE(Value::Parse("abc", ValueType::kInt).ok());
+  EXPECT_FALSE(Value::Parse("x1", ValueType::kDouble).ok());
+}
+
+TEST(ValueTest, InferNarrowestType) {
+  EXPECT_TRUE(Value::Infer("42").is_int());
+  EXPECT_TRUE(Value::Infer("2.5").is_double());
+  EXPECT_TRUE(Value::Infer("2.5x").is_string());
+  EXPECT_TRUE(Value::Infer("Madrid").is_string());
+  EXPECT_TRUE(Value::Infer("").is_null());
+  EXPECT_TRUE(Value::Infer("  ").is_null());
+}
+
+TEST(ValueTest, InferKeepsOriginalStringBytes) {
+  // Inference must not trim payload of string values.
+  EXPECT_EQ(Value::Infer(" padded ").as_string(), " padded ");
+}
+
+TEST(ValueTest, ValueHashFunctorUsableInContainers) {
+  std::unordered_map<Value, int, ValueHash> map;
+  map[Value("a")] = 1;
+  map[Value(2)] = 2;
+  map[Value::Null()] = 3;
+  EXPECT_EQ(map.at(Value("a")), 1);
+  EXPECT_EQ(map.at(Value(2)), 2);
+  EXPECT_EQ(map.at(Value::Null()), 3);
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt), "int");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace trex
