@@ -1,0 +1,86 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace trex {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t workers = num_threads <= 1 ? 0 : num_threads - 1;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::DefaultThreads(std::size_t cap) {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return std::min(hw, std::max<std::size_t>(cap, 1));
+}
+
+void ThreadPool::DrainCurrentJob() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (fn_ != nullptr && next_task_ < num_tasks_) {
+    const std::size_t task = next_task_++;
+    ++in_flight_;
+    const auto* fn = fn_;
+    lock.unlock();
+    (*fn)(task);
+    lock.lock();
+    --in_flight_;
+  }
+  if (fn_ != nullptr && next_task_ >= num_tasks_ && in_flight_ == 0) {
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] {
+        return stop_ || (fn_ != nullptr && next_task_ < num_tasks_);
+      });
+      if (stop_) return;
+    }
+    DrainCurrentJob();
+  }
+}
+
+void ThreadPool::Run(std::size_t num_tasks,
+                     const std::function<void(std::size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    next_task_ = 0;
+    in_flight_ = 0;
+  }
+  work_cv_.notify_all();
+  DrainCurrentJob();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] {
+      return next_task_ >= num_tasks_ && in_flight_ == 0;
+    });
+    fn_ = nullptr;
+    num_tasks_ = 0;
+  }
+}
+
+}  // namespace trex

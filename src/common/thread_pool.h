@@ -1,0 +1,71 @@
+// A small fixed-size worker pool for sharded computations.
+//
+// `ThreadPool::Run(num_tasks, fn)` executes `fn(0) .. fn(num_tasks-1)`
+// across the pool's workers plus the calling thread and blocks until all
+// tasks finish. Task *scheduling* is nondeterministic, so callers that
+// need reproducible results must make each task's output depend only on
+// its index (the Shapley sampler derives a per-shard RNG seed from the
+// shard index and merges shard results in index order — see
+// core/shapley_sampling.cc).
+//
+// A pool with `num_threads <= 1` spawns no workers and runs tasks inline,
+// so serial and parallel configurations share one code path.
+
+#ifndef TREX_COMMON_THREAD_POOL_H_
+#define TREX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trex {
+
+/// Fixed-size worker pool (see file comment).
+class ThreadPool {
+ public:
+  /// Creates `num_threads - 1` workers (the calling thread participates
+  /// in every `Run`, so total parallelism is `num_threads`).
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread); at least 1.
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs `fn(i)` for every `i` in `[0, num_tasks)`, blocking until all
+  /// tasks complete. Reentrant `Run` calls are serialized; `fn` must not
+  /// call back into the same pool and must not throw (this library
+  /// reports errors via Status/TREX_CHECK, never exceptions; a throwing
+  /// task would leave the pool's job accounting stuck).
+  void Run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
+
+  /// Hardware concurrency clamped to [1, cap]; 1 when unknown.
+  static std::size_t DefaultThreads(std::size_t cap = 8);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs tasks of the current job until none remain.
+  void DrainCurrentJob();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* fn_ = nullptr;  // current job
+  std::size_t num_tasks_ = 0;
+  std::size_t next_task_ = 0;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+
+  std::mutex run_mu_;  // serializes concurrent Run() callers
+};
+
+}  // namespace trex
+
+#endif  // TREX_COMMON_THREAD_POOL_H_

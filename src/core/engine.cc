@@ -1,0 +1,605 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/counterfactual.h"
+#include "core/interaction.h"
+#include "core/shapley_exact.h"
+#include "core/shapley_sampling.h"
+#include "dc/graph.h"
+#include "table/stats.h"
+
+namespace trex {
+namespace {
+
+/// Permutation sweeps per shard of the sharded cell sampler: the unit of
+/// parallel work and of the early-stopping check. Fixed (not an option)
+/// so that estimates never depend on the execution configuration.
+constexpr std::size_t kCellShardSize = 32;
+
+/// Sorts player scores descending by Shapley value; ties keep the
+/// original player order (stable), making output deterministic.
+void RankDescending(std::vector<PlayerScore>* scores) {
+  std::stable_sort(scores->begin(), scores->end(),
+                   [](const PlayerScore& a, const PlayerScore& b) {
+                     return a.shapley > b.shapley;
+                   });
+}
+
+Explanation MakeBaseExplanation(const BlackBoxRepair& box,
+                                std::size_t target_index) {
+  Explanation ex;
+  ex.target = box.target(target_index);
+  ex.target_label = ex.target.ToString(box.dirty().schema());
+  ex.old_value = box.dirty().at(ex.target);
+  ex.new_value = box.reference_clean().at(ex.target);
+  return ex;
+}
+
+}  // namespace
+
+const char* ExplainKindToString(ExplainKind kind) {
+  switch (kind) {
+    case ExplainKind::kConstraints:
+      return "constraints";
+    case ExplainKind::kCells:
+      return "cells";
+    case ExplainKind::kInteractions:
+      return "interactions";
+    case ExplainKind::kRemovalSets:
+      return "removal-sets";
+    case ExplainKind::kSingleCell:
+      return "single-cell";
+  }
+  return "?";
+}
+
+Engine::Engine(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+               dc::DcSet dcs, Table dirty, EngineOptions options)
+    : algorithm_(std::move(algorithm)),
+      dcs_(std::move(dcs)),
+      dirty_(std::move(dirty)),
+      options_(options) {
+  TREX_CHECK(algorithm_ != nullptr);
+}
+
+Engine Engine::Wrap(const repair::RepairAlgorithm& algorithm, dc::DcSet dcs,
+                    Table dirty, EngineOptions options) {
+  // Aliasing shared_ptr: shares no ownership, just points at `algorithm`.
+  return Engine(std::shared_ptr<const repair::RepairAlgorithm>(
+                    std::shared_ptr<const void>(), &algorithm),
+                std::move(dcs), std::move(dirty), options);
+}
+
+Status Engine::EnsureRepair() {
+  if (box_.has_value()) return Status::Ok();
+  TREX_ASSIGN_OR_RETURN(
+      BlackBoxRepair box,
+      BlackBoxRepair::MakeMultiTarget(algorithm_.get(), dcs_, dirty_, {}));
+  box_ = std::move(box);
+  return Status::Ok();
+}
+
+const Table& Engine::reference_clean() const {
+  TREX_CHECK(box_.has_value()) << "call EnsureRepair() first";
+  return box_->reference_clean();
+}
+
+std::size_t Engine::num_algorithm_calls() const {
+  return box_.has_value() ? box_->num_algorithm_calls() : 0;
+}
+
+std::size_t Engine::num_cache_hits() const {
+  return box_.has_value() ? box_->num_cache_hits() : 0;
+}
+
+std::size_t Engine::num_cross_request_hits() const {
+  return box_.has_value() ? box_->num_cross_request_hits() : 0;
+}
+
+Result<std::size_t> Engine::EnsureTarget(CellRef target) {
+  return box_->AddTarget(target);
+}
+
+ThreadPool* Engine::SweepPool() {
+  if (options_.num_threads <= 1) return nullptr;
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return pool_.get();
+}
+
+Status Engine::RequireRepairedTarget(std::size_t target_index) const {
+  if (!box_->target_was_repaired(target_index)) {
+    const CellRef target = box_->target(target_index);
+    return Status::InvalidArgument(
+        "cell " + target.ToString(dirty_.schema()) +
+        " was not repaired by the algorithm (value '" +
+        dirty_.at(target).ToString() +
+        "' is unchanged); pick a repaired cell");
+  }
+  return Status::Ok();
+}
+
+Status Engine::RequireMaskableConstraints() const {
+  if (dcs_.empty()) {
+    return Status::InvalidArgument("constraint set is empty");
+  }
+  if (dcs_.size() > BlackBoxRepair::kMaxMaskConstraints) {
+    return Status::InvalidArgument(
+        "constraint games support at most 64 constraints");
+  }
+  return Status::Ok();
+}
+
+Status Engine::ValidateRequest(const ExplainRequest& request) const {
+  // Cheap input validation up front: a malformed request must never pay
+  // for a reference repair run.
+  switch (request.kind) {
+    case ExplainKind::kConstraints:
+    case ExplainKind::kRemovalSets:
+      TREX_RETURN_NOT_OK(RequireMaskableConstraints());
+      break;
+    case ExplainKind::kInteractions:
+      if (dcs_.size() < 2) {
+        return Status::InvalidArgument(
+            "interaction indices need at least two constraints");
+      }
+      TREX_RETURN_NOT_OK(RequireMaskableConstraints());
+      break;
+    case ExplainKind::kSingleCell:
+      if (!request.single_cell.has_value()) {
+        return Status::InvalidArgument(
+            "kSingleCell requests must set ExplainRequest::single_cell");
+      }
+      if (request.single_cell->row >= dirty_.num_rows() ||
+          request.single_cell->col >= dirty_.num_columns()) {
+        return Status::OutOfRange("player cell " +
+                                  request.single_cell->ToString() +
+                                  " outside the table");
+      }
+      break;
+    case ExplainKind::kCells:
+      break;
+  }
+  if (request.target.row >= dirty_.num_rows() ||
+      request.target.col >= dirty_.num_columns()) {
+    return Status::OutOfRange("target cell " + request.target.ToString() +
+                              " outside the table");
+  }
+  return Status::Ok();
+}
+
+Result<ExplainResult> Engine::Explain(const ExplainRequest& request) {
+  TREX_RETURN_NOT_OK(ValidateRequest(request));
+  const std::size_t calls_before = num_algorithm_calls();
+  const std::size_t hits_before = num_cache_hits();
+  const std::size_t cross_before = num_cross_request_hits();
+  TREX_RETURN_NOT_OK(EnsureRepair());
+  box_->BeginRequest(next_request_id_++);
+  TREX_ASSIGN_OR_RETURN(const std::size_t target_index,
+                        EnsureTarget(request.target));
+
+  ExplainResult result;
+  result.kind = request.kind;
+  result.target = request.target;
+  switch (request.kind) {
+    case ExplainKind::kConstraints: {
+      TREX_ASSIGN_OR_RETURN(
+          Explanation ex, ExplainConstraints(target_index, request.constraints));
+      result.explanation = std::move(ex);
+      break;
+    }
+    case ExplainKind::kCells: {
+      TREX_ASSIGN_OR_RETURN(Explanation ex,
+                            ExplainCells(target_index, request.cells));
+      result.explanation = std::move(ex);
+      break;
+    }
+    case ExplainKind::kInteractions: {
+      TREX_ASSIGN_OR_RETURN(
+          result.interactions,
+          ExplainInteractions(target_index, request.constraints));
+      break;
+    }
+    case ExplainKind::kRemovalSets: {
+      TREX_ASSIGN_OR_RETURN(
+          result.removal_sets,
+          ExplainRemovalSets(target_index, request.constraints,
+                             request.max_removal_set_size));
+      break;
+    }
+    case ExplainKind::kSingleCell: {
+      TREX_ASSIGN_OR_RETURN(
+          PlayerScore score,
+          ExplainSingleCell(target_index, *request.single_cell,
+                            request.cells));
+      result.single_cell = std::move(score);
+      break;
+    }
+  }
+  result.algorithm_calls = num_algorithm_calls() - calls_before;
+  result.cache_hits = num_cache_hits() - hits_before;
+  result.cross_request_hits = num_cross_request_hits() - cross_before;
+  if (result.explanation.has_value()) {
+    // Per-request cost, not engine-lifetime totals: a second query on a
+    // warm engine reports only the work it added.
+    result.explanation->algorithm_calls = result.algorithm_calls;
+    result.explanation->cache_hits = result.cache_hits;
+  }
+  return result;
+}
+
+Result<BatchResult> Engine::ExplainBatch(
+    const std::vector<ExplainRequest>& requests) {
+  BatchResult batch;
+  if (requests.empty()) return batch;  // nothing to serve, nothing to pay
+  const bool had_repair = box_.has_value();
+  const std::size_t calls_before = num_algorithm_calls();
+  const std::size_t hits_before = num_cache_hits();
+  const std::size_t cross_before = num_cross_request_hits();
+  // One reference repair for the whole batch, however many targets.
+  TREX_RETURN_NOT_OK(EnsureRepair());
+  batch.stats.reference_repairs = had_repair ? 0 : 1;
+
+  batch.results.reserve(requests.size());
+  for (const ExplainRequest& request : requests) {
+    Result<ExplainResult> result = Explain(request);
+    if (!result.ok()) ++batch.stats.failed_requests;
+    batch.results.push_back(std::move(result));
+  }
+  batch.stats.requests = requests.size();
+  batch.stats.algorithm_calls = num_algorithm_calls() - calls_before;
+  batch.stats.cache_hits = num_cache_hits() - hits_before;
+  batch.stats.cross_request_hits = num_cross_request_hits() - cross_before;
+  return batch;
+}
+
+// The per-kind helpers assume `ValidateRequest` already screened the
+// request; they only enforce conditions that need the reference repair.
+
+Result<Explanation> Engine::ExplainConstraints(
+    std::size_t target_index, const ConstraintExplainerOptions& options) {
+  TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
+
+  ConstraintGame game(&*box_, target_index);
+  Explanation ex = MakeBaseExplanation(*box_, target_index);
+
+  const bool exact =
+      !options.force_sampling && dcs_.size() <= options.max_exact_players;
+  if (options.use_banzhaf && !exact) {
+    return Status::InvalidArgument(
+        "Banzhaf attribution is exact-only; reduce the constraint count "
+        "or raise max_exact_players");
+  }
+  std::vector<PlayerScore> scores;
+  scores.reserve(dcs_.size());
+  if (exact) {
+    const shap::ExactShapleyOptions exact_options{options.max_exact_players};
+    TREX_ASSIGN_OR_RETURN(
+        std::vector<double> values,
+        options.use_banzhaf
+            ? shap::ComputeExactBanzhaf(game, exact_options)
+            : shap::ComputeExactShapley(game, exact_options));
+    for (std::size_t i = 0; i < dcs_.size(); ++i) {
+      PlayerScore score;
+      score.label = dcs_.at(i).name();
+      score.shapley = values[i];
+      score.constraint_index = i;
+      scores.push_back(std::move(score));
+    }
+    ex.method = options.use_banzhaf ? "exact(banzhaf)" : "exact";
+  } else {
+    shap::SamplingOptions sampling = options.sampling;
+    // 0 = unset: inherit the engine's thread count (and its persistent
+    // pool). An explicit value is respected as a per-request override
+    // and runs on its own transient pool.
+    if (sampling.num_threads == 0) {
+      sampling.num_threads = options_.num_threads;
+      sampling.pool = SweepPool();
+    }
+    TREX_ASSIGN_OR_RETURN(std::vector<shap::Estimate> estimates,
+                          shap::EstimateShapleyAllPlayers(game, sampling));
+    for (std::size_t i = 0; i < dcs_.size(); ++i) {
+      PlayerScore score;
+      score.label = dcs_.at(i).name();
+      score.shapley = estimates[i].value;
+      score.std_error = estimates[i].std_error;
+      score.num_samples = estimates[i].num_samples;
+      score.constraint_index = i;
+      scores.push_back(std::move(score));
+    }
+    ex.method = StrFormat("sampling(m=%zu)", options.sampling.num_samples);
+  }
+  ex.ranked = std::move(scores);
+  RankDescending(&ex.ranked);
+  return ex;
+}
+
+Result<std::vector<InteractionScore>> Engine::ExplainInteractions(
+    std::size_t target_index, const ConstraintExplainerOptions& options) {
+  TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
+
+  ConstraintGame game(&*box_, target_index);
+  shap::InteractionOptions interaction_options;
+  interaction_options.max_players = options.max_exact_players;
+  TREX_ASSIGN_OR_RETURN(
+      std::vector<shap::Interaction> raw,
+      shap::ComputeShapleyInteractions(game, interaction_options));
+  std::vector<InteractionScore> scores;
+  scores.reserve(raw.size());
+  for (const shap::Interaction& interaction : raw) {
+    scores.push_back(InteractionScore{
+        dcs_.at(interaction.player_a).name(),
+        dcs_.at(interaction.player_b).name(), interaction.value});
+  }
+  std::stable_sort(scores.begin(), scores.end(),
+                   [](const InteractionScore& a, const InteractionScore& b) {
+                     return std::fabs(a.interaction) >
+                            std::fabs(b.interaction);
+                   });
+  return scores;
+}
+
+Result<std::vector<std::vector<std::string>>> Engine::ExplainRemovalSets(
+    std::size_t target_index, const ConstraintExplainerOptions& options,
+    std::size_t max_set_size) {
+  TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
+
+  ConstraintGame game(&*box_, target_index);
+  shap::CounterfactualOptions counterfactual_options;
+  counterfactual_options.max_set_size = max_set_size;
+  counterfactual_options.max_players = options.max_exact_players;
+  TREX_ASSIGN_OR_RETURN(auto removal_sets,
+                        shap::MinimalRemovalSets(game, counterfactual_options));
+  std::vector<std::vector<std::string>> named;
+  named.reserve(removal_sets.size());
+  for (const auto& removal : removal_sets) {
+    std::vector<std::string> labels;
+    labels.reserve(removal.size());
+    for (std::size_t index : removal) labels.push_back(dcs_.at(index).name());
+    named.push_back(std::move(labels));
+  }
+  return named;
+}
+
+Result<std::vector<CellRef>> Engine::PlayerCells(
+    const CellExplainerOptions& options, CellRef target) const {
+  if (!options.prune) return dirty_.AllCells();
+  std::optional<dc::AttributeGraph> graph =
+      algorithm_->InfluenceGraph(dcs_, dirty_.schema());
+  if (!graph.has_value()) {
+    graph = dc::AttributeGraph::FromDcSet(dcs_, dirty_.num_columns());
+  }
+  return dc::RelevantCells(dirty_, *graph, target);
+}
+
+Result<Explanation> Engine::ExplainCells(std::size_t target_index,
+                                         const CellExplainerOptions& options) {
+  TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
+  const CellRef target = box_->target(target_index);
+  TREX_ASSIGN_OR_RETURN(std::vector<CellRef> players,
+                        PlayerCells(options, target));
+  if (players.empty()) {
+    return Status::InvalidArgument("no candidate player cells");
+  }
+
+  CellMethod method = options.method;
+  if (method == CellMethod::kAuto) {
+    method = (options.policy == AbsentCellPolicy::kNull &&
+              players.size() <= options.max_exact_players)
+                 ? CellMethod::kExact
+                 : CellMethod::kSampling;
+  }
+
+  Explanation ex = MakeBaseExplanation(*box_, target_index);
+  std::vector<PlayerScore> scores;
+  scores.reserve(players.size());
+
+  if (method == CellMethod::kExact) {
+    if (options.policy != AbsentCellPolicy::kNull) {
+      return Status::InvalidArgument(
+          "exact cell Shapley requires AbsentCellPolicy::kNull (the "
+          "column-sample policy defines a stochastic game)");
+    }
+    CellGame game(&*box_, players, target_index);
+    TREX_ASSIGN_OR_RETURN(
+        std::vector<double> values,
+        shap::ComputeExactShapley(
+            game, shap::ExactShapleyOptions{options.max_exact_players}));
+    for (std::size_t i = 0; i < players.size(); ++i) {
+      PlayerScore score;
+      score.cell = players[i];
+      score.label = players[i].ToString(dirty_.schema());
+      score.shapley = values[i];
+      scores.push_back(std::move(score));
+    }
+    ex.method = "exact(null-policy)";
+  } else {
+    // Permutation-sweep sampling with the configured replacement policy
+    // (Example 2.5 generalized to rank all players per sweep), sharded
+    // like shap::EstimateShapleyAllPlayers: fixed shards with derived
+    // seeds make the estimates independent of thread count.
+    TableStats stats(&box_->dirty());
+    if (options.policy == AbsentCellPolicy::kSampleFromColumn) {
+      // Pre-build the column distributions serially: TableStats builds
+      // lazily and shards must not race the first build.
+      for (const CellRef& cell : players) stats.Column(cell.col);
+    }
+
+    auto replacement = [&](CellRef cell, Rng* rng) -> Value {
+      if (options.policy == AbsentCellPolicy::kNull) return Value::Null();
+      const ColumnStats& column = stats.Column(cell.col);
+      if (column.total() == 0) return Value::Null();
+      return column.Sample(rng);
+    };
+
+    auto one_sweep = [&](Rng* rng, std::vector<shap::RunningStat>* running) {
+      const std::vector<std::size_t> perm = rng->Permutation(players.size());
+      // Baseline: every player absent (replaced); non-players untouched.
+      Table working = box_->dirty();
+      for (const CellRef& cell : players) {
+        working.Set(cell, replacement(cell, rng));
+      }
+      double prev = box_->EvalTable(working, target_index) ? 1.0 : 0.0;
+      for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+        const std::size_t player = perm[pos];
+        working.Set(players[player], box_->dirty().at(players[player]));
+        const double curr =
+            box_->EvalTable(working, target_index) ? 1.0 : 0.0;
+        (*running)[player].Add(curr - prev);
+        prev = curr;
+      }
+    };
+
+    shap::ShardedSweepConfig config;
+    config.num_samples = options.num_samples;
+    config.shard_size = kCellShardSize;
+    config.num_threads = options_.num_threads;
+    config.seed = options.seed;
+    config.target_std_error = options.target_std_error;
+    config.pool = SweepPool();
+    const std::vector<shap::RunningStat> running =
+        shap::RunShardedSweeps(config, players.size(), one_sweep);
+
+    for (std::size_t i = 0; i < players.size(); ++i) {
+      const shap::Estimate estimate = running[i].ToEstimate();
+      PlayerScore score;
+      score.cell = players[i];
+      score.label = players[i].ToString(dirty_.schema());
+      score.shapley = estimate.value;
+      score.std_error = estimate.std_error;
+      score.num_samples = estimate.num_samples;
+      scores.push_back(std::move(score));
+    }
+    ex.method = StrFormat(
+        "sampling(m=%zu, policy=%s, players=%zu/%zu)",
+        options.num_samples, AbsentCellPolicyToString(options.policy),
+        players.size(), dirty_.num_cells());
+  }
+
+  ex.ranked = std::move(scores);
+  RankDescending(&ex.ranked);
+  return ex;
+}
+
+Result<Explanation> Engine::ExplainTopKCells(
+    CellRef target, std::size_t k, const CellExplainerOptions& options) {
+  if (options.policy != AbsentCellPolicy::kNull) {
+    return Status::InvalidArgument(
+        "ExplainTopK requires AbsentCellPolicy::kNull (the adaptive "
+        "driver runs on the deterministic cell game)");
+  }
+  if (target.row >= dirty_.num_rows() || target.col >= dirty_.num_columns()) {
+    return Status::OutOfRange("target cell " + target.ToString() +
+                              " outside the table");
+  }
+  const std::size_t calls_before = num_algorithm_calls();
+  const std::size_t hits_before = num_cache_hits();
+  TREX_RETURN_NOT_OK(EnsureRepair());
+  box_->BeginRequest(next_request_id_++);
+  TREX_ASSIGN_OR_RETURN(const std::size_t target_index, EnsureTarget(target));
+  TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
+  TREX_ASSIGN_OR_RETURN(std::vector<CellRef> players,
+                        PlayerCells(options, target));
+  if (players.empty()) {
+    return Status::InvalidArgument("no candidate player cells");
+  }
+
+  CellGame game(&*box_, players, target_index);
+  shap::TopKOptions topk;
+  topk.k = k;
+  topk.max_samples = options.num_samples;
+  topk.seed = options.seed;
+  TREX_ASSIGN_OR_RETURN(shap::TopKResult result,
+                        shap::EstimateTopKPlayers(game, topk));
+
+  Explanation ex = MakeBaseExplanation(*box_, target_index);
+  ex.ranked.reserve(players.size());
+  for (std::size_t player : result.ranking) {
+    const shap::Estimate& estimate = result.estimates[player];
+    PlayerScore score;
+    score.cell = players[player];
+    score.label = players[player].ToString(dirty_.schema());
+    score.shapley = estimate.value;
+    score.std_error = estimate.std_error;
+    score.num_samples = estimate.num_samples;
+    ex.ranked.push_back(std::move(score));
+  }
+  ex.method = StrFormat("topk(k=%zu, sweeps=%zu, separated=%s)", k,
+                        result.sweeps, result.separated ? "yes" : "no");
+  ex.algorithm_calls = num_algorithm_calls() - calls_before;
+  ex.cache_hits = num_cache_hits() - hits_before;
+  return ex;
+}
+
+Result<PlayerScore> Engine::ExplainSingleCell(
+    std::size_t target_index, CellRef player_cell,
+    const CellExplainerOptions& options) {
+  TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
+  const CellRef target = box_->target(target_index);
+
+  TREX_ASSIGN_OR_RETURN(std::vector<CellRef> players,
+                        PlayerCells(options, target));
+  // The player of interest must be in the game even if pruning would
+  // drop it (its Shapley value is then provably 0, but we measure it).
+  if (std::find(players.begin(), players.end(), player_cell) ==
+      players.end()) {
+    players.push_back(player_cell);
+  }
+  std::size_t player_index = 0;
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    if (players[i] == player_cell) player_index = i;
+  }
+
+  Rng rng(options.seed);
+  TableStats stats(&box_->dirty());
+  auto replacement = [&](CellRef cell) -> Value {
+    if (options.policy == AbsentCellPolicy::kNull) return Value::Null();
+    const ColumnStats& column = stats.Column(cell.col);
+    if (column.total() == 0) return Value::Null();
+    return column.Sample(&rng);
+  };
+
+  // Example 2.5: per iteration, draw a permutation; the coalition is the
+  // players preceding the cell of interest. Build two instances sharing
+  // the coalition materialization — one with the cell's original value,
+  // one with the cell replaced — and accumulate the outcome difference.
+  shap::RunningStat stat;
+  for (std::size_t sample = 0; sample < options.num_samples; ++sample) {
+    const std::vector<std::size_t> perm = rng.Permutation(players.size());
+    Table with = box_->dirty();
+    bool before_player = true;
+    for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+      if (perm[pos] == player_index) {
+        before_player = false;
+        continue;
+      }
+      if (!before_player) {
+        const CellRef cell = players[perm[pos]];
+        with.Set(cell, replacement(cell));
+      }
+    }
+    Table without = with;
+    without.Set(player_cell, replacement(player_cell));
+    const double v_with = box_->EvalTable(with, target_index) ? 1.0 : 0.0;
+    const double v_without =
+        box_->EvalTable(without, target_index) ? 1.0 : 0.0;
+    stat.Add(v_with - v_without);
+  }
+
+  const shap::Estimate estimate = stat.ToEstimate();
+  PlayerScore score;
+  score.cell = player_cell;
+  score.label = player_cell.ToString(dirty_.schema());
+  score.shapley = estimate.value;
+  score.std_error = estimate.std_error;
+  score.num_samples = estimate.num_samples;
+  return score;
+}
+
+}  // namespace trex

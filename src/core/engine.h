@@ -1,0 +1,232 @@
+// `trex::Engine`: the unified explanation service for one repair
+// instance (Alg, C, T^d).
+//
+// The seed API forced every query through its own `BlackBoxRepair`, so
+// explaining N cells of one dirty table re-ran the reference repair N
+// times and shared no memo state. The engine inverts that: it owns one
+// shared `BlackBoxRepair` — the reference repair runs exactly once per
+// (algorithm, DcSet, Table) — and serves every explanation kind through
+// a single request/response surface:
+//
+//   Engine engine(algorithm, dcs, dirty);
+//   ExplainRequest req;
+//   req.target = cell;
+//   req.kind = ExplainKind::kConstraints;
+//   auto result = engine.Explain(req);                 // one query
+//   auto batch  = engine.ExplainBatch({r1, r2, r3});   // amortized
+//
+// All targets in a batch (and across sequential `Explain` calls on the
+// same engine) share the memo caches: a constraint-subset repair
+// computed for one target answers the characteristic function for every
+// other target, so a batch of constraint explanations over k targets
+// costs one sweep of the 2^|C| subsets instead of k sweeps.
+// `BatchStats::cross_request_hits` reports exactly how much work was
+// amortized. Permutation sweeps shard across a small thread pool with
+// deterministic per-shard seeds (see shapley_sampling.h), so results
+// are bit-identical for every `EngineOptions::num_threads` and between
+// `ExplainBatch` and serial `Explain` calls with the same seeds.
+//
+// `ConstraintExplainer`, `CellExplainer`, and `TRexSession` are thin
+// adapters over this class.
+//
+// Thread safety: one engine serves one caller at a time — `Explain`
+// and `ExplainBatch` mutate shared state (the target registry, request
+// ids). Parallelism lives *inside* a request via
+// `EngineOptions::num_threads`; callers wanting concurrent queries
+// should use one engine per thread or serialize externally.
+
+#ifndef TREX_CORE_ENGINE_H_
+#define TREX_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/explainer.h"
+#include "core/repair_game.h"
+#include "dc/constraint.h"
+#include "repair/algorithm.h"
+#include "table/table.h"
+
+namespace trex {
+
+/// What kind of explanation a request asks for.
+enum class ExplainKind {
+  /// Rank the denial constraints by Shapley contribution (paper §2.2).
+  kConstraints,
+  /// Rank the table cells by Shapley contribution (paper §2.2).
+  kCells,
+  /// Pairwise constraint Shapley interaction indices (Example 2.3).
+  kInteractions,
+  /// Inclusion-minimal constraint removal sets (counterfactuals).
+  kRemovalSets,
+  /// Single-cell contribution estimate (Example 2.5).
+  kSingleCell,
+};
+
+const char* ExplainKindToString(ExplainKind kind);
+
+/// One explanation query: a target cell, the kind of explanation, and
+/// the options for that kind (unused option groups are ignored).
+struct ExplainRequest {
+  /// The repaired cell to explain.
+  CellRef target;
+  ExplainKind kind = ExplainKind::kConstraints;
+  /// Options for kConstraints / kInteractions / kRemovalSets.
+  ConstraintExplainerOptions constraints;
+  /// Options for kCells / kSingleCell.
+  CellExplainerOptions cells;
+  /// kRemovalSets: largest removal-set size searched.
+  std::size_t max_removal_set_size = 3;
+  /// kSingleCell: the player cell whose contribution is estimated.
+  /// Required for that kind — an unset value is an error, never a
+  /// silent default cell.
+  std::optional<CellRef> single_cell;
+};
+
+/// The engine's answer to one request. Exactly one payload field is
+/// populated, per `kind`: `explanation` for kConstraints/kCells,
+/// `interactions`, `removal_sets`, or `single_cell`.
+struct ExplainResult {
+  ExplainKind kind = ExplainKind::kConstraints;
+  CellRef target;
+  std::optional<Explanation> explanation;
+  std::vector<InteractionScore> interactions;
+  std::vector<std::vector<std::string>> removal_sets;
+  std::optional<PlayerScore> single_cell;
+  /// Algorithm invocations charged to this request. An `Explain` call
+  /// that first builds the shared box is charged the reference run; in
+  /// an `ExplainBatch` the reference run is charged to the batch
+  /// (`BatchStats::reference_repairs`), not to any one request.
+  std::size_t algorithm_calls = 0;
+  /// Memo hits while serving this request...
+  std::size_t cache_hits = 0;
+  /// ...of which hits on entries another request paid for.
+  std::size_t cross_request_hits = 0;
+};
+
+/// Aggregate cost accounting for one `ExplainBatch` call.
+struct BatchStats {
+  std::size_t requests = 0;
+  std::size_t failed_requests = 0;
+  /// 1 when this batch ran the reference repair (first use of the
+  /// engine), else 0 — never more, regardless of batch size.
+  std::size_t reference_repairs = 0;
+  std::size_t algorithm_calls = 0;
+  std::size_t cache_hits = 0;
+  /// Hits on memo entries written by an *earlier* request — the work the
+  /// batch amortized across targets.
+  std::size_t cross_request_hits = 0;
+};
+
+/// The results of a batch, slot-for-slot with the request vector.
+/// Per-request failures (e.g. an unrepaired target) land in their slot;
+/// engine-level failures fail the whole batch.
+struct BatchResult {
+  std::vector<Result<ExplainResult>> results;
+  BatchStats stats;
+};
+
+/// Options for the engine.
+struct EngineOptions {
+  /// Worker threads for sharded permutation sweeps. Shapley estimates
+  /// are bit-identical for every value (sharding is seed-deterministic);
+  /// only wall-clock time changes. Cost counters may report a few extra
+  /// algorithm calls under concurrency when two shards miss the same
+  /// memo key simultaneously.
+  std::size_t num_threads = 1;
+};
+
+/// Unified multi-target explanation engine (see file comment).
+class Engine {
+ public:
+  /// The algorithm is shared (not copied) and must outlive the engine.
+  Engine(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+         dc::DcSet dcs, Table dirty, EngineOptions options = {});
+
+  /// Non-owning adapter for callers holding a bare reference; the
+  /// algorithm must outlive the engine.
+  static Engine Wrap(const repair::RepairAlgorithm& algorithm, dc::DcSet dcs,
+                     Table dirty, EngineOptions options = {});
+
+  const Table& dirty() const { return dirty_; }
+  const dc::DcSet& dcs() const { return dcs_; }
+  const repair::RepairAlgorithm& algorithm() const { return *algorithm_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Runs the reference repair if it has not run yet. `Explain` does
+  /// this on demand; call it eagerly to surface repair failures early or
+  /// to read `reference_clean()`.
+  Status EnsureRepair();
+
+  /// True once the reference repair ran.
+  bool has_repair() const { return box_.has_value(); }
+
+  /// The reference clean table T^c; requires `has_repair()`.
+  const Table& reference_clean() const;
+
+  /// Serves one explanation request.
+  Result<ExplainResult> Explain(const ExplainRequest& request);
+
+  /// Serves a batch of requests over the shared caches. The reference
+  /// repair runs at most once for the whole batch; requests are
+  /// processed in order, so results are bit-identical to issuing the
+  /// same requests serially through `Explain` on a fresh engine with
+  /// the same options.
+  Result<BatchResult> ExplainBatch(const std::vector<ExplainRequest>& requests);
+
+  /// Adaptive top-k cell ranking (see CellExplainer::ExplainTopK); not a
+  /// request kind because its adaptive driver is inherently sequential.
+  Result<Explanation> ExplainTopKCells(CellRef target, std::size_t k,
+                                       const CellExplainerOptions& options);
+
+  /// Lifetime totals across every request served by this engine.
+  std::size_t num_algorithm_calls() const;
+  std::size_t num_cache_hits() const;
+  std::size_t num_cross_request_hits() const;
+
+ private:
+  /// Cheap request screening (bounds, option consistency) that must run
+  /// before the reference repair is paid for.
+  Status ValidateRequest(const ExplainRequest& request) const;
+
+  Result<std::size_t> EnsureTarget(CellRef target);
+
+  Result<Explanation> ExplainConstraints(
+      std::size_t target_index, const ConstraintExplainerOptions& options);
+  Result<std::vector<InteractionScore>> ExplainInteractions(
+      std::size_t target_index, const ConstraintExplainerOptions& options);
+  Result<std::vector<std::vector<std::string>>> ExplainRemovalSets(
+      std::size_t target_index, const ConstraintExplainerOptions& options,
+      std::size_t max_set_size);
+  Result<Explanation> ExplainCells(std::size_t target_index,
+                                   const CellExplainerOptions& options);
+  Result<PlayerScore> ExplainSingleCell(std::size_t target_index,
+                                        CellRef player_cell,
+                                        const CellExplainerOptions& options);
+
+  Result<std::vector<CellRef>> PlayerCells(const CellExplainerOptions& options,
+                                           CellRef target) const;
+  Status RequireRepairedTarget(std::size_t target_index) const;
+  Status RequireMaskableConstraints() const;
+  /// The engine's persistent worker pool (lazily created; null while the
+  /// engine is configured single-threaded) so repeated sampling requests
+  /// don't respawn threads.
+  ThreadPool* SweepPool();
+
+  std::shared_ptr<const repair::RepairAlgorithm> algorithm_;
+  dc::DcSet dcs_;
+  Table dirty_;
+  EngineOptions options_;
+  std::optional<BlackBoxRepair> box_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::size_t next_request_id_ = 1;
+};
+
+}  // namespace trex
+
+#endif  // TREX_CORE_ENGINE_H_

@@ -1,47 +1,10 @@
 #include "core/explainer.h"
 
 #include <algorithm>
-#include <cmath>
 
-#include "common/string_util.h"
-#include "core/counterfactual.h"
-#include "core/interaction.h"
-#include "dc/graph.h"
-#include "table/stats.h"
+#include "core/engine.h"
 
 namespace trex {
-namespace {
-
-/// Sorts player scores descending by Shapley value; ties keep the
-/// original player order (stable), making output deterministic.
-void RankDescending(std::vector<PlayerScore>* scores) {
-  std::stable_sort(scores->begin(), scores->end(),
-                   [](const PlayerScore& a, const PlayerScore& b) {
-                     return a.shapley > b.shapley;
-                   });
-}
-
-Explanation MakeBaseExplanation(const BlackBoxRepair& box) {
-  Explanation ex;
-  ex.target = box.target();
-  ex.target_label = box.target().ToString(box.dirty().schema());
-  ex.old_value = box.dirty().at(box.target());
-  ex.new_value = box.reference_clean().at(box.target());
-  return ex;
-}
-
-Status RequireRepairedTarget(const BlackBoxRepair& box) {
-  if (!box.target_was_repaired()) {
-    return Status::InvalidArgument(
-        "cell " + box.target().ToString(box.dirty().schema()) +
-        " was not repaired by the algorithm (value '" +
-        box.dirty().at(box.target()).ToString() +
-        "' is unchanged); pick a repaired cell");
-  }
-  return Status::Ok();
-}
-
-}  // namespace
 
 const char* AbsentCellPolicyToString(AbsentCellPolicy policy) {
   switch (policy) {
@@ -64,360 +27,80 @@ double Explanation::TotalAttribution() const {
   return total;
 }
 
+// The explainers are thin adapters over `trex::Engine` (core/engine.h):
+// each call wraps a fresh single-use engine around the caller's
+// (algorithm, dcs, dirty) triple. Callers issuing many queries against
+// one table should hold an `Engine` (or a `TRexSession`) instead, which
+// shares the reference repair and the memo caches across queries.
+
 Result<Explanation> ConstraintExplainer::Explain(
     const repair::RepairAlgorithm& algorithm, const dc::DcSet& dcs,
     const Table& dirty, CellRef target) const {
-  if (dcs.empty()) {
-    return Status::InvalidArgument("constraint set is empty");
-  }
-  if (dcs.size() > 64) {
-    return Status::InvalidArgument(
-        "constraint games support at most 64 constraints");
-  }
-  TREX_ASSIGN_OR_RETURN(BlackBoxRepair box,
-                        BlackBoxRepair::Make(&algorithm, dcs, dirty, target));
-  TREX_RETURN_NOT_OK(RequireRepairedTarget(box));
-
-  ConstraintGame game(&box);
-  Explanation ex = MakeBaseExplanation(box);
-
-  const bool exact =
-      !options_.force_sampling && dcs.size() <= options_.max_exact_players;
-  if (options_.use_banzhaf && !exact) {
-    return Status::InvalidArgument(
-        "Banzhaf attribution is exact-only; reduce the constraint count "
-        "or raise max_exact_players");
-  }
-  std::vector<PlayerScore> scores;
-  scores.reserve(dcs.size());
-  if (exact) {
-    const shap::ExactShapleyOptions exact_options{
-        options_.max_exact_players};
-    TREX_ASSIGN_OR_RETURN(
-        std::vector<double> values,
-        options_.use_banzhaf
-            ? shap::ComputeExactBanzhaf(game, exact_options)
-            : shap::ComputeExactShapley(game, exact_options));
-    for (std::size_t i = 0; i < dcs.size(); ++i) {
-      PlayerScore score;
-      score.label = dcs.at(i).name();
-      score.shapley = values[i];
-      score.constraint_index = i;
-      scores.push_back(std::move(score));
-    }
-    ex.method = options_.use_banzhaf ? "exact(banzhaf)" : "exact";
-  } else {
-    TREX_ASSIGN_OR_RETURN(
-        std::vector<shap::Estimate> estimates,
-        shap::EstimateShapleyAllPlayers(game, options_.sampling));
-    for (std::size_t i = 0; i < dcs.size(); ++i) {
-      PlayerScore score;
-      score.label = dcs.at(i).name();
-      score.shapley = estimates[i].value;
-      score.std_error = estimates[i].std_error;
-      score.num_samples = estimates[i].num_samples;
-      score.constraint_index = i;
-      scores.push_back(std::move(score));
-    }
-    ex.method = StrFormat("sampling(m=%zu)", options_.sampling.num_samples);
-  }
-  ex.ranked = std::move(scores);
-  RankDescending(&ex.ranked);
-  ex.algorithm_calls = box.num_algorithm_calls();
-  ex.cache_hits = box.num_cache_hits();
-  return ex;
+  Engine engine = Engine::Wrap(algorithm, dcs, dirty);
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kConstraints;
+  request.constraints = options_;
+  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine.Explain(request));
+  return std::move(*result.explanation);
 }
 
 Result<std::vector<InteractionScore>> ConstraintExplainer::ExplainInteractions(
     const repair::RepairAlgorithm& algorithm, const dc::DcSet& dcs,
     const Table& dirty, CellRef target) const {
-  if (dcs.size() < 2) {
-    return Status::InvalidArgument(
-        "interaction indices need at least two constraints");
-  }
-  TREX_ASSIGN_OR_RETURN(BlackBoxRepair box,
-                        BlackBoxRepair::Make(&algorithm, dcs, dirty, target));
-  TREX_RETURN_NOT_OK(RequireRepairedTarget(box));
-
-  ConstraintGame game(&box);
-  shap::InteractionOptions options;
-  options.max_players = options_.max_exact_players;
-  TREX_ASSIGN_OR_RETURN(std::vector<shap::Interaction> raw,
-                        shap::ComputeShapleyInteractions(game, options));
-  std::vector<InteractionScore> scores;
-  scores.reserve(raw.size());
-  for (const shap::Interaction& interaction : raw) {
-    scores.push_back(InteractionScore{
-        dcs.at(interaction.player_a).name(),
-        dcs.at(interaction.player_b).name(), interaction.value});
-  }
-  std::stable_sort(scores.begin(), scores.end(),
-                   [](const InteractionScore& a, const InteractionScore& b) {
-                     return std::fabs(a.interaction) >
-                            std::fabs(b.interaction);
-                   });
-  return scores;
+  Engine engine = Engine::Wrap(algorithm, dcs, dirty);
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kInteractions;
+  request.constraints = options_;
+  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine.Explain(request));
+  return std::move(result.interactions);
 }
 
 Result<std::vector<std::vector<std::string>>>
 ConstraintExplainer::ExplainRemovalSets(
     const repair::RepairAlgorithm& algorithm, const dc::DcSet& dcs,
     const Table& dirty, CellRef target, std::size_t max_set_size) const {
-  if (dcs.empty()) {
-    return Status::InvalidArgument("constraint set is empty");
-  }
-  TREX_ASSIGN_OR_RETURN(BlackBoxRepair box,
-                        BlackBoxRepair::Make(&algorithm, dcs, dirty, target));
-  TREX_RETURN_NOT_OK(RequireRepairedTarget(box));
-
-  ConstraintGame game(&box);
-  shap::CounterfactualOptions options;
-  options.max_set_size = max_set_size;
-  options.max_players = options_.max_exact_players;
-  TREX_ASSIGN_OR_RETURN(auto removal_sets,
-                        shap::MinimalRemovalSets(game, options));
-  std::vector<std::vector<std::string>> named;
-  named.reserve(removal_sets.size());
-  for (const auto& removal : removal_sets) {
-    std::vector<std::string> labels;
-    labels.reserve(removal.size());
-    for (std::size_t index : removal) labels.push_back(dcs.at(index).name());
-    named.push_back(std::move(labels));
-  }
-  return named;
-}
-
-Result<std::vector<CellRef>> CellExplainer::PlayerCells(
-    const repair::RepairAlgorithm& algorithm, const dc::DcSet& dcs,
-    const Table& dirty, CellRef target) const {
-  if (!options_.prune) return dirty.AllCells();
-  std::optional<dc::AttributeGraph> graph =
-      algorithm.InfluenceGraph(dcs, dirty.schema());
-  if (!graph.has_value()) {
-    graph = dc::AttributeGraph::FromDcSet(dcs, dirty.num_columns());
-  }
-  return dc::RelevantCells(dirty, *graph, target);
+  Engine engine = Engine::Wrap(algorithm, dcs, dirty);
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kRemovalSets;
+  request.constraints = options_;
+  request.max_removal_set_size = max_set_size;
+  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine.Explain(request));
+  return std::move(result.removal_sets);
 }
 
 Result<Explanation> CellExplainer::Explain(
     const repair::RepairAlgorithm& algorithm, const dc::DcSet& dcs,
     const Table& dirty, CellRef target) const {
-  TREX_ASSIGN_OR_RETURN(BlackBoxRepair box,
-                        BlackBoxRepair::Make(&algorithm, dcs, dirty, target));
-  TREX_RETURN_NOT_OK(RequireRepairedTarget(box));
-
-  TREX_ASSIGN_OR_RETURN(std::vector<CellRef> players,
-                        PlayerCells(algorithm, dcs, dirty, target));
-  if (players.empty()) {
-    return Status::InvalidArgument("no candidate player cells");
-  }
-
-  CellMethod method = options_.method;
-  if (method == CellMethod::kAuto) {
-    method = (options_.policy == AbsentCellPolicy::kNull &&
-              players.size() <= options_.max_exact_players)
-                 ? CellMethod::kExact
-                 : CellMethod::kSampling;
-  }
-
-  Explanation ex = MakeBaseExplanation(box);
-  std::vector<PlayerScore> scores;
-  scores.reserve(players.size());
-
-  if (method == CellMethod::kExact) {
-    if (options_.policy != AbsentCellPolicy::kNull) {
-      return Status::InvalidArgument(
-          "exact cell Shapley requires AbsentCellPolicy::kNull (the "
-          "column-sample policy defines a stochastic game)");
-    }
-    CellGame game(&box, players);
-    TREX_ASSIGN_OR_RETURN(
-        std::vector<double> values,
-        shap::ComputeExactShapley(
-            game, shap::ExactShapleyOptions{options_.max_exact_players}));
-    for (std::size_t i = 0; i < players.size(); ++i) {
-      PlayerScore score;
-      score.cell = players[i];
-      score.label = players[i].ToString(dirty.schema());
-      score.shapley = values[i];
-      scores.push_back(std::move(score));
-    }
-    ex.method = "exact(null-policy)";
-  } else {
-    // Permutation-sweep sampling with the configured replacement policy
-    // (Example 2.5 generalized to rank all players per sweep).
-    Rng rng(options_.seed);
-    TableStats stats(&box.dirty());
-    std::vector<shap::RunningStat> running(players.size());
-
-    auto replacement = [&](CellRef cell) -> Value {
-      if (options_.policy == AbsentCellPolicy::kNull) return Value::Null();
-      const ColumnStats& column = stats.Column(cell.col);
-      if (column.total() == 0) return Value::Null();
-      return column.Sample(&rng);
-    };
-
-    for (std::size_t sample = 0; sample < options_.num_samples; ++sample) {
-      const std::vector<std::size_t> perm = rng.Permutation(players.size());
-      // Baseline: every player absent (replaced); non-players untouched.
-      Table working = box.dirty();
-      for (const CellRef& cell : players) {
-        working.Set(cell, replacement(cell));
-      }
-      double prev = box.EvalTable(working) ? 1.0 : 0.0;
-      for (std::size_t pos = 0; pos < perm.size(); ++pos) {
-        const std::size_t player = perm[pos];
-        working.Set(players[player], box.dirty().at(players[player]));
-        const double curr = box.EvalTable(working) ? 1.0 : 0.0;
-        running[player].Add(curr - prev);
-        prev = curr;
-      }
-      if (options_.target_std_error.has_value() && sample >= 16) {
-        bool converged = true;
-        for (const shap::RunningStat& stat : running) {
-          if (stat.std_error() > *options_.target_std_error) {
-            converged = false;
-            break;
-          }
-        }
-        if (converged) break;
-      }
-    }
-    for (std::size_t i = 0; i < players.size(); ++i) {
-      const shap::Estimate estimate = running[i].ToEstimate();
-      PlayerScore score;
-      score.cell = players[i];
-      score.label = players[i].ToString(dirty.schema());
-      score.shapley = estimate.value;
-      score.std_error = estimate.std_error;
-      score.num_samples = estimate.num_samples;
-      scores.push_back(std::move(score));
-    }
-    ex.method = StrFormat(
-        "sampling(m=%zu, policy=%s, players=%zu/%zu)",
-        options_.num_samples, AbsentCellPolicyToString(options_.policy),
-        players.size(), dirty.num_cells());
-  }
-
-  ex.ranked = std::move(scores);
-  RankDescending(&ex.ranked);
-  ex.algorithm_calls = box.num_algorithm_calls();
-  ex.cache_hits = box.num_cache_hits();
-  return ex;
+  Engine engine = Engine::Wrap(algorithm, dcs, dirty);
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kCells;
+  request.cells = options_;
+  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine.Explain(request));
+  return std::move(*result.explanation);
 }
 
 Result<Explanation> CellExplainer::ExplainTopK(
     const repair::RepairAlgorithm& algorithm, const dc::DcSet& dcs,
     const Table& dirty, CellRef target, std::size_t k) const {
-  if (options_.policy != AbsentCellPolicy::kNull) {
-    return Status::InvalidArgument(
-        "ExplainTopK requires AbsentCellPolicy::kNull (the adaptive "
-        "driver runs on the deterministic cell game)");
-  }
-  TREX_ASSIGN_OR_RETURN(BlackBoxRepair box,
-                        BlackBoxRepair::Make(&algorithm, dcs, dirty, target));
-  TREX_RETURN_NOT_OK(RequireRepairedTarget(box));
-  TREX_ASSIGN_OR_RETURN(std::vector<CellRef> players,
-                        PlayerCells(algorithm, dcs, dirty, target));
-  if (players.empty()) {
-    return Status::InvalidArgument("no candidate player cells");
-  }
-
-  CellGame game(&box, players);
-  shap::TopKOptions topk;
-  topk.k = k;
-  topk.max_samples = options_.num_samples;
-  topk.seed = options_.seed;
-  TREX_ASSIGN_OR_RETURN(shap::TopKResult result,
-                        shap::EstimateTopKPlayers(game, topk));
-
-  Explanation ex = MakeBaseExplanation(box);
-  ex.ranked.reserve(players.size());
-  for (std::size_t player : result.ranking) {
-    const shap::Estimate& estimate = result.estimates[player];
-    PlayerScore score;
-    score.cell = players[player];
-    score.label = players[player].ToString(dirty.schema());
-    score.shapley = estimate.value;
-    score.std_error = estimate.std_error;
-    score.num_samples = estimate.num_samples;
-    ex.ranked.push_back(std::move(score));
-  }
-  ex.method = StrFormat("topk(k=%zu, sweeps=%zu, separated=%s)", k,
-                        result.sweeps, result.separated ? "yes" : "no");
-  ex.algorithm_calls = box.num_algorithm_calls();
-  ex.cache_hits = box.num_cache_hits();
-  return ex;
+  Engine engine = Engine::Wrap(algorithm, dcs, dirty);
+  return engine.ExplainTopKCells(target, k, options_);
 }
 
 Result<PlayerScore> CellExplainer::ExplainSingleCell(
     const repair::RepairAlgorithm& algorithm, const dc::DcSet& dcs,
     const Table& dirty, CellRef target, CellRef player_cell) const {
-  if (player_cell.row >= dirty.num_rows() ||
-      player_cell.col >= dirty.num_columns()) {
-    return Status::OutOfRange("player cell " + player_cell.ToString() +
-                              " outside the table");
-  }
-  TREX_ASSIGN_OR_RETURN(BlackBoxRepair box,
-                        BlackBoxRepair::Make(&algorithm, dcs, dirty, target));
-  TREX_RETURN_NOT_OK(RequireRepairedTarget(box));
-
-  TREX_ASSIGN_OR_RETURN(std::vector<CellRef> players,
-                        PlayerCells(algorithm, dcs, dirty, target));
-  // The player of interest must be in the game even if pruning would
-  // drop it (its Shapley value is then provably 0, but we measure it).
-  if (std::find(players.begin(), players.end(), player_cell) ==
-      players.end()) {
-    players.push_back(player_cell);
-  }
-  std::size_t player_index = 0;
-  for (std::size_t i = 0; i < players.size(); ++i) {
-    if (players[i] == player_cell) player_index = i;
-  }
-
-  Rng rng(options_.seed);
-  TableStats stats(&box.dirty());
-  auto replacement = [&](CellRef cell) -> Value {
-    if (options_.policy == AbsentCellPolicy::kNull) return Value::Null();
-    const ColumnStats& column = stats.Column(cell.col);
-    if (column.total() == 0) return Value::Null();
-    return column.Sample(&rng);
-  };
-
-  // Example 2.5: per iteration, draw a permutation; the coalition is the
-  // players preceding the cell of interest. Build two instances sharing
-  // the coalition materialization — one with the cell's original value,
-  // one with the cell replaced — and accumulate the outcome difference.
-  shap::RunningStat stat;
-  for (std::size_t sample = 0; sample < options_.num_samples; ++sample) {
-    const std::vector<std::size_t> perm = rng.Permutation(players.size());
-    Table with = box.dirty();
-    bool before_player = true;
-    for (std::size_t pos = 0; pos < perm.size(); ++pos) {
-      if (perm[pos] == player_index) {
-        before_player = false;
-        continue;
-      }
-      if (!before_player) {
-        const CellRef cell = players[perm[pos]];
-        with.Set(cell, replacement(cell));
-      }
-    }
-    Table without = with;
-    without.Set(player_cell, replacement(player_cell));
-    const double v_with = box.EvalTable(with) ? 1.0 : 0.0;
-    const double v_without = box.EvalTable(without) ? 1.0 : 0.0;
-    stat.Add(v_with - v_without);
-  }
-
-  const shap::Estimate estimate = stat.ToEstimate();
-  PlayerScore score;
-  score.cell = player_cell;
-  score.label = player_cell.ToString(dirty.schema());
-  score.shapley = estimate.value;
-  score.std_error = estimate.std_error;
-  score.num_samples = estimate.num_samples;
-  return score;
+  Engine engine = Engine::Wrap(algorithm, dcs, dirty);
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kSingleCell;
+  request.cells = options_;
+  request.single_cell = player_cell;
+  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine.Explain(request));
+  return std::move(*result.single_cell);
 }
 
 }  // namespace trex

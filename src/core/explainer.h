@@ -2,6 +2,10 @@
 // rank the denial constraints / the table cells by their Shapley
 // contribution to that repair (the paper's §2.2–§2.3).
 //
+// Both classes are thin adapters over `trex::Engine` (core/engine.h) —
+// each call spins up a single-use engine. Multi-query callers should use
+// the engine directly to share the reference repair and memo caches.
+//
 //  * `ConstraintExplainer` computes *exact* Shapley values by subset
 //    enumeration by default ("the number of DCs is usually small") and
 //    falls back to permutation sampling past a configurable player cap.
@@ -200,10 +204,6 @@ class CellExplainer {
                                   CellRef target, std::size_t k) const;
 
  private:
-  Result<std::vector<CellRef>> PlayerCells(
-      const repair::RepairAlgorithm& algorithm, const dc::DcSet& dcs,
-      const Table& dirty, CellRef target) const;
-
   CellExplainerOptions options_;
 };
 

@@ -1,90 +1,205 @@
 #include "core/repair_game.h"
 
+#include <algorithm>
+#include <mutex>
+#include <utility>
+
 #include "common/logging.h"
 #include "table/diff.h"
 
 namespace trex {
 
-Result<BlackBoxRepair> BlackBoxRepair::Make(
+Result<BlackBoxRepair> BlackBoxRepair::MakeMultiTarget(
     const repair::RepairAlgorithm* algorithm, dc::DcSet dcs, Table dirty,
-    CellRef target) {
+    const std::vector<CellRef>& targets) {
   if (algorithm == nullptr) {
     return Status::InvalidArgument("algorithm must not be null");
   }
-  if (target.row >= dirty.num_rows() || target.col >= dirty.num_columns()) {
-    return Status::OutOfRange("target cell " + target.ToString() +
-                              " outside the table");
+  for (const CellRef& target : targets) {
+    if (target.row >= dirty.num_rows() || target.col >= dirty.num_columns()) {
+      return Status::OutOfRange("target cell " + target.ToString() +
+                                " outside the table");
+    }
   }
   BlackBoxRepair box;
   box.algorithm_ = algorithm;
   box.dcs_ = std::move(dcs);
   box.dirty_ = std::move(dirty);
-  box.target_ = target;
+  box.state_ = std::make_unique<CacheState>();
   TREX_ASSIGN_OR_RETURN(box.clean_,
                         algorithm->Repair(box.dcs_, box.dirty_));
-  box.calls_ = 1;
-  box.clean_target_value_ = box.clean_.at(target);
-  const Value& dirty_value = box.dirty_.at(target);
-  const bool both_null =
-      dirty_value.is_null() && box.clean_target_value_.is_null();
-  box.target_was_repaired_ =
-      !both_null && (dirty_value.is_null() ||
-                     box.clean_target_value_.is_null() ||
-                     dirty_value != box.clean_target_value_);
+  box.state_->calls.store(1);
+  for (const CellRef& target : targets) {
+    auto added = box.AddTarget(target);
+    TREX_CHECK(added.ok());  // bounds were validated above
+  }
   return box;
 }
 
-bool BlackBoxRepair::Outcome(const Table& repaired) const {
-  const Value& got = repaired.at(target_);
-  if (got.is_null() || clean_target_value_.is_null()) {
-    return got.is_null() && clean_target_value_.is_null();
-  }
-  return got == clean_target_value_;
+Result<BlackBoxRepair> BlackBoxRepair::Make(
+    const repair::RepairAlgorithm* algorithm, dc::DcSet dcs, Table dirty,
+    CellRef target) {
+  return MakeMultiTarget(algorithm, std::move(dcs), std::move(dirty),
+                         {target});
 }
 
-bool BlackBoxRepair::EvalConstraintSubset(std::uint64_t mask) const {
+Result<std::size_t> BlackBoxRepair::AddTarget(CellRef target) {
+  if (target.row >= dirty_.num_rows() || target.col >= dirty_.num_columns()) {
+    return Status::OutOfRange("target cell " + target.ToString() +
+                              " outside the table");
+  }
+  if (std::optional<std::size_t> existing = FindTarget(target)) {
+    return *existing;
+  }
+  TargetInfo info;
+  info.cell = target;
+  info.clean_value = clean_.at(target);
+  const Value& dirty_value = dirty_.at(target);
+  const bool both_null = dirty_value.is_null() && info.clean_value.is_null();
+  info.was_repaired =
+      !both_null && (dirty_value.is_null() || info.clean_value.is_null() ||
+                     dirty_value != info.clean_value);
+  targets_.push_back(std::move(info));
+  return targets_.size() - 1;
+}
+
+std::optional<std::size_t> BlackBoxRepair::FindTarget(CellRef target) const {
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (targets_[i].cell == target) return i;
+  }
+  return std::nullopt;
+}
+
+CellRef BlackBoxRepair::target(std::size_t index) const {
+  TREX_CHECK_LT(index, targets_.size());
+  return targets_[index].cell;
+}
+
+bool BlackBoxRepair::target_was_repaired(std::size_t index) const {
+  TREX_CHECK_LT(index, targets_.size());
+  return targets_[index].was_repaired;
+}
+
+std::size_t BlackBoxRepair::num_algorithm_calls() const {
+  return state_->calls.load();
+}
+
+std::size_t BlackBoxRepair::num_cache_hits() const {
+  return state_->hits.load();
+}
+
+std::size_t BlackBoxRepair::num_cross_request_hits() const {
+  return state_->cross_request_hits.load();
+}
+
+void BlackBoxRepair::BeginRequest(std::size_t request_id) const {
+  state_->current_request.store(request_id);
+}
+
+bool BlackBoxRepair::Outcome(const Table& repaired,
+                             std::size_t target_index) const {
+  TREX_CHECK_LT(target_index, targets_.size());
+  const TargetInfo& info = targets_[target_index];
+  const Value& got = repaired.at(info.cell);
+  if (got.is_null() || info.clean_value.is_null()) {
+    return got.is_null() && info.clean_value.is_null();
+  }
+  return got == info.clean_value;
+}
+
+bool BlackBoxRepair::EvalConstraintSubset(std::uint64_t mask,
+                                          std::size_t target_index) const {
+  TREX_CHECK_LE(dcs_.size(), kMaxMaskConstraints)
+      << "constraint subset masks support at most 64 constraints; "
+      << "split the DcSet or extend the mask representation";
   if (cache_enabled_) {
-    auto it = mask_cache_.find(mask);
-    if (it != mask_cache_.end()) {
-      ++hits_;
-      return it->second;
+    std::shared_lock<std::shared_mutex> lock(state_->mu);
+    auto it = state_->mask_cache.find(mask);
+    if (it != state_->mask_cache.end()) {
+      state_->hits.fetch_add(1);
+      if (it->second.request_id != state_->current_request.load()) {
+        state_->cross_request_hits.fetch_add(1);
+      }
+      return Outcome(it->second.repaired, target_index);
     }
   }
   const dc::DcSet subset = dcs_.Subset(mask);
   auto repaired = algorithm_->Repair(subset, dirty_);
   TREX_CHECK(repaired.ok()) << "repair failed on constraint subset: "
                             << repaired.status().ToString();
-  ++calls_;
-  const bool outcome = Outcome(*repaired);
-  if (cache_enabled_) mask_cache_.emplace(mask, outcome);
+  state_->calls.fetch_add(1);
+  const bool outcome = Outcome(*repaired, target_index);
+  if (cache_enabled_) {
+    std::unique_lock<std::shared_mutex> lock(state_->mu);
+    CacheEntry entry;
+    entry.repaired = std::move(*repaired);
+    entry.request_id = state_->current_request.load();
+    state_->mask_cache.emplace(mask, std::move(entry));
+  }
   return outcome;
 }
 
-bool BlackBoxRepair::EvalTable(const Table& perturbed) const {
+bool BlackBoxRepair::EvalTable(const Table& perturbed,
+                               std::size_t target_index) const {
   const std::uint64_t fingerprint = perturbed.Fingerprint();
   if (cache_enabled_) {
-    auto it = table_cache_.find(fingerprint);
-    if (it != table_cache_.end()) {
-      ++hits_;
-      return it->second;
+    std::shared_lock<std::shared_mutex> lock(state_->mu);
+    auto it = state_->table_cache.find(fingerprint);
+    if (it != state_->table_cache.end()) {
+      // Verify the full table content, not just the 64-bit fingerprint:
+      // a collision must fall through to a fresh repair run, never
+      // return another table's outcome.
+      for (const CacheEntry& entry : it->second) {
+        if (entry.input == perturbed) {
+          state_->hits.fetch_add(1);
+          if (entry.request_id != state_->current_request.load()) {
+            state_->cross_request_hits.fetch_add(1);
+          }
+          return Outcome(entry.repaired, target_index);
+        }
+      }
     }
   }
   auto repaired = algorithm_->Repair(dcs_, perturbed);
   TREX_CHECK(repaired.ok()) << "repair failed on perturbed table: "
                             << repaired.status().ToString();
-  ++calls_;
-  const bool outcome = Outcome(*repaired);
-  if (cache_enabled_) table_cache_.emplace(fingerprint, outcome);
+  state_->calls.fetch_add(1);
+  const bool outcome = Outcome(*repaired, target_index);
+  if (cache_enabled_) {
+    std::unique_lock<std::shared_mutex> lock(state_->mu);
+    std::vector<CacheEntry>& bucket = state_->table_cache[fingerprint];
+    // Re-check under the exclusive lock: a concurrent miss on the same
+    // table may have inserted while we ran the repair — don't retain a
+    // duplicate pair of full-table copies.
+    bool already_cached = false;
+    for (const CacheEntry& entry : bucket) {
+      if (entry.input == perturbed) {
+        already_cached = true;
+        break;
+      }
+    }
+    if (!already_cached) {
+      CacheEntry entry;
+      entry.input = perturbed;
+      entry.repaired = std::move(*repaired);
+      entry.request_id = state_->current_request.load();
+      bucket.push_back(std::move(entry));
+    }
+  }
   return outcome;
 }
 
 double ConstraintGame::Value(const shap::Coalition& coalition) const {
   TREX_CHECK_EQ(coalition.size(), num_players());
+  // Guard before building the mask: shifting past bit 63 below would be
+  // undefined behavior, silently corrupting the subset on wrap.
+  TREX_CHECK_LE(coalition.size(), BlackBoxRepair::kMaxMaskConstraints)
+      << "constraint games support at most 64 constraints";
   std::uint64_t mask = 0;
   for (std::size_t i = 0; i < coalition.size(); ++i) {
     if (coalition[i]) mask |= std::uint64_t{1} << i;
   }
-  return box_->EvalConstraintSubset(mask) ? 1.0 : 0.0;
+  return box_->EvalConstraintSubset(mask, target_index_) ? 1.0 : 0.0;
 }
 
 double CellGame::Value(const shap::Coalition& coalition) const {
@@ -93,7 +208,7 @@ double CellGame::Value(const shap::Coalition& coalition) const {
   for (std::size_t i = 0; i < players_.size(); ++i) {
     if (!coalition[i]) perturbed.Set(players_[i], Value::Null());
   }
-  return box_->EvalTable(perturbed) ? 1.0 : 0.0;
+  return box_->EvalTable(perturbed, target_index_) ? 1.0 : 0.0;
 }
 
 }  // namespace trex

@@ -1,25 +1,39 @@
 // The black-box repair games: T-REx's bridge between a `RepairAlgorithm`
 // and the generic Shapley solvers.
 //
-// `BlackBoxRepair` wraps one explanation instance — (Alg, C, T^d, target
-// cell t^d[A]) — and exposes the paper's binary characteristic function
+// `BlackBoxRepair` wraps one *repair instance* — (Alg, C, T^d) plus any
+// number of registered target cells — and exposes the paper's binary
+// characteristic function per target
 //
 //     Alg|t[A](C', T') = 1  iff  Alg(C', T') writes the *reference* clean
 //                              value T^c[t[A]] into the target cell,
 //
-// where T^c = Alg(C, T^d) is computed once up front. Calls are memoized
-// (constraint subsets by bitmask, perturbed tables by content
-// fingerprint) and counted, since each evaluation is a full repair run —
-// the unit of cost in the paper's §2.3 and in bench_ablation.
+// where T^c = Alg(C, T^d) is computed exactly once. The memo caches store
+// the full repaired table per evaluated input (constraint subsets by
+// bitmask, perturbed tables by content fingerprint with full-content
+// verification), so one cached repair run answers the characteristic
+// function for *every* registered target — this is what lets
+// `Engine::ExplainBatch` share one box across a multi-target batch.
+// Calls are counted, since each evaluation is a full repair run — the
+// unit of cost in the paper's §2.3 and in bench_ablation.
+//
+// Thread safety: `EvalConstraintSubset` / `EvalTable` may be called
+// concurrently (the caches are mutex-guarded; concurrent misses on the
+// same key may duplicate a repair run but never corrupt results).
+// `AddTarget` and `BeginRequest` must not race with evaluations.
 //
 // `ConstraintGame` (players = DCs, table fixed) and `CellGame` (players =
-// cells nulled in/out, DCs fixed) adapt it to `shap::Game`.
+// cells nulled in/out, DCs fixed) adapt one target's characteristic
+// function to `shap::Game`.
 
 #ifndef TREX_CORE_REPAIR_GAME_H_
 #define TREX_CORE_REPAIR_GAME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -31,38 +45,73 @@
 
 namespace trex {
 
-/// Memoized evaluator of the binary repair outcome (see file comment).
+/// Memoized multi-target evaluator of the binary repair outcome (see
+/// file comment).
 class BlackBoxRepair {
  public:
-  /// Runs the reference repair `Alg(dcs, dirty)` and captures the clean
-  /// value of `target`. Fails when the algorithm fails. Note: the target
-  /// need not have changed — `target_was_repaired()` reports that, and
-  /// explainers reject unrepaired targets.
+  /// `EvalConstraintSubset` encodes constraint subsets in a
+  /// `std::uint64_t`, so constraint games support at most 64 players.
+  static constexpr std::size_t kMaxMaskConstraints = 64;
+
+  /// Runs the reference repair `Alg(dcs, dirty)` once and registers every
+  /// cell of `targets` (deduplicated, order preserved) against it.
+  /// `targets` may be empty; add cells later with `AddTarget`.
+  static Result<BlackBoxRepair> MakeMultiTarget(
+      const repair::RepairAlgorithm* algorithm, dc::DcSet dcs, Table dirty,
+      const std::vector<CellRef>& targets);
+
+  /// Single-target convenience (the seed API): equivalent to
+  /// `MakeMultiTarget(..., {target})`.
   static Result<BlackBoxRepair> Make(
       const repair::RepairAlgorithm* algorithm, dc::DcSet dcs, Table dirty,
       CellRef target);
+
+  /// Registers another target cell against the cached reference repair —
+  /// no additional algorithm call — and returns its index. Returns the
+  /// existing index when the cell is already registered. Must not race
+  /// with concurrent evaluations.
+  Result<std::size_t> AddTarget(CellRef target);
+
+  /// Index of a registered target cell, if any.
+  std::optional<std::size_t> FindTarget(CellRef target) const;
 
   const Table& dirty() const { return dirty_; }
   const Table& reference_clean() const { return clean_; }
   const dc::DcSet& dcs() const { return dcs_; }
   const repair::RepairAlgorithm& algorithm() const { return *algorithm_; }
-  CellRef target() const { return target_; }
 
-  /// True iff the reference repair changed the target cell.
-  bool target_was_repaired() const { return target_was_repaired_; }
+  std::size_t num_targets() const { return targets_.size(); }
+  CellRef target(std::size_t index = 0) const;
 
-  /// Alg|t[A] with the constraint subset selected by `mask` (bit i keeps
-  /// constraint i) and the unperturbed dirty table.
-  bool EvalConstraintSubset(std::uint64_t mask) const;
+  /// True iff the reference repair changed the given target cell.
+  bool target_was_repaired(std::size_t index = 0) const;
 
-  /// Alg|t[A] with the full constraint set and a perturbed table.
-  bool EvalTable(const Table& perturbed) const;
+  /// Alg|t[A] for target `target_index` with the constraint subset
+  /// selected by `mask` (bit i keeps constraint i) and the unperturbed
+  /// dirty table. Requires at most `kMaxMaskConstraints` constraints
+  /// (fatal otherwise — callers returning `Status` validate first).
+  bool EvalConstraintSubset(std::uint64_t mask,
+                            std::size_t target_index = 0) const;
+
+  /// Alg|t[A] for target `target_index` with the full constraint set and
+  /// a perturbed table.
+  bool EvalTable(const Table& perturbed, std::size_t target_index = 0) const;
 
   /// Total underlying algorithm invocations (cache misses), including the
   /// reference run.
-  std::size_t num_algorithm_calls() const { return calls_; }
+  std::size_t num_algorithm_calls() const;
   /// Evaluations answered from the memo tables.
-  std::size_t num_cache_hits() const { return hits_; }
+  std::size_t num_cache_hits() const;
+  /// Memo hits on entries written under a different request context —
+  /// the work `ExplainBatch` amortizes across targets (see
+  /// `BeginRequest`).
+  std::size_t num_cross_request_hits() const;
+
+  /// Tags subsequent cache writes with `request_id`; hits on entries
+  /// written under another id count as cross-request hits. The engine
+  /// calls this once per batched request. Must not race with
+  /// evaluations.
+  void BeginRequest(std::size_t request_id) const;
 
   /// Disables memoization (ablation experiments).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
@@ -70,34 +119,63 @@ class BlackBoxRepair {
  private:
   BlackBoxRepair() = default;
 
-  bool Outcome(const Table& repaired) const;
+  struct TargetInfo {
+    CellRef cell;
+    Value clean_value;
+    bool was_repaired = false;
+  };
+
+  /// One memoized repair run. `input` is kept alongside the table-cache
+  /// fingerprint so hits are verified against the full table content —
+  /// a bare 64-bit fingerprint would return silently wrong answers on
+  /// collision.
+  struct CacheEntry {
+    Table input;     // empty (unverified) for mask-cache entries
+    Table repaired;
+    std::size_t request_id = 0;
+  };
+
+  /// Mutable memo state, boxed so `BlackBoxRepair` stays movable despite
+  /// the mutex. Lookups (the steady-state path under a warm cache) take
+  /// the lock shared so sampling shards hit concurrently; only inserts
+  /// take it exclusive. Counters are atomics so hits need no exclusive
+  /// access.
+  struct CacheState {
+    std::shared_mutex mu;
+    std::unordered_map<std::uint64_t, CacheEntry> mask_cache;
+    std::unordered_map<std::uint64_t, std::vector<CacheEntry>> table_cache;
+    std::atomic<std::size_t> calls{0};
+    std::atomic<std::size_t> hits{0};
+    std::atomic<std::size_t> cross_request_hits{0};
+    std::atomic<std::size_t> current_request{0};
+  };
+
+  bool Outcome(const Table& repaired, std::size_t target_index) const;
 
   const repair::RepairAlgorithm* algorithm_ = nullptr;
   dc::DcSet dcs_;
   Table dirty_;
   Table clean_;
-  CellRef target_;
-  Value clean_target_value_;
-  bool target_was_repaired_ = false;
+  std::vector<TargetInfo> targets_;
   bool cache_enabled_ = true;
-
-  mutable std::unordered_map<std::uint64_t, bool> mask_cache_;
-  mutable std::unordered_map<std::uint64_t, bool> table_cache_;
-  mutable std::size_t calls_ = 0;
-  mutable std::size_t hits_ = 0;
+  std::unique_ptr<CacheState> state_;
 };
 
 /// Cooperative game whose players are the denial constraints (paper
-/// §2.2, first adaptation). The table stays fixed at T^d.
+/// §2.2, first adaptation). The table stays fixed at T^d; outcomes are
+/// read for one registered target of the shared box.
 class ConstraintGame : public shap::Game {
  public:
-  explicit ConstraintGame(const BlackBoxRepair* box) : box_(box) {}
+  explicit ConstraintGame(const BlackBoxRepair* box,
+                          std::size_t target_index = 0)
+      : box_(box), target_index_(target_index) {}
 
   std::size_t num_players() const override { return box_->dcs().size(); }
   double Value(const shap::Coalition& coalition) const override;
 
  private:
   const BlackBoxRepair* box_;
+  std::size_t target_index_;
 };
 
 /// Cooperative game whose players are table cells (paper §2.2, second
@@ -110,8 +188,11 @@ class ConstraintGame : public shap::Game {
 /// graph.
 class CellGame : public shap::Game {
  public:
-  CellGame(const BlackBoxRepair* box, std::vector<CellRef> players)
-      : box_(box), players_(std::move(players)) {}
+  CellGame(const BlackBoxRepair* box, std::vector<CellRef> players,
+           std::size_t target_index = 0)
+      : box_(box),
+        players_(std::move(players)),
+        target_index_(target_index) {}
 
   std::size_t num_players() const override { return players_.size(); }
   double Value(const shap::Coalition& coalition) const override;
@@ -121,6 +202,7 @@ class CellGame : public shap::Game {
  private:
   const BlackBoxRepair* box_;
   std::vector<CellRef> players_;
+  std::size_t target_index_;
 };
 
 }  // namespace trex

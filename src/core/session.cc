@@ -6,28 +6,37 @@ namespace trex {
 
 TRexSession::TRexSession(
     std::shared_ptr<const repair::RepairAlgorithm> algorithm, dc::DcSet dcs,
-    Table dirty)
+    Table dirty, EngineOptions engine_options)
     : algorithm_(std::move(algorithm)),
       dcs_(std::move(dcs)),
-      dirty_(std::move(dirty)) {
+      dirty_(std::move(dirty)),
+      engine_options_(engine_options) {
   TREX_CHECK(algorithm_ != nullptr);
 }
 
 Status TRexSession::Repair() {
-  TREX_ASSIGN_OR_RETURN(Table clean, algorithm_->Repair(dcs_, dirty_));
-  TREX_ASSIGN_OR_RETURN(repaired_cells_, DiffTables(dirty_, clean));
-  clean_ = std::move(clean);
+  auto engine = std::make_unique<Engine>(algorithm_, dcs_, dirty_,
+                                         engine_options_);
+  TREX_RETURN_NOT_OK(engine->EnsureRepair());
+  TREX_ASSIGN_OR_RETURN(repaired_cells_,
+                        DiffTables(dirty_, engine->reference_clean()));
+  engine_ = std::move(engine);
   return Status::Ok();
 }
 
 const Table& TRexSession::clean() const {
-  TREX_CHECK(clean_.has_value()) << "call Repair() first";
-  return *clean_;
+  TREX_CHECK(engine_ != nullptr) << "call Repair() first";
+  return engine_->reference_clean();
 }
 
 const std::vector<RepairedCell>& TRexSession::repaired_cells() const {
-  TREX_CHECK(clean_.has_value()) << "call Repair() first";
+  TREX_CHECK(engine_ != nullptr) << "call Repair() first";
   return repaired_cells_;
+}
+
+Engine& TRexSession::engine() {
+  TREX_CHECK(engine_ != nullptr) << "call Repair() first";
+  return *engine_;
 }
 
 Result<CellRef> TRexSession::CellAt(std::size_t row,
@@ -41,7 +50,7 @@ Result<CellRef> TRexSession::CellAt(std::size_t row,
 }
 
 Status TRexSession::RequireRepair() const {
-  if (!clean_.has_value()) {
+  if (engine_ == nullptr) {
     return Status::InvalidArgument(
         "no repair available: call Repair() after constructing or "
         "editing the session");
@@ -49,35 +58,62 @@ Status TRexSession::RequireRepair() const {
   return Status::Ok();
 }
 
+void TRexSession::InvalidateRepair() {
+  engine_.reset();
+  repaired_cells_.clear();
+}
+
 Result<Explanation> TRexSession::ExplainConstraints(
     CellRef target, const ConstraintExplainerOptions& options) const {
   TREX_RETURN_NOT_OK(RequireRepair());
-  ConstraintExplainer explainer(options);
-  return explainer.Explain(*algorithm_, dcs_, dirty_, target);
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kConstraints;
+  request.constraints = options;
+  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine_->Explain(request));
+  return std::move(*result.explanation);
 }
 
 Result<std::vector<InteractionScore>>
 TRexSession::ExplainConstraintInteractions(
     CellRef target, const ConstraintExplainerOptions& options) const {
   TREX_RETURN_NOT_OK(RequireRepair());
-  ConstraintExplainer explainer(options);
-  return explainer.ExplainInteractions(*algorithm_, dcs_, dirty_, target);
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kInteractions;
+  request.constraints = options;
+  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine_->Explain(request));
+  return std::move(result.interactions);
 }
 
 Result<Explanation> TRexSession::ExplainCells(
     CellRef target, const CellExplainerOptions& options) const {
   TREX_RETURN_NOT_OK(RequireRepair());
-  CellExplainer explainer(options);
-  return explainer.Explain(*algorithm_, dcs_, dirty_, target);
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kCells;
+  request.cells = options;
+  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine_->Explain(request));
+  return std::move(*result.explanation);
 }
 
 Result<PlayerScore> TRexSession::ExplainSingleCell(
     CellRef target, CellRef player_cell,
     const CellExplainerOptions& options) const {
   TREX_RETURN_NOT_OK(RequireRepair());
-  CellExplainer explainer(options);
-  return explainer.ExplainSingleCell(*algorithm_, dcs_, dirty_, target,
-                                     player_cell);
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kSingleCell;
+  request.cells = options;
+  request.single_cell = player_cell;
+  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine_->Explain(request));
+  return std::move(*result.single_cell);
+}
+
+Result<BatchResult> TRexSession::ExplainBatch(
+    const std::vector<ExplainRequest>& requests) const {
+  TREX_RETURN_NOT_OK(RequireRepair());
+  return engine_->ExplainBatch(requests);
 }
 
 Status TRexSession::SetDirtyCell(CellRef cell, Value value) {
@@ -86,16 +122,14 @@ Status TRexSession::SetDirtyCell(CellRef cell, Value value) {
                               " outside the table");
   }
   dirty_.Set(cell, std::move(value));
-  clean_.reset();
-  repaired_cells_.clear();
+  InvalidateRepair();
   return Status::Ok();
 }
 
 Status TRexSession::RemoveConstraint(const std::string& name) {
   TREX_ASSIGN_OR_RETURN(std::size_t index, dcs_.IndexOf(name));
   dcs_ = dcs_.Without(index);
-  clean_.reset();
-  repaired_cells_.clear();
+  InvalidateRepair();
   return Status::Ok();
 }
 
@@ -105,8 +139,7 @@ Status TRexSession::AddConstraint(dc::DenialConstraint constraint) {
                                  "' already present");
   }
   dcs_.Add(std::move(constraint));
-  clean_.reset();
-  repaired_cells_.clear();
+  InvalidateRepair();
   return Status::Ok();
 }
 
@@ -118,8 +151,7 @@ Status TRexSession::ReplaceConstraint(dc::DenialConstraint constraint) {
     updated.Add(i == index ? constraint : dcs_.at(i));
   }
   dcs_ = std::move(updated);
-  clean_.reset();
-  repaired_cells_.clear();
+  InvalidateRepair();
   return Status::Ok();
 }
 

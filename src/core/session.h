@@ -12,8 +12,16 @@
 //   session.RemoveConstraint("C3");           // act on the explanation
 //   session.Repair();                         // iterate
 //
-// Edits invalidate the cached repair; explanation calls require a fresh
-// `Repair()`.
+// The session is an adapter over `trex::Engine`: `Repair()` builds one
+// engine whose reference repair backs both the diff screen and every
+// explanation, and successive explanation calls share the engine's memo
+// caches — explaining a second cell of the same repair reuses the
+// evaluations the first one paid for. Edits invalidate the engine;
+// explanation calls then require a fresh `Repair()`.
+//
+// Like the engine, a session serves one caller at a time: the
+// explanation methods are `const` but share the engine's memo state,
+// so they must not be called concurrently.
 
 #ifndef TREX_CORE_SESSION_H_
 #define TREX_CORE_SESSION_H_
@@ -23,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/explainer.h"
 #include "dc/constraint.h"
 #include "repair/algorithm.h"
@@ -35,8 +44,10 @@ namespace trex {
 class TRexSession {
  public:
   /// The algorithm is shared (not copied); it must outlive the session.
+  /// `engine_options` configures the underlying explanation engine
+  /// (e.g. sampling worker threads).
   TRexSession(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
-              dc::DcSet dcs, Table dirty);
+              dc::DcSet dcs, Table dirty, EngineOptions engine_options = {});
 
   const Table& dirty() const { return dirty_; }
   const dc::DcSet& dcs() const { return dcs_; }
@@ -47,13 +58,18 @@ class TRexSession {
   Status Repair();
 
   /// True once `Repair()` has run (and no edit invalidated it).
-  bool has_repair() const { return clean_.has_value(); }
+  bool has_repair() const { return engine_ != nullptr; }
 
   /// The repaired table; requires `has_repair()`.
   const Table& clean() const;
 
   /// The diff dirty -> clean; requires `has_repair()`.
   const std::vector<RepairedCell>& repaired_cells() const;
+
+  /// The engine serving this session's explanations; requires
+  /// `has_repair()`. Exposed for batched queries (`ExplainBatch`) and
+  /// cost accounting.
+  Engine& engine();
 
   /// Resolves "tk[Attr]"-style coordinates, e.g. `CellAt(4, "Country")`
   /// (row is 0-based).
@@ -77,6 +93,11 @@ class TRexSession {
       CellRef target, CellRef player_cell,
       const CellExplainerOptions& options = {}) const;
 
+  /// Serves a heterogeneous batch of explanation requests against the
+  /// session's repair, sharing one reference run and the memo caches.
+  Result<BatchResult> ExplainBatch(
+      const std::vector<ExplainRequest>& requests) const;
+
   // ---- Iteration: edits invalidate the cached repair. ----
 
   /// Overwrites a cell of the dirty table.
@@ -93,11 +114,13 @@ class TRexSession {
 
  private:
   Status RequireRepair() const;
+  void InvalidateRepair();
 
   std::shared_ptr<const repair::RepairAlgorithm> algorithm_;
   dc::DcSet dcs_;
   Table dirty_;
-  std::optional<Table> clean_;
+  EngineOptions engine_options_;
+  std::unique_ptr<Engine> engine_;
   std::vector<RepairedCell> repaired_cells_;
 };
 

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace trex::shap {
 
@@ -13,6 +14,27 @@ void RunningStat::Add(double x) {
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(count_);
   m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+}
+
+std::uint64_t ShardSeed(std::uint64_t seed, std::size_t shard) {
+  std::uint64_t state =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(shard) + 1);
+  return SplitMix64(&state);
 }
 
 double RunningStat::variance() const {
@@ -218,6 +240,60 @@ Result<TopKResult> EstimateTopKPlayers(const Game& game,
   return result;
 }
 
+std::vector<RunningStat> RunShardedSweeps(
+    const ShardedSweepConfig& config, std::size_t num_players,
+    const std::function<void(Rng* rng, std::vector<RunningStat>* stats)>&
+        sweep) {
+  TREX_CHECK_GT(config.shard_size, 0u);
+  // The sweep budget is partitioned into fixed shards; each shard owns a
+  // deterministically derived RNG stream and completed shards are folded
+  // into the merge in shard-index order, so the merged statistics depend
+  // only on (config, sweep), never on thread count or scheduling.
+  //
+  // Shards are processed in waves so only a wave's worth of per-shard
+  // stat vectors is ever resident; wave boundaries cannot change the
+  // result (the merge order is the global shard order regardless), they
+  // only bound memory — except under early stopping, where the wave
+  // size of 1 also fixes the reproducible stopping point.
+  const std::size_t num_shards =
+      (config.num_samples + config.shard_size - 1) / config.shard_size;
+  ThreadPool* pool = config.pool;
+  std::optional<ThreadPool> local_pool;
+  if (pool == nullptr) {
+    local_pool.emplace(std::max<std::size_t>(config.num_threads, 1));
+    pool = &*local_pool;
+  }
+  const std::size_t wave_size =
+      config.target_std_error.has_value() ? 1 : pool->num_threads() * 4;
+
+  std::vector<RunningStat> merged(num_players);
+  for (std::size_t start = 0; start < num_shards; start += wave_size) {
+    const std::size_t count = std::min(wave_size, num_shards - start);
+    std::vector<std::vector<RunningStat>> wave_stats(
+        count, std::vector<RunningStat>(num_players));
+    pool->Run(count, [&](std::size_t i) {
+      const std::size_t shard = start + i;
+      const std::size_t begin = shard * config.shard_size;
+      const std::size_t end =
+          std::min(begin + config.shard_size, config.num_samples);
+      Rng rng(ShardSeed(config.seed, shard));
+      for (std::size_t s = begin; s < end; ++s) {
+        sweep(&rng, &wave_stats[i]);
+      }
+    });
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t p = 0; p < num_players; ++p) {
+        merged[p].Merge(wave_stats[i][p]);
+      }
+    }
+    if (config.target_std_error.has_value() && num_players > 0 &&
+        Converged(merged, *config.target_std_error)) {
+      break;
+    }
+  }
+  return merged;
+}
+
 Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
     const Game& game, const SamplingOptions& options) {
   const std::size_t n = game.num_players();
@@ -225,34 +301,39 @@ Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
   if (options.num_samples == 0) {
     return Status::InvalidArgument("num_samples must be positive");
   }
-  Rng rng(options.seed);
-  std::vector<RunningStat> stats(n);
+  if (options.shard_size == 0) {
+    return Status::InvalidArgument("shard_size must be positive");
+  }
 
-  auto sweep = [&](const std::vector<std::size_t>& perm) {
-    Coalition coalition(n, false);
-    double prev = game.Value(coalition);
-    for (std::size_t pos = 0; pos < n; ++pos) {
-      coalition[perm[pos]] = true;
-      const double curr = game.Value(coalition);
-      stats[perm[pos]].Add(curr - prev);
-      prev = curr;
+  ShardedSweepConfig config;
+  config.num_samples = options.num_samples;
+  config.shard_size = options.shard_size;
+  config.num_threads = options.num_threads;
+  config.seed = options.seed;
+  config.target_std_error = options.target_std_error;
+  config.pool = options.pool;
+
+  auto one_sweep = [&](Rng* rng, std::vector<RunningStat>* stats) {
+    auto run_perm = [&](const std::vector<std::size_t>& perm) {
+      Coalition coalition(n, false);
+      double prev = game.Value(coalition);
+      for (std::size_t pos = 0; pos < n; ++pos) {
+        coalition[perm[pos]] = true;
+        const double curr = game.Value(coalition);
+        (*stats)[perm[pos]].Add(curr - prev);
+        prev = curr;
+      }
+    };
+    std::vector<std::size_t> perm = rng->Permutation(n);
+    run_perm(perm);
+    if (options.antithetic) {
+      std::reverse(perm.begin(), perm.end());
+      run_perm(perm);
     }
   };
 
-  for (std::size_t i = 0; i < options.num_samples; ++i) {
-    std::vector<std::size_t> perm = rng.Permutation(n);
-    sweep(perm);
-    if (options.antithetic) {
-      std::reverse(perm.begin(), perm.end());
-      sweep(perm);
-    }
-    if (options.target_std_error.has_value() &&
-        (i + 1) % options.check_interval == 0 &&
-        Converged(stats, *options.target_std_error)) {
-      break;
-    }
-  }
-
+  const std::vector<RunningStat> stats =
+      RunShardedSweeps(config, n, one_sweep);
   std::vector<Estimate> estimates;
   estimates.reserve(n);
   for (const RunningStat& s : stats) estimates.push_back(s.ToEstimate());

@@ -19,11 +19,13 @@
 #define TREX_CORE_SHAPLEY_SAMPLING_H_
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/game.h"
 
 namespace trex::shap {
@@ -41,10 +43,32 @@ struct SamplingOptions {
   /// per iteration.
   bool antithetic = false;
   /// Early stop once every requested player's standard error drops to
-  /// this level (checked every `check_interval` samples; at least 16
-  /// samples are always taken).
+  /// this level (at least 16 samples are always taken). The
+  /// single-player estimators check every `check_interval` samples;
+  /// `EstimateShapleyAllPlayers` checks at `shard_size` boundaries
+  /// instead (processing shards sequentially so the stopping point is
+  /// reproducible) and ignores `check_interval`.
   std::optional<double> target_std_error;
   std::size_t check_interval = 32;
+  /// Worker threads for the sweep estimator; 0 means "unset" (run
+  /// single-threaded here, but let an embedding engine substitute its
+  /// own thread count), while an explicit 1 forces a serial run even
+  /// under a multi-threaded engine. Sweeps are partitioned into fixed
+  /// shards of `shard_size` permutations, each drawing from a seed
+  /// derived deterministically from (seed, shard index) via `ShardSeed`,
+  /// and shard results are merged in index order — so the estimates are
+  /// bit-identical for every thread count (the game's characteristic
+  /// function must be thread-safe; `BlackBoxRepair` is). Ignored when
+  /// `target_std_error` is set: early stopping runs shards serially to
+  /// keep the stopping point reproducible.
+  std::size_t num_threads = 0;
+  /// Permutation sweeps per shard (the unit of parallel work and of the
+  /// early-stopping check).
+  std::size_t shard_size = 32;
+  /// Optional persistent worker pool (non-owning; must outlive the
+  /// call); the engine passes its own so repeated requests don't respawn
+  /// threads. Null = transient pool per call.
+  ThreadPool* pool = nullptr;
 };
 
 /// One player's Monte-Carlo estimate.
@@ -61,10 +85,14 @@ struct Estimate {
 };
 
 /// Welford running-moment accumulator (exposed for reuse by the cell
-/// estimator in explainer.cc and by tests).
+/// estimator in the engine and by tests).
 class RunningStat {
  public:
   void Add(double x);
+  /// Folds another accumulator's moments into this one (Chan et al.
+  /// pairwise combination) — used to merge per-shard statistics in
+  /// deterministic shard order.
+  void Merge(const RunningStat& other);
   std::size_t count() const { return count_; }
   double mean() const { return mean_; }
   /// Sample variance (n-1 denominator); 0 until two samples.
@@ -78,6 +106,44 @@ class RunningStat {
   double mean_ = 0.0;
   double m2_ = 0.0;
 };
+
+/// The per-shard RNG seed for sharded sweep sampling: a splitmix64 mix
+/// of the base seed and the shard index. Exposed so other sharded
+/// samplers (the engine's cell sweeps) stay bit-compatible across
+/// serial and parallel execution.
+std::uint64_t ShardSeed(std::uint64_t seed, std::size_t shard);
+
+/// Configuration for `RunShardedSweeps`.
+struct ShardedSweepConfig {
+  std::size_t num_samples = 0;
+  std::size_t shard_size = 32;
+  std::size_t num_threads = 1;
+  std::uint64_t seed = Rng::kDefaultSeed;
+  /// When set, shards run sequentially and the driver stops at the
+  /// first shard boundary where every player has >= 16 samples and a
+  /// standard error at or below this level. Note this disables sweep
+  /// parallelism: a thread-count-dependent stopping point would break
+  /// the reproducibility guarantee.
+  std::optional<double> target_std_error;
+  /// Optional persistent worker pool to reuse across calls (non-owning;
+  /// must outlive the call). When null, a transient pool of
+  /// `num_threads` is created per call.
+  ThreadPool* pool = nullptr;
+};
+
+/// The shared sharded permutation-sweep driver behind
+/// `EstimateShapleyAllPlayers` and the engine's cell sampler: partitions
+/// `num_samples` sweeps into fixed shards, runs each shard with an RNG
+/// seeded by `ShardSeed(seed, shard)`, and merges per-shard statistics
+/// in shard-index order — so the result depends only on (config,
+/// sweep), never on thread count. `sweep` executes ONE sweep: it draws
+/// from the shard's RNG and folds one marginal sample per player into
+/// the shard's statistics vector. `sweep` must be thread-safe when
+/// `num_threads > 1`.
+std::vector<RunningStat> RunShardedSweeps(
+    const ShardedSweepConfig& config, std::size_t num_players,
+    const std::function<void(Rng* rng, std::vector<RunningStat>* stats)>&
+        sweep);
 
 /// Estimates the Shapley value of `player` (see file comment).
 Result<Estimate> EstimateShapleyForPlayer(const Game& game,

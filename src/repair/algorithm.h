@@ -34,7 +34,11 @@ class RepairAlgorithm {
 
   /// Repairs `dirty` under the constraint set `dcs` and returns the clean
   /// table. Must not mutate inputs; must be deterministic; must accept
-  /// tables containing nulls (Shapley coalition complements).
+  /// tables containing nulls (Shapley coalition complements). Must also
+  /// be safe to call concurrently from multiple threads (stateless, or
+  /// internally synchronized): the engine's sharded samplers invoke it
+  /// in parallel when `EngineOptions::num_threads > 1`. All bundled
+  /// repairers are stateless.
   virtual Result<Table> Repair(const dc::DcSet& dcs,
                                const Table& dirty) const = 0;
 

@@ -1,0 +1,56 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace trex {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(100);
+  pool.Run(counts.size(), [&](std::size_t i) { ++counts[i]; });
+  for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> out(10, 0);  // no atomics needed: inline execution
+  pool.Run(out.size(), [&](std::size_t i) { out[i] = static_cast<int>(i); });
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i));
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRuns) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.Run(20, [&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoOp) {
+  ThreadPool pool(2);
+  pool.Run(0, [&](std::size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(ThreadPoolTest, MoreTasksThanThreads) {
+  ThreadPool pool(2);
+  std::atomic<long> sum{0};
+  pool.Run(1000, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositiveAndCapped) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+  EXPECT_LE(ThreadPool::DefaultThreads(4), 4u);
+}
+
+}  // namespace
+}  // namespace trex

@@ -1,0 +1,291 @@
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/soccer.h"
+#include "dc/parser.h"
+
+namespace trex {
+namespace {
+
+std::shared_ptr<repair::RuleRepair> Alg() {
+  static std::shared_ptr<repair::RuleRepair> alg = data::MakeAlgorithm1();
+  return alg;
+}
+
+/// The soccer table with one extra corruption (t3[City] misspelled), so
+/// the reference repair fixes three cells: t3[City], t5[City],
+/// t5[Country] — three distinct explanation targets for batch tests.
+Table ThreeTargetDirtyTable() {
+  Table dirty = data::SoccerDirtyTable();
+  dirty.Set(data::SoccerCell(3, "City"), Value("Madird"));
+  return dirty;
+}
+
+std::vector<CellRef> ThreeTargets() {
+  return {data::SoccerCell(3, "City"), data::SoccerCell(5, "City"),
+          data::SoccerTargetCell()};
+}
+
+ExplainRequest ConstraintRequest(CellRef target) {
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kConstraints;
+  return request;
+}
+
+ExplainRequest CellsRequest(CellRef target, std::size_t num_samples,
+                            std::uint64_t seed) {
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kCells;
+  request.cells.policy = AbsentCellPolicy::kNull;
+  request.cells.method = CellMethod::kSampling;
+  request.cells.num_samples = num_samples;
+  request.cells.seed = seed;
+  return request;
+}
+
+void ExpectSameExplanation(const Explanation& a, const Explanation& b) {
+  ASSERT_EQ(a.ranked.size(), b.ranked.size());
+  for (std::size_t i = 0; i < a.ranked.size(); ++i) {
+    EXPECT_EQ(a.ranked[i].label, b.ranked[i].label);
+    // Bit-identical, not approximately equal: sharded sampling derives
+    // every shard's RNG stream from (seed, shard index) alone.
+    EXPECT_EQ(a.ranked[i].shapley, b.ranked[i].shapley) << a.ranked[i].label;
+    EXPECT_EQ(a.ranked[i].std_error, b.ranked[i].std_error)
+        << a.ranked[i].label;
+    EXPECT_EQ(a.ranked[i].num_samples, b.ranked[i].num_samples);
+  }
+  EXPECT_EQ(a.method, b.method);
+}
+
+TEST(EngineTest, BatchOfThreeTargetsRunsOneReferenceRepair) {
+  Engine engine(Alg(), data::SoccerConstraints(), ThreeTargetDirtyTable());
+  std::vector<ExplainRequest> requests;
+  for (CellRef target : ThreeTargets()) {
+    requests.push_back(ConstraintRequest(target));
+  }
+  auto batch = engine.ExplainBatch(requests);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_EQ(batch->stats.reference_repairs, 1u);
+  EXPECT_EQ(batch->stats.requests, 3u);
+  EXPECT_EQ(batch->stats.failed_requests, 0u);
+  for (const auto& result : batch->results) {
+    ASSERT_TRUE(result.ok()) << result.status();
+    ASSERT_TRUE(result->explanation.has_value());
+    EXPECT_FALSE(result->explanation->ranked.empty());
+  }
+  // A second batch on the same engine must not repeat the reference run.
+  auto again = engine.ExplainBatch(requests);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->stats.reference_repairs, 0u);
+}
+
+TEST(EngineTest, ConstraintBatchSharesTheSubsetSweepAcrossTargets) {
+  Engine engine(Alg(), data::SoccerConstraints(), ThreeTargetDirtyTable());
+  std::vector<ExplainRequest> requests;
+  for (CellRef target : ThreeTargets()) {
+    requests.push_back(ConstraintRequest(target));
+  }
+  auto batch = engine.ExplainBatch(requests);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  // 4 constraints -> 16 subset repairs + 1 reference, paid once by the
+  // first request; the other two requests answer every subset from the
+  // shared cache.
+  EXPECT_EQ(batch->stats.algorithm_calls, 17u);
+  const auto& first = batch->results[0];
+  const auto& second = batch->results[1];
+  const auto& third = batch->results[2];
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(third.ok());
+  // The reference run is charged to the batch, not to any one request.
+  EXPECT_EQ(first->algorithm_calls, 16u);
+  EXPECT_EQ(second->algorithm_calls, 0u);
+  EXPECT_EQ(third->algorithm_calls, 0u);
+  EXPECT_EQ(second->cross_request_hits, 16u);
+  EXPECT_EQ(third->cross_request_hits, 16u);
+  EXPECT_EQ(batch->stats.cross_request_hits, 32u);
+  // The naive serial loop (fresh engine per target) would have paid
+  // 3 * 17 calls; the batch pays 17.
+}
+
+TEST(EngineTest, BatchMatchesSerialExplainBitIdentically) {
+  std::vector<ExplainRequest> requests;
+  const std::vector<CellRef> targets = ThreeTargets();
+  requests.push_back(CellsRequest(targets[0], 96, 11));
+  requests.push_back(CellsRequest(targets[1], 96, 22));
+  requests.push_back(CellsRequest(targets[2], 96, 33));
+
+  Engine batch_engine(Alg(), data::SoccerConstraints(),
+                      ThreeTargetDirtyTable());
+  auto batch = batch_engine.ExplainBatch(requests);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+
+  Engine serial_engine(Alg(), data::SoccerConstraints(),
+                       ThreeTargetDirtyTable());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    auto serial = serial_engine.Explain(requests[i]);
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    ASSERT_TRUE(batch->results[i].ok());
+    ExpectSameExplanation(*batch->results[i]->explanation,
+                          *serial->explanation);
+  }
+}
+
+TEST(EngineTest, ThreadCountDoesNotChangeSampledValues) {
+  const std::vector<CellRef> targets = ThreeTargets();
+  std::vector<Explanation> per_thread_count;
+  for (std::size_t num_threads : {std::size_t{1}, std::size_t{4}}) {
+    EngineOptions options;
+    options.num_threads = num_threads;
+    Engine engine(Alg(), data::SoccerConstraints(), ThreeTargetDirtyTable(),
+                  options);
+    auto result = engine.Explain(CellsRequest(targets[2], 128, 77));
+    ASSERT_TRUE(result.ok()) << result.status();
+    per_thread_count.push_back(std::move(*result->explanation));
+  }
+  ExpectSameExplanation(per_thread_count[0], per_thread_count[1]);
+}
+
+TEST(EngineTest, ThreadedConstraintSamplingMatchesSerial) {
+  ExplainRequest request = ConstraintRequest(data::SoccerTargetCell());
+  request.constraints.force_sampling = true;
+  request.constraints.sampling.num_samples = 256;
+  request.constraints.sampling.seed = 5;
+  std::vector<Explanation> runs;
+  for (std::size_t num_threads : {std::size_t{1}, std::size_t{3}}) {
+    EngineOptions options;
+    options.num_threads = num_threads;
+    Engine engine(Alg(), data::SoccerConstraints(), data::SoccerDirtyTable(),
+                  options);
+    auto result = engine.Explain(request);
+    ASSERT_TRUE(result.ok()) << result.status();
+    runs.push_back(std::move(*result->explanation));
+  }
+  ExpectSameExplanation(runs[0], runs[1]);
+}
+
+TEST(EngineTest, SequentialExplainCallsShareTheEngineCache) {
+  Engine engine(Alg(), data::SoccerConstraints(), data::SoccerDirtyTable());
+  auto first = engine.Explain(ConstraintRequest(data::SoccerTargetCell()));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->algorithm_calls, 17u);
+  auto second =
+      engine.Explain(ConstraintRequest(data::SoccerCell(5, "City")));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->algorithm_calls, 0u);
+  EXPECT_EQ(second->cross_request_hits, 16u);
+  EXPECT_EQ(engine.num_algorithm_calls(), 17u);
+}
+
+TEST(EngineTest, PerRequestFailuresStayInTheirSlot) {
+  Engine engine(Alg(), data::SoccerConstraints(), data::SoccerDirtyTable());
+  std::vector<ExplainRequest> requests;
+  requests.push_back(ConstraintRequest(data::SoccerTargetCell()));
+  requests.push_back(ConstraintRequest(data::SoccerCell(1, "Team")));  // unrepaired
+  auto batch = engine.ExplainBatch(requests);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->stats.failed_requests, 1u);
+  EXPECT_TRUE(batch->results[0].ok());
+  EXPECT_FALSE(batch->results[1].ok());
+  EXPECT_EQ(batch->results[1].status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, HeterogeneousKindsInOneBatch) {
+  Engine engine(Alg(), data::SoccerConstraints(), data::SoccerDirtyTable());
+  ExplainRequest interactions = ConstraintRequest(data::SoccerTargetCell());
+  interactions.kind = ExplainKind::kInteractions;
+  ExplainRequest removal = ConstraintRequest(data::SoccerTargetCell());
+  removal.kind = ExplainKind::kRemovalSets;
+  ExplainRequest single;
+  single.target = data::SoccerTargetCell();
+  single.kind = ExplainKind::kSingleCell;
+  single.cells.policy = AbsentCellPolicy::kNull;
+  single.cells.num_samples = 50;
+  single.single_cell = data::SoccerCell(5, "League");
+
+  auto batch = engine.ExplainBatch({interactions, removal, single});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->stats.failed_requests, 0u);
+  EXPECT_FALSE(batch->results[0]->interactions.empty());
+  // Removal sets for the running example: {C1,C3} and {C2,C3}.
+  ASSERT_EQ(batch->results[1]->removal_sets.size(), 2u);
+  ASSERT_TRUE(batch->results[2]->single_cell.has_value());
+  // The constraint-mask evaluations behind interactions and removal
+  // sets overlap, so the batch must record amortized work.
+  EXPECT_GT(batch->stats.cross_request_hits, 0u);
+}
+
+TEST(EngineTest, ReferenceCleanExposedAfterEnsureRepair) {
+  Engine engine(Alg(), data::SoccerConstraints(), data::SoccerDirtyTable());
+  EXPECT_FALSE(engine.has_repair());
+  ASSERT_TRUE(engine.EnsureRepair().ok());
+  ASSERT_TRUE(engine.has_repair());
+  EXPECT_EQ(engine.reference_clean(), data::SoccerCleanTable());
+  EXPECT_EQ(engine.num_algorithm_calls(), 1u);
+}
+
+TEST(EngineTest, TooManyConstraintsForMaskRejected) {
+  // 65 constraints exceed the uint64_t subset-mask width; the engine
+  // must reject the request instead of silently truncating.
+  const Schema schema = data::SoccerSchema();
+  std::string text;
+  for (int i = 1; i <= 65; ++i) {
+    text += "X" + std::to_string(i) +
+            ": !(t1.Team == t2.Team & t1.City != t2.City)\n";
+  }
+  auto dcs = dc::ParseDcSet(text, schema);
+  ASSERT_TRUE(dcs.ok()) << dcs.status();
+  ASSERT_EQ(dcs->size(), 65u);
+  Engine engine(Alg(), *dcs, data::SoccerDirtyTable());
+  auto result = engine.Explain(ConstraintRequest(data::SoccerTargetCell()));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  ExplainRequest removal = ConstraintRequest(data::SoccerTargetCell());
+  removal.kind = ExplainKind::kRemovalSets;
+  EXPECT_FALSE(engine.Explain(removal).ok());
+}
+
+TEST(EngineTest, SingleCellRequestWithoutPlayerCellRejected) {
+  Engine engine(Alg(), data::SoccerConstraints(), data::SoccerDirtyTable());
+  ExplainRequest request;
+  request.target = data::SoccerTargetCell();
+  request.kind = ExplainKind::kSingleCell;  // single_cell left unset
+  auto result = engine.Explain(request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, ExplanationReportsPerRequestCostOnWarmEngine) {
+  Engine engine(Alg(), data::SoccerConstraints(), data::SoccerDirtyTable());
+  auto first = engine.Explain(ConstraintRequest(data::SoccerTargetCell()));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->explanation->algorithm_calls, 17u);
+  auto second =
+      engine.Explain(ConstraintRequest(data::SoccerCell(5, "City")));
+  ASSERT_TRUE(second.ok());
+  // The warm engine served everything from cache: the embedded
+  // Explanation reports this request's cost, not lifetime totals.
+  EXPECT_EQ(second->explanation->algorithm_calls, 0u);
+  EXPECT_EQ(second->explanation->cache_hits, 16u);
+}
+
+TEST(EngineTest, ExplainKindNames) {
+  EXPECT_STREQ(ExplainKindToString(ExplainKind::kConstraints),
+               "constraints");
+  EXPECT_STREQ(ExplainKindToString(ExplainKind::kCells), "cells");
+  EXPECT_STREQ(ExplainKindToString(ExplainKind::kInteractions),
+               "interactions");
+  EXPECT_STREQ(ExplainKindToString(ExplainKind::kRemovalSets),
+               "removal-sets");
+  EXPECT_STREQ(ExplainKindToString(ExplainKind::kSingleCell),
+               "single-cell");
+}
+
+}  // namespace
+}  // namespace trex

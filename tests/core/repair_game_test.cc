@@ -191,6 +191,92 @@ TEST(CellGameTest, PairWithoutTargetLeagueDoesNotRepair) {
   EXPECT_DOUBLE_EQ(game.Value(coalition), 0.0);
 }
 
+TEST(BlackBoxRepairTest, MultiTargetSharesOneReferenceRun) {
+  auto box = BlackBoxRepair::MakeMultiTarget(
+      Algorithm1Singleton().get(), data::SoccerConstraints(),
+      data::SoccerDirtyTable(),
+      {data::SoccerTargetCell(), data::SoccerCell(5, "City"),
+       data::SoccerCell(1, "Team")});
+  ASSERT_TRUE(box.ok()) << box.status();
+  EXPECT_EQ(box->num_algorithm_calls(), 1u);  // one reference run
+  EXPECT_EQ(box->num_targets(), 3u);
+  EXPECT_TRUE(box->target_was_repaired(0));   // t5[Country]
+  EXPECT_TRUE(box->target_was_repaired(1));   // t5[City]
+  EXPECT_FALSE(box->target_was_repaired(2));  // t1[Team] untouched
+}
+
+TEST(BlackBoxRepairTest, OneCachedEvalAnswersEveryTarget) {
+  auto box = BlackBoxRepair::MakeMultiTarget(
+      Algorithm1Singleton().get(), data::SoccerConstraints(),
+      data::SoccerDirtyTable(),
+      {data::SoccerTargetCell(), data::SoccerCell(5, "City")});
+  ASSERT_TRUE(box.ok());
+  const std::size_t base = box->num_algorithm_calls();
+  // C3 alone repairs t5[Country] but never touches t5[City].
+  EXPECT_TRUE(box->EvalConstraintSubset(0b0100, 0));
+  EXPECT_FALSE(box->EvalConstraintSubset(0b0100, 1));
+  // The second target's answer came from the cached repaired table.
+  EXPECT_EQ(box->num_algorithm_calls(), base + 1);
+  EXPECT_EQ(box->num_cache_hits(), 1u);
+  // C1+C2 repair the city (and through it the country).
+  EXPECT_TRUE(box->EvalConstraintSubset(0b0011, 0));
+  EXPECT_TRUE(box->EvalConstraintSubset(0b0011, 1));
+  EXPECT_EQ(box->num_algorithm_calls(), base + 2);
+}
+
+TEST(BlackBoxRepairTest, AddTargetRegistersAgainstCachedReference) {
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  auto index = box->AddTarget(data::SoccerCell(5, "City"));
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ(*index, 1u);
+  EXPECT_EQ(box->num_algorithm_calls(), 1u);  // still just the reference
+  EXPECT_TRUE(box->target_was_repaired(1));
+  // Re-adding is idempotent; out-of-table cells are rejected.
+  auto again = box->AddTarget(data::SoccerCell(5, "City"));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 1u);
+  EXPECT_FALSE(box->AddTarget(CellRef{99, 0}).ok());
+  EXPECT_EQ(box->FindTarget(data::SoccerTargetCell()), std::size_t{0});
+  EXPECT_FALSE(box->FindTarget(CellRef{0, 0}).has_value());
+}
+
+TEST(BlackBoxRepairTest, CrossRequestHitAccounting) {
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  box->BeginRequest(1);
+  box->EvalConstraintSubset(0b0011);
+  box->EvalConstraintSubset(0b0011);  // same-request hit
+  EXPECT_EQ(box->num_cache_hits(), 1u);
+  EXPECT_EQ(box->num_cross_request_hits(), 0u);
+  box->BeginRequest(2);
+  box->EvalConstraintSubset(0b0011);  // hit on request 1's entry
+  EXPECT_EQ(box->num_cache_hits(), 2u);
+  EXPECT_EQ(box->num_cross_request_hits(), 1u);
+}
+
+TEST(BlackBoxRepairTest, TableCacheVerifiesFullContentNotJustFingerprint) {
+  // Two perturbations with different content must never share a cache
+  // entry. (A fingerprint collision between arbitrary tables cannot be
+  // staged here, but the outcome difference proves the full-content
+  // check is in the lookup path: both tables would collide into one
+  // entry under a value-blind key.)
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  Table a = data::SoccerDirtyTable();
+  a.Set(data::SoccerCell(5, "League"), Value::Null());
+  Table b = data::SoccerDirtyTable();
+  b.Set(data::SoccerCell(5, "Country"), Value::Null());
+  const std::size_t base = box->num_algorithm_calls();
+  box->EvalTable(a);
+  box->EvalTable(b);
+  EXPECT_EQ(box->num_algorithm_calls(), base + 2);  // two distinct entries
+  box->EvalTable(a);
+  box->EvalTable(b);
+  EXPECT_EQ(box->num_algorithm_calls(), base + 2);  // both verified hits
+  EXPECT_EQ(box->num_cache_hits(), 2u);
+}
+
 TEST(CellGameTest, PrunedPlayerListKeepsBackgroundCells) {
   // With players restricted to two cells, all other cells keep their
   // original values: including both players repairs the target because
