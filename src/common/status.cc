@@ -25,6 +25,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IO error";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

@@ -28,6 +28,9 @@ enum class StatusCode : std::uint8_t {
   kParseError,
   kIOError,
   kInternal,
+  /// The operation was cooperatively cancelled (caller-requested or
+  /// deadline-expired) before it produced a result.
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a status code (e.g. "Invalid
@@ -75,9 +78,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// True iff this status reports cooperative cancellation.
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// The status category.
   StatusCode code() const { return code_; }

@@ -60,6 +60,7 @@ Result<std::vector<std::vector<std::size_t>>> MinimalRemovalSets(
   const std::size_t max_size = std::min(options.max_set_size, n);
   for (std::size_t size = 1; size <= max_size; ++size) {
     ForEachSubset(n, size, [&](const std::vector<std::size_t>& removal) {
+      if (options.cancel.cancelled()) return;
       // Minimality: skip supersets of already-found sets.
       for (const auto& found : minimal) {
         if (IsSubset(found, removal)) return;
@@ -70,6 +71,9 @@ Result<std::vector<std::vector<std::size_t>>> MinimalRemovalSets(
         minimal.push_back(removal);
       }
     });
+    if (options.cancel.cancelled()) {
+      return Status::Cancelled("removal-set search cancelled");
+    }
   }
   return minimal;
 }

@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "core/game.h"
+#include "serving/cancel.h"
 
 namespace trex::shap {
 
@@ -25,6 +26,9 @@ struct CounterfactualOptions {
   std::size_t max_set_size = 3;
   /// Player cap (each candidate costs one characteristic evaluation).
   std::size_t max_players = 20;
+  /// Polled per candidate set; cancelled searches return
+  /// `Status::Cancelled`.
+  CancelToken cancel;
 };
 
 /// Enumerates inclusion-minimal player sets R with v(N \ R) = 0, in

@@ -60,11 +60,18 @@ const char* ExplainKindToString(ExplainKind kind) {
 
 Engine::Engine(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
                dc::DcSet dcs, Table dirty, EngineOptions options)
+    : Engine(std::move(algorithm), std::move(dcs),
+             std::make_shared<const Table>(std::move(dirty)), options) {}
+
+Engine::Engine(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+               dc::DcSet dcs, std::shared_ptr<const Table> dirty,
+               EngineOptions options)
     : algorithm_(std::move(algorithm)),
       dcs_(std::move(dcs)),
       dirty_(std::move(dirty)),
       options_(options) {
   TREX_CHECK(algorithm_ != nullptr);
+  TREX_CHECK(dirty_ != nullptr);
 }
 
 Engine Engine::Wrap(const repair::RepairAlgorithm& algorithm, dc::DcSet dcs,
@@ -77,9 +84,12 @@ Engine Engine::Wrap(const repair::RepairAlgorithm& algorithm, dc::DcSet dcs,
 
 Status Engine::EnsureRepair() {
   if (box_.has_value()) return Status::Ok();
+  // The box *shares* the engine's dirty table (one resident copy, not
+  // three across session/engine/box).
   TREX_ASSIGN_OR_RETURN(
       BlackBoxRepair box,
       BlackBoxRepair::MakeMultiTarget(algorithm_.get(), dcs_, dirty_, {}));
+  box.set_max_memo_entries(options_.max_memo_entries);
   box_ = std::move(box);
   return Status::Ok();
 }
@@ -101,6 +111,10 @@ std::size_t Engine::num_cross_request_hits() const {
   return box_.has_value() ? box_->num_cross_request_hits() : 0;
 }
 
+std::size_t Engine::num_cache_evictions() const {
+  return box_.has_value() ? box_->num_memo_evictions() : 0;
+}
+
 Result<std::size_t> Engine::EnsureTarget(CellRef target) {
   return box_->AddTarget(target);
 }
@@ -117,9 +131,9 @@ Status Engine::RequireRepairedTarget(std::size_t target_index) const {
   if (!box_->target_was_repaired(target_index)) {
     const CellRef target = box_->target(target_index);
     return Status::InvalidArgument(
-        "cell " + target.ToString(dirty_.schema()) +
+        "cell " + target.ToString(dirty_->schema()) +
         " was not repaired by the algorithm (value '" +
-        dirty_.at(target).ToString() +
+        dirty_->at(target).ToString() +
         "' is unchanged); pick a repaired cell");
   }
   return Status::Ok();
@@ -156,8 +170,8 @@ Status Engine::ValidateRequest(const ExplainRequest& request) const {
         return Status::InvalidArgument(
             "kSingleCell requests must set ExplainRequest::single_cell");
       }
-      if (request.single_cell->row >= dirty_.num_rows() ||
-          request.single_cell->col >= dirty_.num_columns()) {
+      if (request.single_cell->row >= dirty_->num_rows() ||
+          request.single_cell->col >= dirty_->num_columns()) {
         return Status::OutOfRange("player cell " +
                                   request.single_cell->ToString() +
                                   " outside the table");
@@ -166,8 +180,8 @@ Status Engine::ValidateRequest(const ExplainRequest& request) const {
     case ExplainKind::kCells:
       break;
   }
-  if (request.target.row >= dirty_.num_rows() ||
-      request.target.col >= dirty_.num_columns()) {
+  if (request.target.row >= dirty_->num_rows() ||
+      request.target.col >= dirty_->num_columns()) {
     return Status::OutOfRange("target cell " + request.target.ToString() +
                               " outside the table");
   }
@@ -176,6 +190,9 @@ Status Engine::ValidateRequest(const ExplainRequest& request) const {
 
 Result<ExplainResult> Engine::Explain(const ExplainRequest& request) {
   TREX_RETURN_NOT_OK(ValidateRequest(request));
+  if (request.cancel.cancelled()) {
+    return Status::Cancelled("request cancelled before execution");
+  }
   const std::size_t calls_before = num_algorithm_calls();
   const std::size_t hits_before = num_cache_hits();
   const std::size_t cross_before = num_cross_request_hits();
@@ -190,34 +207,37 @@ Result<ExplainResult> Engine::Explain(const ExplainRequest& request) {
   switch (request.kind) {
     case ExplainKind::kConstraints: {
       TREX_ASSIGN_OR_RETURN(
-          Explanation ex, ExplainConstraints(target_index, request.constraints));
+          Explanation ex, ExplainConstraints(target_index, request.constraints,
+                                             request.cancel));
       result.explanation = std::move(ex);
       break;
     }
     case ExplainKind::kCells: {
-      TREX_ASSIGN_OR_RETURN(Explanation ex,
-                            ExplainCells(target_index, request.cells));
+      TREX_ASSIGN_OR_RETURN(
+          Explanation ex,
+          ExplainCells(target_index, request.cells, request.cancel));
       result.explanation = std::move(ex);
       break;
     }
     case ExplainKind::kInteractions: {
       TREX_ASSIGN_OR_RETURN(
           result.interactions,
-          ExplainInteractions(target_index, request.constraints));
+          ExplainInteractions(target_index, request.constraints,
+                              request.cancel));
       break;
     }
     case ExplainKind::kRemovalSets: {
       TREX_ASSIGN_OR_RETURN(
           result.removal_sets,
           ExplainRemovalSets(target_index, request.constraints,
-                             request.max_removal_set_size));
+                             request.max_removal_set_size, request.cancel));
       break;
     }
     case ExplainKind::kSingleCell: {
       TREX_ASSIGN_OR_RETURN(
           PlayerScore score,
           ExplainSingleCell(target_index, *request.single_cell,
-                            request.cells));
+                            request.cells, request.cancel));
       result.single_cell = std::move(score);
       break;
     }
@@ -242,6 +262,7 @@ Result<BatchResult> Engine::ExplainBatch(
   const std::size_t calls_before = num_algorithm_calls();
   const std::size_t hits_before = num_cache_hits();
   const std::size_t cross_before = num_cross_request_hits();
+  const std::size_t evictions_before = num_cache_evictions();
   // One reference repair for the whole batch, however many targets.
   TREX_RETURN_NOT_OK(EnsureRepair());
   batch.stats.reference_repairs = had_repair ? 0 : 1;
@@ -256,6 +277,7 @@ Result<BatchResult> Engine::ExplainBatch(
   batch.stats.algorithm_calls = num_algorithm_calls() - calls_before;
   batch.stats.cache_hits = num_cache_hits() - hits_before;
   batch.stats.cross_request_hits = num_cross_request_hits() - cross_before;
+  batch.stats.cache_evictions = num_cache_evictions() - evictions_before;
   return batch;
 }
 
@@ -263,7 +285,8 @@ Result<BatchResult> Engine::ExplainBatch(
 // request; they only enforce conditions that need the reference repair.
 
 Result<Explanation> Engine::ExplainConstraints(
-    std::size_t target_index, const ConstraintExplainerOptions& options) {
+    std::size_t target_index, const ConstraintExplainerOptions& options,
+    const CancelToken& cancel) {
   TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
 
   ConstraintGame game(&*box_, target_index);
@@ -279,7 +302,9 @@ Result<Explanation> Engine::ExplainConstraints(
   std::vector<PlayerScore> scores;
   scores.reserve(dcs_.size());
   if (exact) {
-    const shap::ExactShapleyOptions exact_options{options.max_exact_players};
+    shap::ExactShapleyOptions exact_options;
+    exact_options.max_players = options.max_exact_players;
+    exact_options.cancel = cancel;
     TREX_ASSIGN_OR_RETURN(
         std::vector<double> values,
         options.use_banzhaf
@@ -295,6 +320,7 @@ Result<Explanation> Engine::ExplainConstraints(
     ex.method = options.use_banzhaf ? "exact(banzhaf)" : "exact";
   } else {
     shap::SamplingOptions sampling = options.sampling;
+    sampling.cancel = CancelToken::AnyOf(sampling.cancel, cancel);
     // 0 = unset: inherit the engine's thread count (and its persistent
     // pool). An explicit value is respected as a per-request override
     // and runs on its own transient pool.
@@ -321,12 +347,14 @@ Result<Explanation> Engine::ExplainConstraints(
 }
 
 Result<std::vector<InteractionScore>> Engine::ExplainInteractions(
-    std::size_t target_index, const ConstraintExplainerOptions& options) {
+    std::size_t target_index, const ConstraintExplainerOptions& options,
+    const CancelToken& cancel) {
   TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
 
   ConstraintGame game(&*box_, target_index);
   shap::InteractionOptions interaction_options;
   interaction_options.max_players = options.max_exact_players;
+  interaction_options.cancel = cancel;
   TREX_ASSIGN_OR_RETURN(
       std::vector<shap::Interaction> raw,
       shap::ComputeShapleyInteractions(game, interaction_options));
@@ -347,13 +375,14 @@ Result<std::vector<InteractionScore>> Engine::ExplainInteractions(
 
 Result<std::vector<std::vector<std::string>>> Engine::ExplainRemovalSets(
     std::size_t target_index, const ConstraintExplainerOptions& options,
-    std::size_t max_set_size) {
+    std::size_t max_set_size, const CancelToken& cancel) {
   TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
 
   ConstraintGame game(&*box_, target_index);
   shap::CounterfactualOptions counterfactual_options;
   counterfactual_options.max_set_size = max_set_size;
   counterfactual_options.max_players = options.max_exact_players;
+  counterfactual_options.cancel = cancel;
   TREX_ASSIGN_OR_RETURN(auto removal_sets,
                         shap::MinimalRemovalSets(game, counterfactual_options));
   std::vector<std::vector<std::string>> named;
@@ -369,17 +398,18 @@ Result<std::vector<std::vector<std::string>>> Engine::ExplainRemovalSets(
 
 Result<std::vector<CellRef>> Engine::PlayerCells(
     const CellExplainerOptions& options, CellRef target) const {
-  if (!options.prune) return dirty_.AllCells();
+  if (!options.prune) return dirty_->AllCells();
   std::optional<dc::AttributeGraph> graph =
-      algorithm_->InfluenceGraph(dcs_, dirty_.schema());
+      algorithm_->InfluenceGraph(dcs_, dirty_->schema());
   if (!graph.has_value()) {
-    graph = dc::AttributeGraph::FromDcSet(dcs_, dirty_.num_columns());
+    graph = dc::AttributeGraph::FromDcSet(dcs_, dirty_->num_columns());
   }
-  return dc::RelevantCells(dirty_, *graph, target);
+  return dc::RelevantCells(*dirty_, *graph, target);
 }
 
 Result<Explanation> Engine::ExplainCells(std::size_t target_index,
-                                         const CellExplainerOptions& options) {
+                                         const CellExplainerOptions& options,
+                                         const CancelToken& cancel) {
   TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
   const CellRef target = box_->target(target_index);
   TREX_ASSIGN_OR_RETURN(std::vector<CellRef> players,
@@ -407,14 +437,15 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
           "column-sample policy defines a stochastic game)");
     }
     CellGame game(&*box_, players, target_index);
-    TREX_ASSIGN_OR_RETURN(
-        std::vector<double> values,
-        shap::ComputeExactShapley(
-            game, shap::ExactShapleyOptions{options.max_exact_players}));
+    shap::ExactShapleyOptions exact_options;
+    exact_options.max_players = options.max_exact_players;
+    exact_options.cancel = cancel;
+    TREX_ASSIGN_OR_RETURN(std::vector<double> values,
+                          shap::ComputeExactShapley(game, exact_options));
     for (std::size_t i = 0; i < players.size(); ++i) {
       PlayerScore score;
       score.cell = players[i];
-      score.label = players[i].ToString(dirty_.schema());
+      score.label = players[i].ToString(dirty_->schema());
       score.shapley = values[i];
       scores.push_back(std::move(score));
     }
@@ -463,14 +494,18 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
     config.seed = options.seed;
     config.target_std_error = options.target_std_error;
     config.pool = SweepPool();
+    config.cancel = cancel;
     const std::vector<shap::RunningStat> running =
         shap::RunShardedSweeps(config, players.size(), one_sweep);
+    if (cancel.cancelled()) {
+      return Status::Cancelled("cell explanation cancelled mid-sweep");
+    }
 
     for (std::size_t i = 0; i < players.size(); ++i) {
       const shap::Estimate estimate = running[i].ToEstimate();
       PlayerScore score;
       score.cell = players[i];
-      score.label = players[i].ToString(dirty_.schema());
+      score.label = players[i].ToString(dirty_->schema());
       score.shapley = estimate.value;
       score.std_error = estimate.std_error;
       score.num_samples = estimate.num_samples;
@@ -479,7 +514,7 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
     ex.method = StrFormat(
         "sampling(m=%zu, policy=%s, players=%zu/%zu)",
         options.num_samples, AbsentCellPolicyToString(options.policy),
-        players.size(), dirty_.num_cells());
+        players.size(), dirty_->num_cells());
   }
 
   ex.ranked = std::move(scores);
@@ -488,13 +523,14 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
 }
 
 Result<Explanation> Engine::ExplainTopKCells(
-    CellRef target, std::size_t k, const CellExplainerOptions& options) {
+    CellRef target, std::size_t k, const CellExplainerOptions& options,
+    CancelToken cancel) {
   if (options.policy != AbsentCellPolicy::kNull) {
     return Status::InvalidArgument(
         "ExplainTopK requires AbsentCellPolicy::kNull (the adaptive "
         "driver runs on the deterministic cell game)");
   }
-  if (target.row >= dirty_.num_rows() || target.col >= dirty_.num_columns()) {
+  if (target.row >= dirty_->num_rows() || target.col >= dirty_->num_columns()) {
     return Status::OutOfRange("target cell " + target.ToString() +
                               " outside the table");
   }
@@ -515,6 +551,7 @@ Result<Explanation> Engine::ExplainTopKCells(
   topk.k = k;
   topk.max_samples = options.num_samples;
   topk.seed = options.seed;
+  topk.cancel = std::move(cancel);
   TREX_ASSIGN_OR_RETURN(shap::TopKResult result,
                         shap::EstimateTopKPlayers(game, topk));
 
@@ -524,7 +561,7 @@ Result<Explanation> Engine::ExplainTopKCells(
     const shap::Estimate& estimate = result.estimates[player];
     PlayerScore score;
     score.cell = players[player];
-    score.label = players[player].ToString(dirty_.schema());
+    score.label = players[player].ToString(dirty_->schema());
     score.shapley = estimate.value;
     score.std_error = estimate.std_error;
     score.num_samples = estimate.num_samples;
@@ -539,7 +576,7 @@ Result<Explanation> Engine::ExplainTopKCells(
 
 Result<PlayerScore> Engine::ExplainSingleCell(
     std::size_t target_index, CellRef player_cell,
-    const CellExplainerOptions& options) {
+    const CellExplainerOptions& options, const CancelToken& cancel) {
   TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
   const CellRef target = box_->target(target_index);
 
@@ -571,6 +608,9 @@ Result<PlayerScore> Engine::ExplainSingleCell(
   // one with the cell replaced — and accumulate the outcome difference.
   shap::RunningStat stat;
   for (std::size_t sample = 0; sample < options.num_samples; ++sample) {
+    if (cancel.cancelled()) {
+      return Status::Cancelled("single-cell estimation cancelled");
+    }
     const std::vector<std::size_t> perm = rng.Permutation(players.size());
     Table with = box_->dirty();
     bool before_player = true;
@@ -595,7 +635,7 @@ Result<PlayerScore> Engine::ExplainSingleCell(
   const shap::Estimate estimate = stat.ToEstimate();
   PlayerScore score;
   score.cell = player_cell;
-  score.label = player_cell.ToString(dirty_.schema());
+  score.label = player_cell.ToString(dirty_->schema());
   score.shapley = estimate.value;
   score.std_error = estimate.std_error;
   score.num_samples = estimate.num_samples;

@@ -1,39 +1,60 @@
-// `trex::Engine`: the unified explanation service for one repair
-// instance (Alg, C, T^d).
+// `trex::Engine`: the single-instance COMPUTE layer of the explanation
+// stack — one engine owns one repair instance (Alg, C, T^d).
 //
-// The seed API forced every query through its own `BlackBoxRepair`, so
-// explaining N cells of one dirty table re-ran the reference repair N
-// times and shared no memo state. The engine inverts that: it owns one
-// shared `BlackBoxRepair` — the reference repair runs exactly once per
-// (algorithm, DcSet, Table) — and serves every explanation kind through
-// a single request/response surface:
+// The stack splits into two layers with distinct jobs and contracts:
 //
-//   Engine engine(algorithm, dcs, dirty);
-//   ExplainRequest req;
-//   req.target = cell;
-//   req.kind = ExplainKind::kConstraints;
-//   auto result = engine.Explain(req);                 // one query
-//   auto batch  = engine.ExplainBatch({r1, r2, r3});   // amortized
+//   * `Engine` (this file) is the synchronous compute unit. It owns one
+//     shared `BlackBoxRepair` — the reference repair runs exactly once
+//     per (algorithm, DcSet, Table) — and serves every explanation kind
+//     through one request/response surface:
 //
-// All targets in a batch (and across sequential `Explain` calls on the
-// same engine) share the memo caches: a constraint-subset repair
-// computed for one target answers the characteristic function for every
-// other target, so a batch of constraint explanations over k targets
-// costs one sweep of the 2^|C| subsets instead of k sweeps.
+//       Engine engine(algorithm, dcs, dirty);
+//       ExplainRequest req;
+//       req.target = cell;
+//       req.kind = ExplainKind::kConstraints;
+//       auto result = engine.Explain(req);                 // one query
+//       auto batch  = engine.ExplainBatch({r1, r2, r3});   // amortized
+//
+//   * `serving::ExplainService` (src/serving/service.h) is the ASYNC
+//     front-end a deployment talks to: it accepts requests for *many*
+//     tables, queues them by priority, runs them on worker threads, and
+//     returns futures/tickets with cooperative cancellation. Underneath,
+//     a `serving::EngineRouter` keys a bounded LRU pool of engines by
+//     (algorithm id, DcSet fingerprint, table fingerprint), so each
+//     engine keeps the amortization story below while the service scales
+//     across tables. `TRexSession` adapts the service back into the
+//     paper's interactive single-table loop.
+//
+// Amortization: all targets in a batch (and across sequential `Explain`
+// calls on the same engine) share the memo caches — a constraint-subset
+// repair computed for one target answers the characteristic function
+// for every other target, so a batch of constraint explanations over k
+// targets costs one sweep of the 2^|C| subsets instead of k sweeps.
 // `BatchStats::cross_request_hits` reports exactly how much work was
-// amortized. Permutation sweeps shard across a small thread pool with
+// amortized; `EngineOptions::max_memo_entries` bounds the table memo
+// (full repaired tables) with LRU eviction for large workloads.
+// Permutation sweeps shard across a small thread pool with
 // deterministic per-shard seeds (see shapley_sampling.h), so results
-// are bit-identical for every `EngineOptions::num_threads` and between
-// `ExplainBatch` and serial `Explain` calls with the same seeds.
+// are bit-identical for every `EngineOptions::num_threads`, between
+// `ExplainBatch` and serial `Explain` calls, and between the service
+// path and direct engine calls with the same seeds.
+//
+// Cancellation: `ExplainRequest::cancel` is polled between black-box
+// evaluations inside the sweep/enumeration loops; a cancelled request
+// returns `Status::Cancelled` promptly and leaves the engine reusable.
+//
+// Thread-safety contract, per layer:
+//   * `Engine` — one caller at a time. `Explain`/`ExplainBatch` mutate
+//     shared state (the target registry, request ids). Parallelism lives
+//     *inside* a request via `EngineOptions::num_threads`.
+//   * `BlackBoxRepair` — internally synchronized for concurrent
+//     evaluations (the sweep shards rely on this).
+//   * `serving::EngineRouter` / `serving::ExplainService` — fully
+//     thread-safe; the router serializes per-engine access so the
+//     engine's single-caller invariant holds under concurrent traffic.
 //
 // `ConstraintExplainer`, `CellExplainer`, and `TRexSession` are thin
-// adapters over this class.
-//
-// Thread safety: one engine serves one caller at a time — `Explain`
-// and `ExplainBatch` mutate shared state (the target registry, request
-// ids). Parallelism lives *inside* a request via
-// `EngineOptions::num_threads`; callers wanting concurrent queries
-// should use one engine per thread or serialize externally.
+// adapters over this stack.
 
 #ifndef TREX_CORE_ENGINE_H_
 #define TREX_CORE_ENGINE_H_
@@ -50,6 +71,7 @@
 #include "core/repair_game.h"
 #include "dc/constraint.h"
 #include "repair/algorithm.h"
+#include "serving/cancel.h"
 #include "table/table.h"
 
 namespace trex {
@@ -86,6 +108,11 @@ struct ExplainRequest {
   /// Required for that kind — an unset value is an error, never a
   /// silent default cell.
   std::optional<CellRef> single_cell;
+  /// Cooperative cancellation: polled between black-box evaluations in
+  /// the sweep and subset-enumeration loops, so an in-flight request
+  /// stops within one repair call of cancellation and returns
+  /// `Status::Cancelled`. Default token = never cancelled.
+  CancelToken cancel;
 };
 
 /// The engine's answer to one request. Exactly one payload field is
@@ -121,6 +148,9 @@ struct BatchStats {
   /// Hits on memo entries written by an *earlier* request — the work the
   /// batch amortized across targets.
   std::size_t cross_request_hits = 0;
+  /// Table-memo entries evicted while serving this batch (only non-zero
+  /// when `EngineOptions::max_memo_entries` caps the memo).
+  std::size_t cache_evictions = 0;
 };
 
 /// The results of a batch, slot-for-slot with the request vector.
@@ -139,6 +169,11 @@ struct EngineOptions {
   /// algorithm calls under concurrency when two shards miss the same
   /// memo key simultaneously.
   std::size_t num_threads = 1;
+  /// Entry cap for the `BlackBoxRepair` table memo (each entry stores an
+  /// input table plus its repaired output). 0 = unbounded. Evictions are
+  /// LRU and change only cost, never results; they are surfaced in
+  /// `BatchStats::cache_evictions` and `Engine::num_cache_evictions()`.
+  std::size_t max_memo_entries = 0;
 };
 
 /// Unified multi-target explanation engine (see file comment).
@@ -148,12 +183,21 @@ class Engine {
   Engine(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
          dc::DcSet dcs, Table dirty, EngineOptions options = {});
 
+  /// Shares the dirty table with the caller (the router/session path):
+  /// only one copy stays resident, handed through to the
+  /// `BlackBoxRepair` at `EnsureRepair`. `dirty` must not be null.
+  Engine(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+         dc::DcSet dcs, std::shared_ptr<const Table> dirty,
+         EngineOptions options = {});
+
   /// Non-owning adapter for callers holding a bare reference; the
   /// algorithm must outlive the engine.
   static Engine Wrap(const repair::RepairAlgorithm& algorithm, dc::DcSet dcs,
                      Table dirty, EngineOptions options = {});
 
-  const Table& dirty() const { return dirty_; }
+  const Table& dirty() const { return *dirty_; }
+  /// The shared dirty-table handle (for callers that want to alias it).
+  const std::shared_ptr<const Table>& shared_dirty() const { return dirty_; }
   const dc::DcSet& dcs() const { return dcs_; }
   const repair::RepairAlgorithm& algorithm() const { return *algorithm_; }
   const EngineOptions& options() const { return options_; }
@@ -182,12 +226,14 @@ class Engine {
   /// Adaptive top-k cell ranking (see CellExplainer::ExplainTopK); not a
   /// request kind because its adaptive driver is inherently sequential.
   Result<Explanation> ExplainTopKCells(CellRef target, std::size_t k,
-                                       const CellExplainerOptions& options);
+                                       const CellExplainerOptions& options,
+                                       CancelToken cancel = {});
 
   /// Lifetime totals across every request served by this engine.
   std::size_t num_algorithm_calls() const;
   std::size_t num_cache_hits() const;
   std::size_t num_cross_request_hits() const;
+  std::size_t num_cache_evictions() const;
 
  private:
   /// Cheap request screening (bounds, option consistency) that must run
@@ -197,17 +243,21 @@ class Engine {
   Result<std::size_t> EnsureTarget(CellRef target);
 
   Result<Explanation> ExplainConstraints(
-      std::size_t target_index, const ConstraintExplainerOptions& options);
+      std::size_t target_index, const ConstraintExplainerOptions& options,
+      const CancelToken& cancel);
   Result<std::vector<InteractionScore>> ExplainInteractions(
-      std::size_t target_index, const ConstraintExplainerOptions& options);
+      std::size_t target_index, const ConstraintExplainerOptions& options,
+      const CancelToken& cancel);
   Result<std::vector<std::vector<std::string>>> ExplainRemovalSets(
       std::size_t target_index, const ConstraintExplainerOptions& options,
-      std::size_t max_set_size);
+      std::size_t max_set_size, const CancelToken& cancel);
   Result<Explanation> ExplainCells(std::size_t target_index,
-                                   const CellExplainerOptions& options);
+                                   const CellExplainerOptions& options,
+                                   const CancelToken& cancel);
   Result<PlayerScore> ExplainSingleCell(std::size_t target_index,
                                         CellRef player_cell,
-                                        const CellExplainerOptions& options);
+                                        const CellExplainerOptions& options,
+                                        const CancelToken& cancel);
 
   Result<std::vector<CellRef>> PlayerCells(const CellExplainerOptions& options,
                                            CellRef target) const;
@@ -220,7 +270,8 @@ class Engine {
 
   std::shared_ptr<const repair::RepairAlgorithm> algorithm_;
   dc::DcSet dcs_;
-  Table dirty_;
+  /// Shared with the box (and possibly a router/session); never null.
+  std::shared_ptr<const Table> dirty_;
   EngineOptions options_;
   std::optional<BlackBoxRepair> box_;
   std::unique_ptr<ThreadPool> pool_;

@@ -10,18 +10,21 @@ namespace {
 /// Materializes v over all coalitions (shared with the exact-Shapley
 /// path; duplicated here to keep the modules independent).
 Result<std::vector<double>> MaterializeValues(const Game& game,
-                                              std::size_t max_players) {
+                                              const InteractionOptions& options) {
   const std::size_t n = game.num_players();
-  if (n > max_players) {
+  if (n > options.max_players) {
     return Status::InvalidArgument(
         "interaction indices over " + std::to_string(n) +
         " players exceed the configured cap of " +
-        std::to_string(max_players));
+        std::to_string(options.max_players));
   }
   const std::size_t num_masks = std::size_t{1} << n;
   std::vector<double> v(num_masks);
   Coalition coalition(n, false);
   for (std::size_t mask = 0; mask < num_masks; ++mask) {
+    if (options.cancel.cancelled()) {
+      return Status::Cancelled("interaction computation cancelled");
+    }
     for (std::size_t i = 0; i < n; ++i) coalition[i] = (mask >> i) & 1;
     v[mask] = game.Value(coalition);
   }
@@ -67,7 +70,7 @@ Result<std::vector<Interaction>> ComputeShapleyInteractions(
   const std::size_t n = game.num_players();
   if (n < 2) return std::vector<Interaction>{};
   TREX_ASSIGN_OR_RETURN(std::vector<double> v,
-                        MaterializeValues(game, options.max_players));
+                        MaterializeValues(game, options));
   const std::vector<double> weight = PairWeights(n);
   std::vector<Interaction> out;
   out.reserve(n * (n - 1) / 2);
@@ -88,7 +91,7 @@ Result<double> ComputeShapleyInteraction(const Game& game,
     return Status::InvalidArgument("invalid player pair");
   }
   TREX_ASSIGN_OR_RETURN(std::vector<double> v,
-                        MaterializeValues(game, options.max_players));
+                        MaterializeValues(game, options));
   return PairInteraction(v, PairWeights(n), player_a, player_b);
 }
 

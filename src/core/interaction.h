@@ -22,6 +22,7 @@
 
 #include "common/status.h"
 #include "core/game.h"
+#include "serving/cancel.h"
 
 namespace trex::shap {
 
@@ -36,6 +37,9 @@ struct Interaction {
 /// materialized, as for exact Shapley).
 struct InteractionOptions {
   std::size_t max_players = 20;
+  /// Polled per coalition during the 2^n materialization; cancelled
+  /// computations return `Status::Cancelled`.
+  CancelToken cancel;
 };
 
 /// Exact pairwise Shapley interaction indices for all player pairs

@@ -12,11 +12,23 @@ namespace trex {
 Result<BlackBoxRepair> BlackBoxRepair::MakeMultiTarget(
     const repair::RepairAlgorithm* algorithm, dc::DcSet dcs, Table dirty,
     const std::vector<CellRef>& targets) {
+  return MakeMultiTarget(algorithm, std::move(dcs),
+                         std::make_shared<const Table>(std::move(dirty)),
+                         targets);
+}
+
+Result<BlackBoxRepair> BlackBoxRepair::MakeMultiTarget(
+    const repair::RepairAlgorithm* algorithm, dc::DcSet dcs,
+    std::shared_ptr<const Table> dirty, const std::vector<CellRef>& targets) {
   if (algorithm == nullptr) {
     return Status::InvalidArgument("algorithm must not be null");
   }
+  if (dirty == nullptr) {
+    return Status::InvalidArgument("dirty table must not be null");
+  }
   for (const CellRef& target : targets) {
-    if (target.row >= dirty.num_rows() || target.col >= dirty.num_columns()) {
+    if (target.row >= dirty->num_rows() ||
+        target.col >= dirty->num_columns()) {
       return Status::OutOfRange("target cell " + target.ToString() +
                                 " outside the table");
     }
@@ -27,7 +39,7 @@ Result<BlackBoxRepair> BlackBoxRepair::MakeMultiTarget(
   box.dirty_ = std::move(dirty);
   box.state_ = std::make_unique<CacheState>();
   TREX_ASSIGN_OR_RETURN(box.clean_,
-                        algorithm->Repair(box.dcs_, box.dirty_));
+                        algorithm->Repair(box.dcs_, *box.dirty_));
   box.state_->calls.store(1);
   for (const CellRef& target : targets) {
     auto added = box.AddTarget(target);
@@ -44,7 +56,8 @@ Result<BlackBoxRepair> BlackBoxRepair::Make(
 }
 
 Result<std::size_t> BlackBoxRepair::AddTarget(CellRef target) {
-  if (target.row >= dirty_.num_rows() || target.col >= dirty_.num_columns()) {
+  if (target.row >= dirty_->num_rows() ||
+      target.col >= dirty_->num_columns()) {
     return Status::OutOfRange("target cell " + target.ToString() +
                               " outside the table");
   }
@@ -54,7 +67,7 @@ Result<std::size_t> BlackBoxRepair::AddTarget(CellRef target) {
   TargetInfo info;
   info.cell = target;
   info.clean_value = clean_.at(target);
-  const Value& dirty_value = dirty_.at(target);
+  const Value& dirty_value = dirty_->at(target);
   const bool both_null = dirty_value.is_null() && info.clean_value.is_null();
   info.was_repaired =
       !both_null && (dirty_value.is_null() || info.clean_value.is_null() ||
@@ -92,6 +105,15 @@ std::size_t BlackBoxRepair::num_cross_request_hits() const {
   return state_->cross_request_hits.load();
 }
 
+std::size_t BlackBoxRepair::num_memo_evictions() const {
+  return state_->evictions.load();
+}
+
+std::size_t BlackBoxRepair::num_table_memo_entries() const {
+  std::shared_lock<std::shared_mutex> lock(state_->mu);
+  return state_->table_entries;
+}
+
 void BlackBoxRepair::BeginRequest(std::size_t request_id) const {
   state_->current_request.store(request_id);
 }
@@ -124,7 +146,7 @@ bool BlackBoxRepair::EvalConstraintSubset(std::uint64_t mask,
     }
   }
   const dc::DcSet subset = dcs_.Subset(mask);
-  auto repaired = algorithm_->Repair(subset, dirty_);
+  auto repaired = algorithm_->Repair(subset, *dirty_);
   TREX_CHECK(repaired.ok()) << "repair failed on constraint subset: "
                             << repaired.status().ToString();
   state_->calls.fetch_add(1);
@@ -139,6 +161,33 @@ bool BlackBoxRepair::EvalConstraintSubset(std::uint64_t mask,
   return outcome;
 }
 
+void BlackBoxRepair::EvictLruTableEntry() const {
+  // O(#entries) scan for the LRU victim. Eviction only runs after a cache
+  // miss, i.e. after a full repair run, which dwarfs a scan over at most
+  // `max_memo_entries_` entries.
+  auto victim_bucket = state_->table_cache.end();
+  std::size_t victim_index = 0;
+  std::uint64_t victim_tick = 0;
+  for (auto it = state_->table_cache.begin(); it != state_->table_cache.end();
+       ++it) {
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      const std::uint64_t used = it->second[i].last_used;
+      if (victim_bucket == state_->table_cache.end() || used < victim_tick) {
+        victim_bucket = it;
+        victim_index = i;
+        victim_tick = used;
+      }
+    }
+  }
+  TREX_CHECK(victim_bucket != state_->table_cache.end());
+  std::vector<CacheEntry>& bucket = victim_bucket->second;
+  bucket.erase(bucket.begin() +
+               static_cast<std::ptrdiff_t>(victim_index));
+  if (bucket.empty()) state_->table_cache.erase(victim_bucket);
+  --state_->table_entries;
+  state_->evictions.fetch_add(1);
+}
+
 bool BlackBoxRepair::EvalTable(const Table& perturbed,
                                std::size_t target_index) const {
   const std::uint64_t fingerprint = perturbed.Fingerprint();
@@ -149,12 +198,17 @@ bool BlackBoxRepair::EvalTable(const Table& perturbed,
       // Verify the full table content, not just the 64-bit fingerprint:
       // a collision must fall through to a fresh repair run, never
       // return another table's outcome.
-      for (const CacheEntry& entry : it->second) {
+      for (CacheEntry& entry : it->second) {
         if (entry.input == perturbed) {
           state_->hits.fetch_add(1);
           if (entry.request_id != state_->current_request.load()) {
             state_->cross_request_hits.fetch_add(1);
           }
+          // Touch the LRU clock; atomic_ref because other readers may
+          // touch the same entry under the shared lock concurrently.
+          std::atomic_ref<std::uint64_t>(entry.last_used)
+              .store(state_->tick.fetch_add(1) + 1,
+                     std::memory_order_relaxed);
           return Outcome(entry.repaired, target_index);
         }
       }
@@ -183,7 +237,13 @@ bool BlackBoxRepair::EvalTable(const Table& perturbed,
       entry.input = perturbed;
       entry.repaired = std::move(*repaired);
       entry.request_id = state_->current_request.load();
+      entry.last_used = state_->tick.fetch_add(1) + 1;
       bucket.push_back(std::move(entry));
+      ++state_->table_entries;
+      while (max_memo_entries_ > 0 &&
+             state_->table_entries > max_memo_entries_) {
+        EvictLruTableEntry();
+      }
     }
   }
   return outcome;

@@ -60,6 +60,13 @@ class BlackBoxRepair {
       const repair::RepairAlgorithm* algorithm, dc::DcSet dcs, Table dirty,
       const std::vector<CellRef>& targets);
 
+  /// Like the `Table` overload but *shares* the dirty table with the
+  /// caller instead of holding its own copy — the engine hands its table
+  /// over at `EnsureRepair` so only one dirty copy stays resident.
+  static Result<BlackBoxRepair> MakeMultiTarget(
+      const repair::RepairAlgorithm* algorithm, dc::DcSet dcs,
+      std::shared_ptr<const Table> dirty, const std::vector<CellRef>& targets);
+
   /// Single-target convenience (the seed API): equivalent to
   /// `MakeMultiTarget(..., {target})`.
   static Result<BlackBoxRepair> Make(
@@ -75,7 +82,7 @@ class BlackBoxRepair {
   /// Index of a registered target cell, if any.
   std::optional<std::size_t> FindTarget(CellRef target) const;
 
-  const Table& dirty() const { return dirty_; }
+  const Table& dirty() const { return *dirty_; }
   const Table& reference_clean() const { return clean_; }
   const dc::DcSet& dcs() const { return dcs_; }
   const repair::RepairAlgorithm& algorithm() const { return *algorithm_; }
@@ -116,6 +123,20 @@ class BlackBoxRepair {
   /// Disables memoization (ablation experiments).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
 
+  /// Caps the *table* memo (the unbounded one: each entry holds two full
+  /// tables). 0 = unbounded. When the cap is hit, the least-recently-used
+  /// entry is evicted; evicted inputs are simply recomputed on the next
+  /// miss, so results are unchanged — only cost counters move. The mask
+  /// memo is left unbounded (at most 2^|C| entries, |C| ≤ 64 and small
+  /// in practice). Must not race with evaluations.
+  void set_max_memo_entries(std::size_t cap) { max_memo_entries_ = cap; }
+  std::size_t max_memo_entries() const { return max_memo_entries_; }
+
+  /// Table-memo entries evicted by the LRU cap so far.
+  std::size_t num_memo_evictions() const;
+  /// Table-memo entries currently resident.
+  std::size_t num_table_memo_entries() const;
+
  private:
   BlackBoxRepair() = default;
 
@@ -133,6 +154,10 @@ class BlackBoxRepair {
     Table input;     // empty (unverified) for mask-cache entries
     Table repaired;
     std::size_t request_id = 0;
+    /// LRU clock value of the last touch (table-cache entries only);
+    /// written through `std::atomic_ref` so hits under the shared lock
+    /// don't race.
+    std::uint64_t last_used = 0;
   };
 
   /// Mutable memo state, boxed so `BlackBoxRepair` stays movable despite
@@ -148,16 +173,28 @@ class BlackBoxRepair {
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> cross_request_hits{0};
     std::atomic<std::size_t> current_request{0};
+    /// LRU clock for the table memo; bumped on every hit and insert.
+    std::atomic<std::uint64_t> tick{0};
+    /// Table-memo entry count / LRU evictions (guarded by `mu` /
+    /// monotonic counter readable without it).
+    std::size_t table_entries = 0;
+    std::atomic<std::size_t> evictions{0};
   };
+
+  /// Drops the least-recently-used table-memo entry. Requires `mu` held
+  /// exclusively and a non-empty table cache.
+  void EvictLruTableEntry() const;
 
   bool Outcome(const Table& repaired, std::size_t target_index) const;
 
   const repair::RepairAlgorithm* algorithm_ = nullptr;
   dc::DcSet dcs_;
-  Table dirty_;
+  /// Shared with the owning engine/session (never null once constructed).
+  std::shared_ptr<const Table> dirty_;
   Table clean_;
   std::vector<TargetInfo> targets_;
   bool cache_enabled_ = true;
+  std::size_t max_memo_entries_ = 0;  // 0 = unbounded
   std::unique_ptr<CacheState> state_;
 };
 

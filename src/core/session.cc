@@ -15,28 +15,50 @@ TRexSession::TRexSession(
 }
 
 Status TRexSession::Repair() {
-  auto engine = std::make_unique<Engine>(algorithm_, dcs_, dirty_,
-                                         engine_options_);
-  TREX_RETURN_NOT_OK(engine->EnsureRepair());
-  TREX_ASSIGN_OR_RETURN(repaired_cells_,
-                        DiffTables(dirty_, engine->reference_clean()));
-  engine_ = std::move(engine);
+  if (service_ == nullptr) {
+    serving::ServiceOptions service_options;
+    // One worker: the interactive loop issues one query at a time, and
+    // parallelism lives inside requests via EngineOptions::num_threads.
+    service_options.num_workers = 1;
+    // Keep the engine of one previous (table, DcSet) iteration warm so
+    // undoing an edit does not re-run its reference repair.
+    service_options.router.max_engines = 2;
+    service_options.router.engine_options = engine_options_;
+    service_ = std::make_unique<serving::ExplainService>(service_options);
+  }
+  // By-reference Acquire: the router snapshots `dirty_` only when no
+  // resident engine matches, so a repeat Repair() (or an undone edit
+  // hitting the warm engine) copies nothing.
+  std::shared_ptr<serving::EngineEntry> entry =
+      service_->router().Acquire(algorithm_, dcs_, dirty_);
+  TREX_RETURN_NOT_OK(entry->engine.EnsureRepair());
+  TREX_ASSIGN_OR_RETURN(
+      repaired_cells_, DiffTables(dirty_, entry->engine.reference_clean()));
+  // Alias the routed engine's table: one resident snapshot per
+  // instance, shared by engine, box, and session.
+  table_ = entry->engine.shared_dirty();
+  entry_ = std::move(entry);
   return Status::Ok();
 }
 
 const Table& TRexSession::clean() const {
-  TREX_CHECK(engine_ != nullptr) << "call Repair() first";
-  return engine_->reference_clean();
+  TREX_CHECK(entry_ != nullptr) << "call Repair() first";
+  return entry_->engine.reference_clean();
 }
 
 const std::vector<RepairedCell>& TRexSession::repaired_cells() const {
-  TREX_CHECK(engine_ != nullptr) << "call Repair() first";
+  TREX_CHECK(entry_ != nullptr) << "call Repair() first";
   return repaired_cells_;
 }
 
 Engine& TRexSession::engine() {
-  TREX_CHECK(engine_ != nullptr) << "call Repair() first";
-  return *engine_;
+  TREX_CHECK(entry_ != nullptr) << "call Repair() first";
+  return entry_->engine;
+}
+
+serving::ExplainService& TRexSession::service() {
+  TREX_CHECK(service_ != nullptr) << "call Repair() first";
+  return *service_;
 }
 
 Result<CellRef> TRexSession::CellAt(std::size_t row,
@@ -50,7 +72,7 @@ Result<CellRef> TRexSession::CellAt(std::size_t row,
 }
 
 Status TRexSession::RequireRepair() const {
-  if (engine_ == nullptr) {
+  if (entry_ == nullptr) {
     return Status::InvalidArgument(
         "no repair available: call Repair() after constructing or "
         "editing the session");
@@ -59,7 +81,10 @@ Status TRexSession::RequireRepair() const {
 }
 
 void TRexSession::InvalidateRepair() {
-  engine_.reset();
+  // In-flight async tickets keep their engine alive through the entry's
+  // shared_ptr; the session just stops routing new queries to it.
+  entry_.reset();
+  table_.reset();
   repaired_cells_.clear();
 }
 
@@ -70,7 +95,11 @@ Result<Explanation> TRexSession::ExplainConstraints(
   request.target = target;
   request.kind = ExplainKind::kConstraints;
   request.constraints = options;
-  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine_->Explain(request));
+  // Submit-and-wait through the service: same engine, same results as a
+  // direct call, but shared queueing/accounting with async traffic.
+  TREX_ASSIGN_OR_RETURN(
+      ExplainResult result,
+      service_->ExplainSync(algorithm_, dcs_, table_, std::move(request)));
   return std::move(*result.explanation);
 }
 
@@ -82,7 +111,9 @@ TRexSession::ExplainConstraintInteractions(
   request.target = target;
   request.kind = ExplainKind::kInteractions;
   request.constraints = options;
-  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine_->Explain(request));
+  TREX_ASSIGN_OR_RETURN(
+      ExplainResult result,
+      service_->ExplainSync(algorithm_, dcs_, table_, std::move(request)));
   return std::move(result.interactions);
 }
 
@@ -93,7 +124,9 @@ Result<Explanation> TRexSession::ExplainCells(
   request.target = target;
   request.kind = ExplainKind::kCells;
   request.cells = options;
-  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine_->Explain(request));
+  TREX_ASSIGN_OR_RETURN(
+      ExplainResult result,
+      service_->ExplainSync(algorithm_, dcs_, table_, std::move(request)));
   return std::move(*result.explanation);
 }
 
@@ -106,14 +139,31 @@ Result<PlayerScore> TRexSession::ExplainSingleCell(
   request.kind = ExplainKind::kSingleCell;
   request.cells = options;
   request.single_cell = player_cell;
-  TREX_ASSIGN_OR_RETURN(ExplainResult result, engine_->Explain(request));
+  TREX_ASSIGN_OR_RETURN(
+      ExplainResult result,
+      service_->ExplainSync(algorithm_, dcs_, table_, std::move(request)));
   return std::move(*result.single_cell);
 }
 
 Result<BatchResult> TRexSession::ExplainBatch(
     const std::vector<ExplainRequest>& requests) const {
   TREX_RETURN_NOT_OK(RequireRepair());
-  return engine_->ExplainBatch(requests);
+  // Batches stay an engine-level primitive (one BatchStats, one
+  // reference repair); take the entry lock so the batch serializes with
+  // any async tickets the service is running on this engine.
+  std::lock_guard<std::mutex> guard(entry_->mu);
+  return entry_->engine.ExplainBatch(requests);
+}
+
+serving::Ticket TRexSession::SubmitExplain(ExplainRequest request,
+                                           serving::RequestOptions options) {
+  if (Status status = RequireRepair(); !status.ok()) {
+    // Fail like the synchronous paths do — a resolved error ticket, not
+    // a crash on Wait().
+    return serving::Ticket::Rejected(std::move(status));
+  }
+  return service_->Submit(algorithm_, dcs_, table_, std::move(request),
+                          std::move(options));
 }
 
 Status TRexSession::SetDirtyCell(CellRef cell, Value value) {

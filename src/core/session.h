@@ -12,16 +12,23 @@
 //   session.RemoveConstraint("C3");           // act on the explanation
 //   session.Repair();                         // iterate
 //
-// The session is an adapter over `trex::Engine`: `Repair()` builds one
-// engine whose reference repair backs both the diff screen and every
-// explanation, and successive explanation calls share the engine's memo
-// caches — explaining a second cell of the same repair reuses the
-// evaluations the first one paid for. Edits invalidate the engine;
-// explanation calls then require a fresh `Repair()`.
+// The session is an adapter over `serving::ExplainService`: `Repair()`
+// snapshots the dirty table and routes it to an engine in the service's
+// pool, whose reference repair backs both the diff screen and every
+// explanation. The synchronous explain methods are submit-and-wait over
+// the service (so they share its queue, engines, and accounting with
+// any concurrent async traffic), and `SubmitExplain` exposes the async
+// path directly: submit with a priority, keep interacting, cancel or
+// await the ticket — the paper's GUI flow. Successive explanation calls
+// share the routed engine's memo caches; explaining a second cell of
+// the same repair reuses the evaluations the first one paid for. Edits
+// change the table or DcSet fingerprint, so the next `Repair()` routes
+// to a fresh engine; explanation calls then require that `Repair()`.
 //
-// Like the engine, a session serves one caller at a time: the
-// explanation methods are `const` but share the engine's memo state,
-// so they must not be called concurrently.
+// The session object itself serves one caller at a time (its mutators
+// are unsynchronized); the underlying service is thread-safe, so
+// tickets obtained from `SubmitExplain` may be awaited or cancelled
+// from any thread.
 
 #ifndef TREX_CORE_SESSION_H_
 #define TREX_CORE_SESSION_H_
@@ -35,6 +42,7 @@
 #include "core/explainer.h"
 #include "dc/constraint.h"
 #include "repair/algorithm.h"
+#include "serving/service.h"
 #include "table/diff.h"
 #include "table/table.h"
 
@@ -58,7 +66,7 @@ class TRexSession {
   Status Repair();
 
   /// True once `Repair()` has run (and no edit invalidated it).
-  bool has_repair() const { return engine_ != nullptr; }
+  bool has_repair() const { return entry_ != nullptr; }
 
   /// The repaired table; requires `has_repair()`.
   const Table& clean() const;
@@ -67,9 +75,13 @@ class TRexSession {
   const std::vector<RepairedCell>& repaired_cells() const;
 
   /// The engine serving this session's explanations; requires
-  /// `has_repair()`. Exposed for batched queries (`ExplainBatch`) and
-  /// cost accounting.
+  /// `has_repair()`. Exposed for cost accounting and advanced direct
+  /// calls; do not mix direct engine calls with in-flight async tickets.
   Engine& engine();
+
+  /// The service behind this session. Exposed for stats and for sharing
+  /// the pool with other sessions' tables.
+  serving::ExplainService& service();
 
   /// Resolves "tk[Attr]"-style coordinates, e.g. `CellAt(4, "Country")`
   /// (row is 0-based).
@@ -98,6 +110,16 @@ class TRexSession {
   Result<BatchResult> ExplainBatch(
       const std::vector<ExplainRequest>& requests) const;
 
+  /// Async submission against the session's repair: returns a ticket
+  /// immediately (see serving::ExplainService). Without a repair, the
+  /// ticket comes back already resolved with the error. The ticket
+  /// survives session edits — it pins the table snapshot it was
+  /// submitted against (the engine itself is re-acquired from the
+  /// router at execution time, so a long-queued ticket may pay a fresh
+  /// reference repair if its engine was evicted meanwhile).
+  serving::Ticket SubmitExplain(ExplainRequest request,
+                                serving::RequestOptions options = {});
+
   // ---- Iteration: edits invalidate the cached repair. ----
 
   /// Overwrites a cell of the dirty table.
@@ -120,7 +142,12 @@ class TRexSession {
   dc::DcSet dcs_;
   Table dirty_;
   EngineOptions engine_options_;
-  std::unique_ptr<Engine> engine_;
+  /// Created on the first `Repair()`; single worker, small engine pool.
+  std::unique_ptr<serving::ExplainService> service_;
+  /// Immutable snapshot of `dirty_` shared with the routed engine.
+  std::shared_ptr<const Table> table_;
+  /// The engine serving the current repair; null until `Repair()`.
+  std::shared_ptr<serving::EngineEntry> entry_;
   std::vector<RepairedCell> repaired_cells_;
 };
 

@@ -25,6 +25,9 @@ Result<std::vector<double>> ComputeExactShapley(
   std::vector<double> v(num_masks);
   Coalition coalition(n, false);
   for (std::size_t mask = 0; mask < num_masks; ++mask) {
+    if (options.cancel.cancelled()) {
+      return Status::Cancelled("exact Shapley computation cancelled");
+    }
     for (std::size_t i = 0; i < n; ++i) {
       coalition[i] = (mask >> i) & 1;
     }
@@ -68,6 +71,9 @@ Result<std::vector<double>> ComputeExactBanzhaf(
   std::vector<double> v(num_masks);
   Coalition coalition(n, false);
   for (std::size_t mask = 0; mask < num_masks; ++mask) {
+    if (options.cancel.cancelled()) {
+      return Status::Cancelled("exact Banzhaf computation cancelled");
+    }
     for (std::size_t i = 0; i < n; ++i) coalition[i] = (mask >> i) & 1;
     v[mask] = game.Value(coalition);
   }

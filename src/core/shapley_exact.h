@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "core/game.h"
+#include "serving/cancel.h"
 
 namespace trex::shap {
 
@@ -25,6 +26,10 @@ struct ExactShapleyOptions {
   /// memory and evaluation cost are exponential. 22 players ≈ 4M
   /// evaluations / 32 MB of cached values.
   std::size_t max_players = 22;
+  /// Cooperative cancellation, polled once per coalition in the 2^n
+  /// materialization loop (each iteration is a repair run unless
+  /// memoized). Cancelled computations return `Status::Cancelled`.
+  CancelToken cancel;
 };
 
 /// Exact Shapley values for every player via subset enumeration (see

@@ -101,6 +101,9 @@ Result<Estimate> EstimateShapleyForPlayer(const Game& game,
   RunningStat stat;
   std::vector<RunningStat> stats_view(1);
   for (std::size_t i = 0; i < options.num_samples; ++i) {
+    if (options.cancel.cancelled()) {
+      return Status::Cancelled("Shapley sampling cancelled");
+    }
     std::vector<std::size_t> perm = rng.Permutation(n);
     stat.Add(MarginalForPlayer(game, perm, player));
     if (options.antithetic) {
@@ -144,6 +147,9 @@ Result<Estimate> EstimateShapleyStratified(const Game& game,
   Coalition coalition(n, false);
   for (std::size_t s = 0; s < n; ++s) {  // coalition sizes 0..n-1
     for (std::size_t sample = 0; sample < per_stratum; ++sample) {
+      if (options.cancel.cancelled()) {
+        return Status::Cancelled("stratified Shapley sampling cancelled");
+      }
       // Uniform size-s subset of `others`.
       for (std::size_t i = 0; i < s; ++i) {
         const std::size_t j =
@@ -206,6 +212,9 @@ Result<TopKResult> EstimateTopKPlayers(const Game& game,
 
   while (result.sweeps < options.max_samples) {
     for (std::size_t i = 0; i < options.batch; ++i) {
+      if (options.cancel.cancelled()) {
+        return Status::Cancelled("top-k Shapley sampling cancelled");
+      }
       const std::vector<std::size_t> perm = rng.Permutation(n);
       Coalition coalition(n, false);
       double prev = game.Value(coalition);
@@ -278,9 +287,14 @@ std::vector<RunningStat> RunShardedSweeps(
           std::min(begin + config.shard_size, config.num_samples);
       Rng rng(ShardSeed(config.seed, shard));
       for (std::size_t s = begin; s < end; ++s) {
+        // Poll between sweeps: one sweep costs n+1 repair runs, so this
+        // bounds cancellation latency at one sweep per worker. Results
+        // after cancellation are discarded by the caller.
+        if (config.cancel.cancelled()) break;
         sweep(&rng, &wave_stats[i]);
       }
     });
+    if (config.cancel.cancelled()) break;
     for (std::size_t i = 0; i < count; ++i) {
       for (std::size_t p = 0; p < num_players; ++p) {
         merged[p].Merge(wave_stats[i][p]);
@@ -312,6 +326,7 @@ Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
   config.seed = options.seed;
   config.target_std_error = options.target_std_error;
   config.pool = options.pool;
+  config.cancel = options.cancel;
 
   auto one_sweep = [&](Rng* rng, std::vector<RunningStat>* stats) {
     auto run_perm = [&](const std::vector<std::size_t>& perm) {
@@ -334,6 +349,9 @@ Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
 
   const std::vector<RunningStat> stats =
       RunShardedSweeps(config, n, one_sweep);
+  if (options.cancel.cancelled()) {
+    return Status::Cancelled("Shapley sweep sampling cancelled");
+  }
   std::vector<Estimate> estimates;
   estimates.reserve(n);
   for (const RunningStat& s : stats) estimates.push_back(s.ToEstimate());

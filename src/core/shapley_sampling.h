@@ -27,6 +27,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/game.h"
+#include "serving/cancel.h"
 
 namespace trex::shap {
 
@@ -69,6 +70,11 @@ struct SamplingOptions {
   /// call); the engine passes its own so repeated requests don't respawn
   /// threads. Null = transient pool per call.
   ThreadPool* pool = nullptr;
+  /// Cooperative cancellation: polled between permutation sweeps (each
+  /// sweep is n+1 repair runs). Once cancelled the estimator stops
+  /// promptly and returns `Status::Cancelled` — partial estimates are
+  /// discarded. Default token = never cancelled.
+  CancelToken cancel;
 };
 
 /// One player's Monte-Carlo estimate.
@@ -129,6 +135,11 @@ struct ShardedSweepConfig {
   /// must outlive the call). When null, a transient pool of
   /// `num_threads` is created per call.
   ThreadPool* pool = nullptr;
+  /// Polled before every sweep inside each shard and at wave boundaries;
+  /// once cancelled, remaining sweeps are skipped and the driver returns
+  /// early. Callers observing `cancel.cancelled()` after the call must
+  /// treat the merged statistics as garbage.
+  CancelToken cancel;
 };
 
 /// The shared sharded permutation-sweep driver behind
@@ -175,6 +186,8 @@ struct TopKOptions {
   /// Total sweep budget.
   std::size_t max_samples = 4096;
   std::uint64_t seed = Rng::kDefaultSeed;
+  /// Polled between refinement batches; see SamplingOptions::cancel.
+  CancelToken cancel;
 };
 
 /// Result of the adaptive top-k estimation.

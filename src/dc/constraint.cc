@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace trex::dc {
@@ -219,6 +220,22 @@ std::set<std::size_t> DcSet::AllColumns() const {
     cols.insert(dc_cols.begin(), dc_cols.end());
   }
   return cols;
+}
+
+std::uint64_t DenialConstraint::Fingerprint() const {
+  std::uint64_t h = Fnv1a("dc");
+  h = HashCombine(h, static_cast<std::uint64_t>(arity_));
+  for (const Predicate& p : predicates_) h = HashCombine(h, p.Fingerprint());
+  return h;
+}
+
+std::uint64_t DcSet::Fingerprint() const {
+  std::uint64_t h = Fnv1a("dcset");
+  h = HashCombine(h, constraints_.size());
+  for (const DenialConstraint& c : constraints_) {
+    h = HashCombine(h, c.Fingerprint());
+  }
+  return h;
 }
 
 }  // namespace trex::dc

@@ -69,6 +69,10 @@ class DenialConstraint {
     return arity_ == other.arity_ && predicates_ == other.predicates_;
   }
 
+  /// Structural fingerprint, consistent with operator== (the name is
+  /// excluded, like in equality).
+  std::uint64_t Fingerprint() const;
+
   /// Parseable ASCII form, e.g. "!(t1.Team == t2.Team & t1.City != t2.City)".
   std::string ToString(const Schema& schema) const;
 
@@ -118,6 +122,11 @@ class DcSet {
   bool operator==(const DcSet& other) const {
     return constraints_ == other.constraints_;
   }
+
+  /// Order-sensitive structural fingerprint of the whole set, consistent
+  /// with operator==. The serving router keys engines by this (plus the
+  /// table fingerprint); collisions are disambiguated by full comparison.
+  std::uint64_t Fingerprint() const;
 
  private:
   std::vector<DenialConstraint> constraints_;

@@ -1,5 +1,6 @@
 #include "dc/predicate.h"
 
+#include "common/hash.h"
 #include "common/logging.h"
 
 namespace trex::dc {
@@ -125,6 +126,18 @@ bool Operand::operator==(const Operand& other) const {
   return constant_ == other.constant_;
 }
 
+std::uint64_t Operand::Fingerprint() const {
+  std::uint64_t h = Fnv1a(is_cell_ ? "cell" : "const");
+  if (is_cell_) {
+    h = HashCombine(h, static_cast<std::uint64_t>(tuple_index_));
+    h = HashCombine(h, col_);
+  } else {
+    // Mirrors operator==: all null constants fingerprint alike.
+    h = HashCombine(h, constant_.is_null() ? 0u : constant_.Hash());
+  }
+  return h;
+}
+
 std::string Operand::ToString(const Schema& schema) const {
   if (is_cell_) {
     const std::string attr = col_ < schema.size()
@@ -155,6 +168,13 @@ bool Predicate::IsCrossTupleEquality() const {
 
 bool Predicate::operator==(const Predicate& other) const {
   return lhs == other.lhs && op == other.op && rhs == other.rhs;
+}
+
+std::uint64_t Predicate::Fingerprint() const {
+  std::uint64_t h = lhs.Fingerprint();
+  h = HashCombine(h, static_cast<std::uint64_t>(op));
+  h = HashCombine(h, rhs.Fingerprint());
+  return h;
 }
 
 std::string Predicate::ToString(const Schema& schema) const {

@@ -79,6 +79,11 @@ class Operand {
 
   bool operator==(const Operand& other) const;
 
+  /// Structural 64-bit fingerprint, consistent with operator==. Used to
+  /// key engine routing; equality of fingerprints is NOT verified, so
+  /// consumers needing certainty must compare the operands too.
+  std::uint64_t Fingerprint() const;
+
   /// Renders e.g. "t1.City" or "'Spain'" (needs the schema for names).
   std::string ToString(const Schema& schema) const;
 
@@ -107,6 +112,9 @@ struct Predicate {
   bool IsCrossTupleEquality() const;
 
   bool operator==(const Predicate& other) const;
+
+  /// Structural fingerprint, consistent with operator==.
+  std::uint64_t Fingerprint() const;
 
   std::string ToString(const Schema& schema) const;
   std::string ToPrettyString(const Schema& schema) const;

@@ -1,0 +1,107 @@
+#include "serving/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace trex::serving {
+
+std::size_t EngineKeyHash::operator()(const EngineKey& key) const {
+  std::size_t h = Fnv1a(key.algorithm_id);
+  h = HashCombine(h, key.dcs_fingerprint);
+  h = HashCombine(h, key.table_fingerprint);
+  return h;
+}
+
+EngineRouter::EngineRouter(RouterOptions options) : options_(options) {
+  TREX_CHECK_GE(options_.max_engines, 1u);
+}
+
+void EngineRouter::EvictLru() {
+  auto victim_bucket = engines_.end();
+  std::size_t victim_index = 0;
+  std::uint64_t victim_tick = 0;
+  for (auto it = engines_.begin(); it != engines_.end(); ++it) {
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      const std::uint64_t used = it->second[i].last_used;
+      if (victim_bucket == engines_.end() || used < victim_tick) {
+        victim_bucket = it;
+        victim_index = i;
+        victim_tick = used;
+      }
+    }
+  }
+  TREX_CHECK(victim_bucket != engines_.end());
+  std::vector<Slot>& bucket = victim_bucket->second;
+  // In-flight holders of the entry keep it alive; the router just stops
+  // routing new requests to it.
+  bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(victim_index));
+  if (bucket.empty()) engines_.erase(victim_bucket);
+  --resident_;
+  ++stats_.evictions;
+}
+
+std::shared_ptr<EngineEntry> EngineRouter::Acquire(
+    std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+    const dc::DcSet& dcs, std::shared_ptr<const Table> table) {
+  TREX_CHECK(table != nullptr);
+  const Table& borrowed = *table;
+  return AcquireImpl(std::move(algorithm), dcs, borrowed,
+                     [&table] { return std::move(table); });
+}
+
+std::shared_ptr<EngineEntry> EngineRouter::Acquire(
+    std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+    const dc::DcSet& dcs, const Table& table) {
+  return AcquireImpl(std::move(algorithm), dcs, table, [&table] {
+    return std::make_shared<const Table>(table);
+  });
+}
+
+std::shared_ptr<EngineEntry> EngineRouter::AcquireImpl(
+    std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+    const dc::DcSet& dcs, const Table& table,
+    const std::function<std::shared_ptr<const Table>()>& snapshot) {
+  TREX_CHECK(algorithm != nullptr);
+  EngineKey key;
+  key.algorithm_id = algorithm->name();
+  key.dcs_fingerprint = dcs.Fingerprint();
+  key.table_fingerprint = table.Fingerprint();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Slot>& bucket = engines_[key];
+  for (Slot& slot : bucket) {
+    // Verify dcs and table in full, never trusting the 64-bit
+    // fingerprints: a collision must build its own engine, not reuse
+    // another table's. The algorithm is matched by name only — see the
+    // algorithm-id contract in the file comment.
+    if (slot.entry->engine.dcs() == dcs &&
+        slot.entry->engine.dirty() == table) {
+      slot.last_used = ++tick_;
+      ++stats_.hits;
+      return slot.entry;
+    }
+  }
+  ++stats_.misses;
+  Slot slot;
+  slot.entry = std::make_shared<EngineEntry>(std::move(algorithm), dcs,
+                                             snapshot(),
+                                             options_.engine_options);
+  slot.last_used = ++tick_;
+  std::shared_ptr<EngineEntry> entry = slot.entry;
+  bucket.push_back(std::move(slot));
+  ++resident_;
+  while (resident_ > options_.max_engines) EvictLru();
+  return entry;
+}
+
+RouterStats EngineRouter::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RouterStats stats = stats_;
+  stats.resident = resident_;
+  return stats;
+}
+
+}  // namespace trex::serving

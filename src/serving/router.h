@@ -1,0 +1,157 @@
+// `serving::EngineRouter`: a bounded, thread-safe pool of `trex::Engine`s
+// keyed by repair instance, so one service process serves many tables.
+//
+// The engine layer amortizes work *within* one (algorithm, DcSet, Table)
+// instance; the router extends that across instances. `Acquire` hashes
+// the instance into an `EngineKey` (algorithm id, DcSet fingerprint,
+// table fingerprint), verifies candidates by full content comparison
+// (64-bit fingerprint collisions route to separate entries, never to a
+// wrong engine), and returns a shared `EngineEntry` — creating the
+// engine on a miss and LRU-evicting beyond `RouterOptions::max_engines`.
+//
+// Algorithm-id contract: `RepairAlgorithm::name()` is the routing key
+// for the algorithm — distinct algorithm *objects* with equal names are
+// deliberately routed to one engine (so repeated factory calls share
+// work), which requires that equal names imply equal repair semantics.
+// Callers running differently-configured instances of one repairer
+// class through a shared router must give them distinct names (the
+// bundled repairers take the name as a constructor argument).
+//
+// Eviction drops the router's reference only: requests already holding
+// the entry keep a valid engine until they release it, so eviction under
+// load is safe. A re-acquired key after eviction rebuilds the engine
+// (and re-runs its reference repair) — eviction trades recompute cost
+// for bounded residency, exactly like the table memo inside
+// `BlackBoxRepair`.
+//
+// Per-engine serialization: `Engine` is single-caller (see engine.h).
+// Callers running engine work concurrently MUST hold `EngineEntry::mu`
+// for the duration of each engine call; `ExplainService` does this, and
+// `TRexSession` relies on it via the service.
+
+#ifndef TREX_SERVING_ROUTER_H_
+#define TREX_SERVING_ROUTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "dc/constraint.h"
+#include "repair/algorithm.h"
+#include "table/table.h"
+
+namespace trex::serving {
+
+/// Options for the router.
+struct RouterOptions {
+  /// Resident-engine cap (>= 1). Each resident engine holds its dirty
+  /// table, reference repair, and memo caches, so this bounds the
+  /// service's steady-state footprint.
+  std::size_t max_engines = 8;
+  /// Options applied to every engine the router creates (sweep threads,
+  /// memo cap).
+  EngineOptions engine_options;
+};
+
+/// Router cost accounting.
+struct RouterStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  /// Engines currently resident (<= max_engines).
+  std::size_t resident = 0;
+};
+
+/// The identity of a repair instance, as the router keys it.
+struct EngineKey {
+  std::string algorithm_id;
+  std::uint64_t dcs_fingerprint = 0;
+  std::uint64_t table_fingerprint = 0;
+
+  bool operator==(const EngineKey& other) const {
+    return algorithm_id == other.algorithm_id &&
+           dcs_fingerprint == other.dcs_fingerprint &&
+           table_fingerprint == other.table_fingerprint;
+  }
+};
+
+struct EngineKeyHash {
+  std::size_t operator()(const EngineKey& key) const;
+};
+
+/// One routed engine plus the mutex that serializes access to it.
+struct EngineEntry {
+  EngineEntry(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+              dc::DcSet dcs, std::shared_ptr<const Table> table,
+              EngineOptions options)
+      : engine(std::move(algorithm), std::move(dcs), std::move(table),
+               options) {}
+
+  Engine engine;
+  /// Hold while calling into `engine` whenever other holders may exist
+  /// (the engine itself is single-caller).
+  std::mutex mu;
+};
+
+/// Bounded LRU pool of engines (see file comment). All methods are
+/// thread-safe.
+class EngineRouter {
+ public:
+  explicit EngineRouter(RouterOptions options = {});
+
+  /// Returns the engine entry serving (algorithm, dcs, table), creating
+  /// it on first use. The table is shared, not copied — callers keep one
+  /// resident copy per distinct table regardless of request count.
+  /// Engine construction is cheap (the reference repair runs lazily at
+  /// the first explanation), so `Acquire` never blocks on repair work.
+  std::shared_ptr<EngineEntry> Acquire(
+      std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+      const dc::DcSet& dcs, std::shared_ptr<const Table> table);
+
+  /// Like above for callers holding only a mutable/borrowed table (the
+  /// session's interactive loop): the table is snapshotted into a
+  /// shared copy *only on a miss* — a hit against a resident engine
+  /// copies nothing.
+  std::shared_ptr<EngineEntry> Acquire(
+      std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+      const dc::DcSet& dcs, const Table& table);
+
+  RouterStats stats() const;
+
+  const RouterOptions& options() const { return options_; }
+
+ private:
+  struct Slot {
+    std::shared_ptr<EngineEntry> entry;
+    std::uint64_t last_used = 0;
+  };
+
+  /// Drops the least-recently-used slot. Requires `mu_` held and a
+  /// non-empty pool.
+  void EvictLru();
+
+  /// Shared lookup/insert body; `snapshot` materializes the shared
+  /// table handle and is invoked only on a miss.
+  std::shared_ptr<EngineEntry> AcquireImpl(
+      std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+      const dc::DcSet& dcs, const Table& table,
+      const std::function<std::shared_ptr<const Table>()>& snapshot);
+
+  RouterOptions options_;
+  mutable std::mutex mu_;
+  /// Buckets of verified slots: fingerprint collisions co-exist in one
+  /// bucket and are told apart by full (dcs, table) comparison.
+  std::unordered_map<EngineKey, std::vector<Slot>, EngineKeyHash> engines_;
+  std::uint64_t tick_ = 0;
+  std::size_t resident_ = 0;
+  RouterStats stats_;
+};
+
+}  // namespace trex::serving
+
+#endif  // TREX_SERVING_ROUTER_H_

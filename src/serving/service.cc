@@ -1,0 +1,198 @@
+#include "serving/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace trex::serving {
+
+Ticket Ticket::Rejected(Status status) {
+  TREX_CHECK(!status.ok());
+  Ticket ticket;
+  std::promise<Result<ExplainResult>> promise;
+  promise.set_value(std::move(status));
+  ticket.future_ = promise.get_future().share();
+  return ticket;
+}
+
+void Ticket::Cancel() {
+  if (cancel_ != nullptr) cancel_->Cancel();
+}
+
+bool Ticket::done() const {
+  if (!future_.valid()) return false;
+  return future_.wait_for(std::chrono::seconds(0)) ==
+         std::future_status::ready;
+}
+
+Result<ExplainResult> Ticket::Wait() {
+  TREX_CHECK(future_.valid()) << "Wait() on a default-constructed ticket";
+  return future_.get();
+}
+
+ExplainService::ExplainService(ServiceOptions options)
+    : options_(options), router_(options.router) {
+  const std::size_t workers = std::max<std::size_t>(options_.num_workers, 1);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ExplainService::~ExplainService() {
+  std::vector<std::shared_ptr<Job>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    while (!queue_.empty()) {
+      drained.push_back(queue_.top());
+      queue_.pop();
+    }
+    // Flip every outstanding token: queued jobs are resolved below and
+    // in-flight sweeps stop at their next poll, so join() is prompt.
+    for (auto& [id, job] : outstanding_) job->cancel->Cancel();
+  }
+  work_cv_.notify_all();
+  for (std::shared_ptr<Job>& job : drained) {
+    Resolve(job, Status::Cancelled("service shutting down"));
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+Ticket ExplainService::Submit(
+    std::shared_ptr<const repair::RepairAlgorithm> algorithm, dc::DcSet dcs,
+    std::shared_ptr<const Table> table, ExplainRequest request,
+    RequestOptions options) {
+  TREX_CHECK(algorithm != nullptr);
+  TREX_CHECK(table != nullptr);
+  auto job = std::make_shared<Job>();
+  job->priority = options.priority;
+  job->deadline = options.deadline;
+  job->algorithm = std::move(algorithm);
+  job->dcs = std::move(dcs);
+  job->table = std::move(table);
+  job->cancel = std::make_shared<CancelSource>();
+  job->request = std::move(request);
+  // The engine polls one token; merge the ticket's lever with the
+  // caller's token (and any token already on the request).
+  job->request.cancel = CancelToken::AnyOf(
+      CancelToken::AnyOf(job->request.cancel, options.cancel),
+      job->cancel->token());
+  job->on_complete = std::move(options.on_complete);
+
+  Ticket ticket;
+  ticket.cancel_ = job->cancel;
+  ticket.future_ = job->promise.get_future().share();
+
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->id = next_id_++;
+    job->seq = job->id;
+    ticket.id_ = job->id;
+    ++stats_.submitted;
+    if (stop_) {
+      rejected = true;
+    } else {
+      outstanding_.emplace(job->id, job);
+      queue_.push(job);
+    }
+  }
+  if (rejected) {
+    Resolve(job, Status::Cancelled("service is shut down"));
+    return ticket;
+  }
+  work_cv_.notify_one();
+  return ticket;
+}
+
+Result<ExplainResult> ExplainService::ExplainSync(
+    std::shared_ptr<const repair::RepairAlgorithm> algorithm, dc::DcSet dcs,
+    std::shared_ptr<const Table> table, ExplainRequest request,
+    RequestOptions options) {
+  Ticket ticket =
+      Submit(std::move(algorithm), std::move(dcs), std::move(table),
+             std::move(request), std::move(options));
+  return ticket.Wait();
+}
+
+void ExplainService::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;  // destructor drained and resolves the queue
+      job = queue_.top();
+      queue_.pop();
+    }
+    Serve(std::move(job));
+  }
+}
+
+void ExplainService::Serve(std::shared_ptr<Job> job) {
+  if (job->request.cancel.cancelled()) {
+    Resolve(job, Status::Cancelled("request cancelled while queued"));
+    return;
+  }
+  if (job->deadline.has_value() &&
+      std::chrono::steady_clock::now() > *job->deadline) {
+    Resolve(job, Status::Cancelled("deadline exceeded while queued"),
+            /*expired=*/true);
+    return;
+  }
+  std::shared_ptr<EngineEntry> entry =
+      router_.Acquire(job->algorithm, job->dcs, job->table);
+  bool expired = false;
+  Result<ExplainResult> result = [&]() -> Result<ExplainResult> {
+    // Per-engine serialization: the engine is single-caller; requests
+    // for *different* engines overlap across workers.
+    std::lock_guard<std::mutex> guard(entry->mu);
+    // Re-check the deadline: the wait for the engine mutex (behind
+    // another request's sweep) can outlast it, and a job that has not
+    // started must not pay for a full sweep past its deadline.
+    if (job->deadline.has_value() &&
+        std::chrono::steady_clock::now() > *job->deadline) {
+      expired = true;
+      return Status::Cancelled("deadline exceeded before execution");
+    }
+    return entry->engine.Explain(job->request);
+  }();
+  Resolve(job, std::move(result), expired);
+}
+
+void ExplainService::Resolve(const std::shared_ptr<Job>& job,
+                             Result<ExplainResult> result, bool expired) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok()) {
+      ++stats_.completed;
+    } else if (result.status().IsCancelled()) {
+      ++stats_.cancelled;
+      if (expired) ++stats_.expired;
+    } else {
+      ++stats_.failed;
+    }
+    outstanding_.erase(job->id);
+  }
+  job->promise.set_value(result);
+  if (job->on_complete) job->on_complete(result);
+}
+
+ServiceStats ExplainService::stats() const {
+  ServiceStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats = stats_;
+  }
+  stats.router = router_.stats();
+  return stats;
+}
+
+std::size_t ExplainService::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace trex::serving

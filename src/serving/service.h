@@ -1,0 +1,229 @@
+// `serving::ExplainService`: the asynchronous, multi-table front door of
+// the explanation stack.
+//
+// T-REx is interactive: users submit new explanation queries while
+// earlier Shapley sweeps are still running, and one deployment serves
+// many tables. The service decouples *admission* from *execution*:
+//
+//   ExplainService service;
+//   Ticket ticket = service.Submit(algorithm, dcs, table, request,
+//                                  {.priority = 5});
+//   ... do other work, submit more requests ...
+//   Result<ExplainResult> result = ticket.Wait();   // or ticket.Cancel()
+//
+// `Submit` returns immediately with a `Ticket` (a future plus a
+// cancellation handle). Worker threads drain a priority queue (higher
+// `RequestOptions::priority` first, FIFO within a priority level),
+// route each job through an `EngineRouter` (so requests for the same
+// (algorithm, DcSet, Table) instance share one engine and its memo
+// caches, while requests for different tables overlap in wall-clock),
+// and serialize per-engine access so the engine's single-caller
+// invariant holds under concurrent traffic.
+//
+// Cancellation is cooperative end to end: `Ticket::Cancel()` (or a
+// caller-supplied `RequestOptions::cancel` token) stops a queued job
+// before it runs and an in-flight job at its next black-box evaluation;
+// the future then resolves to `Status::Cancelled`. A missed
+// `RequestOptions::deadline` cancels a job at dequeue time. An optional
+// `on_complete` callback fires on the worker thread after the future is
+// resolved.
+//
+// Determinism: execution order affects only latency, never values — a
+// request's result is bit-identical to calling `Engine::Explain`
+// synchronously with the same seeds, because the service runs exactly
+// that code on exactly one engine per instance.
+//
+// Thread safety: all public methods are thread-safe. Destruction cancels
+// queued and in-flight work, resolves every outstanding future, and
+// joins the workers.
+
+#ifndef TREX_SERVING_SERVICE_H_
+#define TREX_SERVING_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/engine.h"
+#include "dc/constraint.h"
+#include "repair/algorithm.h"
+#include "serving/cancel.h"
+#include "serving/router.h"
+#include "table/table.h"
+
+namespace trex::serving {
+
+/// Per-request scheduling options.
+struct RequestOptions {
+  /// Higher-priority requests dequeue first; equal priorities are FIFO.
+  int priority = 0;
+  /// Jobs not *started* by this time resolve to `Status::Cancelled`
+  /// without running (in-flight work is bounded by `cancel` instead).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Caller-owned cancellation, merged with the ticket's own handle.
+  CancelToken cancel;
+  /// Invoked on the worker thread right after the future resolves (also
+  /// for cancelled/failed jobs). Must not block for long and must not
+  /// destroy the service.
+  std::function<void(const Result<ExplainResult>&)> on_complete;
+};
+
+/// Options for the service.
+struct ServiceOptions {
+  /// Worker threads executing requests. Requests to different engines
+  /// overlap up to this width; requests to the same engine serialize.
+  std::size_t num_workers = 2;
+  /// Engine pool configuration (cap + per-engine options).
+  RouterOptions router;
+};
+
+/// Aggregate accounting across the service's lifetime.
+struct ServiceStats {
+  std::size_t submitted = 0;
+  /// Resolved with a value.
+  std::size_t completed = 0;
+  /// Resolved with a non-cancellation error.
+  std::size_t failed = 0;
+  /// Resolved `Cancelled` (including deadline expirations).
+  std::size_t cancelled = 0;
+  /// ...of which missed their deadline before starting.
+  std::size_t expired = 0;
+  RouterStats router;
+};
+
+/// Handle to one submitted request: a future plus a cancellation lever.
+/// Copyable; all copies observe the same request.
+class Ticket {
+ public:
+  Ticket() = default;
+
+  /// A ticket already resolved with `status` and attached to no service
+  /// — for submissions rejected before admission (e.g. a session asked
+  /// to explain with no repair). `status` must not be OK.
+  static Ticket Rejected(Status status);
+
+  /// Monotonic id (1-based submission order); 0 for a default or
+  /// rejected ticket.
+  std::uint64_t id() const { return id_; }
+  bool valid() const { return id_ != 0; }
+
+  /// Requests cooperative cancellation (see file comment). Idempotent;
+  /// racing an almost-finished job is fine — the future then resolves
+  /// with the completed result.
+  void Cancel();
+
+  /// True once the future is resolved (non-blocking).
+  bool done() const;
+
+  /// Blocks until resolution and returns the result (copy; callable from
+  /// any thread, any number of times).
+  Result<ExplainResult> Wait();
+
+ private:
+  friend class ExplainService;
+  std::uint64_t id_ = 0;
+  std::shared_ptr<CancelSource> cancel_;
+  std::shared_future<Result<ExplainResult>> future_;
+};
+
+/// Asynchronous multi-table explanation service (see file comment).
+class ExplainService {
+ public:
+  explicit ExplainService(ServiceOptions options = {});
+
+  /// Cancels outstanding work, resolves every future, joins workers.
+  ~ExplainService();
+
+  ExplainService(const ExplainService&) = delete;
+  ExplainService& operator=(const ExplainService&) = delete;
+
+  /// Enqueues one explanation request against (algorithm, dcs, table)
+  /// and returns immediately. The table is shared, not copied; callers
+  /// submitting many requests for one table should reuse one
+  /// `shared_ptr`. The algorithm must be thread-safe (all bundled
+  /// repairers are).
+  Ticket Submit(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+                dc::DcSet dcs, std::shared_ptr<const Table> table,
+                ExplainRequest request, RequestOptions options = {});
+
+  /// Submit + Wait, for callers that want the service's routing but not
+  /// its asynchrony (the session's synchronous explain calls).
+  Result<ExplainResult> ExplainSync(
+      std::shared_ptr<const repair::RepairAlgorithm> algorithm, dc::DcSet dcs,
+      std::shared_ptr<const Table> table, ExplainRequest request,
+      RequestOptions options = {});
+
+  /// The engine pool. Exposed for direct engine access (`TRexSession`
+  /// uses it for repair diffs and batch calls); hold the entry's mutex
+  /// when service traffic may run concurrently.
+  EngineRouter& router() { return router_; }
+
+  ServiceStats stats() const;
+
+  /// Jobs admitted but not yet started (queued).
+  std::size_t pending() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    int priority = 0;
+    std::uint64_t seq = 0;  // FIFO tie-break within a priority
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::shared_ptr<const repair::RepairAlgorithm> algorithm;
+    dc::DcSet dcs;
+    std::shared_ptr<const Table> table;
+    ExplainRequest request;  // `request.cancel` holds the merged token
+    std::shared_ptr<CancelSource> cancel;
+    std::function<void(const Result<ExplainResult>&)> on_complete;
+    std::promise<Result<ExplainResult>> promise;
+  };
+
+  struct JobOrder {
+    bool operator()(const std::shared_ptr<Job>& a,
+                    const std::shared_ptr<Job>& b) const {
+      // priority_queue pops the *largest*: lower priority (or same
+      // priority, later submission) sorts below.
+      if (a->priority != b->priority) return a->priority < b->priority;
+      return a->seq > b->seq;
+    }
+  };
+
+  void WorkerLoop();
+  void Serve(std::shared_ptr<Job> job);
+  /// Resolves the job's future, updates stats, fires the callback, and
+  /// forgets the job. `expired` marks deadline cancellations.
+  void Resolve(const std::shared_ptr<Job>& job, Result<ExplainResult> result,
+               bool expired = false);
+
+  ServiceOptions options_;
+  EngineRouter router_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::priority_queue<std::shared_ptr<Job>, std::vector<std::shared_ptr<Job>>,
+                      JobOrder>
+      queue_;
+  /// Every unresolved job (queued or in-flight), for shutdown
+  /// cancellation.
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> outstanding_;
+  bool stop_ = false;
+  std::uint64_t next_id_ = 1;
+  ServiceStats stats_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace trex::serving
+
+#endif  // TREX_SERVING_SERVICE_H_

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -135,6 +136,52 @@ TEST(EngineTest, BatchMatchesSerialExplainBitIdentically) {
     ExpectSameExplanation(*batch->results[i]->explanation,
                           *serial->explanation);
   }
+}
+
+TEST(EngineTest, MemoCapChangesOnlyCostNeverResults) {
+  std::vector<ExplainRequest> requests;
+  const std::vector<CellRef> targets = ThreeTargets();
+  requests.push_back(CellsRequest(targets[0], 96, 11));
+  requests.push_back(CellsRequest(targets[1], 96, 22));
+
+  Engine unbounded(Alg(), data::SoccerConstraints(), ThreeTargetDirtyTable());
+  auto baseline = unbounded.ExplainBatch(requests);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  EXPECT_EQ(baseline->stats.cache_evictions, 0u);
+
+  EngineOptions options;
+  options.max_memo_entries = 8;
+  Engine capped(Alg(), data::SoccerConstraints(), ThreeTargetDirtyTable(),
+                options);
+  auto capped_batch = capped.ExplainBatch(requests);
+  ASSERT_TRUE(capped_batch.ok()) << capped_batch.status();
+
+  // Eviction is a cost knob, not a semantics knob: values bit-identical,
+  // evictions surfaced, extra repair runs paid for the recomputes.
+  EXPECT_GT(capped_batch->stats.cache_evictions, 0u);
+  EXPECT_EQ(capped.num_cache_evictions(),
+            capped_batch->stats.cache_evictions);
+  EXPECT_GE(capped_batch->stats.algorithm_calls,
+            baseline->stats.algorithm_calls);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(capped_batch->results[i].ok());
+    ExpectSameExplanation(*capped_batch->results[i]->explanation,
+                          *baseline->results[i]->explanation);
+  }
+}
+
+TEST(EngineTest, SharedDirtyTableHasOneResidentCopy) {
+  auto table = std::make_shared<const Table>(ThreeTargetDirtyTable());
+  Engine engine(Alg(), data::SoccerConstraints(), table);
+  // The engine aliases the caller's table rather than copying it...
+  EXPECT_EQ(&engine.dirty(), table.get());
+  ASSERT_TRUE(engine.EnsureRepair().ok());
+  // ...and hands the same object to the black-box repair: use_count is
+  // caller + engine + box, with no deep copies in between.
+  EXPECT_EQ(engine.shared_dirty().get(), table.get());
+  EXPECT_EQ(table.use_count(), 3);
+  auto result = engine.Explain(ConstraintRequest(data::SoccerTargetCell()));
+  ASSERT_TRUE(result.ok()) << result.status();
 }
 
 TEST(EngineTest, ThreadCountDoesNotChangeSampledValues) {

@@ -41,6 +41,42 @@ TEST(SessionTest, ExplainBeforeRepairRejected) {
   EXPECT_FALSE(ex.ok());
 }
 
+TEST(SessionTest, SubmitExplainBeforeRepairReturnsRejectedTicket) {
+  TRexSession session = MakeSession();
+  ExplainRequest request;
+  request.target = data::SoccerTargetCell();
+  serving::Ticket ticket = session.SubmitExplain(request);
+  EXPECT_FALSE(ticket.valid());
+  // Resolved with a recoverable error, like the synchronous paths — no
+  // crash on Wait().
+  auto result = ticket.Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionTest, SubmitExplainMatchesSynchronousPath) {
+  TRexSession session = MakeSession();
+  ASSERT_TRUE(session.Repair().ok());
+  const CellRef target = data::SoccerTargetCell();
+
+  auto sync = session.ExplainConstraints(target);
+  ASSERT_TRUE(sync.ok()) << sync.status();
+
+  ExplainRequest request;
+  request.target = target;
+  request.kind = ExplainKind::kConstraints;
+  serving::Ticket ticket = session.SubmitExplain(request);
+  ASSERT_TRUE(ticket.valid());
+  auto async_result = ticket.Wait();
+  ASSERT_TRUE(async_result.ok()) << async_result.status();
+  const Explanation& ex = *async_result->explanation;
+  ASSERT_EQ(ex.ranked.size(), sync->ranked.size());
+  for (std::size_t i = 0; i < ex.ranked.size(); ++i) {
+    EXPECT_EQ(ex.ranked[i].label, sync->ranked[i].label);
+    EXPECT_EQ(ex.ranked[i].shapley, sync->ranked[i].shapley);
+  }
+}
+
 TEST(SessionTest, ExplainConstraintsAfterRepair) {
   TRexSession session = MakeSession();
   ASSERT_TRUE(session.Repair().ok());
