@@ -1,5 +1,9 @@
-// The async serving layer under mixed-table load: overlap, cancellation,
-// and service-vs-sync bit-identity.
+// The async serving layer under load: overlap, cancellation,
+// service-vs-sync bit-identity, and the admit → coalesce → execute
+// scheduler (queue cap + load-shedding under oversubmission, and the
+// repair-call reduction from coalescing same-engine requests). The
+// scheduler scenarios emit one JSON line each (prefixed "JSON ") so the
+// bench trajectory is machine-readable.
 //
 // Three claims of the PR 2 serving redesign, each with a verdict:
 //  1. One `ExplainService` overlaps requests across tables: the
@@ -19,9 +23,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -29,9 +36,14 @@
 #include "core/engine.h"
 #include "data/soccer.h"
 #include "serving/service.h"
+#include "tests/serving/algorithm_fixtures.h"
 
 namespace trex {
 namespace {
+
+using trex::testing::CancelAfterAlgorithm;
+using trex::testing::GatedAlgorithm;
+using trex::testing::InstrumentedAlgorithm;
 
 /// Distinct single-error variants of the soccer table: each routes to
 /// its own engine (different content fingerprint), same constraint set.
@@ -66,60 +78,6 @@ ExplainRequest ConstraintRequest() {
   return request;
 }
 
-/// Pass-through repairer padding every call with a fixed latency: a
-/// stand-in for repair backends that do I/O (remote services, on-disk
-/// state). Threads sleeping in the backend overlap even on one core.
-class PaddedAlgorithm : public repair::RepairAlgorithm {
- public:
-  PaddedAlgorithm(std::shared_ptr<const repair::RepairAlgorithm> inner,
-                  std::chrono::microseconds pad)
-      : inner_(std::move(inner)), pad_(pad) {}
-
-  std::string name() const override {
-    return "padded(" + inner_->name() + ")";
-  }
-
-  Result<Table> Repair(const dc::DcSet& dcs,
-                       const Table& dirty) const override {
-    std::this_thread::sleep_for(pad_);
-    return inner_->Repair(dcs, dirty);
-  }
-
- private:
-  std::shared_ptr<const repair::RepairAlgorithm> inner_;
-  std::chrono::microseconds pad_;
-};
-
-/// Pass-through repairer that counts calls and flips a cancel source
-/// after a budget — deterministic mid-sweep cancellation.
-class CancelAfterAlgorithm : public repair::RepairAlgorithm {
- public:
-  CancelAfterAlgorithm(std::shared_ptr<const repair::RepairAlgorithm> inner,
-                       std::size_t cancel_after)
-      : inner_(std::move(inner)), cancel_after_(cancel_after) {}
-
-  std::string name() const override {
-    return "cancel-after(" + inner_->name() + ")";
-  }
-
-  Result<Table> Repair(const dc::DcSet& dcs,
-                       const Table& dirty) const override {
-    if (calls_.fetch_add(1) + 1 >= cancel_after_ && cancel_after_ > 0) {
-      source_.Cancel();
-    }
-    return inner_->Repair(dcs, dirty);
-  }
-
-  std::size_t calls() const { return calls_.load(); }
-  CancelToken token() const { return source_.token(); }
-
- private:
-  std::shared_ptr<const repair::RepairAlgorithm> inner_;
-  std::size_t cancel_after_;
-  mutable std::atomic<std::size_t> calls_{0};
-  mutable CancelSource source_;
-};
-
 void Run() {
   const auto algorithm = data::MakeAlgorithm1();
   const dc::DcSet dcs = data::SoccerConstraints();
@@ -129,10 +87,11 @@ void Run() {
   const auto tables = VariantTables(kTables);
 
   bench::Header("mixed-table load: serial engines vs ExplainService");
-  // Primary comparison: a latency-padded backend (1ms per repair call),
-  // so cross-table overlap shows on any host.
-  const auto padded = std::make_shared<PaddedAlgorithm>(
-      algorithm, std::chrono::microseconds(1000));
+  // Primary comparison: a latency-padded backend (1ms per repair call,
+  // modelling remote / I/O-bound repairers), so cross-table overlap
+  // shows on any host.
+  const auto padded = std::make_shared<InstrumentedAlgorithm>(
+      "padded", algorithm, std::chrono::microseconds(1000));
   const double serial_seconds = bench::TimeSeconds([&] {
     for (const auto& table : tables) {
       Engine engine(padded, dcs, table);
@@ -252,10 +211,167 @@ void Run() {
                  "service results are bit-identical to synchronous Explain");
 }
 
+/// Scheduler scenario 1 — coalescing: 8 concurrent single-target
+/// requests against one (table, DcSet), interleaved with equal traffic
+/// for a second stream on a router capped at one resident engine (the
+/// steady state of a loaded deployment: another stream's jobs evict
+/// yours between your jobs). Per-job execution rebuilds the engine —
+/// reference repair plus a fresh 2^|C| memo — for every request;
+/// coalescing gathers each stream back into one `ExplainBatch`.
+void RunCoalescingScenario() {
+  bench::Header("scheduler: coalesced vs per-job execution under pressure");
+  const dc::DcSet dcs = data::SoccerConstraints();
+  const auto inner = data::MakeAlgorithm1();
+  const auto tables = VariantTables(2);
+  constexpr std::size_t kRequests = 8;
+
+  struct Outcome {
+    std::size_t calls_a = 0;
+    serving::ServiceStats stats;
+  };
+  auto run = [&](std::size_t max_coalesced) {
+    auto count_a = std::make_shared<InstrumentedAlgorithm>("count-a", inner);
+    auto count_b = std::make_shared<InstrumentedAlgorithm>("count-b", inner);
+    auto gated = std::make_shared<GatedAlgorithm>(inner);
+    serving::ServiceOptions options;
+    options.num_workers = 1;
+    options.max_coalesced_requests = max_coalesced;
+    options.router.max_engines = 1;
+    serving::ExplainService service(options);
+    // Pin the worker so the full backlog queues before any dequeue.
+    serving::Ticket blocker =
+        service.Submit(gated, dcs, tables[1], ConstraintRequest());
+    gated->WaitUntilStarted();
+    std::vector<serving::Ticket> tickets;
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      tickets.push_back(
+          service.Submit(count_a, dcs, tables[0], ConstraintRequest()));
+      tickets.push_back(
+          service.Submit(count_b, dcs, tables[1], ConstraintRequest()));
+    }
+    gated->Release();
+    TREX_CHECK(blocker.Wait().ok());
+    for (serving::Ticket& ticket : tickets) {
+      TREX_CHECK(ticket.Wait().ok());
+    }
+    return Outcome{count_a->calls(), service.stats()};
+  };
+
+  const Outcome per_job = run(1);
+  const Outcome coalesced = run(kRequests);
+  const double reduction =
+      coalesced.calls_a > 0
+          ? static_cast<double>(per_job.calls_a) /
+                static_cast<double>(coalesced.calls_a)
+          : 0.0;
+  std::printf(
+      "%zu single-target requests on one (table, DcSet), interleaved "
+      "with a second stream, 1-engine router\n"
+      "per-job:   %zu repair calls for the stream\n"
+      "coalesced: %zu repair calls (%zu batches, %zu jobs coalesced)\n"
+      "reduction: %.2fx\n",
+      kRequests, per_job.calls_a, coalesced.calls_a,
+      coalesced.stats.coalesced_batches, coalesced.stats.coalesced_jobs,
+      reduction);
+  std::printf(
+      "JSON {\"bench\":\"serving\",\"scenario\":\"coalescing\","
+      "\"requests\":%zu,\"per_job_calls\":%zu,\"coalesced_calls\":%zu,"
+      "\"reduction\":%.2f,\"coalesced_batches\":%zu,"
+      "\"coalesced_jobs\":%zu}\n",
+      kRequests, per_job.calls_a, coalesced.calls_a, reduction,
+      coalesced.stats.coalesced_batches, coalesced.stats.coalesced_jobs);
+  bench::Verdict(coalesced.calls_a * 2 <= per_job.calls_a,
+                 "coalescing cuts the stream's repair calls >= 2x vs "
+                 "per-job execution");
+  bench::Verdict(per_job.stats.coalesced_batches == 0,
+                 "max_coalesced_requests = 1 reproduces per-job behavior");
+}
+
+/// Scheduler scenario 2 — saturation: 4x oversubmission against a
+/// capped queue. Shedding must keep exactly the best of everything
+/// submitted (highest priority, oldest within a priority) and resolve
+/// the rest `Rejected` at admission.
+void RunSaturationScenario() {
+  bench::Header("scheduler: queue cap + shedding under 4x oversubmission");
+  const dc::DcSet dcs = data::SoccerConstraints();
+  const auto algorithm = data::MakeAlgorithm1();
+  const auto table = std::make_shared<const Table>(data::SoccerDirtyTable());
+  constexpr std::size_t kCap = 8;
+  constexpr std::size_t kSubmitted = 4 * kCap;
+
+  auto gated = std::make_shared<GatedAlgorithm>(algorithm);
+  serving::ServiceOptions options;
+  options.num_workers = 1;
+  options.max_queued_jobs = kCap;
+  serving::ExplainService service(options);
+  serving::Ticket blocker =
+      service.Submit(gated, dcs, table, ConstraintRequest());
+  gated->WaitUntilStarted();
+
+  std::vector<std::pair<int, serving::Ticket>> tickets;
+  const double submit_seconds = bench::TimeSeconds([&] {
+    for (std::size_t i = 0; i < kSubmitted; ++i) {
+      serving::RequestOptions request_options;
+      request_options.priority = static_cast<int>(i % 8);
+      tickets.emplace_back(
+          request_options.priority,
+          service.Submit(algorithm, dcs, table, ConstraintRequest(),
+                         request_options));
+    }
+  });
+  gated->Release();
+  TREX_CHECK(blocker.Wait().ok());
+
+  // Priorities cycle 0..7 over 32 submissions; the best 8 of the run
+  // are the four 7s and four 6s, and shedding must keep exactly those.
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  bool survivors_are_best = true;
+  for (auto& [priority, ticket] : tickets) {
+    auto result = ticket.Wait();
+    if (result.ok()) {
+      ++completed;
+      if (priority < 6) survivors_are_best = false;
+    } else {
+      TREX_CHECK(result.status().IsRejected())
+          << result.status().ToString();
+      ++rejected;
+      if (priority >= 6) survivors_are_best = false;
+    }
+  }
+  const serving::ServiceStats stats = service.stats();
+  std::printf(
+      "%zu submissions against a %zu-deep queue (worker pinned): "
+      "%zu served, %zu shed (%.0f%%), high-water %zu, "
+      "admission wall-clock %.1fus/job\n",
+      kSubmitted, kCap, completed, rejected,
+      100.0 * static_cast<double>(rejected) /
+          static_cast<double>(kSubmitted),
+      stats.queue_high_water,
+      1e6 * submit_seconds / static_cast<double>(kSubmitted));
+  std::printf(
+      "JSON {\"bench\":\"serving\",\"scenario\":\"saturation\","
+      "\"submitted\":%zu,\"queue_cap\":%zu,\"completed\":%zu,"
+      "\"shed\":%zu,\"queue_high_water\":%zu,"
+      "\"admission_us_per_job\":%.1f}\n",
+      kSubmitted, kCap, completed, stats.shed, stats.queue_high_water,
+      1e6 * submit_seconds / static_cast<double>(kSubmitted));
+  bench::Verdict(completed == kCap && rejected == kSubmitted - kCap &&
+                     stats.shed == kSubmitted - kCap,
+                 "a full queue sheds exactly the oversubmission");
+  bench::Verdict(survivors_are_best,
+                 "shedding keeps the highest-priority jobs, rejects the "
+                 "rest at admission");
+  bench::Verdict(stats.queue_high_water == kCap,
+                 "queue depth never exceeds the admission cap");
+}
+
 }  // namespace
 }  // namespace trex
 
 int main() {
   trex::Run();
+  trex::RunCoalescingScenario();
+  trex::RunSaturationScenario();
   return 0;
 }

@@ -27,6 +27,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kRejected:
+      return "Rejected";
   }
   return "Unknown";
 }

@@ -31,6 +31,11 @@ enum class StatusCode : std::uint8_t {
   /// The operation was cooperatively cancelled (caller-requested or
   /// deadline-expired) before it produced a result.
   kCancelled,
+  /// The operation was refused admission by an overloaded server (e.g.
+  /// load-shedding on a full service queue). Unlike `kCancelled`, the
+  /// work never entered execution and the caller may retry later or at
+  /// a higher priority.
+  kRejected,
 };
 
 /// Returns a stable human-readable name for a status code (e.g. "Invalid
@@ -81,12 +86,18 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Rejected(std::string msg) {
+    return Status(StatusCode::kRejected, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
 
   /// True iff this status reports cooperative cancellation.
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+
+  /// True iff this status reports overload rejection (load-shedding).
+  bool IsRejected() const { return code_ == StatusCode::kRejected; }
 
   /// The status category.
   StatusCode code() const { return code_; }

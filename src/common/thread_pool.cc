@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace trex {
 
@@ -25,6 +26,21 @@ std::size_t ThreadPool::DefaultThreads(std::size_t cap) {
   const std::size_t hw = std::thread::hardware_concurrency();
   if (hw == 0) return 1;
   return std::min(hw, std::max<std::size_t>(cap, 1));
+}
+
+void ThreadPool::RunSharded(ThreadPool* pool, std::size_t num_threads,
+                            std::size_t num_tasks,
+                            const std::function<void(std::size_t)>& fn) {
+  if (num_threads <= 1 || num_tasks <= 1) {
+    for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  std::unique_ptr<ThreadPool> transient;
+  if (pool == nullptr) {
+    transient = std::make_unique<ThreadPool>(num_threads);
+    pool = transient.get();
+  }
+  pool->Run(num_tasks, fn);
 }
 
 void ThreadPool::DrainCurrentJob() {

@@ -47,6 +47,15 @@ class ThreadPool {
   /// Hardware concurrency clamped to [1, cap]; 1 when unknown.
   static std::size_t DefaultThreads(std::size_t cap = 8);
 
+  /// Shared dispatch for sharded kernels: runs `fn(0..num_tasks-1)`
+  /// serially when `num_threads <= 1` or there is at most one task, on
+  /// `pool` when provided (non-owning), and on a transient pool of
+  /// `num_threads` otherwise. One implementation so the Shapley
+  /// kernels' serial/pooled/transient policy cannot drift apart.
+  static void RunSharded(ThreadPool* pool, std::size_t num_threads,
+                         std::size_t num_tasks,
+                         const std::function<void(std::size_t)>& fn);
+
  private:
   void WorkerLoop();
   /// Claims and runs tasks of the current job until none remain.

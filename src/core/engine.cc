@@ -90,6 +90,7 @@ Status Engine::EnsureRepair() {
       BlackBoxRepair box,
       BlackBoxRepair::MakeMultiTarget(algorithm_.get(), dcs_, dirty_, {}));
   box.set_max_memo_entries(options_.max_memo_entries);
+  box.set_use_strong_table_hash(options_.use_strong_table_hash);
   box_ = std::move(box);
   return Status::Ok();
 }
@@ -255,9 +256,20 @@ Result<ExplainResult> Engine::Explain(const ExplainRequest& request) {
 }
 
 Result<BatchResult> Engine::ExplainBatch(
-    const std::vector<ExplainRequest>& requests) {
+    const std::vector<ExplainRequest>& requests, CancelToken cancel) {
   BatchResult batch;
   if (requests.empty()) return batch;  // nothing to serve, nothing to pay
+  if (cancel.cancelled()) {
+    // A dead batch must not pay for the reference repair — the
+    // dominant cost on a cold engine.
+    batch.stats.requests = requests.size();
+    batch.stats.failed_requests = requests.size();
+    batch.stats.cancelled_requests = requests.size();
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      batch.results.push_back(Status::Cancelled("batch cancelled"));
+    }
+    return batch;
+  }
   const bool had_repair = box_.has_value();
   const std::size_t calls_before = num_algorithm_calls();
   const std::size_t hits_before = num_cache_hits();
@@ -269,8 +281,21 @@ Result<BatchResult> Engine::ExplainBatch(
 
   batch.results.reserve(requests.size());
   for (const ExplainRequest& request : requests) {
-    Result<ExplainResult> result = Explain(request);
-    if (!result.ok()) ++batch.stats.failed_requests;
+    Result<ExplainResult> result = [&]() -> Result<ExplainResult> {
+      // The batch-level token short-circuits remaining slots; merged
+      // into each member it also stops a slot mid-sweep.
+      if (cancel.cancelled()) {
+        return Status::Cancelled("batch cancelled");
+      }
+      if (!cancel.can_be_cancelled()) return Explain(request);
+      ExplainRequest merged = request;
+      merged.cancel = CancelToken::AnyOf(merged.cancel, cancel);
+      return Explain(merged);
+    }();
+    if (!result.ok()) {
+      ++batch.stats.failed_requests;
+      if (result.status().IsCancelled()) ++batch.stats.cancelled_requests;
+    }
     batch.results.push_back(std::move(result));
   }
   batch.stats.requests = requests.size();
@@ -304,6 +329,10 @@ Result<Explanation> Engine::ExplainConstraints(
   if (exact) {
     shap::ExactShapleyOptions exact_options;
     exact_options.max_players = options.max_exact_players;
+    // Shard the 2^n subset walk over the engine's persistent pool;
+    // values are bit-identical for every thread count.
+    exact_options.num_threads = options_.num_threads;
+    exact_options.pool = SweepPool();
     exact_options.cancel = cancel;
     TREX_ASSIGN_OR_RETURN(
         std::vector<double> values,
@@ -354,6 +383,8 @@ Result<std::vector<InteractionScore>> Engine::ExplainInteractions(
   ConstraintGame game(&*box_, target_index);
   shap::InteractionOptions interaction_options;
   interaction_options.max_players = options.max_exact_players;
+  interaction_options.num_threads = options_.num_threads;
+  interaction_options.pool = SweepPool();
   interaction_options.cancel = cancel;
   TREX_ASSIGN_OR_RETURN(
       std::vector<shap::Interaction> raw,
@@ -439,6 +470,8 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
     CellGame game(&*box_, players, target_index);
     shap::ExactShapleyOptions exact_options;
     exact_options.max_players = options.max_exact_players;
+    exact_options.num_threads = options_.num_threads;
+    exact_options.pool = SweepPool();
     exact_options.cancel = cancel;
     TREX_ASSIGN_OR_RETURN(std::vector<double> values,
                           shap::ComputeExactShapley(game, exact_options));

@@ -16,14 +16,19 @@
 //       auto batch  = engine.ExplainBatch({r1, r2, r3});   // amortized
 //
 //   * `serving::ExplainService` (src/serving/service.h) is the ASYNC
-//     front-end a deployment talks to: it accepts requests for *many*
-//     tables, queues them by priority, runs them on worker threads, and
-//     returns futures/tickets with cooperative cancellation. Underneath,
-//     a `serving::EngineRouter` keys a bounded LRU pool of engines by
-//     (algorithm id, DcSet fingerprint, table fingerprint), so each
-//     engine keeps the amortization story below while the service scales
-//     across tables. `TRexSession` adapts the service back into the
-//     paper's interactive single-table loop.
+//     front-end a deployment talks to. Its request path is a three-stage
+//     admit → coalesce → execute scheduler: ADMIT bounds the queue and
+//     load-sheds the lowest-priority job (`Status::Rejected`) when it is
+//     full; COALESCE gathers queued same-engine jobs at dequeue and
+//     lowers them into one `ExplainBatch` call here, fanning per-target
+//     results back to each job's ticket; EXECUTE runs under per-job
+//     cancellation tokens armed by caller cancels *and* wall-clock
+//     deadlines, which the sweep/enumeration loops below poll mid-run.
+//     Underneath, a `serving::EngineRouter` keys a bounded LRU pool of
+//     engines by (algorithm id, DcSet fingerprint, table fingerprint),
+//     so each engine keeps the amortization story below while the
+//     service scales across tables. `TRexSession` adapts the service
+//     back into the paper's interactive single-table loop.
 //
 // Amortization: all targets in a batch (and across sequential `Explain`
 // calls on the same engine) share the memo caches — a constraint-subset
@@ -39,9 +44,14 @@
 // `ExplainBatch` and serial `Explain` calls, and between the service
 // path and direct engine calls with the same seeds.
 //
-// Cancellation: `ExplainRequest::cancel` is polled between black-box
-// evaluations inside the sweep/enumeration loops; a cancelled request
-// returns `Status::Cancelled` promptly and leaves the engine reusable.
+// Cancellation is per target, batch-wide, or both: each
+// `ExplainRequest::cancel` is polled between black-box evaluations
+// inside the sweep/enumeration loops (so one coalesced batch member can
+// expire — e.g. on its own deadline — without disturbing its
+// neighbors), and `ExplainBatch` additionally accepts a batch-level
+// token merged into every member and checked between slots. A cancelled
+// request returns `Status::Cancelled` promptly and leaves the engine
+// reusable.
 //
 // Thread-safety contract, per layer:
 //   * `Engine` — one caller at a time. `Explain`/`ExplainBatch` mutate
@@ -140,6 +150,9 @@ struct ExplainResult {
 struct BatchStats {
   std::size_t requests = 0;
   std::size_t failed_requests = 0;
+  /// ...of which resolved `Cancelled` (a member's own token or the
+  /// batch-level token fired).
+  std::size_t cancelled_requests = 0;
   /// 1 when this batch ran the reference repair (first use of the
   /// engine), else 0 — never more, regardless of batch size.
   std::size_t reference_repairs = 0;
@@ -174,6 +187,12 @@ struct EngineOptions {
   /// LRU and change only cost, never results; they are surfaced in
   /// `BatchStats::cache_evictions` and `Engine::num_cache_evictions()`.
   std::size_t max_memo_entries = 0;
+  /// Verify table-memo hits by 128-bit strong content hash instead of
+  /// retaining a full copy of every evaluated input — halves the memo's
+  /// table footprint at the cost of trusting the 128-bit comparison
+  /// over exact content equality (collision odds ~2^-64 per pair; see
+  /// BlackBoxRepair::set_use_strong_table_hash). Default off.
+  bool use_strong_table_hash = false;
 };
 
 /// Unified multi-target explanation engine (see file comment).
@@ -220,8 +239,16 @@ class Engine {
   /// repair runs at most once for the whole batch; requests are
   /// processed in order, so results are bit-identical to issuing the
   /// same requests serially through `Explain` on a fresh engine with
-  /// the same options.
-  Result<BatchResult> ExplainBatch(const std::vector<ExplainRequest>& requests);
+  /// the same options. Cancellation is per target and batch-wide: each
+  /// request's own `cancel` token is polled inside its sweeps (a
+  /// cancelled member lands `Status::Cancelled` in its slot without
+  /// failing the batch), while `cancel` here is merged into every
+  /// member and also short-circuits the remaining slots between
+  /// requests — for callers that want one lever over a whole batch.
+  /// (The service relies on per-job tokens instead: its shutdown path
+  /// flips every outstanding job's own source.)
+  Result<BatchResult> ExplainBatch(const std::vector<ExplainRequest>& requests,
+                                   CancelToken cancel = {});
 
   /// Adaptive top-k cell ranking (see CellExplainer::ExplainTopK); not a
   /// request kind because its adaptive driver is inherently sequential.

@@ -3,32 +3,22 @@
 #include <bit>
 
 #include "common/logging.h"
+#include "core/subset_walk.h"
 
 namespace trex::shap {
 namespace {
 
-/// Materializes v over all coalitions (shared with the exact-Shapley
-/// path; duplicated here to keep the modules independent).
-Result<std::vector<double>> MaterializeValues(const Game& game,
-                                              const InteractionOptions& options) {
-  const std::size_t n = game.num_players();
-  if (n > options.max_players) {
-    return Status::InvalidArgument(
-        "interaction indices over " + std::to_string(n) +
-        " players exceed the configured cap of " +
-        std::to_string(options.max_players));
-  }
-  const std::size_t num_masks = std::size_t{1} << n;
-  std::vector<double> v(num_masks);
-  Coalition coalition(n, false);
-  for (std::size_t mask = 0; mask < num_masks; ++mask) {
-    if (options.cancel.cancelled()) {
-      return Status::Cancelled("interaction computation cancelled");
-    }
-    for (std::size_t i = 0; i < n; ++i) coalition[i] = (mask >> i) & 1;
-    v[mask] = game.Value(coalition);
-  }
-  return v;
+/// Materializes v over all coalitions via the shared sharded subset
+/// walk (core/subset_walk.h), honoring the interaction options' thread
+/// configuration.
+Result<std::vector<double>> MaterializeValues(
+    const Game& game, const InteractionOptions& options) {
+  SubsetWalkOptions walk;
+  walk.max_players = options.max_players;
+  walk.num_threads = options.num_threads;
+  walk.pool = options.pool;
+  walk.cancel = options.cancel;
+  return MaterializeCoalitionValues(game, walk, "interaction indices");
 }
 
 /// Positional weights |S|!(n-|S|-2)!/(n-1)! = 1 / ((n-1) · C(n-2, s)).
@@ -76,9 +66,17 @@ Result<std::vector<Interaction>> ComputeShapleyInteractions(
   out.reserve(n * (n - 1) / 2);
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = a + 1; b < n; ++b) {
-      out.push_back(Interaction{a, b, PairInteraction(v, weight, a, b)});
+      out.push_back(Interaction{a, b, 0.0});
     }
   }
+  // Per-pair accumulation, sharded over the pairs: each pair's sum is a
+  // serial loop in mask order writing a disjoint slot — bit-identical
+  // for any thread count.
+  ThreadPool::RunSharded(options.pool, options.num_threads, out.size(),
+                         [&](std::size_t p) {
+                           out[p].value = PairInteraction(
+                               v, weight, out[p].player_a, out[p].player_b);
+                         });
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/game.h"
 #include "serving/cancel.h"
 
@@ -37,6 +38,12 @@ struct Interaction {
 /// materialized, as for exact Shapley).
 struct InteractionOptions {
   std::size_t max_players = 20;
+  /// Worker threads for the 2^n subset walk and the per-pair
+  /// accumulation; results are bit-identical for every value (see
+  /// core/subset_walk.h). The game must be thread-safe past 1.
+  std::size_t num_threads = 1;
+  /// Optional persistent pool (non-owning; must outlive the call).
+  ThreadPool* pool = nullptr;
   /// Polled per coalition during the 2^n materialization; cancelled
   /// computations return `Status::Cancelled`.
   CancelToken cancel;

@@ -190,16 +190,32 @@ void BlackBoxRepair::EvictLruTableEntry() const {
 
 bool BlackBoxRepair::EvalTable(const Table& perturbed,
                                std::size_t target_index) const {
-  const std::uint64_t fingerprint = perturbed.Fingerprint();
+  // Under strong hashing, hit verification compares 128-bit content
+  // hashes instead of full tables, so entries need not retain their
+  // input copy. Both widths come from one content traversal — tables
+  // are hashed once per evaluation, on the hot path.
+  std::uint64_t fingerprint = 0;
+  Hash128 strong_hash;
+  if (cache_enabled_ && use_strong_table_hash_) {
+    perturbed.DualFingerprint(&fingerprint, &strong_hash);
+  } else {
+    fingerprint = perturbed.Fingerprint();
+  }
+  if (table_bucket_fn_) fingerprint = table_bucket_fn_(perturbed);
+  auto matches = [&](const CacheEntry& entry) {
+    // Never trust the 64-bit bucket fingerprint alone: a collision must
+    // fall through to a fresh repair run, never return another table's
+    // outcome. Verification is full content by default, 128-bit strong
+    // hash under `use_strong_table_hash`.
+    return use_strong_table_hash_ ? entry.strong_hash == strong_hash
+                                  : entry.input == perturbed;
+  };
   if (cache_enabled_) {
     std::shared_lock<std::shared_mutex> lock(state_->mu);
     auto it = state_->table_cache.find(fingerprint);
     if (it != state_->table_cache.end()) {
-      // Verify the full table content, not just the 64-bit fingerprint:
-      // a collision must fall through to a fresh repair run, never
-      // return another table's outcome.
       for (CacheEntry& entry : it->second) {
-        if (entry.input == perturbed) {
+        if (matches(entry)) {
           state_->hits.fetch_add(1);
           if (entry.request_id != state_->current_request.load()) {
             state_->cross_request_hits.fetch_add(1);
@@ -227,14 +243,18 @@ bool BlackBoxRepair::EvalTable(const Table& perturbed,
     // duplicate pair of full-table copies.
     bool already_cached = false;
     for (const CacheEntry& entry : bucket) {
-      if (entry.input == perturbed) {
+      if (matches(entry)) {
         already_cached = true;
         break;
       }
     }
     if (!already_cached) {
       CacheEntry entry;
-      entry.input = perturbed;
+      if (use_strong_table_hash_) {
+        entry.strong_hash = strong_hash;
+      } else {
+        entry.input = perturbed;
+      }
       entry.repaired = std::move(*repaired);
       entry.request_id = state_->current_request.load();
       entry.last_used = state_->tick.fetch_add(1) + 1;

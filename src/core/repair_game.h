@@ -31,12 +31,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "core/game.h"
 #include "dc/constraint.h"
@@ -137,6 +139,26 @@ class BlackBoxRepair {
   /// Table-memo entries currently resident.
   std::size_t num_table_memo_entries() const;
 
+  /// Verifies table-memo hits by 128-bit strong content hash instead of
+  /// retaining a full copy of every evaluated input (halves the memo's
+  /// table footprint; a hit then trusts the 128-bit comparison rather
+  /// than exact content equality). Off by default — full-content
+  /// verification stays the paranoid baseline. Must be set before the
+  /// first evaluation and must not race with evaluations.
+  void set_use_strong_table_hash(bool enabled) {
+    use_strong_table_hash_ = enabled;
+  }
+  bool use_strong_table_hash() const { return use_strong_table_hash_; }
+
+  /// Test-only: overrides the 64-bit bucket fingerprint for the table
+  /// memo, so tests can force distinct tables into one bucket and
+  /// exercise the collision path (full-content or strong-hash
+  /// verification telling them apart). Must not race with evaluations.
+  void set_table_bucket_fn_for_test(
+      std::function<std::uint64_t(const Table&)> fn) {
+    table_bucket_fn_ = std::move(fn);
+  }
+
  private:
   BlackBoxRepair() = default;
 
@@ -149,9 +171,11 @@ class BlackBoxRepair {
   /// One memoized repair run. `input` is kept alongside the table-cache
   /// fingerprint so hits are verified against the full table content —
   /// a bare 64-bit fingerprint would return silently wrong answers on
-  /// collision.
+  /// collision. Under `use_strong_table_hash` the input copy is dropped
+  /// and `strong_hash` (128-bit) carries the verification instead.
   struct CacheEntry {
-    Table input;     // empty (unverified) for mask-cache entries
+    Table input;     // empty for mask-cache and strong-hash entries
+    Hash128 strong_hash;  // set only under `use_strong_table_hash`
     Table repaired;
     std::size_t request_id = 0;
     /// LRU clock value of the last touch (table-cache entries only);
@@ -194,7 +218,10 @@ class BlackBoxRepair {
   Table clean_;
   std::vector<TargetInfo> targets_;
   bool cache_enabled_ = true;
+  bool use_strong_table_hash_ = false;
   std::size_t max_memo_entries_ = 0;  // 0 = unbounded
+  /// Test-only bucket-fingerprint override (null in production).
+  std::function<std::uint64_t(const Table&)> table_bucket_fn_;
   std::unique_ptr<CacheState> state_;
 };
 

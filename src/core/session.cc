@@ -14,16 +14,31 @@ TRexSession::TRexSession(
   TREX_CHECK(algorithm_ != nullptr);
 }
 
+TRexSession::TRexSession(
+    std::shared_ptr<const repair::RepairAlgorithm> algorithm, dc::DcSet dcs,
+    Table dirty, EngineOptions engine_options,
+    serving::ServiceOptions service_options)
+    : TRexSession(std::move(algorithm), std::move(dcs), std::move(dirty),
+                  engine_options) {
+  service_options.router.engine_options = engine_options;
+  service_options_ = service_options;
+}
+
 Status TRexSession::Repair() {
   if (service_ == nullptr) {
     serving::ServiceOptions service_options;
-    // One worker: the interactive loop issues one query at a time, and
-    // parallelism lives inside requests via EngineOptions::num_threads.
-    service_options.num_workers = 1;
-    // Keep the engine of one previous (table, DcSet) iteration warm so
-    // undoing an edit does not re-run its reference repair.
-    service_options.router.max_engines = 2;
-    service_options.router.engine_options = engine_options_;
+    if (service_options_.has_value()) {
+      service_options = *service_options_;
+    } else {
+      // One worker: the interactive loop issues one query at a time,
+      // and parallelism lives inside requests via
+      // EngineOptions::num_threads.
+      service_options.num_workers = 1;
+      // Keep the engine of one previous (table, DcSet) iteration warm
+      // so undoing an edit does not re-run its reference repair.
+      service_options.router.max_engines = 2;
+      service_options.router.engine_options = engine_options_;
+    }
     service_ = std::make_unique<serving::ExplainService>(service_options);
   }
   // By-reference Acquire: the router snapshots `dirty_` only when no
@@ -59,6 +74,10 @@ Engine& TRexSession::engine() {
 serving::ExplainService& TRexSession::service() {
   TREX_CHECK(service_ != nullptr) << "call Repair() first";
   return *service_;
+}
+
+serving::ServiceStats TRexSession::service_stats() const {
+  return service_ != nullptr ? service_->stats() : serving::ServiceStats{};
 }
 
 Result<CellRef> TRexSession::CellAt(std::size_t row,

@@ -57,6 +57,16 @@ class TRexSession {
   TRexSession(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
               dc::DcSet dcs, Table dirty, EngineOptions engine_options = {});
 
+  /// Like above, but with full control over the backing service's
+  /// scheduler — queue capacity / load-shedding (`max_queued_jobs`),
+  /// coalescing width (`max_coalesced_requests`), worker count, and the
+  /// router pool. `engine_options` overrides
+  /// `service_options.router.engine_options` (one source of truth for
+  /// the engine configuration).
+  TRexSession(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+              dc::DcSet dcs, Table dirty, EngineOptions engine_options,
+              serving::ServiceOptions service_options);
+
   const Table& dirty() const { return dirty_; }
   const dc::DcSet& dcs() const { return dcs_; }
   const repair::RepairAlgorithm& algorithm() const { return *algorithm_; }
@@ -82,6 +92,11 @@ class TRexSession {
   /// The service behind this session. Exposed for stats and for sharing
   /// the pool with other sessions' tables.
   serving::ExplainService& service();
+
+  /// Scheduler accounting (admissions, sheds, coalesced batches,
+  /// expiries, queue depth/high-water, router hits); zeroes before the
+  /// first `Repair()` creates the service.
+  serving::ServiceStats service_stats() const;
 
   /// Resolves "tk[Attr]"-style coordinates, e.g. `CellAt(4, "Country")`
   /// (row is 0-based).
@@ -142,7 +157,11 @@ class TRexSession {
   dc::DcSet dcs_;
   Table dirty_;
   EngineOptions engine_options_;
-  /// Created on the first `Repair()`; single worker, small engine pool.
+  /// Scheduler configuration for the backing service; set by the
+  /// five-argument constructor, defaulted (single worker, small engine
+  /// pool) otherwise.
+  std::optional<serving::ServiceOptions> service_options_;
+  /// Created on the first `Repair()`.
   std::unique_ptr<serving::ExplainService> service_;
   /// Immutable snapshot of `dirty_` shared with the routed engine.
   std::shared_ptr<const Table> table_;

@@ -5,34 +5,42 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "core/subset_walk.h"
 
 namespace trex::shap {
+namespace {
+
+/// Runs `fn(player)` for every player, across `options`' threads. Each
+/// player's accumulation is an independent serial loop writing a
+/// disjoint output slot, so results are bit-identical for any thread
+/// count.
+void ForEachPlayer(std::size_t n, const ExactShapleyOptions& options,
+                   const std::function<void(std::size_t)>& fn) {
+  ThreadPool::RunSharded(options.pool, options.num_threads, n, fn);
+}
+
+SubsetWalkOptions WalkOptions(const ExactShapleyOptions& options) {
+  SubsetWalkOptions walk;
+  walk.max_players = options.max_players;
+  walk.num_threads = options.num_threads;
+  walk.pool = options.pool;
+  walk.cancel = options.cancel;
+  return walk;
+}
+
+}  // namespace
 
 Result<std::vector<double>> ComputeExactShapley(
     const Game& game, const ExactShapleyOptions& options) {
   const std::size_t n = game.num_players();
   if (n == 0) return std::vector<double>{};
-  if (n > options.max_players) {
-    return Status::InvalidArgument(
-        "exact Shapley over " + std::to_string(n) +
-        " players exceeds the configured cap of " +
-        std::to_string(options.max_players) +
-        " (use the sampling estimator instead)");
-  }
 
-  // Materialize v over all coalitions.
-  const std::size_t num_masks = std::size_t{1} << n;
-  std::vector<double> v(num_masks);
-  Coalition coalition(n, false);
-  for (std::size_t mask = 0; mask < num_masks; ++mask) {
-    if (options.cancel.cancelled()) {
-      return Status::Cancelled("exact Shapley computation cancelled");
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      coalition[i] = (mask >> i) & 1;
-    }
-    v[mask] = game.Value(coalition);
-  }
+  // Materialize v over all coalitions (sharded; see core/subset_walk.h).
+  SubsetWalkOptions walk = WalkOptions(options);
+  walk.over_cap_hint = "(use the sampling estimator instead)";
+  TREX_ASSIGN_OR_RETURN(const std::vector<double> v,
+                        MaterializeCoalitionValues(game, walk,
+                                                   "exact Shapley"));
 
   // Positional weights w[s] = s! (n-s-1)! / n! = 1 / (n * C(n-1, s)).
   std::vector<double> binom(n, 1.0);  // C(n-1, s)
@@ -45,15 +53,18 @@ Result<std::vector<double>> ComputeExactShapley(
     weight[s] = 1.0 / (static_cast<double>(n) * binom[s]);
   }
 
+  const std::size_t num_masks = v.size();
   std::vector<double> shapley(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  ForEachPlayer(n, options, [&](std::size_t i) {
     const std::size_t bit = std::size_t{1} << i;
+    double sum = 0.0;
     for (std::size_t mask = 0; mask < num_masks; ++mask) {
       if (mask & bit) continue;
       const std::size_t s = static_cast<std::size_t>(std::popcount(mask));
-      shapley[i] += weight[s] * (v[mask | bit] - v[mask]);
+      sum += weight[s] * (v[mask | bit] - v[mask]);
     }
-  }
+    shapley[i] = sum;
+  });
   return shapley;
 }
 
@@ -61,31 +72,21 @@ Result<std::vector<double>> ComputeExactBanzhaf(
     const Game& game, const ExactShapleyOptions& options) {
   const std::size_t n = game.num_players();
   if (n == 0) return std::vector<double>{};
-  if (n > options.max_players) {
-    return Status::InvalidArgument(
-        "exact Banzhaf over " + std::to_string(n) +
-        " players exceeds the configured cap of " +
-        std::to_string(options.max_players));
-  }
-  const std::size_t num_masks = std::size_t{1} << n;
-  std::vector<double> v(num_masks);
-  Coalition coalition(n, false);
-  for (std::size_t mask = 0; mask < num_masks; ++mask) {
-    if (options.cancel.cancelled()) {
-      return Status::Cancelled("exact Banzhaf computation cancelled");
-    }
-    for (std::size_t i = 0; i < n; ++i) coalition[i] = (mask >> i) & 1;
-    v[mask] = game.Value(coalition);
-  }
+  TREX_ASSIGN_OR_RETURN(
+      const std::vector<double> v,
+      MaterializeCoalitionValues(game, WalkOptions(options), "exact Banzhaf"));
+  const std::size_t num_masks = v.size();
   const double weight = 1.0 / static_cast<double>(num_masks / 2);
   std::vector<double> banzhaf(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
+  ForEachPlayer(n, options, [&](std::size_t i) {
     const std::size_t bit = std::size_t{1} << i;
+    double sum = 0.0;
     for (std::size_t mask = 0; mask < num_masks; ++mask) {
       if (mask & bit) continue;
-      banzhaf[i] += weight * (v[mask | bit] - v[mask]);
+      sum += weight * (v[mask | bit] - v[mask]);
     }
-  }
+    banzhaf[i] = sum;
+  });
   return banzhaf;
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/game.h"
 #include "serving/cancel.h"
 
@@ -26,6 +27,14 @@ struct ExactShapleyOptions {
   /// memory and evaluation cost are exponential. 22 players ≈ 4M
   /// evaluations / 32 MB of cached values.
   std::size_t max_players = 22;
+  /// Worker threads for the 2^n subset walk (and the per-player
+  /// accumulation). Results are bit-identical for every value: shards
+  /// evaluate disjoint mask ranges and each player's sum is accumulated
+  /// serially in mask order (see core/subset_walk.h). The game must be
+  /// thread-safe past 1 (`BlackBoxRepair`-backed games are).
+  std::size_t num_threads = 1;
+  /// Optional persistent pool (non-owning; must outlive the call).
+  ThreadPool* pool = nullptr;
   /// Cooperative cancellation, polled once per coalition in the 2^n
   /// materialization loop (each iteration is a repair run unless
   /// memoized). Cancelled computations return `Status::Cancelled`.

@@ -1,5 +1,9 @@
 #include "serving/cancel.h"
 
+#include <utility>
+
+#include "common/logging.h"
+
 namespace trex {
 
 CancelToken CancelToken::AnyOf(const CancelToken& a, const CancelToken& b) {
@@ -16,6 +20,73 @@ CancelToken CancelSource::token() const {
   CancelToken token;
   token.states_.push_back(state_);
   return token;
+}
+
+DeadlineSource::DeadlineSource() = default;
+
+DeadlineSource::~DeadlineSource() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+}
+
+std::uint64_t DeadlineSource::Arm(
+    std::chrono::steady_clock::time_point deadline,
+    std::shared_ptr<CancelSource> source) {
+  TREX_CHECK(source != nullptr);
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    armed_.emplace(ArmKey{deadline, id}, std::move(source));
+    by_id_.emplace(id, deadline);
+    if (!timer_.joinable()) {
+      timer_ = std::thread([this] { TimerLoop(); });
+    }
+  }
+  cv_.notify_all();
+  return id;
+}
+
+void DeadlineSource::Disarm(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;  // unknown or already fired
+  armed_.erase(ArmKey{it->second, id});
+  by_id_.erase(it);
+}
+
+std::size_t DeadlineSource::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_id_.size();
+}
+
+void DeadlineSource::TimerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stop_) return;
+    if (armed_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    auto first = armed_.begin();
+    const auto deadline = first->first.first;
+    if (deadline <= std::chrono::steady_clock::now()) {
+      // Fire under the lock: Cancel() is one relaxed atomic store, and
+      // holding `mu_` keeps the fire/disarm race window trivial.
+      first->second->Cancel();
+      by_id_.erase(first->first.second);
+      armed_.erase(first);
+      continue;
+    }
+    // `deadline` is a copy: Arm/Disarm mutate the map while `mu_` is
+    // released inside wait_until, so no reference into it may be held
+    // across the wait.
+    cv_.wait_until(lock, deadline);
+  }
 }
 
 }  // namespace trex

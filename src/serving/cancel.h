@@ -14,6 +14,14 @@
 // point and reports `Status::Cancelled`. A default-constructed token is
 // never cancelled, so synchronous callers pay nothing.
 //
+// `DeadlineSource` turns wall-clock deadlines into cancellations: a
+// single timer thread holds a min-heap of (deadline, CancelSource) and
+// flips each source when its deadline passes. The service arms one
+// entry per deadline-carrying job at admission, so the job's merged
+// token expires the work wherever it happens to be — still queued, or
+// deep inside a permutation sweep / 2^n subset walk (all of which poll
+// between black-box evaluations).
+//
 // Thread safety: all operations are safe to call concurrently; the flag
 // is a relaxed atomic (cancellation needs no ordering with other data).
 
@@ -21,7 +29,15 @@
 #define TREX_SERVING_CANCEL_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace trex {
@@ -70,6 +86,61 @@ class CancelSource {
 
  private:
   std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Timer-driven deadline enforcement (see file comment): one thread
+/// over an ordered map of armed deadlines, firing
+/// `CancelSource::Cancel()` on each source when the clock passes it.
+/// Firing a source whose work has already resolved is harmless
+/// (cancellation is a sticky flag nobody reads afterwards), so `Disarm`
+/// is an optimization, not a correctness requirement — but it erases
+/// eagerly, so residency is bounded by the *outstanding* deadlines, not
+/// by throughput times deadline horizon. All methods are thread-safe.
+class DeadlineSource {
+ public:
+  DeadlineSource();
+
+  /// Stops the timer thread; armed entries that have not fired never
+  /// fire.
+  ~DeadlineSource();
+
+  DeadlineSource(const DeadlineSource&) = delete;
+  DeadlineSource& operator=(const DeadlineSource&) = delete;
+
+  /// Cancels `source` once `deadline` passes (immediately for deadlines
+  /// already in the past). Returns an id for `Disarm`. `source` must not
+  /// be null; it is kept alive until the entry fires or is disarmed.
+  std::uint64_t Arm(std::chrono::steady_clock::time_point deadline,
+                    std::shared_ptr<CancelSource> source);
+
+  /// Drops an armed entry so it never fires, releasing its source
+  /// immediately. Idempotent; racing the timer is fine (the entry may
+  /// fire anyway, which callers must treat as a normal deadline
+  /// expiry). Unknown/already-fired ids are ignored.
+  void Disarm(std::uint64_t id);
+
+  /// Entries currently armed (not yet fired or disarmed).
+  std::size_t armed() const;
+
+ private:
+  /// Unique ordering key: deadline first, arm id as tie-break.
+  using ArmKey = std::pair<std::chrono::steady_clock::time_point,
+                           std::uint64_t>;
+
+  void TimerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Armed sources ordered soonest-first; `begin()` is the next entry
+  /// to fire. `by_id_` indexes the same entries for eager `Disarm`.
+  std::map<ArmKey, std::shared_ptr<CancelSource>> armed_;
+  std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point>
+      by_id_;
+  std::uint64_t next_id_ = 1;
+  bool stop_ = false;
+  /// Started lazily by the first `Arm` (under `mu_`), so deadline-free
+  /// services never pay for a timer thread.
+  std::thread timer_;
 };
 
 }  // namespace trex

@@ -19,6 +19,15 @@ EngineRouter::EngineRouter(RouterOptions options) : options_(options) {
   TREX_CHECK_GE(options_.max_engines, 1u);
 }
 
+EngineKey EngineRouter::KeyOf(const repair::RepairAlgorithm& algorithm,
+                              const dc::DcSet& dcs, const Table& table) {
+  EngineKey key;
+  key.algorithm_id = algorithm.name();
+  key.dcs_fingerprint = dcs.Fingerprint();
+  key.table_fingerprint = table.Fingerprint();
+  return key;
+}
+
 void EngineRouter::EvictLru() {
   auto victim_bucket = engines_.end();
   std::size_t victim_index = 0;
@@ -47,29 +56,38 @@ std::shared_ptr<EngineEntry> EngineRouter::Acquire(
     std::shared_ptr<const repair::RepairAlgorithm> algorithm,
     const dc::DcSet& dcs, std::shared_ptr<const Table> table) {
   TREX_CHECK(table != nullptr);
+  TREX_CHECK(algorithm != nullptr);
   const Table& borrowed = *table;
-  return AcquireImpl(std::move(algorithm), dcs, borrowed,
+  const EngineKey key = KeyOf(*algorithm, dcs, borrowed);
+  return AcquireImpl(std::move(algorithm), dcs, borrowed, key,
                      [&table] { return std::move(table); });
 }
 
 std::shared_ptr<EngineEntry> EngineRouter::Acquire(
     std::shared_ptr<const repair::RepairAlgorithm> algorithm,
     const dc::DcSet& dcs, const Table& table) {
-  return AcquireImpl(std::move(algorithm), dcs, table, [&table] {
+  TREX_CHECK(algorithm != nullptr);
+  const EngineKey key = KeyOf(*algorithm, dcs, table);
+  return AcquireImpl(std::move(algorithm), dcs, table, key, [&table] {
     return std::make_shared<const Table>(table);
   });
 }
 
+std::shared_ptr<EngineEntry> EngineRouter::Acquire(
+    std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+    const dc::DcSet& dcs, std::shared_ptr<const Table> table,
+    const EngineKey& key) {
+  TREX_CHECK(table != nullptr);
+  TREX_CHECK(algorithm != nullptr);
+  const Table& borrowed = *table;
+  return AcquireImpl(std::move(algorithm), dcs, borrowed, key,
+                     [&table] { return std::move(table); });
+}
+
 std::shared_ptr<EngineEntry> EngineRouter::AcquireImpl(
     std::shared_ptr<const repair::RepairAlgorithm> algorithm,
-    const dc::DcSet& dcs, const Table& table,
+    const dc::DcSet& dcs, const Table& table, const EngineKey& key,
     const std::function<std::shared_ptr<const Table>()>& snapshot) {
-  TREX_CHECK(algorithm != nullptr);
-  EngineKey key;
-  key.algorithm_id = algorithm->name();
-  key.dcs_fingerprint = dcs.Fingerprint();
-  key.table_fingerprint = table.Fingerprint();
-
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Slot>& bucket = engines_[key];
   for (Slot& slot : bucket) {

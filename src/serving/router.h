@@ -67,7 +67,10 @@ struct RouterStats {
   std::size_t resident = 0;
 };
 
-/// The identity of a repair instance, as the router keys it.
+/// The identity of a repair instance, as the router keys it. The
+/// service's coalescing stage also uses it: queued jobs with equal keys
+/// (verified by full DcSet/table comparison, since the fingerprints are
+/// 64-bit) route to one engine and may be lowered into one batch.
 struct EngineKey {
   std::string algorithm_id;
   std::uint64_t dcs_fingerprint = 0;
@@ -78,6 +81,7 @@ struct EngineKey {
            dcs_fingerprint == other.dcs_fingerprint &&
            table_fingerprint == other.table_fingerprint;
   }
+  bool operator!=(const EngineKey& other) const { return !(*this == other); }
 };
 
 struct EngineKeyHash {
@@ -104,6 +108,15 @@ class EngineRouter {
  public:
   explicit EngineRouter(RouterOptions options = {});
 
+  /// The key `Acquire` would route (algorithm, dcs, table) to — handed
+  /// back to the service so its coalescing stage can group queued jobs
+  /// by engine without acquiring one. Equal keys are necessary but not
+  /// sufficient for equal engines (64-bit fingerprints can collide);
+  /// callers grouping by key must verify dcs/table in full, as the
+  /// router itself does.
+  static EngineKey KeyOf(const repair::RepairAlgorithm& algorithm,
+                         const dc::DcSet& dcs, const Table& table);
+
   /// Returns the engine entry serving (algorithm, dcs, table), creating
   /// it on first use. The table is shared, not copied — callers keep one
   /// resident copy per distinct table regardless of request count.
@@ -120,6 +133,17 @@ class EngineRouter {
   std::shared_ptr<EngineEntry> Acquire(
       std::shared_ptr<const repair::RepairAlgorithm> algorithm,
       const dc::DcSet& dcs, const Table& table);
+
+  /// Like the shared-table overload, with the key already computed
+  /// (`KeyOf`) — the service keys each job at admission for coalescing
+  /// and hands the key back here, so execution does not re-hash the
+  /// table. `key` must be `KeyOf(*algorithm, dcs, *table)`; a stale key
+  /// only costs a duplicate engine (full verification still guards
+  /// correctness), it can never route to a wrong one.
+  std::shared_ptr<EngineEntry> Acquire(
+      std::shared_ptr<const repair::RepairAlgorithm> algorithm,
+      const dc::DcSet& dcs, std::shared_ptr<const Table> table,
+      const EngineKey& key);
 
   RouterStats stats() const;
 
@@ -139,7 +163,7 @@ class EngineRouter {
   /// table handle and is invoked only on a miss.
   std::shared_ptr<EngineEntry> AcquireImpl(
       std::shared_ptr<const repair::RepairAlgorithm> algorithm,
-      const dc::DcSet& dcs, const Table& table,
+      const dc::DcSet& dcs, const Table& table, const EngineKey& key,
       const std::function<std::shared_ptr<const Table>()>& snapshot);
 
   RouterOptions options_;

@@ -45,10 +45,8 @@ ExplainService::~ExplainService() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
-    while (!queue_.empty()) {
-      drained.push_back(queue_.top());
-      queue_.pop();
-    }
+    drained.assign(queue_.begin(), queue_.end());
+    queue_.clear();
     // Flip every outstanding token: queued jobs are resolved below and
     // in-flight sweeps stop at their next poll, so join() is prompt.
     for (auto& [id, job] : outstanding_) job->cancel->Cancel();
@@ -60,6 +58,16 @@ ExplainService::~ExplainService() {
   for (std::thread& worker : workers_) worker.join();
 }
 
+bool ExplainService::CoalescingCompatible(const Job& job, const Job& leader) {
+  if (job.key != leader.key) return false;
+  // Keys match on 64-bit fingerprints; verify in full so a collision is
+  // never lowered into another instance's batch (the same discipline
+  // the router applies). Shared-table submissions hit the cheap pointer
+  // path.
+  return job.dcs == leader.dcs &&
+         (job.table == leader.table || *job.table == *leader.table);
+}
+
 Ticket ExplainService::Submit(
     std::shared_ptr<const repair::RepairAlgorithm> algorithm, dc::DcSet dcs,
     std::shared_ptr<const Table> table, ExplainRequest request,
@@ -69,6 +77,7 @@ Ticket ExplainService::Submit(
   auto job = std::make_shared<Job>();
   job->priority = options.priority;
   job->deadline = options.deadline;
+  job->key = EngineRouter::KeyOf(*algorithm, dcs, *table);
   job->algorithm = std::move(algorithm);
   job->dcs = std::move(dcs);
   job->table = std::move(table);
@@ -79,13 +88,27 @@ Ticket ExplainService::Submit(
   job->request.cancel = CancelToken::AnyOf(
       CancelToken::AnyOf(job->request.cancel, options.cancel),
       job->cancel->token());
+  if (job->deadline.has_value()) {
+    // Deadline enforcement is just cancellation with its own source (so
+    // expiry is distinguishable from a caller cancel): armed here, the
+    // timer kills the job wherever it is — queued or mid-sweep.
+    job->deadline_cancel = std::make_shared<CancelSource>();
+    job->request.cancel = CancelToken::AnyOf(job->request.cancel,
+                                             job->deadline_cancel->token());
+    job->deadline_id = deadlines_.Arm(*job->deadline, job->deadline_cancel);
+  }
   job->on_complete = std::move(options.on_complete);
 
   Ticket ticket;
   ticket.cancel_ = job->cancel;
   ticket.future_ = job->promise.get_future().share();
 
-  bool rejected = false;
+  // Admission: under a full queue, shed the worst job of queue ∪
+  // {incoming} — the incoming job itself when nothing queued is worse.
+  std::shared_ptr<Job> shed;
+  bool shed_was_cancelled = false;
+  bool stopped = false;
+  bool admitted = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     job->id = next_id_++;
@@ -93,17 +116,54 @@ Ticket ExplainService::Submit(
     ticket.id_ = job->id;
     ++stats_.submitted;
     if (stop_) {
-      rejected = true;
+      stopped = true;
     } else {
-      outstanding_.emplace(job->id, job);
-      queue_.push(job);
+      if (options_.max_queued_jobs > 0 &&
+          queue_.size() >= options_.max_queued_jobs) {
+        // Reclaim a dead queued job first: one already cancelled (or
+        // deadline-expired) will never run, so it must not hold
+        // capacity against live work. It resolves `Cancelled`, exactly
+        // as it would have at dequeue — never `Rejected`.
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if ((*it)->request.cancel.cancelled()) {
+            shed = *it;
+            shed_was_cancelled = true;
+            queue_.erase(it);
+            break;
+          }
+        }
+        if (shed == nullptr) {
+          const std::shared_ptr<Job>& victim = *queue_.rbegin();
+          if (JobOrder{}(job, victim)) {
+            shed = victim;
+            queue_.erase(std::prev(queue_.end()));
+          } else {
+            shed = job;
+          }
+        }
+      }
+      if (shed != job) {
+        outstanding_.emplace(job->id, job);
+        queue_.insert(job);
+        admitted = true;
+      }
+      stats_.queue_high_water =
+          std::max(stats_.queue_high_water, queue_.size());
     }
   }
-  if (rejected) {
+  if (stopped) {
     Resolve(job, Status::Cancelled("service is shut down"));
     return ticket;
   }
-  work_cv_.notify_one();
+  if (shed != nullptr) {
+    Resolve(shed, shed_was_cancelled
+                      ? Status::Cancelled("request cancelled while queued")
+                      : Status::Rejected(
+                            "service overloaded: queue full at " +
+                            std::to_string(options_.max_queued_jobs) +
+                            " jobs; lowest-priority job shed"));
+  }
+  if (admitted) work_cv_.notify_one();
   return ticket;
 }
 
@@ -119,51 +179,132 @@ Result<ExplainResult> ExplainService::ExplainSync(
 
 void ExplainService::WorkerLoop() {
   for (;;) {
-    std::shared_ptr<Job> job;
+    std::vector<std::shared_ptr<Job>> batch;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_) return;  // destructor drained and resolves the queue
-      job = queue_.top();
-      queue_.pop();
+      auto leader_it = queue_.begin();
+      std::shared_ptr<Job> leader = *leader_it;
+      queue_.erase(leader_it);
+      batch.push_back(leader);
+      // Coalesce: gather queued same-engine jobs, best-first (so the
+      // members of an overfull group left behind are the worst ones).
+      // Gathered jobs jump the queue relative to other engines' jobs —
+      // the cost of lowering them into one batch — but keep their own
+      // deadlines, cancellation, and callbacks.
+      for (auto it = queue_.begin();
+           it != queue_.end() &&
+           batch.size() < std::max<std::size_t>(
+                              options_.max_coalesced_requests, 1);) {
+        if (CoalescingCompatible(**it, *leader)) {
+          batch.push_back(*it);
+          it = queue_.erase(it);
+        } else {
+          ++it;
+        }
+      }
     }
-    Serve(std::move(job));
+    ServeBatch(std::move(batch));
   }
 }
 
-void ExplainService::Serve(std::shared_ptr<Job> job) {
-  if (job->request.cancel.cancelled()) {
-    Resolve(job, Status::Cancelled("request cancelled while queued"));
-    return;
-  }
-  if (job->deadline.has_value() &&
-      std::chrono::steady_clock::now() > *job->deadline) {
-    Resolve(job, Status::Cancelled("deadline exceeded while queued"),
-            /*expired=*/true);
-    return;
-  }
-  std::shared_ptr<EngineEntry> entry =
-      router_.Acquire(job->algorithm, job->dcs, job->table);
-  bool expired = false;
-  Result<ExplainResult> result = [&]() -> Result<ExplainResult> {
-    // Per-engine serialization: the engine is single-caller; requests
-    // for *different* engines overlap across workers.
-    std::lock_guard<std::mutex> guard(entry->mu);
-    // Re-check the deadline: the wait for the engine mutex (behind
-    // another request's sweep) can outlast it, and a job that has not
-    // started must not pay for a full sweep past its deadline.
+void ExplainService::ServeBatch(std::vector<std::shared_ptr<Job>> jobs) {
+  struct Resolution {
+    std::shared_ptr<Job> job;
+    Result<ExplainResult> result;
+    bool expired = false;
+  };
+  std::vector<Resolution> resolutions;
+  resolutions.reserve(jobs.size());
+  // Screens one member; cancelled/expired jobs resolve without running
+  // — in particular a member cancelled while queued drops out of the
+  // batch here, before lowering.
+  auto screen = [&](const std::shared_ptr<Job>& job) {
+    if (job->request.cancel.cancelled()) {
+      resolutions.push_back(
+          {job, Status::Cancelled("request cancelled while queued"), false});
+      return false;
+    }
     if (job->deadline.has_value() &&
         std::chrono::steady_clock::now() > *job->deadline) {
-      expired = true;
-      return Status::Cancelled("deadline exceeded before execution");
+      resolutions.push_back(
+          {job, Status::Cancelled("deadline exceeded while queued"), true});
+      return false;
     }
-    return entry->engine.Explain(job->request);
-  }();
-  Resolve(job, std::move(result), expired);
+    return true;
+  };
+
+  std::vector<std::shared_ptr<Job>> live;
+  live.reserve(jobs.size());
+  for (const std::shared_ptr<Job>& job : jobs) {
+    if (screen(job)) live.push_back(job);
+  }
+  if (!live.empty()) {
+    // One engine acquisition for the whole group (members were verified
+    // compatible with the leader at gather time). Per-engine
+    // serialization: the engine is single-caller; groups for
+    // *different* engines overlap across workers. Resolution — which
+    // fires user callbacks — happens after this scope releases the
+    // engine.
+    const std::shared_ptr<Job>& leader = live.front();
+    std::shared_ptr<EngineEntry> entry = router_.Acquire(
+        leader->algorithm, leader->dcs, leader->table, leader->key);
+    std::lock_guard<std::mutex> guard(entry->mu);
+    // Re-screen after the wait for the engine mutex (behind another
+    // group's sweep), which can outlast a deadline: a job that has not
+    // started must not pay for a full sweep past its deadline.
+    std::vector<std::shared_ptr<Job>> ready;
+    ready.reserve(live.size());
+    for (const std::shared_ptr<Job>& job : live) {
+      if (screen(job)) ready.push_back(job);
+    }
+    if (ready.size() == 1) {
+      // A group of one lowers to plain Explain — uncoalesced execution
+      // is exactly the per-job path, accounting included.
+      resolutions.push_back(
+          {ready.front(), entry->engine.Explain(ready.front()->request),
+           false});
+    } else if (ready.size() > 1) {
+      std::vector<ExplainRequest> requests;
+      requests.reserve(ready.size());
+      for (const std::shared_ptr<Job>& job : ready) {
+        requests.push_back(job->request);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.coalesced_batches;
+        stats_.coalesced_jobs += ready.size();
+      }
+      Result<BatchResult> batch = entry->engine.ExplainBatch(requests);
+      if (!batch.ok()) {
+        // Engine-level failure (e.g. the shared reference repair):
+        // every member observes it, exactly as each would alone.
+        for (const std::shared_ptr<Job>& job : ready) {
+          resolutions.push_back({job, batch.status(), false});
+        }
+      } else {
+        TREX_CHECK_EQ(batch->results.size(), ready.size());
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+          resolutions.push_back({ready[i], std::move(batch->results[i]),
+                                 false});
+        }
+      }
+    }
+  }
+  for (Resolution& resolution : resolutions) {
+    Resolve(resolution.job, std::move(resolution.result), resolution.expired);
+  }
 }
 
 void ExplainService::Resolve(const std::shared_ptr<Job>& job,
                              Result<ExplainResult> result, bool expired) {
+  // A cancelled job whose armed deadline fired expired, whoever's token
+  // the sweep happened to observe first.
+  if (!result.ok() && result.status().IsCancelled() &&
+      job->deadline_cancel != nullptr && job->deadline_cancel->cancelled()) {
+    expired = true;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (result.ok()) {
@@ -171,11 +312,14 @@ void ExplainService::Resolve(const std::shared_ptr<Job>& job,
     } else if (result.status().IsCancelled()) {
       ++stats_.cancelled;
       if (expired) ++stats_.expired;
+    } else if (result.status().IsRejected()) {
+      ++stats_.shed;
     } else {
       ++stats_.failed;
     }
     outstanding_.erase(job->id);
   }
+  if (job->deadline_id != 0) deadlines_.Disarm(job->deadline_id);
   job->promise.set_value(result);
   if (job->on_complete) job->on_complete(result);
 }
@@ -185,6 +329,7 @@ ServiceStats ExplainService::stats() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats = stats_;
+    stats.queue_depth = queue_.size();
   }
   stats.router = router_.stats();
   return stats;

@@ -1,9 +1,12 @@
 // `serving::ExplainService`: the asynchronous, multi-table front door of
-// the explanation stack.
+// the explanation stack, built as a three-stage ADMIT → COALESCE →
+// EXECUTE scheduler.
 //
 // T-REx is interactive: users submit new explanation queries while
 // earlier Shapley sweeps are still running, and one deployment serves
-// many tables. The service decouples *admission* from *execution*:
+// many tables. Every score is a sweep over permutations or 2^n subsets
+// of full black-box repair runs, so the service's job is deciding how
+// that compute is admitted, grouped, and killed:
 //
 //   ExplainService service;
 //   Ticket ticket = service.Submit(algorithm, dcs, table, request,
@@ -11,27 +14,50 @@
 //   ... do other work, submit more requests ...
 //   Result<ExplainResult> result = ticket.Wait();   // or ticket.Cancel()
 //
-// `Submit` returns immediately with a `Ticket` (a future plus a
-// cancellation handle). Worker threads drain a priority queue (higher
-// `RequestOptions::priority` first, FIFO within a priority level),
-// route each job through an `EngineRouter` (so requests for the same
-// (algorithm, DcSet, Table) instance share one engine and its memo
-// caches, while requests for different tables overlap in wall-clock),
-// and serialize per-engine access so the engine's single-caller
-// invariant holds under concurrent traffic.
+// ADMIT — `Submit` returns immediately with a `Ticket` (a future plus a
+// cancellation handle). The queue is bounded by
+// `ServiceOptions::max_queued_jobs`; when it is full, a queued job that
+// was already cancelled is reclaimed first (it resolves `Cancelled`, as
+// it would have at dequeue — dead jobs never hold capacity against live
+// work), otherwise the worst job of queue ∪ {incoming} — lowest
+// priority, then youngest — is load-shed: its ticket resolves
+// `Status::Rejected` without the work ever running, so a flood of
+// low-priority traffic can never starve a high-priority request out of
+// admission. Depth, high-water mark, and shed counts are surfaced in
+// `ServiceStats`.
 //
-// Cancellation is cooperative end to end: `Ticket::Cancel()` (or a
-// caller-supplied `RequestOptions::cancel` token) stops a queued job
-// before it runs and an in-flight job at its next black-box evaluation;
-// the future then resolves to `Status::Cancelled`. A missed
-// `RequestOptions::deadline` cancels a job at dequeue time. An optional
-// `on_complete` callback fires on the worker thread after the future is
-// resolved.
+// COALESCE — workers drain the queue in priority order (higher
+// `RequestOptions::priority` first, FIFO within a level). At dequeue a
+// worker gathers queued jobs that route to the same engine key as the
+// job it popped (same algorithm id + DcSet/table fingerprints, verified
+// by full comparison) up to `ServiceOptions::max_coalesced_requests`,
+// lowers them into one `Engine::ExplainBatch` call, and fans the
+// per-target results back out to each job's ticket individually. This
+// recovers the engine layer's batch amortization (one reference repair
+// + shared memo sweep instead of per-job acquire/evict churn) under
+// concurrent single-request traffic, while each member keeps its own
+// priority, deadline, cancellation, and callback — results are
+// bit-identical to uncoalesced execution. A member cancelled while
+// queued drops out before lowering.
 //
-// Determinism: execution order affects only latency, never values — a
+// EXECUTE — per-engine access is serialized (`EngineRouter` hands back
+// shared entries; the engine is single-caller). Cancellation is
+// cooperative end to end: `Ticket::Cancel()` (or a caller-supplied
+// `RequestOptions::cancel` token) stops a queued job before it runs and
+// an in-flight job at its next black-box evaluation; the future then
+// resolves `Status::Cancelled`. `RequestOptions::deadline` is enforced
+// the same way: a `DeadlineSource` timer arms each deadline-carrying
+// job's cancel source at admission, so expiry kills the job wherever it
+// is — queued, or mid-sweep inside a permutation or 2^n loop — with the
+// expiry counted separately (`ServiceStats::expired`) from caller
+// cancellation. An optional `on_complete` callback fires on the worker
+// thread after the future is resolved.
+//
+// Determinism: scheduling affects only latency, never values — a
 // request's result is bit-identical to calling `Engine::Explain`
-// synchronously with the same seeds, because the service runs exactly
-// that code on exactly one engine per instance.
+// synchronously with the same seeds, whether it ran alone or inside a
+// coalesced batch, because both paths run exactly that code on exactly
+// one engine per instance.
 //
 // Thread safety: all public methods are thread-safe. Destruction cancels
 // queued and in-flight work, resolves every outstanding future, and
@@ -48,7 +74,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <queue>
+#include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -65,15 +91,25 @@ namespace trex::serving {
 /// Per-request scheduling options.
 struct RequestOptions {
   /// Higher-priority requests dequeue first; equal priorities are FIFO.
+  /// Priority also orders load-shedding: when the queue is full, the
+  /// lowest-priority (then youngest) queued job is shed first.
   int priority = 0;
-  /// Jobs not *started* by this time resolve to `Status::Cancelled`
-  /// without running (in-flight work is bounded by `cancel` instead).
+  /// Wall-clock expiry. Enforced wherever the job is when it passes:
+  /// still queued (resolved at dequeue without running) or already
+  /// inside a sweep (the armed cancel token stops it at the next
+  /// black-box evaluation). Either way the ticket resolves
+  /// `Status::Cancelled` and the expiry is counted in
+  /// `ServiceStats::expired`.
   std::optional<std::chrono::steady_clock::time_point> deadline;
   /// Caller-owned cancellation, merged with the ticket's own handle.
   CancelToken cancel;
-  /// Invoked on the worker thread right after the future resolves (also
-  /// for cancelled/failed jobs). Must not block for long and must not
-  /// destroy the service.
+  /// Invoked right after the future resolves (also for
+  /// cancelled/failed/shed jobs) — on the worker thread for jobs that
+  /// reached a worker, but on the *submitting* thread for jobs resolved
+  /// at admission (a shed job's callback can fire on another caller's
+  /// Submit stack, and before that Submit returns). Must not block for
+  /// long, must not assume a particular thread, and must not destroy
+  /// the service.
   std::function<void(const Result<ExplainResult>&)> on_complete;
 };
 
@@ -82,6 +118,15 @@ struct ServiceOptions {
   /// Worker threads executing requests. Requests to different engines
   /// overlap up to this width; requests to the same engine serialize.
   std::size_t num_workers = 2;
+  /// Admission cap on queued (not yet running) jobs; 0 = unbounded.
+  /// When the queue is full, the worst job of queue ∪ {incoming} —
+  /// lowest priority, then youngest — resolves `Status::Rejected`.
+  std::size_t max_queued_jobs = 0;
+  /// Most jobs one dequeue may lower into a single `ExplainBatch` call
+  /// (the popped job plus same-engine queued jobs). 1 disables
+  /// coalescing (every job runs alone, the PR 2 behavior). Coalescing
+  /// never changes results, only cost and latency.
+  std::size_t max_coalesced_requests = 8;
   /// Engine pool configuration (cap + per-engine options).
   RouterOptions router;
 };
@@ -91,12 +136,23 @@ struct ServiceStats {
   std::size_t submitted = 0;
   /// Resolved with a value.
   std::size_t completed = 0;
-  /// Resolved with a non-cancellation error.
+  /// Resolved with a non-cancellation, non-rejection error.
   std::size_t failed = 0;
-  /// Resolved `Cancelled` (including deadline expirations).
+  /// Resolved `Cancelled` (caller cancels and deadline expirations).
   std::size_t cancelled = 0;
-  /// ...of which missed their deadline before starting.
+  /// ...of which were deadline expirations — queued or mid-sweep —
+  /// rather than caller cancels.
   std::size_t expired = 0;
+  /// Load-shed at admission (resolved `Rejected`, never ran).
+  std::size_t shed = 0;
+  /// Dequeues that lowered 2+ jobs into one `ExplainBatch` call...
+  std::size_t coalesced_batches = 0;
+  /// ...and the total jobs served by those lowerings.
+  std::size_t coalesced_jobs = 0;
+  /// Jobs queued right now.
+  std::size_t queue_depth = 0;
+  /// Largest queue depth ever observed.
+  std::size_t queue_high_water = 0;
   RouterStats router;
 };
 
@@ -150,7 +206,8 @@ class ExplainService {
   /// and returns immediately. The table is shared, not copied; callers
   /// submitting many requests for one table should reuse one
   /// `shared_ptr`. The algorithm must be thread-safe (all bundled
-  /// repairers are).
+  /// repairers are). Under a full queue the returned ticket may already
+  /// be resolved `Status::Rejected` (load-shedding; see file comment).
   Ticket Submit(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
                 dc::DcSet dcs, std::shared_ptr<const Table> table,
                 ExplainRequest request, RequestOptions options = {});
@@ -183,37 +240,55 @@ class ExplainService {
     std::shared_ptr<const repair::RepairAlgorithm> algorithm;
     dc::DcSet dcs;
     std::shared_ptr<const Table> table;
+    /// Routing identity, computed at admission; the coalescing stage
+    /// groups queued jobs by it (then verifies dcs/table in full).
+    EngineKey key;
     ExplainRequest request;  // `request.cancel` holds the merged token
     std::shared_ptr<CancelSource> cancel;
+    /// Armed with `DeadlineSource` when a deadline is set; fired =
+    /// the cancellation was a deadline expiry, not a caller cancel.
+    std::shared_ptr<CancelSource> deadline_cancel;
+    std::uint64_t deadline_id = 0;
     std::function<void(const Result<ExplainResult>&)> on_complete;
     std::promise<Result<ExplainResult>> promise;
   };
 
+  /// Strict total order: best job first — higher priority, then older
+  /// (smaller seq; seqs are unique). `begin()` is the next job to run,
+  /// `rbegin()` the load-shedding victim.
   struct JobOrder {
     bool operator()(const std::shared_ptr<Job>& a,
                     const std::shared_ptr<Job>& b) const {
-      // priority_queue pops the *largest*: lower priority (or same
-      // priority, later submission) sorts below.
-      if (a->priority != b->priority) return a->priority < b->priority;
-      return a->seq > b->seq;
+      if (a->priority != b->priority) return a->priority > b->priority;
+      return a->seq < b->seq;
     }
   };
 
+  /// True when `job` may share `leader`'s engine: equal key, verified
+  /// by full DcSet/table comparison (64-bit fingerprints can collide).
+  static bool CoalescingCompatible(const Job& job, const Job& leader);
+
   void WorkerLoop();
-  void Serve(std::shared_ptr<Job> job);
+  /// Executes one dequeued group: screens members (cancelled/expired
+  /// jobs resolve without running), acquires the leader's engine once,
+  /// lowers survivors into `Explain` (one) or `ExplainBatch` (many),
+  /// and fans results back to each ticket.
+  void ServeBatch(std::vector<std::shared_ptr<Job>> jobs);
   /// Resolves the job's future, updates stats, fires the callback, and
-  /// forgets the job. `expired` marks deadline cancellations.
+  /// forgets the job. A cancelled result counts as a deadline expiry
+  /// when `expired` is set or the job's armed deadline source fired.
   void Resolve(const std::shared_ptr<Job>& job, Result<ExplainResult> result,
                bool expired = false);
 
   ServiceOptions options_;
   EngineRouter router_;
+  DeadlineSource deadlines_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;
-  std::priority_queue<std::shared_ptr<Job>, std::vector<std::shared_ptr<Job>>,
-                      JobOrder>
-      queue_;
+  /// The admission queue, kept sorted by `JobOrder` so dequeue,
+  /// shedding, and coalescing all walk it directly.
+  std::set<std::shared_ptr<Job>, JobOrder> queue_;
   /// Every unresolved job (queued or in-flight), for shutdown
   /// cancellation.
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> outstanding_;

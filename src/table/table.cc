@@ -61,31 +61,77 @@ const Value& Table::Cell(std::size_t row, const std::string& attribute) const {
   return at(row, *col);
 }
 
-std::uint64_t Table::Fingerprint() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  h = Fnv1a(schema_.ToString(), h);
-  for (const Value& v : cells_) {
+namespace {
+
+/// The one serialization both fingerprint widths hash: schema string,
+/// then per cell a type tag plus the value bytes, in row-major order.
+/// Variable-length fields (the schema string, string cells) are
+/// length-prefixed so no cell's bytes can masquerade as another cell's
+/// type tag — without the prefix, ("a\x03", "b") and ("a", "\x03b")
+/// would serialize identically (0x03 is the string tag) and collide
+/// *deterministically*, which the strong-hash memo mode must never
+/// allow. `mix` is called as mix(data, len).
+template <typename Mix>
+void MixTableContent(const Schema& schema, const std::vector<Value>& cells,
+                     Mix&& mix) {
+  auto mix_sized = [&mix](const char* data, std::size_t size) {
+    const std::uint64_t length = size;
+    mix(&length, sizeof(length));
+    mix(data, size);
+  };
+  const std::string schema_string = schema.ToString();
+  mix_sized(schema_string.data(), schema_string.size());
+  for (const Value& v : cells) {
     const std::uint8_t tag = static_cast<std::uint8_t>(v.type());
-    h = Fnv1aBytes(&tag, 1, h);
+    mix(&tag, 1);
     switch (v.type()) {
       case ValueType::kNull:
         break;
       case ValueType::kInt: {
         const std::int64_t x = v.as_int();
-        h = Fnv1aBytes(&x, sizeof(x), h);
+        mix(&x, sizeof(x));
         break;
       }
       case ValueType::kDouble: {
         const double x = v.as_double();
-        h = Fnv1aBytes(&x, sizeof(x), h);
+        mix(&x, sizeof(x));
         break;
       }
       case ValueType::kString:
-        h = Fnv1a(v.as_string(), h);
+        mix_sized(v.as_string().data(), v.as_string().size());
         break;
     }
   }
+}
+
+}  // namespace
+
+std::uint64_t Table::Fingerprint() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  MixTableContent(schema_, cells_, [&h](const void* data, std::size_t len) {
+    h = Fnv1aBytes(data, len, h);
+  });
   return h;
+}
+
+Hash128 Table::StrongFingerprint() const {
+  Fnv1a128 h;
+  MixTableContent(schema_, cells_, [&h](const void* data, std::size_t len) {
+    h.Mix(data, len);
+  });
+  return h.Digest();
+}
+
+void Table::DualFingerprint(std::uint64_t* fp64, Hash128* fp128) const {
+  std::uint64_t h64 = 0xcbf29ce484222325ULL;
+  Fnv1a128 h128;
+  MixTableContent(schema_, cells_,
+                  [&h64, &h128](const void* data, std::size_t len) {
+                    h64 = Fnv1aBytes(data, len, h64);
+                    h128.Mix(data, len);
+                  });
+  *fp64 = h64;
+  *fp128 = h128.Digest();
 }
 
 Table Table::WithNulls(const std::vector<CellRef>& cells) const {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "table/schema.h"
 #include "table/value.h"
@@ -105,6 +106,17 @@ class Table {
   /// Order-sensitive content fingerprint; equal tables have equal
   /// fingerprints. Used to memoize black-box repair calls.
   std::uint64_t Fingerprint() const;
+
+  /// 128-bit content fingerprint over exactly the bytes `Fingerprint()`
+  /// hashes, wide enough to stand in for full-content comparison in the
+  /// repair-table memo (`EngineOptions::use_strong_table_hash`). Equal
+  /// tables have equal strong fingerprints.
+  Hash128 StrongFingerprint() const;
+
+  /// Both fingerprints in one content traversal — the memo's strong-hash
+  /// mode needs the 64-bit bucket key and the 128-bit verification hash
+  /// per evaluation, and tables are hashed on the hot path.
+  void DualFingerprint(std::uint64_t* fp64, Hash128* fp128) const;
 
   /// Returns a copy with every cell in `cells` set to null (coalition
   /// complement semantics from paper §2.2).

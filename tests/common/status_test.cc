@@ -134,5 +134,19 @@ TEST(ResultTest, ReturnNotOkMacro) {
   EXPECT_EQ(CheckDivisible(3).code(), StatusCode::kInvalidArgument);
 }
 
+TEST(StatusTest, RejectedDistinctFromCancelled) {
+  const Status rejected = Status::Rejected("queue full");
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_TRUE(rejected.IsRejected());
+  EXPECT_FALSE(rejected.IsCancelled());
+  EXPECT_EQ(rejected.code(), StatusCode::kRejected);
+  EXPECT_EQ(rejected.ToString(), "Rejected: queue full");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kRejected), "Rejected");
+
+  const Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_FALSE(cancelled.IsRejected());
+}
+
 }  // namespace
 }  // namespace trex

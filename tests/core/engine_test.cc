@@ -322,6 +322,50 @@ TEST(EngineTest, ExplanationReportsPerRequestCostOnWarmEngine) {
   EXPECT_EQ(second->explanation->cache_hits, 16u);
 }
 
+TEST(EngineTest, StrongTableHashGivesBitIdenticalExplanations) {
+  // Strong hashing changes only the memo's verification (and halves its
+  // footprint) — never values or cost pattern.
+  EngineOptions strong_options;
+  strong_options.use_strong_table_hash = true;
+  Engine verified(Alg(), data::SoccerConstraints(), data::SoccerDirtyTable());
+  Engine strong(Alg(), data::SoccerConstraints(), data::SoccerDirtyTable(),
+                strong_options);
+  const ExplainRequest request =
+      CellsRequest(data::SoccerTargetCell(), 48, /*seed=*/11);
+  auto a = verified.Explain(request);
+  auto b = strong.Explain(request);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ExpectSameExplanation(*a->explanation, *b->explanation);
+  EXPECT_EQ(verified.num_algorithm_calls(), strong.num_algorithm_calls());
+  EXPECT_EQ(verified.num_cache_hits(), strong.num_cache_hits());
+}
+
+TEST(EngineTest, BatchLevelCancelShortCircuitsRemainingSlots) {
+  Engine engine(Alg(), data::SoccerConstraints(), ThreeTargetDirtyTable());
+  CancelSource source;
+  source.Cancel();  // pre-cancelled: every slot lands Cancelled
+  std::vector<ExplainRequest> requests;
+  for (const CellRef& target : ThreeTargets()) {
+    requests.push_back(ConstraintRequest(target));
+  }
+  auto batch = engine.ExplainBatch(requests, source.token());
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_EQ(batch->stats.failed_requests, 3u);
+  EXPECT_EQ(batch->stats.cancelled_requests, 3u);
+  for (const auto& result : batch->results) {
+    EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  }
+  // A dead batch on a cold engine pays nothing — not even the
+  // reference repair.
+  EXPECT_EQ(engine.num_algorithm_calls(), 0u);
+  // The engine stays reusable and an uncancelled batch still works.
+  auto ok_batch = engine.ExplainBatch(requests);
+  ASSERT_TRUE(ok_batch.ok());
+  EXPECT_EQ(ok_batch->stats.failed_requests, 0u);
+  EXPECT_EQ(ok_batch->stats.cancelled_requests, 0u);
+}
+
 TEST(EngineTest, ExplainKindNames) {
   EXPECT_STREQ(ExplainKindToString(ExplainKind::kConstraints),
                "constraints");

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <functional>
 #include <map>
 
@@ -154,6 +155,40 @@ TEST(InteractionTest, ExplainInteractionsErrors) {
       *alg, trex::data::SoccerConstraints().Subset(0b0100),
       trex::data::SoccerDirtyTable(), trex::data::SoccerTargetCell());
   EXPECT_FALSE(single.ok());
+}
+
+TEST(InteractionTest, ShardedWalkBitIdenticalForEveryThreadCount) {
+  // Non-trivial interactions across 8 players; the 2^n materialization
+  // and the per-pair accumulation both shard, and both must be
+  // bit-identical to the serial run.
+  LambdaGame game(8, [](std::uint64_t mask) {
+    const double s = static_cast<double>(std::popcount(mask));
+    return s * s * 0.25 + static_cast<double>(mask % 5);
+  });
+  auto serial = ComputeShapleyInteractions(game);
+  ASSERT_TRUE(serial.ok());
+  InteractionOptions options;
+  options.num_threads = 4;
+  auto sharded = ComputeShapleyInteractions(game, options);
+  ASSERT_TRUE(sharded.ok());
+  ASSERT_EQ(sharded->size(), serial->size());
+  for (std::size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ((*sharded)[i].player_a, (*serial)[i].player_a);
+    EXPECT_EQ((*sharded)[i].player_b, (*serial)[i].player_b);
+    EXPECT_EQ((*sharded)[i].value, (*serial)[i].value);
+  }
+}
+
+TEST(InteractionTest, ShardedWalkHonorsCancellation) {
+  CancelSource source;
+  source.Cancel();
+  LambdaGame game(8, [](std::uint64_t) { return 1.0; });
+  InteractionOptions options;
+  options.num_threads = 4;
+  options.cancel = source.token();
+  auto cancelled = ComputeShapleyInteractions(game, options);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
 }
 
 }  // namespace

@@ -332,6 +332,82 @@ TEST(BlackBoxRepairTest, TableCacheVerifiesFullContentNotJustFingerprint) {
   EXPECT_EQ(box->num_cache_hits(), 2u);
 }
 
+TEST(BlackBoxRepairTest, StrongHashMemoMatchesFullVerificationOutcomes) {
+  // Same evaluations, same outcomes, same hit/miss pattern — with the
+  // input copies dropped from the memo.
+  auto verified = MakeBox(data::SoccerTargetCell());
+  auto strong = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(verified.ok());
+  ASSERT_TRUE(strong.ok());
+  strong->set_use_strong_table_hash(true);
+  Table a = data::SoccerDirtyTable();
+  a.Set(data::SoccerCell(5, "League"), Value::Null());
+  Table b = data::SoccerDirtyTable();
+  b.Set(data::SoccerCell(5, "Country"), Value::Null());
+  for (const Table* table : {&a, &b, &a, &b}) {
+    EXPECT_EQ(strong->EvalTable(*table), verified->EvalTable(*table));
+  }
+  EXPECT_EQ(strong->num_algorithm_calls(), verified->num_algorithm_calls());
+  EXPECT_EQ(strong->num_cache_hits(), verified->num_cache_hits());
+  EXPECT_EQ(strong->num_cache_hits(), 2u);
+}
+
+TEST(BlackBoxRepairTest, CollisionPathFallsThroughUnderForcedBucketClash) {
+  // Force every table into one 64-bit bucket (the test-only hook): the
+  // verification layer — full content by default, 128-bit strong hash
+  // when enabled — must still keep distinct inputs apart, never serving
+  // one table's outcome for another.
+  Table a = data::SoccerDirtyTable();
+  a.Set(data::SoccerCell(5, "League"), Value::Null());
+  Table b = data::SoccerDirtyTable();
+  b.Set(data::SoccerCell(5, "Country"), Value::Null());
+  for (const bool strong_hash : {false, true}) {
+    auto box = MakeBox(data::SoccerTargetCell());
+    ASSERT_TRUE(box.ok());
+    box->set_use_strong_table_hash(strong_hash);
+    box->set_table_bucket_fn_for_test([](const Table&) { return 7u; });
+    const std::size_t base = box->num_algorithm_calls();
+    const bool outcome_a = box->EvalTable(a);
+    const bool outcome_b = box->EvalTable(b);
+    // Distinct entries despite the colliding bucket fingerprint...
+    EXPECT_EQ(box->num_algorithm_calls(), base + 2)
+        << "strong_hash=" << strong_hash;
+    // ...and verified hits on re-evaluation, with unchanged outcomes.
+    EXPECT_EQ(box->EvalTable(a), outcome_a);
+    EXPECT_EQ(box->EvalTable(b), outcome_b);
+    EXPECT_EQ(box->num_algorithm_calls(), base + 2);
+    EXPECT_EQ(box->num_cache_hits(), 2u);
+  }
+}
+
+TEST(BlackBoxRepairTest, StrongFingerprintSeparatesNearIdenticalTables) {
+  const Table base = data::SoccerDirtyTable();
+  Table tweaked = base;
+  tweaked.Set(data::SoccerCell(5, "League"), Value("X"));
+  EXPECT_EQ(base.StrongFingerprint(), data::SoccerDirtyTable()
+                                          .StrongFingerprint());
+  EXPECT_NE(base.StrongFingerprint(), tweaked.StrongFingerprint());
+  // Null vs empty string vs zero must hash apart (type tags).
+  Table null_cell = base;
+  null_cell.Set(data::SoccerCell(5, "League"), Value::Null());
+  Table empty_cell = base;
+  empty_cell.Set(data::SoccerCell(5, "League"), Value(""));
+  EXPECT_NE(null_cell.StrongFingerprint(), empty_cell.StrongFingerprint());
+}
+
+TEST(BlackBoxRepairTest, FingerprintsLengthDelimitStringCells) {
+  // Without length prefixes, ("a\x03", "b") and ("a", "\x03b") would
+  // serialize identically — 0x03 is the kString type tag — and collide
+  // deterministically, which the strong-hash memo mode must never
+  // allow. Regression for exactly that pair.
+  Table one(Schema::AllStrings({"A", "B"}));
+  ASSERT_TRUE(one.AppendRow({Value(std::string("a\x03")), Value("b")}).ok());
+  Table two(Schema::AllStrings({"A", "B"}));
+  ASSERT_TRUE(two.AppendRow({Value("a"), Value(std::string("\x03b"))}).ok());
+  EXPECT_NE(one.StrongFingerprint(), two.StrongFingerprint());
+  EXPECT_NE(one.Fingerprint(), two.Fingerprint());
+}
+
 TEST(CellGameTest, PrunedPlayerListKeepsBackgroundCells) {
   // With players restricted to two cells, all other cells keep their
   // original values: including both players repairs the target because

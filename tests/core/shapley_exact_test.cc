@@ -254,5 +254,80 @@ TEST_P(ShapleyAxiomTest, MonotoneGameHasNonNegativeValues) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ShapleyAxiomTest,
                          ::testing::Range<std::uint64_t>(0, 10));
 
+// --- Sharded 2^n subset walk (core/subset_walk.h) ---
+
+TEST(ShardedExactTest, ShapleyBitIdenticalForEveryThreadCount) {
+  // A deterministic, thread-safe game whose values exercise non-trivial
+  // floating-point accumulation. 10 players = 1024 masks, several
+  // shards' worth of work.
+  const std::size_t n = 10;
+  LambdaGame game(n, [](std::uint64_t mask) {
+    const double s = static_cast<double>(std::popcount(mask));
+    return s * s + 0.125 * static_cast<double>(mask % 7);
+  });
+  auto serial = ComputeExactShapley(game);
+  ASSERT_TRUE(serial.ok());
+  for (std::size_t threads : {2u, 4u, 7u}) {
+    ExactShapleyOptions options;
+    options.num_threads = threads;
+    auto sharded = ComputeExactShapley(game, options);
+    ASSERT_TRUE(sharded.ok());
+    ASSERT_EQ(sharded->size(), serial->size());
+    for (std::size_t i = 0; i < n; ++i) {
+      // Bit-identical, not approximately equal: shards evaluate
+      // disjoint mask ranges and each player accumulates serially in
+      // mask order.
+      EXPECT_EQ((*sharded)[i], (*serial)[i])
+          << "player " << i << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST(ShardedExactTest, BanzhafBitIdenticalForEveryThreadCount) {
+  LambdaGame game(9, [](std::uint64_t mask) {
+    return static_cast<double>((mask * 2654435761u) % 97) / 97.0;
+  });
+  auto serial = ComputeExactBanzhaf(game);
+  ASSERT_TRUE(serial.ok());
+  ExactShapleyOptions options;
+  options.num_threads = 4;
+  auto sharded = ComputeExactBanzhaf(game, options);
+  ASSERT_TRUE(sharded.ok());
+  for (std::size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ((*sharded)[i], (*serial)[i]) << "player " << i;
+  }
+}
+
+TEST(ShardedExactTest, ReusesACallerPool) {
+  LambdaGame game(8, [](std::uint64_t mask) {
+    return static_cast<double>(std::popcount(mask));
+  });
+  ThreadPool pool(4);
+  ExactShapleyOptions options;
+  options.num_threads = 4;
+  options.pool = &pool;
+  auto values = ComputeExactShapley(game, options);
+  ASSERT_TRUE(values.ok());
+  auto serial = ComputeExactShapley(game);
+  ASSERT_TRUE(serial.ok());
+  for (std::size_t i = 0; i < serial->size(); ++i) {
+    EXPECT_EQ((*values)[i], (*serial)[i]);
+  }
+}
+
+TEST(ShardedExactTest, CancelPollSurvivesSharding) {
+  CancelSource source;
+  source.Cancel();
+  LambdaGame game(10, [](std::uint64_t) { return 1.0; });
+  ExactShapleyOptions options;
+  options.num_threads = 4;
+  options.cancel = source.token();
+  auto values = ComputeExactShapley(game, options);
+  ASSERT_FALSE(values.ok());
+  EXPECT_EQ(values.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(ComputeExactBanzhaf(game, options).status().code(),
+            StatusCode::kCancelled);
+}
+
 }  // namespace
 }  // namespace trex::shap

@@ -218,5 +218,57 @@ TEST(CancelThreadingTest, EngineReusableAfterCancelledRequest) {
   EXPECT_TRUE(result->explanation.has_value());
 }
 
+TEST(DeadlineSourceTest, PastDeadlineFiresPromptly) {
+  DeadlineSource deadlines;
+  auto source = std::make_shared<CancelSource>();
+  deadlines.Arm(std::chrono::steady_clock::now() -
+                    std::chrono::milliseconds(1),
+                source);
+  // The timer thread fires an already-expired entry on its next wake.
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!source->cancelled() &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(source->cancelled());
+  EXPECT_EQ(deadlines.armed(), 0u);
+}
+
+TEST(DeadlineSourceTest, DisarmedEntryNeverFires) {
+  DeadlineSource deadlines;
+  auto doomed = std::make_shared<CancelSource>();
+  auto safe = std::make_shared<CancelSource>();
+  const auto soon =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(30);
+  deadlines.Arm(soon, doomed);
+  const std::uint64_t safe_id = deadlines.Arm(soon, safe);
+  deadlines.Disarm(safe_id);
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (!doomed->cancelled() &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::yield();
+  }
+  EXPECT_TRUE(doomed->cancelled());
+  EXPECT_FALSE(safe->cancelled());
+  EXPECT_EQ(deadlines.armed(), 0u);
+  // Disarming an unknown or already-fired id is a no-op.
+  deadlines.Disarm(safe_id);
+  deadlines.Disarm(12345);
+}
+
+TEST(DeadlineSourceTest, FarDeadlinesOutliveTheSource) {
+  // Destruction with armed entries must not fire them or hang.
+  auto source = std::make_shared<CancelSource>();
+  {
+    DeadlineSource deadlines;
+    deadlines.Arm(std::chrono::steady_clock::now() + std::chrono::hours(1),
+                  source);
+    EXPECT_EQ(deadlines.armed(), 1u);
+  }
+  EXPECT_FALSE(source->cancelled());
+}
+
 }  // namespace
 }  // namespace trex

@@ -16,9 +16,12 @@
 
 #include "core/engine.h"
 #include "data/soccer.h"
+#include "tests/serving/algorithm_fixtures.h"
 
 namespace trex::serving {
 namespace {
+
+using trex::testing::GatedAlgorithm;
 
 std::shared_ptr<const Table> SoccerTable() {
   return std::make_shared<const Table>(data::SoccerDirtyTable());
@@ -49,75 +52,7 @@ ExplainRequest SampledCellsRequest(std::size_t num_samples,
   return request;
 }
 
-/// Pass-through repairer whose calls block until `Release()` — lets a
-/// test pin the single worker on a known job while it queues more.
-class GatedAlgorithm : public repair::RepairAlgorithm {
- public:
-  explicit GatedAlgorithm(std::shared_ptr<const repair::RepairAlgorithm> inner)
-      : inner_(std::move(inner)) {}
-
-  std::string name() const override { return "gated(" + inner_->name() + ")"; }
-
-  Result<Table> Repair(const dc::DcSet& dcs,
-                       const Table& dirty) const override {
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      started_ = true;
-      started_cv_.notify_all();
-      release_cv_.wait(lock, [this] { return released_; });
-    }
-    return inner_->Repair(dcs, dirty);
-  }
-
-  void WaitUntilStarted() const {
-    std::unique_lock<std::mutex> lock(mu_);
-    started_cv_.wait(lock, [this] { return started_; });
-  }
-
-  void Release() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      released_ = true;
-    }
-    release_cv_.notify_all();
-  }
-
- private:
-  std::shared_ptr<const repair::RepairAlgorithm> inner_;
-  mutable std::mutex mu_;
-  mutable std::condition_variable started_cv_;
-  mutable std::condition_variable release_cv_;
-  mutable bool started_ = false;
-  bool released_ = false;
-};
-
-/// Pass-through repairer that counts calls and cancels a source once a
-/// budget is spent — deterministic mid-sweep cancellation.
-class CancelAfterAlgorithm : public repair::RepairAlgorithm {
- public:
-  CancelAfterAlgorithm(std::shared_ptr<const repair::RepairAlgorithm> inner,
-                       std::size_t cancel_after)
-      : inner_(std::move(inner)), cancel_after_(cancel_after) {}
-
-  std::string name() const override {
-    return "cancel-after(" + inner_->name() + ")";
-  }
-
-  Result<Table> Repair(const dc::DcSet& dcs,
-                       const Table& dirty) const override {
-    if (calls_.fetch_add(1) + 1 >= cancel_after_) source_.Cancel();
-    return inner_->Repair(dcs, dirty);
-  }
-
-  std::size_t calls() const { return calls_.load(); }
-  CancelToken token() const { return source_.token(); }
-
- private:
-  std::shared_ptr<const repair::RepairAlgorithm> inner_;
-  std::size_t cancel_after_;
-  mutable std::atomic<std::size_t> calls_{0};
-  mutable CancelSource source_;
-};
+using trex::testing::CancelAfterAlgorithm;
 
 TEST(ExplainServiceTest, SubmitResolvesWithResult) {
   ExplainService service;
@@ -326,6 +261,10 @@ TEST(ExplainServiceTest, ServicePathBitIdenticalToSynchronousExplain) {
 TEST(ExplainServiceTest, ConcurrentMultiTableRequestsAllComplete) {
   ServiceOptions options;
   options.num_workers = 4;
+  // Pin per-job routing: with coalescing on, how many same-table jobs
+  // share one engine acquisition depends on dequeue timing, and this
+  // test asserts exact router hit/miss counts.
+  options.max_coalesced_requests = 1;
   ExplainService service(options);
   const auto table_a = SoccerTable();
   const auto table_b = VariantTable();
