@@ -4,6 +4,19 @@
 // the number of cells in a table can be very large, so T-REx uses a
 // sampling algorithm".
 //
+// Cross-backend workload sweep (runs before the google-benchmark cases):
+// for each size in --cross_backend_rows (default 1000,10000,100000) the
+// harness in workload/comparison.h generates a ground-truth synthetic
+// world, injects errors, and drives every registered repair backend over
+// the same dirty table through `Engine::ExplainBatch`, emitting one
+// "JSON {...}" line per (backend, size) with repair-quality and
+// explanation-stability metrics. Flags (stripped before google-benchmark
+// sees argv):
+//   --cross_backend_rows=a,b,c   comma-separated sweep sizes
+//   --cross_backend_targets=N    explained targets per backend (default 4)
+//   --cross_backend_only         skip the google-benchmark cases (CI smoke)
+//   --no_cross_backend           skip the sweep
+//
 // google-benchmark sweeps:
 //   * ExactConstraintShapley/k     — 2^k growth in black-box calls;
 //   * SamplingCellShapley/rows    — sampling cost grows ~linearly with
@@ -14,8 +27,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "common/string_util.h"
 #include "core/explainer.h"
 #include "core/repair_game.h"
 #include "core/shapley_exact.h"
@@ -26,6 +44,7 @@
 #include "repair/fd_repair.h"
 #include "repair/holistic.h"
 #include "repair/holoclean.h"
+#include "workload/comparison.h"
 
 namespace {
 
@@ -188,6 +207,101 @@ void RuleRepairCost(benchmark::State& state) {
 BENCHMARK(RuleRepairCost)->RangeMultiplier(2)->Range(32, 256)
     ->Unit(benchmark::kMillisecond)->Name("RepairAlgorithm1");
 
+/// One harness invocation per sweep size; one JSON line per backend.
+void RunCrossBackendSweep(const std::vector<std::size_t>& sizes,
+                          std::size_t num_targets) {
+  for (std::size_t rows : sizes) {
+    workload::ComparisonOptions options;
+    options.world.num_rows = rows;
+    options.world.seed = 101;
+    options.errors.seed = 102;
+    // Fixed error budget: the sweep measures how cost scales with table
+    // size, so the ground-truth error count is pinned once tables are
+    // large enough to hit the cap (inference-style backends' work
+    // scales with noisy cells, not rows).
+    options.errors.max_errors = 256;
+    options.num_targets = num_targets;
+    auto report = workload::RunComparison(options);
+    if (!report.ok()) {
+      std::fprintf(stderr, "cross-backend sweep failed at %zu rows: %s\n",
+                   rows, report.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::printf(
+        "\n=== cross-backend comparison: %zu rows, %zu injected errors, "
+        "%zu targets ===\n",
+        report->num_rows, report->num_errors, report->num_targets);
+    for (std::size_t i = 0; i < report->backends.size(); ++i) {
+      const workload::BackendRun& run = report->backends[i];
+      if (run.error.empty()) {
+        std::printf("%-12s %s  explained %zu/%zu  tau(mean)=%.3f\n",
+                    run.backend.c_str(), run.quality.ToString().c_str(),
+                    run.explained_targets, report->num_targets,
+                    report->stability[i].mean_kendall_tau);
+      } else {
+        std::printf("%-12s FAILED: %s\n", run.backend.c_str(),
+                    run.error.c_str());
+      }
+      std::printf("JSON %s\n", workload::BackendJsonLine(*report, i).c_str());
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace trex;  // NOLINT
+
+  std::vector<std::size_t> sizes = {1000, 10000, 100000};
+  std::size_t num_targets = 4;
+  bool sweep = true;
+  bool gbench = true;
+
+  // Strip the sweep's own flags so google-benchmark never sees them.
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value_of = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--cross_backend_rows=", 0) == 0) {
+      sizes.clear();
+      for (const std::string& part :
+           Split(value_of("--cross_backend_rows="), ',')) {
+        auto parsed = ParseInt64(Trim(part));
+        if (!parsed.ok() || *parsed <= 0) {
+          std::fprintf(stderr, "bad --cross_backend_rows entry: '%s'\n",
+                       part.c_str());
+          return 1;
+        }
+        sizes.push_back(static_cast<std::size_t>(*parsed));
+      }
+    } else if (arg.rfind("--cross_backend_targets=", 0) == 0) {
+      auto parsed = ParseInt64(value_of("--cross_backend_targets="));
+      if (!parsed.ok() || *parsed <= 0) {
+        std::fprintf(stderr, "bad --cross_backend_targets value\n");
+        return 1;
+      }
+      num_targets = static_cast<std::size_t>(*parsed);
+    } else if (arg == "--cross_backend_only") {
+      gbench = false;
+    } else if (arg == "--no_cross_backend") {
+      sweep = false;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+
+  if (sweep) RunCrossBackendSweep(sizes, num_targets);
+  if (gbench) {
+    int pass_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pass_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                               passthrough.data())) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  return 0;
+}

@@ -48,6 +48,11 @@ bool LooksLikeDouble(std::string_view s);
 /// contains the separator, a quote, or a newline).
 std::string CsvEscape(std::string_view field, char sep = ',');
 
+/// Escapes a string for embedding in a JSON string literal: quote,
+/// backslash, and control characters (named escapes for \n \t \r, \uXXXX
+/// for the rest).
+std::string JsonEscape(std::string_view s);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));

@@ -46,7 +46,11 @@ Result<ExplanationComparison> CompareExplanations(const Explanation& before,
   ExplanationComparison out;
   out.common_players = common.size();
 
-  // Kendall tau-b over the common players' (before, after) rank pairs.
+  // Kendall tau-b over the common players' (before, after) value pairs,
+  // in the standard form: n0 = n(n-1)/2 total pairs, the tie terms n1 /
+  // n2 count every pair tied in that variable (jointly-tied pairs count
+  // in both), and concordance/discordance is decided only on pairs
+  // untied in both. tau_b = (C - D) / sqrt((n0 - n1) * (n0 - n2)).
   std::size_t concordant = 0;
   std::size_t discordant = 0;
   std::size_t ties_before = 0;
@@ -57,51 +61,73 @@ Result<ExplanationComparison> CompareExplanations(const Explanation& before,
                         value_before.at(common[j]);
       const double da = value_after.at(common[i]) -
                         value_after.at(common[j]);
-      if (db == 0 && da == 0) continue;
-      if (db == 0) {
-        ++ties_before;
-      } else if (da == 0) {
-        ++ties_after;
-      } else if ((db > 0) == (da > 0)) {
+      if (db == 0) ++ties_before;
+      if (da == 0) ++ties_after;
+      if (db == 0 || da == 0) continue;
+      if ((db > 0) == (da > 0)) {
         ++concordant;
       } else {
         ++discordant;
       }
     }
   }
-  const double n0 = static_cast<double>(concordant + discordant +
-                                        ties_before + ties_after);
+  const double n = static_cast<double>(common.size());
+  const double n0 = n * (n - 1.0) / 2.0;
   const double denom =
-      std::sqrt((n0 - ties_before) * (n0 - ties_after));
+      std::sqrt((n0 - static_cast<double>(ties_before)) *
+                (n0 - static_cast<double>(ties_after)));
   out.kendall_tau =
       denom == 0 ? 0.0
                  : (static_cast<double>(concordant) -
                     static_cast<double>(discordant)) /
                        denom;
 
-  // Spearman rho over rank positions (within the common subset,
-  // re-ranked by value to handle subset extraction consistently).
-  auto rerank = [&common](const std::map<std::string, double>& values) {
-    std::vector<std::string> order = common;
-    std::stable_sort(order.begin(), order.end(),
-                     [&values](const std::string& a, const std::string& b) {
-                       return values.at(a) > values.at(b);
-                     });
-    std::map<std::string, double> ranks;
-    for (std::size_t i = 0; i < order.size(); ++i) {
-      ranks[order[i]] = static_cast<double>(i);
-    }
-    return ranks;
-  };
-  const auto r1 = rerank(value_before);
-  const auto r2 = rerank(value_after);
-  double d2_sum = 0;
+  // Spearman rho over average (fractional) ranks of the common subset.
+  // The closed form 1 - 6*sum(d^2)/(n(n^2-1)) is invalid under ties —
+  // a stable sort would hand tied players arbitrary distinct ranks by
+  // label order — so tied players share their mean rank and rho is the
+  // Pearson correlation of the two rank vectors.
+  auto fractional_ranks =
+      [&common](const std::map<std::string, double>& values) {
+        std::vector<std::string> order = common;
+        std::stable_sort(order.begin(), order.end(),
+                         [&values](const std::string& a,
+                                   const std::string& b) {
+                           return values.at(a) > values.at(b);
+                         });
+        std::map<std::string, double> ranks;
+        std::size_t i = 0;
+        while (i < order.size()) {
+          std::size_t j = i;
+          while (j + 1 < order.size() &&
+                 values.at(order[j + 1]) == values.at(order[i])) {
+            ++j;
+          }
+          // Positions i..j (1-based i+1..j+1) share the mean rank.
+          const double mean_rank =
+              static_cast<double>(i + 1 + j + 1) / 2.0;
+          for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = mean_rank;
+          i = j + 1;
+        }
+        return ranks;
+      };
+  const auto r1 = fractional_ranks(value_before);
+  const auto r2 = fractional_ranks(value_after);
+  const double mean_rank = (n + 1.0) / 2.0;
+  double cov = 0;
+  double var1 = 0;
+  double var2 = 0;
   for (const std::string& label : common) {
-    const double d = r1.at(label) - r2.at(label);
-    d2_sum += d * d;
+    const double d1 = r1.at(label) - mean_rank;
+    const double d2 = r2.at(label) - mean_rank;
+    cov += d1 * d2;
+    var1 += d1 * d1;
+    var2 += d2 * d2;
   }
-  const double n = static_cast<double>(common.size());
-  out.spearman_rho = 1.0 - 6.0 * d2_sum / (n * (n * n - 1.0));
+  // A constant rank vector (all values tied) has no defined rank
+  // correlation; report 0, matching the tau-b convention above.
+  out.spearman_rho =
+      (var1 == 0 || var2 == 0) ? 0.0 : cov / std::sqrt(var1 * var2);
 
   // Top-k Jaccard.
   const std::size_t k = std::max<std::size_t>(1, top_k);

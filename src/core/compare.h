@@ -16,9 +16,13 @@ namespace trex {
 /// the same target.
 struct ExplanationComparison {
   /// Kendall tau-b rank correlation over the common players
-  /// (1 = identical order, -1 = reversed, 0 = unrelated).
+  /// (1 = identical order, -1 = reversed, 0 = unrelated), with the
+  /// standard tie correction: n0 = n(n-1)/2, jointly-tied pairs counted
+  /// in both tie terms. 0 when either side is entirely tied.
   double kendall_tau = 0.0;
-  /// Spearman rank correlation over the common players.
+  /// Spearman rank correlation over the common players, computed as the
+  /// Pearson correlation of average (fractional) ranks so tied Shapley
+  /// values share one rank. 0 when either side is entirely tied.
   double spearman_rho = 0.0;
   /// Jaccard similarity of the top-k player sets.
   double topk_jaccard = 0.0;

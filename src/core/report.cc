@@ -6,36 +6,6 @@
 #include "common/string_util.h"
 
 namespace trex {
-namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        out.push_back(c);
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string RenderRanking(const Explanation& explanation,
                           const ReportOptions& options) {

@@ -1,6 +1,7 @@
 #include "data/errors.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "table/stats.h"
@@ -36,8 +37,27 @@ InjectionResult InjectErrors(const Table& clean,
     candidates.push_back(cell);
   }
   rng.Shuffle(&candidates);
-  const std::size_t num_errors = static_cast<std::size_t>(
+  std::size_t num_errors = static_cast<std::size_t>(
       options.error_rate * static_cast<double>(candidates.size()) + 0.5);
+  if (options.max_errors > 0) {
+    num_errors = std::min(num_errors, options.max_errors);
+  }
+
+  // Swap sources are drawn from the *clean* column domain, never from
+  // `result.dirty` mid-injection: earlier corruptions (typos, swaps)
+  // must not leak back in as "realistic" values. Built lazily, once per
+  // column.
+  std::unordered_map<std::size_t, std::vector<Value>> clean_domains;
+  const auto domain_of = [&](std::size_t col) -> const std::vector<Value>& {
+    auto it = clean_domains.find(col);
+    if (it == clean_domains.end()) {
+      it = clean_domains
+               .emplace(col,
+                        ColumnStats::Build(clean, col).DistinctSorted())
+               .first;
+    }
+    return it->second;
+  };
 
   for (std::size_t i = 0; i < num_errors && i < candidates.size(); ++i) {
     const CellRef cell = candidates[i];
@@ -45,8 +65,7 @@ InjectionResult InjectErrors(const Table& clean,
     Value corrupted;
     switch (PickKind(&rng, options)) {
       case ErrorKind::kSwapWithinColumn: {
-        const ColumnStats stats = ColumnStats::Build(result.dirty, cell.col);
-        const std::vector<Value> domain = stats.DistinctSorted();
+        const std::vector<Value>& domain = domain_of(cell.col);
         // Pick a value different from the truth; fall back to a typo
         // when the column has a single distinct value.
         std::vector<Value> others;

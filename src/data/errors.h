@@ -32,6 +32,11 @@ enum class ErrorKind {
 struct ErrorInjectorOptions {
   /// Fraction of cells to corrupt (each selected cell gets one error).
   double error_rate = 0.05;
+  /// Hard cap on corrupted cells; 0 = uncapped. Large-table sweeps use
+  /// a fixed error budget so downstream costs that scale with the
+  /// *error* count (noisy-cell inference, conflict frontiers) measure
+  /// table-size scaling, not error-count scaling.
+  std::size_t max_errors = 0;
   /// Relative weights of the error kinds (need not sum to 1).
   double weight_swap = 0.6;
   double weight_typo = 0.3;

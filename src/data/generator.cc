@@ -2,6 +2,7 @@
 
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -18,6 +19,20 @@ GeneratedData GenerateSoccer(const SoccerGenOptions& options) {
 
   Rng rng(options.seed);
 
+  const std::size_t num_years = static_cast<std::size_t>(
+      options.last_year - options.first_year + 1);
+  // One standings row per (team, year): the world must hold at least
+  // num_rows such pairs. Grow it by adding countries — each brings its
+  // own leagues, cities, and teams, so the FD structure is untouched.
+  const std::size_t pairs_per_country =
+      options.leagues_per_country * options.teams_per_league * num_years;
+  TREX_CHECK_GT(pairs_per_country, 0u);  // guaranteed by the checks above
+  std::size_t num_countries = options.num_countries;
+  if (num_countries * pairs_per_country < options.num_rows) {
+    num_countries =
+        (options.num_rows + pairs_per_country - 1) / pairs_per_country;
+  }
+
   struct TeamInfo {
     std::string name;
     std::string city;
@@ -28,8 +43,7 @@ GeneratedData GenerateSoccer(const SoccerGenOptions& options) {
   // Build the consistent world: countries own cities and leagues; teams
   // live in one city and play in one league of their country.
   std::vector<TeamInfo> teams;
-  std::vector<std::string> leagues;
-  for (std::size_t c = 0; c < options.num_countries; ++c) {
+  for (std::size_t c = 0; c < num_countries; ++c) {
     const std::string country = "Country" + std::to_string(c);
     std::vector<std::string> cities;
     for (std::size_t k = 0; k < options.cities_per_country; ++k) {
@@ -39,7 +53,6 @@ GeneratedData GenerateSoccer(const SoccerGenOptions& options) {
     for (std::size_t l = 0; l < options.leagues_per_country; ++l) {
       const std::string league =
           "League" + std::to_string(c) + "_" + std::to_string(l);
-      leagues.push_back(league);
       for (std::size_t t = 0; t < options.teams_per_league; ++t) {
         TeamInfo team;
         team.name = league + "_Team" + std::to_string(t);
@@ -56,19 +69,11 @@ GeneratedData GenerateSoccer(const SoccerGenOptions& options) {
   const std::vector<double> team_cdf =
       ZipfTable(teams.size(), options.zipf_exponent);
   std::set<std::tuple<std::string, int, int>> used_places;
-  std::set<std::pair<std::string, int>> used_team_years;
+  std::set<std::pair<std::size_t, int>> used_team_years;
 
   Table table(SoccerSchema());
   std::size_t emitted = 0;
-  std::size_t attempts = 0;
-  const std::size_t max_attempts = options.num_rows * 64 + 1024;
-  while (emitted < options.num_rows && attempts < max_attempts) {
-    ++attempts;
-    const TeamInfo& team = teams[rng.Zipf(team_cdf)];
-    const int year = static_cast<int>(
-        rng.UniformInt(options.first_year, options.last_year));
-    // One standings row per (team, year).
-    if (!used_team_years.emplace(team.name, year).second) continue;
+  const auto emit = [&](const TeamInfo& team, int year) {
     // Find the smallest free place for this (league, year).
     int place = 1;
     while (used_places.count({team.league, year, place}) > 0) ++place;
@@ -79,10 +84,53 @@ GeneratedData GenerateSoccer(const SoccerGenOptions& options) {
                                Value(year), Value(place)})
                    .ok());
     ++emitted;
+  };
+
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = options.num_rows * 64 + 1024;
+  while (emitted < options.num_rows && attempts < max_attempts) {
+    ++attempts;
+    const std::size_t team_index = rng.Zipf(team_cdf);
+    const int year = static_cast<int>(
+        rng.UniformInt(options.first_year, options.last_year));
+    if (!used_team_years.emplace(team_index, year).second) continue;
+    emit(teams[team_index], year);
   }
+
+  // Sampling collisions under saturation can exhaust the attempt budget
+  // before the table is full; a deterministic sweep over the unused
+  // (team, year) pairs fills the exact remainder. The world was sized
+  // above so this always succeeds.
+  for (std::size_t t = 0; emitted < options.num_rows && t < teams.size();
+       ++t) {
+    for (int year = options.first_year;
+         emitted < options.num_rows && year <= options.last_year; ++year) {
+      if (!used_team_years.emplace(t, year).second) continue;
+      emit(teams[t], year);
+    }
+  }
+  TREX_CHECK_EQ(emitted, options.num_rows)
+      << "generator under-filled: world capacity "
+      << teams.size() * num_years << " rows";
 
   GeneratedData out{std::move(table), SoccerConstraints()};
   return out;
+}
+
+GeneratedWorld GenerateWorld(const WorldGenOptions& options) {
+  TREX_CHECK_GT(options.num_tables, 0u);
+  GeneratedWorld world;
+  world.tables.reserve(options.num_tables);
+  // Disjoint per-table seeds: a splitmix64 chain over the base seed, so
+  // sibling tables draw from uncorrelated streams but the whole world is
+  // a pure function of `options`.
+  std::uint64_t chain = options.table.seed;
+  for (std::size_t i = 0; i < options.num_tables; ++i) {
+    SoccerGenOptions per_table = options.table;
+    per_table.seed = SplitMix64(&chain);
+    world.tables.push_back(GenerateSoccer(per_table));
+  }
+  return world;
 }
 
 }  // namespace trex::data

@@ -7,11 +7,23 @@
 // reproduces the demo's "scraped data + manually added errors" setup with
 // known ground truth; the scalability and repair-comparison benches sweep
 // its size parameters.
+//
+// Scale contract: `GenerateSoccer` always emits exactly
+// `SoccerGenOptions::num_rows` rows. Each row is one standings entry for
+// a distinct (team, year) pair, so the world's key capacity is
+// `num_countries * leagues_per_country * teams_per_league * num_years`;
+// when `num_rows` exceeds it the generator grows the world (extra
+// countries, each bringing its own leagues, cities, and teams) instead of
+// silently under-filling. After the Zipf-skewed sampling phase, any
+// remaining shortfall (sampling collisions under saturation) is filled by
+// a deterministic sweep over the unused (team, year) pairs, so output is
+// exact, bit-reproducible per seed, and violation-free at any size.
 
 #ifndef TREX_DATA_GENERATOR_H_
 #define TREX_DATA_GENERATOR_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/random.h"
 #include "dc/constraint.h"
@@ -22,6 +34,8 @@ namespace trex::data {
 /// Size/shape knobs for the synthetic league world.
 struct SoccerGenOptions {
   std::size_t num_rows = 100;
+  /// Lower bound on countries; the world grows past it automatically
+  /// when the (team, year) key space is smaller than `num_rows`.
   std::size_t num_countries = 4;
   /// Leagues per country (each league belongs to exactly one country).
   std::size_t leagues_per_country = 1;
@@ -45,8 +59,28 @@ struct GeneratedData {
 };
 
 /// Generates a consistent (violation-free) league-standings table with
-/// the Figure 1 constraint set over it.
+/// the Figure 1 constraint set over it. Always returns exactly
+/// `options.num_rows` rows (see the scale contract above).
 GeneratedData GenerateSoccer(const SoccerGenOptions& options = {});
+
+/// A multi-table world for mixed-table serving traffic.
+struct WorldGenOptions {
+  /// Shape shared by every table in the world.
+  SoccerGenOptions table;
+  std::size_t num_tables = 2;
+};
+
+struct GeneratedWorld {
+  /// One independently sampled table per index (shared schema and
+  /// constraint set, distinct content).
+  std::vector<GeneratedData> tables;
+};
+
+/// Generates `num_tables` tables of the same shape with disjoint
+/// per-table seeds (a splitmix64 chain over `table.seed`), so the tables
+/// carry uncorrelated content — and therefore distinct fingerprints —
+/// while the whole world stays reproducible from one seed.
+GeneratedWorld GenerateWorld(const WorldGenOptions& options);
 
 }  // namespace trex::data
 

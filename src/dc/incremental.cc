@@ -1,5 +1,7 @@
 #include "dc/incremental.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace trex::dc {
@@ -7,66 +9,107 @@ namespace trex::dc {
 ViolationIndex::ViolationIndex(const Table& table, const DcSet* dcs)
     : table_(table), dcs_(dcs) {
   TREX_CHECK(dcs_ != nullptr);
+  row_indexes_.reserve(dcs_->size());
+  for (std::size_t c = 0; c < dcs_->size(); ++c) {
+    row_indexes_.emplace_back(&table_, &dcs_->at(c));
+  }
   for (const Violation& v : FindViolations(table_, *dcs_)) {
     violations_.insert(v);
+    by_row2_.insert(v);
   }
 }
 
 void ViolationIndex::RefreshRow(std::size_t constraint_index,
-                                std::size_t row) {
-  const DenialConstraint& constraint = dcs_->at(constraint_index);
-
-  // Drop stale entries involving the row.
-  for (auto it = violations_.begin(); it != violations_.end();) {
-    if (it->constraint_index == constraint_index &&
-        (it->row1 == row || it->row2 == row)) {
-      it = violations_.erase(it);
-    } else {
-      ++it;
-    }
+                                std::size_t row,
+                                std::vector<Violation>* removed,
+                                std::vector<Violation>* added) {
+  // Drop stale entries involving the row: range-scan the primary set for
+  // row1 == row and the mirror for row2 == row.
+  std::vector<Violation> stale;
+  for (auto it = violations_.lower_bound(Violation{constraint_index, row, 0});
+       it != violations_.end() &&
+       it->constraint_index == constraint_index && it->row1 == row;
+       ++it) {
+    stale.push_back(*it);
+  }
+  for (auto it = by_row2_.lower_bound(Violation{constraint_index, 0, row});
+       it != by_row2_.end() && it->constraint_index == constraint_index &&
+       it->row2 == row;
+       ++it) {
+    if (it->row1 != row) stale.push_back(*it);  // unary collected above
+  }
+  for (const Violation& v : stale) {
+    violations_.erase(v);
+    by_row2_.erase(v);
+    if (removed != nullptr) removed->push_back(v);
   }
 
-  // Rescan the row.
-  if (constraint.arity() == 1) {
-    if (constraint.IsViolatedBy(table_, row, row)) {
-      violations_.insert(Violation{constraint_index, row, row});
-    }
-    return;
-  }
-  const bool dedup = constraint.IsSymmetric();
-  for (std::size_t other = 0; other < table_.num_rows(); ++other) {
-    if (other == row) continue;
-    if (constraint.IsViolatedBy(table_, row, other)) {
-      Violation v{constraint_index, row, other};
-      if (dedup && other < row) v = Violation{constraint_index, other, row};
-      violations_.insert(v);
-    }
-    if (constraint.IsViolatedBy(table_, other, row)) {
-      Violation v{constraint_index, other, row};
-      if (dedup && row < other) v = Violation{constraint_index, row, other};
-      violations_.insert(v);
+  // Rescan the row through the constraint's bucket probe.
+  const bool dedup = dcs_->at(constraint_index).IsSymmetric();
+  for (const Violation& v : row_indexes_[constraint_index].ViolationsOfRow(
+           row, constraint_index, dedup)) {
+    if (violations_.insert(v).second) {
+      by_row2_.insert(v);
+      if (added != nullptr) added->push_back(v);
     }
   }
 }
 
-void ViolationIndex::SetCell(CellRef cell, Value value) {
+void ViolationIndex::SetCell(CellRef cell, Value value,
+                             std::vector<Violation>* removed,
+                             std::vector<Violation>* added) {
   TREX_CHECK_LT(cell.row, table_.num_rows());
   TREX_CHECK_LT(cell.col, table_.num_columns());
   table_.Set(cell, std::move(value));
   for (std::size_t c = 0; c < dcs_->size(); ++c) {
     if (dcs_->at(c).AllColumns().count(cell.col) == 0) continue;
-    RefreshRow(c, cell.row);
+    if (row_indexes_[c].IsKeyColumn(cell.col)) row_indexes_[c].Rekey(cell.row);
+    RefreshRow(c, cell.row, removed, added);
   }
 }
 
 std::size_t ViolationIndex::CountIfSet(CellRef cell, const Value& value) {
+  // Pure delta probe: a cell write only affects violations that involve
+  // its row under constraints reading its column, so the what-if count
+  // is |V| − (current such violations) + (such violations with `value`
+  // placed). The violation sets are never touched — no snapshot, no
+  // erase/re-insert churn per probe.
+  std::size_t count = violations_.size();
   const Value saved = table_.at(cell);
-  const std::set<Violation> saved_violations = violations_;
-  SetCell(cell, value);
-  const std::size_t count = violations_.size();
-  // Roll back.
+  std::vector<std::size_t> affected;
+  for (std::size_t c = 0; c < dcs_->size(); ++c) {
+    if (dcs_->at(c).AllColumns().count(cell.col) == 0) continue;
+    affected.push_back(c);
+    // Distinct current entries involving the row: row1 == row (primary
+    // range) plus row2 == row (mirror range), minus the unary overlap.
+    for (auto it = violations_.lower_bound(Violation{c, cell.row, 0});
+         it != violations_.end() && it->constraint_index == c &&
+         it->row1 == cell.row;
+         ++it) {
+      --count;
+    }
+    for (auto it = by_row2_.lower_bound(Violation{c, 0, cell.row});
+         it != by_row2_.end() && it->constraint_index == c &&
+         it->row2 == cell.row;
+         ++it) {
+      if (it->row1 != cell.row) --count;  // unary counted above already
+    }
+  }
+  table_.Set(cell, value);
+  std::set<Violation> hypothetical;
+  for (std::size_t c : affected) {
+    if (row_indexes_[c].IsKeyColumn(cell.col)) row_indexes_[c].Rekey(cell.row);
+    const bool dedup = dcs_->at(c).IsSymmetric();
+    for (const Violation& v :
+         row_indexes_[c].ViolationsOfRow(cell.row, c, dedup)) {
+      hypothetical.insert(v);
+    }
+  }
+  count += hypothetical.size();
   table_.Set(cell, saved);
-  violations_ = saved_violations;
+  for (std::size_t c : affected) {
+    if (row_indexes_[c].IsKeyColumn(cell.col)) row_indexes_[c].Rekey(cell.row);
+  }
   return count;
 }
 

@@ -4,10 +4,15 @@
 // were set to v?" thousands of times; recomputing all violations is
 // O(n²) per probe. `ViolationIndex` maintains the violation set under
 // single-cell updates: changing a cell only affects violations whose
-// constraint reads that column and that involve that row, so each update
-// rescans one row against the table — O(n · |preds|) instead of O(n²).
-// `HolisticRepair` uses it for candidate evaluation (see
-// bench_ablation's incremental entry and the equivalence property test).
+// constraint reads that column and that involve that row. Each update
+// rescans that row through a per-constraint `ConstraintRowIndex`
+// (dc/row_index.h), so the rescan probes one hash bucket — O(bucket) —
+// instead of the whole table, stale entries are range-erased from a
+// (constraint, row)-addressable mirror instead of scanned, and a
+// `CountIfSet` probe applies and rolls back the update instead of
+// copying the violation set. `HolisticRepair` uses it for candidate
+// evaluation (see bench_ablation's incremental entry and the
+// equivalence property test).
 
 #ifndef TREX_DC_INCREMENTAL_H_
 #define TREX_DC_INCREMENTAL_H_
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "dc/constraint.h"
+#include "dc/row_index.h"
 #include "dc/violation.h"
 #include "table/table.h"
 
@@ -30,6 +36,11 @@ class ViolationIndex {
   /// Builds the index over a snapshot of `table`.
   ViolationIndex(const Table& table, const DcSet* dcs);
 
+  /// Not copyable/movable: the per-constraint row indexes hold pointers
+  /// into this object's own `table_`.
+  ViolationIndex(const ViolationIndex&) = delete;
+  ViolationIndex& operator=(const ViolationIndex&) = delete;
+
   /// Current table state (the snapshot plus applied updates).
   const Table& table() const { return table_; }
 
@@ -38,20 +49,45 @@ class ViolationIndex {
   std::size_t count() const { return violations_.size(); }
 
   /// Applies a cell update and incrementally maintains the set.
-  void SetCell(CellRef cell, Value value);
+  /// `removed` / `added` (optional) receive the update's violation
+  /// delta — entries dropped from and inserted into `violations()` —
+  /// so callers maintaining derived structures (degree counts, conflict
+  /// frontiers) can patch instead of rescanning. An entry that merely
+  /// survives a refresh may appear in both lists; apply removals first.
+  void SetCell(CellRef cell, Value value,
+               std::vector<Violation>* removed = nullptr,
+               std::vector<Violation>* added = nullptr);
 
   /// What-if probe: the violation count if `cell` were set to `value`.
   /// The table and index are left unchanged.
   std::size_t CountIfSet(CellRef cell, const Value& value);
 
  private:
+  /// Orders violations by (constraint, row2, row1) so entries involving
+  /// a row as the *second* tuple are range-addressable.
+  struct Row2Order {
+    bool operator()(const Violation& a, const Violation& b) const {
+      if (a.constraint_index != b.constraint_index) {
+        return a.constraint_index < b.constraint_index;
+      }
+      if (a.row2 != b.row2) return a.row2 < b.row2;
+      return a.row1 < b.row1;
+    }
+  };
+
   /// Recomputes violations of constraint `c` that involve `row` and
-  /// replaces the stale entries.
-  void RefreshRow(std::size_t constraint_index, std::size_t row);
+  /// replaces the stale entries, reporting the delta when requested.
+  void RefreshRow(std::size_t constraint_index, std::size_t row,
+                  std::vector<Violation>* removed,
+                  std::vector<Violation>* added);
 
   Table table_;
   const DcSet* dcs_;
   std::set<Violation> violations_;
+  /// Mirror of `violations_` under `Row2Order` (same entries).
+  std::set<Violation, Row2Order> by_row2_;
+  /// One partner-probe index per constraint, kept over `table_`.
+  std::vector<ConstraintRowIndex> row_indexes_;
 };
 
 }  // namespace trex::dc

@@ -1,0 +1,182 @@
+#include "dc/row_index.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "dc/predicate.h"
+
+namespace trex::dc {
+
+bool ConstraintRowIndex::Key::operator==(const Key& other) const {
+  if (values.size() != other.values.size()) return false;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] != other.values[i]) return false;
+  }
+  return true;
+}
+
+std::size_t ConstraintRowIndex::KeyHash::operator()(const Key& key) const {
+  std::size_t h = 0x811c9dc5;
+  for (const Value& v : key.values) h = HashCombine(h, v.Hash());
+  return h;
+}
+
+ConstraintRowIndex::ConstraintRowIndex(const Table* table,
+                                       const DenialConstraint* dc)
+    : table_(table), dc_(dc) {
+  TREX_CHECK(table_ != nullptr);
+  TREX_CHECK(dc_ != nullptr);
+  if (dc_->arity() != 2) return;
+  // The same join-key convention as the detector's hash fast path —
+  // shared extraction keeps probe and detector agreeing on what joins.
+  CrossTupleKeyColumns cols = CrossTupleEqualityColumns(*dc_);
+  t1_cols_ = std::move(cols.t1_cols);
+  t2_cols_ = std::move(cols.t2_cols);
+  if (t1_cols_.empty()) return;
+  use_buckets_ = true;
+
+  const std::size_t n = table_->num_rows();
+  t1_key_of_row_.resize(n);
+  t2_key_of_row_.resize(n);
+  by_t2_key_.reserve(n);
+  by_t1_key_.reserve(n);
+  for (std::size_t row = 0; row < n; ++row) {
+    t1_key_of_row_[row] = KeyOf(row, t1_cols_);
+    t2_key_of_row_[row] = KeyOf(row, t2_cols_);
+    Insert(&by_t1_key_, t1_key_of_row_[row], row);
+    Insert(&by_t2_key_, t2_key_of_row_[row], row);
+  }
+}
+
+std::optional<ConstraintRowIndex::Key> ConstraintRowIndex::KeyOf(
+    std::size_t row, const std::vector<std::size_t>& cols) const {
+  Key key;
+  key.values.reserve(cols.size());
+  for (std::size_t col : cols) {
+    const Value& v = table_->at(row, col);
+    if (v.is_null()) return std::nullopt;  // null never joins
+    key.values.push_back(v);
+  }
+  return key;
+}
+
+void ConstraintRowIndex::Remove(BucketMap* buckets,
+                                const std::optional<Key>& key,
+                                std::size_t row) {
+  if (!key.has_value()) return;
+  auto it = buckets->find(*key);
+  if (it == buckets->end()) return;
+  auto& rows = it->second;
+  rows.erase(std::remove(rows.begin(), rows.end(), row), rows.end());
+  if (rows.empty()) buckets->erase(it);
+}
+
+void ConstraintRowIndex::Insert(BucketMap* buckets,
+                                const std::optional<Key>& key,
+                                std::size_t row) {
+  if (!key.has_value()) return;
+  (*buckets)[*key].push_back(row);
+}
+
+bool ConstraintRowIndex::IsKeyColumn(std::size_t col) const {
+  if (!use_buckets_) return false;
+  return std::find(t1_cols_.begin(), t1_cols_.end(), col) !=
+             t1_cols_.end() ||
+         std::find(t2_cols_.begin(), t2_cols_.end(), col) != t2_cols_.end();
+}
+
+void ConstraintRowIndex::Rekey(std::size_t row) {
+  if (!use_buckets_) return;
+  TREX_CHECK_LT(row, t1_key_of_row_.size());
+  Remove(&by_t1_key_, t1_key_of_row_[row], row);
+  Remove(&by_t2_key_, t2_key_of_row_[row], row);
+  t1_key_of_row_[row] = KeyOf(row, t1_cols_);
+  t2_key_of_row_[row] = KeyOf(row, t2_cols_);
+  Insert(&by_t1_key_, t1_key_of_row_[row], row);
+  Insert(&by_t2_key_, t2_key_of_row_[row], row);
+}
+
+bool ConstraintRowIndex::RowViolates(std::size_t row) const {
+  if (dc_->arity() == 1) return dc_->IsViolatedBy(*table_, row, row);
+  if (!use_buckets_) {
+    for (std::size_t other = 0; other < table_->num_rows(); ++other) {
+      if (other == row) continue;
+      if (dc_->IsViolatedBy(*table_, row, other) ||
+          dc_->IsViolatedBy(*table_, other, row)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  // Partners for ordered pairs (row, other): rows whose t2-side key
+  // matches this row's t1-side key.
+  if (const auto& key = t1_key_of_row_[row]; key.has_value()) {
+    if (auto it = by_t2_key_.find(*key); it != by_t2_key_.end()) {
+      for (std::size_t other : it->second) {
+        if (other == row) continue;
+        if (dc_->IsViolatedBy(*table_, row, other)) return true;
+      }
+    }
+  }
+  // ...and the mirror for ordered pairs (other, row).
+  if (const auto& key = t2_key_of_row_[row]; key.has_value()) {
+    if (auto it = by_t1_key_.find(*key); it != by_t1_key_.end()) {
+      for (std::size_t other : it->second) {
+        if (other == row) continue;
+        if (dc_->IsViolatedBy(*table_, other, row)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<Violation> ConstraintRowIndex::ViolationsOfRow(
+    std::size_t row, std::size_t constraint_index, bool dedup) const {
+  std::vector<Violation> out;
+  if (dc_->arity() == 1) {
+    if (dc_->IsViolatedBy(*table_, row, row)) {
+      out.push_back(Violation{constraint_index, row, row});
+    }
+    return out;
+  }
+  const auto emit_forward = [&](std::size_t other) {
+    if (dc_->IsViolatedBy(*table_, row, other)) {
+      Violation v{constraint_index, row, other};
+      if (dedup && other < row) v = Violation{constraint_index, other, row};
+      out.push_back(v);
+    }
+  };
+  const auto emit_reverse = [&](std::size_t other) {
+    if (dc_->IsViolatedBy(*table_, other, row)) {
+      Violation v{constraint_index, other, row};
+      if (dedup && row < other) v = Violation{constraint_index, row, other};
+      out.push_back(v);
+    }
+  };
+  if (!use_buckets_) {
+    for (std::size_t other = 0; other < table_->num_rows(); ++other) {
+      if (other == row) continue;
+      emit_forward(other);
+      emit_reverse(other);
+    }
+    return out;
+  }
+  if (const auto& key = t1_key_of_row_[row]; key.has_value()) {
+    if (auto it = by_t2_key_.find(*key); it != by_t2_key_.end()) {
+      for (std::size_t other : it->second) {
+        if (other != row) emit_forward(other);
+      }
+    }
+  }
+  if (const auto& key = t2_key_of_row_[row]; key.has_value()) {
+    if (auto it = by_t1_key_.find(*key); it != by_t1_key_.end()) {
+      for (std::size_t other : it->second) {
+        if (other != row) emit_reverse(other);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace trex::dc

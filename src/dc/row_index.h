@@ -1,0 +1,111 @@
+// Hash-bucketed per-row violation probing for one denial constraint.
+//
+// `dc::RowViolates` answers "does this row participate in a violation?"
+// with a full table scan — O(n) per call. Repair inner loops (rule
+// firing, HoloClean featurization, holistic candidate probes) ask that
+// question per row or per candidate, turning every repair into O(n²) and
+// making 100k-row worlds unreachable. `ConstraintRowIndex` is the same
+// hash-partition idea `FindViolations` already uses, kept *resident and
+// maintainable* while the table mutates: rows are bucketed by the
+// constraint's cross-tuple equality columns once (O(n)), and a probe
+// tests only the row's join-key bucket — O(bucket) instead of O(n).
+//
+// Exactness: a probe returns exactly what the nested-loop scan would.
+// Cross-tuple equality on a null is false (see EvalOp in predicate.cc),
+// so rows with null join keys are correctly unbucketed on that side —
+// the same argument that makes `FindViolations`' hash fast path exact.
+// Constraints with no cross-tuple equality predicate (and unary
+// constraints) fall back to the scan, so the index is safe for any DC.
+//
+// Mutation contract: the index reads the caller's table *live* — edits
+// to non-key columns are visible immediately. After changing a cell in
+// a key column (`IsKeyColumn`), the owner must call `Rekey(row)` before
+// the next probe so the row moves to its new bucket.
+
+#ifndef TREX_DC_ROW_INDEX_H_
+#define TREX_DC_ROW_INDEX_H_
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "dc/constraint.h"
+#include "dc/violation.h"
+#include "table/table.h"
+
+namespace trex::dc {
+
+/// Resident partner-probe index for one constraint over a mutating
+/// table (see file comment). The table and constraint must outlive the
+/// index.
+class ConstraintRowIndex {
+ public:
+  ConstraintRowIndex(const Table* table, const DenialConstraint* dc);
+
+  /// True iff `row` currently participates in a violation of the
+  /// constraint (as either tuple variable) — bit-identical to
+  /// `dc::RowViolates(table, dc, row)`, in O(bucket) for constraints
+  /// with cross-tuple equalities.
+  bool RowViolates(std::size_t row) const;
+
+  /// Every current violation involving `row`, tagged `constraint_index`
+  /// and normalized like `ViolationIndex` keeps them (`dedup` folds a
+  /// symmetric constraint's ordered pair onto row1 < row2). May contain
+  /// duplicates when both orientations violate; callers deduplicate by
+  /// inserting into a set.
+  std::vector<Violation> ViolationsOfRow(std::size_t row,
+                                         std::size_t constraint_index,
+                                         bool dedup) const;
+
+  /// True iff `col` feeds the bucket keys: after writing such a column,
+  /// call `Rekey(row)` for the changed row.
+  bool IsKeyColumn(std::size_t col) const;
+
+  /// Re-buckets `row` from the table's current values.
+  void Rekey(std::size_t row);
+
+  /// False when the constraint has no cross-tuple equality predicate
+  /// (probes fall back to the O(n) scan).
+  bool uses_buckets() const { return use_buckets_; }
+
+ private:
+  struct Key {
+    std::vector<Value> values;
+    bool operator==(const Key& other) const;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+  using BucketMap =
+      std::unordered_map<Key, std::vector<std::size_t>, KeyHash>;
+
+  /// The row's join key over `cols`, or nullopt when any key value is
+  /// null (null never joins).
+  std::optional<Key> KeyOf(std::size_t row,
+                           const std::vector<std::size_t>& cols) const;
+  static void Remove(BucketMap* buckets, const std::optional<Key>& key,
+                     std::size_t row);
+  static void Insert(BucketMap* buckets, const std::optional<Key>& key,
+                     std::size_t row);
+
+  const Table* table_;
+  const DenialConstraint* dc_;
+  bool use_buckets_ = false;
+  /// Columns of each tuple variable in the cross-tuple equality
+  /// predicates (parallel vectors, one entry per such predicate).
+  std::vector<std::size_t> t1_cols_;
+  std::vector<std::size_t> t2_cols_;
+  /// Rows bucketed by their t2-side key — probed with a row's t1-side
+  /// key to find partners `o` for ordered pairs (row, o) — and the
+  /// mirror for pairs (o, row).
+  BucketMap by_t2_key_;
+  BucketMap by_t1_key_;
+  /// Each row's current keys, for bucket removal on `Rekey`.
+  std::vector<std::optional<Key>> t1_key_of_row_;
+  std::vector<std::optional<Key>> t2_key_of_row_;
+};
+
+}  // namespace trex::dc
+
+#endif  // TREX_DC_ROW_INDEX_H_

@@ -61,15 +61,7 @@ void FindBinaryViolationsHashJoin(const Table& table,
                                   std::vector<Violation>* out) {
   // Partition rows by the t2-side columns of every cross-tuple equality
   // predicate; probe with the t1-side columns.
-  std::vector<std::size_t> t1_cols;
-  std::vector<std::size_t> t2_cols;
-  for (const Predicate& p : dc.predicates()) {
-    if (!p.IsCrossTupleEquality()) continue;
-    const Operand& a = p.lhs.tuple_index() == 0 ? p.lhs : p.rhs;
-    const Operand& b = p.lhs.tuple_index() == 0 ? p.rhs : p.lhs;
-    t1_cols.push_back(a.col());
-    t2_cols.push_back(b.col());
-  }
+  const auto [t1_cols, t2_cols] = CrossTupleEqualityColumns(dc);
   TREX_CHECK(!t1_cols.empty());
 
   const std::size_t n = table.num_rows();
@@ -116,6 +108,18 @@ void FindBinaryViolationsHashJoin(const Table& table,
 }
 
 }  // namespace
+
+CrossTupleKeyColumns CrossTupleEqualityColumns(const DenialConstraint& dc) {
+  CrossTupleKeyColumns cols;
+  for (const Predicate& p : dc.predicates()) {
+    if (!p.IsCrossTupleEquality()) continue;
+    const Operand& a = p.lhs.tuple_index() == 0 ? p.lhs : p.rhs;
+    const Operand& b = p.lhs.tuple_index() == 0 ? p.rhs : p.lhs;
+    cols.t1_cols.push_back(a.col());
+    cols.t2_cols.push_back(b.col());
+  }
+  return cols;
+}
 
 std::string Violation::ToString(const DcSet& dcs) const {
   const std::string name = constraint_index < dcs.size()

@@ -69,6 +69,18 @@ bool RowViolates(const Table& table, const DenialConstraint& dc,
 std::vector<CellRef> ImplicatedCells(const Violation& violation,
                                      const DcSet& dcs);
 
+/// The join-key columns of a binary DC's cross-tuple equality
+/// predicates: parallel vectors of the t1-side and t2-side columns, one
+/// entry per such predicate (empty when the DC has none). Both the
+/// detector's hash fast path and `ConstraintRowIndex` partition rows by
+/// these columns — sharing the extraction keeps them agreeing on what
+/// joins.
+struct CrossTupleKeyColumns {
+  std::vector<std::size_t> t1_cols;
+  std::vector<std::size_t> t2_cols;
+};
+CrossTupleKeyColumns CrossTupleEqualityColumns(const DenialConstraint& dc);
+
 }  // namespace trex::dc
 
 #endif  // TREX_DC_VIOLATION_H_

@@ -1,7 +1,7 @@
 #include "repair/holistic.h"
 
-#include <algorithm>
 #include <map>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -12,50 +12,22 @@
 namespace trex::repair {
 namespace {
 
-/// The cells participating in the most violations (all ties, in
-/// ascending CellRef order) — the greedy MVC frontier over the conflict
-/// hypergraph. Evaluating the whole frontier rather than one arbitrary
-/// tie-break lets the repair-context step pick the cell whose rewrite
-/// actually resolves the most conflicts (e.g. preferring the City cell
-/// of an FD violation over its key cell).
-std::vector<CellRef> PickCoverCells(const std::vector<dc::Violation>& violations,
-                                    const dc::DcSet& dcs) {
-  std::map<CellRef, std::size_t> degree;
-  for (const dc::Violation& v : violations) {
-    for (const CellRef& cell : dc::ImplicatedCells(v, dcs)) {
-      ++degree[cell];
-    }
-  }
-  std::size_t max_degree = 0;
-  for (const auto& [cell, d] : degree) {
-    (void)cell;
-    max_degree = std::max(max_degree, d);
-  }
-  std::vector<CellRef> frontier;
-  for (const auto& [cell, d] : degree) {  // std::map: ascending CellRef
-    if (d == max_degree) frontier.push_back(cell);
-  }
-  return frontier;
-}
-
 /// Candidate replacement values for `cell`, mined from its repair
 /// context: partner-cell values from the violations it participates in
 /// (to satisfy broken != predicates), plus frequent column values (to
-/// escape broken = predicates), plus the column mode.
-std::vector<Value> ContextCandidates(const Table& table,
-                                     const dc::DcSet& dcs,
-                                     const std::vector<dc::Violation>& violations,
-                                     CellRef cell, int max_candidates) {
+/// escape broken = predicates), plus the column mode. `cell_violations`
+/// iterates in (constraint, row1, row2) order; `stats` is the cell's
+/// column distribution over the current table.
+std::vector<Value> ContextCandidates(
+    const Table& table, const std::set<dc::Violation>& cell_violations,
+    const ColumnStats& stats, CellRef cell, int max_candidates) {
   std::set<Value> candidates;
-  for (const dc::Violation& v : violations) {
-    const auto cells = dc::ImplicatedCells(v, dcs);
-    if (std::find(cells.begin(), cells.end(), cell) == cells.end()) continue;
+  for (const dc::Violation& v : cell_violations) {
     // Partner value in the same column from the other tuple.
     const std::size_t partner_row = cell.row == v.row1 ? v.row2 : v.row1;
     const Value& partner = table.at(partner_row, cell.col);
     if (!partner.is_null()) candidates.insert(partner);
   }
-  const ColumnStats stats = ColumnStats::Build(table, cell.col);
   if (auto mode = stats.MostCommon(); mode.has_value()) {
     candidates.insert(*mode);
   }
@@ -68,32 +40,101 @@ std::vector<Value> ContextCandidates(const Table& table,
   return {candidates.begin(), candidates.end()};
 }
 
+/// The conflict hypergraph's cell-degree bookkeeping, maintained
+/// incrementally from `ViolationIndex` deltas: each cell's violation
+/// set, and cells bucketed by degree so the greedy MVC frontier (all
+/// max-degree cells, ascending CellRef order) is the top bucket instead
+/// of a per-round rescan of every violation.
+class ConflictGraph {
+ public:
+  ConflictGraph(const dc::DcSet& dcs,
+                const std::set<dc::Violation>& violations)
+      : dcs_(dcs) {
+    for (const dc::Violation& v : violations) Add(v);
+  }
+
+  void Add(const dc::Violation& v) {
+    for (const CellRef& cell : dc::ImplicatedCells(v, dcs_)) {
+      auto& cell_violations = per_cell_[cell];
+      const std::size_t old_degree = cell_violations.size();
+      if (!cell_violations.insert(v).second) continue;
+      Rebucket(cell, old_degree, old_degree + 1);
+    }
+  }
+
+  void Remove(const dc::Violation& v) {
+    for (const CellRef& cell : dc::ImplicatedCells(v, dcs_)) {
+      auto it = per_cell_.find(cell);
+      if (it == per_cell_.end() || it->second.erase(v) == 0) continue;
+      const std::size_t new_degree = it->second.size();
+      Rebucket(cell, new_degree + 1, new_degree);
+      if (new_degree == 0) per_cell_.erase(it);
+    }
+  }
+
+  bool empty() const { return by_degree_.empty(); }
+
+  /// All cells at the maximum degree, ascending CellRef order.
+  const std::set<CellRef>& Frontier() const {
+    return by_degree_.rbegin()->second;
+  }
+
+  const std::set<dc::Violation>& ViolationsOf(CellRef cell) const {
+    return per_cell_.at(cell);
+  }
+
+ private:
+  void Rebucket(CellRef cell, std::size_t from, std::size_t to) {
+    if (from > 0) {
+      auto it = by_degree_.find(from);
+      it->second.erase(cell);
+      if (it->second.empty()) by_degree_.erase(it);
+    }
+    if (to > 0) by_degree_[to].insert(cell);
+  }
+
+  const dc::DcSet& dcs_;
+  std::map<CellRef, std::set<dc::Violation>> per_cell_;
+  std::map<std::size_t, std::set<CellRef>> by_degree_;
+};
+
 }  // namespace
 
 HolisticRepair::HolisticRepair(HolisticOptions options) : options_(options) {}
 
 Result<Table> HolisticRepair::Repair(const dc::DcSet& dcs,
                                      const Table& dirty) const {
-  // The index maintains the violation set under cell probes/updates, so
-  // candidate evaluation costs one row rescan instead of a full table
-  // scan (see dc/incremental.h).
+  // The index maintains the violation set under cell probes/updates
+  // (one bucket probe per candidate instead of a full table scan — see
+  // dc/incremental.h); the conflict graph and the per-column stats ride
+  // its deltas, so a round costs the frontier evaluation, not a rescan
+  // of every violation and column.
   dc::ViolationIndex index(dirty, &dcs);
+  ConflictGraph graph(dcs, index.violations());
+  std::map<std::size_t, ColumnStats> column_stats;
+
   for (int round = 0; round < options_.max_rounds; ++round) {
     if (index.violations().empty()) break;
-    const std::vector<dc::Violation> violations(index.violations().begin(),
-                                                index.violations().end());
 
     // Evaluate each (frontier cell, context candidate) pair by the total
     // violations after placement; the frontier and the candidate lists
     // are value-ordered, so ties resolve deterministically.
-    const std::size_t before = violations.size();
+    const std::size_t before = index.count();
     std::size_t best_count = before;
     CellRef best_cell{};
     Value best_value;
     bool found = false;
-    for (const CellRef& cell : PickCoverCells(violations, dcs)) {
-      const std::vector<Value> candidates = ContextCandidates(
-          index.table(), dcs, violations, cell, options_.max_candidates);
+    for (const CellRef& cell : graph.Frontier()) {
+      auto stats_it = column_stats.find(cell.col);
+      if (stats_it == column_stats.end()) {
+        stats_it = column_stats
+                       .emplace(cell.col,
+                                ColumnStats::Build(index.table(), cell.col))
+                       .first;
+      }
+      const std::vector<Value> candidates =
+          ContextCandidates(index.table(), graph.ViolationsOf(cell),
+                            stats_it->second, cell, options_.max_candidates);
       for (const Value& candidate : candidates) {
         const std::size_t count = index.CountIfSet(cell, candidate);
         if (count < best_count) {
@@ -106,7 +147,12 @@ Result<Table> HolisticRepair::Repair(const dc::DcSet& dcs,
     }
 
     if (!found) break;  // no rewrite strictly improves: stop
-    index.SetCell(best_cell, best_value);
+    std::vector<dc::Violation> removed;
+    std::vector<dc::Violation> added;
+    index.SetCell(best_cell, best_value, &removed, &added);
+    for (const dc::Violation& v : removed) graph.Remove(v);
+    for (const dc::Violation& v : added) graph.Add(v);
+    column_stats.erase(best_cell.col);
   }
   return index.table();
 }

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "dc/row_index.h"
 #include "dc/violation.h"
 #include "table/stats.h"
 
@@ -14,6 +15,34 @@ namespace {
 
 constexpr int kNumFeatures = 4;
 using FeatureVector = std::array<double, kNumFeatures>;
+
+/// The mutable assignment under inference: the working table plus one
+/// bucketed violation probe per constraint (kept consistent on writes),
+/// so candidate scoring checks one hash bucket instead of scanning all
+/// rows per constraint.
+struct WorkingState {
+  Table table;
+  std::vector<dc::ConstraintRowIndex> row_indexes;
+
+  WorkingState(const Table& dirty, const dc::DcSet& dcs) : table(dirty) {
+    row_indexes.reserve(dcs.size());
+    for (std::size_t c = 0; c < dcs.size(); ++c) {
+      row_indexes.emplace_back(&table, &dcs.at(c));
+    }
+  }
+
+  /// Not copyable/movable: the row indexes point into this object's own
+  /// `table`.
+  WorkingState(const WorkingState&) = delete;
+  WorkingState& operator=(const WorkingState&) = delete;
+
+  void Set(CellRef cell, const Value& value) {
+    table.Set(cell, value);
+    for (dc::ConstraintRowIndex& index : row_indexes) {
+      if (index.IsKeyColumn(cell.col)) index.Rekey(cell.row);
+    }
+  }
+};
 
 /// Shared per-run context: the dirty table's statistics and the DC set.
 struct Context {
@@ -80,7 +109,7 @@ std::vector<Value> BuildDomain(Context* ctx, CellRef cell) {
 
 /// Features of assigning `candidate` to `cell`, judged against `working`
 /// (the current assignment of all other cells).
-FeatureVector Featurize(Context* ctx, Table* working, CellRef cell,
+FeatureVector Featurize(Context* ctx, WorkingState* working, CellRef cell,
                         const Value& candidate, const Value& original) {
   FeatureVector f{};
   // f[0]: column prior from the dirty table.
@@ -106,11 +135,11 @@ FeatureVector Featurize(Context* ctx, Table* working, CellRef cell,
 
   // f[2]: negated fraction of DCs the row violates with the candidate
   // placed (violations lower the score).
-  const Value saved = working->at(cell);
+  const Value saved = working->table.at(cell);
   working->Set(cell, candidate);
   int violated = 0;
-  for (const auto& constraint : ctx->dcs.constraints()) {
-    if (dc::RowViolates(*working, constraint, cell.row)) ++violated;
+  for (const dc::ConstraintRowIndex& index : working->row_indexes) {
+    if (index.RowViolates(cell.row)) ++violated;
   }
   working->Set(cell, saved);
   f[2] = ctx->dcs.empty()
@@ -131,7 +160,7 @@ double Score(const FeatureVector& f, const FeatureVector& w) {
 
 /// Argmax candidate under the current weights; ties break toward the
 /// smaller value (domains are value-sorted).
-Value BestCandidate(Context* ctx, Table* working, CellRef cell,
+Value BestCandidate(Context* ctx, WorkingState* working, CellRef cell,
                     const std::vector<Value>& domain, const Value& original,
                     const FeatureVector& weights) {
   double best_score = 0;
@@ -148,7 +177,7 @@ Value BestCandidate(Context* ctx, Table* working, CellRef cell,
 }
 
 /// Multiclass-perceptron weight fitting on weakly-labeled clean cells.
-FeatureVector LearnWeights(Context* ctx, Table* working,
+FeatureVector LearnWeights(Context* ctx, WorkingState* working,
                            const std::vector<CellRef>& clean_cells) {
   FeatureVector w{ctx->options.w_prior, ctx->options.w_cooccurrence,
                   ctx->options.w_violation, ctx->options.w_minimality};
@@ -204,7 +233,7 @@ Result<Table> HoloCleanRepair::Repair(const dc::DcSet& dcs,
     }
   }
 
-  Table working = dirty;
+  WorkingState working(dirty, dcs);
 
   // Stage 4 (weights) uses the *unrepaired* working copy.
   FeatureVector weights{options_.w_prior, options_.w_cooccurrence,
@@ -230,7 +259,7 @@ Result<Table> HoloCleanRepair::Repair(const dc::DcSet& dcs,
       const Value best = BestCandidate(&ctx, &working, cell, domains[i],
                                        original, weights);
       if (best.is_null()) continue;
-      const Value& current = working.at(cell);
+      const Value& current = working.table.at(cell);
       if (current.is_null() || best != current) {
         working.Set(cell, best);
         changed = true;
@@ -238,7 +267,7 @@ Result<Table> HoloCleanRepair::Repair(const dc::DcSet& dcs,
     }
     if (!changed) break;
   }
-  return working;
+  return working.table;
 }
 
 }  // namespace trex::repair

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace trex {
 namespace {
 
@@ -78,6 +80,79 @@ TEST(CompareTest, TiesHandledInTau) {
   // tau-b with one tie in `a`: still positive, not 1.
   EXPECT_GT(cmp->kendall_tau, 0.5);
   EXPECT_LT(cmp->kendall_tau, 1.0);
+}
+
+// Hand-computed tau-b with a jointly-tied pair and mixed
+// concordance/discordance: before {A:3,B:2,C:2,D:1}, after
+// {A:3,B:2,C:2,D:4}. Of the 6 pairs, (B,C) is tied in both rankings,
+// (A,B) and (A,C) are concordant, and every pair involving D is
+// discordant. n0 = 6, n1 = n2 = 1, C = 2, D = 3:
+// tau_b = (2 - 3) / sqrt((6-1)(6-1)) = -0.2.
+TEST(CompareTest, KendallTauBJointTiesHandComputed) {
+  const Explanation a =
+      MakeExplanation({{"A", 3.0}, {"B", 2.0}, {"C", 2.0}, {"D", 1.0}});
+  const Explanation b =
+      MakeExplanation({{"A", 3.0}, {"B", 2.0}, {"C", 2.0}, {"D", 4.0}});
+  auto cmp = CompareExplanations(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_NEAR(cmp->kendall_tau, -0.2, 1e-12);
+}
+
+// Tied Shapley values share their average (fractional) rank; the naive
+// closed form over arbitrarily broken ties would report a different
+// value. before {A:2,B:1,C:1,D:0} -> ranks (1, 2.5, 2.5, 4); after
+// {A:2,B:1,C:0,D:-1} -> ranks (1, 2, 3, 4). Pearson over the rank
+// vectors: rho = 4.5 / sqrt(4.5 * 5) = sqrt(0.9).
+TEST(CompareTest, SpearmanTiedValuesUseFractionalRanks) {
+  const Explanation a =
+      MakeExplanation({{"A", 2.0}, {"B", 1.0}, {"C", 1.0}, {"D", 0.0}});
+  const Explanation b =
+      MakeExplanation({{"A", 2.0}, {"B", 1.0}, {"C", 0.0}, {"D", -1.0}});
+  auto cmp = CompareExplanations(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_NEAR(cmp->spearman_rho, std::sqrt(0.9), 1e-12);
+}
+
+// A tie must score identically however the tied players are labeled —
+// the old stable_sort ranking gave tied players distinct ranks in label
+// order, so relabeling changed rho.
+TEST(CompareTest, SpearmanTieInvariantUnderRelabeling) {
+  const Explanation before1 =
+      MakeExplanation({{"A", 2.0}, {"B", 1.0}, {"C", 1.0}, {"D", 0.0}});
+  const Explanation after = MakeExplanation(
+      {{"A", 2.0}, {"B", 0.5}, {"C", 1.0}, {"D", 0.0}});
+  // Swap the tied players' labels in `before`.
+  const Explanation before2 =
+      MakeExplanation({{"A", 2.0}, {"C", 1.0}, {"B", 1.0}, {"D", 0.0}});
+  auto cmp1 = CompareExplanations(before1, after);
+  auto cmp2 = CompareExplanations(before2, after);
+  ASSERT_TRUE(cmp1.ok());
+  ASSERT_TRUE(cmp2.ok());
+  EXPECT_DOUBLE_EQ(cmp1->spearman_rho, cmp2->spearman_rho);
+  EXPECT_DOUBLE_EQ(cmp1->kendall_tau, cmp2->kendall_tau);
+}
+
+// Identical explanations stay perfectly correlated even with ties.
+TEST(CompareTest, IdenticalWithTiesIsPerfectCorrelation) {
+  const Explanation ex =
+      MakeExplanation({{"A", 1.0}, {"B", 1.0}, {"C", 0.0}});
+  auto cmp = CompareExplanations(ex, ex);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_DOUBLE_EQ(cmp->kendall_tau, 1.0);
+  EXPECT_DOUBLE_EQ(cmp->spearman_rho, 1.0);
+}
+
+// An entirely tied side has no defined rank correlation: both metrics
+// report 0 by convention instead of dividing by zero.
+TEST(CompareTest, FullyTiedSideReportsZero) {
+  const Explanation flat =
+      MakeExplanation({{"A", 1.0}, {"B", 1.0}, {"C", 1.0}});
+  const Explanation ranked =
+      MakeExplanation({{"A", 3.0}, {"B", 2.0}, {"C", 1.0}});
+  auto cmp = CompareExplanations(flat, ranked);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_DOUBLE_EQ(cmp->kendall_tau, 0.0);
+  EXPECT_DOUBLE_EQ(cmp->spearman_rho, 0.0);
 }
 
 TEST(CompareTest, TopKJaccardPartial) {

@@ -149,6 +149,59 @@ TEST(ErrorInjectorTest, SwapsStayInColumnDomain) {
   }
 }
 
+// Regression: the swap domain used to be built on the partially dirtied
+// table, so later swaps could draw earlier corruptions (typos like
+// "X~", or other swapped-in errors) as "realistic" values. Swap sources
+// must come from the *clean* column domain.
+TEST(ErrorInjectorTest, SwapSourcesComeFromCleanDomain) {
+  auto generated = GenerateSoccer({.num_rows = 120, .seed = 19});
+  ErrorInjectorOptions options;
+  options.error_rate = 0.30;  // heavy: many typos land before many swaps
+  options.weight_swap = 0.5;
+  options.weight_typo = 0.5;
+  options.weight_missing = 0;
+  options.seed = 20;
+  auto result = InjectErrors(generated.clean, options);
+  ASSERT_FALSE(result.injected.empty());
+  // Clean per-column domains.
+  std::vector<std::set<Value>> clean_domain(generated.clean.num_columns());
+  for (const CellRef& cell : generated.clean.AllCells()) {
+    clean_domain[cell.col].insert(generated.clean.at(cell));
+  }
+  std::size_t swaps = 0;
+  for (const RepairedCell& record : result.injected) {
+    ASSERT_FALSE(record.new_value.is_null());
+    const bool is_typo =
+        record.new_value.is_string() &&
+        record.new_value.as_string().find('~') != std::string::npos;
+    if (is_typo) continue;  // generator values never contain '~'
+    ++swaps;
+    EXPECT_EQ(clean_domain[record.cell.col].count(record.new_value), 1u)
+        << "swap drew out-of-clean-domain value "
+        << record.new_value.ToString();
+  }
+  EXPECT_GT(swaps, 0u);
+}
+
+TEST(ErrorInjectorTest, MaxErrorsCapsInjection) {
+  auto generated = GenerateSoccer({.num_rows = 100, .seed = 21});
+  ErrorInjectorOptions options;
+  options.error_rate = 0.5;  // would corrupt ~300 cells uncapped
+  options.max_errors = 7;
+  options.seed = 22;
+  auto result = InjectErrors(generated.clean, options);
+  EXPECT_EQ(result.injected.size(), 7u);
+  // The cap selects a prefix of the same shuffled candidate order: the
+  // capped run's corruptions are a subset of the uncapped run's cells.
+  ErrorInjectorOptions uncapped = options;
+  uncapped.max_errors = 0;
+  auto full = InjectErrors(generated.clean, uncapped);
+  for (std::size_t i = 0; i < result.injected.size(); ++i) {
+    EXPECT_EQ(generated.clean.LinearIndex(result.injected[i].cell),
+              generated.clean.LinearIndex(full.injected[i].cell));
+  }
+}
+
 TEST(ErrorInjectorTest, ZeroRateInjectsNothing) {
   const Table clean = SoccerCleanTable();
   ErrorInjectorOptions options;

@@ -102,5 +102,92 @@ TEST(GeneratorTest, ConstraintSetIsFigure1) {
   EXPECT_EQ(generated.dcs.at(2).name(), "C3");
 }
 
+// Regression: the default world holds 4 countries x 1 league x 8 teams
+// x 10 years = 320 (team, year) pairs. Requesting more than that used to
+// silently emit fewer rows than asked; the generator must now grow the
+// world and emit exactly num_rows, still violation-free.
+TEST(GeneratorTest, KeySpaceExhaustionGrowsWorld) {
+  auto generated = GenerateSoccer({.num_rows = 2000, .seed = 29});
+  EXPECT_EQ(generated.clean.num_rows(), 2000u);
+  EXPECT_FALSE(dc::HasAnyViolation(generated.clean, generated.dcs));
+}
+
+// Saturating the key space exactly forces the deterministic backfill
+// sweep (Zipf sampling alone cannot place the last pairs in bounded
+// attempts) — the output must still be exact and per-seed reproducible.
+TEST(GeneratorTest, SaturatedWorldStaysExactAndDeterministic) {
+  const SoccerGenOptions options{.num_rows = 320, .seed = 31};
+  auto a = GenerateSoccer(options);
+  EXPECT_EQ(a.clean.num_rows(), 320u);
+  EXPECT_FALSE(dc::HasAnyViolation(a.clean, a.dcs));
+  auto b = GenerateSoccer(options);
+  EXPECT_EQ(a.clean, b.clean);
+}
+
+TEST(GeneratorTest, GrownWorldKeepsFunctionalDependencies) {
+  auto generated = GenerateSoccer({.num_rows = 1500, .seed = 37});
+  const Table& t = generated.clean;
+  ASSERT_EQ(t.num_rows(), 1500u);
+  std::map<Value, Value> team_city;
+  std::map<Value, Value> city_country;
+  for (std::size_t r = 0; r < t.num_rows(); ++r) {
+    auto [it, inserted] =
+        team_city.emplace(t.Cell(r, "Team"), t.Cell(r, "City"));
+    if (!inserted) EXPECT_EQ(it->second, t.Cell(r, "City"));
+    auto [it2, inserted2] =
+        city_country.emplace(t.Cell(r, "City"), t.Cell(r, "Country"));
+    if (!inserted2) EXPECT_EQ(it2->second, t.Cell(r, "Country"));
+  }
+}
+
+TEST(GeneratorTest, ScalesToLargeWorlds) {
+  auto generated = GenerateSoccer({.num_rows = 20000, .seed = 41});
+  EXPECT_EQ(generated.clean.num_rows(), 20000u);
+}
+
+TEST(WorldGeneratorTest, ProducesRequestedTables) {
+  WorldGenOptions options;
+  options.table.num_rows = 50;
+  options.table.seed = 43;
+  options.num_tables = 3;
+  auto world = GenerateWorld(options);
+  ASSERT_EQ(world.tables.size(), 3u);
+  for (const GeneratedData& data : world.tables) {
+    EXPECT_EQ(data.clean.num_rows(), 50u);
+    EXPECT_FALSE(dc::HasAnyViolation(data.clean, data.dcs));
+  }
+}
+
+TEST(WorldGeneratorTest, TablesHaveDisjointContent) {
+  WorldGenOptions options;
+  options.table.num_rows = 60;
+  options.table.seed = 47;
+  options.num_tables = 3;
+  auto world = GenerateWorld(options);
+  for (std::size_t i = 0; i < world.tables.size(); ++i) {
+    for (std::size_t j = i + 1; j < world.tables.size(); ++j) {
+      EXPECT_NE(world.tables[i].clean, world.tables[j].clean)
+          << "tables " << i << " and " << j << " are identical";
+    }
+  }
+  // The per-table seed chain is disjoint from the base seed itself: the
+  // first table is not simply GenerateSoccer(base).
+  auto base = GenerateSoccer(options.table);
+  EXPECT_NE(world.tables[0].clean, base.clean);
+}
+
+TEST(WorldGeneratorTest, DeterministicForSeed) {
+  WorldGenOptions options;
+  options.table.num_rows = 40;
+  options.table.seed = 53;
+  options.num_tables = 2;
+  auto a = GenerateWorld(options);
+  auto b = GenerateWorld(options);
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (std::size_t i = 0; i < a.tables.size(); ++i) {
+    EXPECT_EQ(a.tables[i].clean, b.tables[i].clean);
+  }
+}
+
 }  // namespace
 }  // namespace trex::data

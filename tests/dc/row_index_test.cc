@@ -1,0 +1,143 @@
+#include "dc/row_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/errors.h"
+#include "data/generator.h"
+#include "data/soccer.h"
+#include "dc/parser.h"
+#include "dc/violation.h"
+
+namespace trex::dc {
+namespace {
+
+/// Probe answers must be bit-identical to the nested-loop scan for
+/// every row and constraint.
+void ExpectMatchesScan(const Table& table, const DcSet& dcs) {
+  for (std::size_t c = 0; c < dcs.size(); ++c) {
+    const DenialConstraint& dc = dcs.at(c);
+    ConstraintRowIndex index(&table, &dc);
+    for (std::size_t row = 0; row < table.num_rows(); ++row) {
+      EXPECT_EQ(index.RowViolates(row), RowViolates(table, dc, row))
+          << dc.name() << " row " << row;
+    }
+  }
+}
+
+TEST(ConstraintRowIndexTest, MatchesScanOnPaperTable) {
+  ExpectMatchesScan(data::SoccerDirtyTable(), data::SoccerConstraints());
+}
+
+TEST(ConstraintRowIndexTest, MatchesScanOnDirtySyntheticWorld) {
+  auto generated = data::GenerateSoccer({.num_rows = 120, .seed = 3});
+  data::ErrorInjectorOptions inject;
+  inject.error_rate = 0.08;
+  inject.seed = 4;
+  auto injected = data::InjectErrors(generated.clean, inject);
+  ExpectMatchesScan(injected.dirty, generated.dcs);
+}
+
+TEST(ConstraintRowIndexTest, ViolationsOfRowMatchesFullDetection) {
+  auto generated = data::GenerateSoccer({.num_rows = 80, .seed = 5});
+  data::ErrorInjectorOptions inject;
+  inject.error_rate = 0.10;
+  inject.seed = 6;
+  auto injected = data::InjectErrors(generated.clean, inject);
+  const Table& table = injected.dirty;
+  for (std::size_t c = 0; c < generated.dcs.size(); ++c) {
+    const DenialConstraint& dc = generated.dcs.at(c);
+    ConstraintRowIndex index(&table, &dc);
+    const bool dedup = dc.IsSymmetric();
+    // Ground truth: the full detector's violations involving each row.
+    std::set<Violation> all;
+    for (const Violation& v : FindViolationsOf(table, dc, c)) all.insert(v);
+    for (std::size_t row = 0; row < table.num_rows(); ++row) {
+      std::set<Violation> expected;
+      for (const Violation& v : all) {
+        if (v.row1 == row || v.row2 == row) expected.insert(v);
+      }
+      std::set<Violation> probed;
+      for (const Violation& v : index.ViolationsOfRow(row, c, dedup)) {
+        probed.insert(v);
+      }
+      EXPECT_EQ(probed, expected) << dc.name() << " row " << row;
+    }
+  }
+}
+
+TEST(ConstraintRowIndexTest, RekeyTracksKeyColumnWrites) {
+  Table table = data::SoccerDirtyTable();
+  const DcSet dcs = data::SoccerConstraints();
+  const DenialConstraint& c1 = dcs.at(0);  // Team -> City
+  ConstraintRowIndex index(&table, &c1);
+  ASSERT_TRUE(index.uses_buckets());
+  const std::size_t team_col = *table.schema().IndexOf("Team");
+  ASSERT_TRUE(index.IsKeyColumn(team_col));
+
+  // Move row 0 onto row 4's team: if their cities disagree the pair now
+  // violates C1 — the probe must see it after Rekey.
+  table.Set(CellRef{0, team_col}, table.at(4, team_col));
+  index.Rekey(0);
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    EXPECT_EQ(index.RowViolates(row), RowViolates(table, c1, row))
+        << "row " << row;
+  }
+
+  // And back: the stale bucket entry must be gone.
+  table.Set(CellRef{0, team_col}, Value("SomethingElse"));
+  index.Rekey(0);
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    EXPECT_EQ(index.RowViolates(row), RowViolates(table, c1, row))
+        << "row " << row;
+  }
+}
+
+TEST(ConstraintRowIndexTest, NonKeyColumnWritesAreLive) {
+  Table table = data::SoccerDirtyTable();
+  const DcSet dcs = data::SoccerConstraints();
+  const DenialConstraint& c1 = dcs.at(0);  // !(Team == Team & City != City)
+  ConstraintRowIndex index(&table, &c1);
+  const std::size_t city_col = *table.schema().IndexOf("City");
+  ASSERT_FALSE(index.IsKeyColumn(city_col));
+
+  // Rewriting a City (the inequality side) changes violations without
+  // any Rekey: the index reads the live table.
+  table.Set(CellRef{4, city_col}, Value("Madrid"));
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    EXPECT_EQ(index.RowViolates(row), RowViolates(table, c1, row))
+        << "row " << row;
+  }
+}
+
+TEST(ConstraintRowIndexTest, NullKeysNeverJoin) {
+  Table table = data::SoccerDirtyTable();
+  const DcSet dcs = data::SoccerConstraints();
+  const DenialConstraint& c1 = dcs.at(0);
+  const std::size_t team_col = *table.schema().IndexOf("Team");
+  table.Set(CellRef{2, team_col}, Value::Null());
+  ConstraintRowIndex index(&table, &c1);
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    EXPECT_EQ(index.RowViolates(row), RowViolates(table, c1, row))
+        << "row " << row;
+  }
+}
+
+TEST(ConstraintRowIndexTest, FallsBackWithoutCrossTupleEquality) {
+  const Table table = data::SoccerDirtyTable();
+  // No cross-tuple equality predicate: probe must fall back to the scan
+  // and still answer exactly.
+  auto dc = ParseDc("!(t1.Place < t2.Place & t1.Year > t2.Year)",
+                    table.schema(), "NoEq");
+  ASSERT_TRUE(dc.ok()) << dc.status().ToString();
+  ConstraintRowIndex index(&table, &*dc);
+  EXPECT_FALSE(index.uses_buckets());
+  for (std::size_t row = 0; row < table.num_rows(); ++row) {
+    EXPECT_EQ(index.RowViolates(row), RowViolates(table, *dc, row))
+        << "row " << row;
+  }
+}
+
+}  // namespace
+}  // namespace trex::dc
