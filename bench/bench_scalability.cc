@@ -14,6 +14,10 @@
 // sees argv):
 //   --cross_backend_rows=a,b,c   comma-separated sweep sizes
 //   --cross_backend_targets=N    explained targets per backend (default 4)
+//   --cross_backend_sealed       run engines with sealed-target memo
+//                                compaction (EngineOptions::seal_targets;
+//                                bit-identical results, compact memo —
+//                                CI A/Bs this against the default run)
 //   --cross_backend_only         skip the google-benchmark cases (CI smoke)
 //   --no_cross_backend           skip the sweep
 //
@@ -209,7 +213,7 @@ BENCHMARK(RuleRepairCost)->RangeMultiplier(2)->Range(32, 256)
 
 /// One harness invocation per sweep size; one JSON line per backend.
 void RunCrossBackendSweep(const std::vector<std::size_t>& sizes,
-                          std::size_t num_targets) {
+                          std::size_t num_targets, bool sealed) {
   for (std::size_t rows : sizes) {
     workload::ComparisonOptions options;
     options.world.num_rows = rows;
@@ -221,6 +225,7 @@ void RunCrossBackendSweep(const std::vector<std::size_t>& sizes,
     // scales with noisy cells, not rows).
     options.errors.max_errors = 256;
     options.num_targets = num_targets;
+    options.engine.seal_targets = sealed;
     auto report = workload::RunComparison(options);
     if (!report.ok()) {
       std::fprintf(stderr, "cross-backend sweep failed at %zu rows: %s\n",
@@ -256,6 +261,7 @@ int main(int argc, char** argv) {
   std::size_t num_targets = 4;
   bool sweep = true;
   bool gbench = true;
+  bool sealed = false;
 
   // Strip the sweep's own flags so google-benchmark never sees them.
   std::vector<char*> passthrough = {argv[0]};
@@ -283,6 +289,8 @@ int main(int argc, char** argv) {
         return 1;
       }
       num_targets = static_cast<std::size_t>(*parsed);
+    } else if (arg == "--cross_backend_sealed") {
+      sealed = true;
     } else if (arg == "--cross_backend_only") {
       gbench = false;
     } else if (arg == "--no_cross_backend") {
@@ -292,7 +300,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (sweep) RunCrossBackendSweep(sizes, num_targets);
+  if (sweep) RunCrossBackendSweep(sizes, num_targets, sealed);
   if (gbench) {
     int pass_argc = static_cast<int>(passthrough.size());
     benchmark::Initialize(&pass_argc, passthrough.data());

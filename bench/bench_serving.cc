@@ -452,16 +452,19 @@ void RunSyntheticWorldScenario() {
   std::printf(
       "%zu-table world, %zu rows/table, %zu explanation requests "
       "interleaved\nexplained %zu, unexplainable %zu, wall %.3fs, "
-      "router: %zu engines built, %zu hits\n",
+      "router: %zu engines built, %zu hits, ~%zu memo bytes resident\n",
       world.tables.size(), kRowsPerTable, submitted, explained, unexplained,
-      wall_seconds, stats.router.misses, stats.router.hits);
+      wall_seconds, stats.router.misses, stats.router.hits,
+      stats.router.approx_memo_bytes);
   std::printf(
       "JSON {\"bench\":\"serving\",\"scenario\":\"synthetic_world\","
       "\"tables\":%zu,\"rows_per_table\":%zu,\"submitted\":%zu,"
       "\"explained\":%zu,\"unexplained\":%zu,\"wall_seconds\":%.3f,"
-      "\"router_misses\":%zu,\"router_hits\":%zu}\n",
+      "\"router_misses\":%zu,\"router_hits\":%zu,"
+      "\"approx_memo_bytes\":%zu}\n",
       world.tables.size(), kRowsPerTable, submitted, explained, unexplained,
-      wall_seconds, stats.router.misses, stats.router.hits);
+      wall_seconds, stats.router.misses, stats.router.hits,
+      stats.router.approx_memo_bytes);
   bench::Verdict(stats.completed + stats.failed == submitted,
                  "every synthetic-world ticket resolves");
   bench::Verdict(stats.router.misses == world.tables.size(),

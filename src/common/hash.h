@@ -54,6 +54,15 @@ struct Hash128 {
     return hi == other.hi && lo == other.lo;
   }
   bool operator!=(const Hash128& other) const { return !(*this == other); }
+
+  /// XOR combination — the composition law behind the table layer's
+  /// delta fingerprints (order-independent, self-inverse).
+  Hash128& operator^=(const Hash128& other) {
+    hi ^= other.hi;
+    lo ^= other.lo;
+    return *this;
+  }
+  friend Hash128 operator^(Hash128 a, const Hash128& b) { return a ^= b; }
 };
 
 /// Incremental FNV-1a over a 128-bit state (the real FNV-128 prime and

@@ -116,6 +116,10 @@ std::size_t Engine::num_cache_evictions() const {
   return box_.has_value() ? box_->num_memo_evictions() : 0;
 }
 
+std::size_t Engine::approx_memo_bytes() const {
+  return box_.has_value() ? box_->approx_memo_bytes() : 0;
+}
+
 Result<std::size_t> Engine::EnsureTarget(CellRef target) {
   return box_->AddTarget(target);
 }
@@ -279,6 +283,22 @@ Result<BatchResult> Engine::ExplainBatch(
   TREX_RETURN_NOT_OK(EnsureRepair());
   batch.stats.reference_repairs = had_repair ? 0 : 1;
 
+  if (options_.seal_targets) {
+    // Register the batch's full target set up front, then seal: memo
+    // entries written while serving the batch store per-target outcome
+    // bitsets instead of repaired tables. Out-of-range targets are
+    // skipped here — their slots fail with the same status as before
+    // when their request executes.
+    for (const ExplainRequest& request : requests) {
+      if (request.target.row < dirty_->num_rows() &&
+          request.target.col < dirty_->num_columns()) {
+        auto added = box_->AddTarget(request.target);
+        TREX_CHECK(added.ok()) << added.status().ToString();
+      }
+    }
+    box_->SealTargets();
+  }
+
   batch.results.reserve(requests.size());
   for (const ExplainRequest& request : requests) {
     Result<ExplainResult> result = [&]() -> Result<ExplainResult> {
@@ -303,6 +323,7 @@ Result<BatchResult> Engine::ExplainBatch(
   batch.stats.cache_hits = num_cache_hits() - hits_before;
   batch.stats.cross_request_hits = num_cross_request_hits() - cross_before;
   batch.stats.cache_evictions = num_cache_evictions() - evictions_before;
+  batch.stats.approx_memo_bytes = approx_memo_bytes();
   return batch;
 }
 
@@ -505,16 +526,53 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
     auto one_sweep = [&](Rng* rng, std::vector<shap::RunningStat>* running) {
       const std::vector<std::size_t> perm = rng->Permutation(players.size());
       // Baseline: every player absent (replaced); non-players untouched.
-      Table working = box_->dirty();
-      for (const CellRef& cell : players) {
-        working.Set(cell, replacement(cell, rng));
+      // The working table is a *write set* over the dirty table —
+      // restoring a player removes its write (swap-with-last; delta
+      // fingerprints are order-insensitive) and XORs its precomputed
+      // delta out of the running fingerprint, so each evaluation costs
+      // O(1) hashing and the perturbed table is never materialized on
+      // the memo hit path. Replacement draws stay in the exact order of
+      // the materialized loop, so estimates are bit-identical.
+      std::vector<CellWrite> writes;
+      std::vector<FingerprintDelta> deltas;  // parallel to `writes`
+      writes.reserve(players.size());
+      deltas.reserve(players.size());
+      std::vector<std::size_t> slot_of(players.size());   // player -> slot
+      std::vector<std::size_t> player_at(players.size()); // slot -> player
+      std::uint64_t fp64 = 0;
+      Hash128 fp128;
+      box_->dirty_fingerprints(&fp64, &fp128);
+      for (std::size_t i = 0; i < players.size(); ++i) {
+        Value value = replacement(players[i], rng);
+        const FingerprintDelta delta =
+            box_->dirty().WriteDelta(players[i], value);
+        fp64 ^= delta.fp64;
+        fp128 ^= delta.fp128;
+        writes.push_back({players[i], std::move(value)});
+        deltas.push_back(delta);
+        slot_of[i] = i;
+        player_at[i] = i;
       }
-      double prev = box_->EvalTable(working, target_index) ? 1.0 : 0.0;
+      double prev =
+          box_->EvalPerturbation(writes, fp64, fp128, target_index) ? 1.0
+                                                                    : 0.0;
       for (std::size_t pos = 0; pos < perm.size(); ++pos) {
         const std::size_t player = perm[pos];
-        working.Set(players[player], box_->dirty().at(players[player]));
+        const std::size_t slot = slot_of[player];
+        const std::size_t last = writes.size() - 1;
+        const std::size_t moved = player_at[last];
+        fp64 ^= deltas[slot].fp64;  // deltas are self-inverse
+        fp128 ^= deltas[slot].fp128;
+        std::swap(writes[slot], writes[last]);
+        std::swap(deltas[slot], deltas[last]);
+        writes.pop_back();
+        deltas.pop_back();
+        slot_of[moved] = slot;
+        player_at[slot] = moved;
         const double curr =
-            box_->EvalTable(working, target_index) ? 1.0 : 0.0;
+            box_->EvalPerturbation(writes, fp64, fp128, target_index)
+                ? 1.0
+                : 0.0;
         (*running)[player].Add(curr - prev);
         prev = curr;
       }
@@ -636,16 +694,28 @@ Result<PlayerScore> Engine::ExplainSingleCell(
   };
 
   // Example 2.5: per iteration, draw a permutation; the coalition is the
-  // players preceding the cell of interest. Build two instances sharing
-  // the coalition materialization — one with the cell's original value,
-  // one with the cell replaced — and accumulate the outcome difference.
+  // players preceding the cell of interest. The with/without pair shares
+  // one write set — "without" appends the replacement of the cell of
+  // interest — so neither instance is materialized on the memo hit path.
+  // Replacement draws keep the original order, so estimates are
+  // bit-identical to the materialized loop.
   shap::RunningStat stat;
+  std::vector<CellWrite> writes;
   for (std::size_t sample = 0; sample < options.num_samples; ++sample) {
     if (cancel.cancelled()) {
       return Status::Cancelled("single-cell estimation cancelled");
     }
     const std::vector<std::size_t> perm = rng.Permutation(players.size());
-    Table with = box_->dirty();
+    writes.clear();
+    std::uint64_t fp64 = 0;
+    Hash128 fp128;
+    box_->dirty_fingerprints(&fp64, &fp128);
+    auto push_write = [&](CellRef cell, Value value) {
+      const FingerprintDelta delta = box_->dirty().WriteDelta(cell, value);
+      fp64 ^= delta.fp64;
+      fp128 ^= delta.fp128;
+      writes.push_back({cell, std::move(value)});
+    };
     bool before_player = true;
     for (std::size_t pos = 0; pos < perm.size(); ++pos) {
       if (perm[pos] == player_index) {
@@ -654,14 +724,16 @@ Result<PlayerScore> Engine::ExplainSingleCell(
       }
       if (!before_player) {
         const CellRef cell = players[perm[pos]];
-        with.Set(cell, replacement(cell));
+        push_write(cell, replacement(cell));
       }
     }
-    Table without = with;
-    without.Set(player_cell, replacement(player_cell));
-    const double v_with = box_->EvalTable(with, target_index) ? 1.0 : 0.0;
+    const double v_with =
+        box_->EvalPerturbation(writes, fp64, fp128, target_index) ? 1.0
+                                                                  : 0.0;
+    push_write(player_cell, replacement(player_cell));
     const double v_without =
-        box_->EvalTable(without, target_index) ? 1.0 : 0.0;
+        box_->EvalPerturbation(writes, fp64, fp128, target_index) ? 1.0
+                                                                  : 0.0;
     stat.Add(v_with - v_without);
   }
 

@@ -164,6 +164,10 @@ struct BatchStats {
   /// Table-memo entries evicted while serving this batch (only non-zero
   /// when `EngineOptions::max_memo_entries` caps the memo).
   std::size_t cache_evictions = 0;
+  /// Estimated resident bytes of the engine's memo caches after the
+  /// batch (`BlackBoxRepair::approx_memo_bytes`) — the number
+  /// `EngineOptions::seal_targets` compacts.
+  std::size_t approx_memo_bytes = 0;
 };
 
 /// The results of a batch, slot-for-slot with the request vector.
@@ -193,6 +197,16 @@ struct EngineOptions {
   /// over exact content equality (collision odds ~2^-64 per pair; see
   /// BlackBoxRepair::set_use_strong_table_hash). Default off.
   bool use_strong_table_hash = false;
+  /// Seal the target set at each `ExplainBatch`: the batch's targets
+  /// are registered up front and `BlackBoxRepair::SealTargets()` turns
+  /// every memo entry into a per-target outcome bitset — O(targets)
+  /// bytes per entry instead of O(table) (see repair_game.h). Results
+  /// are bit-identical to the unsealed engine; targets added *after* a
+  /// seal (a later `Explain`/`ExplainBatch` on the same engine) stay
+  /// correct via recompute-on-miss and may re-run some repairs. Sealed
+  /// entries are verified by 128-bit fingerprint, the same trust model
+  /// as `use_strong_table_hash`. Default off.
+  bool seal_targets = false;
 };
 
 /// Unified multi-target explanation engine (see file comment).
@@ -261,6 +275,9 @@ class Engine {
   std::size_t num_cache_hits() const;
   std::size_t num_cross_request_hits() const;
   std::size_t num_cache_evictions() const;
+  /// Estimated resident bytes of the memo caches right now (0 before
+  /// the reference repair). See `BlackBoxRepair::approx_memo_bytes`.
+  std::size_t approx_memo_bytes() const;
 
  private:
   /// Cheap request screening (bounds, option consistency) that must run

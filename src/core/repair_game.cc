@@ -1,6 +1,7 @@
 #include "core/repair_game.h"
 
 #include <algorithm>
+#include <cstring>
 #include <mutex>
 #include <utility>
 
@@ -8,6 +9,79 @@
 #include "table/diff.h"
 
 namespace trex {
+namespace {
+
+bool GetOutcomeBit(const std::vector<std::uint64_t>& bits, std::size_t index) {
+  return (bits[index / 64] >> (index % 64)) & 1u;
+}
+
+void SetOutcomeBit(std::vector<std::uint64_t>* bits, std::size_t index,
+                   bool value) {
+  if (value) (*bits)[index / 64] |= std::uint64_t{1} << (index % 64);
+}
+
+/// Heap payload of a table, excluding the object header (which is
+/// already counted inside the owning struct's sizeof).
+std::size_t TableHeapBytes(const Table& table) {
+  return table.ApproxMemoryBytes() - sizeof(Table);
+}
+
+/// The per-thread evaluation scratch: one resident dirty-table copy per
+/// thread, owned by whichever box evaluated last on this thread
+/// (`owner` is the box's globally unique scratch id). Switching boxes
+/// re-copies; staying on one box resets in O(#previous writes).
+///
+/// Retention trade-off: the copy outlives the owning box (thread-locals
+/// cannot be reclaimed from another thread, e.g. when the router evicts
+/// an engine) and is not part of `approx_memo_bytes` — a deliberate,
+/// bounded cost of one dirty-table copy per evaluating thread, the same
+/// order as the shared dirty table itself and reused in place by the
+/// next box the thread serves.
+struct EvalScratch {
+  std::uint64_t owner = 0;
+  Table table;
+  /// Cells of `table` currently differing from the owner's dirty table.
+  std::vector<CellRef> touched;
+  /// Per-linear-index scratch marks (all zero between calls), used to
+  /// intersect the previous and next write sets so consecutive
+  /// evaluations reset/apply only what actually changed.
+  std::vector<std::uint8_t> mark;
+};
+
+/// Bit-level value equality, stricter than `Value::operator==` (which
+/// equates 1 with 1.0 and +0.0 with -0.0): skipping a scratch write is
+/// only sound when the resident bytes hash identically to the write.
+bool ExactlyEqual(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kInt:
+      return a.as_int() == b.as_int();
+    case ValueType::kDouble: {
+      const double x = a.as_double();
+      const double y = b.as_double();
+      return std::memcmp(&x, &y, sizeof(x)) == 0;
+    }
+    case ValueType::kString:
+      return a.as_string() == b.as_string();
+  }
+  return false;
+}
+
+EvalScratch& ThreadEvalScratch() {
+  thread_local EvalScratch scratch;
+  return scratch;
+}
+
+std::uint64_t NextScratchId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1);
+}
+
+}  // namespace
+
+BlackBoxRepair::CacheState::CacheState() : scratch_id(NextScratchId()) {}
 
 Result<BlackBoxRepair> BlackBoxRepair::MakeMultiTarget(
     const repair::RepairAlgorithm* algorithm, dc::DcSet dcs, Table dirty,
@@ -38,6 +112,9 @@ Result<BlackBoxRepair> BlackBoxRepair::MakeMultiTarget(
   box.dcs_ = std::move(dcs);
   box.dirty_ = std::move(dirty);
   box.state_ = std::make_unique<CacheState>();
+  // The delta-evaluation base: every perturbation's fingerprints derive
+  // from these in O(#writes).
+  box.dirty_->DualFingerprint(&box.dirty_fp64_, &box.dirty_fp128_);
   TREX_ASSIGN_OR_RETURN(box.clean_,
                         algorithm->Repair(box.dcs_, *box.dirty_));
   box.state_->calls.store(1);
@@ -73,14 +150,17 @@ Result<std::size_t> BlackBoxRepair::AddTarget(CellRef target) {
       !both_null && (dirty_value.is_null() || info.clean_value.is_null() ||
                      dirty_value != info.clean_value);
   targets_.push_back(std::move(info));
+  // Post-seal registration is allowed: resident sealed entries keep
+  // their (now short) bitsets and this target's evaluations on them
+  // fall back to recompute-on-miss (see file comment).
+  target_index_.emplace(target, targets_.size() - 1);
   return targets_.size() - 1;
 }
 
 std::optional<std::size_t> BlackBoxRepair::FindTarget(CellRef target) const {
-  for (std::size_t i = 0; i < targets_.size(); ++i) {
-    if (targets_[i].cell == target) return i;
-  }
-  return std::nullopt;
+  auto it = target_index_.find(target);
+  if (it == target_index_.end()) return std::nullopt;
+  return it->second;
 }
 
 CellRef BlackBoxRepair::target(std::size_t index) const {
@@ -114,6 +194,14 @@ std::size_t BlackBoxRepair::num_table_memo_entries() const {
   return state_->table_entries;
 }
 
+std::size_t BlackBoxRepair::num_eval_table_copies() const {
+  return state_->eval_table_copies.load();
+}
+
+std::size_t BlackBoxRepair::approx_memo_bytes() const {
+  return state_->approx_bytes.load();
+}
+
 void BlackBoxRepair::BeginRequest(std::size_t request_id) const {
   state_->current_request.store(request_id);
 }
@@ -129,20 +217,79 @@ bool BlackBoxRepair::Outcome(const Table& repaired,
   return got == info.clean_value;
 }
 
+std::size_t BlackBoxRepair::EntryPayloadBytes(const CacheEntry& entry) const {
+  return sizeof(CacheEntry) + TableHeapBytes(entry.input) +
+         TableHeapBytes(entry.repaired) +
+         entry.outcomes.capacity() * sizeof(std::uint64_t);
+}
+
+void BlackBoxRepair::SealEntry(CacheEntry* entry) const {
+  entry->outcomes.assign((targets_.size() + 63) / 64, 0);
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    SetOutcomeBit(&entry->outcomes, i, Outcome(entry->repaired, i));
+  }
+  entry->covered_targets = targets_.size();
+  entry->sealed = true;
+  entry->input = Table();
+  entry->repaired = Table();
+}
+
+void BlackBoxRepair::PopulateEntry(CacheEntry* entry, const Table* input,
+                                   Table repaired,
+                                   const Hash128& fp128) const {
+  entry->fp128 = fp128;
+  entry->request_id = state_->current_request.load();
+  entry->repaired = std::move(repaired);
+  if (sealed_) {
+    SealEntry(entry);
+    return;
+  }
+  entry->sealed = false;
+  if (input != nullptr && !use_strong_table_hash_) {
+    entry->input = *input;
+  }
+}
+
+void BlackBoxRepair::SealTargets() {
+  if (sealed_) return;
+  sealed_ = true;
+  std::unique_lock<std::shared_mutex> lock(state_->mu);
+  std::size_t bytes = 0;
+  for (auto& [mask, entry] : state_->mask_cache) {
+    if (!entry.sealed) SealEntry(&entry);
+    bytes += EntryPayloadBytes(entry);
+  }
+  for (auto& [fingerprint, bucket] : state_->table_cache) {
+    for (CacheEntry& entry : bucket) {
+      if (!entry.sealed) SealEntry(&entry);
+      bytes += EntryPayloadBytes(entry);
+    }
+  }
+  state_->approx_bytes.store(bytes);
+}
+
 bool BlackBoxRepair::EvalConstraintSubset(std::uint64_t mask,
                                           std::size_t target_index) const {
   TREX_CHECK_LE(dcs_.size(), kMaxMaskConstraints)
       << "constraint subset masks support at most 64 constraints; "
       << "split the DcSet or extend the mask representation";
+  TREX_CHECK_LT(target_index, targets_.size());
   if (cache_enabled_) {
     std::shared_lock<std::shared_mutex> lock(state_->mu);
     auto it = state_->mask_cache.find(mask);
     if (it != state_->mask_cache.end()) {
-      state_->hits.fetch_add(1);
-      if (it->second.request_id != state_->current_request.load()) {
-        state_->cross_request_hits.fetch_add(1);
+      const CacheEntry& entry = it->second;
+      // A sealed entry answers only the targets its bitset covers; a
+      // target registered after sealing falls through to a fresh repair
+      // run (never a silently wrong bit).
+      if (!entry.sealed || target_index < entry.covered_targets) {
+        state_->hits.fetch_add(1);
+        if (entry.request_id != state_->current_request.load()) {
+          state_->cross_request_hits.fetch_add(1);
+        }
+        return entry.sealed ? GetOutcomeBit(entry.outcomes, target_index)
+                            : Outcome(entry.repaired, target_index);
       }
-      return Outcome(it->second.repaired, target_index);
     }
   }
   const dc::DcSet subset = dcs_.Subset(mask);
@@ -153,10 +300,18 @@ bool BlackBoxRepair::EvalConstraintSubset(std::uint64_t mask,
   const bool outcome = Outcome(*repaired, target_index);
   if (cache_enabled_) {
     std::unique_lock<std::shared_mutex> lock(state_->mu);
-    CacheEntry entry;
-    entry.repaired = std::move(*repaired);
-    entry.request_id = state_->current_request.load();
-    state_->mask_cache.emplace(mask, std::move(entry));
+    auto [it, inserted] = state_->mask_cache.try_emplace(mask);
+    if (!inserted) {
+      // A concurrent miss filled this mask, or it is the sealed entry
+      // that did not cover `target_index`: refresh only in the latter
+      // case, re-sealing over the now-larger target set.
+      if (!it->second.sealed || target_index < it->second.covered_targets) {
+        return outcome;
+      }
+      state_->approx_bytes.fetch_sub(EntryPayloadBytes(it->second));
+    }
+    PopulateEntry(&it->second, nullptr, std::move(*repaired), Hash128{});
+    state_->approx_bytes.fetch_add(EntryPayloadBytes(it->second));
   }
   return outcome;
 }
@@ -181,6 +336,7 @@ void BlackBoxRepair::EvictLruTableEntry() const {
   }
   TREX_CHECK(victim_bucket != state_->table_cache.end());
   std::vector<CacheEntry>& bucket = victim_bucket->second;
+  state_->approx_bytes.fetch_sub(EntryPayloadBytes(bucket[victim_index]));
   bucket.erase(bucket.begin() +
                static_cast<std::ptrdiff_t>(victim_index));
   if (bucket.empty()) state_->table_cache.erase(victim_bucket);
@@ -188,83 +344,155 @@ void BlackBoxRepair::EvictLruTableEntry() const {
   state_->evictions.fetch_add(1);
 }
 
-bool BlackBoxRepair::EvalTable(const Table& perturbed,
-                               std::size_t target_index) const {
-  // Under strong hashing, hit verification compares 128-bit content
-  // hashes instead of full tables, so entries need not retain their
-  // input copy. Both widths come from one content traversal — tables
-  // are hashed once per evaluation, on the hot path.
-  std::uint64_t fingerprint = 0;
-  Hash128 strong_hash;
-  if (cache_enabled_ && use_strong_table_hash_) {
-    perturbed.DualFingerprint(&fingerprint, &strong_hash);
-  } else {
-    fingerprint = perturbed.Fingerprint();
+const Table& BlackBoxRepair::MaterializeScratch(
+    std::span<const CellWrite> writes) const {
+  EvalScratch& scratch = ThreadEvalScratch();
+  if (scratch.owner != state_->scratch_id) {
+    // First evaluation of this box on this thread (or the thread last
+    // served another box): pay one full copy, then amortize it across
+    // every subsequent miss.
+    scratch.table = *dirty_;
+    scratch.touched.clear();
+    scratch.mark.assign(dirty_->num_cells(), 0);
+    scratch.owner = state_->scratch_id;
+    state_->eval_table_copies.fetch_add(1);
   }
-  if (table_bucket_fn_) fingerprint = table_bucket_fn_(perturbed);
-  auto matches = [&](const CacheEntry& entry) {
-    // Never trust the 64-bit bucket fingerprint alone: a collision must
-    // fall through to a fresh repair run, never return another table's
-    // outcome. Verification is full content by default, 128-bit strong
-    // hash under `use_strong_table_hash`.
-    return use_strong_table_hash_ ? entry.strong_hash == strong_hash
-                                  : entry.input == perturbed;
-  };
-  if (cache_enabled_) {
-    std::shared_lock<std::shared_mutex> lock(state_->mu);
-    auto it = state_->table_cache.find(fingerprint);
-    if (it != state_->table_cache.end()) {
-      for (CacheEntry& entry : it->second) {
-        if (matches(entry)) {
-          state_->hits.fetch_add(1);
-          if (entry.request_id != state_->current_request.load()) {
-            state_->cross_request_hits.fetch_add(1);
-          }
-          // Touch the LRU clock; atomic_ref because other readers may
-          // touch the same entry under the shared lock concurrently.
-          std::atomic_ref<std::uint64_t>(entry.last_used)
-              .store(state_->tick.fetch_add(1) + 1,
-                     std::memory_order_relaxed);
-          return Outcome(entry.repaired, target_index);
-        }
-      }
+  // Reset-from-dirty intersected with the new write set: undo only the
+  // previously-written cells not written again, and apply only writes
+  // whose value actually changes — consecutive coalition evaluations
+  // differ by one write, so this is O(changed), not O(write set).
+  for (const CellWrite& write : writes) {
+    scratch.mark[dirty_->LinearIndex(write.cell)] = 1;
+  }
+  for (const CellRef& cell : scratch.touched) {
+    if (!scratch.mark[dirty_->LinearIndex(cell)]) {
+      scratch.table.Set(cell, dirty_->at(cell));
     }
   }
+  scratch.touched.clear();
+  for (const CellWrite& write : writes) {
+    if (!ExactlyEqual(scratch.table.at(write.cell), write.value)) {
+      scratch.table.Set(write.cell, write.value);
+    }
+    scratch.touched.push_back(write.cell);
+    scratch.mark[dirty_->LinearIndex(write.cell)] = 0;  // leave all-zero
+  }
+  return scratch.table;
+}
+
+template <typename VerifyInput>
+std::optional<bool> BlackBoxRepair::LookupTableMemo(
+    std::uint64_t fp64, const Hash128& fp128, std::size_t target_index,
+    VerifyInput&& verify_input) const {
+  if (!cache_enabled_) return std::nullopt;
+  std::shared_lock<std::shared_mutex> lock(state_->mu);
+  auto it = state_->table_cache.find(fp64);
+  if (it == state_->table_cache.end()) return std::nullopt;
+  for (CacheEntry& entry : it->second) {
+    // Never trust the 64-bit bucket fingerprint alone: a collision must
+    // fall through to a fresh repair run, never return another table's
+    // outcome. Verification is the 128-bit fingerprint, plus the
+    // caller's full-content check whenever the entry retains its input.
+    if (entry.fp128 != fp128) continue;
+    if (entry.input.num_columns() != 0 && !verify_input(entry.input)) {
+      continue;
+    }
+    if (entry.sealed && target_index >= entry.covered_targets) {
+      break;  // same input, uncovered target: recompute and extend
+    }
+    state_->hits.fetch_add(1);
+    if (entry.request_id != state_->current_request.load()) {
+      state_->cross_request_hits.fetch_add(1);
+    }
+    // Touch the LRU clock; atomic_ref because other readers may touch
+    // the same entry under the shared lock concurrently.
+    std::atomic_ref<std::uint64_t>(entry.last_used)
+        .store(state_->tick.fetch_add(1) + 1, std::memory_order_relaxed);
+    return entry.sealed ? GetOutcomeBit(entry.outcomes, target_index)
+                        : Outcome(entry.repaired, target_index);
+  }
+  return std::nullopt;
+}
+
+bool BlackBoxRepair::EvalTable(const Table& perturbed,
+                               std::size_t target_index) const {
+  TREX_CHECK_LT(target_index, targets_.size());
+  std::uint64_t fp64 = 0;
+  Hash128 fp128;
+  perturbed.DualFingerprint(&fp64, &fp128);
+  if (table_bucket_fn_) fp64 = table_bucket_fn_(perturbed);
+  const std::optional<bool> hit =
+      LookupTableMemo(fp64, fp128, target_index,
+                      [&](const Table& input) { return input == perturbed; });
+  if (hit.has_value()) return *hit;
+  return EvalTableMiss(perturbed, fp64, fp128, target_index);
+}
+
+bool BlackBoxRepair::EvalPerturbation(std::span<const CellWrite> writes,
+                                      std::size_t target_index) const {
+  std::uint64_t fp64 = 0;
+  Hash128 fp128;
+  dirty_->DeltaFingerprint(dirty_fp64_, dirty_fp128_, writes, &fp64, &fp128);
+  return EvalPerturbation(writes, fp64, fp128, target_index);
+}
+
+bool BlackBoxRepair::EvalPerturbation(std::span<const CellWrite> writes,
+                                      std::uint64_t fp64,
+                                      const Hash128& fp128,
+                                      std::size_t target_index) const {
+  TREX_CHECK_LT(target_index, targets_.size());
+  if (table_bucket_fn_) {
+    // The test-only bucket override takes a table; materialize eagerly.
+    return EvalTable(MaterializeScratch(writes), target_index);
+  }
+  // Entries retaining their input verify in full against dirty+writes —
+  // an overlay comparison, nothing materialized.
+  const std::optional<bool> hit =
+      LookupTableMemo(fp64, fp128, target_index, [&](const Table& input) {
+        return input.EqualsWithWrites(*dirty_, writes);
+      });
+  if (hit.has_value()) return *hit;
+  // Only a miss materializes, into the per-thread scratch.
+  return EvalTableMiss(MaterializeScratch(writes), fp64, fp128, target_index);
+}
+
+bool BlackBoxRepair::EvalTableMiss(const Table& perturbed, std::uint64_t fp64,
+                                   const Hash128& fp128,
+                                   std::size_t target_index) const {
   auto repaired = algorithm_->Repair(dcs_, perturbed);
   TREX_CHECK(repaired.ok()) << "repair failed on perturbed table: "
                             << repaired.status().ToString();
   state_->calls.fetch_add(1);
   const bool outcome = Outcome(*repaired, target_index);
-  if (cache_enabled_) {
-    std::unique_lock<std::shared_mutex> lock(state_->mu);
-    std::vector<CacheEntry>& bucket = state_->table_cache[fingerprint];
-    // Re-check under the exclusive lock: a concurrent miss on the same
-    // table may have inserted while we ran the repair — don't retain a
-    // duplicate pair of full-table copies.
-    bool already_cached = false;
-    for (const CacheEntry& entry : bucket) {
-      if (matches(entry)) {
-        already_cached = true;
-        break;
-      }
-    }
-    if (!already_cached) {
-      CacheEntry entry;
-      if (use_strong_table_hash_) {
-        entry.strong_hash = strong_hash;
-      } else {
-        entry.input = perturbed;
-      }
-      entry.repaired = std::move(*repaired);
-      entry.request_id = state_->current_request.load();
+  if (!cache_enabled_) return outcome;
+  std::unique_lock<std::shared_mutex> lock(state_->mu);
+  std::vector<CacheEntry>& bucket = state_->table_cache[fp64];
+  // Re-check under the exclusive lock: a concurrent miss on the same
+  // table may have inserted while we ran the repair — don't retain a
+  // duplicate entry. A resident sealed entry that does not cover
+  // `target_index` is extended in place instead.
+  for (CacheEntry& entry : bucket) {
+    if (entry.fp128 != fp128) continue;
+    if (entry.input.num_columns() != 0 && entry.input != perturbed) continue;
+    if (entry.sealed && target_index >= entry.covered_targets) {
+      state_->approx_bytes.fetch_sub(EntryPayloadBytes(entry));
+      PopulateEntry(&entry, &perturbed, std::move(*repaired), fp128);
+      state_->approx_bytes.fetch_add(EntryPayloadBytes(entry));
+      // The rebuilt entry is the freshest — bump its LRU clock so a
+      // capped memo does not evict the repair run we just paid for.
       entry.last_used = state_->tick.fetch_add(1) + 1;
-      bucket.push_back(std::move(entry));
-      ++state_->table_entries;
-      while (max_memo_entries_ > 0 &&
-             state_->table_entries > max_memo_entries_) {
-        EvictLruTableEntry();
-      }
     }
+    return outcome;
+  }
+  CacheEntry entry;
+  PopulateEntry(&entry, &perturbed, std::move(*repaired), fp128);
+  entry.last_used = state_->tick.fetch_add(1) + 1;
+  state_->approx_bytes.fetch_add(EntryPayloadBytes(entry));
+  bucket.push_back(std::move(entry));
+  ++state_->table_entries;
+  while (max_memo_entries_ > 0 &&
+         state_->table_entries > max_memo_entries_) {
+    EvictLruTableEntry();
   }
   return outcome;
 }
@@ -282,13 +510,38 @@ double ConstraintGame::Value(const shap::Coalition& coalition) const {
   return box_->EvalConstraintSubset(mask, target_index_) ? 1.0 : 0.0;
 }
 
+CellGame::CellGame(const BlackBoxRepair* box, std::vector<CellRef> players,
+                   std::size_t target_index)
+    : box_(box),
+      players_(std::move(players)),
+      target_index_(target_index) {
+  box_->dirty_fingerprints(&base64_, &base128_);
+  null_deltas_.reserve(players_.size());
+  for (const CellRef& player : players_) {
+    null_deltas_.push_back(box_->dirty().WriteDelta(player, Value::Null()));
+  }
+}
+
 double CellGame::Value(const shap::Coalition& coalition) const {
   TREX_CHECK_EQ(coalition.size(), players_.size());
-  Table perturbed = box_->dirty();
+  // Absent players become a write set over the dirty table; the
+  // perturbation's fingerprints are the base XOR the precomputed
+  // per-player deltas (no hashing here), and the perturbed table is
+  // only materialized on a memo miss (then into the per-thread
+  // scratch, never a fresh copy per coalition).
+  thread_local std::vector<CellWrite> writes;
+  writes.clear();
+  std::uint64_t fp64 = base64_;
+  Hash128 fp128 = base128_;
   for (std::size_t i = 0; i < players_.size(); ++i) {
-    if (!coalition[i]) perturbed.Set(players_[i], Value::Null());
+    if (!coalition[i]) {
+      writes.push_back({players_[i], Value::Null()});
+      fp64 ^= null_deltas_[i].fp64;
+      fp128 ^= null_deltas_[i].fp128;
+    }
   }
-  return box_->EvalTable(perturbed, target_index_) ? 1.0 : 0.0;
+  return box_->EvalPerturbation(writes, fp64, fp128, target_index_) ? 1.0
+                                                                    : 0.0;
 }
 
 }  // namespace trex

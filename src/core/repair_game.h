@@ -8,19 +8,60 @@
 //     Alg|t[A](C', T') = 1  iff  Alg(C', T') writes the *reference* clean
 //                              value T^c[t[A]] into the target cell,
 //
-// where T^c = Alg(C, T^d) is computed exactly once. The memo caches store
-// the full repaired table per evaluated input (constraint subsets by
-// bitmask, perturbed tables by content fingerprint with full-content
-// verification), so one cached repair run answers the characteristic
-// function for *every* registered target — this is what lets
-// `Engine::ExplainBatch` share one box across a multi-target batch.
-// Calls are counted, since each evaluation is a full repair run — the
-// unit of cost in the paper's §2.3 and in bench_ablation.
+// where T^c = Alg(C, T^d) is computed exactly once. Calls are counted,
+// since each evaluation is a full repair run — the unit of cost in the
+// paper's §2.3 and in bench_ablation.
 //
-// Thread safety: `EvalConstraintSubset` / `EvalTable` may be called
-// concurrently (the caches are mutex-guarded; concurrent misses on the
-// same key may duplicate a repair run but never corrupt results).
-// `AddTarget` and `BeginRequest` must not race with evaluations.
+// ## Memoization layer contract
+//
+// Two memo caches answer repeat evaluations: constraint subsets are
+// keyed by bitmask, perturbed tables by XOR-combinable content
+// fingerprint (64-bit bucket key, 128-bit verification hash; see
+// `Table::Fingerprint`). One cached repair run answers the
+// characteristic function for *every* registered target — this is what
+// lets `Engine::ExplainBatch` share one box across a multi-target
+// batch. Entries live in one of two representations:
+//
+//   * UNSEALED (the default): an entry retains the full repaired
+//     `Table` (plus, under full-content verification, the input copy),
+//     so targets registered *after* the entry was written can still
+//     read their outcome from it. O(table) bytes per entry.
+//   * SEALED (`SealTargets()`): once the target set is closed, an entry
+//     stores only a per-target outcome bitset (1 bit per registered
+//     target) — O(targets) bytes per entry; the repaired table is
+//     dropped. `Engine::ExplainBatch` seals after registering a batch's
+//     full target set. An `AddTarget` *after* sealing stays correct by
+//     falling back to recompute-on-miss: resident entries do not cover
+//     the new target, so its evaluations re-run the repair once and
+//     extend the entry's bitset — results never go silently wrong, only
+//     cost counters move. Sealed entries are verified by the 128-bit
+//     fingerprint (there is no stored input to compare against), the
+//     same trust model as `use_strong_table_hash`.
+//
+// ## Delta evaluation
+//
+// `EvalPerturbation(writes, target)` evaluates a perturbed table
+// described as (dirty table, write set) without materializing it: the
+// memo key comes from `Table::DeltaFingerprint` over the dirty table's
+// cached base fingerprints in O(#writes), and full-content verification
+// (when entries retain inputs) compares via `Table::EqualsWithWrites` —
+// no copy, no allocation. Only a memo *miss* materializes the table,
+// into a per-thread scratch reused across evaluations (reset from the
+// dirty table by undoing the previous writes, then applying the new
+// ones) instead of a fresh copy per coalition. `CellGame::Value` and
+// the engine's permutation-sweep loops sit on this path; warm-cache
+// evaluations make zero full-table copies
+// (`num_eval_table_copies()` counts the scratch (re)initializations).
+//
+// `approx_memo_bytes()` estimates the resident payload of both memos
+// (entries × payload estimate) so compaction wins are observable; the
+// engine surfaces it through `BatchStats` and the benches' JSON lines.
+//
+// Thread safety: `EvalConstraintSubset` / `EvalTable` /
+// `EvalPerturbation` may be called concurrently (the caches are
+// mutex-guarded; concurrent misses on the same key may duplicate a
+// repair run but never corrupt results). `AddTarget`, `SealTargets`,
+// and `BeginRequest` must not race with evaluations.
 //
 // `ConstraintGame` (players = DCs, table fixed) and `CellGame` (players =
 // cells nulled in/out, DCs fixed) adapt one target's characteristic
@@ -35,6 +76,7 @@
 #include <memory>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -77,12 +119,22 @@ class BlackBoxRepair {
 
   /// Registers another target cell against the cached reference repair —
   /// no additional algorithm call — and returns its index. Returns the
-  /// existing index when the cell is already registered. Must not race
-  /// with concurrent evaluations.
+  /// existing index when the cell is already registered. Allowed after
+  /// `SealTargets()`: resident sealed entries do not cover the new
+  /// target and fall back to recompute-on-miss (see file comment).
+  /// Must not race with concurrent evaluations.
   Result<std::size_t> AddTarget(CellRef target);
 
-  /// Index of a registered target cell, if any.
+  /// Index of a registered target cell, if any. O(1).
   std::optional<std::size_t> FindTarget(CellRef target) const;
+
+  /// Seals the current target set: both memos switch to per-target
+  /// outcome bitsets — resident entries are converted in place (their
+  /// stored tables are dropped), and new entries are written compact.
+  /// Idempotent. Must not race with evaluations (same contract as
+  /// `AddTarget`).
+  void SealTargets();
+  bool targets_sealed() const { return sealed_; }
 
   const Table& dirty() const { return *dirty_; }
   const Table& reference_clean() const { return clean_; }
@@ -106,6 +158,33 @@ class BlackBoxRepair {
   /// a perturbed table.
   bool EvalTable(const Table& perturbed, std::size_t target_index = 0) const;
 
+  /// Alg|t[A] for target `target_index` with the full constraint set and
+  /// the perturbed table described by (dirty table, `writes`) — without
+  /// materializing it on the memo hit path (see file comment). `writes`
+  /// must address pairwise-distinct, in-bounds cells; outcomes are
+  /// identical to `EvalTable` on the materialized table.
+  bool EvalPerturbation(std::span<const CellWrite> writes,
+                        std::size_t target_index = 0) const;
+
+  /// Like above, with the perturbed table's fingerprints already in
+  /// hand — for hot loops that maintain a running fingerprint by XORing
+  /// precomputed `Table::WriteDelta`s (the cell game, the engine's
+  /// permutation sweeps) instead of re-hashing O(#writes) per
+  /// evaluation. `fp64`/`fp128` MUST equal
+  /// `dirty().DeltaFingerprint(dirty fps, writes)`: they are the memo
+  /// key and, for entries without a retained input, the verification
+  /// hash — an inconsistent pair could cache wrong outcomes.
+  bool EvalPerturbation(std::span<const CellWrite> writes,
+                        std::uint64_t fp64, const Hash128& fp128,
+                        std::size_t target_index) const;
+
+  /// The dirty table's own fingerprints — the base the running
+  /// fingerprints above start from.
+  void dirty_fingerprints(std::uint64_t* fp64, Hash128* fp128) const {
+    *fp64 = dirty_fp64_;
+    *fp128 = dirty_fp128_;
+  }
+
   /// Total underlying algorithm invocations (cache misses), including the
   /// reference run.
   std::size_t num_algorithm_calls() const;
@@ -116,6 +195,18 @@ class BlackBoxRepair {
   /// `BeginRequest`).
   std::size_t num_cross_request_hits() const;
 
+  /// Full dirty-table copies made by the evaluation paths (per-thread
+  /// scratch (re)initializations on memo misses). Warm-cache
+  /// evaluations make none — the copy-freedom the delta path is built
+  /// for, asserted by tests.
+  std::size_t num_eval_table_copies() const;
+
+  /// Estimated resident bytes of both memos (entries × payload
+  /// estimate: stored tables, outcome bitsets, entry overhead). The
+  /// headline number sealing compacts; surfaced through
+  /// `Engine`/`BatchStats` and the benches' JSON lines.
+  std::size_t approx_memo_bytes() const;
+
   /// Tags subsequent cache writes with `request_id`; hits on entries
   /// written under another id count as cross-request hits. The engine
   /// calls this once per batched request. Must not race with
@@ -125,12 +216,12 @@ class BlackBoxRepair {
   /// Disables memoization (ablation experiments).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
 
-  /// Caps the *table* memo (the unbounded one: each entry holds two full
-  /// tables). 0 = unbounded. When the cap is hit, the least-recently-used
-  /// entry is evicted; evicted inputs are simply recomputed on the next
-  /// miss, so results are unchanged — only cost counters move. The mask
-  /// memo is left unbounded (at most 2^|C| entries, |C| ≤ 64 and small
-  /// in practice). Must not race with evaluations.
+  /// Caps the *table* memo (the large one). 0 = unbounded. When the cap
+  /// is hit, the least-recently-used entry is evicted; evicted inputs
+  /// are simply recomputed on the next miss, so results are unchanged —
+  /// only cost counters move. The mask memo is left unbounded (at most
+  /// 2^|C| entries, |C| ≤ 64 and small in practice). Must not race with
+  /// evaluations.
   void set_max_memo_entries(std::size_t cap) { max_memo_entries_ = cap; }
   std::size_t max_memo_entries() const { return max_memo_entries_; }
 
@@ -139,12 +230,14 @@ class BlackBoxRepair {
   /// Table-memo entries currently resident.
   std::size_t num_table_memo_entries() const;
 
-  /// Verifies table-memo hits by 128-bit strong content hash instead of
-  /// retaining a full copy of every evaluated input (halves the memo's
-  /// table footprint; a hit then trusts the 128-bit comparison rather
-  /// than exact content equality). Off by default — full-content
-  /// verification stays the paranoid baseline. Must be set before the
-  /// first evaluation and must not race with evaluations.
+  /// Verifies table-memo hits by the 128-bit content fingerprint instead
+  /// of retaining a full copy of every evaluated input (halves the
+  /// unsealed memo's table footprint; a hit then trusts the 128-bit
+  /// comparison rather than exact content equality). Off by default —
+  /// full-content verification stays the paranoid baseline while
+  /// entries retain inputs; sealed entries always verify by fingerprint.
+  /// Must be set before the first evaluation and must not race with
+  /// evaluations.
   void set_use_strong_table_hash(bool enabled) {
     use_strong_table_hash_ = enabled;
   }
@@ -152,8 +245,10 @@ class BlackBoxRepair {
 
   /// Test-only: overrides the 64-bit bucket fingerprint for the table
   /// memo, so tests can force distinct tables into one bucket and
-  /// exercise the collision path (full-content or strong-hash
-  /// verification telling them apart). Must not race with evaluations.
+  /// exercise the collision path (full-content or 128-bit verification
+  /// telling them apart). `EvalPerturbation` materializes eagerly while
+  /// the hook is set (the hook needs a table). Must not race with
+  /// evaluations.
   void set_table_bucket_fn_for_test(
       std::function<std::uint64_t(const Table&)> fn) {
     table_bucket_fn_ = std::move(fn);
@@ -168,15 +263,25 @@ class BlackBoxRepair {
     bool was_repaired = false;
   };
 
-  /// One memoized repair run. `input` is kept alongside the table-cache
-  /// fingerprint so hits are verified against the full table content —
-  /// a bare 64-bit fingerprint would return silently wrong answers on
-  /// collision. Under `use_strong_table_hash` the input copy is dropped
-  /// and `strong_hash` (128-bit) carries the verification instead.
+  /// One memoized repair run, in one of two representations (see file
+  /// comment): unsealed entries retain `repaired` (and `input` under
+  /// full-content verification); sealed entries retain only `outcomes`,
+  /// a bitset covering the first `covered_targets` registered targets.
+  /// `fp128` always carries the 128-bit content fingerprint of the
+  /// evaluated input; a bare 64-bit bucket fingerprint is never trusted
+  /// alone — a collision must fall through to a fresh repair run, never
+  /// return another table's outcome.
   struct CacheEntry {
-    Table input;     // empty for mask-cache and strong-hash entries
-    Hash128 strong_hash;  // set only under `use_strong_table_hash`
-    Table repaired;
+    Table input;     // retained only unsealed + full-content verification
+    Hash128 fp128;   // 128-bit content fingerprint of the input
+    Table repaired;  // dropped once sealed
+    /// Sealed representation: bit i = Alg|t_i outcome, for the first
+    /// `covered_targets` targets. Targets registered after the entry
+    /// was written (post-seal `AddTarget`) are not covered and
+    /// recompute on evaluation.
+    std::vector<std::uint64_t> outcomes;
+    std::size_t covered_targets = 0;
+    bool sealed = false;
     std::size_t request_id = 0;
     /// LRU clock value of the last touch (table-cache entries only);
     /// written through `std::atomic_ref` so hits under the shared lock
@@ -190,6 +295,8 @@ class BlackBoxRepair {
   /// take it exclusive. Counters are atomics so hits need no exclusive
   /// access.
   struct CacheState {
+    CacheState();
+
     std::shared_mutex mu;
     std::unordered_map<std::uint64_t, CacheEntry> mask_cache;
     std::unordered_map<std::uint64_t, std::vector<CacheEntry>> table_cache;
@@ -203,6 +310,14 @@ class BlackBoxRepair {
     /// monotonic counter readable without it).
     std::size_t table_entries = 0;
     std::atomic<std::size_t> evictions{0};
+    /// Estimated resident payload of both memos (maintained under `mu`
+    /// on insert/evict/seal; atomic so reads need no lock).
+    std::atomic<std::size_t> approx_bytes{0};
+    /// Full dirty-table copies made by the evaluation scratch.
+    std::atomic<std::size_t> eval_table_copies{0};
+    /// Distinguishes this box's per-thread evaluation scratch from
+    /// other boxes' (globally unique, assigned at construction).
+    const std::uint64_t scratch_id;
   };
 
   /// Drops the least-recently-used table-memo entry. Requires `mu` held
@@ -211,13 +326,58 @@ class BlackBoxRepair {
 
   bool Outcome(const Table& repaired, std::size_t target_index) const;
 
+  /// Estimated resident payload of one memo entry.
+  std::size_t EntryPayloadBytes(const CacheEntry& entry) const;
+
+  /// Converts one entry to the sealed representation (outcome bitset
+  /// over all currently registered targets; stored tables dropped).
+  /// Requires `entry->repaired` to be populated.
+  void SealEntry(CacheEntry* entry) const;
+
+  /// Fills `entry` (already verified or fresh) from a completed repair
+  /// run: sealed boxes store the outcome bitset, unsealed boxes the
+  /// repaired table (and the input copy under full-content mode, taken
+  /// from `input` when non-null).
+  void PopulateEntry(CacheEntry* entry, const Table* input, Table repaired,
+                     const Hash128& fp128) const;
+
+  /// The per-thread scratch table holding dirty+writes, (re)initialized
+  /// from the dirty table only when this thread last evaluated a
+  /// different box (counted in `eval_table_copies`), otherwise reset by
+  /// undoing the previous writes.
+  const Table& MaterializeScratch(std::span<const CellWrite> writes) const;
+
+  /// Shared miss path of `EvalTable`/`EvalPerturbation`: runs the
+  /// repair on the materialized `perturbed` table and inserts (or
+  /// extends) the memo entry under the exclusive lock.
+  bool EvalTableMiss(const Table& perturbed, std::uint64_t fp64,
+                     const Hash128& fp128, std::size_t target_index) const;
+
+  /// Shared hit scan of `EvalTable`/`EvalPerturbation`: walks the
+  /// `fp64` bucket under the shared lock, verifying each candidate by
+  /// 128-bit fingerprint plus `verify_input` (the caller's full-content
+  /// check, invoked only for entries that retain their input). Returns
+  /// the hit outcome — counters bumped, LRU touched — or nullopt when
+  /// the caller must run the repair (miss, cache disabled, or a sealed
+  /// entry not covering `target_index`).
+  template <typename VerifyInput>
+  std::optional<bool> LookupTableMemo(std::uint64_t fp64,
+                                      const Hash128& fp128,
+                                      std::size_t target_index,
+                                      VerifyInput&& verify_input) const;
+
   const repair::RepairAlgorithm* algorithm_ = nullptr;
   dc::DcSet dcs_;
   /// Shared with the owning engine/session (never null once constructed).
   std::shared_ptr<const Table> dirty_;
   Table clean_;
+  /// The dirty table's own fingerprints: the delta-evaluation base.
+  std::uint64_t dirty_fp64_ = 0;
+  Hash128 dirty_fp128_;
   std::vector<TargetInfo> targets_;
+  std::unordered_map<CellRef, std::size_t, CellRefHash> target_index_;
   bool cache_enabled_ = true;
+  bool sealed_ = false;
   bool use_strong_table_hash_ = false;
   std::size_t max_memo_entries_ = 0;  // 0 = unbounded
   /// Test-only bucket-fingerprint override (null in production).
@@ -244,7 +404,9 @@ class ConstraintGame : public shap::Game {
 
 /// Cooperative game whose players are table cells (paper §2.2, second
 /// adaptation): cells absent from a coalition are nulled out, the
-/// constraint set stays fixed.
+/// constraint set stays fixed. Coalitions evaluate through
+/// `EvalPerturbation` — the absent cells become a write set, no table
+/// is materialized on the memo hit path.
 ///
 /// `players` may be a subset of all cells (relevant-cell pruning); cells
 /// outside the player list keep their original values — sound when the
@@ -252,11 +414,10 @@ class ConstraintGame : public shap::Game {
 /// graph.
 class CellGame : public shap::Game {
  public:
+  /// Precomputes each player's null-write fingerprint delta, so a
+  /// coalition evaluation is one XOR per absent player — no hashing.
   CellGame(const BlackBoxRepair* box, std::vector<CellRef> players,
-           std::size_t target_index = 0)
-      : box_(box),
-        players_(std::move(players)),
-        target_index_(target_index) {}
+           std::size_t target_index = 0);
 
   std::size_t num_players() const override { return players_.size(); }
   double Value(const shap::Coalition& coalition) const override;
@@ -267,6 +428,12 @@ class CellGame : public shap::Game {
   const BlackBoxRepair* box_;
   std::vector<CellRef> players_;
   std::size_t target_index_;
+  /// The dirty table's fingerprints (the running fingerprint base).
+  std::uint64_t base64_ = 0;
+  Hash128 base128_;
+  /// Per-player `WriteDelta(player, null)` — the XOR a player's absence
+  /// applies to the base.
+  std::vector<FingerprintDelta> null_deltas_;
 };
 
 }  // namespace trex

@@ -119,6 +119,14 @@ RouterStats EngineRouter::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   RouterStats stats = stats_;
   stats.resident = resident_;
+  // Lock-free per-entry reads: the sampled footprint, not the live one
+  // (see EngineEntry::approx_memo_bytes) — a stats reader must never
+  // wait on an engine call in flight.
+  for (const auto& [key, bucket] : engines_) {
+    for (const Slot& slot : bucket) {
+      stats.approx_memo_bytes += slot.entry->approx_memo_bytes.load();
+    }
+  }
   return stats;
 }
 

@@ -32,6 +32,7 @@
 #ifndef TREX_SERVING_ROUTER_H_
 #define TREX_SERVING_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -65,6 +66,10 @@ struct RouterStats {
   std::size_t evictions = 0;
   /// Engines currently resident (<= max_engines).
   std::size_t resident = 0;
+  /// Estimated resident memo bytes summed over all resident engines
+  /// (`Engine::approx_memo_bytes`) — the service-level view of the
+  /// footprint `EngineOptions::seal_targets` compacts.
+  std::size_t approx_memo_bytes = 0;
 };
 
 /// The identity of a repair instance, as the router keys it. The
@@ -100,6 +105,12 @@ struct EngineEntry {
   /// Hold while calling into `engine` whenever other holders may exist
   /// (the engine itself is single-caller).
   std::mutex mu;
+  /// `engine.approx_memo_bytes()` as of the last completed engine call,
+  /// sampled by the caller *while it still holds `mu`* and read by
+  /// `EngineRouter::stats()` without taking `mu` (taking it there would
+  /// deadlock against callers that block inside an engine call while a
+  /// stats reader waits — e.g. tests gating a repair algorithm).
+  std::atomic<std::size_t> approx_memo_bytes{0};
 };
 
 /// Bounded LRU pool of engines (see file comment). All methods are

@@ -259,19 +259,18 @@ void ExplainService::ServeBatch(std::vector<std::shared_ptr<Job>> jobs) {
     for (const std::shared_ptr<Job>& job : live) {
       if (screen(job)) ready.push_back(job);
     }
-    if (ready.size() == 1) {
-      // A group of one lowers to plain Explain — uncoalesced execution
-      // is exactly the per-job path, accounting included.
-      resolutions.push_back(
-          {ready.front(), entry->engine.Explain(ready.front()->request),
-           false});
-    } else if (ready.size() > 1) {
+    if (!ready.empty()) {
+      // Every group — a singleton included — lowers to one
+      // `ExplainBatch` call, so engine-level batch behavior
+      // (`EngineOptions::seal_targets` sealing, stats) applies to
+      // uncoalesced traffic too; a batch of one is bit-identical to
+      // plain Explain. Only 2+ member groups count as coalesced.
       std::vector<ExplainRequest> requests;
       requests.reserve(ready.size());
       for (const std::shared_ptr<Job>& job : ready) {
         requests.push_back(job->request);
       }
-      {
+      if (ready.size() > 1) {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.coalesced_batches;
         stats_.coalesced_jobs += ready.size();
@@ -291,6 +290,9 @@ void ExplainService::ServeBatch(std::vector<std::shared_ptr<Job>> jobs) {
         }
       }
     }
+    // Sample the memo footprint while still holding the engine (the
+    // router's stats read this without the entry mutex).
+    entry->approx_memo_bytes.store(entry->engine.approx_memo_bytes());
   }
   for (Resolution& resolution : resolutions) {
     Resolve(resolution.job, std::move(resolution.result), resolution.expired);

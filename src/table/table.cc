@@ -1,5 +1,7 @@
 #include "table/table.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 #include "common/logging.h"
 
@@ -63,75 +65,198 @@ const Value& Table::Cell(std::size_t row, const std::string& attribute) const {
 
 namespace {
 
-/// The one serialization both fingerprint widths hash: schema string,
-/// then per cell a type tag plus the value bytes, in row-major order.
-/// Variable-length fields (the schema string, string cells) are
-/// length-prefixed so no cell's bytes can masquerade as another cell's
-/// type tag — without the prefix, ("a\x03", "b") and ("a", "\x03b")
-/// would serialize identically (0x03 is the string tag) and collide
-/// *deterministically*, which the strong-hash memo mode must never
-/// allow. `mix` is called as mix(data, len).
-template <typename Mix>
-void MixTableContent(const Schema& schema, const std::vector<Value>& cells,
-                     Mix&& mix) {
-  auto mix_sized = [&mix](const char* data, std::size_t size) {
-    const std::uint64_t length = size;
-    mix(&length, sizeof(length));
-    mix(data, size);
-  };
-  const std::string schema_string = schema.ToString();
-  mix_sized(schema_string.data(), schema_string.size());
-  for (const Value& v : cells) {
-    const std::uint8_t tag = static_cast<std::uint8_t>(v.type());
-    mix(&tag, 1);
-    switch (v.type()) {
-      case ValueType::kNull:
-        break;
-      case ValueType::kInt: {
-        const std::int64_t x = v.as_int();
-        mix(&x, sizeof(x));
-        break;
-      }
-      case ValueType::kDouble: {
-        const double x = v.as_double();
-        mix(&x, sizeof(x));
-        break;
-      }
-      case ValueType::kString:
-        mix_sized(v.as_string().data(), v.as_string().size());
-        break;
+/// One FNV pass feeding both fingerprint widths at once (tables are
+/// hashed on the memo's hot path; one traversal, two digests).
+struct DualFnv {
+  std::uint64_t h64 = 0xcbf29ce484222325ULL;
+  Fnv1a128 h128;
+
+  void Mix(const void* data, std::size_t len) {
+    h64 = Fnv1aBytes(data, len, h64);
+    h128.Mix(data, len);
+  }
+};
+
+struct DualHash {
+  std::uint64_t fp64 = 0;
+  Hash128 fp128;
+};
+
+/// Serializes one value into the hash state: a type tag plus the value
+/// bytes. String payloads are length-prefixed so the serialization stays
+/// prefix-free within a cell — null, "", and 0 hash apart (type tags),
+/// and no payload byte can masquerade as a tag. Cross-cell masquerading
+/// (the old sequential scheme's ("a\x03","b") vs ("a","\x03b") trap)
+/// is structurally impossible here: every cell is hashed in isolation.
+template <typename Hasher>
+void MixValue(Hasher* h, const Value& v) {
+  const std::uint8_t tag = static_cast<std::uint8_t>(v.type());
+  h->Mix(&tag, 1);
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt: {
+      const std::int64_t x = v.as_int();
+      h->Mix(&x, sizeof(x));
+      break;
+    }
+    case ValueType::kDouble: {
+      const double x = v.as_double();
+      h->Mix(&x, sizeof(x));
+      break;
+    }
+    case ValueType::kString: {
+      const std::uint64_t length = v.as_string().size();
+      h->Mix(&length, sizeof(length));
+      h->Mix(v.as_string().data(), v.as_string().size());
+      break;
     }
   }
+}
+
+/// The XOR unit of the table fingerprints: a position-keyed hash of one
+/// cell. Seeding with (row, col) makes equal values in different cells
+/// hash apart, so the XOR of all cell hashes is order-insensitive yet
+/// position-sensitive — and any single-cell change shifts the combined
+/// fingerprint by exactly H(pos, old) ^ H(pos, new). `Hasher` is
+/// `DualFnv` on the memo path (which needs both widths) or a bare
+/// 64-bit state for single-width callers (the router key), who must
+/// not pay for the 128-bit multiplies.
+template <typename Hasher>
+void MixCell(Hasher* h, std::size_t row, std::size_t col, const Value& v) {
+  const std::uint64_t r = row;
+  const std::uint64_t c = col;
+  h->Mix(&r, sizeof(r));
+  h->Mix(&c, sizeof(c));
+  MixValue(h, v);
+}
+
+DualHash CellContentHash(std::size_t row, std::size_t col, const Value& v) {
+  DualFnv h;
+  MixCell(&h, row, col, v);
+  return {h.h64, h.h128.Digest()};
+}
+
+/// 64-bit-only FNV state with the `Mix` shape `MixCell` expects.
+struct Fnv64 {
+  std::uint64_t h64 = 0xcbf29ce484222325ULL;
+  void Mix(const void* data, std::size_t len) {
+    h64 = Fnv1aBytes(data, len, h64);
+  }
+};
+
+template <typename Hasher>
+void MixSchema(Hasher* h, const Schema& schema) {
+  const std::string schema_string = schema.ToString();
+  const std::uint64_t length = schema_string.size();
+  h->Mix(&length, sizeof(length));
+  h->Mix(schema_string.data(), schema_string.size());
+}
+
+DualHash SchemaHash(const Schema& schema) {
+  DualFnv h;
+  MixSchema(&h, schema);
+  return {h.h64, h.h128.Digest()};
 }
 
 }  // namespace
 
 std::uint64_t Table::Fingerprint() const {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  MixTableContent(schema_, cells_, [&h](const void* data, std::size_t len) {
-    h = Fnv1aBytes(data, len, h);
-  });
-  return h;
+  // Single-width traversal: callers that only key on 64 bits (the
+  // engine router) must not pay the 128-bit per-byte multiplies.
+  Fnv64 schema_hash;
+  MixSchema(&schema_hash, schema_);
+  std::uint64_t fp64 = schema_hash.h64;
+  const std::size_t columns = num_columns();
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    Fnv64 cell;
+    MixCell(&cell, i / columns, i % columns, cells_[i]);
+    fp64 ^= cell.h64;
+  }
+  return fp64;
 }
 
 Hash128 Table::StrongFingerprint() const {
-  Fnv1a128 h;
-  MixTableContent(schema_, cells_, [&h](const void* data, std::size_t len) {
-    h.Mix(data, len);
-  });
-  return h.Digest();
+  std::uint64_t fp64 = 0;
+  Hash128 fp128;
+  DualFingerprint(&fp64, &fp128);
+  return fp128;
 }
 
 void Table::DualFingerprint(std::uint64_t* fp64, Hash128* fp128) const {
-  std::uint64_t h64 = 0xcbf29ce484222325ULL;
-  Fnv1a128 h128;
-  MixTableContent(schema_, cells_,
-                  [&h64, &h128](const void* data, std::size_t len) {
-                    h64 = Fnv1aBytes(data, len, h64);
-                    h128.Mix(data, len);
-                  });
+  DualHash combined = SchemaHash(schema_);
+  const std::size_t columns = num_columns();
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const DualHash cell = CellContentHash(i / columns, i % columns, cells_[i]);
+    combined.fp64 ^= cell.fp64;
+    combined.fp128 ^= cell.fp128;
+  }
+  *fp64 = combined.fp64;
+  *fp128 = combined.fp128;
+}
+
+void Table::DeltaFingerprint(std::uint64_t base64, const Hash128& base128,
+                             std::span<const CellWrite> writes,
+                             std::uint64_t* fp64, Hash128* fp128) const {
+  std::uint64_t h64 = base64;
+  Hash128 h128 = base128;
+  for (const CellWrite& write : writes) {
+    const FingerprintDelta delta = WriteDelta(write.cell, write.value);
+    h64 ^= delta.fp64;
+    h128 ^= delta.fp128;
+  }
   *fp64 = h64;
-  *fp128 = h128.Digest();
+  *fp128 = h128;
+}
+
+FingerprintDelta Table::WriteDelta(CellRef cell, const Value& value) const {
+  const DualHash old_hash = CellContentHash(cell.row, cell.col, at(cell));
+  const DualHash new_hash = CellContentHash(cell.row, cell.col, value);
+  return FingerprintDelta{old_hash.fp64 ^ new_hash.fp64,
+                          old_hash.fp128 ^ new_hash.fp128};
+}
+
+bool Table::EqualsWithWrites(const Table& base,
+                             std::span<const CellWrite> writes) const {
+  if (schema_ != base.schema_ || cells_.size() != base.cells_.size()) {
+    return false;
+  }
+  // Written cells must carry the write values...
+  for (const CellWrite& write : writes) {
+    TREX_CHECK_LT(write.cell.row, base.num_rows());
+    TREX_CHECK_LT(write.cell.col, base.num_columns());
+    if (at(write.cell) != write.value) return false;
+  }
+  // ...and every other cell must match the base. The written linear
+  // indices are sorted into a reusable thread-local scratch so the
+  // single merge pass below allocates nothing in steady state.
+  thread_local std::vector<std::size_t> written;
+  written.clear();
+  written.reserve(writes.size());
+  for (const CellWrite& write : writes) {
+    written.push_back(base.LinearIndex(write.cell));
+  }
+  std::sort(written.begin(), written.end());
+  std::size_t next_written = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (next_written < written.size() && written[next_written] == i) {
+      ++next_written;
+      continue;
+    }
+    if (cells_[i] != base.cells_[i]) return false;
+  }
+  return true;
+}
+
+std::size_t Table::ApproxMemoryBytes() const {
+  std::size_t bytes = sizeof(Table) + cells_.capacity() * sizeof(Value);
+  for (const Value& v : cells_) {
+    if (v.is_string()) bytes += v.as_string().capacity();
+  }
+  for (std::size_t c = 0; c < schema_.size(); ++c) {
+    bytes += schema_.attribute(c).name.capacity();
+  }
+  return bytes;
 }
 
 Table Table::WithNulls(const std::vector<CellRef>& cells) const {

@@ -11,6 +11,7 @@
 #define TREX_TABLE_TABLE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,26 @@ struct CellRefHash {
   std::size_t operator()(const CellRef& c) const {
     return c.row * 1000003u + c.col;
   }
+};
+
+/// One pending cell overwrite: the unit of the table layer's delta
+/// fingerprints (`Table::DeltaFingerprint`) and of perturbation-based
+/// coalition evaluation (`BlackBoxRepair::EvalPerturbation`), which
+/// describe a perturbed table as (base table, write set) without ever
+/// materializing it.
+struct CellWrite {
+  CellRef cell;
+  Value value;
+};
+
+/// The XOR shift one cell write applies to a table's fingerprints
+/// (`Table::WriteDelta`). Self-inverse and order-independent, so hot
+/// loops precompute deltas once and maintain a running fingerprint by
+/// XORing `fp64`/`fp128` per change — no hashing on the evaluation
+/// path.
+struct FingerprintDelta {
+  std::uint64_t fp64 = 0;
+  Hash128 fp128;
 };
 
 /// A relation: schema plus rows of `Value`s.
@@ -103,20 +124,60 @@ class Table {
   }
   bool operator!=(const Table& other) const { return !(*this == other); }
 
-  /// Order-sensitive content fingerprint; equal tables have equal
-  /// fingerprints. Used to memoize black-box repair calls.
+  /// Content fingerprint; equal tables have equal fingerprints. Used to
+  /// memoize black-box repair calls and to key engines in the router.
+  ///
+  /// The fingerprint is *XOR-combinable*: it is the schema hash XOR'd
+  /// with one position-keyed hash per cell (row, col, value). Changing a
+  /// cell therefore shifts the fingerprint by exactly
+  /// `H(pos, old) ^ H(pos, new)`, which is what lets
+  /// `DeltaFingerprint` compute a perturbed table's fingerprint in
+  /// O(#writes) from a cached base instead of re-hashing O(#cells).
   std::uint64_t Fingerprint() const;
 
-  /// 128-bit content fingerprint over exactly the bytes `Fingerprint()`
-  /// hashes, wide enough to stand in for full-content comparison in the
-  /// repair-table memo (`EngineOptions::use_strong_table_hash`). Equal
-  /// tables have equal strong fingerprints.
+  /// 128-bit content fingerprint over exactly the per-cell hashes
+  /// `Fingerprint()` XORs (same position-keyed scheme, wider state),
+  /// wide enough to stand in for full-content comparison in the
+  /// repair-table memo (`EngineOptions::use_strong_table_hash` and the
+  /// sealed-target memo mode). Equal tables have equal strong
+  /// fingerprints.
   Hash128 StrongFingerprint() const;
 
-  /// Both fingerprints in one content traversal — the memo's strong-hash
-  /// mode needs the 64-bit bucket key and the 128-bit verification hash
-  /// per evaluation, and tables are hashed on the hot path.
+  /// Both fingerprints in one content traversal — the memo needs the
+  /// 64-bit bucket key and the 128-bit verification hash per evaluation,
+  /// and tables are hashed on the hot path.
   void DualFingerprint(std::uint64_t* fp64, Hash128* fp128) const;
+
+  /// Fingerprints of the table obtained by applying `writes` on top of
+  /// this table, computed in O(#writes) from this table's own
+  /// fingerprints (`base64`/`base128`, as returned by
+  /// `DualFingerprint`) — the perturbed table is never materialized.
+  /// Equal to the from-scratch `Fingerprint`/`StrongFingerprint` of the
+  /// materialized table. Writes must address in-bounds cells and
+  /// pairwise-distinct cells (a duplicate cell would double-cancel its
+  /// base hash); a write that re-states the current value is a no-op.
+  void DeltaFingerprint(std::uint64_t base64, const Hash128& base128,
+                        std::span<const CellWrite> writes,
+                        std::uint64_t* fp64, Hash128* fp128) const;
+
+  /// The XOR shift that writing `value` into `cell` applies to this
+  /// table's fingerprints: H(pos, current) ^ H(pos, value).
+  /// `DeltaFingerprint` is exactly the fold of these; hot loops
+  /// precompute the deltas of the writes they toggle and XOR them into
+  /// a running fingerprint instead of re-hashing per evaluation.
+  FingerprintDelta WriteDelta(CellRef cell, const Value& value) const;
+
+  /// True iff this table equals `base` with `writes` applied on top
+  /// (same semantics as materializing `base`, applying the writes, and
+  /// comparing with `operator==`) — without materializing anything.
+  /// `writes` must address pairwise-distinct, in-bounds cells of `base`.
+  bool EqualsWithWrites(const Table& base,
+                        std::span<const CellWrite> writes) const;
+
+  /// Rough resident footprint in bytes (cell vector + string payloads +
+  /// schema), for memo/cache accounting. An estimate, not an allocator
+  /// measurement.
+  std::size_t ApproxMemoryBytes() const;
 
   /// Returns a copy with every cell in `cells` set to null (coalition
   /// complement semantics from paper §2.2).

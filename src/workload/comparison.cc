@@ -121,6 +121,7 @@ Result<ComparisonReport> RunComparison(const ComparisonOptions& options) {
     }
     run.algorithm_calls = engine.num_algorithm_calls();
     run.cross_request_hits = batch->stats.cross_request_hits;
+    run.approx_memo_bytes = batch->stats.approx_memo_bytes;
     report.backends.push_back(std::move(run));
   }
 
@@ -177,6 +178,7 @@ std::string BackendJsonLine(const ComparisonReport& report,
       "\"errors_fixed\":%zu,\"residual_violations\":%zu,"
       "\"repair_seconds\":%.4f,\"explain_seconds\":%.4f,"
       "\"algorithm_calls\":%zu,\"cross_request_hits\":%zu,"
+      "\"approx_memo_bytes\":%zu,"
       "\"explained_targets\":%zu,\"failed_targets\":%zu,"
       "\"stability_pairs\":%zu,\"mean_kendall_tau\":%.4f,"
       "\"mean_spearman_rho\":%.4f,\"mean_topk_jaccard\":%.4f,"
@@ -186,6 +188,7 @@ std::string BackendJsonLine(const ComparisonReport& report,
       run.quality.true_errors, run.quality.errors_fixed,
       run.quality.residual_violations, run.repair_seconds,
       run.explain_seconds, run.algorithm_calls, run.cross_request_hits,
+      run.approx_memo_bytes,
       run.explained_targets, run.failed_targets, stability.compared,
       stability.mean_kendall_tau, stability.mean_spearman_rho,
       stability.mean_topk_jaccard, stability.mean_abs_shift);

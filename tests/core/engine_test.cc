@@ -341,6 +341,72 @@ TEST(EngineTest, StrongTableHashGivesBitIdenticalExplanations) {
   EXPECT_EQ(verified.num_cache_hits(), strong.num_cache_hits());
 }
 
+TEST(EngineTest, SealedBatchGivesBitIdenticalExplanations) {
+  // Sealing changes only the memo's representation (outcome bitsets
+  // instead of repaired tables) — never values or cost pattern. The
+  // compaction itself must be at least 5x on this mixed batch.
+  EngineOptions sealed_options;
+  sealed_options.seal_targets = true;
+  Engine plain(Alg(), data::SoccerConstraints(), ThreeTargetDirtyTable());
+  Engine sealed(Alg(), data::SoccerConstraints(), ThreeTargetDirtyTable(),
+                sealed_options);
+  std::vector<ExplainRequest> requests;
+  for (const CellRef& target : ThreeTargets()) {
+    requests.push_back(ConstraintRequest(target));
+  }
+  requests.push_back(CellsRequest(data::SoccerTargetCell(), 32, /*seed=*/9));
+  auto a = plain.ExplainBatch(requests);
+  auto b = sealed.ExplainBatch(requests);
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+  ASSERT_EQ(a->results.size(), b->results.size());
+  for (std::size_t i = 0; i < a->results.size(); ++i) {
+    ASSERT_TRUE(a->results[i].ok());
+    ASSERT_TRUE(b->results[i].ok());
+    ExpectSameExplanation(*a->results[i]->explanation,
+                          *b->results[i]->explanation);
+  }
+  EXPECT_EQ(a->stats.algorithm_calls, b->stats.algorithm_calls);
+  EXPECT_EQ(a->stats.cache_hits, b->stats.cache_hits);
+  EXPECT_GE(a->stats.approx_memo_bytes, 5 * b->stats.approx_memo_bytes)
+      << "sealed batch must compact the memo at least 5x (unsealed="
+      << a->stats.approx_memo_bytes
+      << ", sealed=" << b->stats.approx_memo_bytes << ")";
+  EXPECT_EQ(plain.approx_memo_bytes(), a->stats.approx_memo_bytes);
+}
+
+TEST(EngineTest, SealedEngineServesNewTargetsInLaterBatches) {
+  // A second batch over targets unseen by the first (registered after
+  // the seal) must still be bit-identical to a fresh unsealed engine —
+  // the recompute-on-miss fallback, end to end.
+  EngineOptions sealed_options;
+  sealed_options.seal_targets = true;
+  Engine sealed(Alg(), data::SoccerConstraints(), ThreeTargetDirtyTable(),
+                sealed_options);
+  auto first = sealed.ExplainBatch(
+      {ConstraintRequest(data::SoccerTargetCell())});
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  Engine plain(Alg(), data::SoccerConstraints(), ThreeTargetDirtyTable());
+  auto plain_first = plain.ExplainBatch(
+      {ConstraintRequest(data::SoccerTargetCell())});
+  ASSERT_TRUE(plain_first.ok());
+
+  std::vector<ExplainRequest> second;
+  second.push_back(ConstraintRequest(data::SoccerCell(3, "City")));
+  second.push_back(ConstraintRequest(data::SoccerCell(5, "City")));
+  auto sealed_second = sealed.ExplainBatch(second);
+  auto plain_second = plain.ExplainBatch(second);
+  ASSERT_TRUE(sealed_second.ok());
+  ASSERT_TRUE(plain_second.ok());
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    ASSERT_TRUE(sealed_second->results[i].ok());
+    ASSERT_TRUE(plain_second->results[i].ok());
+    ExpectSameExplanation(*sealed_second->results[i]->explanation,
+                          *plain_second->results[i]->explanation);
+  }
+}
+
 TEST(EngineTest, BatchLevelCancelShortCircuitsRemainingSlots) {
   Engine engine(Alg(), data::SoccerConstraints(), ThreeTargetDirtyTable());
   CancelSource source;

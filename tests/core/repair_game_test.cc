@@ -408,6 +408,204 @@ TEST(BlackBoxRepairTest, FingerprintsLengthDelimitStringCells) {
   EXPECT_NE(one.Fingerprint(), two.Fingerprint());
 }
 
+TEST(BlackBoxRepairTest, EvalPerturbationMatchesEvalTableOutcomesAndMemo) {
+  // The delta path must agree with the materialized path bit for bit —
+  // same outcomes, and both answered by one shared memo (the second
+  // evaluation of either form is a hit, not a second repair run).
+  auto delta_box = MakeBox(data::SoccerTargetCell());
+  auto table_box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(delta_box.ok());
+  ASSERT_TRUE(table_box.ok());
+  const Table dirty = data::SoccerDirtyTable();
+  for (std::size_t round = 0; round < 8; ++round) {
+    std::vector<CellWrite> writes;
+    for (std::size_t i = 0; i <= round % 4; ++i) {
+      writes.push_back({CellRef{(round + i) % dirty.num_rows(),
+                                (round + 2 * i) % dirty.num_columns()},
+                        i % 2 == 0 ? Value::Null()
+                                   : Value("w" + std::to_string(round))});
+    }
+    Table materialized = dirty;
+    for (const CellWrite& w : writes) materialized.Set(w.cell, w.value);
+    EXPECT_EQ(delta_box->EvalPerturbation(writes),
+              table_box->EvalTable(materialized))
+        << "round " << round;
+    // Cross-form hit: the delta evaluation seeded the memo entry the
+    // materialized form now finds (and vice versa on the same box).
+    const std::size_t calls = delta_box->num_algorithm_calls();
+    EXPECT_EQ(delta_box->EvalTable(materialized),
+              table_box->EvalPerturbation(writes));
+    EXPECT_EQ(delta_box->num_algorithm_calls(), calls);
+  }
+  EXPECT_EQ(delta_box->num_algorithm_calls(),
+            table_box->num_algorithm_calls());
+}
+
+TEST(BlackBoxRepairTest, WarmCacheEvaluationsMakeNoTableCopies) {
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  CellGame game(&*box, {data::SoccerCell(5, "League"),
+                        data::SoccerCell(5, "Country"),
+                        data::SoccerCell(1, "Country")});
+  std::vector<shap::Coalition> coalitions;
+  for (unsigned bits = 0; bits < 8; ++bits) {
+    coalitions.push_back({(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0});
+  }
+  std::vector<double> cold;
+  for (const auto& coalition : coalitions) {
+    cold.push_back(game.Value(coalition));
+  }
+  // Cold pass: misses materialized into ONE per-thread scratch copy,
+  // not one copy per coalition.
+  EXPECT_EQ(box->num_eval_table_copies(), 1u);
+  const std::size_t calls = box->num_algorithm_calls();
+  // Warm pass: all hits — zero table copies, zero repair runs.
+  for (std::size_t i = 0; i < coalitions.size(); ++i) {
+    EXPECT_EQ(game.Value(coalitions[i]), cold[i]);
+  }
+  EXPECT_EQ(box->num_eval_table_copies(), 1u);
+  EXPECT_EQ(box->num_algorithm_calls(), calls);
+}
+
+TEST(BlackBoxRepairTest, SealTargetsCompactsMemoAndKeepsOutcomes) {
+  auto box = BlackBoxRepair::MakeMultiTarget(
+      Algorithm1Singleton().get(), data::SoccerConstraints(),
+      data::SoccerDirtyTable(),
+      {data::SoccerTargetCell(), data::SoccerCell(5, "City")});
+  ASSERT_TRUE(box.ok());
+  // Populate both memos unsealed: every mask, plus a few perturbations.
+  std::vector<bool> mask_outcomes;
+  for (std::uint64_t mask = 0; mask < 16; ++mask) {
+    mask_outcomes.push_back(box->EvalConstraintSubset(mask, 0));
+    mask_outcomes.push_back(box->EvalConstraintSubset(mask, 1));
+  }
+  std::vector<std::vector<CellWrite>> perturbations;
+  std::vector<bool> perturbation_outcomes;
+  for (std::size_t r = 0; r < 4; ++r) {
+    perturbations.push_back(
+        {{CellRef{r, 1}, Value::Null()}, {CellRef{r, 2}, Value::Null()}});
+    perturbation_outcomes.push_back(
+        box->EvalPerturbation(perturbations.back(), 0));
+  }
+  const std::size_t unsealed_bytes = box->approx_memo_bytes();
+  const std::size_t calls = box->num_algorithm_calls();
+
+  box->SealTargets();
+  EXPECT_TRUE(box->targets_sealed());
+  const std::size_t sealed_bytes = box->approx_memo_bytes();
+  EXPECT_GE(unsealed_bytes, 5 * sealed_bytes)
+      << "sealing must compact the memo at least 5x (unsealed="
+      << unsealed_bytes << ", sealed=" << sealed_bytes << ")";
+
+  // Every resident entry still answers — bit-identically and without a
+  // single extra repair run.
+  std::size_t i = 0;
+  for (std::uint64_t mask = 0; mask < 16; ++mask) {
+    EXPECT_EQ(box->EvalConstraintSubset(mask, 0), mask_outcomes[i++]);
+    EXPECT_EQ(box->EvalConstraintSubset(mask, 1), mask_outcomes[i++]);
+  }
+  for (std::size_t p = 0; p < perturbations.size(); ++p) {
+    EXPECT_EQ(box->EvalPerturbation(perturbations[p], 0),
+              perturbation_outcomes[p]);
+  }
+  EXPECT_EQ(box->num_algorithm_calls(), calls);
+}
+
+TEST(BlackBoxRepairTest, SealedBoxMatchesUnsealedTwinEverywhere) {
+  auto sealed = BlackBoxRepair::MakeMultiTarget(
+      Algorithm1Singleton().get(), data::SoccerConstraints(),
+      data::SoccerDirtyTable(),
+      {data::SoccerTargetCell(), data::SoccerCell(5, "City")});
+  auto unsealed = BlackBoxRepair::MakeMultiTarget(
+      Algorithm1Singleton().get(), data::SoccerConstraints(),
+      data::SoccerDirtyTable(),
+      {data::SoccerTargetCell(), data::SoccerCell(5, "City")});
+  ASSERT_TRUE(sealed.ok());
+  ASSERT_TRUE(unsealed.ok());
+  sealed->SealTargets();  // entries are written compact from the start
+  for (std::uint64_t mask = 0; mask < 16; ++mask) {
+    for (std::size_t target : {0u, 1u}) {
+      EXPECT_EQ(sealed->EvalConstraintSubset(mask, target),
+                unsealed->EvalConstraintSubset(mask, target));
+    }
+  }
+  for (std::size_t r = 0; r < 6; ++r) {
+    const std::vector<CellWrite> writes = {{CellRef{r, 2}, Value::Null()},
+                                           {CellRef{r, 3}, Value::Null()}};
+    for (std::size_t target : {0u, 1u}) {
+      EXPECT_EQ(sealed->EvalPerturbation(writes, target),
+                unsealed->EvalPerturbation(writes, target));
+    }
+  }
+  EXPECT_EQ(sealed->num_algorithm_calls(), unsealed->num_algorithm_calls());
+  EXPECT_EQ(sealed->num_cache_hits(), unsealed->num_cache_hits());
+  EXPECT_LT(sealed->approx_memo_bytes(), unsealed->approx_memo_bytes());
+}
+
+TEST(BlackBoxRepairTest, PostSealAddTargetFallsBackToRecompute) {
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  box->SealTargets();
+  const bool mask_outcome = box->EvalConstraintSubset(0b0011, 0);
+  const std::vector<CellWrite> writes = {{CellRef{0, 0}, Value::Null()}};
+  const bool table_outcome = box->EvalPerturbation(writes, 0);
+
+  // Register a target after sealing: resident bitsets do not cover it.
+  auto added = box->AddTarget(data::SoccerCell(5, "City"));
+  ASSERT_TRUE(added.ok());
+  const std::size_t new_target = *added;
+
+  // Ground truth from an unsealed twin with both targets registered.
+  auto twin = BlackBoxRepair::MakeMultiTarget(
+      Algorithm1Singleton().get(), data::SoccerConstraints(),
+      data::SoccerDirtyTable(),
+      {data::SoccerTargetCell(), data::SoccerCell(5, "City")});
+  ASSERT_TRUE(twin.ok());
+
+  // The uncovered target recomputes (one extra repair run per entry),
+  // never serves a silently wrong bit...
+  std::size_t calls = box->num_algorithm_calls();
+  EXPECT_EQ(box->EvalConstraintSubset(0b0011, new_target),
+            twin->EvalConstraintSubset(0b0011, new_target));
+  EXPECT_EQ(box->num_algorithm_calls(), calls + 1);
+  calls = box->num_algorithm_calls();
+  EXPECT_EQ(box->EvalPerturbation(writes, new_target),
+            twin->EvalPerturbation(writes, new_target));
+  EXPECT_EQ(box->num_algorithm_calls(), calls + 1);
+
+  // ...and the recompute extends the entry: both targets now hit, and
+  // the original target's answers are unchanged.
+  calls = box->num_algorithm_calls();
+  EXPECT_EQ(box->EvalConstraintSubset(0b0011, new_target),
+            twin->EvalConstraintSubset(0b0011, new_target));
+  EXPECT_EQ(box->EvalConstraintSubset(0b0011, 0), mask_outcome);
+  EXPECT_EQ(box->EvalPerturbation(writes, new_target),
+            twin->EvalPerturbation(writes, new_target));
+  EXPECT_EQ(box->EvalPerturbation(writes, 0), table_outcome);
+  EXPECT_EQ(box->num_algorithm_calls(), calls);
+}
+
+TEST(BlackBoxRepairTest, SealedCollisionPathStillFallsThrough) {
+  // The forced-bucket-clash regression, in sealed mode: sealed entries
+  // verify by 128-bit fingerprint, which must still keep distinct
+  // inputs apart under a colliding 64-bit bucket.
+  Table a = data::SoccerDirtyTable();
+  a.Set(data::SoccerCell(5, "League"), Value::Null());
+  Table b = data::SoccerDirtyTable();
+  b.Set(data::SoccerCell(5, "Country"), Value::Null());
+  auto box = MakeBox(data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok());
+  box->SealTargets();
+  box->set_table_bucket_fn_for_test([](const Table&) { return 7u; });
+  const std::size_t base = box->num_algorithm_calls();
+  const bool outcome_a = box->EvalTable(a);
+  const bool outcome_b = box->EvalTable(b);
+  EXPECT_EQ(box->num_algorithm_calls(), base + 2);
+  EXPECT_EQ(box->EvalTable(a), outcome_a);
+  EXPECT_EQ(box->EvalTable(b), outcome_b);
+  EXPECT_EQ(box->num_algorithm_calls(), base + 2);
+}
+
 TEST(CellGameTest, PrunedPlayerListKeepsBackgroundCells) {
   // With players restricted to two cells, all other cells keep their
   // original values: including both players repairs the target because
