@@ -2,8 +2,19 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 namespace trex {
+
+namespace {
+
+/// The pool whose task the current thread is executing, if any — how a
+/// re-entrant `Run` recognizes itself (thread-locals, not `run_mu_`
+/// state, because the *calling* thread of the outer job also drains
+/// tasks and would self-deadlock on any lock-based detection).
+thread_local const ThreadPool* current_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   const std::size_t workers = num_threads <= 1 ? 0 : num_threads - 1;
@@ -15,10 +26,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -44,28 +55,42 @@ void ThreadPool::RunSharded(ThreadPool* pool, std::size_t num_threads,
 }
 
 void ThreadPool::DrainCurrentJob() {
-  std::unique_lock<std::mutex> lock(mu_);
+  const ThreadPool* enclosing = std::exchange(current_pool, this);
+  MutexLock lock(mu_);
   while (fn_ != nullptr && next_task_ < num_tasks_) {
     const std::size_t task = next_task_++;
     ++in_flight_;
     const auto* fn = fn_;
-    lock.unlock();
-    (*fn)(task);
-    lock.lock();
+    lock.Unlock();
+    std::exception_ptr error;
+    try {
+      (*fn)(task);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.Lock();
     --in_flight_;
+    if (error != nullptr) {
+      // Keep the first failure, abandon the job's unclaimed tasks
+      // (in-flight ones finish), and let `Run`'s completion wait see a
+      // fully wound-down job — never a stuck one.
+      if (first_error_ == nullptr) first_error_ = error;
+      next_task_ = num_tasks_;
+    }
   }
   if (fn_ != nullptr && next_task_ >= num_tasks_ && in_flight_ == 0) {
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
+  current_pool = enclosing;
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] {
-        return stop_ || (fn_ != nullptr && next_task_ < num_tasks_);
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && !(fn_ != nullptr && next_task_ < num_tasks_)) {
+        work_cv_.Wait(lock);
+      }
       if (stop_) return;
     }
     DrainCurrentJob();
@@ -75,28 +100,36 @@ void ThreadPool::WorkerLoop() {
 void ThreadPool::Run(std::size_t num_tasks,
                      const std::function<void(std::size_t)>& fn) {
   if (num_tasks == 0) return;
-  if (workers_.empty()) {
+  if (workers_.empty() || current_pool == this) {
+    // Serial pool, or a re-entrant call from inside one of this pool's
+    // tasks (which cannot wait on `run_mu_` — the outer job holds it,
+    // possibly on this very thread): run inline. Exceptions propagate
+    // directly, as there is no job accounting to unwind.
     for (std::size_t i = 0; i < num_tasks; ++i) fn(i);
     return;
   }
-  std::lock_guard<std::mutex> run_lock(run_mu_);
+  MutexLock run_lock(run_mu_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = &fn;
     num_tasks_ = num_tasks;
     next_task_ = 0;
     in_flight_ = 0;
+    first_error_ = nullptr;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   DrainCurrentJob();
+  std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] {
-      return next_task_ >= num_tasks_ && in_flight_ == 0;
-    });
+    MutexLock lock(mu_);
+    while (!(next_task_ >= num_tasks_ && in_flight_ == 0)) {
+      done_cv_.Wait(lock);
+    }
     fn_ = nullptr;
     num_tasks_ = 0;
+    error = std::exchange(first_error_, nullptr);
   }
+  if (error != nullptr) std::rethrow_exception(error);
 }
 
 }  // namespace trex

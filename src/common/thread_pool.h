@@ -10,16 +10,33 @@
 //
 // A pool with `num_threads <= 1` spawns no workers and runs tasks inline,
 // so serial and parallel configurations share one code path.
+//
+// Error handling: this library reports errors via Status/TREX_CHECK and
+// tasks are expected not to throw — but a task that does throw anyway
+// must never wedge the pool's job accounting. The first exception a job
+// observes is captured, the job's remaining unclaimed tasks are
+// abandoned, and the exception is rethrown from `Run` on the calling
+// thread once every in-flight task has finished; the pool stays usable.
+//
+// Re-entrancy: `Run` from *outside* the pool is serialized on `run_mu_`
+// (one job at a time). `Run` from *inside* a task of the same pool
+// cannot take that path — the outer job holds `run_mu_` and may be
+// draining on this very thread — so a re-entrant call degrades to
+// running its tasks inline, serially, on the calling thread. Results
+// are identical (tasks depend only on their index); only parallelism is
+// lost.
 
 #ifndef TREX_COMMON_THREAD_POOL_H_
 #define TREX_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace trex {
 
@@ -38,10 +55,11 @@ class ThreadPool {
   std::size_t num_threads() const { return workers_.size() + 1; }
 
   /// Runs `fn(i)` for every `i` in `[0, num_tasks)`, blocking until all
-  /// tasks complete. Reentrant `Run` calls are serialized; `fn` must not
-  /// call back into the same pool and must not throw (this library
-  /// reports errors via Status/TREX_CHECK, never exceptions; a throwing
-  /// task would leave the pool's job accounting stuck).
+  /// tasks complete. Concurrent `Run` calls are serialized; a re-entrant
+  /// call from inside a task of this pool runs inline (see file
+  /// comment). If a task throws, the first exception is rethrown here
+  /// after the job winds down — the pool itself never deadlocks or
+  /// leaks a stuck job.
   void Run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
 
   /// Hardware concurrency clamped to [1, cap]; 1 when unknown.
@@ -63,16 +81,22 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* fn_ = nullptr;  // current job
-  std::size_t num_tasks_ = 0;
-  std::size_t next_task_ = 0;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  /// Current job; null between jobs.
+  const std::function<void(std::size_t)>* fn_ GUARDED_BY(mu_) = nullptr;
+  std::size_t num_tasks_ GUARDED_BY(mu_) = 0;
+  std::size_t next_task_ GUARDED_BY(mu_) = 0;
+  std::size_t in_flight_ GUARDED_BY(mu_) = 0;
+  /// First exception thrown by a task of the current job; rethrown by
+  /// `Run` on the calling thread.
+  std::exception_ptr first_error_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
 
-  std::mutex run_mu_;  // serializes concurrent Run() callers
+  /// Serializes concurrent `Run()` callers. Ordering: `run_mu_` is
+  /// acquired before `mu_`, never the reverse.
+  Mutex run_mu_ ACQUIRED_BEFORE(mu_);
 };
 
 }  // namespace trex

@@ -53,15 +53,26 @@
 // request returns `Status::Cancelled` promptly and leaves the engine
 // reusable.
 //
-// Thread-safety contract, per layer:
-//   * `Engine` — one caller at a time. `Explain`/`ExplainBatch` mutate
-//     shared state (the target registry, request ids). Parallelism lives
-//     *inside* a request via `EngineOptions::num_threads`.
+// Thread-safety contract, per layer (the synchronized layers carry
+// Clang thread-safety annotations — see common/thread_annotations.h —
+// so a clang build with -Wthread-safety enforces this table at compile
+// time):
+//   * `Engine` — one caller at a time; it holds no mutex of its own.
+//     `Explain`/`ExplainBatch` mutate shared state (the target
+//     registry, request ids). Parallelism lives *inside* a request via
+//     `EngineOptions::num_threads`: the sweep shards fan out over
+//     `common::ThreadPool`, whose queue state is GUARDED_BY its
+//     internal mutex.
 //   * `BlackBoxRepair` — internally synchronized for concurrent
-//     evaluations (the sweep shards rely on this).
+//     evaluations (the sweep shards rely on this). The shared memo in
+//     `repair::CacheState` is GUARDED_BY a `SharedMutex`: shared for
+//     memo hits, exclusive for inserts, sealing, and extension.
 //   * `serving::EngineRouter` / `serving::ExplainService` — fully
-//     thread-safe; the router serializes per-engine access so the
-//     engine's single-caller invariant holds under concurrent traffic.
+//     thread-safe; all guarded state is annotated, and the lock-order
+//     and stats-deadlock rules are documented in their file comments.
+//     The router serializes per-engine access (`EngineEntry::mu`) so
+//     the engine's single-caller invariant holds under concurrent
+//     traffic.
 //
 // `ConstraintExplainer`, `CellExplainer`, and `TRexSession` are thin
 // adapters over this stack.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <mutex>
 #include <utility>
 
 #include "common/logging.h"
@@ -190,7 +189,7 @@ std::size_t BlackBoxRepair::num_memo_evictions() const {
 }
 
 std::size_t BlackBoxRepair::num_table_memo_entries() const {
-  std::shared_lock<std::shared_mutex> lock(state_->mu);
+  ReaderLock lock(state_->mu);
   return state_->table_entries;
 }
 
@@ -253,7 +252,7 @@ void BlackBoxRepair::PopulateEntry(CacheEntry* entry, const Table* input,
 void BlackBoxRepair::SealTargets() {
   if (sealed_) return;
   sealed_ = true;
-  std::unique_lock<std::shared_mutex> lock(state_->mu);
+  WriterLock lock(state_->mu);
   std::size_t bytes = 0;
   for (auto& [mask, entry] : state_->mask_cache) {
     if (!entry.sealed) SealEntry(&entry);
@@ -275,7 +274,7 @@ bool BlackBoxRepair::EvalConstraintSubset(std::uint64_t mask,
       << "split the DcSet or extend the mask representation";
   TREX_CHECK_LT(target_index, targets_.size());
   if (cache_enabled_) {
-    std::shared_lock<std::shared_mutex> lock(state_->mu);
+    ReaderLock lock(state_->mu);
     auto it = state_->mask_cache.find(mask);
     if (it != state_->mask_cache.end()) {
       const CacheEntry& entry = it->second;
@@ -299,7 +298,7 @@ bool BlackBoxRepair::EvalConstraintSubset(std::uint64_t mask,
   state_->calls.fetch_add(1);
   const bool outcome = Outcome(*repaired, target_index);
   if (cache_enabled_) {
-    std::unique_lock<std::shared_mutex> lock(state_->mu);
+    WriterLock lock(state_->mu);
     auto [it, inserted] = state_->mask_cache.try_emplace(mask);
     if (!inserted) {
       // A concurrent miss filled this mask, or it is the sealed entry
@@ -385,7 +384,7 @@ std::optional<bool> BlackBoxRepair::LookupTableMemo(
     std::uint64_t fp64, const Hash128& fp128, std::size_t target_index,
     VerifyInput&& verify_input) const {
   if (!cache_enabled_) return std::nullopt;
-  std::shared_lock<std::shared_mutex> lock(state_->mu);
+  ReaderLock lock(state_->mu);
   auto it = state_->table_cache.find(fp64);
   if (it == state_->table_cache.end()) return std::nullopt;
   for (CacheEntry& entry : it->second) {
@@ -465,7 +464,7 @@ bool BlackBoxRepair::EvalTableMiss(const Table& perturbed, std::uint64_t fp64,
   state_->calls.fetch_add(1);
   const bool outcome = Outcome(*repaired, target_index);
   if (!cache_enabled_) return outcome;
-  std::unique_lock<std::shared_mutex> lock(state_->mu);
+  WriterLock lock(state_->mu);
   std::vector<CacheEntry>& bucket = state_->table_cache[fp64];
   // Re-check under the exclusive lock: a concurrent miss on the same
   // table may have inserted while we ran the repair — don't retain a

@@ -63,6 +63,15 @@
 // repair run but never corrupt results). `AddTarget`, `SealTargets`,
 // and `BeginRequest` must not race with evaluations.
 //
+// The memo's reader/writer discipline is machine-checked under Clang's
+// -Wthread-safety (common/thread_annotations.h): both memo maps are
+// `GUARDED_BY(CacheState::mu)` — hit scans hold it shared, inserts,
+// sealing, and the sealed-entry extension path hold it exclusive
+// (`EvictLruTableEntry` carries the `REQUIRES` pre-condition). The
+// analysis is shallow: fields of entries *inside* the maps are past its
+// horizon, which is why the in-place LRU touch under the shared lock
+// goes through `std::atomic_ref` and stays TSan-covered.
+//
 // `ConstraintGame` (players = DCs, table fixed) and `CellGame` (players =
 // cells nulled in/out, DCs fixed) adapt one target's characteristic
 // function to `shap::Game`.
@@ -75,12 +84,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "core/game.h"
 #include "dc/constraint.h"
@@ -293,13 +303,17 @@ class BlackBoxRepair {
   /// the mutex. Lookups (the steady-state path under a warm cache) take
   /// the lock shared so sampling shards hit concurrently; only inserts
   /// take it exclusive. Counters are atomics so hits need no exclusive
-  /// access.
+  /// access. The maps are `GUARDED_BY(mu)`; entry *fields* reached
+  /// through them are beyond the (shallow) analysis — in-entry
+  /// mutations under the shared lock go through `std::atomic_ref`
+  /// (`last_used`) and stay TSan-covered.
   struct CacheState {
     CacheState();
 
-    std::shared_mutex mu;
-    std::unordered_map<std::uint64_t, CacheEntry> mask_cache;
-    std::unordered_map<std::uint64_t, std::vector<CacheEntry>> table_cache;
+    SharedMutex mu;
+    std::unordered_map<std::uint64_t, CacheEntry> mask_cache GUARDED_BY(mu);
+    std::unordered_map<std::uint64_t, std::vector<CacheEntry>> table_cache
+        GUARDED_BY(mu);
     std::atomic<std::size_t> calls{0};
     std::atomic<std::size_t> hits{0};
     std::atomic<std::size_t> cross_request_hits{0};
@@ -308,7 +322,7 @@ class BlackBoxRepair {
     std::atomic<std::uint64_t> tick{0};
     /// Table-memo entry count / LRU evictions (guarded by `mu` /
     /// monotonic counter readable without it).
-    std::size_t table_entries = 0;
+    std::size_t table_entries GUARDED_BY(mu) = 0;
     std::atomic<std::size_t> evictions{0};
     /// Estimated resident payload of both memos (maintained under `mu`
     /// on insert/evict/seal; atomic so reads need no lock).
@@ -320,9 +334,9 @@ class BlackBoxRepair {
     const std::uint64_t scratch_id;
   };
 
-  /// Drops the least-recently-used table-memo entry. Requires `mu` held
-  /// exclusively and a non-empty table cache.
-  void EvictLruTableEntry() const;
+  /// Drops the least-recently-used table-memo entry. Requires a
+  /// non-empty table cache.
+  void EvictLruTableEntry() const REQUIRES(state_->mu);
 
   bool Outcome(const Table& repaired, std::size_t target_index) const;
 

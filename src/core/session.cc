@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include "common/logging.h"
+#include "common/mutex.h"
 
 namespace trex {
 
@@ -170,7 +171,7 @@ Result<BatchResult> TRexSession::ExplainBatch(
   // Batches stay an engine-level primitive (one BatchStats, one
   // reference repair); take the entry lock so the batch serializes with
   // any async tickets the service is running on this engine.
-  std::lock_guard<std::mutex> guard(entry_->mu);
+  MutexLock guard(entry_->mu);
   return entry_->engine.ExplainBatch(requests);
 }
 

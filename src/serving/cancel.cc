@@ -25,12 +25,16 @@ CancelToken CancelSource::token() const {
 DeadlineSource::DeadlineSource() = default;
 
 DeadlineSource::~DeadlineSource() {
+  std::thread timer;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    // Move the handle out so the join below runs unlocked — the timer
+    // thread needs `mu_` to observe `stop_` and exit.
+    timer = std::move(timer_);
   }
-  cv_.notify_all();
-  if (timer_.joinable()) timer_.join();
+  cv_.NotifyAll();
+  if (timer.joinable()) timer.join();
 }
 
 std::uint64_t DeadlineSource::Arm(
@@ -39,7 +43,7 @@ std::uint64_t DeadlineSource::Arm(
   TREX_CHECK(source != nullptr);
   std::uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     id = next_id_++;
     armed_.emplace(ArmKey{deadline, id}, std::move(source));
     by_id_.emplace(id, deadline);
@@ -47,12 +51,12 @@ std::uint64_t DeadlineSource::Arm(
       timer_ = std::thread([this] { TimerLoop(); });
     }
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   return id;
 }
 
 void DeadlineSource::Disarm(std::uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return;  // unknown or already fired
   armed_.erase(ArmKey{it->second, id});
@@ -60,16 +64,16 @@ void DeadlineSource::Disarm(std::uint64_t id) {
 }
 
 std::size_t DeadlineSource::armed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return by_id_.size();
 }
 
 void DeadlineSource::TimerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     if (stop_) return;
     if (armed_.empty()) {
-      cv_.wait(lock);
+      cv_.Wait(lock);
       continue;
     }
     auto first = armed_.begin();
@@ -83,9 +87,9 @@ void DeadlineSource::TimerLoop() {
       continue;
     }
     // `deadline` is a copy: Arm/Disarm mutate the map while `mu_` is
-    // released inside wait_until, so no reference into it may be held
-    // across the wait.
-    cv_.wait_until(lock, deadline);
+    // released inside the wait, so no reference into it may be held
+    // across it.
+    cv_.WaitUntil(lock, deadline);
   }
 }
 

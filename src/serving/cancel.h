@@ -30,15 +30,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace trex {
 
@@ -111,36 +112,37 @@ class DeadlineSource {
   /// already in the past). Returns an id for `Disarm`. `source` must not
   /// be null; it is kept alive until the entry fires or is disarmed.
   std::uint64_t Arm(std::chrono::steady_clock::time_point deadline,
-                    std::shared_ptr<CancelSource> source);
+                    std::shared_ptr<CancelSource> source) EXCLUDES(mu_);
 
   /// Drops an armed entry so it never fires, releasing its source
   /// immediately. Idempotent; racing the timer is fine (the entry may
   /// fire anyway, which callers must treat as a normal deadline
   /// expiry). Unknown/already-fired ids are ignored.
-  void Disarm(std::uint64_t id);
+  void Disarm(std::uint64_t id) EXCLUDES(mu_);
 
   /// Entries currently armed (not yet fired or disarmed).
-  std::size_t armed() const;
+  std::size_t armed() const EXCLUDES(mu_);
 
  private:
   /// Unique ordering key: deadline first, arm id as tie-break.
   using ArmKey = std::pair<std::chrono::steady_clock::time_point,
                            std::uint64_t>;
 
-  void TimerLoop();
+  void TimerLoop() EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
   /// Armed sources ordered soonest-first; `begin()` is the next entry
   /// to fire. `by_id_` indexes the same entries for eager `Disarm`.
-  std::map<ArmKey, std::shared_ptr<CancelSource>> armed_;
+  std::map<ArmKey, std::shared_ptr<CancelSource>> armed_ GUARDED_BY(mu_);
   std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point>
-      by_id_;
-  std::uint64_t next_id_ = 1;
-  bool stop_ = false;
+      by_id_ GUARDED_BY(mu_);
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  bool stop_ GUARDED_BY(mu_) = false;
   /// Started lazily by the first `Arm` (under `mu_`), so deadline-free
-  /// services never pay for a timer thread.
-  std::thread timer_;
+  /// services never pay for a timer thread; the destructor moves the
+  /// handle out under `mu_` and joins it unlocked.
+  std::thread timer_ GUARDED_BY(mu_);
 };
 
 }  // namespace trex

@@ -88,7 +88,7 @@ std::shared_ptr<EngineEntry> EngineRouter::AcquireImpl(
     std::shared_ptr<const repair::RepairAlgorithm> algorithm,
     const dc::DcSet& dcs, const Table& table, const EngineKey& key,
     const std::function<std::shared_ptr<const Table>()>& snapshot) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<Slot>& bucket = engines_[key];
   for (Slot& slot : bucket) {
     // Verify dcs and table in full, never trusting the 64-bit
@@ -116,7 +116,7 @@ std::shared_ptr<EngineEntry> EngineRouter::AcquireImpl(
 }
 
 RouterStats EngineRouter::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   RouterStats stats = stats_;
   stats.resident = resident_;
   // Lock-free per-entry reads: the sampled footprint, not the live one

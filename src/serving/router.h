@@ -28,6 +28,19 @@
 // Callers running engine work concurrently MUST hold `EngineEntry::mu`
 // for the duration of each engine call; `ExplainService` does this, and
 // `TRexSession` relies on it via the service.
+//
+// Lock model (machine-checked under Clang's -Wthread-safety; see
+// common/thread_annotations.h): the router's own state is
+// `GUARDED_BY(mu_)`, and `mu_` is a leaf lock — no engine or entry
+// mutex is ever taken under it. The PR 5 deadlock rule — `stats()` must
+// not take entry mutexes, because a stats reader must never wait on an
+// engine call in flight — is encoded structurally: the only per-entry
+// state `stats()` reads is `EngineEntry::approx_memo_bytes`, an atomic
+// deliberately left *outside* `EngineEntry::mu`'s guarded set, and
+// `EXCLUDES(mu_)` keeps every public method re-entrancy-clean. The
+// analysis cannot quantify over "any entry's mutex", so that half of
+// the rule is additionally pinned by a watchdogged regression test
+// (tests/serving/stats_deadlock_test.cc).
 
 #ifndef TREX_SERVING_ROUTER_H_
 #define TREX_SERVING_ROUTER_H_
@@ -36,11 +49,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "dc/constraint.h"
 #include "repair/algorithm.h"
@@ -101,15 +115,21 @@ struct EngineEntry {
       : engine(std::move(algorithm), std::move(dcs), std::move(table),
                options) {}
 
+  /// Hold `mu` while calling into `engine` whenever other holders may
+  /// exist (the engine itself is single-caller). Not `GUARDED_BY(mu)`:
+  /// the requirement is conditional — a single-holder phase (a session
+  /// before any tickets are submitted, a test owning the only
+  /// reference) may call the engine unlocked — which the analysis
+  /// cannot express; concurrent phases are TSan-covered instead.
   Engine engine;
-  /// Hold while calling into `engine` whenever other holders may exist
-  /// (the engine itself is single-caller).
-  std::mutex mu;
+  Mutex mu;
   /// `engine.approx_memo_bytes()` as of the last completed engine call,
   /// sampled by the caller *while it still holds `mu`* and read by
   /// `EngineRouter::stats()` without taking `mu` (taking it there would
   /// deadlock against callers that block inside an engine call while a
   /// stats reader waits — e.g. tests gating a repair algorithm).
+  /// Deliberately an atomic outside `mu`'s protection — see the lock
+  /// model in the file comment.
   std::atomic<std::size_t> approx_memo_bytes{0};
 };
 
@@ -135,7 +155,8 @@ class EngineRouter {
   /// the first explanation), so `Acquire` never blocks on repair work.
   std::shared_ptr<EngineEntry> Acquire(
       std::shared_ptr<const repair::RepairAlgorithm> algorithm,
-      const dc::DcSet& dcs, std::shared_ptr<const Table> table);
+      const dc::DcSet& dcs, std::shared_ptr<const Table> table)
+      EXCLUDES(mu_);
 
   /// Like above for callers holding only a mutable/borrowed table (the
   /// session's interactive loop): the table is snapshotted into a
@@ -143,7 +164,7 @@ class EngineRouter {
   /// copies nothing.
   std::shared_ptr<EngineEntry> Acquire(
       std::shared_ptr<const repair::RepairAlgorithm> algorithm,
-      const dc::DcSet& dcs, const Table& table);
+      const dc::DcSet& dcs, const Table& table) EXCLUDES(mu_);
 
   /// Like the shared-table overload, with the key already computed
   /// (`KeyOf`) — the service keys each job at admission for coalescing
@@ -154,9 +175,11 @@ class EngineRouter {
   std::shared_ptr<EngineEntry> Acquire(
       std::shared_ptr<const repair::RepairAlgorithm> algorithm,
       const dc::DcSet& dcs, std::shared_ptr<const Table> table,
-      const EngineKey& key);
+      const EngineKey& key) EXCLUDES(mu_);
 
-  RouterStats stats() const;
+  /// Takes only `mu_` and reads only sampled atomics per entry — never
+  /// an entry mutex (the deadlock rule in the file comment).
+  RouterStats stats() const EXCLUDES(mu_);
 
   const RouterOptions& options() const { return options_; }
 
@@ -166,25 +189,26 @@ class EngineRouter {
     std::uint64_t last_used = 0;
   };
 
-  /// Drops the least-recently-used slot. Requires `mu_` held and a
-  /// non-empty pool.
-  void EvictLru();
+  /// Drops the least-recently-used slot. Requires a non-empty pool.
+  void EvictLru() REQUIRES(mu_);
 
   /// Shared lookup/insert body; `snapshot` materializes the shared
   /// table handle and is invoked only on a miss.
   std::shared_ptr<EngineEntry> AcquireImpl(
       std::shared_ptr<const repair::RepairAlgorithm> algorithm,
       const dc::DcSet& dcs, const Table& table, const EngineKey& key,
-      const std::function<std::shared_ptr<const Table>()>& snapshot);
+      const std::function<std::shared_ptr<const Table>()>& snapshot)
+      EXCLUDES(mu_);
 
   RouterOptions options_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   /// Buckets of verified slots: fingerprint collisions co-exist in one
   /// bucket and are told apart by full (dcs, table) comparison.
-  std::unordered_map<EngineKey, std::vector<Slot>, EngineKeyHash> engines_;
-  std::uint64_t tick_ = 0;
-  std::size_t resident_ = 0;
-  RouterStats stats_;
+  std::unordered_map<EngineKey, std::vector<Slot>, EngineKeyHash> engines_
+      GUARDED_BY(mu_);
+  std::uint64_t tick_ GUARDED_BY(mu_) = 0;
+  std::size_t resident_ GUARDED_BY(mu_) = 0;
+  RouterStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace trex::serving

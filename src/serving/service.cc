@@ -43,7 +43,7 @@ ExplainService::ExplainService(ServiceOptions options)
 ExplainService::~ExplainService() {
   std::vector<std::shared_ptr<Job>> drained;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
     drained.assign(queue_.begin(), queue_.end());
     queue_.clear();
@@ -51,7 +51,7 @@ ExplainService::~ExplainService() {
     // in-flight sweeps stop at their next poll, so join() is prompt.
     for (auto& [id, job] : outstanding_) job->cancel->Cancel();
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::shared_ptr<Job>& job : drained) {
     Resolve(job, Status::Cancelled("service shutting down"));
   }
@@ -110,7 +110,7 @@ Ticket ExplainService::Submit(
   bool stopped = false;
   bool admitted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job->id = next_id_++;
     job->seq = job->id;
     ticket.id_ = job->id;
@@ -163,7 +163,7 @@ Ticket ExplainService::Submit(
                             std::to_string(options_.max_queued_jobs) +
                             " jobs; lowest-priority job shed"));
   }
-  if (admitted) work_cv_.notify_one();
+  if (admitted) work_cv_.NotifyOne();
   return ticket;
 }
 
@@ -181,8 +181,8 @@ void ExplainService::WorkerLoop() {
   for (;;) {
     std::vector<std::shared_ptr<Job>> batch;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) work_cv_.Wait(lock);
       if (stop_) return;  // destructor drained and resolves the queue
       auto leader_it = queue_.begin();
       std::shared_ptr<Job> leader = *leader_it;
@@ -250,7 +250,7 @@ void ExplainService::ServeBatch(std::vector<std::shared_ptr<Job>> jobs) {
     const std::shared_ptr<Job>& leader = live.front();
     std::shared_ptr<EngineEntry> entry = router_.Acquire(
         leader->algorithm, leader->dcs, leader->table, leader->key);
-    std::lock_guard<std::mutex> guard(entry->mu);
+    MutexLock guard(entry->mu);
     // Re-screen after the wait for the engine mutex (behind another
     // group's sweep), which can outlast a deadline: a job that has not
     // started must not pay for a full sweep past its deadline.
@@ -271,7 +271,9 @@ void ExplainService::ServeBatch(std::vector<std::shared_ptr<Job>> jobs) {
         requests.push_back(job->request);
       }
       if (ready.size() > 1) {
-        std::lock_guard<std::mutex> lock(mu_);
+        // entry->mu is held here: the one edge fixing the lock order
+        // `EngineEntry::mu` before `mu_` (see the file comment).
+        MutexLock lock(mu_);
         ++stats_.coalesced_batches;
         stats_.coalesced_jobs += ready.size();
       }
@@ -308,7 +310,7 @@ void ExplainService::Resolve(const std::shared_ptr<Job>& job,
     expired = true;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (result.ok()) {
       ++stats_.completed;
     } else if (result.status().IsCancelled()) {
@@ -329,7 +331,7 @@ void ExplainService::Resolve(const std::shared_ptr<Job>& job,
 ServiceStats ExplainService::stats() const {
   ServiceStats stats;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats = stats_;
     stats.queue_depth = queue_.size();
   }
@@ -338,7 +340,7 @@ ServiceStats ExplainService::stats() const {
 }
 
 std::size_t ExplainService::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 

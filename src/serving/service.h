@@ -62,23 +62,33 @@
 // Thread safety: all public methods are thread-safe. Destruction cancels
 // queued and in-flight work, resolves every outstanding future, and
 // joins the workers.
+//
+// Lock model (machine-checked under Clang's -Wthread-safety; see
+// common/thread_annotations.h): the scheduler state — queue, job
+// registry, stats — is `GUARDED_BY(mu_)`. Lock order is
+// `EngineEntry::mu` before `mu_` (`ServeBatch` bumps coalescing stats
+// while holding the engine), never the reverse: no code path calls into
+// an engine, the router, or user callbacks while holding `mu_`, which
+// is what keeps `stats()` safe to call from anywhere — including while
+// a batch holds an entry mutex (pinned by
+// tests/serving/stats_deadlock_test.cc).
 
 #ifndef TREX_SERVING_SERVICE_H_
 #define TREX_SERVING_SERVICE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "dc/constraint.h"
 #include "repair/algorithm.h"
@@ -210,7 +220,8 @@ class ExplainService {
   /// be resolved `Status::Rejected` (load-shedding; see file comment).
   Ticket Submit(std::shared_ptr<const repair::RepairAlgorithm> algorithm,
                 dc::DcSet dcs, std::shared_ptr<const Table> table,
-                ExplainRequest request, RequestOptions options = {});
+                ExplainRequest request, RequestOptions options = {})
+      EXCLUDES(mu_);
 
   /// Submit + Wait, for callers that want the service's routing but not
   /// its asynchrony (the session's synchronous explain calls).
@@ -224,10 +235,13 @@ class ExplainService {
   /// when service traffic may run concurrently.
   EngineRouter& router() { return router_; }
 
-  ServiceStats stats() const;
+  /// Safe from any thread, any time — takes only `mu_` (briefly) and
+  /// the router's leaf lock, never an engine entry's mutex (see the
+  /// lock model in the file comment).
+  ServiceStats stats() const EXCLUDES(mu_);
 
   /// Jobs admitted but not yet started (queued).
-  std::size_t pending() const;
+  std::size_t pending() const EXCLUDES(mu_);
 
   const ServiceOptions& options() const { return options_; }
 
@@ -268,33 +282,37 @@ class ExplainService {
   /// by full DcSet/table comparison (64-bit fingerprints can collide).
   static bool CoalescingCompatible(const Job& job, const Job& leader);
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   /// Executes one dequeued group: screens members (cancelled/expired
   /// jobs resolve without running), acquires the leader's engine once,
   /// lowers survivors into `Explain` (one) or `ExplainBatch` (many),
-  /// and fans results back to each ticket.
-  void ServeBatch(std::vector<std::shared_ptr<Job>> jobs);
+  /// and fans results back to each ticket. Takes the leader's
+  /// `EngineEntry::mu` and (briefly, under it) `mu_` — the one place
+  /// that fixes the entry-before-service lock order.
+  void ServeBatch(std::vector<std::shared_ptr<Job>> jobs) EXCLUDES(mu_);
   /// Resolves the job's future, updates stats, fires the callback, and
   /// forgets the job. A cancelled result counts as a deadline expiry
   /// when `expired` is set or the job's armed deadline source fired.
+  /// The future resolution and the callback run *outside* `mu_`.
   void Resolve(const std::shared_ptr<Job>& job, Result<ExplainResult> result,
-               bool expired = false);
+               bool expired = false) EXCLUDES(mu_);
 
   ServiceOptions options_;
   EngineRouter router_;
   DeadlineSource deadlines_;
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;
+  mutable Mutex mu_;
+  CondVar work_cv_;
   /// The admission queue, kept sorted by `JobOrder` so dequeue,
   /// shedding, and coalescing all walk it directly.
-  std::set<std::shared_ptr<Job>, JobOrder> queue_;
+  std::set<std::shared_ptr<Job>, JobOrder> queue_ GUARDED_BY(mu_);
   /// Every unresolved job (queued or in-flight), for shutdown
   /// cancellation.
-  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> outstanding_;
-  bool stop_ = false;
-  std::uint64_t next_id_ = 1;
-  ServiceStats stats_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> outstanding_
+      GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
+  ServiceStats stats_ GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
 };

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace trex {
@@ -50,6 +52,97 @@ TEST(ThreadPoolTest, MoreTasksThanThreads) {
 TEST(ThreadPoolTest, DefaultThreadsIsPositiveAndCapped) {
   EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
   EXPECT_LE(ThreadPool::DefaultThreads(4), 4u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsFallsBackToSerial) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> out(16, 0);  // no atomics needed: inline execution
+  pool.Run(out.size(), [&](std::size_t i) { out[i] = 1; });
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 16);
+}
+
+TEST(ThreadPoolTest, ThrowingTaskPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.Run(64,
+               [&](std::size_t i) {
+                 ++ran;
+                 if (i == 13) throw std::runtime_error("task 13 failed");
+               }),
+      std::runtime_error);
+  // The failing job abandons unclaimed tasks but winds down cleanly; at
+  // least the throwing task ran, and nothing ran twice.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 64);
+
+  // The pool is fully reusable after a failed job.
+  std::atomic<int> after{0};
+  pool.Run(50, [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 50);
+}
+
+TEST(ThreadPoolTest, OnlyFirstExceptionIsRethrown) {
+  ThreadPool pool(4);
+  // Every task throws; Run must surface exactly one of them (the first
+  // captured) and never terminate or wedge on the rest.
+  try {
+    pool.Run(32, [&](std::size_t i) {
+      throw std::runtime_error("boom " + std::to_string(i));
+    });
+    FAIL() << "Run should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("boom ", 0), 0u);
+  }
+}
+
+TEST(ThreadPoolTest, RunShardedThrowingTaskDoesNotDeadlock) {
+  ThreadPool pool(3);
+  // Pooled path: the exception must drain the job and rethrow, never
+  // leave RunSharded blocked on an unfinished job.
+  EXPECT_THROW(ThreadPool::RunSharded(&pool, pool.num_threads(), 16,
+                                      [](std::size_t i) {
+                                        if (i % 2 == 0) {
+                                          throw std::runtime_error("shard");
+                                        }
+                                      }),
+               std::runtime_error);
+  // Serial path throws straight through.
+  EXPECT_THROW(ThreadPool::RunSharded(nullptr, 1, 4,
+                                      [](std::size_t) {
+                                        throw std::runtime_error("serial");
+                                      }),
+               std::runtime_error);
+  // Both the shared pool and the helper remain usable.
+  std::atomic<int> after{0};
+  ThreadPool::RunSharded(&pool, pool.num_threads(), 10,
+                         [&](std::size_t) { ++after; });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPoolTest, ReentrantRunExecutesInline) {
+  ThreadPool pool(3);
+  std::atomic<int> inner_total{0};
+  // A task that calls back into its own pool must not deadlock on the
+  // job lock; the nested Run degrades to inline serial execution.
+  pool.Run(4, [&](std::size_t) {
+    pool.Run(8, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPoolTest, ReentrantRunPropagatesExceptions) {
+  ThreadPool pool(2);
+  std::atomic<int> outer_failures{0};
+  pool.Run(2, [&](std::size_t) {
+    try {
+      pool.Run(1, [](std::size_t) { throw std::runtime_error("nested"); });
+    } catch (const std::runtime_error&) {
+      ++outer_failures;
+    }
+  });
+  EXPECT_EQ(outer_failures.load(), 2);
 }
 
 }  // namespace

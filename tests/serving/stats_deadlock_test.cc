@@ -1,0 +1,113 @@
+// Regression pin for the stats-deadlock rule (see the lock-model
+// comments in serving/service.h and serving/router.h): `stats()` — on
+// the service and on the router — must be callable from any thread at
+// any time, including while a concurrent batch is parked *inside* an
+// engine call with that engine entry's mutex held. The rule is
+// structural (stats paths take only `mu_` and the router's leaf lock,
+// never an entry mutex; per-entry footprints are read from an atomic
+// sampled outside the guarded set), and this test is the executable
+// witness: a watchdog turns any reintroduced lock-order inversion into
+// a test failure instead of a hung CI job.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+
+#include "data/soccer.h"
+#include "serving/service.h"
+#include "tests/serving/algorithm_fixtures.h"
+
+namespace trex::serving {
+namespace {
+
+using trex::testing::GatedAlgorithm;
+
+std::shared_ptr<const Table> SoccerTable() {
+  return std::make_shared<const Table>(data::SoccerDirtyTable());
+}
+
+ExplainRequest ConstraintRequest() {
+  ExplainRequest request;
+  request.target = data::SoccerTargetCell();
+  request.kind = ExplainKind::kConstraints;
+  return request;
+}
+
+// Runs `fn` on a helper thread and fails the test (instead of hanging
+// it) if `fn` has not returned within the watchdog budget. The budget
+// is generous — it only has to distinguish "returned promptly" from
+// "blocked on a held entry mutex", not measure latency.
+template <typename Fn>
+void ExpectCompletesPromptly(Fn fn, const char* what) {
+  std::future<void> done = std::async(std::launch::async, std::move(fn));
+  ASSERT_EQ(done.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << what
+      << " blocked while a batch held the engine entry mutex — the "
+         "stats-deadlock rule from serving/router.h has regressed";
+  done.get();  // propagate any exception from the helper thread
+}
+
+TEST(StatsDeadlockTest, ServiceAndRouterStatsWhileEntryMutexHeld) {
+  auto gated = std::make_shared<GatedAlgorithm>(data::MakeAlgorithm1());
+
+  ServiceOptions options;
+  options.num_workers = 1;
+  ExplainService service(options);
+
+  // Pin the single worker inside the engine call: ServeBatch holds the
+  // entry's mutex across the whole Explain, and the gate keeps it there
+  // until we release it.
+  Ticket ticket = service.Submit(gated, data::SoccerConstraints(),
+                                 SoccerTable(), ConstraintRequest());
+  gated->WaitUntilStarted();
+
+  ExpectCompletesPromptly(
+      [&service] {
+        const ServiceStats stats = service.stats();
+        EXPECT_EQ(stats.submitted, 1u);
+        EXPECT_EQ(stats.completed, 0u);
+        // The in-flight engine is resident; its footprint comes from
+        // the sampled atomic, not from under the held entry mutex.
+        EXPECT_EQ(stats.router.resident, 1u);
+      },
+      "ExplainService::stats()");
+  ExpectCompletesPromptly(
+      [&service] {
+        const RouterStats stats = service.router().stats();
+        EXPECT_EQ(stats.resident, 1u);
+        EXPECT_EQ(stats.misses, 1u);
+      },
+      "EngineRouter::stats()");
+
+  gated->Release();
+  EXPECT_TRUE(ticket.Wait().ok());
+}
+
+TEST(StatsDeadlockTest, StatsFromCompletionCallback) {
+  // on_complete fires on the worker thread right after the future
+  // resolves — with no service or entry lock held, so reading stats
+  // from inside the callback must be safe too.
+  ExplainService service;
+  ServiceStats observed;
+  RequestOptions options;
+  std::promise<void> fired;
+  options.on_complete = [&](const Result<ExplainResult>&) {
+    observed = service.stats();
+    fired.set_value();
+  };
+  Ticket ticket =
+      service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+                     SoccerTable(), ConstraintRequest(), options);
+  ASSERT_TRUE(ticket.Wait().ok());
+  ASSERT_EQ(fired.get_future().wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "on_complete never fired";
+  EXPECT_EQ(observed.submitted, 1u);
+  EXPECT_EQ(observed.completed, 1u);
+}
+
+}  // namespace
+}  // namespace trex::serving

@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Project-invariant linter for the T-REx tree.
+
+Enforces conventions that the compiler cannot:
+
+  raw-mutex
+      `src/` code must use the annotated `trex::Mutex` / `trex::SharedMutex`
+      wrappers from `common/mutex.h`, never the raw standard-library
+      primitives. The wrappers carry Clang thread-safety capabilities; a
+      raw `std::mutex` is invisible to `-Wthread-safety` and silently
+      punches a hole in the compile-time lock contract. Only
+      `common/mutex.h` itself may touch the raw types.
+
+  determinism
+      `src/` code must not call `std::rand` / `srand` or construct a
+      `std::random_device`. Engine results are replayed and compared
+      across runs and backends; all randomness must flow from explicitly
+      seeded generators owned by the caller.
+
+  fingerprint-length-prefix
+      Fingerprint material must be length-prefixed: a
+      `Mix(x.data(), x.size())` over variable-length bytes must be
+      preceded by mixing the length itself (`Mix(&len, sizeof(len))`).
+      Without the prefix, ("ab","c") and ("a","bc") hash identically and
+      the router/memo fingerprints collide across distinct inputs.
+
+  sleep-discipline
+      Concurrency test fixtures must not use bare
+      `std::this_thread::sleep_for` as a synchronization mechanism —
+      sleeps hide races and make tests flaky under load. A sleep that is
+      deliberate (e.g. simulating a slow algorithm) must carry a
+      `sleep-ok: <reason>` comment on the same or the preceding line.
+
+Usage:
+    lint_invariants.py [--root DIR]   lint the tree (exit 1 on violations)
+    lint_invariants.py --self-test    run the embedded rule self-test
+
+The self-test feeds each rule a known-bad and a known-good snippet and
+fails if any bad snippet passes or any good snippet is flagged, so a
+regex regression in this file cannot silently disable a rule.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Rule machinery
+# ---------------------------------------------------------------------------
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_)?mutex\b"
+    r"|std::shared_(?:timed_)?mutex\b"
+    r"|std::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
+)
+
+DETERMINISM_RE = re.compile(
+    r"std::rand\b|\bsrand\s*\(|\brandom_device\b"
+)
+
+MIX_BYTES_RE = re.compile(
+    r"Mix\w*\(\s*([A-Za-z_][\w.\->()\[\]]*?)\.data\(\)\s*,\s*"
+    r"\1\.size\(\)\s*\)"
+)
+MIX_LENGTH_RE = re.compile(r"Mix\w*\(\s*&\w+\s*,\s*sizeof\b")
+LENGTH_PREFIX_WINDOW = 4  # lines preceding the bytes-mix to search
+
+SLEEP_RE = re.compile(r"\bsleep_for\s*\(")
+
+
+def split_comment(line):
+    """Return (code, comment) halves of a line, splitting at '//'."""
+    idx = line.find("//")
+    if idx < 0:
+        return line, ""
+    return line[:idx], line[idx:]
+
+
+def lint_raw_mutex(path, lines):
+    violations = []
+    for i, line in enumerate(lines, 1):
+        code, comment = split_comment(line)
+        if "raw-mutex-ok:" in comment:
+            continue
+        if RAW_MUTEX_RE.search(code):
+            violations.append(
+                (i, "raw-mutex",
+                 "raw standard-library mutex primitive; use the annotated "
+                 "wrappers from common/mutex.h"))
+    return violations
+
+
+def lint_determinism(path, lines):
+    violations = []
+    for i, line in enumerate(lines, 1):
+        code, comment = split_comment(line)
+        if "rand-ok:" in comment:
+            continue
+        if DETERMINISM_RE.search(code):
+            violations.append(
+                (i, "determinism",
+                 "unseeded randomness source; results must replay "
+                 "deterministically — take an explicit seed"))
+    return violations
+
+
+def lint_length_prefix(path, lines):
+    violations = []
+    for i, line in enumerate(lines, 1):
+        code, comment = split_comment(line)
+        if "len-ok:" in comment:
+            continue
+        if not MIX_BYTES_RE.search(code):
+            continue
+        window = lines[max(0, i - 1 - LENGTH_PREFIX_WINDOW):i - 1]
+        if any(MIX_LENGTH_RE.search(split_comment(w)[0]) for w in window):
+            continue
+        violations.append(
+            (i, "fingerprint-length-prefix",
+             "variable-length bytes mixed into a fingerprint without a "
+             "preceding length mix; mix the length first (or annotate "
+             "'len-ok: <reason>')"))
+    return violations
+
+
+def lint_sleep(path, lines):
+    violations = []
+    for i, line in enumerate(lines, 1):
+        code, comment = split_comment(line)
+        if not SLEEP_RE.search(code):
+            continue
+        preceding = lines[max(0, i - 3):i - 1]
+        if "sleep-ok:" in comment or any("sleep-ok:" in p
+                                         for p in preceding):
+            continue
+        violations.append(
+            (i, "sleep-discipline",
+             "bare sleep_for in a concurrency fixture; synchronize with "
+             "gates/latches, or annotate 'sleep-ok: <reason>'"))
+    return violations
+
+
+# Each entry: (rule name, lint fn, path predicate).
+def _in_src(rel):
+    return rel.startswith("src/")
+
+
+def _in_src_not_mutex(rel):
+    return rel.startswith("src/") and rel != "src/common/mutex.h"
+
+
+def _in_concurrency_tests(rel):
+    return (rel.startswith("tests/serving/")
+            or rel == "tests/common/thread_pool_test.cc")
+
+
+RULES = [
+    ("raw-mutex", lint_raw_mutex, _in_src_not_mutex),
+    ("determinism", lint_determinism, _in_src),
+    ("fingerprint-length-prefix", lint_length_prefix, _in_src),
+    ("sleep-discipline", lint_sleep, _in_concurrency_tests),
+]
+
+
+def lint_file(rel, lines):
+    violations = []
+    for _, fn, applies in RULES:
+        if applies(rel):
+            violations.extend((rel, n, rule, msg)
+                              for n, rule, msg in fn(rel, lines))
+    return violations
+
+
+def lint_tree(root):
+    violations = []
+    for top in ("src", "tests"):
+        for dirpath, _, filenames in os.walk(os.path.join(root, top)):
+            for name in sorted(filenames):
+                if not name.endswith((".h", ".cc")):
+                    continue
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, root).replace(os.sep, "/")
+                with open(full, encoding="utf-8") as f:
+                    lines = f.read().splitlines()
+                violations.extend(lint_file(rel, lines))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Self-test: every rule must fire on its bad snippet and stay quiet on
+# the good one.
+# ---------------------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (rule, fake path, snippet, expected violation count)
+    ("raw-mutex", "src/serving/bad.cc",
+     "std::mutex mu;\n"
+     "std::lock_guard<std::mutex> g(mu);\n", 2),
+    ("raw-mutex", "src/serving/bad_include.cc",
+     "#include <condition_variable>\n", 1),
+    ("raw-mutex", "src/serving/good.cc",
+     "Mutex mu;\nMutexLock lock(mu);\n", 0),
+    ("raw-mutex", "src/common/mutex.h",  # the one exempted file
+     "std::mutex raw_;\n", 0),
+    ("raw-mutex", "src/serving/suppressed.cc",
+     "std::mutex mu;  // raw-mutex-ok: interop with external API\n", 0),
+
+    ("determinism", "src/repair/bad.cc",
+     "int x = std::rand();\n"
+     "std::random_device rd;\n", 2),
+    ("determinism", "src/repair/good.cc",
+     "std::mt19937_64 rng(options.seed);\n", 0),
+
+    ("fingerprint-length-prefix", "src/table/bad.cc",
+     "void F(Hasher* h, const std::string& s) {\n"
+     "  h->Mix(s.data(), s.size());\n"
+     "}\n", 1),
+    ("fingerprint-length-prefix", "src/table/good.cc",
+     "void F(Hasher* h, const std::string& s) {\n"
+     "  const std::uint64_t length = s.size();\n"
+     "  h->Mix(&length, sizeof(length));\n"
+     "  h->Mix(s.data(), s.size());\n"
+     "}\n", 0),
+    ("fingerprint-length-prefix", "src/table/far.cc",
+     "void F(Hasher* h, const std::string& s) {\n"
+     "  const std::uint64_t length = s.size();\n"
+     "  h->Mix(&length, sizeof(length));\n"
+     "  int a;\n  int b;\n  int c;\n  int d;\n"
+     "  h->Mix(s.data(), s.size());\n"
+     "}\n", 1),  # length mix outside the window no longer counts
+
+    ("sleep-discipline", "tests/serving/bad_test.cc",
+     "std::this_thread::sleep_for(std::chrono::milliseconds(50));\n", 1),
+    ("sleep-discipline", "tests/serving/good_test.cc",
+     "// sleep-ok: simulates a slow algorithm, not a sync point\n"
+     "std::this_thread::sleep_for(pad_);\n", 0),
+    ("sleep-discipline", "tests/table/elsewhere_test.cc",
+     "std::this_thread::sleep_for(std::chrono::milliseconds(1));\n", 0),
+]
+
+
+def self_test():
+    failures = []
+    for rule, path, snippet, expected in SELF_TEST_CASES:
+        got = [v for v in lint_file(path, snippet.splitlines())
+               if v[2] == rule]
+        if len(got) != expected:
+            failures.append(
+                f"{rule} on {path}: expected {expected} violation(s), "
+                f"got {len(got)}: {got}")
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"self-test: {len(SELF_TEST_CASES)} cases passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded rule self-test and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    violations = lint_tree(root)
+    for rel, line, rule, msg in violations:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    if violations:
+        print(f"{len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
