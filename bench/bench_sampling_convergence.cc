@@ -10,9 +10,20 @@
 //       enumeration feasible as ground truth) under the null policy;
 //   (3) the black-box call budget per m.
 
+//   (4) the anytime path: confidence-bounded early stopping on the
+//       wave-synchronous parallel driver — anytime(8 threads) must reach
+//       the target CI in less wall-clock than both serial early-stop and
+//       the fixed-budget parallel run, with estimates bit-identical
+//       across thread counts (same stopping wave). Emits "JSON " rows
+//       for the CI smoke; `--anytime_only` runs just this scenario.
+
+#include <bit>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -130,13 +141,142 @@ void SingleCellLoop(const repair::RuleRepair& alg) {
   bench::Verdict(true, "Example 2.5 loop runs (2 black-box calls/sample)");
 }
 
+/// Latency-padded synthetic game for the anytime scenario: every
+/// characteristic-function call sleeps a fixed pad — modelling the
+/// black-box repair cost — so wave parallelism shows up as wall-clock
+/// even on a single-core host (sleeps overlap; compute would not). The
+/// value mixes per-player weights with a mask-keyed pseudo-noise term,
+/// giving every player's marginals real variance to bound.
+class PaddedNoisyGame : public shap::Game {
+ public:
+  PaddedNoisyGame(std::size_t n, std::chrono::microseconds pad)
+      : n_(n), pad_(pad) {}
+  std::size_t num_players() const override { return n_; }
+  double Value(const shap::Coalition& coalition) const override {
+    // sleep-ok: models repair-call latency; the bench times it on purpose.
+    if (pad_.count() > 0) std::this_thread::sleep_for(pad_);
+    std::uint64_t mask = 0;
+    double v = 0.0;
+    for (std::size_t i = 0; i < coalition.size(); ++i) {
+      if (coalition[i]) {
+        mask |= std::uint64_t{1} << i;
+        v += 0.1 * static_cast<double>(i + 1);
+      }
+    }
+    // Deterministic mask-keyed noise: marginals jump by ±0.5 depending
+    // on the coalition, so every player needs real samples to converge.
+    std::uint64_t h = mask * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    if (h & 1) v += 0.5;
+    return v;
+  }
+
+ private:
+  std::size_t n_;
+  std::chrono::microseconds pad_;
+};
+
+/// Order-sensitive digest of the estimate vector's exact bit patterns —
+/// equal checksums mean bit-identical values, errors, and counts.
+std::uint64_t EstimateChecksum(const std::vector<shap::Estimate>& estimates) {
+  std::uint64_t h = 0x243f6a8885a308d3ULL;
+  auto fold = [&h](std::uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  for (const shap::Estimate& e : estimates) {
+    fold(std::bit_cast<std::uint64_t>(e.value));
+    fold(std::bit_cast<std::uint64_t>(e.std_error));
+    fold(e.num_samples);
+  }
+  return h;
+}
+
+void AnytimeScenario() {
+  bench::Header("(4) anytime: parallel confidence-bounded early stopping");
+  constexpr std::size_t kPlayers = 6;
+  constexpr std::size_t kBudget = 1024;
+  constexpr double kTarget = 0.07;
+  constexpr std::chrono::microseconds kPad(200);
+
+  shap::SamplingOptions base;
+  base.num_samples = kBudget;
+  base.seed = 77;
+  base.shard_size = 32;
+  base.check_interval = 256;  // 8 shards per wave
+  base.stop.target_half_width = kTarget;
+
+  struct Row {
+    const char* mode;
+    std::size_t threads;
+    bool anytime;
+  };
+  const Row rows[] = {
+      {"serial_earlystop", 1, true},
+      {"fixed_parallel", 8, false},
+      {"anytime_parallel", 8, true},
+  };
+
+  std::printf("%18s %8s %8s %10s %16s %18s\n", "mode", "threads", "sweeps",
+              "wall_s", "achieved_hw", "checksum");
+  double wall[3] = {0, 0, 0};
+  shap::SweepOutcome outcomes[3];
+  std::uint64_t checksums[3] = {0, 0, 0};
+  for (int r = 0; r < 3; ++r) {
+    const PaddedNoisyGame game(kPlayers, kPad);
+    shap::SamplingOptions options = base;
+    options.num_threads = rows[r].threads;
+    if (!rows[r].anytime) options.stop = shap::StopRule{};  // fixed budget
+    std::vector<shap::Estimate> estimates;
+    wall[r] = bench::TimeSeconds([&] {
+      auto result =
+          shap::EstimateShapleyAllPlayers(game, options, &outcomes[r]);
+      if (!result.ok()) std::exit(1);
+      estimates = std::move(result).value();
+    });
+    checksums[r] = EstimateChecksum(estimates);
+    std::printf("%18s %8zu %8zu %10.3f %16.5f %18llx\n", rows[r].mode,
+                rows[r].threads, outcomes[r].sweeps, wall[r],
+                outcomes[r].achieved_half_width,
+                static_cast<unsigned long long>(checksums[r]));
+    std::printf(
+        "JSON {\"bench\":\"sampling\",\"scenario\":\"anytime\","
+        "\"mode\":\"%s\",\"threads\":%zu,\"sweeps\":%zu,\"budget\":%zu,"
+        "\"wall_seconds\":%.4f,\"achieved_half_width\":%.6f,"
+        "\"target_half_width\":%.6f,\"early_stopped\":%s,"
+        "\"checksum\":\"%016llx\"}\n",
+        rows[r].mode, rows[r].threads, outcomes[r].sweeps, kBudget, wall[r],
+        outcomes[r].achieved_half_width, rows[r].anytime ? kTarget : 0.0,
+        outcomes[r].stopped_early ? "true" : "false",
+        static_cast<unsigned long long>(checksums[r]));
+  }
+
+  bench::Verdict(outcomes[0].stopped_early && outcomes[0].sweeps < kBudget,
+                 "the stopping rule fires before the fixed budget");
+  bench::Verdict(outcomes[0].achieved_half_width <= kTarget &&
+                     outcomes[2].achieved_half_width <= kTarget,
+                 "achieved CI half-width meets the requested target");
+  bench::Verdict(outcomes[0].sweeps == outcomes[2].sweeps &&
+                     checksums[0] == checksums[2],
+                 "anytime(8 threads) is bit-identical to serial early-stop "
+                 "(same stopping wave, same estimates)");
+  bench::Verdict(wall[2] < wall[0],
+                 "anytime(8 threads) beats serial early-stop on wall-clock");
+  bench::Verdict(wall[2] < wall[1],
+                 "anytime(8 threads) beats the fixed-budget parallel run");
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool anytime_only =
+      argc > 1 && std::strcmp(argv[1], "--anytime_only") == 0;
   bench::Header("Example 2.5 / §2.3: sampling estimator convergence");
-  auto alg = data::MakeAlgorithm1();
-  ConstraintGameConvergence(*alg);
-  CellGameConvergence(*alg);
-  SingleCellLoop(*alg);
+  if (!anytime_only) {
+    auto alg = data::MakeAlgorithm1();
+    ConstraintGameConvergence(*alg);
+    CellGameConvergence(*alg);
+    SingleCellLoop(*alg);
+  }
+  AnytimeScenario();
   return 0;
 }

@@ -477,6 +477,88 @@ void RunSyntheticWorldScenario() {
                  "the service explains injected errors in every stream");
 }
 
+/// Scheduler scenario 4 — deadline degradation: the same
+/// deadline-expired sampled job submitted twice, once under the legacy
+/// hard-deadline contract (resolves `Cancelled`, zero answer) and once
+/// with `degrade_on_deadline` (the expiry fires the soften token, the
+/// sweep finishes its current wave, and the ticket resolves OK with
+/// partial confidence-bounded estimates). The JSON row records both
+/// outcomes plus the partial run's sweep count and achieved CI width.
+void RunDeadlineDegradationScenario() {
+  bench::Header("deadline expiry: hard cancel vs confidence-bounded degrade");
+  const dc::DcSet dcs = data::SoccerConstraints();
+  const auto algorithm = data::MakeAlgorithm1();
+  const auto table = std::make_shared<const Table>(data::SoccerDirtyTable());
+
+  // A sampled request whose anytime target is unreachable: only the
+  // deadline can end it before the (large) budget.
+  ExplainRequest request = SampledCellsRequest(/*num_samples=*/4096,
+                                               /*seed=*/17);
+  AnytimeOptions anytime;
+  anytime.target_ci_half_width = 1e-9;
+  anytime.check_interval = 32;
+  request.anytime = anytime;
+
+  serving::RequestOptions expired;
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+
+  // Legacy contract: expiry cancels; the user gets nothing.
+  bool hard_cancelled = false;
+  {
+    serving::ExplainService service;
+    auto result =
+        service.Submit(algorithm, dcs, table, request, expired).Wait();
+    hard_cancelled = !result.ok() && result.status().IsCancelled();
+  }
+
+  // Degraded contract: same job, same expired deadline, but the expiry
+  // softens — partial estimates with honest error bars come back OK.
+  bool degraded_ok = false;
+  bool approximate = false;
+  std::size_t sweeps = 0;
+  double achieved = 0.0;
+  std::size_t degraded_count = 0;
+  {
+    serving::ExplainService service;
+    serving::RequestOptions degrade = expired;
+    degrade.degrade_on_deadline = true;
+    auto result =
+        service.Submit(algorithm, dcs, table, request, degrade).Wait();
+    degraded_ok = result.ok();
+    if (result.ok()) {
+      approximate = result->approximate;
+      sweeps = result->sweeps;
+      achieved = result->achieved_ci_half_width.value_or(0.0);
+    }
+    degraded_count = service.stats().degraded;
+  }
+
+  std::printf(
+      "expired deadline, 4096-sweep budget\n"
+      "hard deadline:     %s\n"
+      "degrade_on_deadline: OK=%s approximate=%s, %zu sweeps kept, "
+      "achieved CI half-width %.4f\n",
+      hard_cancelled ? "Cancelled (work discarded)" : "UNEXPECTED",
+      degraded_ok ? "yes" : "no", approximate ? "yes" : "no", sweeps,
+      achieved);
+  std::printf(
+      "JSON {\"bench\":\"serving\",\"scenario\":\"deadline_degradation\","
+      "\"hard_cancelled\":%s,\"degraded_ok\":%s,\"approximate\":%s,"
+      "\"sweeps\":%zu,\"budget\":4096,\"achieved_half_width\":%.6f,"
+      "\"degraded_count\":%zu}\n",
+      hard_cancelled ? "true" : "false", degraded_ok ? "true" : "false",
+      approximate ? "true" : "false", sweeps, achieved, degraded_count);
+  bench::Verdict(hard_cancelled,
+                 "without opt-in, an expired deadline still cancels");
+  bench::Verdict(degraded_ok && approximate && sweeps > 0 && sweeps < 4096,
+                 "degrade_on_deadline resolves OK with partial "
+                 "confidence-bounded estimates");
+  bench::Verdict(degraded_count == 1 && achieved > 0.0,
+                 "the degraded completion is counted and carries an "
+                 "achieved CI width");
+}
+
 }  // namespace
 }  // namespace trex
 
@@ -485,5 +567,6 @@ int main() {
   trex::RunCoalescingScenario();
   trex::RunSaturationScenario();
   trex::RunSyntheticWorldScenario();
+  trex::RunDeadlineDegradationScenario();
   return 0;
 }

@@ -211,16 +211,14 @@ Result<ExplainResult> Engine::Explain(const ExplainRequest& request) {
   result.target = request.target;
   switch (request.kind) {
     case ExplainKind::kConstraints: {
-      TREX_ASSIGN_OR_RETURN(
-          Explanation ex, ExplainConstraints(target_index, request.constraints,
-                                             request.cancel));
+      TREX_ASSIGN_OR_RETURN(Explanation ex,
+                            ExplainConstraints(target_index, request, &result));
       result.explanation = std::move(ex);
       break;
     }
     case ExplainKind::kCells: {
-      TREX_ASSIGN_OR_RETURN(
-          Explanation ex,
-          ExplainCells(target_index, request.cells, request.cancel));
+      TREX_ASSIGN_OR_RETURN(Explanation ex,
+                            ExplainCells(target_index, request, &result));
       result.explanation = std::move(ex);
       break;
     }
@@ -239,10 +237,8 @@ Result<ExplainResult> Engine::Explain(const ExplainRequest& request) {
       break;
     }
     case ExplainKind::kSingleCell: {
-      TREX_ASSIGN_OR_RETURN(
-          PlayerScore score,
-          ExplainSingleCell(target_index, *request.single_cell,
-                            request.cells, request.cancel));
+      TREX_ASSIGN_OR_RETURN(PlayerScore score,
+                            ExplainSingleCell(target_index, request, &result));
       result.single_cell = std::move(score);
       break;
     }
@@ -315,6 +311,17 @@ Result<BatchResult> Engine::ExplainBatch(
     if (!result.ok()) {
       ++batch.stats.failed_requests;
       if (result.status().IsCancelled()) ++batch.stats.cancelled_requests;
+    } else {
+      // Anytime accounting: sweeps actually spent and the worst achieved
+      // confidence width across the batch's sampled members.
+      batch.stats.sweeps += result->sweeps;
+      if (result->achieved_ci_half_width.has_value()) {
+        batch.stats.max_achieved_ci_half_width =
+            std::max(batch.stats.max_achieved_ci_half_width,
+                     *result->achieved_ci_half_width);
+      }
+      if (result->early_stopped) ++batch.stats.early_stopped_requests;
+      if (result->approximate) ++batch.stats.approximate_requests;
     }
     batch.results.push_back(std::move(result));
   }
@@ -330,9 +337,45 @@ Result<BatchResult> Engine::ExplainBatch(
 // The per-kind helpers assume `ValidateRequest` already screened the
 // request; they only enforce conditions that need the reference repair.
 
-Result<Explanation> Engine::ExplainConstraints(
-    std::size_t target_index, const ConstraintExplainerOptions& options,
-    const CancelToken& cancel) {
+const AnytimeOptions& Engine::EffectiveAnytime(
+    const ExplainRequest& request) const {
+  return request.anytime.has_value() ? *request.anytime : options_.anytime;
+}
+
+shap::StopRule Engine::EffectiveStopRule(const ExplainRequest& request) const {
+  const AnytimeOptions& any = EffectiveAnytime(request);
+  shap::StopRule stop;
+  if (any.enabled()) {
+    stop.target_half_width = any.target_ci_half_width;
+    stop.bound = any.bound;
+    stop.z = any.z;
+    stop.delta = any.delta;
+    stop.min_samples = any.min_samples;
+    stop.freeze_converged = any.freeze_converged;
+  }
+  return stop;
+}
+
+namespace {
+
+/// Copies a sweep outcome's anytime telemetry onto the request's result.
+void RecordOutcome(const shap::SweepOutcome& outcome, ExplainResult* result) {
+  if (result == nullptr) return;
+  result->sweeps = outcome.sweeps;
+  if (outcome.waves > 0) {
+    result->achieved_ci_half_width = outcome.achieved_half_width;
+  }
+  result->early_stopped = outcome.stopped_early;
+  result->approximate = outcome.softened;
+}
+
+}  // namespace
+
+Result<Explanation> Engine::ExplainConstraints(std::size_t target_index,
+                                               const ExplainRequest& request,
+                                               ExplainResult* result) {
+  const ConstraintExplainerOptions& options = request.constraints;
+  const CancelToken& cancel = request.cancel;
   TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
 
   ConstraintGame game(&*box_, target_index);
@@ -378,8 +421,22 @@ Result<Explanation> Engine::ExplainConstraints(
       sampling.num_threads = options_.num_threads;
       sampling.pool = SweepPool();
     }
-    TREX_ASSIGN_OR_RETURN(std::vector<shap::Estimate> estimates,
-                          shap::EstimateShapleyAllPlayers(game, sampling));
+    // Anytime stopping: the request-level rule applies unless the
+    // caller's sampling options carry their own; the soften token is
+    // merged either way so deadline degradation reaches every path.
+    const AnytimeOptions& anytime = EffectiveAnytime(request);
+    if (!sampling.stop.active() && anytime.enabled()) {
+      sampling.stop = EffectiveStopRule(request);
+      sampling.check_interval = anytime.check_interval;
+      if (anytime.max_sweeps > 0) sampling.num_samples = anytime.max_sweeps;
+    }
+    sampling.stop.soften =
+        CancelToken::AnyOf(sampling.stop.soften, request.soften);
+    shap::SweepOutcome outcome;
+    TREX_ASSIGN_OR_RETURN(
+        std::vector<shap::Estimate> estimates,
+        shap::EstimateShapleyAllPlayers(game, sampling, &outcome));
+    RecordOutcome(outcome, result);
     for (std::size_t i = 0; i < dcs_.size(); ++i) {
       PlayerScore score;
       score.label = dcs_.at(i).name();
@@ -460,8 +517,10 @@ Result<std::vector<CellRef>> Engine::PlayerCells(
 }
 
 Result<Explanation> Engine::ExplainCells(std::size_t target_index,
-                                         const CellExplainerOptions& options,
-                                         const CancelToken& cancel) {
+                                         const ExplainRequest& request,
+                                         ExplainResult* result) {
+  const CellExplainerOptions& options = request.cells;
+  const CancelToken& cancel = request.cancel;
   TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
   const CellRef target = box_->target(target_index);
   TREX_ASSIGN_OR_RETURN(std::vector<CellRef> players,
@@ -523,7 +582,8 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
       return column.Sample(rng);
     };
 
-    auto one_sweep = [&](Rng* rng, std::vector<shap::RunningStat>* running) {
+    auto one_sweep = [&](Rng* rng, std::vector<shap::RunningStat>* running,
+                         const std::vector<bool>& frozen) {
       const std::vector<std::size_t> perm = rng->Permutation(players.size());
       // Baseline: every player absent (replaced); non-players untouched.
       // The working table is a *write set* over the dirty table —
@@ -532,7 +592,11 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
       // delta out of the running fingerprint, so each evaluation costs
       // O(1) hashing and the perturbed table is never materialized on
       // the memo hit path. Replacement draws stay in the exact order of
-      // the materialized loop, so estimates are bit-identical.
+      // the materialized loop, so estimates are bit-identical. Frozen
+      // players still have their writes removed in permutation order
+      // (other players' coalitions are undisturbed) but skip both of
+      // their evaluations; the preceding state is re-evaluated lazily
+      // when the next unfrozen player needs it.
       std::vector<CellWrite> writes;
       std::vector<FingerprintDelta> deltas;  // parallel to `writes`
       writes.reserve(players.size());
@@ -553,14 +617,20 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
         slot_of[i] = i;
         player_at[i] = i;
       }
-      double prev =
-          box_->EvalPerturbation(writes, fp64, fp128, target_index) ? 1.0
-                                                                    : 0.0;
+      double prev = 0.0;
+      bool have_prev = false;
       for (std::size_t pos = 0; pos < perm.size(); ++pos) {
         const std::size_t player = perm[pos];
         const std::size_t slot = slot_of[player];
         const std::size_t last = writes.size() - 1;
         const std::size_t moved = player_at[last];
+        if (!frozen[player] && !have_prev) {
+          // State before this player's restoration (the all-absent
+          // baseline on the first unfrozen player).
+          prev = box_->EvalPerturbation(writes, fp64, fp128, target_index)
+                     ? 1.0
+                     : 0.0;
+        }
         fp64 ^= deltas[slot].fp64;  // deltas are self-inverse
         fp128 ^= deltas[slot].fp128;
         std::swap(writes[slot], writes[last]);
@@ -569,31 +639,49 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
         deltas.pop_back();
         slot_of[moved] = slot;
         player_at[slot] = moved;
+        if (frozen[player]) {
+          have_prev = false;
+          continue;
+        }
         const double curr =
             box_->EvalPerturbation(writes, fp64, fp128, target_index)
                 ? 1.0
                 : 0.0;
         (*running)[player].Add(curr - prev);
         prev = curr;
+        have_prev = true;
       }
     };
 
+    const AnytimeOptions& anytime = EffectiveAnytime(request);
     shap::ShardedSweepConfig config;
     config.num_samples = options.num_samples;
     config.shard_size = kCellShardSize;
     config.num_threads = options_.num_threads;
     config.seed = options.seed;
-    config.target_std_error = options.target_std_error;
+    if (anytime.enabled()) {
+      config.stop = EffectiveStopRule(request);
+      config.check_interval = anytime.check_interval;
+      if (anytime.max_sweeps > 0) config.num_samples = anytime.max_sweeps;
+    } else if (options.target_std_error.has_value()) {
+      // Legacy shorthand: equivalent normal-theory rule (z·se ≤ z·target
+      // ⇔ se ≤ target), checked every shard like before.
+      config.stop.target_half_width =
+          config.stop.z * *options.target_std_error;
+    }
+    config.stop.soften =
+        CancelToken::AnyOf(config.stop.soften, request.soften);
     config.pool = SweepPool();
     config.cancel = cancel;
-    const std::vector<shap::RunningStat> running =
+    shap::SweepOutcome outcome =
         shap::RunShardedSweeps(config, players.size(), one_sweep);
     if (cancel.cancelled()) {
       return Status::Cancelled("cell explanation cancelled mid-sweep");
     }
+    RecordOutcome(outcome, result);
 
     for (std::size_t i = 0; i < players.size(); ++i) {
-      const shap::Estimate estimate = running[i].ToEstimate();
+      const shap::Estimate estimate = outcome.stats[i].ToEstimate();
       PlayerScore score;
       score.cell = players[i];
       score.label = players[i].ToString(dirty_->schema());
@@ -615,7 +703,7 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
 
 Result<Explanation> Engine::ExplainTopKCells(
     CellRef target, std::size_t k, const CellExplainerOptions& options,
-    CancelToken cancel) {
+    CancelToken cancel, CancelToken soften) {
   if (options.policy != AbsentCellPolicy::kNull) {
     return Status::InvalidArgument(
         "ExplainTopK requires AbsentCellPolicy::kNull (the adaptive "
@@ -642,7 +730,17 @@ Result<Explanation> Engine::ExplainTopKCells(
   topk.k = k;
   topk.max_samples = options.num_samples;
   topk.seed = options.seed;
+  // Refinement rounds fan out over the engine's persistent pool; the
+  // separation test runs at round boundaries on deterministically
+  // merged statistics, so the ranking is thread-count independent.
+  topk.num_threads = options_.num_threads;
+  topk.pool = SweepPool();
+  if (options_.anytime.enabled()) {
+    topk.bound = options_.anytime.bound;
+    topk.z = options_.anytime.z;
+  }
   topk.cancel = std::move(cancel);
+  topk.soften = std::move(soften);
   TREX_ASSIGN_OR_RETURN(shap::TopKResult result,
                         shap::EstimateTopKPlayers(game, topk));
 
@@ -658,16 +756,20 @@ Result<Explanation> Engine::ExplainTopKCells(
     score.num_samples = estimate.num_samples;
     ex.ranked.push_back(std::move(score));
   }
-  ex.method = StrFormat("topk(k=%zu, sweeps=%zu, separated=%s)", k,
-                        result.sweeps, result.separated ? "yes" : "no");
+  ex.method = StrFormat("topk(k=%zu, sweeps=%zu, separated=%s%s)", k,
+                        result.sweeps, result.separated ? "yes" : "no",
+                        result.softened ? ", softened" : "");
   ex.algorithm_calls = num_algorithm_calls() - calls_before;
   ex.cache_hits = num_cache_hits() - hits_before;
   return ex;
 }
 
-Result<PlayerScore> Engine::ExplainSingleCell(
-    std::size_t target_index, CellRef player_cell,
-    const CellExplainerOptions& options, const CancelToken& cancel) {
+Result<PlayerScore> Engine::ExplainSingleCell(std::size_t target_index,
+                                              const ExplainRequest& request,
+                                              ExplainResult* result) {
+  const CellExplainerOptions& options = request.cells;
+  const CancelToken& cancel = request.cancel;
+  const CellRef player_cell = *request.single_cell;
   TREX_RETURN_NOT_OK(RequireRepairedTarget(target_index));
   const CellRef target = box_->target(target_index);
 
@@ -699,11 +801,24 @@ Result<PlayerScore> Engine::ExplainSingleCell(
   // interest — so neither instance is materialized on the memo hit path.
   // Replacement draws keep the original order, so estimates are
   // bit-identical to the materialized loop.
+  const AnytimeOptions& anytime = EffectiveAnytime(request);
+  const shap::StopRule stop = EffectiveStopRule(request);
+  std::size_t budget = options.num_samples;
+  if (anytime.enabled() && anytime.max_sweeps > 0) budget = anytime.max_sweeps;
+  const std::size_t check_interval =
+      std::max<std::size_t>(1, anytime.check_interval);
+  bool early_stopped = false;
+  bool approximate = false;
   shap::RunningStat stat;
   std::vector<CellWrite> writes;
-  for (std::size_t sample = 0; sample < options.num_samples; ++sample) {
+  for (std::size_t sample = 0; sample < budget; ++sample) {
     if (cancel.cancelled()) {
       return Status::Cancelled("single-cell estimation cancelled");
+    }
+    if (request.soften.cancelled()) {
+      // Deadline degradation: keep what we have, flag it approximate.
+      approximate = stat.count() > 0;
+      if (approximate) break;
     }
     const std::vector<std::size_t> perm = rng.Permutation(players.size());
     writes.clear();
@@ -735,8 +850,23 @@ Result<PlayerScore> Engine::ExplainSingleCell(
         box_->EvalPerturbation(writes, fp64, fp128, target_index) ? 1.0
                                                                   : 0.0;
     stat.Add(v_with - v_without);
+    if (stop.target_half_width.has_value() &&
+        (sample + 1) % check_interval == 0 &&
+        stat.count() >= std::max<std::size_t>(stop.min_samples, 2) &&
+        shap::CiHalfWidth(stat, stop) <= *stop.target_half_width) {
+      early_stopped = sample + 1 < budget;
+      break;
+    }
   }
 
+  if (result != nullptr) {
+    result->sweeps = stat.count();
+    if (stat.count() >= 2) {
+      result->achieved_ci_half_width = shap::CiHalfWidth(stat, stop);
+    }
+    result->early_stopped = early_stopped;
+    result->approximate = approximate;
+  }
   const shap::Estimate estimate = stat.ToEstimate();
   PlayerScore score;
   score.cell = player_cell;

@@ -113,6 +113,43 @@ enum class ExplainKind {
 
 const char* ExplainKindToString(ExplainKind kind);
 
+/// Anytime estimation: confidence-bounded early stopping for the
+/// engine's sampled paths (kCells / kConstraints sweeps, kSingleCell).
+/// When enabled, a sampled request stops at the first wave boundary
+/// where every player's confidence half-width meets the target — the
+/// per-kind `num_samples` becomes an upper bound, not a fixed spend —
+/// and reports the sweeps consumed plus the achieved width on the
+/// result. Stopping decisions are made on deterministically merged
+/// statistics at shard-index-defined wave boundaries (see
+/// shap::RunShardedSweeps), so estimates and the stopping point stay
+/// bit-identical at every `EngineOptions::num_threads`.
+struct AnytimeOptions {
+  /// Stop once every player's CI half-width is at or below this value.
+  /// Unset = anytime stopping disabled (fixed budget).
+  std::optional<double> target_ci_half_width;
+  /// Bound family: normal-theory or empirical Bernstein.
+  shap::BoundKind bound = shap::BoundKind::kNormal;
+  /// Normal-theory width multiplier (kNormal only).
+  double z = 1.96;
+  /// Per-player failure probability (kBernstein only).
+  double delta = 0.05;
+  /// No player counts as converged below this many samples.
+  std::size_t min_samples = 16;
+  /// Skip converged players' repair evaluations in later sweeps.
+  bool freeze_converged = true;
+  /// Stopping-check granularity in sweeps, rounded up to whole shards:
+  /// a wave spans `ceil(check_interval / shard_size)` shards which run
+  /// concurrently, so this also sizes the parallelism available to an
+  /// anytime run. Part of the configuration — results depend on it,
+  /// never on the thread count.
+  std::size_t check_interval = 256;
+  /// Sweep budget override for sampled paths; 0 = keep the per-kind
+  /// `num_samples` budget.
+  std::size_t max_sweeps = 0;
+
+  bool enabled() const { return target_ci_half_width.has_value(); }
+};
+
 /// One explanation query: a target cell, the kind of explanation, and
 /// the options for that kind (unused option groups are ignored).
 struct ExplainRequest {
@@ -129,6 +166,15 @@ struct ExplainRequest {
   /// Required for that kind — an unset value is an error, never a
   /// silent default cell.
   std::optional<CellRef> single_cell;
+  /// Anytime estimation override for this request; unset = the engine's
+  /// `EngineOptions::anytime` default applies.
+  std::optional<AnytimeOptions> anytime;
+  /// Soft stop (see shap::StopRule::soften): once fired, a sampled path
+  /// finishes its current wave and returns the partial
+  /// confidence-bounded estimates with `ExplainResult::approximate` set
+  /// — instead of discarding work like `cancel`. The serving layer arms
+  /// this from expiring deadlines to degrade gracefully.
+  CancelToken soften;
   /// Cooperative cancellation: polled between black-box evaluations in
   /// the sweep and subset-enumeration loops, so an in-flight request
   /// stops within one repair call of cancellation and returns
@@ -155,6 +201,17 @@ struct ExplainResult {
   std::size_t cache_hits = 0;
   /// ...of which hits on entries another request paid for.
   std::size_t cross_request_hits = 0;
+  /// Permutation sweeps consumed by a sampled path (0 for exact paths).
+  std::size_t sweeps = 0;
+  /// Largest per-player confidence half-width when a sampled run ended,
+  /// under the effective bound family; unset for exact paths.
+  std::optional<double> achieved_ci_half_width;
+  /// A stopping rule ended the sampled run before its sweep budget.
+  bool early_stopped = false;
+  /// The request's soften token fired: the estimates are partial but
+  /// valid and confidence-bounded (`achieved_ci_half_width` reports how
+  /// wide). Never set on exact paths, which either finish or cancel.
+  bool approximate = false;
 };
 
 /// Aggregate cost accounting for one `ExplainBatch` call.
@@ -179,6 +236,15 @@ struct BatchStats {
   /// batch (`BlackBoxRepair::approx_memo_bytes`) — the number
   /// `EngineOptions::seal_targets` compacts.
   std::size_t approx_memo_bytes = 0;
+  /// Permutation sweeps consumed across the batch's sampled requests.
+  std::size_t sweeps = 0;
+  /// Largest `ExplainResult::achieved_ci_half_width` in the batch (0
+  /// when no sampled request ran).
+  double max_achieved_ci_half_width = 0.0;
+  /// Requests whose stopping rule fired before the sweep budget.
+  std::size_t early_stopped_requests = 0;
+  /// Requests resolved with partial (softened) estimates.
+  std::size_t approximate_requests = 0;
 };
 
 /// The results of a batch, slot-for-slot with the request vector.
@@ -218,6 +284,9 @@ struct EngineOptions {
   /// entries are verified by 128-bit fingerprint, the same trust model
   /// as `use_strong_table_hash`. Default off.
   bool seal_targets = false;
+  /// Engine-wide anytime estimation default for sampled paths; each
+  /// request can override it via `ExplainRequest::anytime`.
+  AnytimeOptions anytime;
 };
 
 /// Unified multi-target explanation engine (see file comment).
@@ -275,11 +344,17 @@ class Engine {
   Result<BatchResult> ExplainBatch(const std::vector<ExplainRequest>& requests,
                                    CancelToken cancel = {});
 
-  /// Adaptive top-k cell ranking (see CellExplainer::ExplainTopK); not a
-  /// request kind because its adaptive driver is inherently sequential.
+  /// Adaptive top-k cell ranking (see CellExplainer::ExplainTopK). The
+  /// refinement rounds run on the engine's persistent pool — a round's
+  /// sweeps execute concurrently and the separation test is evaluated at
+  /// round boundaries on deterministically merged statistics, so the
+  /// ranking is bit-identical at every thread count. `soften` degrades
+  /// like `ExplainRequest::soften`: finish the current round and return
+  /// the partial ranking.
   Result<Explanation> ExplainTopKCells(CellRef target, std::size_t k,
                                        const CellExplainerOptions& options,
-                                       CancelToken cancel = {});
+                                       CancelToken cancel = {},
+                                       CancelToken soften = {});
 
   /// Lifetime totals across every request served by this engine.
   std::size_t num_algorithm_calls() const;
@@ -297,9 +372,19 @@ class Engine {
 
   Result<std::size_t> EnsureTarget(CellRef target);
 
-  Result<Explanation> ExplainConstraints(
-      std::size_t target_index, const ConstraintExplainerOptions& options,
-      const CancelToken& cancel);
+  /// The effective stopping rule for a request: its `anytime` override
+  /// (or the engine default) lowered onto a `shap::StopRule`, with the
+  /// request's soften token attached.
+  shap::StopRule EffectiveStopRule(const ExplainRequest& request) const;
+  /// The anytime options in effect for a request.
+  const AnytimeOptions& EffectiveAnytime(const ExplainRequest& request) const;
+
+  // The sampled per-kind helpers take the whole request (for anytime
+  // options and the soften token) and record sweep telemetry — sweeps,
+  // achieved CI width, early-stop/approximate flags — onto `result`.
+  Result<Explanation> ExplainConstraints(std::size_t target_index,
+                                         const ExplainRequest& request,
+                                         ExplainResult* result);
   Result<std::vector<InteractionScore>> ExplainInteractions(
       std::size_t target_index, const ConstraintExplainerOptions& options,
       const CancelToken& cancel);
@@ -307,12 +392,11 @@ class Engine {
       std::size_t target_index, const ConstraintExplainerOptions& options,
       std::size_t max_set_size, const CancelToken& cancel);
   Result<Explanation> ExplainCells(std::size_t target_index,
-                                   const CellExplainerOptions& options,
-                                   const CancelToken& cancel);
+                                   const ExplainRequest& request,
+                                   ExplainResult* result);
   Result<PlayerScore> ExplainSingleCell(std::size_t target_index,
-                                        CellRef player_cell,
-                                        const CellExplainerOptions& options,
-                                        const CancelToken& cancel);
+                                        const ExplainRequest& request,
+                                        ExplainResult* result);
 
   Result<std::vector<CellRef>> PlayerCells(const CellExplainerOptions& options,
                                            CellRef target) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "common/logging.h"
@@ -55,6 +56,18 @@ Estimate RunningStat::ToEstimate() const {
   return e;
 }
 
+double CiHalfWidth(const RunningStat& stat, const StopRule& rule) {
+  if (stat.count() < 2) return std::numeric_limits<double>::infinity();
+  if (rule.bound == BoundKind::kNormal) return rule.z * stat.std_error();
+  // Empirical Bernstein (Maurer & Pontil 2009): the variance term matches
+  // the CLT width asymptotically; the 3·R·ln(3/δ)/n term keeps the bound
+  // sound at small counts and for zero-variance players.
+  const double n = static_cast<double>(stat.count());
+  const double log_term = std::log(3.0 / rule.delta);
+  return std::sqrt(2.0 * stat.variance() * log_term / n) +
+         3.0 * rule.range * log_term / n;
+}
+
 namespace {
 
 /// One marginal-contribution sample of `player` for a given permutation:
@@ -75,12 +88,35 @@ double MarginalForPlayer(const Game& game,
   return with - without;
 }
 
-bool Converged(const std::vector<RunningStat>& stats, double target) {
-  for (const RunningStat& s : stats) {
-    if (s.count() < 16) return false;
-    if (s.std_error() > target) return false;
+/// The stopping rule in effect for `options`: the explicit `stop` when
+/// active, else the `target_std_error` shorthand lowered onto a
+/// normal-theory rule (z·std_error ≤ z·target ⇔ the legacy condition).
+StopRule EffectiveStop(const SamplingOptions& options) {
+  StopRule stop = options.stop;
+  if (!stop.active() && options.target_std_error.has_value()) {
+    stop.bound = BoundKind::kNormal;
+    stop.target_half_width = stop.z * *options.target_std_error;
   }
-  return true;
+  return stop;
+}
+
+/// A player's CI meets the rule's target width (never true below the
+/// rule's minimum sample count).
+bool PlayerConverged(const RunningStat& stat, const StopRule& stop) {
+  return stat.count() >= std::max<std::size_t>(stop.min_samples, 2) &&
+         CiHalfWidth(stat, stop) <= *stop.target_half_width;
+}
+
+/// Players sorted by estimated value, descending (stable, so ties keep
+/// index order — deterministic).
+std::vector<std::size_t> RankByMean(const std::vector<RunningStat>& stats) {
+  std::vector<std::size_t> order(stats.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&stats](std::size_t a, std::size_t b) {
+                     return stats[a].mean() > stats[b].mean();
+                   });
+  return order;
 }
 
 }  // namespace
@@ -97,9 +133,11 @@ Result<Estimate> EstimateShapleyForPlayer(const Game& game,
   if (options.num_samples == 0) {
     return Status::InvalidArgument("num_samples must be positive");
   }
+  const StopRule stop = EffectiveStop(options);
+  const std::size_t check_interval =
+      std::max<std::size_t>(1, options.check_interval);
   Rng rng(options.seed);
   RunningStat stat;
-  std::vector<RunningStat> stats_view(1);
   for (std::size_t i = 0; i < options.num_samples; ++i) {
     if (options.cancel.cancelled()) {
       return Status::Cancelled("Shapley sampling cancelled");
@@ -110,10 +148,11 @@ Result<Estimate> EstimateShapleyForPlayer(const Game& game,
       std::reverse(perm.begin(), perm.end());
       stat.Add(MarginalForPlayer(game, perm, player));
     }
-    if (options.target_std_error.has_value() &&
-        (i + 1) % options.check_interval == 0) {
-      stats_view[0] = stat;
-      if (Converged(stats_view, *options.target_std_error)) break;
+    if ((i + 1) % check_interval == 0) {
+      if (stop.soften.cancelled()) break;
+      if (stop.target_half_width.has_value() && PlayerConverged(stat, stop)) {
+        break;
+      }
     }
   }
   return stat.ToEstimate();
@@ -131,39 +170,104 @@ Result<Estimate> EstimateShapleyStratified(const Game& game,
   if (options.num_samples == 0) {
     return Status::InvalidArgument("num_samples must be positive");
   }
-  Rng rng(options.seed);
-  const std::size_t per_stratum =
-      std::max<std::size_t>(1, options.num_samples / n);
 
   // Others = all players but `player`; a stratum-s coalition is a
   // uniform size-s subset of them (partial Fisher-Yates prefix).
-  std::vector<std::size_t> others;
-  others.reserve(n - 1);
+  std::vector<std::size_t> base_others;
+  base_others.reserve(n - 1);
   for (std::size_t i = 0; i < n; ++i) {
-    if (i != player) others.push_back(i);
+    if (i != player) base_others.push_back(i);
   }
 
-  std::vector<RunningStat> strata(n);
-  Coalition coalition(n, false);
-  for (std::size_t s = 0; s < n; ++s) {  // coalition sizes 0..n-1
-    for (std::size_t sample = 0; sample < per_stratum; ++sample) {
-      if (options.cancel.cancelled()) {
-        return Status::Cancelled("stratified Shapley sampling cancelled");
+  // Per-stratum state: own RNG stream (ShardSeed-derived, persisted
+  // across the pilot and Neyman phases) and own shuffle buffer, so
+  // strata can be sampled concurrently with bit-identical results at
+  // every thread count.
+  struct Stratum {
+    Rng rng{0};
+    std::vector<std::size_t> others;
+    RunningStat stat;
+  };
+  std::vector<Stratum> strata(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    strata[s].rng = Rng(ShardSeed(options.seed, s));
+    strata[s].others = base_others;
+  }
+
+  auto run_phase = [&](const std::vector<std::size_t>& alloc) {
+    ThreadPool::RunSharded(
+        options.pool, options.num_threads, n, [&](std::size_t s) {
+          Stratum& st = strata[s];
+          Coalition coalition(n, false);
+          for (std::size_t sample = 0; sample < alloc[s]; ++sample) {
+            if (options.cancel.cancelled()) return;
+            // Uniform size-s subset of `others`.
+            for (std::size_t i = 0; i < s; ++i) {
+              const std::size_t j =
+                  i + static_cast<std::size_t>(
+                          st.rng.UniformUint64(st.others.size() - i));
+              std::swap(st.others[i], st.others[j]);
+            }
+            std::fill(coalition.begin(), coalition.end(), false);
+            for (std::size_t i = 0; i < s; ++i) coalition[st.others[i]] = true;
+            const double without = game.Value(coalition);
+            coalition[player] = true;
+            const double with = game.Value(coalition);
+            coalition[player] = false;
+            st.stat.Add(with - without);
+          }
+        });
+  };
+
+  // Pilot wave: half the budget, split evenly (at least one sample per
+  // stratum so every stratum mean is defined).
+  const std::size_t pilot =
+      std::max<std::size_t>(1, options.num_samples / (2 * n));
+  run_phase(std::vector<std::size_t>(n, pilot));
+  if (options.cancel.cancelled()) {
+    return Status::Cancelled("stratified Shapley sampling cancelled");
+  }
+
+  // Neyman allocation for the remainder: extra samples proportional to
+  // the observed per-stratum standard deviation (minimises the variance
+  // of the stratified mean for a fixed budget). Largest-remainder
+  // rounding with index tie-break keeps the split deterministic; when
+  // every stratum looked deterministic in the pilot, fall back to an
+  // even split.
+  const std::size_t spent = n * pilot;
+  if (options.num_samples > spent) {
+    std::size_t remaining = options.num_samples - spent;
+    std::vector<std::size_t> alloc(n, 0);
+    double total_sd = 0.0;
+    std::vector<double> sd(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s) {
+      sd[s] = std::sqrt(strata[s].stat.variance());
+      total_sd += sd[s];
+    }
+    if (total_sd <= 0.0) {
+      for (std::size_t s = 0; s < n; ++s) {
+        alloc[s] = remaining / n + (s < remaining % n ? 1 : 0);
       }
-      // Uniform size-s subset of `others`.
-      for (std::size_t i = 0; i < s; ++i) {
-        const std::size_t j =
-            i + static_cast<std::size_t>(rng.UniformUint64(
-                    others.size() - i));
-        std::swap(others[i], others[j]);
+    } else {
+      std::vector<std::pair<double, std::size_t>> frac;  // (-fraction, s)
+      frac.reserve(n);
+      std::size_t assigned = 0;
+      for (std::size_t s = 0; s < n; ++s) {
+        const double exact =
+            static_cast<double>(remaining) * sd[s] / total_sd;
+        alloc[s] = static_cast<std::size_t>(exact);
+        assigned += alloc[s];
+        frac.emplace_back(-(exact - std::floor(exact)), s);
       }
-      std::fill(coalition.begin(), coalition.end(), false);
-      for (std::size_t i = 0; i < s; ++i) coalition[others[i]] = true;
-      const double without = game.Value(coalition);
-      coalition[player] = true;
-      const double with = game.Value(coalition);
-      coalition[player] = false;
-      strata[s].Add(with - without);
+      std::sort(frac.begin(), frac.end());
+      for (std::size_t i = 0; assigned < remaining; ++i) {
+        ++alloc[frac[i % n].second];
+        ++assigned;
+      }
+    }
+    run_phase(alloc);
+    if (options.cancel.cancelled()) {
+      return Status::Cancelled("stratified Shapley sampling cancelled");
     }
   }
 
@@ -171,99 +275,38 @@ Result<Estimate> EstimateShapleyStratified(const Game& game,
   Estimate e;
   double variance = 0;
   std::size_t total = 0;
-  for (const RunningStat& stat : strata) {
-    e.value += stat.mean() / static_cast<double>(n);
-    if (stat.count() > 1) {
-      variance += stat.variance() /
-                  (static_cast<double>(stat.count()) *
+  for (const Stratum& st : strata) {
+    e.value += st.stat.mean() / static_cast<double>(n);
+    if (st.stat.count() > 1) {
+      variance += st.stat.variance() /
+                  (static_cast<double>(st.stat.count()) *
                    static_cast<double>(n) * static_cast<double>(n));
     }
-    total += stat.count();
+    total += st.stat.count();
   }
   e.std_error = std::sqrt(variance);
   e.num_samples = total;
   return e;
 }
 
-Result<TopKResult> EstimateTopKPlayers(const Game& game,
-                                       const TopKOptions& options) {
-  const std::size_t n = game.num_players();
-  if (n == 0) return TopKResult{};
-  if (options.k == 0) {
-    return Status::InvalidArgument("k must be positive");
-  }
-  if (options.batch == 0 || options.max_samples == 0) {
-    return Status::InvalidArgument("batch and max_samples must be positive");
-  }
-
-  Rng rng(options.seed);
-  std::vector<RunningStat> stats(n);
-  TopKResult result;
-
-  auto current_ranking = [&] {
-    std::vector<std::size_t> order(n);
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::stable_sort(order.begin(), order.end(),
-                     [&stats](std::size_t a, std::size_t b) {
-                       return stats[a].mean() > stats[b].mean();
-                     });
-    return order;
-  };
-
-  while (result.sweeps < options.max_samples) {
-    for (std::size_t i = 0; i < options.batch; ++i) {
-      if (options.cancel.cancelled()) {
-        return Status::Cancelled("top-k Shapley sampling cancelled");
-      }
-      const std::vector<std::size_t> perm = rng.Permutation(n);
-      Coalition coalition(n, false);
-      double prev = game.Value(coalition);
-      for (std::size_t pos = 0; pos < n; ++pos) {
-        coalition[perm[pos]] = true;
-        const double curr = game.Value(coalition);
-        stats[perm[pos]].Add(curr - prev);
-        prev = curr;
-      }
-      ++result.sweeps;
-    }
-    if (options.k >= n) {
-      result.separated = true;  // nothing to separate from
-      break;
-    }
-    const std::vector<std::size_t> order = current_ranking();
-    const RunningStat& kth = stats[order[options.k - 1]];
-    const RunningStat& next = stats[order[options.k]];
-    const double lower = kth.mean() - options.z * kth.std_error();
-    const double upper = next.mean() + options.z * next.std_error();
-    if (kth.count() >= 8 && lower > upper) {
-      result.separated = true;
-      break;
-    }
-  }
-
-  result.estimates.reserve(n);
-  for (const RunningStat& stat : stats) {
-    result.estimates.push_back(stat.ToEstimate());
-  }
-  result.ranking = current_ranking();
-  return result;
-}
-
-std::vector<RunningStat> RunShardedSweeps(
+SweepOutcome RunShardedSweeps(
     const ShardedSweepConfig& config, std::size_t num_players,
-    const std::function<void(Rng* rng, std::vector<RunningStat>* stats)>&
-        sweep) {
+    const std::function<void(Rng* rng, std::vector<RunningStat>* stats,
+                             const std::vector<bool>& frozen)>& sweep) {
   TREX_CHECK_GT(config.shard_size, 0u);
   // The sweep budget is partitioned into fixed shards; each shard owns a
   // deterministically derived RNG stream and completed shards are folded
   // into the merge in shard-index order, so the merged statistics depend
   // only on (config, sweep), never on thread count or scheduling.
   //
-  // Shards are processed in waves so only a wave's worth of per-shard
-  // stat vectors is ever resident; wave boundaries cannot change the
-  // result (the merge order is the global shard order regardless), they
-  // only bound memory — except under early stopping, where the wave
-  // size of 1 also fixes the reproducible stopping point.
+  // Shards are processed in waves. A wave's width is configuration —
+  // explicit `wave_shards`, or derived from `check_interval` under an
+  // active stopping rule — never the pool width while a rule is active,
+  // because every anytime decision (stop, freeze, top-k separation,
+  // soften) happens at a wave boundary on the merged statistics and must
+  // land on the same shard index for every thread count. Without a rule
+  // the wave only bounds memory (the merge order is the global shard
+  // order regardless), so it scales with the pool.
   const std::size_t num_shards =
       (config.num_samples + config.shard_size - 1) / config.shard_size;
   ThreadPool* pool = config.pool;
@@ -272,12 +315,26 @@ std::vector<RunningStat> RunShardedSweeps(
     local_pool.emplace(std::max<std::size_t>(config.num_threads, 1));
     pool = &*local_pool;
   }
-  const std::size_t wave_size =
-      config.target_std_error.has_value() ? 1 : pool->num_threads() * 4;
+  const StopRule& stop = config.stop;
+  std::size_t wave_shards = config.wave_shards;
+  if (wave_shards == 0) {
+    if (stop.active()) {
+      const std::size_t interval = std::max<std::size_t>(
+          config.check_interval, 1);
+      wave_shards = (interval + config.shard_size - 1) / config.shard_size;
+    } else {
+      wave_shards = pool->num_threads() * 4;
+    }
+  }
 
-  std::vector<RunningStat> merged(num_players);
-  for (std::size_t start = 0; start < num_shards; start += wave_size) {
-    const std::size_t count = std::min(wave_size, num_shards - start);
+  SweepOutcome out;
+  out.stats.assign(num_players, RunningStat{});
+  std::vector<bool> frozen(num_players, false);
+  const bool can_freeze =
+      stop.freeze_converged && stop.target_half_width.has_value();
+
+  for (std::size_t start = 0; start < num_shards; start += wave_shards) {
+    const std::size_t count = std::min(wave_shards, num_shards - start);
     std::vector<std::vector<RunningStat>> wave_stats(
         count, std::vector<RunningStat>(num_players));
     pool->Run(count, [&](std::size_t i) {
@@ -291,25 +348,69 @@ std::vector<RunningStat> RunShardedSweeps(
         // bounds cancellation latency at one sweep per worker. Results
         // after cancellation are discarded by the caller.
         if (config.cancel.cancelled()) break;
-        sweep(&rng, &wave_stats[i]);
+        sweep(&rng, &wave_stats[i], frozen);
       }
     });
     if (config.cancel.cancelled()) break;
     for (std::size_t i = 0; i < count; ++i) {
       for (std::size_t p = 0; p < num_players; ++p) {
-        merged[p].Merge(wave_stats[i][p]);
+        out.stats[p].Merge(wave_stats[i][p]);
       }
     }
-    if (config.target_std_error.has_value() && num_players > 0 &&
-        Converged(merged, *config.target_std_error)) {
+    const std::size_t wave_end =
+        std::min((start + count) * config.shard_size, config.num_samples);
+    out.sweeps = wave_end;
+    ++out.waves;
+
+    // Wave boundary: every anytime decision below runs on the merged
+    // statistics, whose content is fixed by the shard index range —
+    // identical for every thread count.
+    bool stop_now = false;
+    if (stop.target_half_width.has_value() && num_players > 0) {
+      bool all_converged = true;
+      for (std::size_t p = 0; p < num_players; ++p) {
+        const bool conv = PlayerConverged(out.stats[p], stop);
+        if (can_freeze && conv) frozen[p] = true;
+        all_converged = all_converged && conv;
+      }
+      stop_now = all_converged;
+    }
+    if (!stop_now && stop.top_k > 0 && num_players > 0) {
+      if (stop.top_k >= num_players) {
+        out.separated = true;  // nothing to separate from
+        stop_now = true;
+      } else {
+        const std::vector<std::size_t> order = RankByMean(out.stats);
+        const RunningStat& kth = out.stats[order[stop.top_k - 1]];
+        const RunningStat& next = out.stats[order[stop.top_k]];
+        const double lower = kth.mean() - CiHalfWidth(kth, stop);
+        const double upper = next.mean() + CiHalfWidth(next, stop);
+        if (kth.count() >= stop.min_samples && lower > upper) {
+          out.separated = true;
+          stop_now = true;
+        }
+      }
+    }
+    if (!stop_now && stop.soften.cancelled()) {
+      out.softened = true;
+      stop_now = true;
+    }
+    if (stop_now) {
+      out.stopped_early = start + count < num_shards;
       break;
     }
   }
-  return merged;
+
+  for (std::size_t p = 0; p < num_players; ++p) {
+    if (frozen[p]) ++out.frozen_players;
+    out.achieved_half_width =
+        std::max(out.achieved_half_width, CiHalfWidth(out.stats[p], stop));
+  }
+  return out;
 }
 
 Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
-    const Game& game, const SamplingOptions& options) {
+    const Game& game, const SamplingOptions& options, SweepOutcome* outcome) {
   const std::size_t n = game.num_players();
   if (n == 0) return std::vector<Estimate>{};
   if (options.num_samples == 0) {
@@ -324,19 +425,34 @@ Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
   config.shard_size = options.shard_size;
   config.num_threads = options.num_threads;
   config.seed = options.seed;
-  config.target_std_error = options.target_std_error;
+  config.stop = EffectiveStop(options);
+  config.check_interval = options.check_interval;
   config.pool = options.pool;
   config.cancel = options.cancel;
 
-  auto one_sweep = [&](Rng* rng, std::vector<RunningStat>* stats) {
+  auto one_sweep = [&](Rng* rng, std::vector<RunningStat>* stats,
+                       const std::vector<bool>& frozen) {
     auto run_perm = [&](const std::vector<std::size_t>& perm) {
+      // Frozen players keep their position in the permutation (so other
+      // players' coalitions are undisturbed) but skip both of their
+      // evaluations: the prefix value is re-evaluated lazily only when
+      // the next unfrozen player needs it.
       Coalition coalition(n, false);
-      double prev = game.Value(coalition);
+      double prev = 0.0;
+      bool have_prev = false;
       for (std::size_t pos = 0; pos < n; ++pos) {
-        coalition[perm[pos]] = true;
+        const std::size_t p = perm[pos];
+        if (frozen[p]) {
+          coalition[p] = true;
+          have_prev = false;
+          continue;
+        }
+        if (!have_prev) prev = game.Value(coalition);
+        coalition[p] = true;
         const double curr = game.Value(coalition);
-        (*stats)[perm[pos]].Add(curr - prev);
+        (*stats)[p].Add(curr - prev);
         prev = curr;
+        have_prev = true;
       }
     };
     std::vector<std::size_t> perm = rng->Permutation(n);
@@ -347,15 +463,75 @@ Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
     }
   };
 
-  const std::vector<RunningStat> stats =
-      RunShardedSweeps(config, n, one_sweep);
+  SweepOutcome out = RunShardedSweeps(config, n, one_sweep);
   if (options.cancel.cancelled()) {
     return Status::Cancelled("Shapley sweep sampling cancelled");
   }
   std::vector<Estimate> estimates;
   estimates.reserve(n);
-  for (const RunningStat& s : stats) estimates.push_back(s.ToEstimate());
+  for (const RunningStat& s : out.stats) estimates.push_back(s.ToEstimate());
+  if (outcome != nullptr) *outcome = std::move(out);
   return estimates;
+}
+
+Result<TopKResult> EstimateTopKPlayers(const Game& game,
+                                       const TopKOptions& options) {
+  const std::size_t n = game.num_players();
+  if (n == 0) return TopKResult{};
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (options.batch == 0 || options.max_samples == 0) {
+    return Status::InvalidArgument("batch and max_samples must be positive");
+  }
+
+  // One sweep per shard, one round per wave: the separation test runs at
+  // round boundaries on deterministically merged statistics, so the
+  // stopping round — and every estimate — is bit-identical at any
+  // thread count while a round's sweeps execute concurrently.
+  ShardedSweepConfig config;
+  config.num_samples = options.max_samples;
+  config.shard_size = 1;
+  config.wave_shards = options.batch;
+  config.num_threads = options.num_threads;
+  config.seed = options.seed;
+  config.pool = options.pool;
+  config.cancel = options.cancel;
+  config.stop.top_k = options.k;
+  config.stop.z = options.z;
+  config.stop.bound = options.bound;
+  config.stop.min_samples = 8;
+  config.stop.soften = options.soften;
+
+  auto one_sweep = [&](Rng* rng, std::vector<RunningStat>* stats,
+                       const std::vector<bool>& frozen) {
+    (void)frozen;  // no per-player target → nothing ever freezes
+    const std::vector<std::size_t> perm = rng->Permutation(n);
+    Coalition coalition(n, false);
+    double prev = game.Value(coalition);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      coalition[perm[pos]] = true;
+      const double curr = game.Value(coalition);
+      (*stats)[perm[pos]].Add(curr - prev);
+      prev = curr;
+    }
+  };
+
+  const SweepOutcome out = RunShardedSweeps(config, n, one_sweep);
+  if (options.cancel.cancelled()) {
+    return Status::Cancelled("top-k Shapley sampling cancelled");
+  }
+
+  TopKResult result;
+  result.estimates.reserve(n);
+  for (const RunningStat& stat : out.stats) {
+    result.estimates.push_back(stat.ToEstimate());
+  }
+  result.ranking = RankByMean(out.stats);
+  result.separated = out.separated;
+  result.sweeps = out.sweeps;
+  result.softened = out.softened;
+  return result;
 }
 
 }  // namespace trex::shap

@@ -12,8 +12,22 @@
 //    marginal sample for *every* player with n+1 evaluations, the right
 //    tool when ranking all cells.
 //
-// Estimates carry running mean/variance (Welford) and normal-theory
-// confidence intervals; `target_std_error` enables early stopping.
+// Anytime estimation: every estimator can stop as soon as the answer is
+// good enough instead of spending a fixed permutation budget. A
+// `StopRule` requests either a target confidence-interval half-width per
+// player (normal-theory or empirical-Bernstein bounds) or top-k
+// CI-separation, and the sharded sweep driver evaluates it only at
+// *wave boundaries* — waves are groups of shards defined purely by shard
+// index, so the stopping point, the freeze set, and the merged estimates
+// are bit-identical at every thread count. Early stopping and sweep
+// parallelism coexist: a wave's shards run concurrently on the
+// configured pool, and the rule is consulted after the wave's statistics
+// have been merged in shard-index order. Converged players can
+// optionally be *frozen* — their with/without evaluations are skipped in
+// subsequent sweeps — without perturbing any other player's samples.
+// A `soften` token (armed e.g. by a serving deadline) flips the rule to
+// "finish the current wave and return the partial confidence-bounded
+// estimates" instead of discarding work.
 
 #ifndef TREX_CORE_SHAPLEY_SAMPLING_H_
 #define TREX_CORE_SHAPLEY_SAMPLING_H_
@@ -31,11 +45,65 @@
 
 namespace trex::shap {
 
+class RunningStat;
+
+/// Which concentration bound turns running moments into a confidence
+/// half-width.
+enum class BoundKind {
+  /// Normal-theory (CLT): z · std_error. Tight asymptotically but
+  /// overconfident at small counts and for zero-variance players.
+  kNormal,
+  /// Empirical Bernstein (Audibert et al. / Maurer & Pontil):
+  /// sqrt(2·V·ln(3/δ)/n) + 3·R·ln(3/δ)/n for samples in a range of
+  /// width R. Sound for the bounded marginals of binary repair games
+  /// (marginals live in [-1, 1], R = 2), and its O(1/n) term keeps
+  /// zero-variance players honest where the normal bound collapses to 0.
+  kBernstein,
+};
+
+/// Anytime stopping rule, evaluated only at wave boundaries of the
+/// sharded sweep driver (see `RunShardedSweeps`). Inactive by default.
+struct StopRule {
+  /// Stop once every player's confidence half-width is at or below this
+  /// value (and each has at least `min_samples` samples).
+  std::optional<double> target_half_width;
+  /// When > 0, stop once the k-th ranked player's CI lower bound
+  /// exceeds the (k+1)-th player's CI upper bound (top-k separation).
+  /// May be combined with `target_half_width`; either condition stops.
+  std::size_t top_k = 0;
+  /// Bound family used for half-widths (both stopping and freezing).
+  BoundKind bound = BoundKind::kNormal;
+  /// Normal-theory width multiplier (kNormal only).
+  double z = 1.96;
+  /// Failure probability per player (kBernstein only).
+  double delta = 0.05;
+  /// Sample range width for the Bernstein bound; marginals of a 0/1
+  /// game live in [-1, 1], so the default is 2.
+  double range = 2.0;
+  /// No player is considered converged (or separated) below this count.
+  std::size_t min_samples = 16;
+  /// When a `target_half_width` is set, players whose half-width already
+  /// meets it are *frozen*: subsequent sweeps skip their with/without
+  /// evaluations (the sweep callback receives the freeze set). Frozen
+  /// players' accumulated estimates are left untouched, and the freeze
+  /// set only changes at wave boundaries, so it is deterministic.
+  bool freeze_converged = true;
+  /// Soft stop: once this token fires, the driver finishes the current
+  /// wave, merges it, and returns the partial confidence-bounded
+  /// estimates with `SweepOutcome::softened` set. Unlike
+  /// `ShardedSweepConfig::cancel`, the merged statistics remain valid.
+  /// Checked at wave boundaries only (latency ≤ one wave).
+  CancelToken soften;
+
+  bool active() const { return target_half_width.has_value() || top_k > 0; }
+};
+
 /// Options for the sampling estimators.
 struct SamplingOptions {
   /// Number of samples (permutations). For `EstimateShapleyForPlayer`
   /// this is the number of (with, without) evaluation pairs; for
-  /// `EstimateShapleyAllPlayers` the number of full sweeps.
+  /// `EstimateShapleyAllPlayers` the number of full sweeps. Always an
+  /// upper bound: a stopping rule can end the run earlier.
   std::size_t num_samples = 500;
   /// RNG seed; equal seeds give identical estimates.
   std::uint64_t seed = Rng::kDefaultSeed;
@@ -43,13 +111,21 @@ struct SamplingOptions {
   /// (negatively correlated coalition sizes). Doubles the samples drawn
   /// per iteration.
   bool antithetic = false;
-  /// Early stop once every requested player's standard error drops to
-  /// this level (at least 16 samples are always taken). The
-  /// single-player estimators check every `check_interval` samples;
-  /// `EstimateShapleyAllPlayers` checks at `shard_size` boundaries
-  /// instead (processing shards sequentially so the stopping point is
-  /// reproducible) and ignores `check_interval`.
+  /// Back-compat shorthand for `stop`: early stop once every requested
+  /// player's standard error drops to this level. Equivalent to a
+  /// normal-theory `StopRule` with `target_half_width = stop.z * value`.
+  /// Ignored when `stop` is already active.
   std::optional<double> target_std_error;
+  /// Anytime stopping rule (see `StopRule`). Applies to every estimator
+  /// that accepts these options.
+  StopRule stop;
+  /// Granularity of stopping checks, in samples. The single-player
+  /// estimators check every `check_interval` samples; the sweep
+  /// estimator rounds it up to whole shards — a wave spans
+  /// `max(1, ceil(check_interval / shard_size))` shards and the rule is
+  /// evaluated at wave boundaries. One unified knob: larger values check
+  /// less often but expose more parallelism per wave (a wave's shards
+  /// run concurrently).
   std::size_t check_interval = 32;
   /// Worker threads for the sweep estimator; 0 means "unset" (run
   /// single-threaded here, but let an embedding engine substitute its
@@ -59,12 +135,11 @@ struct SamplingOptions {
   /// derived deterministically from (seed, shard index) via `ShardSeed`,
   /// and shard results are merged in index order — so the estimates are
   /// bit-identical for every thread count (the game's characteristic
-  /// function must be thread-safe; `BlackBoxRepair` is). Ignored when
-  /// `target_std_error` is set: early stopping runs shards serially to
-  /// keep the stopping point reproducible.
+  /// function must be thread-safe; `BlackBoxRepair` is). This holds with
+  /// early stopping too: the stopping point is a wave boundary, defined
+  /// by shard index, never by thread scheduling.
   std::size_t num_threads = 0;
-  /// Permutation sweeps per shard (the unit of parallel work and of the
-  /// early-stopping check).
+  /// Permutation sweeps per shard (the unit of parallel work).
   std::size_t shard_size = 32;
   /// Optional persistent worker pool (non-owning; must outlive the
   /// call); the engine passes its own so repeated requests don't respawn
@@ -73,7 +148,8 @@ struct SamplingOptions {
   /// Cooperative cancellation: polled between permutation sweeps (each
   /// sweep is n+1 repair runs). Once cancelled the estimator stops
   /// promptly and returns `Status::Cancelled` — partial estimates are
-  /// discarded. Default token = never cancelled.
+  /// discarded. For a soft stop that *keeps* partial estimates, arm
+  /// `stop.soften` instead. Default token = never cancelled.
   CancelToken cancel;
 };
 
@@ -82,7 +158,8 @@ struct Estimate {
   double value = 0.0;
   /// Standard error of the mean (0 until 2+ samples).
   double std_error = 0.0;
-  /// Samples actually taken (= num_samples unless early-stopped).
+  /// Samples actually taken (= num_samples unless early-stopped or
+  /// frozen before budget exhaustion).
   std::size_t num_samples = 0;
 
   /// Normal-theory confidence bounds, e.g. `value ± 1.96·std_error`.
@@ -113,6 +190,10 @@ class RunningStat {
   double m2_ = 0.0;
 };
 
+/// The confidence half-width of a running estimate under `rule.bound`.
+/// Returns +infinity below two samples (no variance information yet).
+double CiHalfWidth(const RunningStat& stat, const StopRule& rule);
+
 /// The per-shard RNG seed for sharded sweep sampling: a splitmix64 mix
 /// of the base seed and the shard index. Exposed so other sharded
 /// samplers (the engine's cell sweeps) stay bit-compatible across
@@ -125,12 +206,18 @@ struct ShardedSweepConfig {
   std::size_t shard_size = 32;
   std::size_t num_threads = 1;
   std::uint64_t seed = Rng::kDefaultSeed;
-  /// When set, shards run sequentially and the driver stops at the
-  /// first shard boundary where every player has >= 16 samples and a
-  /// standard error at or below this level. Note this disables sweep
-  /// parallelism: a thread-count-dependent stopping point would break
-  /// the reproducibility guarantee.
-  std::optional<double> target_std_error;
+  /// Anytime stopping rule, evaluated at wave boundaries (see below).
+  StopRule stop;
+  /// Shards per wave; 0 = derive from `check_interval` when a stopping
+  /// rule is active (`max(1, ceil(check_interval / shard_size))`), else
+  /// size waves for memory only (a multiple of the pool width). The
+  /// wave width is part of the configuration — never derived from
+  /// thread count while a stopping rule is active — because the
+  /// stopping point is a wave boundary and must be reproducible.
+  std::size_t wave_shards = 0;
+  /// Stopping-check granularity in samples, rounded up to whole shards;
+  /// used only when `wave_shards == 0`. 0 = one shard per wave.
+  std::size_t check_interval = 0;
   /// Optional persistent worker pool to reuse across calls (non-owning;
   /// must outlive the call). When null, a transient pool of
   /// `num_threads` is created per call.
@@ -138,23 +225,54 @@ struct ShardedSweepConfig {
   /// Polled before every sweep inside each shard and at wave boundaries;
   /// once cancelled, remaining sweeps are skipped and the driver returns
   /// early. Callers observing `cancel.cancelled()` after the call must
-  /// treat the merged statistics as garbage.
+  /// treat the merged statistics as garbage. Contrast `stop.soften`,
+  /// which finishes the current wave and keeps the merged statistics.
   CancelToken cancel;
 };
 
-/// The shared sharded permutation-sweep driver behind
-/// `EstimateShapleyAllPlayers` and the engine's cell sampler: partitions
-/// `num_samples` sweeps into fixed shards, runs each shard with an RNG
-/// seeded by `ShardSeed(seed, shard)`, and merges per-shard statistics
-/// in shard-index order — so the result depends only on (config,
-/// sweep), never on thread count. `sweep` executes ONE sweep: it draws
-/// from the shard's RNG and folds one marginal sample per player into
-/// the shard's statistics vector. `sweep` must be thread-safe when
-/// `num_threads > 1`.
-std::vector<RunningStat> RunShardedSweeps(
+/// What a sharded sweep run produced, beyond the statistics themselves.
+struct SweepOutcome {
+  /// Per-player merged statistics (shard-index merge order).
+  std::vector<RunningStat> stats;
+  /// Permutation sweeps consumed (≤ config.num_samples).
+  std::size_t sweeps = 0;
+  /// Wave boundaries crossed.
+  std::size_t waves = 0;
+  /// A stopping rule ended the run before the sample budget.
+  bool stopped_early = false;
+  /// The soften token fired; `stats` hold the partial (but valid and
+  /// confidence-bounded) estimates as of the completed wave.
+  bool softened = false;
+  /// Top-k separation held at the stopping wave (`stop.top_k > 0` only).
+  bool separated = false;
+  /// Largest per-player confidence half-width at the end of the run
+  /// under `stop.bound` (+infinity until every player has 2+ samples;
+  /// 0 for an empty player set).
+  double achieved_half_width = 0.0;
+  /// Players frozen when the run ended.
+  std::size_t frozen_players = 0;
+};
+
+/// The shared wave-synchronous sweep driver behind
+/// `EstimateShapleyAllPlayers`, `EstimateTopKPlayers`, and the engine's
+/// cell sampler: partitions `num_samples` sweeps into fixed shards, runs
+/// each shard with an RNG seeded by `ShardSeed(seed, shard)`, and merges
+/// per-shard statistics in shard-index order — so the merged result
+/// depends only on (config, sweep), never on thread count. Shards
+/// execute in waves (`wave_shards` at a time, concurrently on the pool);
+/// after each wave is merged the driver consults `config.stop`, updates
+/// the freeze set, and honours `stop.soften` — all decisions are made on
+/// deterministically merged statistics at shard-index-defined
+/// boundaries, so early stopping keeps the bit-identical-at-any-
+/// thread-count guarantee. `sweep` executes ONE sweep: it draws from the
+/// shard's RNG and folds one marginal sample per *unfrozen* player into
+/// the shard's statistics vector (the freeze set is all-false unless
+/// `stop.freeze_converged` and a target width are set). `sweep` must be
+/// thread-safe when more than one shard runs per wave.
+SweepOutcome RunShardedSweeps(
     const ShardedSweepConfig& config, std::size_t num_players,
-    const std::function<void(Rng* rng, std::vector<RunningStat>* stats)>&
-        sweep);
+    const std::function<void(Rng* rng, std::vector<RunningStat>* stats,
+                             const std::vector<bool>& frozen)>& sweep);
 
 /// Estimates the Shapley value of `player` (see file comment).
 Result<Estimate> EstimateShapleyForPlayer(const Game& game,
@@ -162,16 +280,25 @@ Result<Estimate> EstimateShapleyForPlayer(const Game& game,
                                           const SamplingOptions& options = {});
 
 /// Estimates all players' Shapley values with permutation sweeps.
+/// `outcome` (optional) receives the full sweep outcome — sweeps
+/// consumed, achieved confidence width, freeze count, soften flag.
 Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
-    const Game& game, const SamplingOptions& options = {});
+    const Game& game, const SamplingOptions& options = {},
+    SweepOutcome* outcome = nullptr);
 
 /// Stratified single-player estimator (Maleki et al. style): the Shapley
 /// value is the average over coalition sizes s of E[marginal | |S| = s];
 /// sampling each size stratum separately removes the variance *between*
 /// strata that plain permutation sampling pays for. `options.num_samples`
-/// is the total budget, split evenly across the n strata (at least one
-/// sample each). Useful when marginals differ sharply by coalition size
-/// (binary repair games often do).
+/// is the total budget. A pilot wave spends half the budget evenly
+/// across the n strata, then the remainder follows Neyman allocation
+/// (proportional to the observed per-stratum standard deviation, which
+/// minimises the variance of the stratified mean for a fixed budget;
+/// deterministic largest-remainder rounding). Strata are sampled in
+/// parallel over `options.num_threads` / `options.pool`, each stratum on
+/// its own `ShardSeed`-derived RNG stream, so results are bit-identical
+/// at every thread count. Useful when marginals differ sharply by
+/// coalition size (binary repair games often do).
 Result<Estimate> EstimateShapleyStratified(const Game& game,
                                            std::size_t player,
                                            const SamplingOptions& options = {});
@@ -181,13 +308,29 @@ struct TopKOptions {
   std::size_t k = 3;
   /// Confidence width multiplier for the separation test.
   double z = 2.0;
-  /// Sweeps per refinement round.
+  /// Sweeps per refinement round (= the wave width: a round's sweeps
+  /// run concurrently on the pool).
   std::size_t batch = 16;
   /// Total sweep budget.
   std::size_t max_samples = 4096;
   std::uint64_t seed = Rng::kDefaultSeed;
-  /// Polled between refinement batches; see SamplingOptions::cancel.
+  /// Bound family for the separation test.
+  BoundKind bound = BoundKind::kNormal;
+  /// Worker threads for the refinement rounds; same semantics as
+  /// `SamplingOptions::num_threads` (0 = unset/serial, engine may
+  /// substitute its pool width). Results are bit-identical at every
+  /// thread count: each sweep draws from its own `ShardSeed` stream and
+  /// the separation test runs on deterministically merged statistics at
+  /// round boundaries.
+  std::size_t num_threads = 0;
+  /// Optional persistent worker pool (non-owning; must outlive the
+  /// call). Null = transient pool per call when `num_threads > 1`.
+  ThreadPool* pool = nullptr;
+  /// Polled between sweeps; see SamplingOptions::cancel.
   CancelToken cancel;
+  /// Soft stop: finish the current round and return the partial
+  /// ranking + estimates (see StopRule::soften).
+  CancelToken soften;
 };
 
 /// Result of the adaptive top-k estimation.
@@ -201,13 +344,17 @@ struct TopKResult {
   bool separated = false;
   /// Permutation sweeps consumed.
   std::size_t sweeps = 0;
+  /// The soften token ended the run early (partial but valid ranking).
+  bool softened = false;
 };
 
-/// Samples permutation sweeps in batches until the top-k set is
+/// Samples permutation sweeps in rounds until the top-k set is
 /// CI-separated from the rest (lower bound of the k-th estimate above
 /// the upper bound of the (k+1)-th) or the budget is exhausted. This is
 /// the right driver for the T-REx GUI flow, where the user only reads
-/// the first few rows of the ranking.
+/// the first few rows of the ranking. Runs on the wave-synchronous
+/// sweep driver: a round's sweeps execute in parallel and the
+/// separation test is evaluated at round boundaries only.
 Result<TopKResult> EstimateTopKPlayers(const Game& game,
                                        const TopKOptions& options = {});
 

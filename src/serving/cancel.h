@@ -22,6 +22,16 @@
 // deep inside a permutation sweep / 2^n subset walk (all of which poll
 // between black-box evaluations).
 //
+// The same primitives also carry the *soften* channel of anytime
+// estimation: a token wired into `shap::StopRule::soften` (or
+// `ExplainRequest::soften`) does not kill work when it fires — the
+// wave-synchronous sweep driver finishes its current wave and returns
+// the partial confidence-bounded estimates instead. Under
+// `RequestOptions::degrade_on_deadline` the service arms the deadline
+// against a soften source rather than the job's cancel source, which is
+// how deadline expiry degrades to an approximate answer instead of
+// `Status::Cancelled`. Hard cancel discards; soften keeps.
+//
 // Thread safety: all operations are safe to call concurrently; the flag
 // is a relaxed atomic (cancellation needs no ordering with other data).
 

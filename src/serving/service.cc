@@ -89,13 +89,25 @@ Ticket ExplainService::Submit(
       CancelToken::AnyOf(job->request.cancel, options.cancel),
       job->cancel->token());
   if (job->deadline.has_value()) {
-    // Deadline enforcement is just cancellation with its own source (so
-    // expiry is distinguishable from a caller cancel): armed here, the
-    // timer kills the job wherever it is — queued or mid-sweep.
-    job->deadline_cancel = std::make_shared<CancelSource>();
-    job->request.cancel = CancelToken::AnyOf(job->request.cancel,
-                                             job->deadline_cancel->token());
-    job->deadline_id = deadlines_.Arm(*job->deadline, job->deadline_cancel);
+    if (options.degrade_on_deadline) {
+      // Graceful degradation: the timer fires a *soften* source, which
+      // flips the sampled paths' stopping rule to finish-current-wave —
+      // the job resolves OK with partial confidence-bounded estimates
+      // instead of being killed.
+      job->soften_cancel = std::make_shared<CancelSource>();
+      job->request.soften = CancelToken::AnyOf(job->request.soften,
+                                               job->soften_cancel->token());
+      job->deadline_id = deadlines_.Arm(*job->deadline, job->soften_cancel);
+    } else {
+      // Deadline enforcement is just cancellation with its own source
+      // (so expiry is distinguishable from a caller cancel): armed
+      // here, the timer kills the job wherever it is — queued or
+      // mid-sweep.
+      job->deadline_cancel = std::make_shared<CancelSource>();
+      job->request.cancel = CancelToken::AnyOf(
+          job->request.cancel, job->deadline_cancel->token());
+      job->deadline_id = deadlines_.Arm(*job->deadline, job->deadline_cancel);
+    }
   }
   job->on_complete = std::move(options.on_complete);
 
@@ -226,12 +238,16 @@ void ExplainService::ServeBatch(std::vector<std::shared_ptr<Job>> jobs) {
           {job, Status::Cancelled("request cancelled while queued"), false});
       return false;
     }
-    if (job->deadline.has_value() &&
+    if (job->deadline.has_value() && job->soften_cancel == nullptr &&
         std::chrono::steady_clock::now() > *job->deadline) {
       resolutions.push_back(
           {job, Status::Cancelled("deadline exceeded while queued"), true});
       return false;
     }
+    // A degradable job (`soften_cancel` armed) is never screened out on
+    // its deadline: its fired soften token makes the sampled run
+    // self-limit to about one wave, and the caller gets partial
+    // estimates instead of nothing.
     return true;
   };
 
@@ -313,6 +329,7 @@ void ExplainService::Resolve(const std::shared_ptr<Job>& job,
     MutexLock lock(mu_);
     if (result.ok()) {
       ++stats_.completed;
+      if (result->approximate) ++stats_.degraded;
     } else if (result.status().IsCancelled()) {
       ++stats_.cancelled;
       if (expired) ++stats_.expired;

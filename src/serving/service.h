@@ -50,8 +50,14 @@
 // job's cancel source at admission, so expiry kills the job wherever it
 // is — queued, or mid-sweep inside a permutation or 2^n loop — with the
 // expiry counted separately (`ServiceStats::expired`) from caller
-// cancellation. An optional `on_complete` callback fires on the worker
-// thread after the future is resolved.
+// cancellation. `RequestOptions::degrade_on_deadline` softens that
+// contract: expiry fires the job's *soften* token instead, sampled work
+// finishes its current wave, and the ticket resolves OK with partial
+// confidence-bounded estimates (`ExplainResult::approximate` +
+// achieved CI width) rather than `kCancelled` — deadline-bound traffic
+// gets an answer with honest error bars (`ServiceStats::degraded`). An
+// optional `on_complete` callback fires on the worker thread after the
+// future is resolved.
 //
 // Determinism: scheduling affects only latency, never values — a
 // request's result is bit-identical to calling `Engine::Explain`
@@ -111,6 +117,17 @@ struct RequestOptions {
   /// `Status::Cancelled` and the expiry is counted in
   /// `ServiceStats::expired`.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Degrade instead of cancel at the deadline: expiry fires the
+  /// request's *soften* token (`ExplainRequest::soften`) rather than its
+  /// cancel token, so a sampled job finishes its current wave and
+  /// resolves OK with the partial confidence-bounded estimates it has —
+  /// `ExplainResult::approximate` set and `achieved_ci_half_width`
+  /// reporting how wide the error bars are — never `kCancelled`. A job
+  /// still queued at expiry is allowed to run and self-limits to about
+  /// one wave. Kinds that ignore the soften token (the exact
+  /// enumeration paths) run to completion, as if no deadline were set.
+  /// Degraded completions are counted in `ServiceStats::degraded`.
+  bool degrade_on_deadline = false;
   /// Caller-owned cancellation, merged with the ticket's own handle.
   CancelToken cancel;
   /// Invoked right after the future resolves (also for
@@ -153,6 +170,10 @@ struct ServiceStats {
   /// ...of which were deadline expirations — queued or mid-sweep —
   /// rather than caller cancels.
   std::size_t expired = 0;
+  /// Jobs whose deadline expired under `degrade_on_deadline`: resolved
+  /// OK (counted in `completed` too) with partial confidence-bounded
+  /// estimates instead of `Cancelled`.
+  std::size_t degraded = 0;
   /// Load-shed at admission (resolved `Rejected`, never ran).
   std::size_t shed = 0;
   /// Dequeues that lowered 2+ jobs into one `ExplainBatch` call...
@@ -262,6 +283,11 @@ class ExplainService {
     /// Armed with `DeadlineSource` when a deadline is set; fired =
     /// the cancellation was a deadline expiry, not a caller cancel.
     std::shared_ptr<CancelSource> deadline_cancel;
+    /// Under `degrade_on_deadline`, the deadline arms this *soften*
+    /// source instead of `deadline_cancel`: expiry flips the request's
+    /// stopping rule to finish-current-wave, and the job resolves OK
+    /// with partial estimates.
+    std::shared_ptr<CancelSource> soften_cancel;
     std::uint64_t deadline_id = 0;
     std::function<void(const Result<ExplainResult>&)> on_complete;
     std::promise<Result<ExplainResult>> promise;

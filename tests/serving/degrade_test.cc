@@ -1,0 +1,155 @@
+// Deadline degradation: `RequestOptions::degrade_on_deadline` turns
+// deadline expiry into a *soften* — sampled work finishes its current
+// wave and the ticket resolves OK with partial confidence-bounded
+// estimates (`ExplainResult::approximate` + achieved CI width) instead
+// of `Status::Cancelled`. These are the serving-layer regression pins
+// for the anytime estimation path.
+
+#include <chrono>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/soccer.h"
+#include "serving/service.h"
+#include "tests/serving/algorithm_fixtures.h"
+
+namespace trex::serving {
+namespace {
+
+using trex::testing::InstrumentedAlgorithm;
+
+std::shared_ptr<const Table> SoccerTable() {
+  return std::make_shared<const Table>(data::SoccerDirtyTable());
+}
+
+/// A sampled cell request with a large budget and an unreachable anytime
+/// target: only the soften token can end it before the budget — and the
+/// column-sample policy keeps working tables fresh, so nearly every
+/// evaluation is a real repair run (no memo shortcuts racing the timer).
+ExplainRequest SlowSampledRequest() {
+  ExplainRequest request;
+  request.target = data::SoccerTargetCell();
+  request.kind = ExplainKind::kCells;
+  request.cells.policy = AbsentCellPolicy::kSampleFromColumn;
+  request.cells.method = CellMethod::kSampling;
+  request.cells.num_samples = 4096;
+  request.cells.seed = 17;
+  AnytimeOptions anytime;
+  anytime.target_ci_half_width = 1e-9;  // unreachable
+  anytime.check_interval = 32;          // one shard per wave
+  request.anytime = anytime;
+  return request;
+}
+
+TEST(DegradeOnDeadlineTest, ExpiredDeadlineResolvesPartialEstimate) {
+  ExplainService service;
+  RequestOptions options;
+  options.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  options.degrade_on_deadline = true;
+
+  Ticket ticket =
+      service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+                     SoccerTable(), SlowSampledRequest(), options);
+  auto result = ticket.Wait();
+
+  // The contract under test: never kCancelled — an OK result carrying
+  // partial but confidence-bounded estimates.
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->approximate);
+  EXPECT_GT(result->sweeps, 0u);
+  EXPECT_LT(result->sweeps, 4096u);
+  ASSERT_TRUE(result->achieved_ci_half_width.has_value());
+  EXPECT_GT(*result->achieved_ci_half_width, 0.0);
+  ASSERT_TRUE(result->explanation.has_value());
+  EXPECT_FALSE(result->explanation->ranked.empty());
+  for (const PlayerScore& score : result->explanation->ranked) {
+    EXPECT_GT(score.num_samples, 0u);
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.degraded, 1u);
+  EXPECT_EQ(stats.cancelled, 0u);
+  EXPECT_EQ(stats.expired, 0u);
+}
+
+TEST(DegradeOnDeadlineTest, ExactKindsRunToCompletion) {
+  // Exact enumeration paths ignore the soften token: with degradation
+  // requested, an expired deadline must not cancel them — they run to
+  // completion and resolve exact (non-approximate) results.
+  ExplainService service;
+  RequestOptions options;
+  options.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  options.degrade_on_deadline = true;
+
+  ExplainRequest request;
+  request.target = data::SoccerTargetCell();
+  request.kind = ExplainKind::kConstraints;
+  Ticket ticket =
+      service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+                     SoccerTable(), request, options);
+  auto result = ticket.Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->approximate);
+  EXPECT_FALSE(result->explanation->ranked.empty());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.degraded, 0u);
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+TEST(DegradeOnDeadlineTest, HardDeadlineStillCancelsWithoutOptIn) {
+  // Without `degrade_on_deadline`, the legacy contract holds: expiry is
+  // a cancellation, counted in `expired`.
+  ExplainService service;
+  RequestOptions options;
+  options.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+
+  Ticket ticket =
+      service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+                     SoccerTable(), SlowSampledRequest(), options);
+  auto result = ticket.Wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.degraded, 0u);
+}
+
+TEST(DegradeOnDeadlineTest, FarDeadlineDegradesNothing) {
+  // A generous deadline never fires: the job runs its full budget (or
+  // to its anytime target) and resolves non-approximate.
+  ExplainService service;
+  RequestOptions options;
+  options.deadline =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  options.degrade_on_deadline = true;
+
+  ExplainRequest request;
+  request.target = data::SoccerTargetCell();
+  request.kind = ExplainKind::kCells;
+  request.cells.policy = AbsentCellPolicy::kNull;
+  request.cells.method = CellMethod::kSampling;
+  request.cells.num_samples = 64;
+  request.cells.seed = 17;
+  Ticket ticket =
+      service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+                     SoccerTable(), request, options);
+  auto result = ticket.Wait();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->approximate);
+  EXPECT_EQ(result->sweeps, 64u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.degraded, 0u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+}  // namespace
+}  // namespace trex::serving
