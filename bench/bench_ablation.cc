@@ -25,6 +25,7 @@
 #include "data/errors.h"
 #include "data/generator.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "dc/incremental.h"
 
 namespace {
@@ -251,7 +252,7 @@ void TopKAblation(const repair::RuleRepair& alg) {
 int main() {
   bench::Header("ablations: memoization, pruning, policy, antithetic, "
                 "incremental index, stratified, top-k");
-  auto alg = data::MakeAlgorithm1();
+  auto alg = repair::MakeAlgorithm1();
   MemoizationAblation(*alg);
   PruningAblation(*alg);
   PolicyAblation(*alg);

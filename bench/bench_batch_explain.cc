@@ -17,6 +17,7 @@
 #include "common/thread_pool.h"
 #include "core/engine.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "table/diff.h"
 
 namespace trex {
@@ -46,7 +47,7 @@ ExplainRequest CellsRequest(CellRef target) {
 }
 
 void Run() {
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
   const dc::DcSet dcs = data::SoccerConstraints();
   const Table dirty = ThreeErrorTable();
 

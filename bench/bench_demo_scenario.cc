@@ -15,14 +15,15 @@
 #include <map>
 
 #include "bench_util.h"
-#include "core/report.h"
-#include "core/session.h"
+#include "serving/report.h"
+#include "serving/session.h"
 #include "data/errors.h"
 #include "data/generator.h"
 #include "data/soccer.h"
 #include "dc/parser.h"
 #include "repair/metrics.h"
 #include "repair/rule_repair.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace {
 
@@ -89,7 +90,7 @@ void ScenarioB() {
   // Algorithm 1 rewrites t3[City] to Capital — a wrong repair.
   Table dirty = data::SoccerDirtyTable();
   dirty.Set(data::SoccerCell(6, "City"), Value("Capital"));
-  auto alg = data::MakeAlgorithm1();
+  auto alg = repair::MakeAlgorithm1();
   TRexSession session(alg, data::SoccerConstraints(), dirty);
   if (!session.Repair().ok()) std::exit(1);
 

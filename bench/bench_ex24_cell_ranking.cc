@@ -17,8 +17,9 @@
 
 #include "bench_util.h"
 #include "core/explainer.h"
-#include "core/report.h"
+#include "serving/report.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace {
 
@@ -32,7 +33,7 @@ Explanation Rank(AbsentCellPolicy policy, bool prune) {
   options.seed = 20200708;  // the paper's arXiv date, for fun
   options.prune = prune;
   CellExplainer explainer(options);
-  auto alg = data::MakeAlgorithm1();
+  auto alg = repair::MakeAlgorithm1();
   auto ex = explainer.Explain(*alg, data::SoccerConstraints(),
                               data::SoccerDirtyTable(),
                               data::SoccerTargetCell());

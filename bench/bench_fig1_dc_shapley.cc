@@ -14,8 +14,9 @@
 #include "bench_util.h"
 #include "core/explainer.h"
 #include "core/repair_game.h"
-#include "core/report.h"
+#include "serving/report.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "repair/holoclean.h"
 
 namespace {
@@ -52,7 +53,7 @@ int main() {
   std::printf("\n--- Algorithm 1 (paper's rule repairer) ---\n");
   double seconds = 0;
   std::size_t calls = 0;
-  auto alg1 = data::MakeAlgorithm1();
+  auto alg1 = repair::MakeAlgorithm1();
   const auto values = Explain(*alg1, &seconds, &calls);
   std::printf("wall clock: %.4fs (%zu black-box repair calls)\n", seconds,
               calls);

@@ -8,9 +8,10 @@
 #include <cstdio>
 
 #include "bench_util.h"
-#include "core/report.h"
-#include "core/session.h"
+#include "serving/report.h"
+#include "serving/session.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "repair/fd_repair.h"
 #include "repair/holistic.h"
 #include "repair/holoclean.h"
@@ -38,7 +39,7 @@ void RunOne(std::shared_ptr<const repair::RepairAlgorithm> alg) {
 
 int main() {
   bench::Header("Figure 2: dirty table -> clean table");
-  RunOne(data::MakeAlgorithm1());
+  RunOne(repair::MakeAlgorithm1());
   RunOne(std::make_shared<repair::HoloCleanRepair>());
   RunOne(std::make_shared<repair::HolisticRepair>());
   RunOne(std::make_shared<repair::FdRepair>());

@@ -14,6 +14,7 @@
 #include "data/generator.h"
 #include "data/hospital.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "dc/violation.h"
 #include "repair/fd_repair.h"
 #include "repair/holistic.h"
@@ -33,7 +34,7 @@ struct Workload {
 
 void RunWorkload(const Workload& workload) {
   std::vector<std::shared_ptr<repair::RepairAlgorithm>> algorithms;
-  algorithms.push_back(data::MakeAlgorithm1());
+  algorithms.push_back(repair::MakeAlgorithm1());
   algorithms.push_back(std::make_shared<repair::HoloCleanRepair>());
   algorithms.push_back(std::make_shared<repair::HolisticRepair>());
   algorithms.push_back(std::make_shared<repair::FdRepair>());

@@ -32,6 +32,7 @@
 #include "core/shapley_exact.h"
 #include "core/shapley_sampling.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace {
 
@@ -272,7 +273,7 @@ int main(int argc, char** argv) {
       argc > 1 && std::strcmp(argv[1], "--anytime_only") == 0;
   bench::Header("Example 2.5 / §2.3: sampling estimator convergence");
   if (!anytime_only) {
-    auto alg = data::MakeAlgorithm1();
+    auto alg = repair::MakeAlgorithm1();
     ConstraintGameConvergence(*alg);
     CellGameConvergence(*alg);
     SingleCellLoop(*alg);

@@ -44,6 +44,7 @@
 #include "data/errors.h"
 #include "data/generator.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "dc/parser.h"
 #include "repair/fd_repair.h"
 #include "repair/holistic.h"
@@ -93,7 +94,7 @@ dc::DcSet GrowDcSet(std::size_t k) {
 
 void ExactConstraintShapley(benchmark::State& state) {
   const std::size_t k = static_cast<std::size_t>(state.range(0));
-  auto alg = data::MakeAlgorithm1();
+  auto alg = repair::MakeAlgorithm1();
   const dc::DcSet dcs = GrowDcSet(k);
   const Table dirty = data::SoccerDirtyTable();
 
@@ -127,7 +128,7 @@ void SamplingCellShapley(benchmark::State& state) {
   inject.columns = {*schema.IndexOf("Country")};
   inject.seed = 6;
   auto injected = data::InjectErrors(generated.clean, inject);
-  auto alg = data::MakeAlgorithm1();
+  auto alg = repair::MakeAlgorithm1();
 
   CellExplainerOptions options;
   options.num_samples = 3;  // fixed tiny m: measure per-sweep cost
@@ -201,7 +202,7 @@ void RuleRepairCost(benchmark::State& state) {
   inject.error_rate = 0.03;
   inject.seed = 12;
   auto injected = data::InjectErrors(generated.clean, inject);
-  auto alg = data::MakeAlgorithm1();
+  auto alg = repair::MakeAlgorithm1();
   for (auto _ : state) {
     auto repaired = alg->Repair(generated.dcs, injected.dirty);
     if (!repaired.ok()) state.SkipWithError("repair failed");

@@ -39,6 +39,7 @@
 #include "data/errors.h"
 #include "data/generator.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "serving/service.h"
 #include "tests/serving/algorithm_fixtures.h"
 
@@ -83,7 +84,7 @@ ExplainRequest ConstraintRequest() {
 }
 
 void Run() {
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
   const dc::DcSet dcs = data::SoccerConstraints();
   constexpr std::size_t kTables = 4;
   constexpr std::size_t kRequestsPerTable = 2;
@@ -225,7 +226,7 @@ void Run() {
 void RunCoalescingScenario() {
   bench::Header("scheduler: coalesced vs per-job execution under pressure");
   const dc::DcSet dcs = data::SoccerConstraints();
-  const auto inner = data::MakeAlgorithm1();
+  const auto inner = repair::MakeAlgorithm1();
   const auto tables = VariantTables(2);
   constexpr std::size_t kRequests = 8;
 
@@ -298,7 +299,7 @@ void RunCoalescingScenario() {
 void RunSaturationScenario() {
   bench::Header("scheduler: queue cap + shedding under 4x oversubmission");
   const dc::DcSet dcs = data::SoccerConstraints();
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
   const auto table = std::make_shared<const Table>(data::SoccerDirtyTable());
   constexpr std::size_t kCap = 8;
   constexpr std::size_t kSubmitted = 4 * kCap;
@@ -389,7 +390,7 @@ void RunSyntheticWorldScenario() {
   const data::GeneratedWorld world = data::GenerateWorld(world_options);
   const dc::DcSet dcs = world.tables[0].dcs;
   const Schema schema = world.tables[0].clean.schema();
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
 
   // Dirty each table with swaps in the FD-repairable columns and keep
   // the first injected error cells as explanation targets.
@@ -487,7 +488,7 @@ void RunSyntheticWorldScenario() {
 void RunDeadlineDegradationScenario() {
   bench::Header("deadline expiry: hard cancel vs confidence-bounded degrade");
   const dc::DcSet dcs = data::SoccerConstraints();
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
   const auto table = std::make_shared<const Table>(data::SoccerDirtyTable());
 
   // A sampled request whose anytime target is unreachable: only the

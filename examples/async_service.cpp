@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "serving/service.h"
 
 int main() {
@@ -26,7 +27,7 @@ int main() {
   options.router.max_engines = 4;
   serving::ExplainService service(options);
 
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
   const dc::DcSet dcs = data::SoccerConstraints();
   // Tables are shared into the service; reuse one handle per table.
   const auto table = std::make_shared<const Table>(data::SoccerDirtyTable());

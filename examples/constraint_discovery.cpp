@@ -11,8 +11,8 @@
 
 #include <cstdio>
 
-#include "core/report.h"
-#include "core/session.h"
+#include "serving/report.h"
+#include "serving/session.h"
 #include "data/errors.h"
 #include "data/generator.h"
 #include "dc/discovery.h"

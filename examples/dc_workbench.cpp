@@ -15,9 +15,10 @@
 #include <string>
 
 #include "common/string_util.h"
-#include "core/report.h"
-#include "core/session.h"
+#include "serving/report.h"
+#include "serving/session.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "dc/parser.h"
 #include "dc/violation.h"
 #include "table/csv.h"
@@ -67,7 +68,7 @@ int Run(const Table& table, const dc::DcSet& dcs,
     return 0;
   }
 
-  TRexSession session(data::MakeAlgorithm1(), dcs, table);
+  TRexSession session(repair::MakeAlgorithm1(), dcs, table);
   if (auto status = session.Repair(); !status.ok()) {
     std::fprintf(stderr, "repair failed: %s\n",
                  status.ToString().c_str());

@@ -18,8 +18,8 @@
 
 #include <cstdio>
 
-#include "core/report.h"
-#include "core/session.h"
+#include "serving/report.h"
+#include "serving/session.h"
 #include "data/errors.h"
 #include "data/hospital.h"
 #include "dc/violation.h"

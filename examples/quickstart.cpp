@@ -11,9 +11,10 @@
 
 #include <cstdio>
 
-#include "core/report.h"
-#include "core/session.h"
+#include "serving/report.h"
+#include "serving/session.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 
 int main() {
   using namespace trex;  // NOLINT — example brevity
@@ -22,7 +23,7 @@ int main() {
   //    denial constraints from Figure 1, and the paper's "Algorithm 1"
   //    repairer. Any `repair::RepairAlgorithm` works — T-REx only ever
   //    calls Repair(dcs, table).
-  TRexSession session(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  TRexSession session(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                       data::SoccerDirtyTable());
 
   std::printf("constraints:\n");

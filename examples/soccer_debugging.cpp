@@ -7,12 +7,13 @@
 
 #include <cstdio>
 
-#include "core/report.h"
-#include "core/session.h"
+#include "serving/report.h"
+#include "serving/session.h"
 #include "data/generator.h"
 #include "data/soccer.h"
 #include "dc/parser.h"
 #include "repair/rule_repair.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace {
 
@@ -76,7 +77,7 @@ int DebugPoisonedCell() {
   dirty.Set(data::SoccerCell(6, "City"), Value("Capital"));
   std::printf("someone also vandalised t6[City] := 'Capital'...\n");
 
-  TRexSession session(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  TRexSession session(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                       dirty);
   if (!session.Repair().ok()) return 1;
   std::printf("%s\n", RenderRepairScreen(session).c_str());

@@ -1,0 +1,89 @@
+// Cooperative cancellation primitives.
+//
+// `CancelSource` owns a cancellation flag; `CancelToken` is a cheap,
+// copyable observer of one or more flags. Tokens are threaded through
+// the long-running explanation loops (the permutation sweeps in
+// core/shapley_sampling and the 2^n subset enumerations in
+// core/shapley_exact / core/interaction / core/counterfactual), which
+// poll `cancelled()` between characteristic-function evaluations — each
+// evaluation is a full black-box repair run, so polling overhead is
+// negligible and cancellation latency is at most one repair call.
+//
+// Cancellation is cooperative and sticky: once a source is cancelled it
+// stays cancelled, and work observing the token stops at the next poll
+// point and reports `Status::Cancelled`. A default-constructed token is
+// never cancelled, so synchronous callers pay nothing.
+//
+// The same primitives also carry the *soften* channel of anytime
+// estimation: a token wired into `shap::StopRule::soften` (or
+// `ExplainRequest::soften`) does not kill work when it fires — the
+// wave-synchronous sweep driver finishes its current wave and returns
+// the partial confidence-bounded estimates instead. Hard cancel
+// discards; soften keeps.
+//
+// These types live in `common/` (the bottom layer) because every layer
+// above uses them: core explanation loops poll tokens, the serving
+// layer owns sources and arms deadlines against them
+// (serving/cancel.h's `DeadlineSource`). Core code must not include
+// serving headers — the layer DAG (enforced by tools/trex_check.py)
+// runs common → table → dc/data → repair → core → workload → serving.
+//
+// Thread safety: all operations are safe to call concurrently; the flag
+// is a relaxed atomic (cancellation needs no ordering with other data).
+
+#ifndef TREX_COMMON_CANCEL_H_
+#define TREX_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+namespace trex {
+
+/// Observer half of a cancellation channel (see file comment).
+class CancelToken {
+ public:
+  /// A token that is never cancelled.
+  CancelToken() = default;
+
+  /// True once any underlying source was cancelled.
+  bool cancelled() const {
+    for (const auto& state : states_) {
+      if (state->load(std::memory_order_relaxed)) return true;
+    }
+    return false;
+  }
+
+  /// True when this token observes at least one source (i.e. it can ever
+  /// be cancelled).
+  bool can_be_cancelled() const { return !states_.empty(); }
+
+  /// A token cancelled as soon as either input is. Null inputs are
+  /// dropped, so merging with a default token is free.
+  static CancelToken AnyOf(const CancelToken& a, const CancelToken& b);
+
+ private:
+  friend class CancelSource;
+  std::vector<std::shared_ptr<const std::atomic<bool>>> states_;
+};
+
+/// Owner half of a cancellation channel: hands out tokens and flips them.
+class CancelSource {
+ public:
+  CancelSource() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// A token observing this source.
+  CancelToken token() const;
+
+  /// Requests cancellation; idempotent.
+  void Cancel() { state_->store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const { return state_->load(std::memory_order_relaxed); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace trex
+
+#endif  // TREX_COMMON_CANCEL_H_

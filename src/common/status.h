@@ -47,7 +47,14 @@ const char* StatusCodeToString(StatusCode code);
 /// `Status` is cheap to copy in the OK case (no allocation) and carries a
 /// heap-allocated message otherwise. It is totally ordered on (code,
 /// message) so it can live in containers in tests.
-class Status {
+///
+/// The class itself is `[[nodiscard]]`: any call that returns a `Status`
+/// and ignores it is a compile warning (an error in library code, which
+/// builds with -Werror). Deliberately ignoring one requires a visible
+/// `(void)` cast plus a reason. Every Status/Result-returning API
+/// additionally carries a per-declaration `[[nodiscard]]`, enforced by
+/// tools/trex_check.py (check: status-discipline).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -58,35 +65,35 @@ class Status {
       : code_(code), message_(std::move(message)) {}
 
   /// Named constructors, one per error category.
-  static Status Ok() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status Ok() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status NotImplemented(std::string msg) {
+  [[nodiscard]] static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status Cancelled(std::string msg) {
+  [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
-  static Status Rejected(std::string msg) {
+  [[nodiscard]] static Status Rejected(std::string msg) {
     return Status(StatusCode::kRejected, std::move(msg));
   }
 
@@ -100,7 +107,7 @@ class Status {
   bool IsRejected() const { return code_ == StatusCode::kRejected; }
 
   /// The status category.
-  StatusCode code() const { return code_; }
+  [[nodiscard]] StatusCode code() const { return code_; }
 
   /// The error message; empty for OK statuses.
   const std::string& message() const { return message_; }
@@ -110,7 +117,7 @@ class Status {
 
   /// Returns a copy of this status with `prefix + ": "` prepended to the
   /// message. OK statuses are returned unchanged.
-  Status WithPrefix(const std::string& prefix) const;
+  [[nodiscard]] Status WithPrefix(const std::string& prefix) const;
 
   bool operator==(const Status& other) const {
     return code_ == other.code_ && message_ == other.message_;
@@ -133,7 +140,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 ///   Use(*table);
 /// ```
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit so `return value;` works).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -151,7 +158,7 @@ class Result {
   bool ok() const { return std::holds_alternative<T>(repr_); }
 
   /// The error status, or OK if a value is present.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::Ok();
     return std::get<Status>(repr_);
   }

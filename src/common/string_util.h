@@ -28,10 +28,10 @@ std::string ToLower(std::string_view s);
 std::string ToUpper(std::string_view s);
 
 /// Parses a full string as a signed 64-bit integer (no trailing junk).
-Result<std::int64_t> ParseInt64(std::string_view s);
+[[nodiscard]] Result<std::int64_t> ParseInt64(std::string_view s);
 
 /// Parses a full string as a double (no trailing junk).
-Result<double> ParseDouble(std::string_view s);
+[[nodiscard]] Result<double> ParseDouble(std::string_view s);
 
 /// Formats a double compactly: integers render without a decimal point,
 /// other values with up to `precision` significant digits.

@@ -35,7 +35,7 @@ struct ExplanationComparison {
 /// Compares two explanations by player label. `top_k` bounds the
 /// top-k Jaccard term (default 3). Fails when the explanations share
 /// fewer than two players.
-Result<ExplanationComparison> CompareExplanations(
+[[nodiscard]] Result<ExplanationComparison> CompareExplanations(
     const Explanation& before, const Explanation& after,
     std::size_t top_k = 3);
 

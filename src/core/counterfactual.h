@@ -16,7 +16,7 @@
 
 #include "common/status.h"
 #include "core/game.h"
-#include "serving/cancel.h"
+#include "common/cancel.h"
 
 namespace trex::shap {
 
@@ -34,7 +34,7 @@ struct CounterfactualOptions {
 /// Enumerates inclusion-minimal player sets R with v(N \ R) = 0, in
 /// increasing size then lexicographic order. Requires v(N) != 0 (there
 /// must be something to counterfactually destroy); fails otherwise.
-Result<std::vector<std::vector<std::size_t>>> MinimalRemovalSets(
+[[nodiscard]] Result<std::vector<std::vector<std::size_t>>> MinimalRemovalSets(
     const Game& game, const CounterfactualOptions& options = {});
 
 }  // namespace trex::shap

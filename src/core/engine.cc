@@ -619,6 +619,8 @@ Result<Explanation> Engine::ExplainCells(std::size_t target_index,
       }
       double prev = 0.0;
       bool have_prev = false;
+      // One permutation sweep is the cancellation unit:
+      // trex-check-ok(cancel-poll): RunShardedSweeps polls at shard bounds
       for (std::size_t pos = 0; pos < perm.size(); ++pos) {
         const std::size_t player = perm[pos];
         const std::size_t slot = slot_of[player];

@@ -92,7 +92,7 @@
 #include "core/repair_game.h"
 #include "dc/constraint.h"
 #include "repair/algorithm.h"
-#include "serving/cancel.h"
+#include "common/cancel.h"
 #include "table/table.h"
 
 namespace trex {
@@ -318,7 +318,7 @@ class Engine {
   /// Runs the reference repair if it has not run yet. `Explain` does
   /// this on demand; call it eagerly to surface repair failures early or
   /// to read `reference_clean()`.
-  Status EnsureRepair();
+  [[nodiscard]] Status EnsureRepair();
 
   /// True once the reference repair ran.
   bool has_repair() const { return box_.has_value(); }
@@ -327,7 +327,7 @@ class Engine {
   const Table& reference_clean() const;
 
   /// Serves one explanation request.
-  Result<ExplainResult> Explain(const ExplainRequest& request);
+  [[nodiscard]] Result<ExplainResult> Explain(const ExplainRequest& request);
 
   /// Serves a batch of requests over the shared caches. The reference
   /// repair runs at most once for the whole batch; requests are
@@ -341,7 +341,7 @@ class Engine {
   /// requests — for callers that want one lever over a whole batch.
   /// (The service relies on per-job tokens instead: its shutdown path
   /// flips every outstanding job's own source.)
-  Result<BatchResult> ExplainBatch(const std::vector<ExplainRequest>& requests,
+  [[nodiscard]] Result<BatchResult> ExplainBatch(const std::vector<ExplainRequest>& requests,
                                    CancelToken cancel = {});
 
   /// Adaptive top-k cell ranking (see CellExplainer::ExplainTopK). The
@@ -351,7 +351,7 @@ class Engine {
   /// ranking is bit-identical at every thread count. `soften` degrades
   /// like `ExplainRequest::soften`: finish the current round and return
   /// the partial ranking.
-  Result<Explanation> ExplainTopKCells(CellRef target, std::size_t k,
+  [[nodiscard]] Result<Explanation> ExplainTopKCells(CellRef target, std::size_t k,
                                        const CellExplainerOptions& options,
                                        CancelToken cancel = {},
                                        CancelToken soften = {});
@@ -368,9 +368,9 @@ class Engine {
  private:
   /// Cheap request screening (bounds, option consistency) that must run
   /// before the reference repair is paid for.
-  Status ValidateRequest(const ExplainRequest& request) const;
+  [[nodiscard]] Status ValidateRequest(const ExplainRequest& request) const;
 
-  Result<std::size_t> EnsureTarget(CellRef target);
+  [[nodiscard]] Result<std::size_t> EnsureTarget(CellRef target);
 
   /// The effective stopping rule for a request: its `anytime` override
   /// (or the engine default) lowered onto a `shap::StopRule`, with the
@@ -382,26 +382,26 @@ class Engine {
   // The sampled per-kind helpers take the whole request (for anytime
   // options and the soften token) and record sweep telemetry — sweeps,
   // achieved CI width, early-stop/approximate flags — onto `result`.
-  Result<Explanation> ExplainConstraints(std::size_t target_index,
+  [[nodiscard]] Result<Explanation> ExplainConstraints(std::size_t target_index,
                                          const ExplainRequest& request,
                                          ExplainResult* result);
-  Result<std::vector<InteractionScore>> ExplainInteractions(
+  [[nodiscard]] Result<std::vector<InteractionScore>> ExplainInteractions(
       std::size_t target_index, const ConstraintExplainerOptions& options,
       const CancelToken& cancel);
-  Result<std::vector<std::vector<std::string>>> ExplainRemovalSets(
+  [[nodiscard]] Result<std::vector<std::vector<std::string>>> ExplainRemovalSets(
       std::size_t target_index, const ConstraintExplainerOptions& options,
       std::size_t max_set_size, const CancelToken& cancel);
-  Result<Explanation> ExplainCells(std::size_t target_index,
+  [[nodiscard]] Result<Explanation> ExplainCells(std::size_t target_index,
                                    const ExplainRequest& request,
                                    ExplainResult* result);
-  Result<PlayerScore> ExplainSingleCell(std::size_t target_index,
+  [[nodiscard]] Result<PlayerScore> ExplainSingleCell(std::size_t target_index,
                                         const ExplainRequest& request,
                                         ExplainResult* result);
 
-  Result<std::vector<CellRef>> PlayerCells(const CellExplainerOptions& options,
+  [[nodiscard]] Result<std::vector<CellRef>> PlayerCells(const CellExplainerOptions& options,
                                            CellRef target) const;
-  Status RequireRepairedTarget(std::size_t target_index) const;
-  Status RequireMaskableConstraints() const;
+  [[nodiscard]] Status RequireRepairedTarget(std::size_t target_index) const;
+  [[nodiscard]] Status RequireMaskableConstraints() const;
   /// The engine's persistent worker pool (lazily created; null while the
   /// engine is configured single-threaded) so repeated sampling requests
   /// don't respawn threads.

@@ -116,7 +116,7 @@ class ConstraintExplainer {
 
   /// Explains why `target` was repaired, attributing over `dcs`.
   /// Fails when the reference repair does not change `target`.
-  Result<Explanation> Explain(const repair::RepairAlgorithm& algorithm,
+  [[nodiscard]] Result<Explanation> Explain(const repair::RepairAlgorithm& algorithm,
                               const dc::DcSet& dcs, const Table& dirty,
                               CellRef target) const;
 
@@ -125,7 +125,7 @@ class ConstraintExplainer {
   /// Example 2.3 "as a pair" reading: for the running example,
   /// I(C1,C2) > 0 (complements) and I(C1,C3) < 0 (substitutes). Exact
   /// only (constraint counts are small).
-  Result<std::vector<InteractionScore>> ExplainInteractions(
+  [[nodiscard]] Result<std::vector<InteractionScore>> ExplainInteractions(
       const repair::RepairAlgorithm& algorithm, const dc::DcSet& dcs,
       const Table& dirty, CellRef target) const;
 
@@ -133,7 +133,7 @@ class ConstraintExplainer {
   /// removal stops the repair of `target` (constraint names, smallest
   /// sets first). For the running example: {C1,C3} and {C2,C3}.
   /// `max_set_size` bounds the search.
-  Result<std::vector<std::vector<std::string>>> ExplainRemovalSets(
+  [[nodiscard]] Result<std::vector<std::vector<std::string>>> ExplainRemovalSets(
       const repair::RepairAlgorithm& algorithm, const dc::DcSet& dcs,
       const Table& dirty, CellRef target,
       std::size_t max_set_size = 3) const;
@@ -182,14 +182,14 @@ class CellExplainer {
   /// Ranks every (relevant) cell of T^d by Shapley contribution to the
   /// repair of `target`. Fails when the reference repair does not change
   /// `target`.
-  Result<Explanation> Explain(const repair::RepairAlgorithm& algorithm,
+  [[nodiscard]] Result<Explanation> Explain(const repair::RepairAlgorithm& algorithm,
                               const dc::DcSet& dcs, const Table& dirty,
                               CellRef target) const;
 
   /// The paper's Example 2.5 single-cell loop: estimates only
   /// `player_cell`'s contribution with `num_samples` (permutation, draw)
   /// iterations — two black-box evaluations each.
-  Result<PlayerScore> ExplainSingleCell(
+  [[nodiscard]] Result<PlayerScore> ExplainSingleCell(
       const repair::RepairAlgorithm& algorithm, const dc::DcSet& dcs,
       const Table& dirty, CellRef target, CellRef player_cell) const;
 
@@ -199,7 +199,7 @@ class CellExplainer {
   /// full ranking needs. `options().num_samples` is the sweep budget
   /// cap. The returned explanation still lists every player, with
   /// whatever precision the early stop left them at.
-  Result<Explanation> ExplainTopK(const repair::RepairAlgorithm& algorithm,
+  [[nodiscard]] Result<Explanation> ExplainTopK(const repair::RepairAlgorithm& algorithm,
                                   const dc::DcSet& dcs, const Table& dirty,
                                   CellRef target, std::size_t k) const;
 

@@ -23,7 +23,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/game.h"
-#include "serving/cancel.h"
+#include "common/cancel.h"
 
 namespace trex::shap {
 
@@ -52,11 +52,11 @@ struct InteractionOptions {
 /// Exact pairwise Shapley interaction indices for all player pairs
 /// (a < b), via subset enumeration. Fails when the game exceeds
 /// `options.max_players`.
-Result<std::vector<Interaction>> ComputeShapleyInteractions(
+[[nodiscard]] Result<std::vector<Interaction>> ComputeShapleyInteractions(
     const Game& game, const InteractionOptions& options = {});
 
 /// Exact interaction index for one pair.
-Result<double> ComputeShapleyInteraction(const Game& game,
+[[nodiscard]] Result<double> ComputeShapleyInteraction(const Game& game,
                                          std::size_t player_a,
                                          std::size_t player_b,
                                          const InteractionOptions& options = {});

@@ -110,20 +110,20 @@ class BlackBoxRepair {
   /// Runs the reference repair `Alg(dcs, dirty)` once and registers every
   /// cell of `targets` (deduplicated, order preserved) against it.
   /// `targets` may be empty; add cells later with `AddTarget`.
-  static Result<BlackBoxRepair> MakeMultiTarget(
+  [[nodiscard]] static Result<BlackBoxRepair> MakeMultiTarget(
       const repair::RepairAlgorithm* algorithm, dc::DcSet dcs, Table dirty,
       const std::vector<CellRef>& targets);
 
   /// Like the `Table` overload but *shares* the dirty table with the
   /// caller instead of holding its own copy — the engine hands its table
   /// over at `EnsureRepair` so only one dirty copy stays resident.
-  static Result<BlackBoxRepair> MakeMultiTarget(
+  [[nodiscard]] static Result<BlackBoxRepair> MakeMultiTarget(
       const repair::RepairAlgorithm* algorithm, dc::DcSet dcs,
       std::shared_ptr<const Table> dirty, const std::vector<CellRef>& targets);
 
   /// Single-target convenience (the seed API): equivalent to
   /// `MakeMultiTarget(..., {target})`.
-  static Result<BlackBoxRepair> Make(
+  [[nodiscard]] static Result<BlackBoxRepair> Make(
       const repair::RepairAlgorithm* algorithm, dc::DcSet dcs, Table dirty,
       CellRef target);
 
@@ -133,7 +133,7 @@ class BlackBoxRepair {
   /// `SealTargets()`: resident sealed entries do not cover the new
   /// target and fall back to recompute-on-miss (see file comment).
   /// Must not race with concurrent evaluations.
-  Result<std::size_t> AddTarget(CellRef target);
+  [[nodiscard]] Result<std::size_t> AddTarget(CellRef target);
 
   /// Index of a registered target cell, if any. O(1).
   std::optional<std::size_t> FindTarget(CellRef target) const;

@@ -108,6 +108,8 @@ Result<std::vector<double>> ComputeExactShapleyByPermutations(
   do {
     Coalition coalition(n, false);
     double prev = game.Value(coalition);
+    // This API takes no CancelToken by design:
+    // trex-check-ok(cancel-poll): the n <= 10 guard caps the enumeration
     for (std::size_t pos = 0; pos < n; ++pos) {
       coalition[perm[pos]] = true;
       const double curr = game.Value(coalition);

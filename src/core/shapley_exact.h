@@ -17,7 +17,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/game.h"
-#include "serving/cancel.h"
+#include "common/cancel.h"
 
 namespace trex::shap {
 
@@ -44,12 +44,12 @@ struct ExactShapleyOptions {
 /// Exact Shapley values for every player via subset enumeration (see
 /// file comment). Fails with InvalidArgument when the game exceeds
 /// `options.max_players`.
-Result<std::vector<double>> ComputeExactShapley(
+[[nodiscard]] Result<std::vector<double>> ComputeExactShapley(
     const Game& game, const ExactShapleyOptions& options = {});
 
 /// Exact Shapley values via full permutation enumeration; requires
 /// `num_players() <= 10`. Slow — test oracle only.
-Result<std::vector<double>> ComputeExactShapleyByPermutations(
+[[nodiscard]] Result<std::vector<double>> ComputeExactShapleyByPermutations(
     const Game& game);
 
 /// Exact (non-normalized) Banzhaf values via subset enumeration:
@@ -59,7 +59,7 @@ Result<std::vector<double>> ComputeExactShapleyByPermutations(
 /// i is pivotal under a uniform random coalition") and is the common
 /// comparison point for Shapley-based explanations. Same exponential
 /// cost model and player cap as `ComputeExactShapley`.
-Result<std::vector<double>> ComputeExactBanzhaf(
+[[nodiscard]] Result<std::vector<double>> ComputeExactBanzhaf(
     const Game& game, const ExactShapleyOptions& options = {});
 
 }  // namespace trex::shap

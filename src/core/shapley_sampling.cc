@@ -440,6 +440,8 @@ Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
       Coalition coalition(n, false);
       double prev = 0.0;
       bool have_prev = false;
+      // One permutation sweep is the cancellation unit:
+      // trex-check-ok(cancel-poll): RunShardedSweeps polls at shard bounds
       for (std::size_t pos = 0; pos < n; ++pos) {
         const std::size_t p = perm[pos];
         if (frozen[p]) {
@@ -509,6 +511,8 @@ Result<TopKResult> EstimateTopKPlayers(const Game& game,
     const std::vector<std::size_t> perm = rng->Permutation(n);
     Coalition coalition(n, false);
     double prev = game.Value(coalition);
+    // One permutation sweep is the cancellation unit:
+    // trex-check-ok(cancel-poll): RunShardedSweeps polls at shard bounds
     for (std::size_t pos = 0; pos < n; ++pos) {
       coalition[perm[pos]] = true;
       const double curr = game.Value(coalition);

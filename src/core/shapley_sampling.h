@@ -41,7 +41,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/game.h"
-#include "serving/cancel.h"
+#include "common/cancel.h"
 
 namespace trex::shap {
 
@@ -275,14 +275,14 @@ SweepOutcome RunShardedSweeps(
                              const std::vector<bool>& frozen)>& sweep);
 
 /// Estimates the Shapley value of `player` (see file comment).
-Result<Estimate> EstimateShapleyForPlayer(const Game& game,
+[[nodiscard]] Result<Estimate> EstimateShapleyForPlayer(const Game& game,
                                           std::size_t player,
                                           const SamplingOptions& options = {});
 
 /// Estimates all players' Shapley values with permutation sweeps.
 /// `outcome` (optional) receives the full sweep outcome — sweeps
 /// consumed, achieved confidence width, freeze count, soften flag.
-Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
+[[nodiscard]] Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
     const Game& game, const SamplingOptions& options = {},
     SweepOutcome* outcome = nullptr);
 
@@ -299,7 +299,7 @@ Result<std::vector<Estimate>> EstimateShapleyAllPlayers(
 /// its own `ShardSeed`-derived RNG stream, so results are bit-identical
 /// at every thread count. Useful when marginals differ sharply by
 /// coalition size (binary repair games often do).
-Result<Estimate> EstimateShapleyStratified(const Game& game,
+[[nodiscard]] Result<Estimate> EstimateShapleyStratified(const Game& game,
                                            std::size_t player,
                                            const SamplingOptions& options = {});
 
@@ -355,7 +355,7 @@ struct TopKResult {
 /// the first few rows of the ranking. Runs on the wave-synchronous
 /// sweep driver: a round's sweeps execute in parallel and the
 /// separation test is evaluated at round boundaries only.
-Result<TopKResult> EstimateTopKPlayers(const Game& game,
+[[nodiscard]] Result<TopKResult> EstimateTopKPlayers(const Game& game,
                                        const TopKOptions& options = {});
 
 }  // namespace trex::shap

@@ -24,7 +24,7 @@
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/game.h"
-#include "serving/cancel.h"
+#include "common/cancel.h"
 
 namespace trex::shap {
 
@@ -55,7 +55,7 @@ struct SubsetWalkOptions {
 /// player i present). Fails with InvalidArgument past
 /// `options.max_players`, `Status::Cancelled` on cancellation.
 /// `context` names the caller in error messages ("exact Shapley", ...).
-Result<std::vector<double>> MaterializeCoalitionValues(
+[[nodiscard]] Result<std::vector<double>> MaterializeCoalitionValues(
     const Game& game, const SubsetWalkOptions& options, const char* context);
 
 }  // namespace trex::shap

@@ -61,25 +61,6 @@ C4: !(t1.Team != t2.Team & t1.Year == t2.Year & t1.League == t2.League & t1.Plac
   return std::move(dcs).value();
 }
 
-std::shared_ptr<repair::RuleRepair> MakeAlgorithm1() {
-  // Algorithm 1, step by step:
-  //  1. C1 contradiction  -> City := argmax P[City]
-  //  2. C2 contradiction  -> Country := argmax P[Country | City]
-  //  3. C3 contradiction  -> Country := argmax P[Country]
-  //  4. C4 contradiction  -> Place := argmax P[Place | Team]
-  std::vector<repair::RepairRule> rules;
-  rules.push_back(repair::RepairRule{
-      "C1", repair::RuleAction::kSetMostCommon, "City", ""});
-  rules.push_back(repair::RepairRule{
-      "C2", repair::RuleAction::kSetMostCommonGiven, "Country", "City"});
-  rules.push_back(repair::RepairRule{
-      "C3", repair::RuleAction::kSetMostCommon, "Country", ""});
-  rules.push_back(repair::RepairRule{
-      "C4", repair::RuleAction::kSetMostCommonGiven, "Place", "Team"});
-  return std::make_shared<repair::RuleRepair>("algorithm-1",
-                                              std::move(rules));
-}
-
 CellRef SoccerTargetCell() { return SoccerCell(5, "Country"); }
 
 CellRef SoccerCell(std::size_t row_1based, const char* attribute) {

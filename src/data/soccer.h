@@ -12,10 +12,7 @@
 #ifndef TREX_DATA_SOCCER_H_
 #define TREX_DATA_SOCCER_H_
 
-#include <memory>
-
 #include "dc/constraint.h"
-#include "repair/rule_repair.h"
 #include "table/table.h"
 
 namespace trex::data {
@@ -35,9 +32,6 @@ Table SoccerCleanTable();
 /// Figure 1: C1 (Team -> City), C2 (City -> Country), C3 (League ->
 /// Country), C4 (no two teams share league/year/place).
 dc::DcSet SoccerConstraints();
-
-/// Algorithm 1: the four repair steps bound to C1..C4.
-std::shared_ptr<repair::RuleRepair> MakeAlgorithm1();
 
 /// The paper's cell of interest t5[Country] (0-based row 4).
 CellRef SoccerTargetCell();

@@ -30,7 +30,7 @@ class DenialConstraint {
   /// Constructs a DC; `arity` is 1 or 2 (number of tuple variables).
   /// Invalid shapes (predicates mentioning t2 in a unary DC, empty
   /// predicate list) are rejected.
-  static Result<DenialConstraint> Make(std::string name, int arity,
+  [[nodiscard]] static Result<DenialConstraint> Make(std::string name, int arity,
                                        std::vector<Predicate> predicates);
 
   /// Convenience: builds the FD `lhs -> rhs` as a binary DC named `name`.
@@ -107,7 +107,7 @@ class DcSet {
   }
 
   /// Index of the constraint with the given name.
-  Result<std::size_t> IndexOf(const std::string& name) const;
+  [[nodiscard]] Result<std::size_t> IndexOf(const std::string& name) const;
 
   /// The sub-set selected by `mask` (bit i keeps constraint i), preserving
   /// order. Requires size() <= 64.

@@ -1,5 +1,6 @@
 #include "dc/discovery.h"
 
+#include <algorithm>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -73,10 +74,22 @@ std::vector<std::vector<std::size_t>> GroupRows(const Table& table,
   }
   std::vector<std::vector<std::size_t>> out;
   out.reserve(groups.size());
+  // The drained order is immediately re-keyed below:
+  // trex-check-ok(unordered-determinism): re-sorted by front() below
   for (auto& [key, rows] : groups) {
     (void)key;
     out.push_back(std::move(rows));
   }
+  // Hash-order is not a contract: the bucket layout (and therefore the
+  // iteration order above) may differ across standard libraries, so the
+  // group list is re-keyed on the smallest member row — deterministic
+  // for any hasher. Each group's rows are already ascending (rows are
+  // visited 0..n), so front() identifies the group.
+  std::sort(out.begin(), out.end(),
+            [](const std::vector<std::size_t>& a,
+               const std::vector<std::size_t>& b) {
+              return a.front() < b.front();
+            });
   return out;
 }
 

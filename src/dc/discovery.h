@@ -54,11 +54,11 @@ struct FdDiscoveryOptions {
 
 /// Mines FDs over `table` (see file comment). Results are ordered by
 /// (|lhs|, lhs columns, rhs column) so output is deterministic.
-Result<std::vector<DiscoveredFd>> DiscoverFds(
+[[nodiscard]] Result<std::vector<DiscoveredFd>> DiscoverFds(
     const Table& table, const FdDiscoveryOptions& options = {});
 
 /// Convenience: the discovered dependencies as a `DcSet`.
-Result<DcSet> DiscoverFdConstraints(const Table& table,
+[[nodiscard]] Result<DcSet> DiscoverFdConstraints(const Table& table,
                                     const FdDiscoveryOptions& options = {});
 
 }  // namespace trex::dc

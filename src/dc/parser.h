@@ -36,12 +36,12 @@ namespace trex::dc {
 /// Parses a single DC. The name is taken from a leading "name:" prefix if
 /// present, else `default_name`. Attribute names are resolved against
 /// `schema`; unknown attributes are an error.
-Result<DenialConstraint> ParseDc(std::string_view text, const Schema& schema,
+[[nodiscard]] Result<DenialConstraint> ParseDc(std::string_view text, const Schema& schema,
                                  std::string default_name = "DC");
 
 /// Parses one DC per non-empty, non-comment (`#`) line. Unnamed lines get
 /// names "C1", "C2", ... by position.
-Result<DcSet> ParseDcSet(std::string_view text, const Schema& schema);
+[[nodiscard]] Result<DcSet> ParseDcSet(std::string_view text, const Schema& schema);
 
 }  // namespace trex::dc
 

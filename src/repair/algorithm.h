@@ -39,7 +39,7 @@ class RepairAlgorithm {
   /// internally synchronized): the engine's sharded samplers invoke it
   /// in parallel when `EngineOptions::num_threads > 1`. All bundled
   /// repairers are stateless.
-  virtual Result<Table> Repair(const dc::DcSet& dcs,
+  [[nodiscard]] virtual Result<Table> Repair(const dc::DcSet& dcs,
                                const Table& dirty) const = 0;
 
   /// Optionally exposes which columns can influence which under this

@@ -31,7 +31,7 @@ class FdRepair : public RepairAlgorithm {
 
   std::string name() const override { return "fd-repair"; }
 
-  Result<Table> Repair(const dc::DcSet& dcs,
+  [[nodiscard]] Result<Table> Repair(const dc::DcSet& dcs,
                        const Table& dirty) const override;
 
   /// Precise influence graph: each FD X -> B contributes X, B -> B.

@@ -34,7 +34,7 @@ class HolisticRepair : public RepairAlgorithm {
 
   std::string name() const override { return "holistic"; }
 
-  Result<Table> Repair(const dc::DcSet& dcs,
+  [[nodiscard]] Result<Table> Repair(const dc::DcSet& dcs,
                        const Table& dirty) const override;
 
  private:

@@ -68,7 +68,7 @@ class HoloCleanRepair : public RepairAlgorithm {
 
   std::string name() const override { return "holoclean"; }
 
-  Result<Table> Repair(const dc::DcSet& dcs,
+  [[nodiscard]] Result<Table> Repair(const dc::DcSet& dcs,
                        const Table& dirty) const override;
 
   const HoloCleanOptions& options() const { return options_; }

@@ -41,7 +41,7 @@ struct RepairQuality {
 /// Scores `repaired` against `truth`, given the original `dirty` table
 /// and the constraint set (for residual violations). All three tables
 /// must share shape.
-Result<RepairQuality> EvaluateRepair(const Table& dirty,
+[[nodiscard]] Result<RepairQuality> EvaluateRepair(const Table& dirty,
                                      const Table& repaired,
                                      const Table& truth,
                                      const dc::DcSet& dcs);

@@ -63,7 +63,7 @@ class RuleRepair : public RepairAlgorithm {
 
   std::string name() const override { return name_; }
 
-  Result<Table> Repair(const dc::DcSet& dcs,
+  [[nodiscard]] Result<Table> Repair(const dc::DcSet& dcs,
                        const Table& dirty) const override;
 
   /// Precise influence graph: each rule adds edges from its constraint's

@@ -1,0 +1,24 @@
+#include "repair/soccer_algorithm1.h"
+
+#include <utility>
+#include <vector>
+
+namespace trex::repair {
+
+std::shared_ptr<RuleRepair> MakeAlgorithm1() {
+  // Algorithm 1, step by step:
+  //  1. C1 contradiction  -> City := argmax P[City]
+  //  2. C2 contradiction  -> Country := argmax P[Country | City]
+  //  3. C3 contradiction  -> Country := argmax P[Country]
+  //  4. C4 contradiction  -> Place := argmax P[Place | Team]
+  std::vector<RepairRule> rules;
+  rules.push_back(RepairRule{"C1", RuleAction::kSetMostCommon, "City", ""});
+  rules.push_back(
+      RepairRule{"C2", RuleAction::kSetMostCommonGiven, "Country", "City"});
+  rules.push_back(RepairRule{"C3", RuleAction::kSetMostCommon, "Country", ""});
+  rules.push_back(
+      RepairRule{"C4", RuleAction::kSetMostCommonGiven, "Place", "Team"});
+  return std::make_shared<RuleRepair>("algorithm-1", std::move(rules));
+}
+
+}  // namespace trex::repair

@@ -1,0 +1,26 @@
+// Algorithm 1 from the paper: the didactic rule repairer bound to the
+// running example's constraints C1..C4 (see data/soccer.h for the
+// fixture itself).
+//
+// This factory lives in the repair layer, not in data/, because it
+// constructs a `repair::RuleRepair` — and the layer DAG
+// (common → table → dc/data → repair → core → workload → serving,
+// enforced by tools/trex_check.py) forbids data/ from including
+// repair/ headers. The data layer owns the tables and constraints; the
+// repair layer owns the algorithms that consume them.
+
+#ifndef TREX_REPAIR_SOCCER_ALGORITHM1_H_
+#define TREX_REPAIR_SOCCER_ALGORITHM1_H_
+
+#include <memory>
+
+#include "repair/rule_repair.h"
+
+namespace trex::repair {
+
+/// Algorithm 1: the four repair steps bound to C1..C4.
+std::shared_ptr<RuleRepair> MakeAlgorithm1();
+
+}  // namespace trex::repair
+
+#endif  // TREX_REPAIR_SOCCER_ALGORITHM1_H_

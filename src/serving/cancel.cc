@@ -6,22 +6,6 @@
 
 namespace trex {
 
-CancelToken CancelToken::AnyOf(const CancelToken& a, const CancelToken& b) {
-  CancelToken merged;
-  merged.states_.reserve(a.states_.size() + b.states_.size());
-  merged.states_.insert(merged.states_.end(), a.states_.begin(),
-                        a.states_.end());
-  merged.states_.insert(merged.states_.end(), b.states_.begin(),
-                        b.states_.end());
-  return merged;
-}
-
-CancelToken CancelSource::token() const {
-  CancelToken token;
-  token.states_.push_back(state_);
-  return token;
-}
-
 DeadlineSource::DeadlineSource() = default;
 
 DeadlineSource::~DeadlineSource() {

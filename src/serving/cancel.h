@@ -1,18 +1,9 @@
-// Cooperative cancellation primitives for the serving layer.
+// Deadline enforcement for the serving layer.
 //
-// `CancelSource` owns a cancellation flag; `CancelToken` is a cheap,
-// copyable observer of one or more flags. Tokens are threaded through
-// the long-running explanation loops (the permutation sweeps in
-// core/shapley_sampling and the 2^n subset enumerations in
-// core/shapley_exact / core/interaction / core/counterfactual), which
-// poll `cancelled()` between characteristic-function evaluations — each
-// evaluation is a full black-box repair run, so polling overhead is
-// negligible and cancellation latency is at most one repair call.
-//
-// Cancellation is cooperative and sticky: once a source is cancelled it
-// stays cancelled, and work observing the token stops at the next poll
-// point and reports `Status::Cancelled`. A default-constructed token is
-// never cancelled, so synchronous callers pay nothing.
+// The cancellation primitives themselves (`CancelToken` /
+// `CancelSource`) live in common/cancel.h — the bottom layer — because
+// the core explanation loops poll tokens without depending on serving.
+// This header adds the serving-side owner infrastructure:
 //
 // `DeadlineSource` turns wall-clock deadlines into cancellations: a
 // single timer thread holds a min-heap of (deadline, CancelSource) and
@@ -22,23 +13,14 @@
 // deep inside a permutation sweep / 2^n subset walk (all of which poll
 // between black-box evaluations).
 //
-// The same primitives also carry the *soften* channel of anytime
-// estimation: a token wired into `shap::StopRule::soften` (or
-// `ExplainRequest::soften`) does not kill work when it fires — the
-// wave-synchronous sweep driver finishes its current wave and returns
-// the partial confidence-bounded estimates instead. Under
-// `RequestOptions::degrade_on_deadline` the service arms the deadline
-// against a soften source rather than the job's cancel source, which is
-// how deadline expiry degrades to an approximate answer instead of
-// `Status::Cancelled`. Hard cancel discards; soften keeps.
-//
-// Thread safety: all operations are safe to call concurrently; the flag
-// is a relaxed atomic (cancellation needs no ordering with other data).
+// Under `RequestOptions::degrade_on_deadline` the service arms the
+// deadline against a *soften* source rather than the job's cancel
+// source, which is how deadline expiry degrades to an approximate
+// answer instead of `Status::Cancelled` (see common/cancel.h).
 
 #ifndef TREX_SERVING_CANCEL_H_
 #define TREX_SERVING_CANCEL_H_
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -46,58 +28,12 @@
 #include <thread>
 #include <unordered_map>
 #include <utility>
-#include <vector>
 
+#include "common/cancel.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
 namespace trex {
-
-/// Observer half of a cancellation channel (see file comment). Lives in
-/// namespace `trex` (not `trex::serving`) because core explanation code
-/// accepts tokens without depending on the service classes.
-class CancelToken {
- public:
-  /// A token that is never cancelled.
-  CancelToken() = default;
-
-  /// True once any underlying source was cancelled.
-  bool cancelled() const {
-    for (const auto& state : states_) {
-      if (state->load(std::memory_order_relaxed)) return true;
-    }
-    return false;
-  }
-
-  /// True when this token observes at least one source (i.e. it can ever
-  /// be cancelled).
-  bool can_be_cancelled() const { return !states_.empty(); }
-
-  /// A token cancelled as soon as either input is. Null inputs are
-  /// dropped, so merging with a default token is free.
-  static CancelToken AnyOf(const CancelToken& a, const CancelToken& b);
-
- private:
-  friend class CancelSource;
-  std::vector<std::shared_ptr<const std::atomic<bool>>> states_;
-};
-
-/// Owner half of a cancellation channel: hands out tokens and flips them.
-class CancelSource {
- public:
-  CancelSource() : state_(std::make_shared<std::atomic<bool>>(false)) {}
-
-  /// A token observing this source.
-  CancelToken token() const;
-
-  /// Requests cancellation; idempotent.
-  void Cancel() { state_->store(true, std::memory_order_relaxed); }
-
-  bool cancelled() const { return state_->load(std::memory_order_relaxed); }
-
- private:
-  std::shared_ptr<std::atomic<bool>> state_;
-};
 
 /// Timer-driven deadline enforcement (see file comment): one thread
 /// over an ordered map of armed deadlines, firing

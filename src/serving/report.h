@@ -6,13 +6,13 @@
 // for cells, a green-graded heatmap over the table — "the darker the
 // color, the more influencing the DC/cell is" (§3).
 
-#ifndef TREX_CORE_REPORT_H_
-#define TREX_CORE_REPORT_H_
+#ifndef TREX_SERVING_REPORT_H_
+#define TREX_SERVING_REPORT_H_
 
 #include <string>
 
 #include "core/explainer.h"
-#include "core/session.h"
+#include "serving/session.h"
 #include "table/printer.h"
 
 namespace trex {
@@ -65,4 +65,4 @@ std::string RenderRemovalSets(
 
 }  // namespace trex
 
-#endif  // TREX_CORE_REPORT_H_
+#endif  // TREX_SERVING_REPORT_H_

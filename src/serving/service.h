@@ -213,7 +213,7 @@ class Ticket {
 
   /// Blocks until resolution and returns the result (copy; callable from
   /// any thread, any number of times).
-  Result<ExplainResult> Wait();
+  [[nodiscard]] Result<ExplainResult> Wait();
 
  private:
   friend class ExplainService;
@@ -246,7 +246,7 @@ class ExplainService {
 
   /// Submit + Wait, for callers that want the service's routing but not
   /// its asynchrony (the session's synchronous explain calls).
-  Result<ExplainResult> ExplainSync(
+  [[nodiscard]] Result<ExplainResult> ExplainSync(
       std::shared_ptr<const repair::RepairAlgorithm> algorithm, dc::DcSet dcs,
       std::shared_ptr<const Table> table, ExplainRequest request,
       RequestOptions options = {});

@@ -1,4 +1,4 @@
-#include "core/session.h"
+#include "serving/session.h"
 
 #include "common/logging.h"
 #include "common/mutex.h"

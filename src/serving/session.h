@@ -30,8 +30,8 @@
 // tickets obtained from `SubmitExplain` may be awaited or cancelled
 // from any thread.
 
-#ifndef TREX_CORE_SESSION_H_
-#define TREX_CORE_SESSION_H_
+#ifndef TREX_SERVING_SESSION_H_
+#define TREX_SERVING_SESSION_H_
 
 #include <memory>
 #include <optional>
@@ -73,7 +73,7 @@ class TRexSession {
 
   /// Runs the repair algorithm; afterwards `clean()` and
   /// `repaired_cells()` are available.
-  Status Repair();
+  [[nodiscard]] Status Repair();
 
   /// True once `Repair()` has run (and no edit invalidated it).
   bool has_repair() const { return entry_ != nullptr; }
@@ -100,29 +100,29 @@ class TRexSession {
 
   /// Resolves "tk[Attr]"-style coordinates, e.g. `CellAt(4, "Country")`
   /// (row is 0-based).
-  Result<CellRef> CellAt(std::size_t row, const std::string& attribute) const;
+  [[nodiscard]] Result<CellRef> CellAt(std::size_t row, const std::string& attribute) const;
 
   /// Ranks the DCs by contribution to the repair of `target`.
-  Result<Explanation> ExplainConstraints(
+  [[nodiscard]] Result<Explanation> ExplainConstraints(
       CellRef target, const ConstraintExplainerOptions& options = {}) const;
 
   /// Pairwise constraint interactions for the repair of `target`
   /// (complements / substitutes; see core/interaction.h).
-  Result<std::vector<InteractionScore>> ExplainConstraintInteractions(
+  [[nodiscard]] Result<std::vector<InteractionScore>> ExplainConstraintInteractions(
       CellRef target, const ConstraintExplainerOptions& options = {}) const;
 
   /// Ranks the cells of T^d by contribution to the repair of `target`.
-  Result<Explanation> ExplainCells(
+  [[nodiscard]] Result<Explanation> ExplainCells(
       CellRef target, const CellExplainerOptions& options = {}) const;
 
   /// Estimates a single cell's contribution (Example 2.5).
-  Result<PlayerScore> ExplainSingleCell(
+  [[nodiscard]] Result<PlayerScore> ExplainSingleCell(
       CellRef target, CellRef player_cell,
       const CellExplainerOptions& options = {}) const;
 
   /// Serves a heterogeneous batch of explanation requests against the
   /// session's repair, sharing one reference run and the memo caches.
-  Result<BatchResult> ExplainBatch(
+  [[nodiscard]] Result<BatchResult> ExplainBatch(
       const std::vector<ExplainRequest>& requests) const;
 
   /// Async submission against the session's repair: returns a ticket
@@ -138,19 +138,19 @@ class TRexSession {
   // ---- Iteration: edits invalidate the cached repair. ----
 
   /// Overwrites a cell of the dirty table.
-  Status SetDirtyCell(CellRef cell, Value value);
+  [[nodiscard]] Status SetDirtyCell(CellRef cell, Value value);
 
   /// Removes the constraint with the given name.
-  Status RemoveConstraint(const std::string& name);
+  [[nodiscard]] Status RemoveConstraint(const std::string& name);
 
   /// Adds a constraint (name must be unused).
-  Status AddConstraint(dc::DenialConstraint constraint);
+  [[nodiscard]] Status AddConstraint(dc::DenialConstraint constraint);
 
   /// Replaces the same-named constraint.
-  Status ReplaceConstraint(dc::DenialConstraint constraint);
+  [[nodiscard]] Status ReplaceConstraint(dc::DenialConstraint constraint);
 
  private:
-  Status RequireRepair() const;
+  [[nodiscard]] Status RequireRepair() const;
   void InvalidateRepair();
 
   std::shared_ptr<const repair::RepairAlgorithm> algorithm_;
@@ -172,4 +172,4 @@ class TRexSession {
 
 }  // namespace trex
 
-#endif  // TREX_CORE_SESSION_H_
+#endif  // TREX_SERVING_SESSION_H_

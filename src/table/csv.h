@@ -24,10 +24,10 @@ struct CsvOptions {
 };
 
 /// Parses CSV text whose first record is the header into a `Table`.
-Result<Table> ReadCsv(std::string_view text, const CsvOptions& options = {});
+[[nodiscard]] Result<Table> ReadCsv(std::string_view text, const CsvOptions& options = {});
 
 /// Reads and parses a CSV file.
-Result<Table> ReadCsvFile(const std::string& path,
+[[nodiscard]] Result<Table> ReadCsvFile(const std::string& path,
                           const CsvOptions& options = {});
 
 /// Serializes a table (with header) to CSV text. Null cells render as the
@@ -35,7 +35,7 @@ Result<Table> ReadCsvFile(const std::string& path,
 std::string WriteCsv(const Table& table, char separator = ',');
 
 /// Writes a table to a file.
-Status WriteCsvFile(const Table& table, const std::string& path,
+[[nodiscard]] Status WriteCsvFile(const Table& table, const std::string& path,
                     char separator = ',');
 
 }  // namespace trex

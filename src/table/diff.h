@@ -30,7 +30,7 @@ struct RepairedCell {
 
 /// Computes the cells that differ between `dirty` and `clean`. Fails when
 /// the tables are not the same shape. Results are in row-major order.
-Result<std::vector<RepairedCell>> DiffTables(const Table& dirty,
+[[nodiscard]] Result<std::vector<RepairedCell>> DiffTables(const Table& dirty,
                                              const Table& clean);
 
 /// Convenience: true iff cell `cell` holds `clean`'s value in `candidate`,

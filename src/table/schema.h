@@ -37,7 +37,7 @@ class Schema {
   static Schema AllStrings(std::initializer_list<const char*> names);
 
   /// Checked construction: fails on duplicate or empty attribute names.
-  static Result<Schema> Make(std::vector<Attribute> attributes);
+  [[nodiscard]] static Result<Schema> Make(std::vector<Attribute> attributes);
 
   /// Number of attributes.
   std::size_t size() const { return attributes_.size(); }
@@ -50,7 +50,7 @@ class Schema {
   const std::vector<Attribute>& attributes() const { return attributes_; }
 
   /// Index of the attribute named `name`.
-  Result<std::size_t> IndexOf(const std::string& name) const;
+  [[nodiscard]] Result<std::size_t> IndexOf(const std::string& name) const;
 
   /// True iff an attribute with this name exists.
   bool Contains(const std::string& name) const;

@@ -88,7 +88,7 @@ class Table {
   /// Appends a row; the arity must match the schema. Values are not
   /// type-checked against attribute types (dirty data is the point), but
   /// arity is.
-  Status AppendRow(std::vector<Value> row);
+  [[nodiscard]] Status AppendRow(std::vector<Value> row);
 
   /// Cell access (bounds-checked fatally).
   const Value& at(std::size_t row, std::size_t col) const;
@@ -110,7 +110,7 @@ class Table {
   std::vector<CellRef> AllCells() const;
 
   /// Column index by attribute name.
-  Result<std::size_t> ColumnIndex(const std::string& name) const {
+  [[nodiscard]] Result<std::size_t> ColumnIndex(const std::string& name) const {
     return schema_.IndexOf(name);
   }
 

@@ -90,7 +90,7 @@ class Value {
   std::string ToString() const;
 
   /// Parses `text` as the given type; empty text parses to null.
-  static Result<Value> Parse(std::string_view text, ValueType type);
+  [[nodiscard]] static Result<Value> Parse(std::string_view text, ValueType type);
 
   /// Infers the narrowest type (int, then double, then string) and parses.
   static Value Infer(std::string_view text);

@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "repair/fd_repair.h"
 #include "repair/holistic.h"
 #include "repair/holoclean.h"
@@ -32,7 +33,7 @@ std::vector<BackendEntry> RegisteredBackends() {
   std::vector<BackendEntry> backends;
   backends.push_back(
       {"fd_repair", std::make_shared<repair::FdRepair>()});
-  backends.push_back({"rule_repair", data::MakeAlgorithm1()});
+  backends.push_back({"rule_repair", repair::MakeAlgorithm1()});
   backends.push_back(
       {"holistic", std::make_shared<repair::HolisticRepair>()});
   backends.push_back(

@@ -127,7 +127,7 @@ struct ComparisonReport {
 /// Runs the full harness (see file comment). Fails only on setup errors
 /// (e.g. no errors injected); per-backend repair failures are recorded
 /// in `BackendRun::error` instead of failing the comparison.
-Result<ComparisonReport> RunComparison(const ComparisonOptions& options);
+[[nodiscard]] Result<ComparisonReport> RunComparison(const ComparisonOptions& options);
 
 /// Serializes one backend's row of the report as a single-line JSON
 /// object (repair quality + stability + cost), the machine-readable

@@ -270,6 +270,39 @@ TEST(AnytimeSweepTest, HardCancelDiscardsInsteadOfSoftening) {
   EXPECT_TRUE(estimates.status().IsCancelled());
 }
 
+TEST(AnytimeSweepTest, CancelMidRunBoundsEvaluationCount) {
+  // The cancel poll in the sweep driver is load-bearing: when the token
+  // trips mid-run, at most the in-flight sweep may finish. A game that
+  // cancels its own source on the 16th evaluation must see the total
+  // evaluation count stay within a few sweeps of the trigger — not the
+  // ~2500 evaluations of the full budget. (The per-sweep poll is the
+  // granularity contract documented at the trex-check-ok(cancel-poll)
+  // suppressions in core/.)
+  CancelSource cancel;
+  std::atomic<std::size_t> seen{0};
+  const CountingGame game(4, [&](std::uint64_t mask) {
+    if (seen.fetch_add(1, std::memory_order_relaxed) + 1 == 16) {
+      cancel.Cancel();
+    }
+    double v = 0.0;
+    if (mask & 0b0001) v += 0.3;
+    if (mask & 0b0010) v += 0.5;
+    if (mask & 0b0100) v += 0.7;
+    return v;
+  });
+  SamplingOptions options;
+  options.num_samples = 512;
+  options.seed = 7;
+  options.cancel = cancel.token();
+  auto estimates = EstimateShapleyAllPlayers(game, options);
+  ASSERT_FALSE(estimates.ok());
+  EXPECT_TRUE(estimates.status().IsCancelled());
+  // Trigger + at most a couple of (possibly antithetic) sweeps of
+  // overshoot; a missing poll would run the full budget instead.
+  EXPECT_LT(game.evals(), std::size_t{16 + 64});
+  EXPECT_GE(game.evals(), std::size_t{16});
+}
+
 TEST(AnytimeSweepTest, SoftenWorksWithoutAnActiveStoppingRule) {
   // A fixed-budget run (no target, no top-k) still honours the soften
   // token at wave boundaries — the serving degrade path relies on this

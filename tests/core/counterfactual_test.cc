@@ -11,6 +11,7 @@
 #include "core/explainer.h"
 #include "core/shapley_exact.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace trex::shap {
 namespace {
@@ -92,7 +93,7 @@ TEST(RemovalSetsTest, ZeroGrandCoalitionRejected) {
 TEST(RemovalSetsTest, PaperExampleRemovalSets) {
   // Running example: the repair of t5[Country] survives unless C3 is
   // removed together with C1 or C2.
-  auto alg = trex::data::MakeAlgorithm1();
+  auto alg = trex::repair::MakeAlgorithm1();
   trex::ConstraintExplainer explainer;
   auto sets = explainer.ExplainRemovalSets(
       *alg, trex::data::SoccerConstraints(),
@@ -159,7 +160,7 @@ TEST(BanzhafTest, ConstraintExplainerBanzhafMode) {
   // {C1,C2} ⊆ S: subsets of {C1,C2,C4}: 8 total, 2 contain both C1,C2
   // -> pivotal in 6 -> 6/8 = 0.75. C1 pivotal iff C2 ∈ S, C3 ∉ S:
   // S ∈ {{C2},{C2,C4}} -> 2/8 = 0.25. C4 never pivotal -> 0.
-  auto alg = trex::data::MakeAlgorithm1();
+  auto alg = trex::repair::MakeAlgorithm1();
   trex::ConstraintExplainerOptions options;
   options.use_banzhaf = true;
   trex::ConstraintExplainer explainer(options);
@@ -179,7 +180,7 @@ TEST(BanzhafTest, ConstraintExplainerBanzhafMode) {
 }
 
 TEST(BanzhafTest, BanzhafWithSamplingRejected) {
-  auto alg = trex::data::MakeAlgorithm1();
+  auto alg = trex::repair::MakeAlgorithm1();
   trex::ConstraintExplainerOptions options;
   options.use_banzhaf = true;
   options.force_sampling = true;

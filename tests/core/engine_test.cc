@@ -7,13 +7,14 @@
 #include <vector>
 
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "dc/parser.h"
 
 namespace trex {
 namespace {
 
 std::shared_ptr<repair::RuleRepair> Alg() {
-  static std::shared_ptr<repair::RuleRepair> alg = data::MakeAlgorithm1();
+  static std::shared_ptr<repair::RuleRepair> alg = repair::MakeAlgorithm1();
   return alg;
 }
 

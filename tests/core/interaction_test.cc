@@ -9,6 +9,7 @@
 #include "core/explainer.h"
 #include "core/repair_game.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace trex::shap {
 namespace {
@@ -122,7 +123,7 @@ TEST(InteractionTest, PaperPairReadingOfExample23) {
   // The running example: C1 and C2 are complements (each useless alone
   // for t5[Country], jointly sufficient); C3 substitutes for the pair;
   // C4 interacts with nothing.
-  auto alg = trex::data::MakeAlgorithm1();
+  auto alg = trex::repair::MakeAlgorithm1();
   trex::ConstraintExplainer explainer;
   auto interactions = explainer.ExplainInteractions(
       *alg, trex::data::SoccerConstraints(),
@@ -143,7 +144,7 @@ TEST(InteractionTest, PaperPairReadingOfExample23) {
 }
 
 TEST(InteractionTest, ExplainInteractionsErrors) {
-  auto alg = trex::data::MakeAlgorithm1();
+  auto alg = trex::repair::MakeAlgorithm1();
   trex::ConstraintExplainer explainer;
   // Unrepaired target rejected.
   auto bad = explainer.ExplainInteractions(

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace trex {
 namespace {
@@ -13,7 +14,7 @@ namespace {
 // Keep the algorithm alive for all boxes (Make holds a raw pointer);
 // a static instance is simplest for tests.
 std::shared_ptr<repair::RuleRepair> Algorithm1Singleton() {
-  static std::shared_ptr<repair::RuleRepair> alg = data::MakeAlgorithm1();
+  static std::shared_ptr<repair::RuleRepair> alg = repair::MakeAlgorithm1();
   return alg;
 }
 

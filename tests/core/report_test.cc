@@ -1,14 +1,15 @@
-#include "core/report.h"
+#include "serving/report.h"
 
 #include <gtest/gtest.h>
 
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace trex {
 namespace {
 
 Explanation SoccerConstraintExplanation() {
-  TRexSession session(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  TRexSession session(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                       data::SoccerDirtyTable());
   EXPECT_TRUE(session.Repair().ok());
   auto ex = session.ExplainConstraints(data::SoccerTargetCell());
@@ -17,7 +18,7 @@ Explanation SoccerConstraintExplanation() {
 }
 
 Explanation SoccerCellExplanation() {
-  TRexSession session(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  TRexSession session(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                       data::SoccerDirtyTable());
   EXPECT_TRUE(session.Repair().ok());
   CellExplainerOptions options;
@@ -55,7 +56,7 @@ TEST(RenderRankingTest, TopKLimitsRows) {
 }
 
 TEST(RenderRepairScreenTest, ShowsBothTablesAndDiff) {
-  TRexSession session(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  TRexSession session(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                       data::SoccerDirtyTable());
   ASSERT_TRUE(session.Repair().ok());
   const std::string out = RenderRepairScreen(session);

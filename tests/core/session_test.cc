@@ -1,15 +1,16 @@
-#include "core/session.h"
+#include "serving/session.h"
 
 #include <gtest/gtest.h>
 
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "dc/parser.h"
 
 namespace trex {
 namespace {
 
 TRexSession MakeSession() {
-  return TRexSession(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  return TRexSession(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                      data::SoccerDirtyTable());
 }
 

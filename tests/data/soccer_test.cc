@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "dc/violation.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace trex::data {
 namespace {
@@ -115,7 +116,7 @@ TEST(SoccerDataTest, TargetCellIsT5Country) {
 }
 
 TEST(SoccerDataTest, Algorithm1HasFourSteps) {
-  auto alg = MakeAlgorithm1();
+  auto alg = repair::MakeAlgorithm1();
   ASSERT_EQ(alg->rules().size(), 4u);
   EXPECT_EQ(alg->rules()[0].constraint_name, "C1");
   EXPECT_EQ(alg->rules()[0].target_attribute, "City");

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
 #include <map>
 #include <set>
 
@@ -163,6 +165,35 @@ TEST(DiscoveryTest, Deterministic) {
   for (std::size_t i = 0; i < a->size(); ++i) {
     EXPECT_EQ((*a)[i].constraint.name(), (*b)[i].constraint.name());
     EXPECT_EQ((*a)[i].support_pairs, (*b)[i].support_pairs);
+  }
+}
+
+// Two-run bit-identity on the dirty table, where the violation fractions
+// are non-trivial. GroupRows internally drains an unordered_map; since
+// the drained list is re-keyed on each group's smallest row
+// (dc/discovery.cc), the output — including every floating-point
+// fraction — must be bit-identical run to run and across standard
+// libraries, not merely set-equal or approximately equal.
+TEST(DiscoveryTest, DirtyTableBitIdenticalAcrossRuns) {
+  FdDiscoveryOptions options;
+  options.max_violation_fraction = 0.7;
+  options.include_two_column_lhs = true;
+  auto a = DiscoverFds(data::SoccerDirtyTable(), options);
+  auto b = DiscoverFds(data::SoccerDirtyTable(), options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  ASSERT_GT(a->size(), 0u);
+  for (std::size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].constraint.name(), (*b)[i].constraint.name());
+    EXPECT_EQ((*a)[i].lhs, (*b)[i].lhs);
+    EXPECT_EQ((*a)[i].rhs, (*b)[i].rhs);
+    EXPECT_EQ((*a)[i].support_pairs, (*b)[i].support_pairs);
+    // Bitwise, not EXPECT_DOUBLE_EQ: the replay contract is exact.
+    std::uint64_t bits_a, bits_b;
+    std::memcpy(&bits_a, &(*a)[i].violation_fraction, sizeof(bits_a));
+    std::memcpy(&bits_b, &(*b)[i].violation_fraction, sizeof(bits_b));
+    EXPECT_EQ(bits_a, bits_b) << (*a)[i].constraint.name();
   }
 }
 

@@ -8,11 +8,12 @@
 
 #include "common/random.h"
 #include "core/compare.h"
-#include "core/report.h"
-#include "core/session.h"
+#include "serving/report.h"
+#include "serving/session.h"
 #include "data/errors.h"
 #include "data/generator.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "dc/parser.h"
 #include "repair/fd_repair.h"
 #include "repair/holoclean.h"
@@ -47,7 +48,7 @@ C4: !(t1.Team != t2.Team & t1.Year == t2.Year & t1.League == t2.League & t1.Plac
                             table->schema());
   ASSERT_TRUE(dcs.ok()) << dcs.status();
 
-  TRexSession session(data::MakeAlgorithm1(), *dcs, *table);
+  TRexSession session(repair::MakeAlgorithm1(), *dcs, *table);
   ASSERT_TRUE(session.Repair().ok());
   auto target = session.CellAt(4, "Country");
   ASSERT_TRUE(target.ok());
@@ -109,7 +110,7 @@ TEST(EndToEnd, DemoScenarioBadCellDebugging) {
   // Now Team 'Real Madrid' has cities {Madrid(t3), Capital(t5, t6)}:
   // most common city overall is Madrid(t2,t3) vs Capital(t5,t6) — tie
   // broken by value: "Capital" < "Madrid", so C1 rewrites t3 to Capital.
-  auto alg = data::MakeAlgorithm1();
+  auto alg = repair::MakeAlgorithm1();
   TRexSession session(alg, data::SoccerConstraints(), dirty);
   ASSERT_TRUE(session.Repair().ok());
   const Value t3_city = session.clean().at(data::SoccerCell(3, "City"));
@@ -144,7 +145,7 @@ TEST(EndToEnd, AllRepairersAreExplainable) {
   const dc::DcSet dcs = data::SoccerConstraints();
 
   std::vector<std::shared_ptr<repair::RepairAlgorithm>> algorithms;
-  algorithms.push_back(data::MakeAlgorithm1());
+  algorithms.push_back(repair::MakeAlgorithm1());
   algorithms.push_back(std::make_shared<repair::HoloCleanRepair>());
   algorithms.push_back(std::make_shared<repair::HolisticRepair>());
   algorithms.push_back(std::make_shared<repair::FdRepair>());
@@ -194,7 +195,7 @@ TEST(EndToEnd, RepairQualityPipelineOnSyntheticData) {
 TEST(EndToEnd, ExplanationComparisonAcrossIterateLoop) {
   // §3's iterate loop, quantified: explain, remove the top constraint,
   // re-repair, re-explain, and measure how the explanation shifted.
-  TRexSession session(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  TRexSession session(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                       data::SoccerDirtyTable());
   ASSERT_TRUE(session.Repair().ok());
   auto before = session.ExplainConstraints(data::SoccerTargetCell());
@@ -218,7 +219,7 @@ TEST(EndToEnd, BlackBoxCacheNeverChangesOutcomes) {
   // Property: memoization must be semantically invisible. Evaluate a
   // batch of random cell coalitions with the cache on and off and
   // require identical outcomes.
-  auto alg = data::MakeAlgorithm1();
+  auto alg = repair::MakeAlgorithm1();
   auto cached = BlackBoxRepair::Make(alg.get(), data::SoccerConstraints(),
                                      data::SoccerDirtyTable(),
                                      data::SoccerTargetCell());
@@ -249,7 +250,7 @@ TEST(EndToEnd, BlackBoxCacheNeverChangesOutcomes) {
 }
 
 TEST(EndToEnd, ReportsRenderForRealSession) {
-  TRexSession session(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  TRexSession session(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                       data::SoccerDirtyTable());
   ASSERT_TRUE(session.Repair().ok());
   const std::string screen = RenderRepairScreen(session);

@@ -16,12 +16,13 @@
 #include "core/repair_game.h"
 #include "core/shapley_exact.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace trex {
 namespace {
 
 std::shared_ptr<repair::RuleRepair> Alg() {
-  static std::shared_ptr<repair::RuleRepair> alg = data::MakeAlgorithm1();
+  static std::shared_ptr<repair::RuleRepair> alg = repair::MakeAlgorithm1();
   return alg;
 }
 

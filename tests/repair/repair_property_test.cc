@@ -15,6 +15,7 @@
 #include "repair/holistic.h"
 #include "repair/holoclean.h"
 #include "repair/rule_repair.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace trex::repair {
 namespace {
@@ -37,7 +38,7 @@ Workload MakeWorkload(std::uint64_t seed) {
 
 std::vector<std::shared_ptr<RepairAlgorithm>> AllAlgorithms() {
   std::vector<std::shared_ptr<RepairAlgorithm>> algorithms;
-  algorithms.push_back(data::MakeAlgorithm1());
+  algorithms.push_back(repair::MakeAlgorithm1());
   algorithms.push_back(std::make_shared<HoloCleanRepair>());
   algorithms.push_back(std::make_shared<HolisticRepair>());
   algorithms.push_back(std::make_shared<FdRepair>());

@@ -1,4 +1,5 @@
 #include "repair/rule_repair.h"
+#include "repair/soccer_algorithm1.h"
 
 #include <gtest/gtest.h>
 
@@ -9,7 +10,7 @@
 namespace trex::repair {
 namespace {
 
-using data::MakeAlgorithm1;
+using repair::MakeAlgorithm1;
 using data::SoccerCleanTable;
 using data::SoccerConstraints;
 using data::SoccerDirtyTable;

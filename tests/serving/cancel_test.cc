@@ -16,6 +16,7 @@
 #include "core/shapley_exact.h"
 #include "core/shapley_sampling.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace trex {
 namespace {
@@ -182,7 +183,7 @@ TEST(CancelThreadingTest, ExactEnumerationsObserveCancellation) {
 }
 
 TEST(CancelThreadingTest, PreCancelledEngineRequestSkipsReferenceRepair) {
-  Engine engine(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  Engine engine(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                 data::SoccerDirtyTable());
   CancelSource source;
   source.Cancel();
@@ -198,7 +199,7 @@ TEST(CancelThreadingTest, PreCancelledEngineRequestSkipsReferenceRepair) {
 }
 
 TEST(CancelThreadingTest, EngineReusableAfterCancelledRequest) {
-  Engine engine(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  Engine engine(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                 data::SoccerDirtyTable());
   CancelSource source;
   ExplainRequest request;

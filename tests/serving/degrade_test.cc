@@ -12,6 +12,7 @@
 
 #include "core/engine.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "serving/service.h"
 #include "tests/serving/algorithm_fixtures.h"
 
@@ -51,7 +52,7 @@ TEST(DegradeOnDeadlineTest, ExpiredDeadlineResolvesPartialEstimate) {
   options.degrade_on_deadline = true;
 
   Ticket ticket =
-      service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+      service.Submit(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                      SoccerTable(), SlowSampledRequest(), options);
   auto result = ticket.Wait();
 
@@ -90,7 +91,7 @@ TEST(DegradeOnDeadlineTest, ExactKindsRunToCompletion) {
   request.target = data::SoccerTargetCell();
   request.kind = ExplainKind::kConstraints;
   Ticket ticket =
-      service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+      service.Submit(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                      SoccerTable(), request, options);
   auto result = ticket.Wait();
   ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -112,7 +113,7 @@ TEST(DegradeOnDeadlineTest, HardDeadlineStillCancelsWithoutOptIn) {
       std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
 
   Ticket ticket =
-      service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+      service.Submit(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                      SoccerTable(), SlowSampledRequest(), options);
   auto result = ticket.Wait();
   ASSERT_FALSE(result.ok());
@@ -140,7 +141,7 @@ TEST(DegradeOnDeadlineTest, FarDeadlineDegradesNothing) {
   request.cells.num_samples = 64;
   request.cells.seed = 17;
   Ticket ticket =
-      service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+      service.Submit(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                      SoccerTable(), request, options);
   auto result = ticket.Wait();
   ASSERT_TRUE(result.ok()) << result.status().ToString();

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 
 namespace trex::serving {
 namespace {
@@ -33,7 +34,7 @@ ExplainRequest ConstraintRequest() {
 
 TEST(EngineRouterTest, SameInstanceReusesOneEngine) {
   EngineRouter router;
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
   const auto table = SoccerTable();
   auto a = router.Acquire(algorithm, data::SoccerConstraints(), table);
   auto b = router.Acquire(algorithm, data::SoccerConstraints(), table);
@@ -48,7 +49,7 @@ TEST(EngineRouterTest, EqualContentInDistinctHandlesRoutesTogether) {
   // Routing keys on *content*, not pointer identity: two snapshots of
   // the same table share one engine (and its reference repair).
   EngineRouter router;
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
   auto a = router.Acquire(algorithm, data::SoccerConstraints(), SoccerTable());
   auto b = router.Acquire(algorithm, data::SoccerConstraints(), SoccerTable());
   EXPECT_EQ(a.get(), b.get());
@@ -56,7 +57,7 @@ TEST(EngineRouterTest, EqualContentInDistinctHandlesRoutesTogether) {
 
 TEST(EngineRouterTest, DistinctTablesGetDistinctEngines) {
   EngineRouter router;
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
   auto a = router.Acquire(algorithm, data::SoccerConstraints(), SoccerTable());
   auto b = router.Acquire(algorithm, data::SoccerConstraints(), VariantTable());
   EXPECT_NE(a.get(), b.get());
@@ -65,7 +66,7 @@ TEST(EngineRouterTest, DistinctTablesGetDistinctEngines) {
 
 TEST(EngineRouterTest, DistinctConstraintSetsGetDistinctEngines) {
   EngineRouter router;
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
   const auto table = SoccerTable();
   dc::DcSet reduced = data::SoccerConstraints().Without(0);
   auto a = router.Acquire(algorithm, data::SoccerConstraints(), table);
@@ -77,7 +78,7 @@ TEST(EngineRouterTest, LruEvictionAndRefetch) {
   RouterOptions options;
   options.max_engines = 1;
   EngineRouter router(options);
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
   const auto table_a = SoccerTable();
   const auto table_b = VariantTable();
 
@@ -101,7 +102,7 @@ TEST(EngineRouterTest, LruPrefersEvictingTheColdestEngine) {
   RouterOptions options;
   options.max_engines = 2;
   EngineRouter router(options);
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
   const auto table_a = SoccerTable();
   const auto table_b = VariantTable();
 
@@ -124,7 +125,7 @@ TEST(EngineRouterTest, EvictedEntryStaysUsableWhileHeld) {
   RouterOptions options;
   options.max_engines = 1;
   EngineRouter router(options);
-  const auto algorithm = data::MakeAlgorithm1();
+  const auto algorithm = repair::MakeAlgorithm1();
 
   auto a = router.Acquire(algorithm, data::SoccerConstraints(), SoccerTable());
   router.Acquire(algorithm, data::SoccerConstraints(), VariantTable());
@@ -141,7 +142,7 @@ TEST(EngineRouterTest, RouterAppliesEngineOptions) {
   options.engine_options.num_threads = 3;
   options.engine_options.max_memo_entries = 17;
   EngineRouter router(options);
-  auto entry = router.Acquire(data::MakeAlgorithm1(),
+  auto entry = router.Acquire(repair::MakeAlgorithm1(),
                               data::SoccerConstraints(), SoccerTable());
   EXPECT_EQ(entry->engine.options().num_threads, 3u);
   EXPECT_EQ(entry->engine.options().max_memo_entries, 17u);

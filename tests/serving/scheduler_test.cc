@@ -14,8 +14,9 @@
 #include <vector>
 
 #include "core/engine.h"
-#include "core/session.h"
+#include "serving/session.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "serving/service.h"
 #include "tests/serving/algorithm_fixtures.h"
 
@@ -49,7 +50,7 @@ ExplainRequest SampledCellsRequest(std::size_t num_samples,
 }
 
 TEST(SchedulerTest, ShedsLowestPriorityThenYoungestUnderSaturation) {
-  auto gated = std::make_shared<GatedAlgorithm>(data::MakeAlgorithm1());
+  auto gated = std::make_shared<GatedAlgorithm>(repair::MakeAlgorithm1());
   ServiceOptions options;
   options.num_workers = 1;
   options.max_queued_jobs = 3;
@@ -105,7 +106,7 @@ TEST(SchedulerTest, ShedsLowestPriorityThenYoungestUnderSaturation) {
 }
 
 TEST(SchedulerTest, CancelledQueuedJobsDoNotHoldAdmissionCapacity) {
-  auto gated = std::make_shared<GatedAlgorithm>(data::MakeAlgorithm1());
+  auto gated = std::make_shared<GatedAlgorithm>(repair::MakeAlgorithm1());
   ServiceOptions options;
   options.num_workers = 1;
   options.max_queued_jobs = 2;
@@ -149,7 +150,7 @@ TEST(SchedulerTest, MidSweepDeadlineExpiresInFlightJob) {
   heavy.cells.num_samples = 160;
   std::size_t uncancelled_calls = 0;
   {
-    Engine engine(data::MakeAlgorithm1(), data::SoccerConstraints(),
+    Engine engine(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                   data::SoccerDirtyTable());
     auto result = engine.Explain(heavy);
     ASSERT_TRUE(result.ok()) << result.status();
@@ -161,7 +162,7 @@ TEST(SchedulerTest, MidSweepDeadlineExpiresInFlightJob) {
   // an 80ms deadline passes the dequeue check (the job *starts*) and
   // then kills the sweep from inside, via the armed cancel token.
   auto counting = std::make_shared<InstrumentedAlgorithm>(
-      "counting-padded", data::MakeAlgorithm1(),
+      "counting-padded", repair::MakeAlgorithm1(),
       std::chrono::microseconds(3000));
   ExplainService service;
   RequestOptions options;
@@ -183,7 +184,7 @@ TEST(SchedulerTest, MidSweepDeadlineExpiresInFlightJob) {
 }
 
 TEST(SchedulerTest, CoalescedResultsBitIdenticalToSequential) {
-  auto gated = std::make_shared<GatedAlgorithm>(data::MakeAlgorithm1());
+  auto gated = std::make_shared<GatedAlgorithm>(repair::MakeAlgorithm1());
   ServiceOptions options;
   options.num_workers = 1;
   ExplainService service(options);
@@ -230,7 +231,7 @@ TEST(SchedulerTest, CoalescedResultsBitIdenticalToSequential) {
 }
 
 TEST(SchedulerTest, PreCancelledMemberDropsOutBeforeLowering) {
-  auto gated = std::make_shared<GatedAlgorithm>(data::MakeAlgorithm1());
+  auto gated = std::make_shared<GatedAlgorithm>(repair::MakeAlgorithm1());
   ServiceOptions options;
   options.num_workers = 1;
   ExplainService service(options);
@@ -265,7 +266,7 @@ TEST(SchedulerTest, PreCancelledMemberDropsOutBeforeLowering) {
 }
 
 TEST(SchedulerTest, CoalescingDisabledRunsEveryJobAlone) {
-  auto gated = std::make_shared<GatedAlgorithm>(data::MakeAlgorithm1());
+  auto gated = std::make_shared<GatedAlgorithm>(repair::MakeAlgorithm1());
   ServiceOptions options;
   options.num_workers = 1;
   options.max_coalesced_requests = 1;
@@ -298,7 +299,7 @@ TEST(SchedulerTest, SessionSurfacesSchedulerOptionsAndStats) {
   service_options.num_workers = 1;
   service_options.max_queued_jobs = 16;
   service_options.max_coalesced_requests = 4;
-  TRexSession session(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  TRexSession session(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                       data::SoccerDirtyTable(), EngineOptions{},
                       service_options);
   EXPECT_EQ(session.service_stats().submitted, 0u);  // service not built yet

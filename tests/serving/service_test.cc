@@ -16,6 +16,7 @@
 
 #include "core/engine.h"
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "tests/serving/algorithm_fixtures.h"
 
 namespace trex::serving {
@@ -56,7 +57,7 @@ using trex::testing::CancelAfterAlgorithm;
 
 TEST(ExplainServiceTest, SubmitResolvesWithResult) {
   ExplainService service;
-  Ticket ticket = service.Submit(data::MakeAlgorithm1(),
+  Ticket ticket = service.Submit(repair::MakeAlgorithm1(),
                                  data::SoccerConstraints(), SoccerTable(),
                                  ConstraintRequest());
   EXPECT_TRUE(ticket.valid());
@@ -73,7 +74,7 @@ TEST(ExplainServiceTest, SubmitResolvesWithResult) {
 }
 
 TEST(ExplainServiceTest, HigherPriorityRunsFirstFifoWithin) {
-  auto gated = std::make_shared<GatedAlgorithm>(data::MakeAlgorithm1());
+  auto gated = std::make_shared<GatedAlgorithm>(repair::MakeAlgorithm1());
   std::mutex order_mu;
   std::vector<int> order;
   auto record = [&](int tag) {
@@ -134,7 +135,7 @@ TEST(ExplainServiceTest, HigherPriorityRunsFirstFifoWithin) {
 }
 
 TEST(ExplainServiceTest, QueuedJobCancelsWithoutRunning) {
-  auto gated = std::make_shared<GatedAlgorithm>(data::MakeAlgorithm1());
+  auto gated = std::make_shared<GatedAlgorithm>(repair::MakeAlgorithm1());
   ServiceOptions options;
   options.num_workers = 1;
   ExplainService service(options);
@@ -145,7 +146,7 @@ TEST(ExplainServiceTest, QueuedJobCancelsWithoutRunning) {
 
   // The queued job targets a *different* table; cancelling it before
   // release means its engine is never even built.
-  Ticket queued = service.Submit(data::MakeAlgorithm1(),
+  Ticket queued = service.Submit(repair::MakeAlgorithm1(),
                                  data::SoccerConstraints(), VariantTable(),
                                  ConstraintRequest());
   queued.Cancel();
@@ -168,7 +169,7 @@ TEST(ExplainServiceTest, ExpiredDeadlineCancelsAtDequeue) {
   options.deadline = std::chrono::steady_clock::now() -
                      std::chrono::milliseconds(1);
   Ticket ticket =
-      service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+      service.Submit(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                      SoccerTable(), ConstraintRequest(), options);
   auto result = ticket.Wait();
   ASSERT_FALSE(result.ok());
@@ -193,7 +194,7 @@ TEST(ExplainServiceTest, MidSweepCancellationStopsEarly) {
   // Baseline: the uncancelled request's total algorithm cost.
   std::size_t uncancelled_calls = 0;
   {
-    Engine engine(data::MakeAlgorithm1(), data::SoccerConstraints(),
+    Engine engine(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                   data::SoccerDirtyTable());
     auto result = engine.Explain(heavy);
     ASSERT_TRUE(result.ok()) << result.status();
@@ -204,7 +205,7 @@ TEST(ExplainServiceTest, MidSweepCancellationStopsEarly) {
   // Cancelled run: the algorithm flips the token after 25 repair calls,
   // which the sweep loop observes at the next sweep boundary.
   auto cancelling = std::make_shared<CancelAfterAlgorithm>(
-      data::MakeAlgorithm1(), /*cancel_after=*/25);
+      repair::MakeAlgorithm1(), /*cancel_after=*/25);
   ExplainService service;
   RequestOptions options;
   options.cancel = cancelling->token();
@@ -221,7 +222,7 @@ TEST(ExplainServiceTest, MidSweepCancellationStopsEarly) {
 
 TEST(ExplainServiceTest, ServicePathBitIdenticalToSynchronousExplain) {
   // Synchronous baseline on a private engine.
-  Engine engine(data::MakeAlgorithm1(), data::SoccerConstraints(),
+  Engine engine(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                 data::SoccerDirtyTable());
   auto sync_cells = engine.Explain(SampledCellsRequest(96, /*seed=*/23));
   ASSERT_TRUE(sync_cells.ok()) << sync_cells.status();
@@ -235,11 +236,11 @@ TEST(ExplainServiceTest, ServicePathBitIdenticalToSynchronousExplain) {
   // Same requests through the service (fresh engine in the router).
   ExplainService service;
   auto svc_cells =
-      service.ExplainSync(data::MakeAlgorithm1(), data::SoccerConstraints(),
+      service.ExplainSync(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                           SoccerTable(), SampledCellsRequest(96, 23));
   ASSERT_TRUE(svc_cells.ok()) << svc_cells.status();
   auto svc_constraints =
-      service.ExplainSync(data::MakeAlgorithm1(), data::SoccerConstraints(),
+      service.ExplainSync(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                           SoccerTable(), sampled_constraints);
   ASSERT_TRUE(svc_constraints.ok()) << svc_constraints.status();
 
@@ -271,10 +272,10 @@ TEST(ExplainServiceTest, ConcurrentMultiTableRequestsAllComplete) {
 
   std::vector<Ticket> tickets;
   for (int i = 0; i < 4; ++i) {
-    tickets.push_back(service.Submit(data::MakeAlgorithm1(),
+    tickets.push_back(service.Submit(repair::MakeAlgorithm1(),
                                      data::SoccerConstraints(), table_a,
                                      ConstraintRequest()));
-    tickets.push_back(service.Submit(data::MakeAlgorithm1(),
+    tickets.push_back(service.Submit(repair::MakeAlgorithm1(),
                                      data::SoccerConstraints(), table_b,
                                      ConstraintRequest()));
   }
@@ -290,7 +291,7 @@ TEST(ExplainServiceTest, ConcurrentMultiTableRequestsAllComplete) {
 }
 
 TEST(ExplainServiceTest, DestructionResolvesOutstandingTickets) {
-  auto gated = std::make_shared<GatedAlgorithm>(data::MakeAlgorithm1());
+  auto gated = std::make_shared<GatedAlgorithm>(repair::MakeAlgorithm1());
   Ticket blocker;
   Ticket queued;
   std::thread releaser;
@@ -301,7 +302,7 @@ TEST(ExplainServiceTest, DestructionResolvesOutstandingTickets) {
     blocker = service.Submit(gated, data::SoccerConstraints(), SoccerTable(),
                              ConstraintRequest());
     gated->WaitUntilStarted();
-    queued = service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+    queued = service.Submit(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                             VariantTable(), ConstraintRequest());
     // The worker is pinned inside the gated repair, so the destructor
     // deterministically drains `queued` (resolving it cancelled) before

@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "data/soccer.h"
+#include "repair/soccer_algorithm1.h"
 #include "serving/service.h"
 #include "tests/serving/algorithm_fixtures.h"
 
@@ -51,7 +52,7 @@ void ExpectCompletesPromptly(Fn fn, const char* what) {
 }
 
 TEST(StatsDeadlockTest, ServiceAndRouterStatsWhileEntryMutexHeld) {
-  auto gated = std::make_shared<GatedAlgorithm>(data::MakeAlgorithm1());
+  auto gated = std::make_shared<GatedAlgorithm>(repair::MakeAlgorithm1());
 
   ServiceOptions options;
   options.num_workers = 1;
@@ -99,7 +100,7 @@ TEST(StatsDeadlockTest, StatsFromCompletionCallback) {
     fired.set_value();
   };
   Ticket ticket =
-      service.Submit(data::MakeAlgorithm1(), data::SoccerConstraints(),
+      service.Submit(repair::MakeAlgorithm1(), data::SoccerConstraints(),
                      SoccerTable(), ConstraintRequest(), options);
   ASSERT_TRUE(ticket.Wait().ok());
   ASSERT_EQ(fired.get_future().wait_for(std::chrono::seconds(30)),

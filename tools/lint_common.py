@@ -1,0 +1,69 @@
+"""Shared infrastructure for the project linters.
+
+Both tools/lint_invariants.py (regex conventions) and tools/trex_check.py
+(AST-grade semantic checks) self-test the same way: every rule/check is
+fed known-bad and known-good snippets, and the tool fails its own
+self-test if a bad snippet passes or a good one is flagged. This module
+is the single fixture runner they share, so the harness semantics
+(count-exact matching, per-case reporting, exit codes) cannot drift
+between the two linters.
+
+A fixture case is (check, path, snippet, expected_count[, engines]):
+
+  check     the rule/check name the case exercises; only findings with
+            this name are counted (other checks may legitimately fire
+            on the same snippet).
+  path      the fake repo-relative path the snippet pretends to live at
+            (path predicates — src/ vs tests/, layer membership — are
+            part of what is under test).
+  snippet   the file content.
+  expected  the exact number of findings the check must produce.
+  engines   optional set of engine names the case applies to; cases
+            whose engine set excludes the active engine are skipped
+            (used for checks only one engine can implement, e.g.
+            call-site analysis that needs a real AST).
+"""
+
+import sys
+
+
+class FixtureCase:
+    def __init__(self, check, path, snippet, expected, engines=None):
+        self.check = check
+        self.path = path
+        self.snippet = snippet
+        self.expected = expected
+        self.engines = engines  # None = every engine
+
+    def applies_to(self, engine_name):
+        return self.engines is None or engine_name in self.engines
+
+
+def run_fixture_cases(cases, lint_file_fn, label, engine_name="default",
+                      out=sys.stderr):
+    """Runs every fixture case through `lint_file_fn(path, snippet)`.
+
+    `lint_file_fn` returns an iterable of findings shaped
+    (path, line, check, message). Returns 0 when every applicable case
+    produced exactly its expected count of findings for its check, 1
+    otherwise (with one diagnostic line per failing case).
+    """
+    failures = []
+    ran = 0
+    for case in cases:
+        if not case.applies_to(engine_name):
+            continue
+        ran += 1
+        got = [f for f in lint_file_fn(case.path, case.snippet)
+               if f[2] == case.check]
+        if len(got) != case.expected:
+            failures.append(
+                f"{case.check} on {case.path}: expected {case.expected} "
+                f"finding(s), got {len(got)}: "
+                f"{[(f[1], f[3][:60]) for f in got]}")
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL [{label}/{engine_name}]: {f}", file=out)
+        return 1
+    print(f"{label} self-test [{engine_name}]: {ran} cases passed")
+    return 0

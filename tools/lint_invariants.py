@@ -37,13 +37,17 @@ Usage:
 
 The self-test feeds each rule a known-bad and a known-good snippet and
 fails if any bad snippet passes or any good snippet is flagged, so a
-regex regression in this file cannot silently disable a rule.
+regex regression in this file cannot silently disable a rule. The
+fixture harness is shared with tools/trex_check.py via lint_common.py.
 """
 
 import argparse
 import os
 import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from lint_common import FixtureCase, run_fixture_cases  # noqa: E402
 
 # ---------------------------------------------------------------------------
 # Rule machinery
@@ -195,68 +199,61 @@ def lint_tree(root):
 # ---------------------------------------------------------------------------
 
 SELF_TEST_CASES = [
-    # (rule, fake path, snippet, expected violation count)
-    ("raw-mutex", "src/serving/bad.cc",
-     "std::mutex mu;\n"
-     "std::lock_guard<std::mutex> g(mu);\n", 2),
-    ("raw-mutex", "src/serving/bad_include.cc",
-     "#include <condition_variable>\n", 1),
-    ("raw-mutex", "src/serving/good.cc",
-     "Mutex mu;\nMutexLock lock(mu);\n", 0),
-    ("raw-mutex", "src/common/mutex.h",  # the one exempted file
-     "std::mutex raw_;\n", 0),
-    ("raw-mutex", "src/serving/suppressed.cc",
-     "std::mutex mu;  // raw-mutex-ok: interop with external API\n", 0),
+    FixtureCase("raw-mutex", "src/serving/bad.cc",
+                "std::mutex mu;\n"
+                "std::lock_guard<std::mutex> g(mu);\n", 2),
+    FixtureCase("raw-mutex", "src/serving/bad_include.cc",
+                "#include <condition_variable>\n", 1),
+    FixtureCase("raw-mutex", "src/serving/good.cc",
+                "Mutex mu;\nMutexLock lock(mu);\n", 0),
+    FixtureCase("raw-mutex", "src/common/mutex.h",  # the one exempted file
+                "std::mutex raw_;\n", 0),
+    FixtureCase("raw-mutex", "src/serving/suppressed.cc",
+                "std::mutex mu;  // raw-mutex-ok: interop with external "
+                "API\n", 0),
 
-    ("determinism", "src/repair/bad.cc",
-     "int x = std::rand();\n"
-     "std::random_device rd;\n", 2),
-    ("determinism", "src/repair/good.cc",
-     "std::mt19937_64 rng(options.seed);\n", 0),
+    FixtureCase("determinism", "src/repair/bad.cc",
+                "int x = std::rand();\n"
+                "std::random_device rd;\n", 2),
+    FixtureCase("determinism", "src/repair/good.cc",
+                "std::mt19937_64 rng(options.seed);\n", 0),
 
-    ("fingerprint-length-prefix", "src/table/bad.cc",
-     "void F(Hasher* h, const std::string& s) {\n"
-     "  h->Mix(s.data(), s.size());\n"
-     "}\n", 1),
-    ("fingerprint-length-prefix", "src/table/good.cc",
-     "void F(Hasher* h, const std::string& s) {\n"
-     "  const std::uint64_t length = s.size();\n"
-     "  h->Mix(&length, sizeof(length));\n"
-     "  h->Mix(s.data(), s.size());\n"
-     "}\n", 0),
-    ("fingerprint-length-prefix", "src/table/far.cc",
-     "void F(Hasher* h, const std::string& s) {\n"
-     "  const std::uint64_t length = s.size();\n"
-     "  h->Mix(&length, sizeof(length));\n"
-     "  int a;\n  int b;\n  int c;\n  int d;\n"
-     "  h->Mix(s.data(), s.size());\n"
-     "}\n", 1),  # length mix outside the window no longer counts
+    FixtureCase("fingerprint-length-prefix", "src/table/bad.cc",
+                "void F(Hasher* h, const std::string& s) {\n"
+                "  h->Mix(s.data(), s.size());\n"
+                "}\n", 1),
+    FixtureCase("fingerprint-length-prefix", "src/table/good.cc",
+                "void F(Hasher* h, const std::string& s) {\n"
+                "  const std::uint64_t length = s.size();\n"
+                "  h->Mix(&length, sizeof(length));\n"
+                "  h->Mix(s.data(), s.size());\n"
+                "}\n", 0),
+    FixtureCase("fingerprint-length-prefix", "src/table/far.cc",
+                "void F(Hasher* h, const std::string& s) {\n"
+                "  const std::uint64_t length = s.size();\n"
+                "  h->Mix(&length, sizeof(length));\n"
+                "  int a;\n  int b;\n  int c;\n  int d;\n"
+                "  h->Mix(s.data(), s.size());\n"
+                "}\n", 1),  # length mix outside the window doesn't count
 
-    ("sleep-discipline", "tests/serving/bad_test.cc",
-     "std::this_thread::sleep_for(std::chrono::milliseconds(50));\n", 1),
-    ("sleep-discipline", "tests/serving/good_test.cc",
-     "// sleep-ok: simulates a slow algorithm, not a sync point\n"
-     "std::this_thread::sleep_for(pad_);\n", 0),
-    ("sleep-discipline", "tests/table/elsewhere_test.cc",
-     "std::this_thread::sleep_for(std::chrono::milliseconds(1));\n", 0),
+    FixtureCase("sleep-discipline", "tests/serving/bad_test.cc",
+                "std::this_thread::sleep_for("
+                "std::chrono::milliseconds(50));\n", 1),
+    FixtureCase("sleep-discipline", "tests/serving/good_test.cc",
+                "// sleep-ok: simulates a slow algorithm, not a sync "
+                "point\n"
+                "std::this_thread::sleep_for(pad_);\n", 0),
+    FixtureCase("sleep-discipline", "tests/table/elsewhere_test.cc",
+                "std::this_thread::sleep_for("
+                "std::chrono::milliseconds(1));\n", 0),
 ]
 
 
 def self_test():
-    failures = []
-    for rule, path, snippet, expected in SELF_TEST_CASES:
-        got = [v for v in lint_file(path, snippet.splitlines())
-               if v[2] == rule]
-        if len(got) != expected:
-            failures.append(
-                f"{rule} on {path}: expected {expected} violation(s), "
-                f"got {len(got)}: {got}")
-    if failures:
-        for f in failures:
-            print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
-        return 1
-    print(f"self-test: {len(SELF_TEST_CASES)} cases passed")
-    return 0
+    return run_fixture_cases(
+        SELF_TEST_CASES,
+        lambda path, snippet: lint_file(path, snippet.splitlines()),
+        "lint_invariants")
 
 
 def main():

@@ -1,0 +1,1397 @@
+#!/usr/bin/env python3
+"""AST-grade project checker for the T-REx tree.
+
+Five semantic checks that the regex linter (tools/lint_invariants.py)
+structurally cannot do — each one pins an invariant the system's core
+guarantee depends on (bit-identical explanations at any thread count,
+replayed across backends):
+
+  unordered-determinism
+      A loop over a `std::unordered_map` / `std::unordered_set` must not
+      accumulate floating point, append to ordered output declared
+      outside the loop, or feed fingerprint/stream sinks. Hash-bucket
+      iteration order is not a contract: it differs across standard
+      libraries, so any order-sensitive fold over it silently breaks
+      cross-backend replay. Commutative integer folds and loop-local
+      containers are fine and are not flagged.
+
+  cancel-poll
+      A function that receives a `CancelToken` (directly, or as the
+      `.cancel` / `.soften` member of an options parameter) must keep
+      every loop that calls into repair evaluation responsive: the loop
+      body must poll `cancelled()`, mention the token, or hand the token
+      to the callee. A sweep loop that evaluates coalitions without a
+      poll turns cooperative cancellation into a dead letter.
+
+  layering
+      `#include` edges inside src/ must follow the documented layer DAG
+      (common → table → dc/data → repair → core → workload → serving).
+      An upward include (core including serving, data including repair)
+      couples a lower layer to a higher one and is rejected.
+
+  status-discipline
+      Every `Status` / `Result<T>`-returning declaration in a src/
+      header must carry `[[nodiscard]]`, and (AST engine) no call site
+      may discard a returned Status/Result. The class-level
+      `[[nodiscard]]` on Status/Result makes the compiler enforce call
+      sites; this check keeps the per-API annotations from rotting.
+
+  seed-discipline
+      Seeds and RNG state in src/ may derive only from explicit inputs
+      (base seed, shard index) — never from `std::this_thread::get_id`,
+      wall clocks, or `getpid`. A thread-id-derived seed is bit-identical
+      only by accident.
+
+Engines
+-------
+The primary engine parses real ASTs via libclang (`clang.cindex`),
+driven by a compile_commands.json when available. Environments without
+libclang (the checker must run everywhere ctest runs) fall back to a
+bundled text engine: a comment/string-stripping lexer with brace-matched
+loop and scope tracking that implements the same checks with
+project-wide declaration maps. Check names, suppression syntax, and the
+fixture self-test are shared; fixtures that only a real AST can judge
+(e.g. discarded-call-site analysis) are tagged for the clang engine.
+
+Suppressions
+------------
+A finding is suppressed by an inline comment on the same or the
+preceding line:
+
+    // trex-check-ok(<check>): <reason>
+
+The suppression itself is linted: an unknown check name or a missing
+reason is a finding (check `suppression`) that cannot be suppressed.
+
+Usage
+-----
+    trex_check.py [--root DIR] [--engine auto|clang|text] [--compdb DIR]
+    trex_check.py --self-test [--engine ...]
+    trex_check.py --list-checks
+
+Exit codes: 0 clean, 1 findings (or self-test failure), 2 usage/engine
+errors (e.g. --engine clang without libclang).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from lint_common import FixtureCase, run_fixture_cases  # noqa: E402
+
+# ---------------------------------------------------------------------------
+# Shared vocabulary
+# ---------------------------------------------------------------------------
+
+CHECKS = (
+    "unordered-determinism",
+    "cancel-poll",
+    "layering",
+    "status-discipline",
+    "seed-discipline",
+)
+
+# Layer ranks; an include edge src/<a>/ -> src/<b>/ is legal iff
+# rank(a) >= rank(b). dc and data share a rank (sibling domains).
+LAYER_RANK = {
+    "common": 0,
+    "table": 1,
+    "dc": 2,
+    "data": 2,
+    "repair": 3,
+    "core": 4,
+    "workload": 5,
+    "serving": 6,
+}
+
+# Calls that enter repair evaluation: one call is a full black-box
+# repair run (or a batch of them), so every loop issuing one must stay
+# cancel-responsive.
+EVAL_CALLS = (
+    "Value",
+    "EvalPerturbation",
+    "EvalConstraintSubset",
+    "Explain",
+    "ExplainBatch",
+    "Repair",
+)
+EVAL_CALL_RE = re.compile(
+    r"\b(?:" + "|".join(EVAL_CALLS) + r")\s*\(")
+
+# Any mention of the cancellation channel inside a loop body counts as
+# coverage: a poll, a member access, or handing the token onward.
+TOKEN_MENTION_RE = re.compile(
+    r"\bcancelled\s*\(|\bcancel\b|\bsoften\b|\bstop\b|CancelToken")
+
+# Sources a seed must never be derived from.
+TIME_SOURCE_RE = re.compile(
+    r"this_thread\s*::\s*get_id|steady_clock\s*::\s*now"
+    r"|system_clock\s*::\s*now|high_resolution_clock\s*::\s*now"
+    r"|\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)|\bgetpid\s*\(")
+SEEDISH_RE = re.compile(
+    r"[Ss]eed|mt19937|minstd_rand|SplitMix|splitmix|\b[Rr]ng\b")
+
+SUPPRESS_RE = re.compile(
+    r"//\s*trex-check-ok\(\s*([\w-]+)\s*\)\s*(:?)\s*(.*?)\s*$")
+
+STATUS_TYPE_RE = re.compile(r"\b(?:trex\s*::\s*)?(?:Status\b|Result\s*<)")
+
+
+def finding(path, line, check, message):
+    return (path, line, check, message)
+
+
+# ---------------------------------------------------------------------------
+# Lexing: blank out comments and string/char literals, preserving line
+# structure, so the structural passes never trip on contents.
+# ---------------------------------------------------------------------------
+
+def strip_code(text):
+    out = list(text)
+    i, n = 0, len(text)
+    NORMAL, LINE_C, BLOCK_C, STR, CHR, RAW = range(6)
+    state = NORMAL
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        two = text[i:i + 2]
+        if state == NORMAL:
+            if two == "//":
+                state = LINE_C
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if two == "/*":
+                state = BLOCK_C
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                if i >= 1 and text[i - 1] == "R":
+                    m = re.match(r'R"([^(\s"]*)\(', text[i - 1:i + 20])
+                    if m:
+                        state = RAW
+                        raw_delim = ")" + m.group(1) + '"'
+                        i += 1
+                        continue
+                state = STR
+                i += 1
+                continue
+            if c == "'":
+                state = CHR
+                i += 1
+                continue
+            i += 1
+            continue
+        if state == LINE_C:
+            if c == "\n":
+                state = NORMAL
+            elif text[i - 1] == "\\" and c == "\n":
+                pass
+            else:
+                out[i] = " "
+            i += 1
+            continue
+        if state == BLOCK_C:
+            if two == "*/":
+                out[i] = out[i + 1] = " "
+                state = NORMAL
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == STR:
+            if c == "\\":
+                out[i] = " "
+                if i + 1 < n and text[i + 1] != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == CHR:
+            if c == "\\":
+                out[i] = " "
+                if i + 1 < n and text[i + 1] != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == "'":
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == RAW:
+            if text.startswith(raw_delim, i):
+                for j in range(len(raw_delim)):
+                    out[i + j] = " "
+                i += len(raw_delim)
+                state = NORMAL
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+    return "".join(out)
+
+
+def match_delim(code, i, open_c, close_c):
+    """Index one past the delimiter closing the one at `i`."""
+    depth = 0
+    n = len(code)
+    while i < n:
+        if code[i] == open_c:
+            depth += 1
+        elif code[i] == close_c:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return n
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+def parse_suppressions(path, raw_text):
+    """Returns ({line: set(check)}, [findings for malformed ones])."""
+    by_line = {}
+    bad = []
+    for lineno, line in enumerate(raw_text.splitlines(), 1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        check, colon, reason = m.group(1), m.group(2), m.group(3)
+        if check not in CHECKS:
+            bad.append(finding(
+                path, lineno, "suppression",
+                f"trex-check-ok names unknown check '{check}' "
+                f"(valid: {', '.join(CHECKS)})"))
+            continue
+        if colon != ":" or not reason:
+            bad.append(finding(
+                path, lineno, "suppression",
+                f"trex-check-ok({check}) must carry a reason: "
+                "'// trex-check-ok(<check>): <why this is safe>'"))
+            continue
+        by_line.setdefault(lineno, set()).add(check)
+    return by_line, bad
+
+
+def apply_suppressions(findings, by_line):
+    kept = []
+    for f in findings:
+        _, line, check, _ = f
+        if check in by_line.get(line, ()) or check in by_line.get(line - 1,
+                                                                  ()):
+            continue
+        kept.append(f)
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# Checks shared verbatim by both engines (pure text by nature)
+# ---------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def check_layering(path, raw_text):
+    parts = path.split("/")
+    if len(parts) < 3 or parts[0] != "src" or parts[1] not in LAYER_RANK:
+        return []
+    my_rank = LAYER_RANK[parts[1]]
+    out = []
+    for lineno, line in enumerate(raw_text.splitlines(), 1):
+        m = INCLUDE_RE.match(line)
+        if not m:
+            continue
+        target = m.group(1).split("/")[0]
+        if target in LAYER_RANK and LAYER_RANK[target] > my_rank:
+            out.append(finding(
+                path, lineno, "layering",
+                f"upward include: {parts[1]} (rank {my_rank}) must not "
+                f"include {target} (rank {LAYER_RANK[target]}); the layer "
+                "order is common → table → dc/data → repair → core → "
+                "workload → serving"))
+    return out
+
+
+NODISCARD_DECL_RE = re.compile(
+    r"^\s*(?:static\s+|virtual\s+|friend\s+|explicit\s+|constexpr\s+)*"
+    r"(?:trex\s*::\s*)?(?:Status|Result\s*<[^;{}=]*>)\s+"
+    r"[A-Za-z_]\w*\s*\(")
+
+
+def check_status_annotations(path, raw_text):
+    """Part (a) of status-discipline: header declarations must be
+    [[nodiscard]]. Pure text in both engines — the attribute is lexical."""
+    if not (path.startswith("src/") and path.endswith(".h")):
+        return []
+    out = []
+    code = strip_code(raw_text)
+    lines = code.splitlines()
+    for i, line in enumerate(lines):
+        if "[[nodiscard]]" in line:
+            continue
+        if not NODISCARD_DECL_RE.match(line):
+            continue
+        prev = lines[i - 1].rstrip() if i else ""
+        if prev.endswith("[[nodiscard]]"):
+            continue
+        out.append(finding(
+            path, i + 1, "status-discipline",
+            "Status/Result-returning declaration without [[nodiscard]]; "
+            "a droppable error is no error contract at all"))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Text engine: lexer + scope tracking, no libclang required
+# ---------------------------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(r"unordered_(?:map|set)\s*<")
+ORDERED_DECL_RE = re.compile(r"(?<![\w_])(?:map|set|vector|deque)\s*<")
+USING_UNORDERED_RE = re.compile(
+    r"using\s+(\w+)\s*=\s*(?:std\s*::\s*)?unordered_(?:map|set)\s*<")
+
+
+def _decl_name_after_template(code, open_idx):
+    """Given index of '<' in a container type, returns the declared
+    variable name following the closing '>' (or None)."""
+    end = match_delim(code, open_idx, "<", ">")
+    m = re.match(r"\s*(?:&|\*)?\s*(\w+)", code[end:end + 160])
+    if not m:
+        return None
+    name = m.group(1)
+    if name in ("const", "GUARDED_BY", "ABSL_GUARDED_BY"):
+        m2 = re.match(r"\s*(?:&|\*)?\s*\w+\s*(?:\([^)]*\)\s*)?(\w+)",
+                      code[end:end + 200])
+        return m2.group(1) if m2 else None
+    return name
+
+
+def collect_container_names(code):
+    """Names declared with unordered / ordered container types in one
+    file's code."""
+    unordered, ordered = set(), set()
+    aliases = set()
+    for m in USING_UNORDERED_RE.finditer(code):
+        aliases.add(m.group(1))
+    for m in UNORDERED_DECL_RE.finditer(code):
+        name = _decl_name_after_template(code, m.end() - 1)
+        if name:
+            unordered.add(name)
+    for alias in aliases:
+        for dm in re.finditer(r"\b" + re.escape(alias) + r"\s+(\w+)\s*[;={(]",
+                              code):
+            unordered.add(dm.group(1))
+    for m in ORDERED_DECL_RE.finditer(code):
+        name = _decl_name_after_template(code, m.end() - 1)
+        if name:
+            ordered.add(name)
+    return unordered, ordered
+
+
+FLOAT_DECL_RE = re.compile(
+    r"\b(?:double|float|long\s+double)\s+(?:\*|&)?\s*(\w+)")
+FLOAT_VEC_DECL_RE = re.compile(
+    r"vector\s*<\s*(?:double|float|long\s+double)\s*>\s*(?:&|\*)?\s*(\w+)")
+STREAM_DECL_RE = re.compile(
+    r"\b(?:o?stringstream|ostream|ofstream)\s*&?\s*(\w+)")
+
+
+def collect_float_names(code):
+    names = set(m.group(1) for m in FLOAT_DECL_RE.finditer(code))
+    names |= set(m.group(1) for m in FLOAT_VEC_DECL_RE.finditer(code))
+    return names
+
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(")
+COMPOUND_ASSIGN_RE = re.compile(r"\b(\w+)(?:\[[^\]]*\])?\s*[+\-*/]=[^=]")
+APPEND_RE = re.compile(r"\b(\w+)\s*\.\s*(?:push_back|emplace_back|append)"
+                       r"\s*\(")
+FINGERPRINT_RE = re.compile(r"\.\s*Mix\w*\s*\(|Fingerprint\s*\("
+                            r"|HashCombine\s*\(")
+STREAM_WRITE_RE = re.compile(r"\b(\w+)\s*<<")
+
+
+def iter_loops(code):
+    """Yields (kind, head_start, head, body_start, body) for every
+    for/while loop, bodies brace-matched (or single statement)."""
+    for m in re.finditer(r"\b(for|while)\s*\(", code):
+        kind = m.group(1)
+        head_open = m.end() - 1
+        head_close = match_delim(code, head_open, "(", ")")
+        head = code[head_open:head_close]
+        j = head_close
+        n = len(code)
+        while j < n and code[j] in " \t\n":
+            j += 1
+        if j < n and code[j] == "{":
+            body_end = match_delim(code, j, "{", "}")
+            yield kind, m.start(), head, j, code[j:body_end]
+        elif j < n and code[j] == ";":
+            continue  # do-while tail or empty body
+        else:
+            end = code.find(";", j)
+            end = n if end < 0 else end + 1
+            yield kind, m.start(), head, j, code[j:end]
+
+
+def range_for_target(head):
+    """Tail identifier of the range expression of `for (decl : expr)`,
+    or None when not a range-for."""
+    depth = 0
+    for i, c in enumerate(head):
+        if c in "(<[":
+            depth += 1
+        elif c in ")>]":
+            depth -= 1
+        elif c == ":" and depth == 1:
+            if i + 1 < len(head) and head[i + 1] == ":":
+                continue
+            if i > 0 and head[i - 1] == ":":
+                continue
+            expr = head[i + 1:-1].strip()
+            m = re.search(r"([A-Za-z_]\w*)\s*(?:\(\s*\))?$", expr)
+            return m.group(1) if m else None
+    return None
+
+
+def declared_inside(name, body):
+    """True when `name` is declared within the loop body (loop-local
+    containers are order-independent by construction)."""
+    return re.search(r"[\w>\]]\s*&?\s+" + re.escape(name) + r"\s*[;={(]",
+                     body) is not None
+
+
+class TextEngine:
+    """Lexer-based fallback engine (see file comment)."""
+
+    name = "text"
+
+    def __init__(self):
+        # Project-wide container-name maps, filled by prepare() for
+        # tree runs; single-file runs (self-test) use file-local names.
+        self.project_unordered = set()
+        self.project_ambiguous = set()
+
+    def prepare(self, files):
+        unordered, ordered = set(), set()
+        for _, text in files:
+            u, o = collect_container_names(strip_code(text))
+            unordered |= u
+            ordered |= o
+        self.project_unordered = unordered
+        self.project_ambiguous = unordered & ordered
+
+    def lint_file(self, path, raw_text):
+        out = []
+        code = strip_code(raw_text)
+        in_src = path.startswith("src/")
+        out.extend(check_layering(path, raw_text))
+        out.extend(check_status_annotations(path, raw_text))
+        if in_src:
+            out.extend(self._check_unordered(path, raw_text, code))
+            out.extend(self._check_cancel_poll(path, raw_text, code))
+            out.extend(self._check_seed(path, raw_text, code))
+        return out
+
+    # -- unordered-determinism ------------------------------------------
+
+    def _check_unordered(self, path, raw_text, code):
+        local_u, local_o = collect_container_names(code)
+        unordered = local_u | self.project_unordered
+        # A name is ambiguous when some *other* file declares it with an
+        # ordered container (cross-file name collision, e.g. `counts_`);
+        # a local unordered declaration wins for this file. A name both
+        # ordered and unordered within this same file stays ambiguous.
+        ambiguous = (self.project_ambiguous - local_u) | (local_u & local_o)
+        floats = collect_float_names(code)
+        streams = set(m.group(1) for m in STREAM_DECL_RE.finditer(code))
+        streams |= {"cout", "cerr", "os", "out_stream"}
+        out = []
+        for _, start, head, _, body in iter_loops(code):
+            target = range_for_target(head)
+            if target is None or target not in unordered:
+                continue
+            if target in ambiguous:
+                continue  # name also declared ordered somewhere: unresolvable
+            lineno = line_of(code, start)
+            msg = None
+            for m in COMPOUND_ASSIGN_RE.finditer(body):
+                if m.group(1) in floats:
+                    msg = (f"floating-point accumulation into "
+                           f"'{m.group(1)}' under unordered iteration "
+                           f"over '{target}' — float addition is not "
+                           "commutative-associative, the result depends "
+                           "on bucket order")
+                    break
+            if msg is None:
+                for m in APPEND_RE.finditer(body):
+                    tgt = m.group(1)
+                    if not declared_inside(tgt, body):
+                        msg = (f"appending to ordered container "
+                               f"'{tgt}' in unordered iteration order "
+                               f"over '{target}' — sort the keys or keep "
+                               "an ordered mirror")
+                        break
+            if msg is None and FINGERPRINT_RE.search(body):
+                msg = (f"fingerprint/hash material fed in unordered "
+                       f"iteration order over '{target}' — use an "
+                       "order-independent combine (XOR) or sort first")
+            if msg is None:
+                for m in STREAM_WRITE_RE.finditer(body):
+                    if m.group(1) in streams:
+                        msg = (f"stream output written in unordered "
+                               f"iteration order over '{target}' — JSON/"
+                               "log lines must be deterministic")
+                        break
+            if msg:
+                out.append(finding(path, lineno, "unordered-determinism",
+                                   msg))
+        return out
+
+    # -- cancel-poll ----------------------------------------------------
+
+    def _check_cancel_poll(self, path, raw_text, code):
+        # Scope approximation: a file that takes cancellation as input
+        # (a CancelToken/StopRule parameter, or options .cancel/.soften
+        # access) must keep every eval loop responsive. A mere type
+        # definition or forward declaration does not count. (The clang
+        # engine scopes this per-function.)
+        threads_token = (
+            re.search(r"(?:CancelToken|StopRule)\s*&?\s+\w+\s*[,)=]", code)
+            or ".cancel" in code or ".soften" in code)
+        if not threads_token:
+            return []
+        out = []
+        for _, start, head, _, body in iter_loops(code):
+            if not EVAL_CALL_RE.search(body):
+                continue
+            if TOKEN_MENTION_RE.search(body) or TOKEN_MENTION_RE.search(head):
+                continue
+            out.append(finding(
+                path, line_of(code, start), "cancel-poll",
+                "loop calls into repair evaluation without polling or "
+                "forwarding a CancelToken; cancellation/deadlines cannot "
+                "reach this work"))
+        return out
+
+    # -- seed-discipline ------------------------------------------------
+
+    def _check_seed(self, path, raw_text, code):
+        out = []
+        # Statement granularity: chunks between ; { } at any nesting.
+        for chunk_m in re.finditer(r"[^;{}]+", code):
+            chunk = chunk_m.group(0)
+            if TIME_SOURCE_RE.search(chunk) and SEEDISH_RE.search(chunk):
+                out.append(finding(
+                    path, line_of(code, chunk_m.start()
+                                  + len(chunk) - len(chunk.lstrip())),
+                    "seed-discipline",
+                    "seed/RNG derived from thread id or wall clock; "
+                    "per-shard seeds may mix only (base seed, shard "
+                    "index) so replays are bit-identical"))
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Clang engine: real ASTs via clang.cindex
+# ---------------------------------------------------------------------------
+
+def load_cindex():
+    """Returns the clang.cindex module with a usable libclang, or None."""
+    try:
+        import clang.cindex as ci
+    except ImportError:
+        return None
+    lib = os.environ.get("TREX_LIBCLANG")
+    if lib:
+        ci.Config.set_library_file(lib)
+    try:
+        ci.Index.create()
+        return ci
+    except Exception:
+        for candidate in (
+                "libclang.so", "libclang-14.so", "libclang.so.1",
+                "/usr/lib/llvm-14/lib/libclang.so.1",
+                "/usr/lib/x86_64-linux-gnu/libclang-14.so.1"):
+            try:
+                ci.Config.loaded = False
+                ci.Config.set_library_file(candidate)
+                ci.Index.create()
+                return ci
+            except Exception:
+                continue
+    return None
+
+
+FLOAT_TYPES = {"float", "double", "long double"}
+APPEND_METHODS = {"push_back", "emplace_back", "append"}
+
+
+class ClangEngine:
+    """libclang-backed engine: same checks, real types and scopes."""
+
+    name = "clang"
+
+    def __init__(self, ci, root=None, compdb_dir=None):
+        self.ci = ci
+        self.index = ci.Index.create()
+        self.root = root
+        self.compdb = None
+        if compdb_dir and os.path.exists(
+                os.path.join(compdb_dir, "compile_commands.json")):
+            self.compdb = ci.CompilationDatabase.fromDirectory(compdb_dir)
+
+    def prepare(self, files):
+        pass  # ASTs carry their own cross-file knowledge
+
+    # -- parsing helpers ------------------------------------------------
+
+    def _args_for(self, abspath):
+        if self.compdb is not None:
+            cmds = self.compdb.getCompileCommands(abspath)
+            if cmds:
+                args = list(cmds[0].arguments)[1:]  # drop compiler
+                cleaned = []
+                skip = False
+                for a in args:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-c", abspath):
+                        continue
+                    if a == "-o":
+                        skip = True
+                        continue
+                    cleaned.append(a)
+                return cleaned
+        inc = os.path.join(self.root, "src") if self.root else "src"
+        return ["-x", "c++", "-std=c++20", "-I", inc]
+
+    def parse_tu(self, abspath, unsaved=None, hermetic=False):
+        if hermetic:
+            args = ["-x", "c++", "-std=c++17", "-nostdinc", "-nostdinc++"]
+        else:
+            args = self._args_for(abspath)
+        return self.index.parse(abspath, args=args, unsaved_files=unsaved)
+
+    def lint_file(self, path, raw_text):
+        """Single in-memory file (self-test path): hermetic parse."""
+        tu = self.parse_tu(path, unsaved=[(path, raw_text)], hermetic=True)
+        out = list(check_layering(path, raw_text))
+        out.extend(check_status_annotations(path, raw_text))
+        # Deduplicate: a statement can be reached as both a DECL_STMT
+        # and its nested VAR_DECL, producing the same finding twice.
+        out.extend(sorted(set(self._walk_tu(tu, {path: path}))))
+        return out
+
+    def lint_tree(self, root, rel_files):
+        """Parses every .cc TU (and any header no TU pulled in) and
+        collects findings for locations under src/."""
+        findings = {}
+        texts = dict(rel_files)
+        abs_to_rel = {
+            os.path.normpath(os.path.join(root, rel)): rel
+            for rel, _ in rel_files}
+        seen_headers = set()
+        parse_errors = []
+        ccs = [rel for rel, _ in rel_files if rel.endswith(".cc")]
+        headers = [rel for rel, _ in rel_files if rel.endswith(".h")]
+        for rel in ccs:
+            abspath = os.path.normpath(os.path.join(root, rel))
+            tu = self.parse_tu(abspath)
+            fatal = [d for d in tu.diagnostics if d.severity >= 4]
+            if fatal:
+                parse_errors.append(finding(
+                    rel, fatal[0].location.line if fatal[0].location else 0,
+                    "layering",
+                    f"parse failed: {fatal[0].spelling} (fix the build "
+                    "or the compile database; an unparsed TU is "
+                    "unchecked code)"))
+                continue
+            for f in self._walk_tu(tu, abs_to_rel):
+                findings[(f[0], f[1], f[2], f[3])] = f
+            for inc in tu.get_includes():
+                p = os.path.normpath(str(inc.include.name))
+                if p in abs_to_rel:
+                    seen_headers.add(abs_to_rel[p])
+        for rel in headers:
+            if rel in seen_headers:
+                continue
+            abspath = os.path.normpath(os.path.join(root, rel))
+            tu = self.parse_tu(abspath)
+            for f in self._walk_tu(tu, abs_to_rel):
+                findings[(f[0], f[1], f[2], f[3])] = f
+        per_file = {}
+        for f in findings.values():
+            per_file.setdefault(f[0], []).append(f)
+        out = list(parse_errors)
+        for rel, text in rel_files:
+            fs = per_file.get(rel, [])
+            fs += check_layering(rel, text)
+            fs += check_status_annotations(rel, text)
+            by_line, bad = parse_suppressions(rel, text)
+            out.extend(bad)
+            out.extend(apply_suppressions(sorted(set(fs)), by_line))
+        return out
+
+    # -- AST walks ------------------------------------------------------
+
+    def _rel_of(self, node, abs_to_rel):
+        loc = node.location
+        if loc.file is None:
+            return None
+        return abs_to_rel.get(os.path.normpath(str(loc.file.name)))
+
+    def _walk_tu(self, tu, abs_to_rel):
+        ci = self.ci
+        K = ci.CursorKind
+        out = []
+        for node in tu.cursor.walk_preorder():
+            rel = self._rel_of(node, abs_to_rel)
+            if rel is None or not rel.startswith("src/"):
+                continue
+            if node.kind == K.CXX_FOR_RANGE_STMT:
+                out.extend(self._unordered_range_for(node, rel))
+            elif node.kind in (K.FUNCTION_DECL, K.CXX_METHOD,
+                               K.FUNCTION_TEMPLATE):
+                if node.is_definition():
+                    out.extend(self._cancel_poll(node, rel))
+                out.extend(self._status_discard_scan(node, rel))
+            elif node.kind in (K.DECL_STMT, K.VAR_DECL):
+                out.extend(self._seed_stmt(node, rel))
+        return out
+
+    @staticmethod
+    def _canonical(t):
+        try:
+            return t.get_canonical().spelling
+        except Exception:
+            return t.spelling
+
+    def _unordered_range_for(self, node, rel):
+        K = self.ci.CursorKind
+        kids = list(node.get_children())
+        if len(kids) < 2:
+            return []
+        body = kids[-1]
+        range_expr = None
+        for k in kids[:-1]:
+            if k.kind.is_expression():
+                range_expr = k
+        if range_expr is None:
+            return []
+        spelling = self._canonical(range_expr.type)
+        if "unordered_map" not in spelling and "unordered_set" not in spelling:
+            return []
+        body_start = body.extent.start.offset
+        body_end = body.extent.end.offset
+        line = node.location.line
+        out = []
+
+        def decl_outside(expr_node):
+            # Looks through the callee expression for the *object* the
+            # method is invoked on (a variable/parameter/field); the
+            # method declaration itself always lives outside the loop
+            # and must not count.
+            for sub in expr_node.walk_preorder():
+                if sub.kind == K.DECL_REF_EXPR or \
+                        sub.kind == K.MEMBER_REF_EXPR:
+                    ref = sub.referenced
+                    if ref is None:
+                        continue
+                    if ref.kind in (K.CXX_METHOD, K.FUNCTION_DECL,
+                                    K.FUNCTION_TEMPLATE,
+                                    K.CONVERSION_FUNCTION):
+                        continue
+                    loc = ref.location
+                    if loc.file is None:
+                        return True
+                    off = loc.offset
+                    same = os.path.normpath(str(loc.file.name)) == \
+                        os.path.normpath(str(sub.location.file.name))
+                    if not same or off < body_start or off > body_end:
+                        return True
+            return False
+
+        for sub in body.walk_preorder():
+            if sub.kind == K.COMPOUND_ASSIGNMENT_OPERATOR:
+                t = self._canonical(sub.type)
+                if t in FLOAT_TYPES:
+                    out.append(finding(
+                        rel, line, "unordered-determinism",
+                        "floating-point accumulation under unordered "
+                        "iteration — float addition is not commutative-"
+                        "associative, the result depends on bucket "
+                        "order"))
+                    break
+            if sub.kind == K.CALL_EXPR:
+                name = sub.spelling or ""
+                if name in APPEND_METHODS:
+                    callee_kids = list(sub.get_children())
+                    if callee_kids and decl_outside(callee_kids[0]):
+                        out.append(finding(
+                            rel, line, "unordered-determinism",
+                            "appending to an ordered container declared "
+                            "outside the loop in unordered iteration "
+                            "order — sort the keys or keep an ordered "
+                            "mirror"))
+                        break
+                if name.startswith("Mix") or "Fingerprint" in name \
+                        or name == "HashCombine":
+                    out.append(finding(
+                        rel, line, "unordered-determinism",
+                        "fingerprint/hash material fed in unordered "
+                        "iteration order — use an order-independent "
+                        "combine (XOR) or sort first"))
+                    break
+                if name == "operator<<":
+                    args = list(sub.get_children())
+                    if args and "ostream" in self._canonical(args[0].type):
+                        out.append(finding(
+                            rel, line, "unordered-determinism",
+                            "stream output written in unordered "
+                            "iteration order — JSON/log lines must be "
+                            "deterministic"))
+                        break
+        return out
+
+    def _cancel_poll(self, fn, rel):
+        ci = self.ci
+        K = ci.CursorKind
+        params = [c for c in fn.get_children() if c.kind == K.PARM_DECL]
+        token_params = [
+            p for p in params
+            if "CancelToken" in self._canonical(p.type)
+            or "StopRule" in self._canonical(p.type)]
+        body = None
+        for c in fn.get_children():
+            if c.kind == K.COMPOUND_STMT:
+                body = c
+        if body is None:
+            return []
+        has_member_token = False
+        if not token_params:
+            for sub in body.walk_preorder():
+                if sub.kind == K.MEMBER_REF_EXPR and sub.spelling in (
+                        "cancel", "soften"):
+                    has_member_token = True
+                    break
+            if not has_member_token:
+                return []
+        out = []
+        loop_kinds = (K.FOR_STMT, K.WHILE_STMT, K.DO_STMT,
+                      K.CXX_FOR_RANGE_STMT)
+        token_names = {p.spelling for p in token_params}
+
+        def loop_is_covered(loop):
+            for sub in loop.walk_preorder():
+                if sub.kind == K.CALL_EXPR and sub.spelling == "cancelled":
+                    return True
+                if sub.kind == K.MEMBER_REF_EXPR and sub.spelling in (
+                        "cancel", "soften"):
+                    return True
+                if sub.kind == K.DECL_REF_EXPR and sub.spelling in \
+                        token_names:
+                    return True
+                if sub.kind == K.PARM_DECL:
+                    continue
+            return False
+
+        def loop_has_eval(loop):
+            for sub in loop.walk_preorder():
+                if sub.kind == K.CALL_EXPR and sub.spelling in EVAL_CALLS:
+                    return True
+            return False
+
+        for sub in body.walk_preorder():
+            if sub.kind in loop_kinds:
+                if loop_has_eval(sub) and not loop_is_covered(sub):
+                    out.append(finding(
+                        rel, sub.location.line, "cancel-poll",
+                        "loop calls into repair evaluation without "
+                        "polling or forwarding the function's "
+                        "CancelToken; cancellation/deadlines cannot "
+                        "reach this work"))
+        return out
+
+    def _status_discard_scan(self, fn, rel):
+        """Part (b) of status-discipline: a Status/Result-typed call
+        used as a whole expression statement is a discarded error."""
+        ci = self.ci
+        K = ci.CursorKind
+        out = []
+        body = None
+        for c in fn.get_children():
+            if c.kind == K.COMPOUND_STMT:
+                body = c
+        if body is None:
+            return []
+        for stmt_parent in body.walk_preorder():
+            if stmt_parent.kind != K.COMPOUND_STMT:
+                continue
+            for child in stmt_parent.get_children():
+                expr = child
+                while expr.kind == K.UNEXPOSED_EXPR:
+                    kids = list(expr.get_children())
+                    if not kids:
+                        break
+                    expr = kids[0]
+                if expr.kind != K.CALL_EXPR:
+                    continue
+                t = self._canonical(expr.type)
+                if STATUS_TYPE_RE.search(t) and "StatusCode" not in t:
+                    out.append(finding(
+                        rel, child.location.line, "status-discipline",
+                        f"call result of type '{t}' is discarded; handle "
+                        "the Status or cast to void with a reason"))
+        return out
+
+    def _seed_stmt(self, node, rel):
+        ext = node.extent
+        try:
+            tokens = " ".join(t.spelling for t in node.get_tokens())
+        except Exception:
+            return []
+        if TIME_SOURCE_RE.search(tokens) and SEEDISH_RE.search(tokens):
+            return [finding(
+                rel, ext.start.line, "seed-discipline",
+                "seed/RNG derived from thread id or wall clock; "
+                "per-shard seeds may mix only (base seed, shard index) "
+                "so replays are bit-identical")]
+        return []
+
+
+# ---------------------------------------------------------------------------
+# Tree runner
+# ---------------------------------------------------------------------------
+
+def collect_files(root):
+    out = []
+    for top in ("src",):
+        base = os.path.join(root, top)
+        for dirpath, _, filenames in os.walk(base):
+            for name in sorted(filenames):
+                if not name.endswith((".h", ".cc")):
+                    continue
+                full = os.path.join(dirpath, name)
+                rel = os.path.relpath(full, root).replace(os.sep, "/")
+                with open(full, encoding="utf-8") as f:
+                    out.append((rel, f.read()))
+    return out
+
+
+def lint_tree(engine, root):
+    files = collect_files(root)
+    engine.prepare(files)
+    if isinstance(engine, ClangEngine):
+        return engine.lint_tree(root, files)
+    out = []
+    for rel, text in files:
+        raw = engine.lint_file(rel, text)
+        by_line, bad = parse_suppressions(rel, text)
+        out.extend(bad)
+        out.extend(apply_suppressions(raw, by_line))
+    return out
+
+
+def lint_snippet(engine, path, text):
+    """Self-test entry: one in-memory file, suppressions applied."""
+    engine.prepare([(path, text)])
+    raw = engine.lint_file(path, text)
+    by_line, bad = parse_suppressions(path, text)
+    return bad + apply_suppressions(raw, by_line)
+
+
+# ---------------------------------------------------------------------------
+# Self-test fixtures. The preamble is hermetic (no system headers) so
+# the clang engine can parse snippets with -nostdinc and both engines
+# see identical text.
+# ---------------------------------------------------------------------------
+
+PREAMBLE = r"""
+namespace std {
+typedef unsigned long size_t;
+template <class A, class B> struct pair { A first; B second; };
+template <class K, class V, class H = int> struct unordered_map {
+  typedef pair<const K, V> value_type;
+  value_type* begin() const;
+  value_type* end() const;
+};
+template <class K, class H = int> struct unordered_set {
+  const K* begin() const;
+  const K* end() const;
+};
+template <class K, class V> struct map {
+  typedef pair<const K, V> value_type;
+  value_type* begin() const;
+  value_type* end() const;
+};
+template <class T> struct vector {
+  void push_back(const T&);
+  T* begin() const;
+  T* end() const;
+  size_t size() const;
+};
+struct string { void append(const char*); };
+struct ostream { };
+ostream& operator<<(ostream&, double);
+struct mt19937 { mt19937(unsigned long long); };
+namespace chrono {
+struct steady_clock {
+  struct time_point { long long time_since_epoch_count; };
+  static time_point now();
+};
+}
+namespace this_thread { int get_id(); }
+}
+namespace trex {
+class CancelToken {
+ public:
+  bool cancelled() const;
+};
+class Status {
+ public:
+  bool ok() const;
+  [[nodiscard]] static Status Ok();
+};
+template <class T> class Result {
+ public:
+  bool ok() const;
+};
+struct Game {
+  double Value(int coalition) const;
+};
+struct Hasher { void Mix(const void*, std::size_t); };
+}
+using namespace trex;
+"""
+
+BAD_FLOAT_FOLD = PREAMBLE + r"""
+double Sum(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) {
+    total += kv.second;
+  }
+  return total;
+}
+"""
+
+GOOD_INT_FOLD = PREAMBLE + r"""
+int Count(const std::unordered_map<int, int>& counts) {
+  int total = 0;
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  return total;
+}
+"""
+
+BAD_ORDERED_APPEND = PREAMBLE + r"""
+void Keys(const std::unordered_set<int>& seen, std::vector<int>& out) {
+  for (const auto& key : seen) {
+    out.push_back(key);
+  }
+}
+"""
+
+GOOD_LOCAL_APPEND = PREAMBLE + r"""
+void Probe(const std::unordered_map<int, int>& index) {
+  for (const auto& kv : index) {
+    std::vector<int> scratch;
+    scratch.push_back(kv.second);
+  }
+}
+"""
+
+GOOD_ORDERED_MAP = PREAMBLE + r"""
+double Sum(const std::map<int, double>& weights) {
+  double total = 0.0;
+  for (const auto& kv : weights) {
+    total += kv.second;
+  }
+  return total;
+}
+"""
+
+SUPPRESSED_FLOAT_FOLD = PREAMBLE + r"""
+double Sum(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  // trex-check-ok(unordered-determinism): values are all exact powers of two
+  for (const auto& kv : weights) {
+    total += kv.second;
+  }
+  return total;
+}
+"""
+
+BAD_SUPPRESSION_NO_REASON = PREAMBLE + r"""
+double Sum(const std::unordered_map<int, double>& weights) {
+  double total = 0.0;
+  // trex-check-ok(unordered-determinism):
+  for (const auto& kv : weights) {
+    total += kv.second;
+  }
+  return total;
+}
+"""
+
+BAD_SUPPRESSION_UNKNOWN = PREAMBLE + r"""
+int x;  // trex-check-ok(made-up-check): whatever
+"""
+
+BAD_NO_POLL = PREAMBLE + r"""
+double SweepAll(const Game& game, CancelToken token) {
+  double total = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    total += game.Value(i);
+  }
+  return total;
+}
+"""
+
+GOOD_POLLED = PREAMBLE + r"""
+double SweepAll(const Game& game, CancelToken token) {
+  double total = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    if (token.cancelled()) break;
+    total += game.Value(i);
+  }
+  return total;
+}
+"""
+
+GOOD_FORWARDED = PREAMBLE + r"""
+double RunShard(const Game& game, CancelToken token);
+double SweepAll(const Game& game, CancelToken token) {
+  double total = 0.0;
+  for (int shard = 0; shard < 4; ++shard) {
+    total += RunShard(game, token);
+  }
+  return total;
+}
+"""
+
+GOOD_NO_TOKEN_FN = PREAMBLE + r"""
+double SweepAll(const Game& game) {
+  double total = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    total += game.Value(i);
+  }
+  return total;
+}
+"""
+
+BAD_UPWARD_INCLUDE = """\
+#include "serving/service.h"
+#include "common/status.h"
+"""
+
+GOOD_DOWNWARD_INCLUDE = """\
+#include "core/engine.h"
+#include "common/status.h"
+"""
+
+BAD_MISSING_NODISCARD = PREAMBLE + r"""
+namespace trex {
+class Writer {
+ public:
+  Status Flush();
+  [[nodiscard]] Status Sync();
+};
+}
+"""
+
+GOOD_NODISCARD_PREV_LINE = PREAMBLE + r"""
+namespace trex {
+class Writer {
+ public:
+  [[nodiscard]]
+  Status Flush();
+};
+}
+"""
+
+BAD_DISCARDED_CALL = PREAMBLE + r"""
+namespace trex {
+Status Flush();
+void Tick() {
+  Flush();
+}
+}
+"""
+
+GOOD_HANDLED_CALL = PREAMBLE + r"""
+namespace trex {
+Status Flush();
+void Tick() {
+  Status s = Flush();
+  (void)s;
+}
+}
+"""
+
+BAD_CLOCK_SEED = PREAMBLE + r"""
+void Init() {
+  std::mt19937 rng(
+      std::chrono::steady_clock::now().time_since_epoch_count);
+}
+"""
+
+BAD_THREAD_SEED = PREAMBLE + r"""
+unsigned long long DeriveSeed(unsigned long long base) {
+  unsigned long long seed = base ^ std::this_thread::get_id();
+  return seed;
+}
+"""
+
+GOOD_SHARD_SEED = PREAMBLE + r"""
+unsigned long long DeriveSeed(unsigned long long base, int shard) {
+  unsigned long long seed = base + static_cast<unsigned long long>(shard);
+  return seed;
+}
+"""
+
+SELF_TEST_CASES = [
+    FixtureCase("unordered-determinism", "src/core/bad_fold.cc",
+                BAD_FLOAT_FOLD, 1),
+    FixtureCase("unordered-determinism", "src/core/good_fold.cc",
+                GOOD_INT_FOLD, 0),
+    FixtureCase("unordered-determinism", "src/core/bad_append.cc",
+                BAD_ORDERED_APPEND, 1),
+    FixtureCase("unordered-determinism", "src/core/good_local.cc",
+                GOOD_LOCAL_APPEND, 0),
+    FixtureCase("unordered-determinism", "src/core/good_map.cc",
+                GOOD_ORDERED_MAP, 0),
+    FixtureCase("unordered-determinism", "src/core/suppressed.cc",
+                SUPPRESSED_FLOAT_FOLD, 0),
+    FixtureCase("suppression", "src/core/suppressed.cc",
+                SUPPRESSED_FLOAT_FOLD, 0),
+    FixtureCase("suppression", "src/core/bad_reason.cc",
+                BAD_SUPPRESSION_NO_REASON, 1),
+    # With the malformed suppression rejected, the underlying finding
+    # must resurface rather than being silently eaten.
+    FixtureCase("unordered-determinism", "src/core/bad_reason.cc",
+                BAD_SUPPRESSION_NO_REASON, 1),
+    FixtureCase("suppression", "src/core/bad_unknown.cc",
+                BAD_SUPPRESSION_UNKNOWN, 1),
+
+    FixtureCase("cancel-poll", "src/core/bad_no_poll.cc", BAD_NO_POLL, 1),
+    FixtureCase("cancel-poll", "src/core/good_polled.cc", GOOD_POLLED, 0),
+    FixtureCase("cancel-poll", "src/core/good_forwarded.cc",
+                GOOD_FORWARDED, 0),
+    FixtureCase("cancel-poll", "src/core/good_no_token.cc",
+                GOOD_NO_TOKEN_FN, 0),
+
+    FixtureCase("layering", "src/core/bad_upward.h", BAD_UPWARD_INCLUDE, 1),
+    FixtureCase("layering", "src/serving/good_downward.h",
+                GOOD_DOWNWARD_INCLUDE, 0),
+    FixtureCase("layering", "tests/core/exempt_test.cc",
+                BAD_UPWARD_INCLUDE, 0),
+
+    FixtureCase("status-discipline", "src/table/bad_writer.h",
+                BAD_MISSING_NODISCARD, 1),
+    FixtureCase("status-discipline", "src/table/good_writer.h",
+                GOOD_NODISCARD_PREV_LINE, 0),
+    # Call-site discard needs a real AST; the text engine leans on the
+    # class-level [[nodiscard]] + -Werror=unused-result for this half.
+    FixtureCase("status-discipline", "src/table/bad_discard.cc",
+                BAD_DISCARDED_CALL, 1, engines={"clang"}),
+    FixtureCase("status-discipline", "src/table/good_discard.cc",
+                GOOD_HANDLED_CALL, 0),
+
+    FixtureCase("seed-discipline", "src/core/bad_clock_seed.cc",
+                BAD_CLOCK_SEED, 1),
+    FixtureCase("seed-discipline", "src/core/bad_thread_seed.cc",
+                BAD_THREAD_SEED, 1),
+    FixtureCase("seed-discipline", "src/core/good_shard_seed.cc",
+                GOOD_SHARD_SEED, 0),
+]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def make_engine(kind, root=None, compdb=None):
+    if kind in ("auto", "clang"):
+        ci = load_cindex()
+        if ci is not None:
+            return ClangEngine(ci, root=root, compdb_dir=compdb)
+        if kind == "clang":
+            print("trex_check: --engine clang requested but libclang is "
+                  "not available (pip wheel 'libclang' or TREX_LIBCLANG)",
+                  file=sys.stderr)
+            return None
+    return TextEngine()
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--engine", default="auto",
+                        choices=("auto", "clang", "text"),
+                        help="auto prefers libclang, falls back to the "
+                             "text engine")
+    parser.add_argument("--compdb", default=None,
+                        help="directory holding compile_commands.json "
+                             "(clang engine)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded fixture self-test and exit")
+    parser.add_argument("--list-checks", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_checks:
+        for c in CHECKS:
+            print(c)
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    compdb = args.compdb or os.path.join(root, "build")
+
+    engine = make_engine(args.engine, root=root, compdb=compdb)
+    if engine is None:
+        return 2
+
+    if args.self_test:
+        def lint_fn(path, snippet):
+            e = make_engine(args.engine, root=root, compdb=None)
+            return lint_snippet(e, path, snippet)
+        return run_fixture_cases(SELF_TEST_CASES, lint_fn, "trex_check",
+                                 engine_name=engine.name)
+
+    findings = lint_tree(engine, root)
+    findings.sort()
+    for path, line, check, msg in findings:
+        print(f"{path}:{line}: [{check}] {msg}")
+    if findings:
+        print(f"trex_check[{engine.name}]: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"trex_check[{engine.name}]: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
