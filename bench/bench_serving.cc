@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "data/errors.h"
 #include "data/generator.h"
 #include "data/soccer.h"
+#include "repair/faulty.h"
 #include "repair/soccer_algorithm1.h"
 #include "serving/service.h"
 #include "tests/serving/algorithm_fixtures.h"
@@ -560,6 +562,120 @@ void RunDeadlineDegradationScenario() {
                  "achieved CI width");
 }
 
+/// Scheduler scenario 5 — resilience: deterministic transient faults
+/// healed by bounded retries, then a full circuit-breaker cycle
+/// (closed → open under repeated transient failure → half-open probe
+/// after cooldown → closed on probe success). The JSON row carries the
+/// new self-healing telemetry: `retries`, the transient/permanent
+/// failure split, the per-StatusCode failure breakdown, and the
+/// breaker counters.
+void RunResilienceScenario() {
+  bench::Header("self-healing: retries + circuit breaker on transient faults");
+  const dc::DcSet dcs = data::SoccerConstraints();
+  const auto inner = repair::MakeAlgorithm1();
+  const auto table = std::make_shared<const Table>(data::SoccerDirtyTable());
+
+  // Phase 1 — healing: the backend's first two repair calls fail
+  // transient; the retry loop re-runs until the schedule recovers, so
+  // every ticket still resolves OK.
+  serving::ServiceStats healed;
+  {
+    auto flaky = std::make_shared<repair::FaultyAlgorithm>(
+        "bench-flaky", inner, repair::FaultyOptions{.fail_first = 2});
+    serving::ServiceOptions options;
+    options.retry.max_attempts = 4;
+    options.retry.initial_backoff = std::chrono::milliseconds(1);
+    options.retry.max_backoff = std::chrono::milliseconds(4);
+    serving::ExplainService service(options);
+    for (int r = 0; r < 4; ++r) {
+      auto result =
+          service.Submit(flaky, dcs, table, ConstraintRequest()).Wait();
+      TREX_CHECK(result.ok()) << result.status().ToString();
+    }
+    healed = service.stats();
+  }
+  std::printf(
+      "healing: 4 requests, first 2 repair calls fail transient — "
+      "completed %zu, failed %zu, retries %zu\n",
+      healed.completed, healed.failed, healed.retries);
+
+  // Phase 2 — breaker cycle: retry budget (2 attempts) below the fault
+  // budget, so the first job exhausts its retries and the two transient
+  // outcomes trip the tight breaker; a second job is rejected at
+  // admission during cooldown; after cooldown a third job rides the
+  // half-open probe, succeeds, and closes the breaker.
+  serving::ServiceStats breaker;
+  bool cycle_closed = false;
+  {
+    auto flaky = std::make_shared<repair::FaultyAlgorithm>(
+        "bench-breaker", inner, repair::FaultyOptions{.fail_first = 2});
+    serving::ServiceOptions options;
+    options.retry.max_attempts = 2;
+    options.retry.initial_backoff = std::chrono::milliseconds(1);
+    options.retry.max_backoff = std::chrono::milliseconds(2);
+    options.router.breaker.window = 4;
+    options.router.breaker.min_samples = 2;
+    options.router.breaker.failure_rate_threshold = 0.5;
+    options.router.breaker.cooldown = std::chrono::milliseconds(50);
+    serving::ExplainService service(options);
+    const serving::EngineKey key =
+        serving::EngineRouter::KeyOf(*flaky, dcs, *table);
+
+    auto exhausted = service.Submit(flaky, dcs, table, ConstraintRequest())
+                         .Wait();
+    TREX_CHECK(!exhausted.ok() && exhausted.status().IsTransient());
+    auto rejected = service.Submit(flaky, dcs, table, ConstraintRequest())
+                        .Wait();
+    TREX_CHECK(!rejected.ok() && rejected.status().IsTransient());
+    // sleep-ok: the breaker cooldown is a real-time contract; only
+    // elapsed wall-clock moves it from open to half-open.
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    auto probed = service.Submit(flaky, dcs, table, ConstraintRequest())
+                      .Wait();
+    TREX_CHECK(probed.ok()) << probed.status().ToString();
+    cycle_closed = service.router().breaker_state(key) ==
+                   serving::EngineRouter::BreakerState::kClosed;
+    breaker = service.stats();
+  }
+  std::printf(
+      "breaker: open %zu, half-open probes %zu, rejected-at-admission %zu, "
+      "cycle re-closed %s\n",
+      breaker.router.breaker_open, breaker.router.breaker_half_open_probes,
+      breaker.router.breaker_rejected, cycle_closed ? "yes" : "no");
+
+  std::string by_code = "{";
+  for (const auto& [code, count] : breaker.failed_by_code) {
+    if (by_code.size() > 1) by_code += ",";
+    by_code += "\"" + std::string(StatusCodeToString(code)) +
+               "\":" + std::to_string(count);
+  }
+  by_code += "}";
+  std::printf(
+      "JSON {\"bench\":\"serving\",\"scenario\":\"resilience\","
+      "\"healed_requests\":%zu,\"healed_failed\":%zu,\"retries\":%zu,"
+      "\"breaker_submitted\":%zu,\"breaker_completed\":%zu,"
+      "\"failed_transient\":%zu,\"failed_permanent\":%zu,"
+      "\"failed_by_code\":%s,\"breaker_open\":%zu,"
+      "\"breaker_half_open_probes\":%zu,\"breaker_rejected\":%zu}\n",
+      healed.completed, healed.failed, healed.retries, breaker.submitted,
+      breaker.completed, breaker.failed_transient, breaker.failed_permanent,
+      by_code.c_str(), breaker.router.breaker_open,
+      breaker.router.breaker_half_open_probes,
+      breaker.router.breaker_rejected);
+  bench::Verdict(healed.completed == 4 && healed.failed == 0 &&
+                     healed.retries == 2,
+                 "transient faults heal invisibly: bounded retries, zero "
+                 "failed tickets");
+  bench::Verdict(cycle_closed && breaker.router.breaker_open >= 1 &&
+                     breaker.router.breaker_half_open_probes >= 1 &&
+                     breaker.router.breaker_rejected >= 1,
+                 "the breaker completes a closed -> open -> half-open -> "
+                 "closed cycle");
+  bench::Verdict(breaker.failed ==
+                     breaker.failed_transient + breaker.failed_permanent,
+                 "every failure is classified transient or permanent");
+}
+
 }  // namespace
 }  // namespace trex
 
@@ -569,5 +685,6 @@ int main() {
   trex::RunSaturationScenario();
   trex::RunSyntheticWorldScenario();
   trex::RunDeadlineDegradationScenario();
+  trex::RunResilienceScenario();
   return 0;
 }

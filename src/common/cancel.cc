@@ -1,6 +1,71 @@
 #include "common/cancel.h"
 
+#include <algorithm>
+#include <utility>
+
 namespace trex {
+namespace internal {
+
+void CancelWaiter::Fire() {
+  MutexLock lock(mu);
+  fired = true;
+  cv.NotifyAll();
+}
+
+void CancelState::Cancel() {
+  if (flag_.exchange(true, std::memory_order_relaxed)) return;
+  std::vector<std::shared_ptr<CancelWaiter>> to_fire;
+  {
+    MutexLock lock(mu_);
+    to_fire = std::move(waiters_);
+    waiters_.clear();
+  }
+  for (const auto& waiter : to_fire) waiter->Fire();
+}
+
+void CancelState::AddWaiter(const std::shared_ptr<CancelWaiter>& waiter) {
+  bool fire_now = false;
+  {
+    MutexLock lock(mu_);
+    // Checked under the lock: if the flag is already set, Cancel() has
+    // either drained the list or is about to — either way it will not
+    // see this waiter, so deliver the wakeup directly.
+    if (flag_.load(std::memory_order_relaxed)) {
+      fire_now = true;
+    } else {
+      waiters_.push_back(waiter);
+    }
+  }
+  if (fire_now) waiter->Fire();
+}
+
+void CancelState::RemoveWaiter(const CancelWaiter* waiter) {
+  MutexLock lock(mu_);
+  waiters_.erase(std::remove_if(waiters_.begin(), waiters_.end(),
+                                [waiter](const auto& w) {
+                                  return w.get() == waiter;
+                                }),
+                 waiters_.end());
+}
+
+}  // namespace internal
+
+bool CancelToken::WaitFor(std::chrono::nanoseconds timeout) const {
+  if (cancelled()) return true;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  auto waiter = std::make_shared<internal::CancelWaiter>();
+  for (const auto& state : states_) state->AddWaiter(waiter);
+  {
+    MutexLock lock(waiter->mu);
+    while (!waiter->fired) {
+      if (waiter->cv.WaitUntil(lock, deadline) == std::cv_status::timeout) {
+        break;
+      }
+    }
+  }
+  for (const auto& state : states_) state->RemoveWaiter(waiter.get());
+  return cancelled();
+}
 
 CancelToken CancelToken::AnyOf(const CancelToken& a, const CancelToken& b) {
   CancelToken merged;

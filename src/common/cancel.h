@@ -14,6 +14,14 @@
 // point and reports `Status::Cancelled`. A default-constructed token is
 // never cancelled, so synchronous callers pay nothing.
 //
+// Besides polling, a token supports *blocking* on cancellation:
+// `WaitFor(timeout)` parks the calling thread until either the timeout
+// elapses or any observed source fires, whichever comes first. This is
+// the only sanctioned way to sleep in a retry/backoff loop — a bare
+// `sleep_for` would let a backoff outlive the deadline or cancellation
+// that should have cut it short (serving's `DeadlineSource` fires
+// `CancelSource::Cancel`, which wakes all waiters immediately).
+//
 // The same primitives also carry the *soften* channel of anytime
 // estimation: a token wired into `shap::StopRule::soften` (or
 // `ExplainRequest::soften`) does not kill work when it fires — the
@@ -28,17 +36,61 @@
 // serving headers — the layer DAG (enforced by tools/trex_check.py)
 // runs common → table → dc/data → repair → core → workload → serving.
 //
-// Thread safety: all operations are safe to call concurrently; the flag
-// is a relaxed atomic (cancellation needs no ordering with other data).
+// Thread safety: all operations are safe to call concurrently. The
+// fast path (`cancelled()` polls) reads a relaxed atomic; the waiter
+// list behind `WaitFor` is guarded by a per-state leaf mutex that is
+// never held across user code.
 
 #ifndef TREX_COMMON_CANCEL_H_
 #define TREX_COMMON_CANCEL_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace trex {
+
+namespace internal {
+
+/// One thread parked in `CancelToken::WaitFor`. Registered with every
+/// state the token observes; the first state to fire wakes it.
+struct CancelWaiter {
+  Mutex mu;
+  CondVar cv;
+  bool fired GUARDED_BY(mu) = false;
+
+  void Fire() EXCLUDES(mu);
+};
+
+/// Shared flag + waiter registry behind one `CancelSource`.
+class CancelState {
+ public:
+  bool cancelled() const {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+  /// Sets the flag (idempotent) and wakes every registered waiter.
+  void Cancel() EXCLUDES(mu_);
+
+  /// Registers a waiter; if this state is already cancelled the waiter
+  /// is fired immediately instead (a later `Cancel` call would be a
+  /// no-op and must not be relied on to deliver the wakeup).
+  void AddWaiter(const std::shared_ptr<CancelWaiter>& waiter) EXCLUDES(mu_);
+
+  /// Deregisters a waiter (by identity); safe to call after firing.
+  void RemoveWaiter(const CancelWaiter* waiter) EXCLUDES(mu_);
+
+ private:
+  std::atomic<bool> flag_{false};
+  Mutex mu_;
+  std::vector<std::shared_ptr<CancelWaiter>> waiters_ GUARDED_BY(mu_);
+};
+
+}  // namespace internal
 
 /// Observer half of a cancellation channel (see file comment).
 class CancelToken {
@@ -49,7 +101,7 @@ class CancelToken {
   /// True once any underlying source was cancelled.
   bool cancelled() const {
     for (const auto& state : states_) {
-      if (state->load(std::memory_order_relaxed)) return true;
+      if (state->cancelled()) return true;
     }
     return false;
   }
@@ -58,30 +110,39 @@ class CancelToken {
   /// be cancelled).
   bool can_be_cancelled() const { return !states_.empty(); }
 
+  /// Blocks until `timeout` elapses or any observed source is cancelled,
+  /// whichever comes first; returns `cancelled()`. A token with no
+  /// sources simply sleeps the full timeout (and returns false) — so
+  /// this doubles as the project's interruptible sleep. The wait is a
+  /// condition-variable park, not a poll: a source firing mid-wait wakes
+  /// the caller immediately.
+  bool WaitFor(std::chrono::nanoseconds timeout) const;
+
   /// A token cancelled as soon as either input is. Null inputs are
   /// dropped, so merging with a default token is free.
   static CancelToken AnyOf(const CancelToken& a, const CancelToken& b);
 
  private:
   friend class CancelSource;
-  std::vector<std::shared_ptr<const std::atomic<bool>>> states_;
+  std::vector<std::shared_ptr<internal::CancelState>> states_;
 };
 
 /// Owner half of a cancellation channel: hands out tokens and flips them.
 class CancelSource {
  public:
-  CancelSource() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+  CancelSource() : state_(std::make_shared<internal::CancelState>()) {}
 
   /// A token observing this source.
   CancelToken token() const;
 
-  /// Requests cancellation; idempotent.
-  void Cancel() { state_->store(true, std::memory_order_relaxed); }
+  /// Requests cancellation; idempotent. Wakes any thread blocked in
+  /// `CancelToken::WaitFor` on a token observing this source.
+  void Cancel() { state_->Cancel(); }
 
-  bool cancelled() const { return state_->load(std::memory_order_relaxed); }
+  bool cancelled() const { return state_->cancelled(); }
 
  private:
-  std::shared_ptr<std::atomic<bool>> state_;
+  std::shared_ptr<internal::CancelState> state_;
 };
 
 }  // namespace trex

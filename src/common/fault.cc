@@ -1,0 +1,115 @@
+#include "common/fault.h"
+
+#include <utility>
+
+#include "common/cancel.h"
+
+namespace trex {
+namespace fault {
+namespace {
+
+// FNV-1a over the site name: stable across platforms, so the splitmix64
+// chain (and therefore every schedule) replays identically everywhere.
+std::uint64_t HashSiteName(std::string_view site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t DeriveSiteSeed(std::uint64_t plan_seed, std::string_view site) {
+  std::uint64_t state = plan_seed ^ HashSiteName(site);
+  SplitMix64(&state);
+  return SplitMix64(&state);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(FaultPlan plan) {
+  MutexLock lock(mu_);
+  sites_.clear();
+  for (SiteSchedule& schedule : plan.sites) {
+    SiteState state;
+    state.rng = Rng(DeriveSiteSeed(plan.seed, schedule.site));
+    state.scheduled = true;
+    std::string site = schedule.site;
+    state.schedule = std::move(schedule);
+    sites_.insert_or_assign(std::move(site), std::move(state));
+  }
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  MutexLock lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::Hit(std::string_view site) {
+  std::chrono::microseconds sleep_for_latency{0};
+  Status injected = Status::Ok();
+  {
+    MutexLock lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed)) return Status::Ok();
+    auto it = sites_.find(site);
+    if (it == sites_.end()) {
+      // Unscheduled site: pass through, but count arrivals so tests can
+      // assert a path was exercised.
+      it = sites_.emplace(std::string(site), SiteState{}).first;
+    }
+    SiteState& state = it->second;
+    state.counts.hits++;
+    if (!state.scheduled) return Status::Ok();
+    if (state.counts.hits <= state.schedule.skip_first) return Status::Ok();
+    const std::size_t engaged = state.counts.hits - state.schedule.skip_first;
+    switch (state.schedule.kind) {
+      case FaultKind::kError:
+        if (state.rng.Bernoulli(state.schedule.probability)) {
+          state.counts.injected++;
+          injected = Status(
+              state.schedule.code,
+              "injected fault at " + state.schedule.site + " (hit #" +
+                  std::to_string(state.counts.hits) + ")");
+        }
+        break;
+      case FaultKind::kLatency:
+        if (state.rng.Bernoulli(state.schedule.probability)) {
+          state.counts.injected++;
+          sleep_for_latency = state.schedule.latency;
+        }
+        break;
+      case FaultKind::kTransient:
+        if (engaged <= state.schedule.fail_first) {
+          state.counts.injected++;
+          injected = Status(
+              state.schedule.code,
+              "injected transient fault at " + state.schedule.site + " (" +
+                  std::to_string(engaged) + "/" +
+                  std::to_string(state.schedule.fail_first) + ")");
+        }
+        break;
+    }
+  }
+  if (sleep_for_latency.count() > 0) {
+    // Interruptible sleep outside the injector lock: a stateless token's
+    // WaitFor is a plain condition-variable park for the full duration.
+    (void)CancelToken().WaitFor(sleep_for_latency);
+  }
+  return injected;
+}
+
+SiteCounters FaultInjector::counters(std::string_view site) const {
+  MutexLock lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return SiteCounters{};
+  return it->second.counts;
+}
+
+}  // namespace fault
+}  // namespace trex

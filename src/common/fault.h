@@ -1,0 +1,166 @@
+// Deterministic, site-keyed fault injection.
+//
+// Production code marks the places where a dependency can fail with a
+// *named injection site*:
+//
+//   Status EvalOnce(...) {
+//     TREX_FAULT_INJECT("repair.eval_table_miss");
+//     ...
+//   }
+//
+// Sites are inert by default: the macro is one relaxed atomic load when
+// no plan is armed, so shipping them in hot paths costs nothing. Tests
+// and the chaos suite arm a `FaultPlan` — a seed plus per-site
+// schedules — and the named sites start failing on a deterministic,
+// replayable schedule:
+//
+//   fault::ScopedFaultPlan plan({.seed = 42, .sites = {
+//       {.site = "repair.backend", .kind = fault::FaultKind::kTransient,
+//        .skip_first = 1, .fail_first = 2}}});
+//
+// Three fault kinds:
+//   - kError:     each engaged hit fails with `probability`, drawn from
+//                 a per-site RNG derived from the plan seed through a
+//                 splitmix64 chain (same seed → same schedule).
+//   - kLatency:   each engaged hit sleeps `latency` with `probability`
+//                 and then succeeds (slow dependency, not a broken one).
+//   - kTransient: the first `fail_first` engaged hits fail, then the
+//                 site recovers — the shape retry loops must survive.
+// `skip_first` lets a schedule pass early hits through (e.g. let the
+// reference repair succeed and fail the first *eval* instead).
+//
+// Discipline (enforced by tools/trex_check.py, check
+// `fault-site-discipline`): injection goes through this header's
+// `TREX_FAULT_INJECT` macro only, site names are string literals and
+// globally unique, and `bench/` must not contain injection sites —
+// benchmarks measure the real system, chaos belongs to tests.
+//
+// Thread safety: `Hit` is safe from any thread. With concurrent callers
+// the per-site hit sequence is deterministic but *which caller* draws
+// which scheduled outcome follows the arrival interleaving; chaos tests
+// assert invariants (everything resolves, results bit-identical after
+// recovery), not specific fault→thread assignments.
+
+#ifndef TREX_COMMON_FAULT_H_
+#define TREX_COMMON_FAULT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+
+namespace trex {
+namespace fault {
+
+/// What an armed schedule does to its site's hits (see file comment).
+enum class FaultKind : std::uint8_t { kError, kLatency, kTransient };
+
+/// One site's fault schedule within a plan.
+struct SiteSchedule {
+  std::string site;
+  FaultKind kind = FaultKind::kError;
+  /// Firing probability per engaged hit (kError / kLatency).
+  double probability = 1.0;
+  /// Hits that always pass before the schedule engages.
+  std::size_t skip_first = 0;
+  /// kTransient: engaged hits that fail before the site recovers.
+  std::size_t fail_first = 1;
+  /// kLatency: how long a firing hit sleeps before succeeding.
+  std::chrono::microseconds latency{0};
+  /// Error code injected by failing hits. Defaults to the transient
+  /// code so retry/breaker paths engage; set a permanent code to test
+  /// fail-fast classification.
+  StatusCode code = StatusCode::kUnavailable;
+};
+
+/// A replayable chaos plan: a seed plus the sites it drives.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<SiteSchedule> sites;
+};
+
+/// Observed activity at one site since the plan was armed.
+struct SiteCounters {
+  std::size_t hits = 0;      ///< times the site was reached
+  std::size_t injected = 0;  ///< times a fault actually fired
+};
+
+/// Process-wide injector. Sites call `Hit` (via `TREX_FAULT_INJECT`);
+/// tests arm plans, preferably through `ScopedFaultPlan`.
+class FaultInjector {
+ public:
+  /// The process-wide instance.
+  static FaultInjector& Instance();
+
+  /// Arms `plan`, replacing any previous plan and resetting counters.
+  /// Per-site RNGs are derived from `plan.seed` and the site name via a
+  /// splitmix64 chain, so the same plan replays the same schedule.
+  void Arm(FaultPlan plan) EXCLUDES(mu_);
+
+  /// Disarms; all sites pass through again. Counters are kept until the
+  /// next `Arm` so tests can assert on them after the run.
+  void Disarm() EXCLUDES(mu_);
+
+  /// True while a plan is armed (one relaxed load; the macro's guard).
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Records one arrival at `site` and returns the scheduled outcome:
+  /// OK, or the schedule's error code. Sites without a schedule in the
+  /// armed plan pass through (but are still counted).
+  [[nodiscard]] Status Hit(std::string_view site) EXCLUDES(mu_);
+
+  /// Counters for `site` (zeros if never hit since the last `Arm`).
+  SiteCounters counters(std::string_view site) const EXCLUDES(mu_);
+
+ private:
+  FaultInjector() = default;
+
+  struct SiteState {
+    SiteSchedule schedule;
+    Rng rng{0};
+    SiteCounters counts;
+    /// False for sites the armed plan never named: counted, never fired.
+    bool scheduled = false;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable Mutex mu_;
+  std::map<std::string, SiteState, std::less<>> sites_ GUARDED_BY(mu_);
+};
+
+/// RAII plan scope for tests: arms on construction, disarms on exit.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) {
+    FaultInjector::Instance().Arm(std::move(plan));
+  }
+  ~ScopedFaultPlan() { FaultInjector::Instance().Disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace fault
+}  // namespace trex
+
+/// Declares a named injection site. Expands to a return of the injected
+/// error `Status` when an armed schedule fires (usable in any function
+/// returning `Status` or `Result<T>`); near-zero cost when disarmed.
+/// `site` must be a unique string literal (fault-site-discipline).
+#define TREX_FAULT_INJECT(site)                                     \
+  do {                                                              \
+    if (::trex::fault::FaultInjector::Instance().armed()) {         \
+      ::trex::Status _trex_fault_status =                           \
+          ::trex::fault::FaultInjector::Instance().Hit(site);       \
+      if (!_trex_fault_status.ok()) return _trex_fault_status;      \
+    }                                                               \
+  } while (false)
+
+#endif  // TREX_COMMON_FAULT_H_

@@ -29,6 +29,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kRejected:
       return "Rejected";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -36,6 +36,12 @@ enum class StatusCode : std::uint8_t {
   /// work never entered execution and the caller may retry later or at
   /// a higher priority.
   kRejected,
+  /// A dependency (typically a repair backend) failed transiently: the
+  /// same call is expected to succeed if retried after a short wait.
+  /// This is the only code the serving layer classifies as *transient*
+  /// — retry loops and circuit breakers act on it; every other error
+  /// code is *permanent* and is returned to the caller immediately.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code (e.g. "Invalid
@@ -96,6 +102,9 @@ class [[nodiscard]] Status {
   [[nodiscard]] static Status Rejected(std::string msg) {
     return Status(StatusCode::kRejected, std::move(msg));
   }
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// True iff this status represents success.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -105,6 +114,14 @@ class [[nodiscard]] Status {
 
   /// True iff this status reports overload rejection (load-shedding).
   bool IsRejected() const { return code_ == StatusCode::kRejected; }
+
+  /// True iff this status reports a transient dependency failure.
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+
+  /// Failure classification used by the serving layer: transient errors
+  /// (`kUnavailable`) are retryable and feed circuit-breaker windows;
+  /// everything else — including OK — is not transient.
+  bool IsTransient() const { return code_ == StatusCode::kUnavailable; }
 
   /// The status category.
   [[nodiscard]] StatusCode code() const { return code_; }

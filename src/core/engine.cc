@@ -206,43 +206,67 @@ Result<ExplainResult> Engine::Explain(const ExplainRequest& request) {
   TREX_ASSIGN_OR_RETURN(const std::size_t target_index,
                         EnsureTarget(request.target));
 
+  // A failed memo-miss repair fires the box's abort token (see
+  // repair_game.h's failure channel): merge it into the request's
+  // cancel so every sweep shard stops at its next poll instead of
+  // hammering a failing backend, then convert the resulting kCancelled
+  // back into the underlying failure below.
+  ExplainRequest effective = request;
+  effective.cancel =
+      CancelToken::AnyOf(effective.cancel, box_->eval_abort_token());
+
   ExplainResult result;
   result.kind = request.kind;
   result.target = request.target;
-  switch (request.kind) {
-    case ExplainKind::kConstraints: {
-      TREX_ASSIGN_OR_RETURN(Explanation ex,
-                            ExplainConstraints(target_index, request, &result));
-      result.explanation = std::move(ex);
-      break;
+  Status dispatch = [&]() -> Status {
+    switch (effective.kind) {
+      case ExplainKind::kConstraints: {
+        TREX_ASSIGN_OR_RETURN(
+            Explanation ex,
+            ExplainConstraints(target_index, effective, &result));
+        result.explanation = std::move(ex);
+        break;
+      }
+      case ExplainKind::kCells: {
+        TREX_ASSIGN_OR_RETURN(Explanation ex,
+                              ExplainCells(target_index, effective, &result));
+        result.explanation = std::move(ex);
+        break;
+      }
+      case ExplainKind::kInteractions: {
+        TREX_ASSIGN_OR_RETURN(
+            result.interactions,
+            ExplainInteractions(target_index, effective.constraints,
+                                effective.cancel));
+        break;
+      }
+      case ExplainKind::kRemovalSets: {
+        TREX_ASSIGN_OR_RETURN(
+            result.removal_sets,
+            ExplainRemovalSets(target_index, effective.constraints,
+                               effective.max_removal_set_size,
+                               effective.cancel));
+        break;
+      }
+      case ExplainKind::kSingleCell: {
+        TREX_ASSIGN_OR_RETURN(
+            PlayerScore score,
+            ExplainSingleCell(target_index, effective, &result));
+        result.single_cell = std::move(score);
+        break;
+      }
     }
-    case ExplainKind::kCells: {
-      TREX_ASSIGN_OR_RETURN(Explanation ex,
-                            ExplainCells(target_index, request, &result));
-      result.explanation = std::move(ex);
-      break;
-    }
-    case ExplainKind::kInteractions: {
-      TREX_ASSIGN_OR_RETURN(
-          result.interactions,
-          ExplainInteractions(target_index, request.constraints,
-                              request.cancel));
-      break;
-    }
-    case ExplainKind::kRemovalSets: {
-      TREX_ASSIGN_OR_RETURN(
-          result.removal_sets,
-          ExplainRemovalSets(target_index, request.constraints,
-                             request.max_removal_set_size, request.cancel));
-      break;
-    }
-    case ExplainKind::kSingleCell: {
-      TREX_ASSIGN_OR_RETURN(PlayerScore score,
-                            ExplainSingleCell(target_index, request, &result));
-      result.single_cell = std::move(score);
-      break;
-    }
-  }
+    return Status::Ok();
+  }();
+  // A failed eval taints everything derived after it: the box hands
+  // the sweep a placeholder value for the call that failed, so the run
+  // must report the repair failure (typically transient kUnavailable,
+  // which the serving layer retries) no matter how the dispatch ended —
+  // abort-driven kCancelled, a different error tripped by the
+  // placeholder (e.g. a v(N)=0 rejection), or even nominal success.
+  Status eval = box_->eval_error();
+  if (!eval.ok()) return eval;
+  if (!dispatch.ok()) return dispatch;
   result.algorithm_calls = num_algorithm_calls() - calls_before;
   result.cache_hits = num_cache_hits() - hits_before;
   result.cross_request_hits = num_cross_request_hits() - cross_before;
@@ -741,10 +765,16 @@ Result<Explanation> Engine::ExplainTopKCells(
     topk.bound = options_.anytime.bound;
     topk.z = options_.anytime.z;
   }
-  topk.cancel = std::move(cancel);
+  // Same failure channel as Explain: a failed eval taints the run, so
+  // the repair failure wins over any dispatch outcome — abort-driven
+  // kCancelled, another error, or nominal success on placeholders.
+  topk.cancel = CancelToken::AnyOf(cancel, box_->eval_abort_token());
   topk.soften = std::move(soften);
-  TREX_ASSIGN_OR_RETURN(shap::TopKResult result,
-                        shap::EstimateTopKPlayers(game, topk));
+  auto topk_run = shap::EstimateTopKPlayers(game, topk);
+  Status eval = box_->eval_error();
+  if (!eval.ok()) return eval;
+  if (!topk_run.ok()) return topk_run.status();
+  shap::TopKResult result = std::move(*topk_run);
 
   Explanation ex = MakeBaseExplanation(*box_, target_index);
   ex.ranked.reserve(players.size());

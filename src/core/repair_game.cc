@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "table/diff.h"
 
@@ -203,6 +204,31 @@ std::size_t BlackBoxRepair::approx_memo_bytes() const {
 
 void BlackBoxRepair::BeginRequest(std::size_t request_id) const {
   state_->current_request.store(request_id);
+  MutexLock lock(state_->error_mu);
+  state_->eval_error = Status::Ok();
+  state_->eval_abort = CancelSource();
+}
+
+CancelToken BlackBoxRepair::eval_abort_token() const {
+  MutexLock lock(state_->error_mu);
+  return state_->eval_abort.token();
+}
+
+Status BlackBoxRepair::eval_error() const {
+  MutexLock lock(state_->error_mu);
+  return state_->eval_error;
+}
+
+void BlackBoxRepair::RecordEvalError(const Status& status) const {
+  CancelSource abort;
+  {
+    MutexLock lock(state_->error_mu);
+    if (state_->eval_error.ok()) state_->eval_error = status;
+    abort = state_->eval_abort;
+  }
+  // Fire outside the leaf lock: Cancel wakes waiters (e.g. a service
+  // backoff parked on a merged token).
+  abort.Cancel();
 }
 
 bool BlackBoxRepair::Outcome(const Table& repaired,
@@ -292,9 +318,18 @@ bool BlackBoxRepair::EvalConstraintSubset(std::uint64_t mask,
     }
   }
   const dc::DcSet subset = dcs_.Subset(mask);
-  auto repaired = algorithm_->Repair(subset, *dirty_);
-  TREX_CHECK(repaired.ok()) << "repair failed on constraint subset: "
-                            << repaired.status().ToString();
+  auto repaired = [&]() -> Result<Table> {
+    TREX_FAULT_INJECT("repair.eval_constraint_miss");
+    return algorithm_->Repair(subset, *dirty_);
+  }();
+  if (!repaired.ok()) {
+    // Failure channel, not a crash: record + abort, cache nothing (the
+    // memo must never hold an entry a failed repair touched), and let
+    // the sweep stop at its next cancel poll.
+    RecordEvalError(
+        repaired.status().WithPrefix("constraint-subset repair"));
+    return false;
+  }
   state_->calls.fetch_add(1);
   const bool outcome = Outcome(*repaired, target_index);
   if (cache_enabled_) {
@@ -458,9 +493,16 @@ bool BlackBoxRepair::EvalPerturbation(std::span<const CellWrite> writes,
 bool BlackBoxRepair::EvalTableMiss(const Table& perturbed, std::uint64_t fp64,
                                    const Hash128& fp128,
                                    std::size_t target_index) const {
-  auto repaired = algorithm_->Repair(dcs_, perturbed);
-  TREX_CHECK(repaired.ok()) << "repair failed on perturbed table: "
-                            << repaired.status().ToString();
+  auto repaired = [&]() -> Result<Table> {
+    TREX_FAULT_INJECT("repair.eval_table_miss");
+    return algorithm_->Repair(dcs_, perturbed);
+  }();
+  if (!repaired.ok()) {
+    // See EvalConstraintSubset: record + abort, and return before any
+    // cache write so no CacheEntry (sealed or unsealed) is poisoned.
+    RecordEvalError(repaired.status().WithPrefix("perturbed-table repair"));
+    return false;
+  }
   state_->calls.fetch_add(1);
   const bool outcome = Outcome(*repaired, target_index);
   if (!cache_enabled_) return outcome;

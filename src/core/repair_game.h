@@ -88,6 +88,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/hash.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -219,9 +220,31 @@ class BlackBoxRepair {
 
   /// Tags subsequent cache writes with `request_id`; hits on entries
   /// written under another id count as cross-request hits. The engine
-  /// calls this once per batched request. Must not race with
-  /// evaluations.
+  /// calls this once per batched request. Also resets the evaluation
+  /// failure channel below (`eval_error` → OK, a fresh abort source), so
+  /// a retried request starts clean. Must not race with evaluations.
   void BeginRequest(std::size_t request_id) const;
+
+  /// ## Evaluation failure channel
+  ///
+  /// The `shap::Game` interface the solvers consume is `double
+  /// Value(coalition)` — there is no error path through a sweep. When a
+  /// memo-miss repair call fails, the box instead (1) records the first
+  /// failure `Status` (sticky until the next `BeginRequest`), (2) fires
+  /// the abort source below so every sweep observing the token stops at
+  /// its next poll, and (3) returns a dummy outcome WITHOUT writing any
+  /// `CacheEntry` — a failed evaluation never poisons the memo, so the
+  /// retry re-runs the identical schedule and produces bit-identical
+  /// results. The engine merges `eval_abort_token()` into its cancel
+  /// tokens and converts abort-driven cancellation back into
+  /// `eval_error()` for the caller.
+  ///
+  /// Token fired when an evaluation's underlying repair call fails.
+  CancelToken eval_abort_token() const;
+
+  /// First repair failure recorded since the last `BeginRequest`; OK
+  /// when every evaluation's repair call succeeded.
+  [[nodiscard]] Status eval_error() const;
 
   /// Disables memoization (ablation experiments).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
@@ -332,7 +355,18 @@ class BlackBoxRepair {
     /// Distinguishes this box's per-thread evaluation scratch from
     /// other boxes' (globally unique, assigned at construction).
     const std::uint64_t scratch_id;
+    /// Evaluation failure channel (see `eval_error()`): the first
+    /// failure since `BeginRequest`, and the source its recording
+    /// fires. Leaf lock: never held while calling the algorithm or
+    /// while `mu` is held.
+    mutable Mutex error_mu;
+    Status eval_error GUARDED_BY(error_mu);
+    CancelSource eval_abort GUARDED_BY(error_mu);
   };
+
+  /// Records the first evaluation failure and fires the abort source
+  /// (see `eval_error()`).
+  void RecordEvalError(const Status& status) const;
 
   /// Drops the least-recently-used table-memo entry. Requires a
   /// non-empty table cache.

@@ -1,0 +1,38 @@
+#include "repair/faulty.h"
+
+#include <string>
+
+#include "common/fault.h"
+#include "common/random.h"
+
+namespace trex::repair {
+
+Result<Table> FaultyAlgorithm::Repair(const dc::DcSet& dcs,
+                                      const Table& dirty) const {
+  // Chaos plans drive every decorated backend through this shared site.
+  TREX_FAULT_INJECT("repair.backend");
+
+  const std::size_t call = calls_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (call > options_.skip_first) {
+    const std::size_t engaged = call - options_.skip_first;
+    bool fail = engaged <= options_.fail_first;
+    if (!fail && options_.failure_rate > 0.0) {
+      // Stateless per-call draw: the set of failing call numbers is a
+      // pure function of (seed, call), independent of thread timing.
+      std::uint64_t state = options_.seed ^ (0x9e3779b97f4a7c15ULL * call);
+      SplitMix64(&state);
+      const double draw =
+          static_cast<double>(SplitMix64(&state) >> 11) * 0x1.0p-53;
+      fail = draw < options_.failure_rate;
+    }
+    if (fail) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      return Status(options_.code, "injected backend fault in " + name_ +
+                                       " (call #" + std::to_string(call) +
+                                       ")");
+    }
+  }
+  return inner_->Repair(dcs, dirty);
+}
+
+}  // namespace trex::repair

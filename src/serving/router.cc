@@ -17,6 +17,10 @@ std::size_t EngineKeyHash::operator()(const EngineKey& key) const {
 
 EngineRouter::EngineRouter(RouterOptions options) : options_(options) {
   TREX_CHECK_GE(options_.max_engines, 1u);
+  if (options_.breaker.enabled) {
+    TREX_CHECK_GE(options_.breaker.window, 1u);
+    TREX_CHECK_GE(options_.breaker.half_open_probes, 1u);
+  }
 }
 
 EngineKey EngineRouter::KeyOf(const repair::RepairAlgorithm& algorithm,
@@ -113,6 +117,108 @@ std::shared_ptr<EngineEntry> EngineRouter::AcquireImpl(
   ++resident_;
   while (resident_ > options_.max_engines) EvictLru();
   return entry;
+}
+
+void EngineRouter::TripOpen(Breaker* breaker) {
+  breaker->state = BreakerState::kOpen;
+  breaker->open_until =
+      std::chrono::steady_clock::now() + options_.breaker.cooldown;
+  breaker->ring.assign(options_.breaker.window, 0);
+  breaker->ring_next = 0;
+  breaker->count = 0;
+  breaker->failures = 0;
+  breaker->probes_inflight = 0;
+  ++stats_.breaker_open;
+}
+
+Status EngineRouter::AdmitKey(const EngineKey& key) {
+  if (!options_.breaker.enabled) return Status::Ok();
+  MutexLock lock(mu_);
+  auto it = breakers_.find(key);
+  if (it == breakers_.end()) return Status::Ok();
+  const Breaker& breaker = it->second;
+  if (breaker.state == BreakerState::kOpen &&
+      std::chrono::steady_clock::now() < breaker.open_until) {
+    ++stats_.breaker_rejected;
+    return Status::Unavailable("circuit breaker open for engine '" +
+                               key.algorithm_id + "'");
+  }
+  return Status::Ok();
+}
+
+Status EngineRouter::BreakerBeginCall(const EngineKey& key) {
+  if (!options_.breaker.enabled) return Status::Ok();
+  MutexLock lock(mu_);
+  Breaker& breaker = breakers_[key];
+  if (breaker.state == BreakerState::kOpen) {
+    if (std::chrono::steady_clock::now() < breaker.open_until) {
+      ++stats_.breaker_rejected;
+      return Status::Unavailable("circuit breaker open for engine '" +
+                                 key.algorithm_id + "'");
+    }
+    // Cooldown elapsed: probe the backend instead of staying dark
+    // forever — the half-open state admits a bounded number of calls
+    // whose outcomes decide between closing and re-opening.
+    breaker.state = BreakerState::kHalfOpen;
+    breaker.probes_inflight = 0;
+  }
+  if (breaker.state == BreakerState::kHalfOpen) {
+    if (breaker.probes_inflight >= options_.breaker.half_open_probes) {
+      ++stats_.breaker_rejected;
+      return Status::Unavailable("circuit breaker half-open for engine '" +
+                                 key.algorithm_id +
+                                 "' with all probe slots taken");
+    }
+    ++breaker.probes_inflight;
+    ++stats_.breaker_half_open_probes;
+  }
+  return Status::Ok();
+}
+
+void EngineRouter::ReportOutcome(const EngineKey& key,
+                                 bool transient_failure) {
+  if (!options_.breaker.enabled) return;
+  MutexLock lock(mu_);
+  Breaker& breaker = breakers_[key];
+  if (breaker.state == BreakerState::kHalfOpen) {
+    if (breaker.probes_inflight > 0) --breaker.probes_inflight;
+    if (transient_failure) {
+      TripOpen(&breaker);
+    } else {
+      breaker.state = BreakerState::kClosed;
+      breaker.ring.assign(options_.breaker.window, 0);
+      breaker.ring_next = 0;
+      breaker.count = 0;
+      breaker.failures = 0;
+    }
+    return;
+  }
+  if (breaker.state == BreakerState::kOpen) return;  // late report
+  if (breaker.ring.size() != options_.breaker.window) {
+    breaker.ring.assign(options_.breaker.window, 0);
+  }
+  if (breaker.count == options_.breaker.window) {
+    breaker.failures -= breaker.ring[breaker.ring_next];
+  } else {
+    ++breaker.count;
+  }
+  breaker.ring[breaker.ring_next] = transient_failure ? 1 : 0;
+  if (transient_failure) ++breaker.failures;
+  breaker.ring_next = (breaker.ring_next + 1) % options_.breaker.window;
+  if (breaker.count >= options_.breaker.min_samples &&
+      static_cast<double>(breaker.failures) >=
+          options_.breaker.failure_rate_threshold *
+              static_cast<double>(breaker.count)) {
+    TripOpen(&breaker);
+  }
+}
+
+EngineRouter::BreakerState EngineRouter::breaker_state(
+    const EngineKey& key) const {
+  MutexLock lock(mu_);
+  auto it = breakers_.find(key);
+  if (it == breakers_.end()) return BreakerState::kClosed;
+  return it->second.state;
 }
 
 RouterStats EngineRouter::stats() const {

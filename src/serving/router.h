@@ -29,6 +29,35 @@
 // for the duration of each engine call; `ExplainService` does this, and
 // `TRexSession` relies on it via the service.
 //
+// ## Per-engine circuit breaker
+//
+// The router also owns one circuit breaker per `EngineKey` — the
+// self-healing half of the serving layer's failure classification
+// (common/status.h: `kUnavailable` is transient, everything else
+// permanent). Invariants:
+//
+//   * Only *transient* outcomes count as failures in the breaker
+//     window; permanent errors (bad requests) and successes are both
+//     evidence the backend is alive. A backend that never returns
+//     `kUnavailable` can never trip its breaker.
+//   * CLOSED → OPEN when the windowed transient-failure rate over the
+//     last `BreakerOptions::window` outcomes reaches
+//     `failure_rate_threshold` (judged only after `min_samples`).
+//   * OPEN fails fast: `AdmitKey` (the service's admission check) and
+//     `BreakerBeginCall` (the execution gate) return `kUnavailable`
+//     without touching the engine until `cooldown` elapses.
+//   * After cooldown, the first `BreakerBeginCall` moves the breaker to
+//     HALF-OPEN and admits up to `half_open_probes` concurrent probe
+//     calls. A probe's transient failure re-opens (fresh cooldown); a
+//     probe success closes and resets the window.
+//   * Every OK returned by `BreakerBeginCall` must be paired with
+//     exactly one `ReportOutcome` — the service's execution loop does
+//     this per engine-call attempt (retries report each attempt).
+//
+// Breaker state lives under the same leaf `mu_` as the pool, so the
+// whole state machine is deadlock-free by construction and `stats()`
+// can report it without new lock edges.
+//
 // Lock model (machine-checked under Clang's -Wthread-safety; see
 // common/thread_annotations.h): the router's own state is
 // `GUARDED_BY(mu_)`, and `mu_` is a leaf lock — no engine or entry
@@ -46,6 +75,7 @@
 #define TREX_SERVING_ROUTER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -54,6 +84,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "dc/constraint.h"
@@ -61,6 +92,22 @@
 #include "table/table.h"
 
 namespace trex::serving {
+
+/// Per-engine circuit-breaker tuning (see the breaker invariants in the
+/// file comment). Defaults are production-shaped; tests shrink them.
+struct BreakerOptions {
+  bool enabled = true;
+  /// Sliding outcome window per engine key.
+  std::size_t window = 16;
+  /// Outcomes required in the window before the rate is judged.
+  std::size_t min_samples = 8;
+  /// Windowed transient-failure rate that trips CLOSED → OPEN.
+  double failure_rate_threshold = 0.5;
+  /// How long OPEN fails fast before allowing a half-open probe.
+  std::chrono::milliseconds cooldown{250};
+  /// Concurrent probe calls admitted while HALF-OPEN.
+  std::size_t half_open_probes = 1;
+};
 
 /// Options for the router.
 struct RouterOptions {
@@ -71,6 +118,8 @@ struct RouterOptions {
   /// Options applied to every engine the router creates (sweep threads,
   /// memo cap).
   EngineOptions engine_options;
+  /// Per-engine-key circuit breaker (file comment).
+  BreakerOptions breaker;
 };
 
 /// Router cost accounting.
@@ -84,6 +133,13 @@ struct RouterStats {
   /// (`Engine::approx_memo_bytes`) — the service-level view of the
   /// footprint `EngineOptions::seal_targets` compacts.
   std::size_t approx_memo_bytes = 0;
+  /// Breaker transitions into the OPEN state (trips and re-trips).
+  std::size_t breaker_open = 0;
+  /// Probe calls admitted while HALF-OPEN.
+  std::size_t breaker_half_open_probes = 0;
+  /// Calls fast-failed with `kUnavailable` because a breaker was open
+  /// (admission checks and execution gates combined).
+  std::size_t breaker_rejected = 0;
 };
 
 /// The identity of a repair instance, as the router keys it. The
@@ -181,6 +237,35 @@ class EngineRouter {
   /// an entry mutex (the deadlock rule in the file comment).
   RouterStats stats() const EXCLUDES(mu_);
 
+  /// Circuit-breaker states (see the invariants in the file comment).
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+  /// Admission-time fast-fail: `kUnavailable` while `key`'s breaker is
+  /// OPEN inside its cooldown, OK otherwise. Never admits a probe and
+  /// never transitions the state machine — queued work behind a sick
+  /// backend is shed here without consuming half-open probe slots.
+  [[nodiscard]] Status AdmitKey(const EngineKey& key) EXCLUDES(mu_);
+
+  /// Execution-time gate, called before each engine-call attempt:
+  /// CLOSED admits; OPEN past cooldown transitions to HALF-OPEN and
+  /// admits a probe; HALF-OPEN admits up to
+  /// `BreakerOptions::half_open_probes` concurrent probes; everything
+  /// else fails fast with `kUnavailable`. Every OK MUST be paired with
+  /// exactly one `ReportOutcome` call.
+  [[nodiscard]] Status BreakerBeginCall(const EngineKey& key) EXCLUDES(mu_);
+
+  /// Reports one engine-call attempt admitted by `BreakerBeginCall`.
+  /// `transient_failure` means the attempt failed with a transient
+  /// status (`Status::IsTransient`); successes and permanent errors
+  /// both count as healthy outcomes.
+  void ReportOutcome(const EngineKey& key, bool transient_failure)
+      EXCLUDES(mu_);
+
+  /// Current breaker state for `key` (kClosed when untracked). An OPEN
+  /// breaker past its cooldown still reads OPEN until the next
+  /// `BreakerBeginCall` transitions it.
+  BreakerState breaker_state(const EngineKey& key) const EXCLUDES(mu_);
+
   const RouterOptions& options() const { return options_; }
 
  private:
@@ -188,6 +273,21 @@ class EngineRouter {
     std::shared_ptr<EngineEntry> entry;
     std::uint64_t last_used = 0;
   };
+
+  /// Per-key breaker state machine (file comment). The outcome window
+  /// is a ring of the last `BreakerOptions::window` outcomes.
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    std::vector<std::uint8_t> ring;  // 1 = transient failure
+    std::size_t ring_next = 0;
+    std::size_t count = 0;
+    std::size_t failures = 0;
+    std::chrono::steady_clock::time_point open_until{};
+    std::size_t probes_inflight = 0;
+  };
+
+  /// Trips `breaker` into OPEN: fresh cooldown, window reset.
+  void TripOpen(Breaker* breaker) REQUIRES(mu_);
 
   /// Drops the least-recently-used slot. Requires a non-empty pool.
   void EvictLru() REQUIRES(mu_);
@@ -205,6 +305,11 @@ class EngineRouter {
   /// Buckets of verified slots: fingerprint collisions co-exist in one
   /// bucket and are told apart by full (dcs, table) comparison.
   std::unordered_map<EngineKey, std::vector<Slot>, EngineKeyHash> engines_
+      GUARDED_BY(mu_);
+  /// Breakers outlive engine eviction deliberately: a sick backend that
+  /// was evicted must not come back CLOSED just because its engine was
+  /// rebuilt.
+  std::unordered_map<EngineKey, Breaker, EngineKeyHash> breakers_
       GUARDED_BY(mu_);
   std::uint64_t tick_ GUARDED_BY(mu_) = 0;
   std::size_t resident_ GUARDED_BY(mu_) = 0;

@@ -1,11 +1,44 @@
 #include "serving/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/random.h"
 
 namespace trex::serving {
+
+namespace {
+
+// Backoff before the attempt after `failed_attempt` (1-based):
+// exponential growth capped at `max_backoff`, scaled by a jitter
+// factor drawn deterministically from the policy seed and the leader
+// job's id — a replayed schedule backs off identically.
+std::chrono::nanoseconds RetryBackoff(const RetryPolicy& policy,
+                                      std::uint64_t job_id,
+                                      std::size_t failed_attempt) {
+  const double cap = static_cast<double>(policy.max_backoff.count());
+  double backoff = static_cast<double>(policy.initial_backoff.count());
+  for (std::size_t i = 1; i < failed_attempt && backoff < cap; ++i) {
+    backoff *= policy.multiplier;
+  }
+  backoff = std::min(backoff, cap);
+  if (policy.jitter > 0.0) {
+    std::uint64_t state = policy.seed ^ (job_id * 0x9e3779b97f4a7c15ULL) ^
+                          (0xbf58476d1ce4e5b9ULL * failed_attempt);
+    SplitMix64(&state);
+    const double draw =
+        static_cast<double>(SplitMix64(&state) >> 11) * 0x1.0p-53;
+    backoff *= 1.0 + policy.jitter * (2.0 * draw - 1.0);
+  }
+  backoff = std::max(backoff, 0.0);
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::duration<double, std::milli>(backoff));
+}
+
+}  // namespace
 
 Ticket Ticket::Rejected(Status status) {
   TREX_CHECK(!status.ok());
@@ -115,6 +148,12 @@ Ticket ExplainService::Submit(
   ticket.cancel_ = job->cancel;
   ticket.future_ = job->promise.get_future().share();
 
+  // Breaker fast-fail: a key whose circuit breaker is open is refused
+  // at admission — the job never takes queue capacity, and the caller
+  // sees the same `kUnavailable` a gated engine call would produce.
+  // The router never transitions breaker state here (see router.h).
+  Status admit = router_.AdmitKey(job->key);
+
   // Admission: under a full queue, shed the worst job of queue ∪
   // {incoming} — the incoming job itself when nothing queued is worse.
   std::shared_ptr<Job> shed;
@@ -129,6 +168,9 @@ Ticket ExplainService::Submit(
     ++stats_.submitted;
     if (stop_) {
       stopped = true;
+    } else if (!admit.ok()) {
+      // Resolved below, outside `mu_`; counted like any other failed
+      // job in `Resolve`.
     } else {
       if (options_.max_queued_jobs > 0 &&
           queue_.size() >= options_.max_queued_jobs) {
@@ -165,6 +207,10 @@ Ticket ExplainService::Submit(
   }
   if (stopped) {
     Resolve(job, Status::Cancelled("service is shut down"));
+    return ticket;
+  }
+  if (!admit.ok()) {
+    Resolve(job, std::move(admit));
     return ticket;
   }
   if (shed != nullptr) {
@@ -276,16 +322,6 @@ void ExplainService::ServeBatch(std::vector<std::shared_ptr<Job>> jobs) {
       if (screen(job)) ready.push_back(job);
     }
     if (!ready.empty()) {
-      // Every group — a singleton included — lowers to one
-      // `ExplainBatch` call, so engine-level batch behavior
-      // (`EngineOptions::seal_targets` sealing, stats) applies to
-      // uncoalesced traffic too; a batch of one is bit-identical to
-      // plain Explain. Only 2+ member groups count as coalesced.
-      std::vector<ExplainRequest> requests;
-      requests.reserve(ready.size());
-      for (const std::shared_ptr<Job>& job : ready) {
-        requests.push_back(job->request);
-      }
       if (ready.size() > 1) {
         // entry->mu is held here: the one edge fixing the lock order
         // `EngineEntry::mu` before `mu_` (see the file comment).
@@ -293,18 +329,97 @@ void ExplainService::ServeBatch(std::vector<std::shared_ptr<Job>> jobs) {
         ++stats_.coalesced_batches;
         stats_.coalesced_jobs += ready.size();
       }
-      Result<BatchResult> batch = entry->engine.ExplainBatch(requests);
-      if (!batch.ok()) {
-        // Engine-level failure (e.g. the shared reference repair):
-        // every member observes it, exactly as each would alone.
-        for (const std::shared_ptr<Job>& job : ready) {
-          resolutions.push_back({job, batch.status(), false});
+      // Execute with self-healing: every group — a singleton included
+      // — lowers to one `ExplainBatch` call per attempt, so
+      // engine-level batch behavior (`EngineOptions::seal_targets`
+      // sealing, stats) applies to uncoalesced traffic too; a batch of
+      // one is bit-identical to plain Explain. Members whose result is
+      // *transient* (`kUnavailable`) are retried per `RetryPolicy`;
+      // everything else resolves on first observation (failure
+      // isolation: one member's backend error never touches its
+      // siblings' tickets). Each attempt is gated by the key's circuit
+      // breaker and reports exactly one outcome back to it.
+      const std::size_t max_attempts =
+          std::max<std::size_t>(options_.retry.max_attempts, 1);
+      std::vector<std::shared_ptr<Job>> pending = ready;
+      for (std::size_t attempt = 1; !pending.empty(); ++attempt) {
+        Status gate = router_.BreakerBeginCall(leader->key);
+        if (!gate.ok()) {
+          // Breaker opened (or all half-open probe slots taken) since
+          // admission: the whole remaining group fails fast.
+          for (const std::shared_ptr<Job>& job : pending) {
+            resolutions.push_back({job, gate, false});
+          }
+          break;
         }
-      } else {
-        TREX_CHECK_EQ(batch->results.size(), ready.size());
-        for (std::size_t i = 0; i < ready.size(); ++i) {
-          resolutions.push_back({ready[i], std::move(batch->results[i]),
-                                 false});
+        if (attempt > 1) {
+          MutexLock lock(mu_);
+          ++stats_.retries;
+        }
+        std::vector<ExplainRequest> requests;
+        requests.reserve(pending.size());
+        for (const std::shared_ptr<Job>& job : pending) {
+          requests.push_back(job->request);
+        }
+        Result<BatchResult> batch = [&]() -> Result<BatchResult> {
+          TREX_FAULT_INJECT("serving.execute");
+          return entry->engine.ExplainBatch(requests);
+        }();
+        bool transient_seen = false;
+        std::vector<std::shared_ptr<Job>> retry_next;
+        const bool last_attempt = attempt >= max_attempts;
+        if (!batch.ok()) {
+          // Engine-level failure (e.g. the shared reference repair):
+          // every member observes it, exactly as each would alone —
+          // and a transient one retries as a whole.
+          transient_seen = batch.status().IsTransient();
+          if (transient_seen && !last_attempt) {
+            retry_next = pending;
+          } else {
+            for (const std::shared_ptr<Job>& job : pending) {
+              resolutions.push_back({job, batch.status(), false});
+            }
+          }
+        } else {
+          TREX_CHECK_EQ(batch->results.size(), pending.size());
+          for (std::size_t i = 0; i < pending.size(); ++i) {
+            Result<ExplainResult>& result = batch->results[i];
+            if (!result.ok() && result.status().IsTransient()) {
+              transient_seen = true;
+              if (!last_attempt) {
+                retry_next.push_back(pending[i]);
+                continue;
+              }
+            }
+            resolutions.push_back({pending[i], std::move(result), false});
+          }
+        }
+        router_.ReportOutcome(leader->key, transient_seen);
+        if (retry_next.empty()) break;
+
+        // Backoff before the next attempt, parked on the retrying
+        // members' cancel *and* soften tokens via the interruptible
+        // `CancelToken::WaitFor` — an expiring deadline or a caller
+        // cancel cuts the sleep immediately; it never outlives the
+        // deadline that should have killed it. The engine mutex is
+        // released for the duration so sibling groups are not blocked
+        // behind a sleeping worker.
+        CancelToken wake;
+        for (const std::shared_ptr<Job>& job : retry_next) {
+          wake = CancelToken::AnyOf(wake, job->request.cancel);
+          wake = CancelToken::AnyOf(wake, job->request.soften);
+        }
+        const std::chrono::nanoseconds backoff =
+            RetryBackoff(options_.retry, leader->id, attempt);
+        guard.Unlock();
+        (void)wake.WaitFor(backoff);
+        guard.Lock();
+        // Re-screen after the park: members cancelled or expired
+        // during the backoff resolve now instead of burning another
+        // attempt.
+        pending.clear();
+        for (const std::shared_ptr<Job>& job : retry_next) {
+          if (screen(job)) pending.push_back(job);
         }
       }
     }
@@ -337,6 +452,12 @@ void ExplainService::Resolve(const std::shared_ptr<Job>& job,
       ++stats_.shed;
     } else {
       ++stats_.failed;
+      if (result.status().IsTransient()) {
+        ++stats_.failed_transient;
+      } else {
+        ++stats_.failed_permanent;
+      }
+      ++stats_.failed_by_code[result.status().code()];
     }
     outstanding_.erase(job->id);
   }

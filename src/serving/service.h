@@ -59,11 +59,51 @@
 // optional `on_complete` callback fires on the worker thread after the
 // future is resolved.
 //
+// FAILURE CLASSIFICATION & SELF-HEALING — every error a ticket can
+// resolve with falls into exactly one bucket, and the service's
+// recovery machinery is keyed off that split:
+//
+//   * *Transient* — `StatusCode::kUnavailable`, the only code the stack
+//     treats as retryable (see common/status.h). The execute stage
+//     retries a transient member up to `RetryPolicy::max_attempts`
+//     total attempts with exponential backoff and deterministic jitter
+//     (seeded per job, so a replay backs off identically). The backoff
+//     sleep is a `CancelToken::WaitFor` park on the retrying members'
+//     merged cancel tokens — an expiring deadline or a caller cancel
+//     cuts a pending backoff immediately; a sleep never outlives the
+//     deadline that should have killed it. Retries exhausted, the
+//     member fails with the last transient status
+//     (`ServiceStats::failed_transient`).
+//   * *Permanent* — every other non-cancellation, non-rejection error.
+//     Never retried; resolved on first observation
+//     (`ServiceStats::failed_permanent`).
+//   * *Cancellation / rejection* — `kCancelled` / `kRejected`, counted
+//     as before (`cancelled`/`expired`, `shed`).
+//
+// Transient outcomes also feed the router's per-engine-key circuit
+// breaker (see serving/router.h): `Submit` fast-fails admission for a
+// key whose breaker is open (`kUnavailable`, counted in `failed` +
+// `failed_by_code`, never queued), and each engine call in the execute
+// stage is gated by `BreakerBeginCall` / reported via `ReportOutcome`,
+// so a persistently failing backend is quarantined instead of burning
+// retry budget — and probed back to health after its cooldown.
+//
+// Failure isolation in coalesced batches: results fan back *per
+// member*. One member's backend error (its target's repair call
+// failing) resolves only that member's ticket; siblings in the same
+// lowered `ExplainBatch` call still resolve OK with bit-identical
+// values. Only an engine-level failure (e.g. the shared reference
+// repair) fans to every member — exactly what each would observe
+// running alone.
+//
 // Determinism: scheduling affects only latency, never values — a
 // request's result is bit-identical to calling `Engine::Explain`
 // synchronously with the same seeds, whether it ran alone or inside a
 // coalesced batch, because both paths run exactly that code on exactly
-// one engine per instance.
+// one engine per instance. Recovery preserves this: a transient fault
+// followed by a successful retry leaves no trace in the memo (failed
+// evaluations write no cache entry; see core/repair_game.h), so
+// post-fault results are bit-identical to a fault-free run.
 //
 // Thread safety: all public methods are thread-safe. Destruction cancels
 // queued and in-flight work, resolves every outstanding future, and
@@ -86,6 +126,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -140,6 +181,26 @@ struct RequestOptions {
   std::function<void(const Result<ExplainResult>&)> on_complete;
 };
 
+/// Retry policy for *transient* failures (`StatusCode::kUnavailable`)
+/// in the execute stage. Permanent errors are never retried.
+struct RetryPolicy {
+  /// Total attempts per engine call, first try included. 1 disables
+  /// retrying.
+  std::size_t max_attempts = 3;
+  /// Backoff before attempt k (k >= 2) is
+  /// `min(initial_backoff * multiplier^(k-2), max_backoff)`, scaled by
+  /// a jitter factor drawn deterministically from `seed` and the
+  /// leader job's id — replays back off identically.
+  std::chrono::milliseconds initial_backoff{10};
+  std::chrono::milliseconds max_backoff{1000};
+  double multiplier = 2.0;
+  /// Jitter factor is uniform in [1 - jitter, 1 + jitter]; 0 disables.
+  double jitter = 0.25;
+  /// Seed for the jitter chain (splitmix64 over seed ^ job id ^
+  /// attempt).
+  std::uint64_t seed = 0x7265747279ULL;  // "retry"
+};
+
 /// Options for the service.
 struct ServiceOptions {
   /// Worker threads executing requests. Requests to different engines
@@ -154,8 +215,11 @@ struct ServiceOptions {
   /// coalescing (every job runs alone, the PR 2 behavior). Coalescing
   /// never changes results, only cost and latency.
   std::size_t max_coalesced_requests = 8;
-  /// Engine pool configuration (cap + per-engine options).
+  /// Engine pool configuration (cap + per-engine options + circuit
+  /// breaker).
   RouterOptions router;
+  /// Transient-failure retry policy for the execute stage.
+  RetryPolicy retry;
 };
 
 /// Aggregate accounting across the service's lifetime.
@@ -165,6 +229,18 @@ struct ServiceStats {
   std::size_t completed = 0;
   /// Resolved with a non-cancellation, non-rejection error.
   std::size_t failed = 0;
+  /// ...of which resolved with a *transient* error (`kUnavailable`):
+  /// retries exhausted, or fast-failed by an open circuit breaker.
+  std::size_t failed_transient = 0;
+  /// ...and of which resolved with a *permanent* error (anything
+  /// else). `failed == failed_transient + failed_permanent`.
+  std::size_t failed_permanent = 0;
+  /// Failed resolutions broken down by status code (ordered for
+  /// deterministic emission; covers exactly the `failed` bucket).
+  std::map<StatusCode, std::size_t> failed_by_code;
+  /// Engine-call re-executions after a transient failure (attempt 2+
+  /// in the execute stage's retry loop, counted per re-executed call).
+  std::size_t retries = 0;
   /// Resolved `Cancelled` (caller cancels and deadline expirations).
   std::size_t cancelled = 0;
   /// ...of which were deadline expirations — queued or mid-sweep —
@@ -311,10 +387,14 @@ class ExplainService {
   void WorkerLoop() EXCLUDES(mu_);
   /// Executes one dequeued group: screens members (cancelled/expired
   /// jobs resolve without running), acquires the leader's engine once,
-  /// lowers survivors into `Explain` (one) or `ExplainBatch` (many),
-  /// and fans results back to each ticket. Takes the leader's
-  /// `EngineEntry::mu` and (briefly, under it) `mu_` — the one place
-  /// that fixes the entry-before-service lock order.
+  /// lowers survivors into one `ExplainBatch` call, and fans results
+  /// back to each ticket *per member* (failure isolation — see file
+  /// comment). Transient member failures are retried per
+  /// `RetryPolicy`, with each engine call gated/reported through the
+  /// router's circuit breaker; the backoff park releases the engine
+  /// mutex and waits on the retrying members' cancel tokens. Takes the
+  /// leader's `EngineEntry::mu` and (briefly, under it) `mu_` — the
+  /// one place that fixes the entry-before-service lock order.
   void ServeBatch(std::vector<std::shared_ptr<Job>> jobs) EXCLUDES(mu_);
   /// Resolves the job's future, updates stats, fires the callback, and
   /// forgets the job. A cancelled result counts as a deadline expiry

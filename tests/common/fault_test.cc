@@ -1,0 +1,126 @@
+// FaultInjector: seeded, site-keyed fault schedules must be inert when
+// disarmed, replayable per seed, and scoped — unscheduled sites pass
+// through (but are counted), and `ScopedFaultPlan` restores the clean
+// state on exit.
+
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace trex::fault {
+namespace {
+
+// A function shaped like production code: one named site guarding a
+// "dependency call" that otherwise succeeds.
+Status GuardedOperation(const char* site) {
+  TREX_FAULT_INJECT(site);
+  return Status::Ok();
+}
+
+TEST(FaultInjectorTest, DisarmedSitesPassThrough) {
+  ASSERT_FALSE(FaultInjector::Instance().armed());
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(GuardedOperation("fault_test.disarmed").ok());
+  }
+}
+
+TEST(FaultInjectorTest, ErrorScheduleIsReplayablePerSeed) {
+  auto draw_pattern = [](std::uint64_t seed) {
+    ScopedFaultPlan plan({.seed = seed,
+                          .sites = {{.site = "fault_test.replay",
+                                     .kind = FaultKind::kError,
+                                     .probability = 0.5}}});
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) {
+      pattern.push_back(GuardedOperation("fault_test.replay").ok());
+    }
+    return pattern;
+  };
+  const std::vector<bool> first = draw_pattern(42);
+  const std::vector<bool> replay = draw_pattern(42);
+  const std::vector<bool> other = draw_pattern(43);
+  EXPECT_EQ(first, replay);
+  EXPECT_NE(first, other);  // 2^-64 odds of a false failure
+}
+
+TEST(FaultInjectorTest, TransientScheduleFailsThenRecovers) {
+  ScopedFaultPlan plan({.seed = 1,
+                        .sites = {{.site = "fault_test.transient",
+                                   .kind = FaultKind::kTransient,
+                                   .skip_first = 1,
+                                   .fail_first = 2}}});
+  // Hit 1 passes (skip), hits 2-3 fail, hit 4+ recovered.
+  EXPECT_TRUE(GuardedOperation("fault_test.transient").ok());
+  Status second = GuardedOperation("fault_test.transient");
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(second.IsTransient());
+  EXPECT_FALSE(GuardedOperation("fault_test.transient").ok());
+  EXPECT_TRUE(GuardedOperation("fault_test.transient").ok());
+  EXPECT_TRUE(GuardedOperation("fault_test.transient").ok());
+
+  const SiteCounters counts =
+      FaultInjector::Instance().counters("fault_test.transient");
+  EXPECT_EQ(counts.hits, 5u);
+  EXPECT_EQ(counts.injected, 2u);
+}
+
+TEST(FaultInjectorTest, ScheduleCanCarryAPermanentCode) {
+  ScopedFaultPlan plan({.seed = 1,
+                        .sites = {{.site = "fault_test.permanent",
+                                   .kind = FaultKind::kTransient,
+                                   .fail_first = 1,
+                                   .code = StatusCode::kInternal}}});
+  Status status = GuardedOperation("fault_test.permanent");
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_FALSE(status.IsTransient());
+}
+
+TEST(FaultInjectorTest, UnscheduledSitePassesThroughButIsCounted) {
+  ScopedFaultPlan plan({.seed = 9,
+                        .sites = {{.site = "fault_test.elsewhere",
+                                   .kind = FaultKind::kError}}});
+  // Repeated hits stay pass-through: the placeholder entry must never
+  // inherit a live default schedule.
+  EXPECT_TRUE(GuardedOperation("fault_test.unscheduled").ok());
+  EXPECT_TRUE(GuardedOperation("fault_test.unscheduled").ok());
+  EXPECT_TRUE(GuardedOperation("fault_test.unscheduled").ok());
+  const SiteCounters counts =
+      FaultInjector::Instance().counters("fault_test.unscheduled");
+  EXPECT_EQ(counts.hits, 3u);
+  EXPECT_EQ(counts.injected, 0u);
+}
+
+TEST(FaultInjectorTest, LatencyKindDelaysButSucceeds) {
+  ScopedFaultPlan plan(
+      {.seed = 5,
+       .sites = {{.site = "fault_test.latency",
+                  .kind = FaultKind::kLatency,
+                  .latency = std::chrono::microseconds(2000)}}});
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(GuardedOperation("fault_test.latency").ok());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::microseconds(2000));
+  EXPECT_EQ(FaultInjector::Instance().counters("fault_test.latency").injected,
+            1u);
+}
+
+TEST(FaultInjectorTest, ScopedPlanDisarmsOnExit) {
+  {
+    ScopedFaultPlan plan({.seed = 2,
+                          .sites = {{.site = "fault_test.scoped",
+                                     .kind = FaultKind::kError,
+                                     .probability = 1.0}}});
+    EXPECT_TRUE(FaultInjector::Instance().armed());
+    EXPECT_FALSE(GuardedOperation("fault_test.scoped").ok());
+  }
+  EXPECT_FALSE(FaultInjector::Instance().armed());
+  EXPECT_TRUE(GuardedOperation("fault_test.scoped").ok());
+}
+
+}  // namespace
+}  // namespace trex::fault

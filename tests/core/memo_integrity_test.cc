@@ -1,0 +1,129 @@
+// Memo-never-poisoned: a failed black-box evaluation must leave no
+// `CacheEntry` behind (sealed or unsealed), so a fault-then-retry
+// sequence converges on exactly one correct memo entry and warm-path
+// results bit-identical to a never-faulted run — across all four
+// bundled repair backends.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/repair_game.h"
+#include "data/soccer.h"
+#include "repair/faulty.h"
+#include "repair/fd_repair.h"
+#include "repair/holistic.h"
+#include "repair/holoclean.h"
+#include "repair/soccer_algorithm1.h"
+
+namespace trex {
+namespace {
+
+using repair::FaultyAlgorithm;
+using repair::FaultyOptions;
+
+struct Backend {
+  std::string label;
+  std::shared_ptr<const repair::RepairAlgorithm> algorithm;
+};
+
+std::vector<Backend> AllBackends() {
+  return {
+      {"rule", repair::MakeAlgorithm1()},
+      {"fd", std::make_shared<repair::FdRepair>()},
+      {"holistic", std::make_shared<repair::HolisticRepair>()},
+      {"holoclean", std::make_shared<repair::HoloCleanRepair>()},
+  };
+}
+
+Table PerturbedSoccer() {
+  Table perturbed = data::SoccerDirtyTable();
+  perturbed.Set(data::SoccerCell(1, "Team"), Value::Null());
+  return perturbed;
+}
+
+TEST(MemoIntegrityTest, FailedEvalWritesNoEntryAndRetryHealsAllBackends) {
+  for (const Backend& backend : AllBackends()) {
+    SCOPED_TRACE(backend.label);
+
+    // Never-faulted twin: the ground truth for outcome bit-identity.
+    auto clean_box = BlackBoxRepair::Make(
+        backend.algorithm.get(), data::SoccerConstraints(),
+        data::SoccerDirtyTable(), data::SoccerTargetCell());
+    ASSERT_TRUE(clean_box.ok()) << clean_box.status();
+    const Table perturbed = PerturbedSoccer();
+    const bool expected = clean_box->EvalTable(perturbed);
+
+    // Faulted twin: the reference repair (call 1) passes, the first
+    // *eval* (call 2) fails transient.
+    auto faulty = std::make_shared<FaultyAlgorithm>(
+        "faulty-" + backend.label, backend.algorithm,
+        FaultyOptions{.skip_first = 1, .fail_first = 1});
+    auto box = BlackBoxRepair::Make(faulty.get(), data::SoccerConstraints(),
+                                    data::SoccerDirtyTable(),
+                                    data::SoccerTargetCell());
+    ASSERT_TRUE(box.ok()) << box.status();
+    box->BeginRequest(1);
+
+    // The faulted eval records the error, fires the abort channel, and
+    // — the invariant under test — writes NO memo entry.
+    (void)box->EvalTable(perturbed);
+    EXPECT_EQ(faulty->injected_failures(), 1u);
+    Status eval_error = box->eval_error();
+    ASSERT_FALSE(eval_error.ok());
+    EXPECT_EQ(eval_error.code(), StatusCode::kUnavailable);
+    EXPECT_TRUE(box->eval_abort_token().cancelled());
+    EXPECT_EQ(box->num_table_memo_entries(), 0u);
+
+    // Retry: a fresh request resets the failure channel; the schedule
+    // has recovered, so the eval succeeds and memoizes exactly one
+    // entry with the never-faulted outcome.
+    box->BeginRequest(2);
+    EXPECT_TRUE(box->eval_error().ok());
+    EXPECT_FALSE(box->eval_abort_token().cancelled());
+    const bool healed = box->EvalTable(perturbed);
+    EXPECT_EQ(healed, expected);
+    EXPECT_EQ(box->num_table_memo_entries(), 1u);
+
+    // Warm path: the retry's entry serves repeats without new repair
+    // calls, still bit-identical.
+    const std::size_t calls = faulty->calls();
+    EXPECT_EQ(box->EvalTable(perturbed), expected);
+    EXPECT_EQ(faulty->calls(), calls);
+    EXPECT_EQ(box->num_table_memo_entries(), 1u);
+  }
+}
+
+TEST(MemoIntegrityTest, SealedMemoAlsoStaysCleanOnFailure) {
+  // Same invariant on the sealed (per-target bitset) memo layout.
+  auto faulty = std::make_shared<FaultyAlgorithm>(
+      "faulty-sealed", repair::MakeAlgorithm1(),
+      FaultyOptions{.skip_first = 1, .fail_first = 1});
+  auto box = BlackBoxRepair::Make(faulty.get(), data::SoccerConstraints(),
+                                  data::SoccerDirtyTable(),
+                                  data::SoccerTargetCell());
+  ASSERT_TRUE(box.ok()) << box.status();
+  box->SealTargets();
+  box->BeginRequest(1);
+
+  const Table perturbed = PerturbedSoccer();
+  (void)box->EvalTable(perturbed);
+  ASSERT_FALSE(box->eval_error().ok());
+  EXPECT_EQ(box->num_table_memo_entries(), 0u);
+
+  box->BeginRequest(2);
+  const bool healed = box->EvalTable(perturbed);
+  EXPECT_EQ(box->num_table_memo_entries(), 1u);
+
+  const auto clean_algorithm = repair::MakeAlgorithm1();
+  auto clean_box = BlackBoxRepair::Make(
+      clean_algorithm.get(), data::SoccerConstraints(),
+      data::SoccerDirtyTable(), data::SoccerTargetCell());
+  ASSERT_TRUE(clean_box.ok());
+  EXPECT_EQ(healed, clean_box->EvalTable(perturbed));
+}
+
+}  // namespace
+}  // namespace trex

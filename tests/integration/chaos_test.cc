@@ -1,0 +1,294 @@
+// Chaos suite: randomized (but seeded, replayable) fault schedules
+// driven through `ExplainService` end to end. For every fixed seed the
+// suite arms a `FaultPlan` derived from the seed — transient backend
+// errors, serving-layer errors, and latency spikes — submits a mixed
+// workload, and asserts the self-healing invariants:
+//
+//   1. Every ticket resolves (a watchdog turns a deadlock into a test
+//      failure instead of a hung CI job).
+//   2. Counters balance: submitted == completed + failed + cancelled +
+//      shed.
+//   3. Recovery is invisible in values: every completed result is
+//      bit-identical to the same request in a fault-free run (the memo
+//      is never poisoned; retries re-derive exactly the same numbers).
+//
+// The per-plan fault budget is sized under the retry budget and the
+// breaker threshold so every ticket heals to completion — breaker
+// trips and retry exhaustion have their own deterministic tests in
+// tests/serving/retry_test.cc; this suite checks that recovery, when
+// it is possible, is total and silent.
+//
+// CI's chaos job widens the sweep with extra seeds via the
+// TREX_CHAOS_SEEDS environment variable (comma-separated integers).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/random.h"
+#include "data/soccer.h"
+#include "repair/faulty.h"
+#include "repair/soccer_algorithm1.h"
+#include "serving/service.h"
+
+namespace trex::serving {
+namespace {
+
+using trex::fault::FaultKind;
+using trex::fault::FaultPlan;
+using trex::fault::ScopedFaultPlan;
+using trex::repair::FaultyAlgorithm;
+using trex::repair::FaultyOptions;
+
+/// The eight pinned seeds; CI adds more via TREX_CHAOS_SEEDS.
+std::vector<std::uint64_t> ChaosSeeds() {
+  std::vector<std::uint64_t> seeds = {101, 102, 103, 104,
+                                      105, 106, 107, 108};
+  if (const char* extra = std::getenv("TREX_CHAOS_SEEDS")) {
+    std::stringstream stream(extra);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      if (!token.empty()) seeds.push_back(std::stoull(token));
+    }
+  }
+  return seeds;
+}
+
+/// The mixed workload: every explanation kind, fixed options, no
+/// deadlines (deadline interactions are pinned elsewhere — here every
+/// ticket must be comparable against the fault-free run).
+std::vector<ExplainRequest> Workload() {
+  std::vector<ExplainRequest> requests;
+
+  ExplainRequest constraints;
+  constraints.target = data::SoccerTargetCell();
+  constraints.kind = ExplainKind::kConstraints;
+  requests.push_back(constraints);
+
+  ExplainRequest cells;
+  cells.target = data::SoccerTargetCell();
+  cells.kind = ExplainKind::kCells;
+  cells.cells.policy = AbsentCellPolicy::kNull;
+  cells.cells.method = CellMethod::kSampling;
+  cells.cells.num_samples = 8;
+  requests.push_back(cells);
+
+  ExplainRequest interactions;
+  interactions.target = data::SoccerTargetCell();
+  interactions.kind = ExplainKind::kInteractions;
+  requests.push_back(interactions);
+
+  ExplainRequest removal;
+  removal.target = data::SoccerTargetCell();
+  removal.kind = ExplainKind::kRemovalSets;
+  removal.max_removal_set_size = 2;
+  requests.push_back(removal);
+
+  ExplainRequest single;
+  single.target = data::SoccerTargetCell();
+  single.kind = ExplainKind::kSingleCell;
+  single.cells.policy = AbsentCellPolicy::kNull;
+  single.cells.num_samples = 16;
+  single.single_cell = data::SoccerCell(5, "League");
+  requests.push_back(single);
+
+  ExplainRequest wide_cells;
+  wide_cells.target = data::SoccerTargetCell();
+  wide_cells.kind = ExplainKind::kCells;
+  wide_cells.cells.policy = AbsentCellPolicy::kNull;
+  wide_cells.cells.method = CellMethod::kSampling;
+  wide_cells.cells.num_samples = 16;
+  requests.push_back(wide_cells);
+
+  return requests;
+}
+
+/// Derives a replayable fault plan from one chaos seed. The total
+/// transient budget (at most 5 failing engine calls) stays under the
+/// retry budget below, and far under the breaker's trip threshold.
+FaultPlan PlanForSeed(std::uint64_t seed) {
+  std::uint64_t state = seed;
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.sites.push_back(
+      {.site = "repair.backend",
+       .kind = FaultKind::kTransient,
+       .skip_first = static_cast<std::size_t>(SplitMix64(&state) % 3),
+       .fail_first = 1 + static_cast<std::size_t>(SplitMix64(&state) % 2)});
+  plan.sites.push_back(
+      {.site = "serving.execute",
+       .kind = FaultKind::kTransient,
+       .skip_first = static_cast<std::size_t>(SplitMix64(&state) % 2),
+       .fail_first = 1});
+  plan.sites.push_back(
+      {.site = "repair.eval_constraint_miss",
+       .kind = FaultKind::kTransient,
+       .skip_first = static_cast<std::size_t>(SplitMix64(&state) % 4),
+       .fail_first = 1 + static_cast<std::size_t>(SplitMix64(&state) % 2)});
+  plan.sites.push_back(
+      {.site = "repair.eval_table_miss",
+       .kind = FaultKind::kLatency,
+       .probability = 0.5,
+       .latency = std::chrono::microseconds(200)});
+  return plan;
+}
+
+ServiceOptions ChaosServiceOptions() {
+  ServiceOptions options;
+  options.num_workers = 2;
+  options.retry.max_attempts = 10;
+  options.retry.initial_backoff = std::chrono::milliseconds(1);
+  options.retry.max_backoff = std::chrono::milliseconds(4);
+  // Keep the breaker out of the way: its transitions are pinned in
+  // retry_test.cc; tripping mid-heal here would turn recoverable
+  // tickets into fast-fails and break the bit-identity contract.
+  options.router.breaker.min_samples = 1000;
+  return options;
+}
+
+/// Runs the workload through one service and returns the resolved
+/// tickets in submission order.
+std::vector<Result<ExplainResult>> RunWorkload(ExplainService& service) {
+  const std::vector<ExplainRequest> requests = Workload();
+  auto algorithm = std::make_shared<FaultyAlgorithm>(
+      "chaos-backend", repair::MakeAlgorithm1(), FaultyOptions{});
+  const auto table =
+      std::make_shared<const Table>(data::SoccerDirtyTable());
+  std::vector<Ticket> tickets;
+  tickets.reserve(requests.size());
+  for (const ExplainRequest& request : requests) {
+    tickets.push_back(service.Submit(algorithm, data::SoccerConstraints(),
+                                     table, request));
+  }
+  std::vector<Result<ExplainResult>> results;
+  results.reserve(tickets.size());
+  for (Ticket& ticket : tickets) results.push_back(ticket.Wait());
+  return results;
+}
+
+void ExpectBitIdentical(const Result<ExplainResult>& chaos,
+                        const Result<ExplainResult>& baseline,
+                        std::size_t slot) {
+  SCOPED_TRACE("workload slot " + std::to_string(slot));
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  ASSERT_TRUE(chaos.ok()) << chaos.status();
+  EXPECT_EQ(chaos->kind, baseline->kind);
+  // Payload comparison is bitwise on every score; cost counters
+  // (algorithm_calls, cache_hits) legitimately differ under retries.
+  ASSERT_EQ(chaos->explanation.has_value(),
+            baseline->explanation.has_value());
+  if (chaos->explanation.has_value()) {
+    const auto& a = chaos->explanation->ranked;
+    const auto& b = baseline->explanation->ranked;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].label, b[i].label);
+      EXPECT_EQ(a[i].shapley, b[i].shapley);
+      EXPECT_EQ(a[i].std_error, b[i].std_error);
+      EXPECT_EQ(a[i].num_samples, b[i].num_samples);
+    }
+  }
+  ASSERT_EQ(chaos->interactions.size(), baseline->interactions.size());
+  for (std::size_t i = 0; i < chaos->interactions.size(); ++i) {
+    EXPECT_EQ(chaos->interactions[i].label_a,
+              baseline->interactions[i].label_a);
+    EXPECT_EQ(chaos->interactions[i].label_b,
+              baseline->interactions[i].label_b);
+    EXPECT_EQ(chaos->interactions[i].interaction,
+              baseline->interactions[i].interaction);
+  }
+  EXPECT_EQ(chaos->removal_sets, baseline->removal_sets);
+  ASSERT_EQ(chaos->single_cell.has_value(),
+            baseline->single_cell.has_value());
+  if (chaos->single_cell.has_value()) {
+    EXPECT_EQ(chaos->single_cell->label, baseline->single_cell->label);
+    EXPECT_EQ(chaos->single_cell->shapley, baseline->single_cell->shapley);
+    EXPECT_EQ(chaos->single_cell->std_error,
+              baseline->single_cell->std_error);
+  }
+}
+
+TEST(ChaosTest, RandomizedFaultSchedulesHealToBitIdenticalResults) {
+  // Fault-free baseline, computed once: the ground truth every chaos
+  // run must reproduce bit for bit.
+  std::vector<Result<ExplainResult>> baseline;
+  {
+    ExplainService service(ChaosServiceOptions());
+    baseline = RunWorkload(service);
+  }
+  for (std::size_t slot = 0; slot < baseline.size(); ++slot) {
+    ASSERT_TRUE(baseline[slot].ok())
+        << "fault-free baseline failed at slot " << slot << ": "
+        << baseline[slot].status();
+  }
+
+  for (const std::uint64_t seed : ChaosSeeds()) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+
+    // Watchdog: the whole chaos run must finish — every ticket
+    // resolving — well within the budget, or the suite fails instead
+    // of deadlocking.
+    std::vector<Result<ExplainResult>> results;
+    ServiceStats stats;
+    std::future<void> run = std::async(std::launch::async, [&] {
+      ScopedFaultPlan plan(PlanForSeed(seed));
+      ExplainService service(ChaosServiceOptions());
+      results = RunWorkload(service);
+      stats = service.stats();
+    });
+    ASSERT_EQ(run.wait_for(std::chrono::seconds(120)),
+              std::future_status::ready)
+        << "chaos run deadlocked or stalled";
+    run.get();
+
+    // Fault activity actually happened (the plan was not a no-op)...
+    const auto backend_counts =
+        fault::FaultInjector::Instance().counters("repair.backend");
+    EXPECT_GT(backend_counts.hits, 0u);
+
+    // ...every ticket resolved, and the counters balance.
+    ASSERT_EQ(results.size(), Workload().size());
+    EXPECT_EQ(stats.submitted, results.size());
+    EXPECT_EQ(stats.submitted,
+              stats.completed + stats.failed + stats.cancelled + stats.shed);
+
+    // The plan's fault budget is below the retry budget, so recovery
+    // must be total: no failed tickets, and values bit-identical to
+    // the fault-free run.
+    EXPECT_EQ(stats.failed, 0u);
+    EXPECT_EQ(stats.completed, results.size());
+    for (std::size_t slot = 0; slot < results.size(); ++slot) {
+      ExpectBitIdentical(results[slot], baseline[slot], slot);
+    }
+  }
+}
+
+TEST(ChaosTest, TelemetryAccountsForEveryRecovery) {
+  // One deterministic schedule, checked closely: the stats must show
+  // the retries that healed the run.
+  ScopedFaultPlan plan({.seed = 7,
+                        .sites = {{.site = "repair.backend",
+                                   .kind = FaultKind::kTransient,
+                                   .fail_first = 2}}});
+  ExplainService service(ChaosServiceOptions());
+  auto results = RunWorkload(service);
+  for (std::size_t slot = 0; slot < results.size(); ++slot) {
+    ASSERT_TRUE(results[slot].ok()) << results[slot].status();
+  }
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.completed, results.size());
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.retries, 2u);  // two injected failures, two re-runs
+  EXPECT_EQ(stats.failed_transient, 0u);
+  EXPECT_EQ(stats.failed_permanent, 0u);
+}
+
+}  // namespace
+}  // namespace trex::serving

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstddef>
+#include <thread>
 
 #include "core/engine.h"
 #include "core/game.h"
@@ -81,6 +83,60 @@ TEST(CancelTokenTest, AnyOfObservesEitherSource) {
   EXPECT_FALSE(with_default.cancelled());
   a.Cancel();
   EXPECT_TRUE(with_default.cancelled());
+}
+
+TEST(CancelTokenWaitTest, StatelessTokenWaitsOutTheFullTimeout) {
+  CancelToken token;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(token.WaitFor(std::chrono::milliseconds(20)));
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(20));
+}
+
+TEST(CancelTokenWaitTest, PreCancelledTokenReturnsWithoutSleeping) {
+  CancelSource source;
+  source.Cancel();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(source.token().WaitFor(std::chrono::seconds(30)));
+  // Far under the requested timeout: the wait must short-circuit.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+}
+
+TEST(CancelTokenWaitTest, CancelMidWaitWakesTheSleeperImmediately) {
+  CancelSource source;
+  CancelToken token = source.token();
+  std::thread canceller([&source] {
+    // sleep-ok: gives the main thread time to park inside WaitFor; the
+    // assertion is on the 30s bound, not on this delay.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    source.Cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(token.WaitFor(std::chrono::seconds(30)));
+  // Woken by the cancel, not the timeout.
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(25));
+  canceller.join();
+}
+
+TEST(CancelTokenWaitTest, MergedTokenWakesOnEitherSource) {
+  CancelSource a;
+  CancelSource b;
+  CancelToken merged = CancelToken::AnyOf(a.token(), b.token());
+  std::thread canceller([&b] {
+    // sleep-ok: parks the waiter first; asserted via the 30s bound.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    b.Cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(merged.WaitFor(std::chrono::seconds(30)));
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(25));
+  canceller.join();
+  // The waiter deregistered from both sources; a later cancel on the
+  // other source must not touch freed state.
+  a.Cancel();
 }
 
 TEST(CancelThreadingTest, PreCancelledSweepSamplingRunsNothing) {

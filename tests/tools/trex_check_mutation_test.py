@@ -129,10 +129,25 @@ def main():
         with open(full, "w", encoding="utf-8") as f:
             f.write('#include "serving/service.h"\n' + text)
 
+    def duplicate_fault_site(tmp):
+        # Rename the serving layer's injection site to one the repair
+        # layer already owns: two code paths would share one schedule
+        # and one hit counter.
+        full = os.path.join(tmp, "src", "serving", "service.cc")
+        with open(full, encoding="utf-8") as f:
+            text = f.read()
+        new = text.replace('TREX_FAULT_INJECT("serving.execute")',
+                           'TREX_FAULT_INJECT("repair.backend")')
+        assert new != text
+        with open(full, "w", encoding="utf-8") as f:
+            f.write(new)
+
     check("strip one [[nodiscard]]", strip_nodiscard, "status-discipline")
     check("re-add unordered float fold", inject_float_fold,
           "unordered-determinism")
     check("add upward include", upward_include, "layering")
+    check("reuse a fault site name across layers", duplicate_fault_site,
+          "fault-site-discipline")
 
     if failures:
         for f in failures:

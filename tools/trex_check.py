@@ -91,6 +91,7 @@ CHECKS = (
     "layering",
     "status-discipline",
     "seed-discipline",
+    "fault-site-discipline",
 )
 
 # Layer ranks; an include edge src/<a>/ -> src/<b>/ is legal iff
@@ -360,6 +361,125 @@ def check_status_annotations(path, raw_text):
     return out
 
 
+# Fault-injection sites (common/fault.h). The named-site registry only
+# stays auditable — every schedulable failure greppable, every site
+# keyed by exactly one code location — under three rules:
+#   * production code reaches the injector only through
+#     TREX_FAULT_INJECT (direct FaultInjector use — Arm, counters —
+#     belongs to tests and the implementation in common/fault.{h,cc});
+#   * site names are string literals, never computed;
+#   * a site name appears at exactly one code location (src-wide);
+#   * bench/ stays injection-free (a bench number that silently ran
+#     under an armed plan is not a benchmark).
+
+FAULT_MACRO_RE = re.compile(r"\bTREX_FAULT_INJECT\s*\(")
+FAULT_INJECTOR_RE = re.compile(r"\bFaultInjector\b")
+FAULT_EXEMPT = ("src/common/fault.h", "src/common/fault.cc")
+
+
+def _fault_site_literal(raw_text, open_idx):
+    """The string-literal argument of the macro call whose '(' sits at
+    `open_idx` in the raw text, or None when the argument is computed."""
+    m = re.match(r'\(\s*"((?:[^"\\]|\\.)*)"\s*\)', raw_text[open_idx:])
+    return m.group(1) if m else None
+
+
+def iter_fault_sites(raw_text):
+    """Yields (lineno, site_or_None) for every TREX_FAULT_INJECT call,
+    located on comment-stripped code so commented-out sites are inert.
+    Preprocessor lines are skipped: `#define TREX_FAULT_INJECT(...)` is
+    the macro's declaration, not a site."""
+    code = strip_code(raw_text)
+    for m in FAULT_MACRO_RE.finditer(code):
+        line_start = code.rfind("\n", 0, m.start()) + 1
+        if code[line_start:m.start()].lstrip().startswith("#"):
+            continue
+        yield line_of(code, m.start()), _fault_site_literal(raw_text,
+                                                            m.end() - 1)
+
+
+def check_fault_sites(path, raw_text):
+    """Per-file half of fault-site-discipline; the cross-file site-name
+    uniqueness half lives in check_fault_site_uniqueness."""
+    out = []
+    if path.startswith("bench/"):
+        for lineno, _ in iter_fault_sites(raw_text):
+            out.append(finding(
+                path, lineno, "fault-site-discipline",
+                "TREX_FAULT_INJECT in bench/: benchmark numbers must "
+                "never depend on an armed fault plan; drive faults "
+                "through a FaultyAlgorithm schedule instead"))
+        return out
+    if not path.startswith("src/") or path in FAULT_EXEMPT:
+        return []
+    code = strip_code(raw_text)
+    for m in FAULT_INJECTOR_RE.finditer(code):
+        out.append(finding(
+            path, line_of(code, m.start()), "fault-site-discipline",
+            "direct FaultInjector use outside common/fault.{h,cc}; "
+            "production code declares sites with TREX_FAULT_INJECT only "
+            "(arming plans and reading counters belong to tests)"))
+    seen = {}
+    for lineno, site in iter_fault_sites(raw_text):
+        if site is None:
+            out.append(finding(
+                path, lineno, "fault-site-discipline",
+                "TREX_FAULT_INJECT site name must be a string literal; "
+                "a computed name cannot be grepped, scheduled, or "
+                "audited"))
+        elif site in seen:
+            out.append(finding(
+                path, lineno, "fault-site-discipline",
+                f'duplicate fault site "{site}" (first declared at line '
+                f"{seen[site]}); sites are keyed by name, so a reused "
+                "name makes two code paths share one schedule and one "
+                "hit counter"))
+        else:
+            seen[site] = lineno
+    return out
+
+
+def check_fault_site_uniqueness(files):
+    """Cross-file half: one site name, one code location, src-wide.
+    Same-file duplicates are skipped here — check_fault_sites already
+    reported them."""
+    seen = {}
+    out = []
+    for rel, text in files:
+        if not rel.startswith("src/") or rel in FAULT_EXEMPT:
+            continue
+        for lineno, site in iter_fault_sites(text):
+            if site is None:
+                continue
+            if site in seen and seen[site][0] != rel:
+                first = seen[site]
+                out.append(finding(
+                    rel, lineno, "fault-site-discipline",
+                    f'duplicate fault site "{site}" (first declared at '
+                    f"{first[0]}:{first[1]}); sites are keyed by name, "
+                    "so a reused name makes two code paths share one "
+                    "schedule and one hit counter"))
+            elif site not in seen:
+                seen[site] = (rel, lineno)
+    return out
+
+
+def collect_bench_files(root):
+    out = []
+    base = os.path.join(root, "bench")
+    if not os.path.isdir(base):
+        return out
+    for dirpath, _, filenames in os.walk(base):
+        for name in sorted(filenames):
+            if not name.endswith((".h", ".cc")):
+                continue
+            full = os.path.join(dirpath, name)
+            rel = os.path.relpath(full, root).replace(os.sep, "/")
+            with open(full, encoding="utf-8") as f:
+                out.append((rel, f.read()))
+    return out
+
+
 # ---------------------------------------------------------------------------
 # Text engine: lexer + scope tracking, no libclang required
 # ---------------------------------------------------------------------------
@@ -506,6 +626,7 @@ class TextEngine:
         in_src = path.startswith("src/")
         out.extend(check_layering(path, raw_text))
         out.extend(check_status_annotations(path, raw_text))
+        out.extend(check_fault_sites(path, raw_text))
         if in_src:
             out.extend(self._check_unordered(path, raw_text, code))
             out.extend(self._check_cancel_poll(path, raw_text, code))
@@ -698,6 +819,7 @@ class ClangEngine:
         tu = self.parse_tu(path, unsaved=[(path, raw_text)], hermetic=True)
         out = list(check_layering(path, raw_text))
         out.extend(check_status_annotations(path, raw_text))
+        out.extend(check_fault_sites(path, raw_text))
         # Deduplicate: a statement can be reached as both a DECL_STMT
         # and its nested VAR_DECL, producing the same finding twice.
         out.extend(sorted(set(self._walk_tu(tu, {path: path}))))
@@ -748,6 +870,7 @@ class ClangEngine:
             fs = per_file.get(rel, [])
             fs += check_layering(rel, text)
             fs += check_status_annotations(rel, text)
+            fs += check_fault_sites(rel, text)
             by_line, bad = parse_suppressions(rel, text)
             out.extend(bad)
             out.extend(apply_suppressions(sorted(set(fs)), by_line))
@@ -1003,13 +1126,23 @@ def lint_tree(engine, root):
     files = collect_files(root)
     engine.prepare(files)
     if isinstance(engine, ClangEngine):
-        return engine.lint_tree(root, files)
-    out = []
-    for rel, text in files:
-        raw = engine.lint_file(rel, text)
+        out = engine.lint_tree(root, files)
+    else:
+        out = []
+        for rel, text in files:
+            raw = engine.lint_file(rel, text)
+            by_line, bad = parse_suppressions(rel, text)
+            out.extend(bad)
+            out.extend(apply_suppressions(raw, by_line))
+    # fault-site-discipline spans files: site names must be unique
+    # src-wide, and bench/ (outside the per-file walk) must stay
+    # injection-free.
+    out.extend(check_fault_site_uniqueness(files))
+    for rel, text in collect_bench_files(root):
         by_line, bad = parse_suppressions(rel, text)
         out.extend(bad)
-        out.extend(apply_suppressions(raw, by_line))
+        out.extend(apply_suppressions(check_fault_sites(rel, text),
+                                      by_line))
     return out
 
 
@@ -1270,6 +1403,68 @@ unsigned long long DeriveSeed(unsigned long long base, int shard) {
 }
 """
 
+FAULT_PREAMBLE = PREAMBLE + r"""
+#define TREX_FAULT_INJECT(site) (void)(site)
+"""
+
+GOOD_FAULT_SITE = FAULT_PREAMBLE + r"""
+namespace trex {
+Status CallBackend() {
+  TREX_FAULT_INJECT("repair.fixture_backend");
+  return Status::Ok();
+}
+}
+"""
+
+BAD_FAULT_DIRECT_INJECTOR = FAULT_PREAMBLE + r"""
+namespace trex {
+void Touch() {
+  fault::FaultInjector::Instance();
+}
+}
+"""
+
+BAD_FAULT_COMPUTED_SITE = FAULT_PREAMBLE + r"""
+namespace trex {
+Status CallBackend(const char* site) {
+  TREX_FAULT_INJECT(site);
+  return Status::Ok();
+}
+}
+"""
+
+BAD_FAULT_DUPLICATE_SITE = FAULT_PREAMBLE + r"""
+namespace trex {
+Status First() {
+  TREX_FAULT_INJECT("repair.fixture_dup");
+  return Status::Ok();
+}
+Status Second() {
+  TREX_FAULT_INJECT("repair.fixture_dup");
+  return Status::Ok();
+}
+}
+"""
+
+GOOD_FAULT_COMMENTED_SITE = FAULT_PREAMBLE + r"""
+namespace trex {
+Status CallBackend() {
+  // TREX_FAULT_INJECT("repair.fixture_commented");
+  TREX_FAULT_INJECT("repair.fixture_live");
+  return Status::Ok();
+}
+}
+"""
+
+BAD_FAULT_IN_BENCH = FAULT_PREAMBLE + r"""
+namespace trex {
+Status Measure() {
+  TREX_FAULT_INJECT("bench.fixture_site");
+  return Status::Ok();
+}
+}
+"""
+
 SELF_TEST_CASES = [
     FixtureCase("unordered-determinism", "src/core/bad_fold.cc",
                 BAD_FLOAT_FOLD, 1),
@@ -1324,6 +1519,23 @@ SELF_TEST_CASES = [
                 BAD_THREAD_SEED, 1),
     FixtureCase("seed-discipline", "src/core/good_shard_seed.cc",
                 GOOD_SHARD_SEED, 0),
+
+    FixtureCase("fault-site-discipline", "src/repair/good_site.cc",
+                GOOD_FAULT_SITE, 0),
+    FixtureCase("fault-site-discipline", "src/repair/bad_direct.cc",
+                BAD_FAULT_DIRECT_INJECTOR, 1),
+    FixtureCase("fault-site-discipline", "src/repair/bad_computed.cc",
+                BAD_FAULT_COMPUTED_SITE, 1),
+    FixtureCase("fault-site-discipline", "src/repair/bad_dup.cc",
+                BAD_FAULT_DUPLICATE_SITE, 1),
+    FixtureCase("fault-site-discipline", "src/repair/good_commented.cc",
+                GOOD_FAULT_COMMENTED_SITE, 0),
+    FixtureCase("fault-site-discipline", "bench/bad_bench_site.cc",
+                BAD_FAULT_IN_BENCH, 1),
+    # Tests arm plans and read counters by design: the direct-use rule
+    # must not reach outside src/.
+    FixtureCase("fault-site-discipline", "tests/common/arms_plans_test.cc",
+                BAD_FAULT_DIRECT_INJECTOR, 0),
 ]
 
 
